@@ -1,0 +1,317 @@
+package bounded
+
+import (
+	"math/rand"
+
+	"repro/internal/cauchy"
+	"repro/internal/heavy"
+	"repro/internal/inner"
+	"repro/internal/l0"
+	"repro/internal/l1"
+	"repro/internal/sampler"
+	"repro/internal/sparse"
+	"repro/internal/stream"
+	"repro/internal/support"
+)
+
+// Update is one stream element: add Delta to coordinate Index.
+type Update = stream.Update
+
+// Tracker measures a stream's exact model state: frequency vector,
+// insertion/deletion decomposition, alpha-properties (Definitions 1-2),
+// and strict-turnstile validity. It is the ground-truth oracle, not a
+// small-space structure.
+type Tracker = stream.Tracker
+
+// NewTracker returns an exact tracker over a universe of size n.
+func NewTracker(n uint64) *Tracker { return stream.NewTracker(n) }
+
+// Config carries the parameters shared by all constructors.
+type Config struct {
+	// N is the universe size (indices are in [0, N)). Must be >= 2 and
+	// at most 2^44.
+	N uint64
+	// Eps is the accuracy parameter (problem-specific meaning; see each
+	// constructor).
+	Eps float64
+	// Alpha is the assumed L_p alpha-property bound of the input stream
+	// (>= 1). It scales sampling budgets and retention windows.
+	Alpha float64
+	// Seed drives all randomness; equal seeds give identical structures.
+	Seed int64
+}
+
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+// HeavyHitters answers L1 epsilon-heavy-hitters queries on alpha-property
+// streams (Section 3 of the paper): it returns every i with
+// |f_i| >= eps ||f||_1 and no i with |f_i| < (eps/2) ||f||_1, with high
+// probability for strict turnstile streams (Theorem 4) and constant
+// probability for general turnstile streams (Theorem 3).
+type HeavyHitters struct {
+	impl *heavy.AlphaL1
+}
+
+// NewHeavyHitters builds the structure. strict selects the exact-counter
+// L1 scale (valid only when no prefix frequency goes negative).
+func NewHeavyHitters(cfg Config, strict bool) *HeavyHitters {
+	mode := heavy.General
+	if strict {
+		mode = heavy.Strict
+	}
+	return &HeavyHitters{impl: heavy.NewAlphaL1(cfg.rng(), heavy.AlphaL1Params{
+		N: cfg.N, Eps: cfg.Eps, Mode: mode, Alpha: cfg.Alpha,
+	})}
+}
+
+// Update feeds one stream update.
+func (h *HeavyHitters) Update(i uint64, delta int64) { h.impl.Update(i, delta) }
+
+// HeavyHitters returns the detected heavy coordinates, sorted.
+func (h *HeavyHitters) HeavyHitters() []uint64 { return h.impl.HeavyHitters() }
+
+// Estimate returns the point estimate of f_i.
+func (h *HeavyHitters) Estimate(i uint64) float64 { return h.impl.Query(i) }
+
+// SpaceBits reports the structure's space in the paper's cost model.
+func (h *HeavyHitters) SpaceBits() int64 { return h.impl.SpaceBits() }
+
+// L1Estimator estimates ||f||_1 of an alpha-property stream to (1 +-
+// eps): Figure 4 / Theorem 6 in the strict turnstile model (tiny space:
+// O(log(alpha/eps) + loglog n) bits), Theorem 8 in the general model.
+type L1Estimator struct {
+	strict  *l1.AlphaEstimator
+	general *cauchy.SampledSketch
+}
+
+// NewL1Estimator builds the estimator; delta is the failure probability
+// (strict variant only).
+func NewL1Estimator(cfg Config, strict bool, delta float64) *L1Estimator {
+	rng := cfg.rng()
+	if strict {
+		if delta <= 0 || delta >= 1 {
+			delta = 0.1
+		}
+		base := l1.RecommendedBase(cfg.Alpha, cfg.Eps, delta, cfg.N)
+		return &L1Estimator{strict: l1.New(rng, base)}
+	}
+	r := int(4 / (cfg.Eps * cfg.Eps))
+	if r < 16 {
+		r = 16
+	}
+	base := int64(64 * cfg.Alpha * cfg.Alpha / cfg.Eps)
+	if base < 16 {
+		base = 16
+	}
+	return &L1Estimator{general: l1.NewGeneral(rng, r, 32, 6, base, 10)}
+}
+
+// Update feeds one stream update.
+func (e *L1Estimator) Update(i uint64, delta int64) {
+	if e.strict != nil {
+		e.strict.Update(i, delta)
+	} else {
+		e.general.Update(i, delta)
+	}
+}
+
+// Estimate returns the (1 +- eps) estimate of ||f||_1.
+func (e *L1Estimator) Estimate() float64 {
+	if e.strict != nil {
+		return e.strict.Estimate()
+	}
+	return e.general.Estimate()
+}
+
+// SpaceBits reports the structure's space.
+func (e *L1Estimator) SpaceBits() int64 {
+	if e.strict != nil {
+		return e.strict.SpaceBits()
+	}
+	return e.general.SpaceBits()
+}
+
+// L0Estimator estimates the support size ||f||_0 of an L0 alpha-property
+// stream to (1 +- eps) (Figure 7 / Theorem 10): only O(log(alpha/eps))
+// subsampling rows are kept live, replacing the turnstile
+// eps^-2 log n with eps^-2 log(alpha/eps) + log n.
+type L0Estimator struct {
+	impl *l0.Estimator
+}
+
+// NewL0Estimator builds the windowed estimator.
+func NewL0Estimator(cfg Config) *L0Estimator {
+	return &L0Estimator{impl: l0.NewEstimator(cfg.rng(), l0.Params{
+		N: cfg.N, Eps: cfg.Eps,
+		Windowed: true, Window: l0.RecommendedWindow(cfg.Alpha, cfg.Eps),
+	})}
+}
+
+// Update feeds one stream update.
+func (e *L0Estimator) Update(i uint64, delta int64) { e.impl.Update(i, delta) }
+
+// Estimate returns the (1 +- eps) estimate of ||f||_0.
+func (e *L0Estimator) Estimate() float64 { return e.impl.Estimate() }
+
+// LiveRows reports how many subsampling rows are currently maintained —
+// O(log(alpha/eps)) for this windowed structure versus log(n) for the
+// unbounded-deletion baseline.
+func (e *L0Estimator) LiveRows() int { return e.impl.LiveRows() }
+
+// SpaceBits reports the structure's space.
+func (e *L0Estimator) SpaceBits() int64 { return e.impl.SpaceBits() }
+
+// Sample is a successful L1 sample: an index drawn with probability
+// (1 +- eps)|f_i|/||f||_1 and an O(eps)-relative-error estimate of f_i.
+type Sample = sampler.Result
+
+// L1Sampler is the Figure 3 / Theorem 5 perfect L1 sampler for strict
+// turnstile strong alpha-property streams.
+type L1Sampler struct {
+	impl *sampler.Sampler
+}
+
+// NewL1Sampler builds the sampler with `copies` parallel instances (each
+// succeeds with probability Theta(eps); 2/eps copies give constant
+// failure probability; pass 0 for that default).
+func NewL1Sampler(cfg Config, copies int) *L1Sampler {
+	if copies <= 0 {
+		copies = int(2 / cfg.Eps)
+		if copies < 4 {
+			copies = 4
+		}
+	}
+	return &L1Sampler{impl: sampler.New(cfg.rng(), sampler.Params{
+		N: cfg.N, Eps: cfg.Eps, Alpha: cfg.Alpha,
+	}, copies)}
+}
+
+// Update feeds one stream update.
+func (s *L1Sampler) Update(i uint64, delta int64) { s.impl.Update(i, delta) }
+
+// Sample draws one sample; ok is false when every instance FAILed (the
+// sampler never fabricates an index).
+func (s *L1Sampler) Sample() (Sample, bool) { return s.impl.Sample() }
+
+// SpaceBits reports the structure's space.
+func (s *L1Sampler) SpaceBits() int64 { return s.impl.SpaceBits() }
+
+// SupportSampler returns at least min(k, ||f||_0) support coordinates of
+// a strict turnstile L0 alpha-property stream (Figure 8 / Theorem 11).
+type SupportSampler struct {
+	impl *support.Sampler
+}
+
+// NewSupportSampler builds the sampler for k requested coordinates.
+func NewSupportSampler(cfg Config, k int) *SupportSampler {
+	return &SupportSampler{impl: support.NewSampler(cfg.rng(), support.Params{
+		N: cfg.N, K: k,
+		Windowed: true, Window: support.RecommendedWindow(cfg.Alpha),
+	})}
+}
+
+// Update feeds one stream update.
+func (s *SupportSampler) Update(i uint64, delta int64) { s.impl.Update(i, delta) }
+
+// Recover returns distinct support coordinates, sorted.
+func (s *SupportSampler) Recover() []uint64 { return s.impl.Recover() }
+
+// SpaceBits reports the structure's space.
+func (s *SupportSampler) SpaceBits() int64 { return s.impl.SpaceBits() }
+
+// InnerProduct estimates <f, g> between two alpha-property streams to
+// additive eps ||f||_1 ||g||_1 (Theorem 2).
+type InnerProduct struct {
+	impl *inner.Estimator
+}
+
+// NewInnerProduct builds the estimator. The sample budget grows with
+// alpha^2/eps as in the paper's s = poly(alpha/eps).
+func NewInnerProduct(cfg Config) *InnerProduct {
+	base := int64(16 * cfg.Alpha * cfg.Alpha / cfg.Eps)
+	if base < 16 {
+		base = 16
+	}
+	return &InnerProduct{impl: inner.New(cfg.rng(), inner.Params{
+		N: cfg.N, Eps: cfg.Eps, Base: base, Rows: 5,
+	})}
+}
+
+// UpdateF feeds an update to the first stream.
+func (ip *InnerProduct) UpdateF(i uint64, delta int64) { ip.impl.UpdateF(i, delta) }
+
+// UpdateG feeds an update to the second stream.
+func (ip *InnerProduct) UpdateG(i uint64, delta int64) { ip.impl.UpdateG(i, delta) }
+
+// Estimate returns the inner-product estimate.
+func (ip *InnerProduct) Estimate() float64 { return ip.impl.Estimate() }
+
+// SpaceBits reports the structure's space.
+func (ip *InnerProduct) SpaceBits() int64 { return ip.impl.SpaceBits() }
+
+// ErrDense is returned by SyncSketch.Decode when the sketched difference
+// exceeds the sketch's capacity (Lemma 22's DENSE answer).
+var ErrDense = sparse.ErrDense
+
+// SyncSketch is the remote-differential-compression primitive from the
+// paper's introduction, packaged end to end: both parties build a
+// sketch with the same Seed, one ships its serialized sketch to the
+// other, the receiver subtracts it, and Decode returns exactly the
+// coordinates on which the two frequency vectors differ — provided
+// there are at most `capacity` of them (otherwise ErrDense).
+type SyncSketch struct {
+	impl *sparse.Recovery
+}
+
+// NewSyncSketch builds a sketch able to recover up to capacity
+// differing coordinates. Peers that intend to exchange sketches must
+// use identical cfg.Seed, cfg.N and capacity.
+func NewSyncSketch(cfg Config, capacity int) *SyncSketch {
+	return &SyncSketch{impl: sparse.NewRecovery(cfg.rng(), capacity, cfg.N)}
+}
+
+// Update feeds one stream update.
+func (s *SyncSketch) Update(i uint64, delta int64) { s.impl.Update(i, delta) }
+
+// MarshalBinary serializes the sketch for transmission.
+func (s *SyncSketch) MarshalBinary() ([]byte, error) { return s.impl.MarshalBinary() }
+
+// UnmarshalBinary restores a transmitted sketch.
+func (s *SyncSketch) UnmarshalBinary(data []byte) error {
+	if s.impl == nil {
+		s.impl = &sparse.Recovery{}
+	}
+	return s.impl.UnmarshalBinary(data)
+}
+
+// SubRemote subtracts a peer's serialized sketch (built with the same
+// seed) from this one, leaving the sketch of the difference vector.
+func (s *SyncSketch) SubRemote(data []byte) error { return s.impl.SubRemote(data) }
+
+// Decode recovers the sketched (difference) vector exactly, or returns
+// ErrDense when it exceeds capacity.
+func (s *SyncSketch) Decode() (map[uint64]int64, error) { return s.impl.Decode() }
+
+// SpaceBits reports the structure's space.
+func (s *SyncSketch) SpaceBits() int64 { return s.impl.SpaceBits() }
+
+// L2HeavyHitters answers L2 heavy hitters queries on alpha-property
+// streams (Appendix A): every i with |f_i| >= eps ||f||_2 is returned
+// and no i with |f_i| < (eps/2) ||f||_2, using O((alpha/eps)^2) space.
+type L2HeavyHitters struct {
+	impl *heavy.AlphaL2
+}
+
+// NewL2HeavyHitters builds the Appendix A structure.
+func NewL2HeavyHitters(cfg Config) *L2HeavyHitters {
+	return &L2HeavyHitters{impl: heavy.NewAlphaL2(cfg.rng(), cfg.N, cfg.Eps, cfg.Alpha)}
+}
+
+// Update feeds one stream update.
+func (h *L2HeavyHitters) Update(i uint64, delta int64) { h.impl.Update(i, delta) }
+
+// HeavyHitters returns the detected heavy coordinates, sorted.
+func (h *L2HeavyHitters) HeavyHitters() []uint64 { return h.impl.HeavyHitters() }
+
+// SpaceBits reports the structure's space.
+func (h *L2HeavyHitters) SpaceBits() int64 { return h.impl.SpaceBits() }

@@ -1,0 +1,182 @@
+package bounded
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+// TestPublicHeavyHitters runs the end-to-end public API pipeline on a
+// generated alpha-property workload.
+func TestPublicHeavyHitters(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 1 << 14, Items: 40000, Alpha: 4, Zipf: 1.5, Seed: 1})
+	tr := NewTracker(1 << 14)
+	tr.Consume(s)
+	const eps = 0.05
+	hh := NewHeavyHitters(Config{N: 1 << 14, Eps: eps, Alpha: 4, Seed: 2}, true)
+	for _, u := range s.Updates {
+		hh.Update(u.Index, u.Delta)
+	}
+	got := hh.HeavyHitters()
+	want := tr.F.HeavyHitters(eps)
+	gotSet := map[uint64]bool{}
+	for _, i := range got {
+		gotSet[i] = true
+	}
+	for _, w := range want {
+		if !gotSet[w] {
+			t.Errorf("missed heavy hitter %d", w)
+		}
+	}
+	l1 := float64(tr.F.L1())
+	for _, g := range got {
+		if math.Abs(float64(tr.F[g])) < eps/2*l1 {
+			t.Errorf("returned %d with weight %d below eps/2 threshold", g, tr.F[g])
+		}
+	}
+	if hh.SpaceBits() <= 0 {
+		t.Error("SpaceBits must be positive")
+	}
+}
+
+func TestPublicL1Estimator(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 512, Items: 150000, Alpha: 2, Seed: 3})
+	tr := NewTracker(512)
+	tr.Consume(s)
+	want := float64(tr.F.L1())
+	good := 0
+	const reps = 12
+	for rep := 0; rep < reps; rep++ {
+		e := NewL1Estimator(Config{N: 512, Eps: 0.2, Alpha: 2, Seed: int64(100 + rep)}, true, 0.1)
+		for _, u := range s.Updates {
+			e.Update(u.Index, u.Delta)
+		}
+		if math.Abs(e.Estimate()-want) < 0.3*want {
+			good++
+		}
+	}
+	if good < reps*2/3 {
+		t.Errorf("strict L1 within 30%% only %d/%d times", good, reps)
+	}
+}
+
+func TestPublicL0Estimator(t *testing.T) {
+	s := gen.SensorOccupancy(gen.Config{N: 1 << 20, Items: 20000, Alpha: 4, Seed: 4})
+	tr := NewTracker(1 << 20)
+	tr.Consume(s)
+	want := float64(tr.F.L0())
+	good := 0
+	const reps = 8
+	for rep := 0; rep < reps; rep++ {
+		e := NewL0Estimator(Config{N: 1 << 20, Eps: 0.1, Alpha: 4, Seed: int64(10 + rep)})
+		for _, u := range s.Updates {
+			e.Update(u.Index, u.Delta)
+		}
+		if math.Abs(e.Estimate()-want) < 0.35*want {
+			good++
+		}
+	}
+	if good < reps*5/8 {
+		t.Errorf("L0 within 35%% only %d/%d times (want %.0f)", good, reps, want)
+	}
+}
+
+func TestPublicL1Sampler(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 16, Items: 3000, Alpha: 2, Seed: 5})
+	tr := NewTracker(16)
+	tr.Consume(s)
+	sp := NewL1Sampler(Config{N: 16, Eps: 0.25, Alpha: 2, Seed: 6}, 16)
+	for _, u := range s.Updates {
+		sp.Update(u.Index, u.Delta)
+	}
+	res, ok := sp.Sample()
+	if !ok {
+		t.Fatal("sampler failed")
+	}
+	if tr.F[res.Index] == 0 {
+		t.Errorf("sampled %d outside support", res.Index)
+	}
+}
+
+func TestPublicSupportSampler(t *testing.T) {
+	s := gen.SensorOccupancy(gen.Config{N: 1 << 16, Items: 5000, Alpha: 4, Seed: 7})
+	tr := NewTracker(1 << 16)
+	tr.Consume(s)
+	sp := NewSupportSampler(Config{N: 1 << 16, Alpha: 4, Eps: 0.1, Seed: 8}, 16)
+	for _, u := range s.Updates {
+		sp.Update(u.Index, u.Delta)
+	}
+	got := sp.Recover()
+	if len(got) < 16 {
+		t.Errorf("recovered only %d coords, want >= 16", len(got))
+	}
+	for _, i := range got {
+		if tr.F[i] == 0 {
+			t.Errorf("recovered %d outside support", i)
+		}
+	}
+}
+
+func TestPublicInnerProduct(t *testing.T) {
+	f1, f2 := gen.NetworkPair(gen.Config{N: 256, Items: 4000, Alpha: 1, Seed: 9}, 0.3)
+	vf := f1.Materialize()
+	vg := f2.Materialize()
+	want := float64(vf.Inner(vg))
+	budget := 0.25 * float64(vf.L1()) * float64(vg.L1())
+	good := 0
+	const reps = 10
+	for rep := 0; rep < reps; rep++ {
+		ip := NewInnerProduct(Config{N: 256, Eps: 0.25, Alpha: 2, Seed: int64(20 + rep)})
+		for _, u := range f1.Updates {
+			ip.UpdateF(u.Index, u.Delta)
+		}
+		for _, u := range f2.Updates {
+			ip.UpdateG(u.Index, u.Delta)
+		}
+		if math.Abs(ip.Estimate()-want) <= budget {
+			good++
+		}
+	}
+	if good < reps*7/10 {
+		t.Errorf("inner product within budget only %d/%d times", good, reps)
+	}
+}
+
+func TestPublicL2HeavyHitters(t *testing.T) {
+	cfg := Config{N: 1 << 12, Eps: 0.25, Alpha: 2, Seed: 10}
+	h := NewL2HeavyHitters(cfg)
+	tr := NewTracker(1 << 12)
+	feed := func(i uint64, d int64) {
+		h.Update(i, d)
+		tr.Update(stream.Update{Index: i, Delta: d})
+	}
+	for i := 0; i < 2000; i++ {
+		id := uint64(i % 500)
+		feed(id, 1)
+		if i%2 == 1 {
+			feed(id, -1)
+		}
+	}
+	feed(4000, 300)
+	got := h.HeavyHitters()
+	found := false
+	for _, i := range got {
+		if i == 4000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missed the planted L2 heavy item")
+	}
+}
+
+func TestTrackerExport(t *testing.T) {
+	tr := NewTracker(8)
+	tr.Update(Update{Index: 1, Delta: 5})
+	tr.Update(Update{Index: 1, Delta: -2})
+	if tr.AlphaL1() != 7.0/3.0 {
+		t.Errorf("AlphaL1 = %v", tr.AlphaL1())
+	}
+}

@@ -1,0 +1,77 @@
+// Command bdgen writes synthetic bounded-deletion streams as text files
+// (one "index delta" pair per line), for feeding into cmd/bdquery or
+// external tools.
+//
+// Usage:
+//
+//	go run ./cmd/bdgen -kind bounded -n 65536 -items 100000 -alpha 4 > stream.txt
+//	go run ./cmd/bdgen -kind sensor -alpha 8 -out sensors.txt
+//
+// Kinds: bounded (zipf/uniform inserts with deletions to the target
+// alpha), turnstile (near-total cancellation, alpha ~ m), network (the
+// difference f1-f2 of two traffic snapshots), rdc (file-sync churn),
+// sensor (clustered L0 occupancy), adversarial (the Section 8
+// augmented-indexing instance).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+var (
+	kind  = flag.String("kind", "bounded", "bounded|turnstile|network|rdc|sensor|adversarial")
+	n     = flag.Uint64("n", 1<<20, "universe size")
+	items = flag.Int("items", 100000, "insert count (pre-deletion)")
+	alpha = flag.Float64("alpha", 4, "target alpha")
+	zipf  = flag.Float64("zipf", 1.3, "zipf skew (0 = uniform)")
+	seed  = flag.Int64("seed", 1, "random seed")
+	diff  = flag.Float64("diff", 0.1, "network: differing-flow fraction; rdc: changed fraction")
+	eps   = flag.Float64("eps", 0.05, "adversarial: heavy hitter eps")
+	out   = flag.String("out", "", "output file (default stdout)")
+)
+
+func main() {
+	flag.Parse()
+	cfg := gen.Config{N: *n, Items: *items, Alpha: *alpha, Zipf: *zipf, Seed: *seed}
+	var s *stream.Stream
+	switch *kind {
+	case "bounded":
+		s = gen.BoundedDeletion(cfg)
+	case "turnstile":
+		s = gen.Turnstile(cfg)
+	case "network":
+		f1, f2 := gen.NetworkPair(cfg, *diff)
+		s = gen.Difference(f1, f2)
+	case "rdc":
+		s = gen.RDCSync(cfg, *diff)
+	case "sensor":
+		s = gen.SensorOccupancy(cfg)
+	case "adversarial":
+		s = gen.AdversarialInd(*seed, *n, *eps, *alpha, 2).Stream
+	default:
+		fmt.Fprintf(os.Stderr, "bdgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bdgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+	fmt.Fprintf(w, "# kind=%s n=%d updates=%d\n", *kind, s.N, len(s.Updates))
+	for _, u := range s.Updates {
+		fmt.Fprintf(w, "%d %d\n", u.Index, u.Delta)
+	}
+}

@@ -1,0 +1,173 @@
+// Command bdquery streams an update file (as written by cmd/bdgen)
+// through one of the library's alpha-property structures and prints the
+// answer together with exact ground truth and the space used.
+//
+// Usage:
+//
+//	go run ./cmd/bdgen -kind bounded -alpha 4 -out s.txt
+//	go run ./cmd/bdquery -problem hh -eps 0.05 -alpha 4 -in s.txt
+//	go run ./cmd/bdquery -problem l0 -alpha 4 -in s.txt
+//
+// Problems: hh (L1 heavy hitters), l2hh, l1, l0, sample (one L1 sample),
+// support (k support coordinates), alpha (just measure the stream's
+// alpha-properties).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	bounded "repro"
+	"repro/internal/stream"
+)
+
+var (
+	problem = flag.String("problem", "alpha", "hh|l2hh|l1|l0|sample|support|alpha")
+	in      = flag.String("in", "", "input stream file (default stdin)")
+	n       = flag.Uint64("n", 0, "universe size (default: from file header or max index + 1)")
+	eps     = flag.Float64("eps", 0.05, "accuracy parameter")
+	alpha   = flag.Float64("alpha", 4, "assumed alpha")
+	k       = flag.Int("k", 16, "support sample size")
+	seed    = flag.Int64("seed", 1, "random seed")
+)
+
+func main() {
+	flag.Parse()
+	updates, fileN, err := readStream(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bdquery: %v\n", err)
+		os.Exit(1)
+	}
+	universe := *n
+	if universe == 0 {
+		universe = fileN
+	}
+	if universe == 0 {
+		for _, u := range updates {
+			if u.Index >= universe {
+				universe = u.Index + 1
+			}
+		}
+	}
+	if universe < 2 {
+		universe = 2
+	}
+
+	truth := bounded.NewTracker(universe)
+	cfg := bounded.Config{N: universe, Eps: *eps, Alpha: *alpha, Seed: *seed}
+
+	switch *problem {
+	case "alpha":
+		for _, u := range updates {
+			truth.Update(u)
+		}
+		fmt.Printf("updates        : %d (m = %d unit updates)\n", len(updates), truth.M)
+		fmt.Printf("L1 alpha       : %.3f\n", truth.AlphaL1())
+		fmt.Printf("L0 alpha       : %.3f\n", truth.AlphaL0())
+		fmt.Printf("strong alpha   : %.3f\n", truth.StrongAlpha())
+		fmt.Printf("strict         : %v\n", truth.Strict)
+		fmt.Printf("||f||_1, ||f||_0: %d, %d\n", truth.F.L1(), truth.F.L0())
+	case "hh":
+		h := bounded.NewHeavyHitters(cfg, true)
+		for _, u := range updates {
+			h.Update(u.Index, u.Delta)
+			truth.Update(u)
+		}
+		fmt.Printf("detected: %v\n", h.HeavyHitters())
+		fmt.Printf("true    : %v\n", truth.F.HeavyHitters(*eps))
+		fmt.Printf("space   : %d bits\n", h.SpaceBits())
+	case "l2hh":
+		h := bounded.NewL2HeavyHitters(cfg)
+		for _, u := range updates {
+			h.Update(u.Index, u.Delta)
+			truth.Update(u)
+		}
+		fmt.Printf("detected: %v\n", h.HeavyHitters())
+		fmt.Printf("true    : %v\n", truth.F.L2HeavyHitters(*eps))
+		fmt.Printf("space   : %d bits\n", h.SpaceBits())
+	case "l1":
+		e := bounded.NewL1Estimator(cfg, true, 0.05)
+		for _, u := range updates {
+			e.Update(u.Index, u.Delta)
+			truth.Update(u)
+		}
+		fmt.Printf("estimate: %.0f (true %d)\n", e.Estimate(), truth.F.L1())
+		fmt.Printf("space   : %d bits\n", e.SpaceBits())
+	case "l0":
+		e := bounded.NewL0Estimator(cfg)
+		for _, u := range updates {
+			e.Update(u.Index, u.Delta)
+			truth.Update(u)
+		}
+		fmt.Printf("estimate: %.0f (true %d)\n", e.Estimate(), truth.F.L0())
+		fmt.Printf("rows    : %d live\n", e.LiveRows())
+		fmt.Printf("space   : %d bits\n", e.SpaceBits())
+	case "sample":
+		sp := bounded.NewL1Sampler(cfg, 0)
+		for _, u := range updates {
+			sp.Update(u.Index, u.Delta)
+			truth.Update(u)
+		}
+		if res, ok := sp.Sample(); ok {
+			fmt.Printf("sample  : index %d, estimate %.1f (true %d)\n",
+				res.Index, res.Estimate, truth.F[res.Index])
+		} else {
+			fmt.Println("sample  : FAIL")
+		}
+		fmt.Printf("space   : %d bits\n", sp.SpaceBits())
+	case "support":
+		sp := bounded.NewSupportSampler(cfg, *k)
+		for _, u := range updates {
+			sp.Update(u.Index, u.Delta)
+			truth.Update(u)
+		}
+		got := sp.Recover()
+		valid := 0
+		for _, i := range got {
+			if truth.F[i] != 0 {
+				valid++
+			}
+		}
+		fmt.Printf("recovered: %d coordinates (%d verified, ||f||_0 = %d)\n",
+			len(got), valid, truth.F.L0())
+		fmt.Printf("space    : %d bits\n", sp.SpaceBits())
+	default:
+		fmt.Fprintf(os.Stderr, "bdquery: unknown problem %q\n", *problem)
+		os.Exit(2)
+	}
+}
+
+func readStream(path string) ([]bounded.Update, uint64, error) {
+	f := os.Stdin
+	if path != "" {
+		var err error
+		f, err = os.Open(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+	}
+	var updates []bounded.Update
+	var fileN uint64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fmt.Sscanf(line, "# kind=%*s n=%d", &fileN)
+			continue
+		}
+		var u stream.Update
+		if _, err := fmt.Sscanf(line, "%d %d", &u.Index, &u.Delta); err != nil {
+			return nil, 0, fmt.Errorf("bad line %q: %v", line, err)
+		}
+		updates = append(updates, u)
+	}
+	return updates, fileN, sc.Err()
+}

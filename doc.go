@@ -1,0 +1,52 @@
+// Package bounded is a from-scratch Go implementation of the algorithms
+// in "Data Streams with Bounded Deletions" (Rajesh Jayaram and David P.
+// Woodruff, PODS 2018, arXiv:1803.08777).
+//
+// # The model
+//
+// A data stream over a universe [n] is a sequence of updates
+// (i, delta) applied to a frequency vector f. Splitting f = I - D into
+// the insertion vector I and deletion-magnitude vector D, a stream has
+// the L_p alpha-property when
+//
+//	||I + D||_p <= alpha * ||f||_p
+//
+// at query time (Definition 1). alpha = 1 is the insertion-only model;
+// alpha = poly(n) is the unrestricted turnstile model. Real deletion
+// workloads — network traffic differences, file synchronization,
+// sensor occupancy — sit at small alpha, and there the paper replaces a
+// log(n) factor in the space complexity of most fundamental streaming
+// problems with log(alpha):
+//
+//	problem            turnstile lower bound      alpha-property here
+//	eps-heavy hitters  eps^-1 log^2 n             eps^-1 log n log alpha
+//	inner product      eps^-1 log n               eps^-1 log alpha
+//	L1 estimation      log n                      log alpha
+//	L0 estimation      eps^-2 log n               eps^-2 log alpha + log n
+//	L1 sampling        log^2 n                    log n log alpha
+//	support sampling   k log^2 n                  k log n log alpha
+//
+// # What this package provides
+//
+// One constructor per Figure 1 row, each wrapping the paper's algorithm
+// for that problem (and each internal package also ships the
+// unbounded-deletion baseline the paper compares against):
+//
+//   - NewHeavyHitters — Section 3 (CSSS, Figure 2)
+//   - NewL1Estimator — Figure 4 (strict) / Theorem 8 (general)
+//   - NewL0Estimator — Figure 7 (windowed KNW matrix)
+//   - NewL1Sampler — Figure 3 (precision sampling over CSSS)
+//   - NewSupportSampler — Figure 8 (windowed sparse recovery)
+//   - NewInnerProduct — Theorem 2 (sampled, universe-reduced sketches)
+//   - NewL2HeavyHitters — Appendix A
+//   - NewTracker — exact alpha-property measurement (Definitions 1, 2)
+//
+// Every structure reports SpaceBits(), an information-theoretic space
+// account in the paper's cost model, which the benchmark harness uses
+// to regenerate Figure 1 empirically. All randomness is seeded and
+// deterministic.
+//
+// See DESIGN.md for the system inventory and the laptop-scale parameter
+// substitutions, and EXPERIMENTS.md for measured results per table and
+// figure.
+package bounded

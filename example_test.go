@@ -1,0 +1,93 @@
+package bounded_test
+
+import (
+	"fmt"
+	"sort"
+
+	bounded "repro"
+)
+
+// ExampleNewHeavyHitters sketches a strict-turnstile stream with one hot
+// key and churny background traffic, then asks for the 10%-heavy items.
+func ExampleNewHeavyHitters() {
+	cfg := bounded.Config{N: 1 << 16, Eps: 0.1, Alpha: 4, Seed: 1}
+	hh := bounded.NewHeavyHitters(cfg, true)
+	for i := 0; i < 3000; i++ {
+		hh.Update(uint64(i%100), 2)  // background inserts
+		hh.Update(uint64(i%100), -1) // bounded churn: half deleted
+		hh.Update(4242, 1)           // the hot key
+	}
+	fmt.Println(hh.HeavyHitters())
+	// Output: [4242]
+}
+
+// ExampleNewL1Estimator estimates the L1 norm of a bounded-deletion
+// stream exactly in the unsampled regime.
+func ExampleNewL1Estimator() {
+	cfg := bounded.Config{N: 1 << 10, Eps: 0.1, Alpha: 2, Seed: 1}
+	e := bounded.NewL1Estimator(cfg, true, 0.05)
+	for i := uint64(0); i < 100; i++ {
+		e.Update(i, 10)
+		e.Update(i, -4)
+	}
+	fmt.Printf("%.0f\n", e.Estimate())
+	// Output: 600
+}
+
+// ExampleNewL0Estimator counts live sensors exactly while their number
+// is small (the exact small-L0 path of Lemma 19).
+func ExampleNewL0Estimator() {
+	cfg := bounded.Config{N: 1 << 20, Eps: 0.2, Alpha: 4, Seed: 1}
+	e := bounded.NewL0Estimator(cfg)
+	for i := uint64(0); i < 80; i++ {
+		e.Update(i*1000, 1)
+	}
+	for i := uint64(0); i < 30; i++ {
+		e.Update(i*1000, -1) // these sensors go dark
+	}
+	fmt.Printf("%.0f\n", e.Estimate())
+	// Output: 50
+}
+
+// ExampleNewSyncSketch plays the remote-differential-compression
+// exchange: two peers sketch their file's chunk hashes with a shared
+// seed, one ships its sketch, and the receiver decodes exactly the
+// differing chunks.
+func ExampleNewSyncSketch() {
+	cfg := bounded.Config{N: 1 << 20, Seed: 99, Eps: 0.1, Alpha: 2}
+	client := bounded.NewSyncSketch(cfg, 8)
+	server := bounded.NewSyncSketch(cfg, 8)
+
+	for _, chunk := range []uint64{10, 20, 30, 40} { // client's file
+		client.Update(chunk, 1)
+	}
+	for _, chunk := range []uint64{10, 20, 31, 40} { // server's file
+		server.Update(chunk, 1)
+	}
+
+	wire, _ := client.MarshalBinary()
+	_ = server.SubRemote(wire)
+	diff, _ := server.Decode()
+
+	var ids []uint64
+	for id := range diff {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		fmt.Println(id, diff[id])
+	}
+	// Output:
+	// 30 -1
+	// 31 1
+}
+
+// ExampleNewTracker measures a stream's alpha-properties exactly.
+func ExampleNewTracker() {
+	tr := bounded.NewTracker(16)
+	tr.Update(bounded.Update{Index: 1, Delta: 6})
+	tr.Update(bounded.Update{Index: 2, Delta: 2})
+	tr.Update(bounded.Update{Index: 1, Delta: -2})
+	fmt.Printf("alpha=%.2f strict=%v L1=%d\n", tr.AlphaL1(), tr.Strict, tr.F.L1())
+	// Output: alpha=1.67 strict=true L1=6
+}

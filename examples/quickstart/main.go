@@ -1,0 +1,63 @@
+// Quickstart: sketch a bounded-deletion stream and ask the three most
+// common questions — who is heavy, how big is the stream, and draw a
+// representative element.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	bounded "repro"
+)
+
+func main() {
+	const (
+		n     = 1 << 16 // universe size
+		alpha = 4       // deletion budget: ||I+D||_1 <= alpha ||f||_1
+		eps   = 0.05
+	)
+	cfg := bounded.Config{N: n, Eps: eps, Alpha: alpha, Seed: 1}
+
+	hh := bounded.NewHeavyHitters(cfg, true) // strict turnstile
+	l1 := bounded.NewL1Estimator(cfg, true, 0.05)
+	// Each sampler instance succeeds with probability Theta(eps); 32
+	// parallel copies push the failure probability below a percent.
+	smp := bounded.NewL1Sampler(bounded.Config{N: n, Eps: 0.25, Alpha: alpha, Seed: 2}, 32)
+	truth := bounded.NewTracker(n)
+
+	// A synthetic session: one hot key, lots of churn below it.
+	rng := rand.New(rand.NewSource(3))
+	feed := func(i uint64, d int64) {
+		hh.Update(i, d)
+		l1.Update(i, d)
+		smp.Update(i, d)
+		truth.Update(bounded.Update{Index: i, Delta: d})
+	}
+	for t := 0; t < 50000; t++ {
+		feed(uint64(rng.Intn(2000)), 1) // background inserts
+		if t%2 == 0 {
+			feed(uint64(rng.Intn(2000)), 1)
+			// ... and delete one of the background keys again: bounded
+			// deletions, not unbounded churn.
+			feed(uint64(rng.Intn(2000)), -1)
+		}
+		if t%10 == 0 {
+			feed(42424, 1) // the hot key
+		}
+	}
+
+	fmt.Println("== quickstart ==")
+	fmt.Printf("stream alpha (measured)  : %.2f\n", truth.AlphaL1())
+	fmt.Printf("true ||f||_1             : %d\n", truth.F.L1())
+	fmt.Printf("estimated ||f||_1        : %.0f   (%d bits)\n", l1.Estimate(), l1.SpaceBits())
+	fmt.Printf("true heavy hitters       : %v\n", truth.F.HeavyHitters(eps))
+	fmt.Printf("detected heavy hitters   : %v   (%d bits)\n", hh.HeavyHitters(), hh.SpaceBits())
+	if s, ok := smp.Sample(); ok {
+		fmt.Printf("L1 sample                : index %d, estimate %.0f (true %d)\n",
+			s.Index, s.Estimate, truth.F[s.Index])
+	} else {
+		fmt.Println("L1 sample                : FAIL (retry with more copies)")
+	}
+}

@@ -1,0 +1,291 @@
+package bounded
+
+// Cross-module integration tests: the Section 8 adversarial instances
+// run against the public API, out-of-model (unbounded deletion) inputs,
+// and end-to-end pipelines combining several structures on one stream.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestAdversarialIndThroughPublicAPI: the augmented-indexing instance
+// from the heavy hitters lower bound (Theorem 12) is decoded exactly by
+// the public heavy hitters structure — the reduction the paper uses to
+// prove hardness is solvable by its own upper bound, as it must be.
+func TestAdversarialIndThroughPublicAPI(t *testing.T) {
+	for level := 1; level <= 3; level++ {
+		inst := gen.AdversarialInd(7, 1<<16, 0.05, 1000, level)
+		// The instance has strong alpha ~ O(alpha^2); pass that bound.
+		hh := NewHeavyHitters(Config{N: 1 << 16, Eps: 0.05, Alpha: 1e6, Seed: int64(level)}, true)
+		for _, u := range inst.Stream.Updates {
+			hh.Update(u.Index, u.Delta)
+		}
+		got := hh.HeavyHitters()
+		if r := core.Recall(got, inst.Answer); r < 1 {
+			t.Errorf("level %d: recall %.2f, want 1.0", level, r)
+		}
+		if p := core.Precision(got, inst.Answer); p < 1 {
+			t.Errorf("level %d: precision %.2f, want 1.0", level, p)
+		}
+	}
+}
+
+// TestTurnstileContrastDegradesGracefully: on an out-of-model stream
+// (alpha ~ m, near-total cancellation) the alpha-structures must not
+// crash or return garbage silently huge — the L1 estimate may be off,
+// but stays finite and nonnegative, and HH returns no false heavies
+// above the real threshold.
+func TestTurnstileContrastDegradesGracefully(t *testing.T) {
+	s := gen.Turnstile(gen.Config{N: 1 << 12, Items: 50000, Alpha: 1, Seed: 9})
+	tr := NewTracker(1 << 12)
+	tr.Consume(s)
+	if tr.AlphaL1() < 1000 {
+		t.Fatalf("contrast stream alpha %.0f not extreme", tr.AlphaL1())
+	}
+	e := NewL1Estimator(Config{N: 1 << 12, Eps: 0.2, Alpha: 4, Seed: 10}, true, 0.1)
+	hh := NewHeavyHitters(Config{N: 1 << 12, Eps: 0.1, Alpha: 4, Seed: 11}, true)
+	for _, u := range s.Updates {
+		e.Update(u.Index, u.Delta)
+		hh.Update(u.Index, u.Delta)
+	}
+	if est := e.Estimate(); math.IsNaN(est) || math.IsInf(est, 0) || est < 0 {
+		t.Errorf("L1 estimate degenerate: %v", est)
+	}
+	_ = hh.HeavyHitters() // must not panic
+}
+
+// TestPipelineSharedStream: several structures consuming one stream
+// agree with ground truth simultaneously (catches cross-structure rng
+// interference bugs).
+func TestPipelineSharedStream(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 1 << 14, Items: 60000, Alpha: 4, Zipf: 1.4, Seed: 12})
+	tr := NewTracker(1 << 14)
+	tr.Consume(s)
+
+	cfg := Config{N: 1 << 14, Eps: 0.05, Alpha: 4, Seed: 13}
+	hh := NewHeavyHitters(cfg, true)
+	l1e := NewL1Estimator(Config{N: 1 << 14, Eps: 0.2, Alpha: 4, Seed: 14}, true, 0.1)
+	l0e := NewL0Estimator(Config{N: 1 << 14, Eps: 0.15, Alpha: 4, Seed: 15})
+	sup := NewSupportSampler(Config{N: 1 << 14, Eps: 0.1, Alpha: 4, Seed: 16}, 8)
+	for _, u := range s.Updates {
+		hh.Update(u.Index, u.Delta)
+		l1e.Update(u.Index, u.Delta)
+		l0e.Update(u.Index, u.Delta)
+		sup.Update(u.Index, u.Delta)
+	}
+	if r := core.Recall(hh.HeavyHitters(), tr.F.HeavyHitters(0.05)); r < 1 {
+		t.Errorf("pipeline HH recall %.2f", r)
+	}
+	if err := core.RelErr(l1e.Estimate(), float64(tr.F.L1())); err > 0.35 {
+		t.Errorf("pipeline L1 relErr %.3f", err)
+	}
+	if err := core.RelErr(l0e.Estimate(), float64(tr.F.L0())); err > 0.4 {
+		t.Errorf("pipeline L0 relErr %.3f", err)
+	}
+	got := sup.Recover()
+	if len(got) < 8 {
+		t.Errorf("pipeline support recovered %d < 8", len(got))
+	}
+	for _, i := range got {
+		if tr.F[i] == 0 {
+			t.Errorf("pipeline support returned non-support coordinate %d", i)
+		}
+	}
+}
+
+// TestLargeDeltaEquivalence: magnitude-scaled streams preserve answers
+// (the chunked update paths must agree with unit expansion semantics).
+func TestLargeDeltaEquivalence(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 256, Items: 20000, Alpha: 2, Seed: 17})
+	want := float64(s.Materialize().L1())
+	const mult = 1 << 30
+	e := NewL1Estimator(Config{N: 256, Eps: 0.2, Alpha: 2, Seed: 18}, true, 0.1)
+	for _, u := range s.Updates {
+		e.Update(u.Index, u.Delta*mult)
+	}
+	got := e.Estimate() / mult
+	if core.RelErr(got, want) > 0.4 {
+		t.Errorf("magnitude-scaled estimate %.0f, want %.0f", got, want)
+	}
+}
+
+// TestSeedDeterminism: identical configs on identical streams produce
+// identical answers.
+func TestSeedDeterminism(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 1 << 12, Items: 20000, Alpha: 4, Seed: 19})
+	run := func() ([]uint64, float64) {
+		cfg := Config{N: 1 << 12, Eps: 0.05, Alpha: 4, Seed: 20}
+		hh := NewHeavyHitters(cfg, true)
+		l0e := NewL0Estimator(Config{N: 1 << 12, Eps: 0.2, Alpha: 4, Seed: 21})
+		for _, u := range s.Updates {
+			hh.Update(u.Index, u.Delta)
+			l0e.Update(u.Index, u.Delta)
+		}
+		return hh.HeavyHitters(), l0e.Estimate()
+	}
+	h1, e1 := run()
+	h2, e2 := run()
+	if e1 != e2 {
+		t.Errorf("L0 estimates differ across identical runs: %v vs %v", e1, e2)
+	}
+	if len(h1) != len(h2) {
+		t.Fatalf("HH results differ: %v vs %v", h1, h2)
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("HH results differ: %v vs %v", h1, h2)
+		}
+	}
+}
+
+// TestNetworkDifferencePipeline: the paper's flagship application end
+// to end through the public API — difference HH + inner product on the
+// same snapshot pair.
+func TestNetworkDifferencePipeline(t *testing.T) {
+	f1, f2 := gen.NetworkPair(gen.Config{N: 1 << 16, Items: 50000, Alpha: 1, Seed: 22}, 0.05)
+	// Plant an attack flow in f2.
+	f2.Updates = append(f2.Updates, Update{Index: 1<<16 - 1, Delta: 600})
+	d := gen.Difference(f1, f2)
+	tr := NewTracker(1 << 16)
+	tr.Consume(d)
+
+	hh := NewHeavyHitters(Config{N: 1 << 16, Eps: 0.05, Alpha: tr.AlphaL1() + 1, Seed: 23}, false)
+	for _, u := range d.Updates {
+		hh.Update(u.Index, u.Delta)
+	}
+	found := false
+	for _, i := range hh.HeavyHitters() {
+		if i == 1<<16-1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missed the planted attack flow in the difference stream")
+	}
+
+	ip := NewInnerProduct(Config{N: 1 << 16, Eps: 0.1, Alpha: 2, Seed: 24})
+	t1 := NewTracker(1 << 16)
+	t2 := NewTracker(1 << 16)
+	for _, u := range f1.Updates {
+		ip.UpdateF(u.Index, u.Delta)
+		t1.Update(u)
+	}
+	for _, u := range f2.Updates {
+		ip.UpdateG(u.Index, u.Delta)
+		t2.Update(u)
+	}
+	want := float64(t1.F.Inner(t2.F))
+	budget := 0.15 * float64(t1.F.L1()) * float64(t2.F.L1())
+	if math.Abs(ip.Estimate()-want) > budget {
+		t.Errorf("inner product %.0f, want %.0f +- %.0f", ip.Estimate(), want, budget)
+	}
+}
+
+// TestEqualityViaL1Estimator — Theorem 13's reduction run against our
+// upper bound: the unequal instance drives coordinates negative, so it
+// is a general turnstile stream (which is the model Theorem 13 prices
+// at Omega(log n)); a (1 +- 1/16) general L1 estimate decides EQUALITY
+// on the alpha = 3/2 instance.
+func TestEqualityViaL1Estimator(t *testing.T) {
+	const n = 1 << 12
+	decide := func(seed int64, equal bool) bool {
+		inst := gen.AdversarialEquality(seed, n, equal)
+		e := NewL1Estimator(Config{N: n, Eps: 0.08, Alpha: 2, Seed: seed + 100}, false, 0)
+		for _, u := range inst.Stream.Updates {
+			e.Update(u.Index, u.Delta)
+		}
+		return e.Estimate() < float64(inst.L1Threshold)
+	}
+	okEq, okNe := 0, 0
+	const reps = 10
+	for r := int64(0); r < reps; r++ {
+		if decide(r, true) {
+			okEq++
+		}
+		if !decide(r+50, false) {
+			okNe++
+		}
+	}
+	if okEq < reps*8/10 || okNe < reps*8/10 {
+		t.Errorf("equality decided correctly eq=%d/%d ne=%d/%d", okEq, reps, okNe, reps)
+	}
+}
+
+// TestGapHammingViaL1Estimator — Theorem 14's reduction: the instance's
+// frequency vector takes values in {-1, 0, +1}, so it is a GENERAL
+// turnstile stream (the strict estimator's signed sum would read ~0);
+// deciding the +-2 sqrt(n) gap around n/2 demands eps ~ 1/sqrt(n)
+// relative L1 accuracy from the general-turnstile estimator, which is
+// exactly the eps^-2 log(alpha) cost the theorem prices.
+func TestGapHammingViaL1Estimator(t *testing.T) {
+	const n = 1 << 10 // gap 2 sqrt(n) = 64 on L1 ~ 512: 12.5% relative
+	correct := 0
+	const reps = 10
+	for r := int64(0); r < reps; r++ {
+		far := r%2 == 0
+		inst := gen.AdversarialGapHamming(r, n, far)
+		e := NewL1Estimator(Config{N: n, Eps: 0.05, Alpha: 4, Seed: r + 200}, false, 0)
+		for _, u := range inst.Stream.Updates {
+			e.Update(u.Index, u.Delta)
+		}
+		if (e.Estimate() > inst.Threshold) == far {
+			correct++
+		}
+	}
+	if correct < reps*7/10 {
+		t.Errorf("gap-hamming decided correctly %d/%d", correct, reps)
+	}
+}
+
+// TestSupportLBViaSampler — Theorem 20's reduction: a support sampler's
+// output identifies the dominant planted block.
+func TestSupportLBViaSampler(t *testing.T) {
+	const n = 1 << 16
+	inst := gen.AdversarialSupport(9, n, 8, 6)
+	sp := NewSupportSampler(Config{N: n, Eps: 0.1, Alpha: 16, Seed: 10}, 16)
+	for _, u := range inst.Stream.Updates {
+		sp.Update(u.Index, u.Delta)
+	}
+	got := sp.Recover()
+	if len(got) == 0 {
+		t.Fatal("no support recovered")
+	}
+	inBlock := 0
+	for _, i := range got {
+		if inst.Block[i] {
+			inBlock++
+		}
+	}
+	if inBlock*10 < len(got)*4 {
+		t.Errorf("only %d/%d recovered ids in the dominant block", inBlock, len(got))
+	}
+}
+
+// TestInnerProductLBViaEstimator — Theorem 21's reduction: the
+// inner-product estimate decodes the planted bit at the probe
+// coordinate.
+func TestInnerProductLBViaEstimator(t *testing.T) {
+	const n = 1 << 12
+	correct := 0
+	const reps = 10
+	for r := int64(0); r < reps; r++ {
+		inst := gen.AdversarialInnerProduct(r, n, 0.05, 4, 2)
+		ip := NewInnerProduct(Config{N: n, Eps: 0.02, Alpha: 2, Seed: r + 300})
+		for _, u := range inst.F.Updates {
+			ip.UpdateF(u.Index, u.Delta)
+		}
+		for _, u := range inst.G.Updates {
+			ip.UpdateG(u.Index, u.Delta)
+		}
+		if (ip.Estimate() > inst.Threshold) == inst.Bit {
+			correct++
+		}
+	}
+	if correct < reps*8/10 {
+		t.Errorf("inner-product bit decoded correctly %d/%d", correct, reps)
+	}
+}

@@ -1,0 +1,365 @@
+// Package cauchy implements the 1-stable (Cauchy) linear sketches used
+// for general-turnstile L1 estimation:
+//
+//   - Sketch is the unbounded-deletion baseline of the paper's Figure 5
+//     (Kane-Nelson-Woodruff): maintain y = Af and y' = A'f for Cauchy
+//     matrices A (r = Theta(1/eps^2) rows, k-wise independent entries)
+//     and A' (r' = Theta(1) rows); output
+//
+//     L~ = y'med * ( -ln( (1/r) * sum_i cos(y_i / y'med) ) )
+//
+//     where y'med = median |y'_i| (Theorem 7). The median of |y'| alone is
+//     Indyk's estimator, exposed as MedianEstimate and used wherever the
+//     paper needs a constant-factor L1 (Fact 1).
+//
+//   - SampledSketch is the alpha-property variant of Theorem 8: the same
+//     estimator computed from counters that only see a uniform sample of
+//     poly(alpha/eps) updates, maintained with the exponential-interval
+//     double-buffer schedule, so each counter needs O(log(alpha log n /
+//     eps)) bits rather than O(log n).
+//
+// Cauchy variables are derandomized exactly as in the paper: the entry
+// A_{j,i} is tan(pi * (u - 1/2)) for u drawn k-wise independently from
+// a single polynomial hash over the combined key (row, item) — one seed
+// of O(k log n) bits generates the whole matrix, the paper's Lemma 12.
+package cauchy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hash"
+	"repro/internal/nt"
+	"repro/internal/sample"
+)
+
+// rowKeyBits bounds the universe: identities must fit in 44 bits so the
+// (row, item) pair packs into one 61-bit field element.
+const rowKeyBits = 44
+
+// entryKey packs (row j, item i) into a single hash key.
+func entryKey(j int, i uint64) uint64 {
+	return uint64(j)<<rowKeyBits | (i & (1<<rowKeyBits - 1))
+}
+
+// cauchyFromUnit maps u in (0,1] to a standard Cauchy variable,
+// clamped to avoid the measure-zero pole at u = 1 (u - 1/2 = 1/2).
+func cauchyFromUnit(u float64) float64 {
+	x := math.Tan(math.Pi * (u - 0.5))
+	const clamp = 1e12
+	if x > clamp {
+		return clamp
+	}
+	if x < -clamp {
+		return -clamp
+	}
+	return x
+}
+
+// Sketch is the Figure 5 baseline: dense Cauchy counters over the whole
+// stream.
+type Sketch struct {
+	r, rPrime int
+	hA        *hash.KWise // generates A entries, k-wise
+	hAPrime   *hash.KWise // generates A' entries, 4-wise
+	y         []float64
+	yPrime    []float64
+	maxAbs    float64
+	m         int64
+}
+
+// NewSketch builds the baseline with r main rows (use Theta(1/eps^2)),
+// rPrime median rows (Theta(1); more rows tighten the constant-factor
+// median estimate), and independence k (Theta(log(1/eps)/loglog(1/eps));
+// k >= 4 suffices for the regimes exercised here).
+func NewSketch(rng *rand.Rand, r, rPrime, k int) *Sketch {
+	if r < 1 || rPrime < 1 || k < 2 {
+		panic(fmt.Sprintf("cauchy: invalid dims r=%d r'=%d k=%d", r, rPrime, k))
+	}
+	return &Sketch{
+		r: r, rPrime: rPrime,
+		hA:      hash.NewKWise(rng, k),
+		hAPrime: hash.NewKWise(rng, 4),
+		y:       make([]float64, r),
+		yPrime:  make([]float64, rPrime),
+	}
+}
+
+// entryA returns A_{j,i}.
+func (s *Sketch) entryA(j int, i uint64) float64 {
+	return cauchyFromUnit(s.hA.Unit(entryKey(j, i)))
+}
+
+// entryAPrime returns A'_{j,i}.
+func (s *Sketch) entryAPrime(j int, i uint64) float64 {
+	return cauchyFromUnit(s.hAPrime.Unit(entryKey(j, i)))
+}
+
+// Update adds delta to coordinate i of the underlying frequency vector.
+func (s *Sketch) Update(i uint64, delta int64) {
+	d := float64(delta)
+	s.m += absInt64(delta)
+	for j := range s.y {
+		s.y[j] += s.entryA(j, i) * d
+		if a := math.Abs(s.y[j]); a > s.maxAbs {
+			s.maxAbs = a
+		}
+	}
+	for j := range s.yPrime {
+		s.yPrime[j] += s.entryAPrime(j, i) * d
+		if a := math.Abs(s.yPrime[j]); a > s.maxAbs {
+			s.maxAbs = a
+		}
+	}
+}
+
+// MedianEstimate returns Indyk's estimator median(|y'_j|): a constant-
+// factor approximation of ||f||_1 with the r' rows, the "Fact 1" rough
+// estimate the heavy-hitters algorithm needs.
+func (s *Sketch) MedianEstimate() float64 {
+	return medianAbs(s.yPrime)
+}
+
+// LnCosEstimate returns the Figure 5 estimator. It falls back to the
+// median estimate when the cosine average is nonpositive (possible only
+// in the extreme tail for small r).
+func (s *Sketch) LnCosEstimate() float64 {
+	return lnCos(s.y, medianAbs(s.yPrime))
+}
+
+// lnCos computes ymed * (-ln((1/r) sum cos(y_i/ymed))) with guards.
+func lnCos(y []float64, ymed float64) float64 {
+	if ymed <= 0 {
+		return 0
+	}
+	var acc float64
+	for _, v := range y {
+		acc += math.Cos(v / ymed)
+	}
+	acc /= float64(len(y))
+	if acc <= 0 {
+		// Out-of-theory regime; the median estimate is still a constant
+		// factor answer, so return it rather than NaN.
+		return ymed
+	}
+	return ymed * (-math.Log(acc))
+}
+
+// MaxCounterBits returns the fixed-point width one dense counter needs:
+// log2(1+max|y|) magnitude bits plus the paper's delta = Theta(eps/m)
+// precision bits (Lemma 12) plus a sign — the O(log n) width Figure 1
+// row 5 charges the baseline.
+func (s *Sketch) MaxCounterBits() int64 {
+	const precisionBits = 20
+	return int64(nt.BitsFor(uint64(s.maxAbs))) + precisionBits + 1
+}
+
+// SpaceBits charges every counter at MaxCounterBits plus the two shared
+// matrix seeds.
+func (s *Sketch) SpaceBits() int64 {
+	seeds := s.hA.SpaceBits() + s.hAPrime.SpaceBits()
+	return int64(s.r+s.rPrime)*s.MaxCounterBits() + seeds
+}
+
+// SampledSketch is the alpha-property L1 estimator of Theorem 8: Cauchy
+// counters fed only with sampled updates, using the interval schedule
+// I_j = [s^j, s^{j+2}] so the final estimate comes from a level that
+// sampled at rate >= base/(2m) over a (1 - O(1/base))-suffix of the
+// stream.
+type SampledSketch struct {
+	r, rPrime int
+	hA        *hash.KWise
+	hAPrime   *hash.KWise
+	base      int64 // interval base s
+	fpBits    uint
+	t         int64
+	levels    map[int]*sampledLevel
+	rng       *rand.Rand
+	maxCount  int64
+}
+
+type sampledLevel struct {
+	j      int
+	start  int64
+	y      []int64 // fixed-point sampled Cauchy sums
+	yPrime []int64
+}
+
+// NewSampledSketch builds the Theorem 8 estimator. base is the interval
+// base s: the level answering a query at time m has sampled between
+// base/m and base^2/m of the suffix, so base sets the sample budget (the
+// paper's s = poly(alpha/eps); DESIGN.md section 5 records the constant
+// scaling). fpBits is the fixed-point resolution of sampled Cauchy
+// contributions.
+func NewSampledSketch(rng *rand.Rand, r, rPrime, k int, base int64, fpBits uint) *SampledSketch {
+	if base < 4 {
+		panic("cauchy: interval base must be >= 4")
+	}
+	if r < 1 || rPrime < 1 || k < 2 {
+		panic(fmt.Sprintf("cauchy: invalid dims r=%d r'=%d k=%d", r, rPrime, k))
+	}
+	return &SampledSketch{
+		r: r, rPrime: rPrime, base: base, fpBits: fpBits,
+		hA:      hash.NewKWise(rng, k),
+		hAPrime: hash.NewKWise(rng, 4),
+		levels:  make(map[int]*sampledLevel),
+		rng:     rng,
+	}
+}
+
+// Update feeds an update, expanding |delta| into unit updates (each unit
+// sampled independently at every live level's rate).
+func (s *SampledSketch) Update(i uint64, delta int64) {
+	mag := absInt64(delta)
+	sign := int64(1)
+	if delta < 0 {
+		sign = -1
+	}
+	for u := int64(0); u < mag; u++ {
+		s.t++
+		s.syncLevels()
+		for _, lv := range s.levels {
+			if !s.sampleAtLevel(lv.j) {
+				continue
+			}
+			s.addTo(lv, i, sign)
+		}
+	}
+}
+
+// sampleAtLevel draws one Bernoulli(base^-j) decision.
+func (s *SampledSketch) sampleAtLevel(j int) bool {
+	if j == 0 {
+		return true
+	}
+	denom := sample.Pow(s.base, j)
+	return s.rng.Int63n(denom) == 0
+}
+
+func (s *SampledSketch) addTo(lv *sampledLevel, i uint64, sign int64) {
+	unit := float64(int64(1) << s.fpBits)
+	for j := range lv.y {
+		c := int64(math.Round(cauchyFromUnit(s.hA.Unit(entryKey(j, i))) * unit))
+		lv.y[j] += sign * c
+		if a := absInt64(lv.y[j]); a > s.maxCount {
+			s.maxCount = a
+		}
+	}
+	for j := range lv.yPrime {
+		c := int64(math.Round(cauchyFromUnit(s.hAPrime.Unit(entryKey(j, i))) * unit))
+		lv.yPrime[j] += sign * c
+		if a := absInt64(lv.yPrime[j]); a > s.maxCount {
+			s.maxCount = a
+		}
+	}
+}
+
+// syncLevels creates/destroys level sketches per the interval schedule.
+func (s *SampledSketch) syncLevels() {
+	lo, hi := sample.ActiveLevels(s.t, s.base)
+	for j := range s.levels {
+		if j < lo || j > hi {
+			delete(s.levels, j)
+		}
+	}
+	for j := lo; j <= hi; j++ {
+		if _, ok := s.levels[j]; !ok {
+			s.levels[j] = &sampledLevel{
+				j:      j,
+				start:  s.t,
+				y:      make([]int64, s.r),
+				yPrime: make([]int64, s.rPrime),
+			}
+		}
+	}
+}
+
+// oldest returns the level that has been live longest (smallest j).
+func (s *SampledSketch) oldest() *sampledLevel {
+	var best *sampledLevel
+	for _, lv := range s.levels {
+		if best == nil || lv.j < best.j {
+			best = lv
+		}
+	}
+	return best
+}
+
+// Estimate returns the ln-cos L1 estimate from the oldest live level,
+// rescaled by its sampling rate.
+func (s *SampledSketch) Estimate() float64 {
+	lv := s.oldest()
+	if lv == nil {
+		return 0
+	}
+	scale := float64(sample.Pow(s.base, lv.j)) / float64(int64(1)<<s.fpBits)
+	y := make([]float64, len(lv.y))
+	for i, v := range lv.y {
+		y[i] = float64(v) * scale
+	}
+	yp := make([]float64, len(lv.yPrime))
+	for i, v := range lv.yPrime {
+		yp[i] = float64(v) * scale
+	}
+	return lnCos(y, medianAbs(yp))
+}
+
+// MedianEstimate returns the constant-factor Indyk estimate from the
+// oldest live level.
+func (s *SampledSketch) MedianEstimate() float64 {
+	lv := s.oldest()
+	if lv == nil {
+		return 0
+	}
+	scale := float64(sample.Pow(s.base, lv.j)) / float64(int64(1)<<s.fpBits)
+	yp := make([]float64, len(lv.yPrime))
+	for i, v := range lv.yPrime {
+		yp[i] = float64(v) * scale
+	}
+	return medianAbs(yp)
+}
+
+// MaxCounterBits returns the width of the widest sampled counter — the
+// O(log(alpha log n / eps)) width Theorem 8 buys, to contrast with the
+// dense Sketch.MaxCounterBits.
+func (s *SampledSketch) MaxCounterBits() int64 {
+	return int64(nt.BitsFor(uint64(s.maxCount))) + 1
+}
+
+// SpaceBits charges the live sampled counters at their observed widths
+// plus the matrix seeds and the position counter.
+func (s *SampledSketch) SpaceBits() int64 {
+	perCounter := s.MaxCounterBits()
+	var counters int64
+	for _, lv := range s.levels {
+		counters += int64(len(lv.y)+len(lv.yPrime)) * perCounter
+	}
+	seeds := s.hA.SpaceBits() + s.hAPrime.SpaceBits()
+	position := int64(nt.BitsFor(uint64(s.t)))
+	return counters + seeds + position
+}
+
+func medianAbs(xs []float64) float64 {
+	a := make([]float64, len(xs))
+	for i, v := range xs {
+		a[i] = math.Abs(v)
+	}
+	sort.Float64s(a)
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return a[n/2]
+	}
+	return (a[n/2-1] + a[n/2]) / 2
+}
+
+func absInt64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,196 @@
+// Package core ties the library together: the common interfaces every
+// sketch in this repository satisfies, and the evaluation metrics the
+// benchmark harness uses to regenerate the paper's Figure 1 rows
+// (relative error, recall/precision for heavy hitters, total variation
+// distance for samplers, and space-ratio reporting).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Algorithm is the minimal contract of every streaming structure here.
+type Algorithm interface {
+	Update(i uint64, delta int64)
+	SpaceBits() int64
+}
+
+// SpaceReporter is satisfied by everything that accounts its bits.
+type SpaceReporter interface {
+	SpaceBits() int64
+}
+
+// RelErr returns |got-want| / |want| (or |got| when want == 0).
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// Recall returns the fraction of `want` present in `got` (1 when `want`
+// is empty).
+func Recall(got, want []uint64) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	set := make(map[uint64]bool, len(got))
+	for _, g := range got {
+		set[g] = true
+	}
+	hit := 0
+	for _, w := range want {
+		if set[w] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+// Precision returns the fraction of `got` present in `want` (1 when
+// `got` is empty).
+func Precision(got, want []uint64) float64 {
+	if len(got) == 0 {
+		return 1
+	}
+	set := make(map[uint64]bool, len(want))
+	for _, w := range want {
+		set[w] = true
+	}
+	hit := 0
+	for _, g := range got {
+		if set[g] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(got))
+}
+
+// TVD returns the total variation distance between an empirical count
+// map and a target distribution given as weights (normalized here).
+func TVD(counts map[uint64]int, weights map[uint64]float64) float64 {
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	var wTotal float64
+	for _, w := range weights {
+		wTotal += math.Abs(w)
+	}
+	if total == 0 || wTotal == 0 {
+		return 1
+	}
+	keys := make(map[uint64]bool)
+	for k := range counts {
+		keys[k] = true
+	}
+	for k := range weights {
+		keys[k] = true
+	}
+	var d float64
+	for k := range keys {
+		p := float64(counts[k]) / float64(total)
+		q := math.Abs(weights[k]) / wTotal
+		d += math.Abs(p - q)
+	}
+	return d / 2
+}
+
+// Row is one line of an experiment table.
+type Row struct {
+	Name   string
+	Values []string
+}
+
+// Table accumulates rows and renders an aligned text table, the output
+// format of cmd/bdbench.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    []Row
+}
+
+// Add appends a row.
+func (t *Table) Add(name string, values ...string) {
+	t.Rows = append(t.Rows, Row{Name: name, Values: values})
+}
+
+// AddF appends a row of formatted values.
+func (t *Table) AddF(name string, format string, values ...interface{}) {
+	parts := make([]string, len(values))
+	for i, v := range values {
+		parts[i] = fmt.Sprintf(format, v)
+	}
+	t.Add(name, parts...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers)+1)
+	update := func(col int, s string) {
+		if len(s) > widths[col] {
+			widths[col] = len(s)
+		}
+	}
+	update(0, "")
+	for i, h := range t.Headers {
+		update(i+1, h)
+	}
+	for _, r := range t.Rows {
+		update(0, r.Name)
+		for i, v := range r.Values {
+			if i+1 < len(widths) {
+				update(i+1, v)
+			}
+		}
+	}
+	writeRow := func(name string, vals []string) {
+		fmt.Fprintf(&b, "  %-*s", widths[0], name)
+		for i, v := range vals {
+			if i+1 < len(widths) {
+				fmt.Fprintf(&b, "  %*s", widths[i+1], v)
+			} else {
+				fmt.Fprintf(&b, "  %s", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow("", t.Headers)
+	for _, r := range t.Rows {
+		writeRow(r.Name, r.Values)
+	}
+	return b.String()
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs (not in place).
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// Median returns the middle value.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// HumanBits renders a bit count as b / Kib / Mib (1 Kib = 1024 bits).
+func HumanBits(bits int64) string {
+	switch {
+	case bits < 1<<13:
+		return fmt.Sprintf("%db", bits)
+	case bits < 1<<23:
+		return fmt.Sprintf("%.1fKib", float64(bits)/1024)
+	default:
+		return fmt.Sprintf("%.1fMib", float64(bits)/(1024*1024))
+	}
+}

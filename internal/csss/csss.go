@@ -1,0 +1,374 @@
+// Package csss implements CSSampSim (the paper's Figure 2), the
+// Count-Sketch sampling simulator at the core of the alpha-property
+// heavy hitters and L1 sampling algorithms, together with the tail-error
+// estimator of Lemma 5.
+//
+// CSSampSim simulates running each row of a Count-Sketch on an
+// independent uniform sample of the stream. Because every row is an
+// honest Count-Sketch row over a valid sample, the median-of-rows query
+// keeps the Count-Sketch guarantee plus an additive eps*||f||_1 sampling
+// error (Theorem 1):
+//
+//	|y*_i - f_i| <= 2 (Err^k_2(f)/sqrt(k) + eps ||f||_1)
+//
+// while counters hold only O(S) = poly(alpha log(n)/eps) samples, so each
+// needs O(log(alpha log(n)/eps)) bits instead of O(log n) — the source of
+// every log(n) -> log(alpha) improvement in the paper's Figure 1.
+//
+// Two presentation notes relative to the paper's Figure 2:
+//
+//  1. The halving schedule is written there as "t = 2^r log(S)+1", but
+//     the space analysis in Theorem 1 ("two counters which hold O(S)
+//     samples in expectation") and the sampling-rate claim
+//     2^-p >= S/(2m) both require halving when t doubles past S. We
+//     implement t = S*2^r + 1, which yields exactly those invariants.
+//  2. Weighted streams (the L1 sampler feeds z_i = f_i/t_i) are handled
+//     in fixed point: an update of weight w contributes round(w * 2^fb)
+//     integer sub-units, so the binomial counter halving Bin(a, 1/2)
+//     remains well defined. Thinning sub-units independently is unbiased
+//     and no less concentrated than thinning whole updates.
+package csss
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hash"
+	"repro/internal/nt"
+	"repro/internal/sample"
+)
+
+// Params configures a CSSampSim sketch.
+type Params struct {
+	// Rows is d, the number of independent rows (O(log n) for high
+	// probability guarantees).
+	Rows int
+	// K is the sensitivity parameter; the table has 6K columns as in
+	// Figure 2 and the guarantee is in terms of Err^K_2.
+	K int
+	// S is the per-row target sample size: the sampling rate is kept in
+	// [S/(2t), S/t] by the halving schedule. Figure 2 sets
+	// S = Theta((alpha^2/eps^2) T^2 log n); RecommendedS computes a
+	// laptop-scaled version.
+	S int64
+	// FixedPointBits is the sub-unit resolution for weighted updates
+	// (0 for plain integer streams).
+	FixedPointBits uint
+}
+
+// RecommendedS returns a practically scaled sample size preserving the
+// functional form S = (alpha/eps)^2 * log2(n): quadratic in alpha/eps,
+// logarithmic in the universe. The paper's constant-laden
+// Theta(alpha^2 eps^-2 T^2 log n) with T = 4/eps^2 + log n is astronomical
+// at laptop scale; DESIGN.md section 5 records this substitution.
+func RecommendedS(alpha, eps float64, n uint64) int64 {
+	if eps <= 0 || eps >= 1 {
+		panic("csss: eps must be in (0,1)")
+	}
+	if alpha < 1 {
+		alpha = 1
+	}
+	v := (alpha / eps) * (alpha / eps) * float64(nt.Log2Ceil(n)+1)
+	if v < 1024 {
+		v = 1024
+	}
+	if v > 1<<40 {
+		v = 1 << 40
+	}
+	return int64(v)
+}
+
+// cell is one table entry: the positive and negative sampled masses.
+// Both are nonnegative; the paper's a+ and a-.
+type cell struct {
+	pos, neg int64
+}
+
+// Sketch is the CSSampSim data structure.
+type Sketch struct {
+	params  Params
+	buckets *hash.Buckets
+	rows    int
+	cols    uint64
+	table   [][]cell
+	rng     *rand.Rand
+
+	t        int64 // position in the (unit-expanded) stream
+	p        int   // current sampling exponent: rate 2^-p
+	nextHalf int64 // next halving boundary S*2^r + 1
+	maxCount int64 // largest counter value ever held (space accounting)
+	fpUnit   int64 // 2^FixedPointBits
+}
+
+// New allocates a CSSampSim sketch.
+func New(rng *rand.Rand, params Params) *Sketch {
+	if params.Rows < 1 || params.K < 1 || params.S < 1 {
+		panic(fmt.Sprintf("csss: invalid params %+v", params))
+	}
+	cols := uint64(6 * params.K)
+	s := &Sketch{
+		params:   params,
+		buckets:  hash.NewBuckets(rng, params.Rows, cols),
+		rows:     params.Rows,
+		cols:     cols,
+		rng:      rng,
+		nextHalf: 2*params.S + 1,
+		fpUnit:   1 << params.FixedPointBits,
+	}
+	s.table = make([][]cell, s.rows)
+	for i := range s.table {
+		s.table[i] = make([]cell, cols)
+	}
+	return s
+}
+
+// Update feeds an integer update (i, delta); |delta| > 1 is treated as
+// |delta| consecutive unit updates, realized in one shot by binomial
+// thinning (Section 1.3 / Remark 2 of the paper).
+func (s *Sketch) Update(i uint64, delta int64) {
+	s.UpdateWeighted(i, delta, 1.0)
+}
+
+// UpdateWeighted feeds an update whose unit updates each carry the given
+// positive weight (the L1 sampler passes weight = 1/t_i). The weight is
+// quantized to FixedPointBits of sub-unit resolution.
+func (s *Sketch) UpdateWeighted(i uint64, delta int64, weight float64) {
+	if delta == 0 {
+		return
+	}
+	if weight <= 0 {
+		panic("csss: nonpositive weight")
+	}
+	mag := delta
+	sign := int64(1)
+	if mag < 0 {
+		mag = -mag
+		sign = -1
+	}
+	wfp := int64(math.Round(weight * float64(s.fpUnit)))
+	if wfp < 1 {
+		wfp = 1
+	}
+	const weightCap = int64(1) << 42 // avoid int64 overflow in counters
+	if wfp > weightCap {
+		wfp = weightCap
+	}
+	for mag > 0 {
+		// Process the unit updates up to (but excluding) the next halving
+		// boundary in one chunk: all are sampled at the same rate 2^-p,
+		// so per row the sampled count is Bin(chunk, 2^-p) — the same
+		// binomial shortcut Section 1.3 licenses for large updates.
+		chunk := mag
+		if room := s.nextHalf - 1 - s.t; room < chunk {
+			chunk = room
+		}
+		if chunk <= 0 {
+			// The next unit lands exactly on the boundary: advance one
+			// position, halve, and sample that single unit at the new
+			// rate (Figure 2 halves before sampling the boundary update).
+			s.t++
+			s.maybeHalve()
+			s.addSampled(i, sign, wfp, 1)
+			mag--
+			continue
+		}
+		s.t += chunk
+		s.addSampled(i, sign, wfp, chunk)
+		mag -= chunk
+	}
+}
+
+// addSampled samples `units` unit updates of the given sign and weight
+// into every row independently at the current rate 2^-p.
+func (s *Sketch) addSampled(i uint64, sign, wfp, units int64) {
+	rate := math.Ldexp(1, -s.p)
+	for r := 0; r < s.rows; r++ {
+		var cnt int64
+		if units == 1 {
+			if sample.Dyadic(s.rng, s.p) {
+				cnt = 1
+			}
+		} else {
+			cnt = sample.Binomial(s.rng, units, rate)
+		}
+		if cnt == 0 {
+			continue
+		}
+		c := s.buckets.Bucket(r, i)
+		g := int64(s.buckets.Sign(r, i))
+		cl := &s.table[r][c]
+		if sign*g > 0 {
+			cl.pos += cnt * wfp
+			if cl.pos > s.maxCount {
+				s.maxCount = cl.pos
+			}
+		} else {
+			cl.neg += cnt * wfp
+			if cl.neg > s.maxCount {
+				s.maxCount = cl.neg
+			}
+		}
+	}
+}
+
+// maybeHalve applies the Figure 2 step 5(a) boundary: when t crosses
+// S*2^r + 1, thin every counter by Bin(a, 1/2) and bump p.
+func (s *Sketch) maybeHalve() {
+	for s.t >= s.nextHalf {
+		for r := range s.table {
+			for c := range s.table[r] {
+				cl := &s.table[r][c]
+				cl.pos = sample.Half(s.rng, cl.pos)
+				cl.neg = sample.Half(s.rng, cl.neg)
+			}
+		}
+		s.p++
+		s.nextHalf = 2*s.nextHalf - 1 // S*2^r + 1 -> S*2^(r+1) + 1
+	}
+}
+
+// RowEstimate returns row r's rescaled estimate of f_i:
+// 2^p * g_r(i) * (a+ - a-) / 2^fb.
+func (s *Sketch) RowEstimate(r int, i uint64) float64 {
+	c := s.buckets.Bucket(r, i)
+	g := float64(s.buckets.Sign(r, i))
+	raw := float64(s.table[r][c].pos - s.table[r][c].neg)
+	return scalb(g*raw, s.p) / float64(s.fpUnit)
+}
+
+// Query returns the median-of-rows estimate y*_i of f_i (Figure 2 step 6).
+func (s *Sketch) Query(i uint64) float64 {
+	ests := make([]float64, s.rows)
+	for r := 0; r < s.rows; r++ {
+		ests[r] = s.RowEstimate(r, i)
+	}
+	sort.Float64s(ests)
+	n := len(ests)
+	if n%2 == 1 {
+		return ests[n/2]
+	}
+	return (ests[n/2-1] + ests[n/2]) / 2
+}
+
+// RowResidualL2 returns the L2 norm of row r after subtracting the
+// sketch of the k-sparse approximation yhat, rescaled by 2^p. This is
+// the "feed -yhat into CSSS2 and read the row L2" step of Lemma 5,
+// computed without mutating the table.
+func (s *Sketch) RowResidualL2(r int, yhat map[uint64]float64) float64 {
+	resid := make([]float64, s.cols)
+	for c := uint64(0); c < s.cols; c++ {
+		raw := float64(s.table[r][c].pos-s.table[r][c].neg) / float64(s.fpUnit)
+		resid[c] = scalb(raw, s.p)
+	}
+	for j, v := range yhat {
+		c := s.buckets.Bucket(r, j)
+		resid[c] -= float64(s.buckets.Sign(r, j)) * v
+	}
+	var t float64
+	for _, v := range resid {
+		t += v * v
+	}
+	return math.Sqrt(t)
+}
+
+// Position returns t, the number of unit updates consumed.
+func (s *Sketch) Position() int64 { return s.t }
+
+// SampleExponent returns p; the current sampling rate is 2^-p.
+func (s *Sketch) SampleExponent() int { return s.p }
+
+// K returns the sensitivity parameter.
+func (s *Sketch) K() int { return s.params.K }
+
+// Rows returns d.
+func (s *Sketch) Rows() int { return s.rows }
+
+// SpaceBits charges each of the 2 * rows * cols counters at the width of
+// the largest value ever held, plus hash seeds, plus the log(n)-bit
+// position counter and the sampling exponent — Figure 2's layout.
+func (s *Sketch) SpaceBits() int64 {
+	perCounter := int64(nt.BitsFor(uint64(s.maxCount)))
+	counters := 2 * int64(s.rows) * int64(s.cols) * perCounter
+	position := int64(nt.BitsFor(uint64(s.t))) + int64(nt.BitsFor(uint64(s.p)))
+	return counters + position + s.buckets.SpaceBits()
+}
+
+// scalb returns v * 2^e without math.Pow.
+func scalb(v float64, e int) float64 { return math.Ldexp(v, e) }
+
+// TailEstimator implements Lemma 5: using two independent CSSS
+// instances, it produces v with
+//
+//	Err^k_2(f) <= v <= 45 sqrt(k) eps ||f||_1 + 20 Err^k_2(f)
+//
+// with high probability. The first instance supplies the point estimates
+// and the k-sparse approximation; the second measures the residual norm.
+type TailEstimator struct {
+	CS1, CS2 *Sketch
+	k        int
+}
+
+// NewTailEstimator builds the two-instance estimator with the given
+// parameters (shared S, rows, K).
+func NewTailEstimator(rng *rand.Rand, params Params) *TailEstimator {
+	return &TailEstimator{CS1: New(rng, params), CS2: New(rng, params), k: params.K}
+}
+
+// Update feeds both instances.
+func (te *TailEstimator) Update(i uint64, delta int64) {
+	te.CS1.Update(i, delta)
+	te.CS2.Update(i, delta)
+}
+
+// UpdateWeighted feeds both instances with a weighted update.
+func (te *TailEstimator) UpdateWeighted(i uint64, delta int64, w float64) {
+	te.CS1.UpdateWeighted(i, delta, w)
+	te.CS2.UpdateWeighted(i, delta, w)
+}
+
+// Estimate returns (v, yhat): the tail-error bound and the k-sparse
+// approximation used to compute it. candidates is the set of coordinates
+// to consider for the top-k (callers track candidates with a heap; exact
+// answers need only contain the true heavy coordinates). l1 is an upper
+// estimate of ||f||_1 and eps the CSSS sensitivity used at construction.
+func (te *TailEstimator) Estimate(candidates []uint64, l1, eps float64) (float64, map[uint64]float64) {
+	// Top-k of CS1's estimates over the candidate set.
+	type kv struct {
+		i uint64
+		v float64
+	}
+	ests := make([]kv, 0, len(candidates))
+	for _, i := range candidates {
+		ests = append(ests, kv{i, te.CS1.Query(i)})
+	}
+	sort.Slice(ests, func(a, b int) bool {
+		av, bv := math.Abs(ests[a].v), math.Abs(ests[b].v)
+		if av != bv {
+			return av > bv
+		}
+		return ests[a].i < ests[b].i
+	})
+	if len(ests) > te.k {
+		ests = ests[:te.k]
+	}
+	yhat := make(map[uint64]float64, len(ests))
+	for _, e := range ests {
+		yhat[e.i] = e.v
+	}
+	// Median of CS2's residual row L2s, then v = 2*median + 5 eps l1.
+	rows := make([]float64, te.CS2.rows)
+	for r := range rows {
+		rows[r] = te.CS2.RowResidualL2(r, yhat)
+	}
+	sort.Float64s(rows)
+	med := rows[len(rows)/2]
+	v := 2*med + 5*eps*l1
+	return v, yhat
+}
+
+// SpaceBits is the total cost of both instances.
+func (te *TailEstimator) SpaceBits() int64 {
+	return te.CS1.SpaceBits() + te.CS2.SpaceBits()
+}

@@ -1,0 +1,356 @@
+package csss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// zipfStream builds a bounded-deletion stream: zipfian inserts followed
+// by deletion of a (1 - 1/alpha) fraction of each item's mass.
+func zipfStream(rng *rand.Rand, n uint64, inserts int, alpha float64) (*stream.Stream, stream.Vector) {
+	s := &stream.Stream{N: n}
+	z := rand.NewZipf(rng, 1.4, 1, n-1)
+	counts := make(map[uint64]int64)
+	for i := 0; i < inserts; i++ {
+		id := z.Uint64()
+		counts[id]++
+		s.Updates = append(s.Updates, stream.Update{Index: id, Delta: 1})
+	}
+	if alpha > 1 {
+		keep := 1 / alpha // keep fraction of mass so m <= ~2*alpha*L1... ; delete (1-2/alpha)
+		for id, c := range counts {
+			del := int64(float64(c) * (1 - keep))
+			for k := int64(0); k < del; k++ {
+				s.Updates = append(s.Updates, stream.Update{Index: id, Delta: -1})
+			}
+		}
+	}
+	return s, s.Materialize()
+}
+
+func feed(sk *Sketch, s *stream.Stream) {
+	for _, u := range s.Updates {
+		sk.Update(u.Index, u.Delta)
+	}
+}
+
+// TestExactWhenUnsampled: while t <= 2S the sketch samples everything and
+// must agree exactly with a plain Count-Sketch; on a sparse vector with
+// wide rows it recovers frequencies exactly.
+func TestExactWhenUnsampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sk := New(rng, Params{Rows: 7, K: 32, S: 1 << 20})
+	v := stream.Vector{3: 11, 500: -7, 90000: 2}
+	for i, x := range v {
+		sk.Update(i, x)
+	}
+	if sk.SampleExponent() != 0 {
+		t.Fatalf("p = %d before any halving", sk.SampleExponent())
+	}
+	for i, x := range v {
+		if got := sk.Query(i); got != float64(x) {
+			t.Errorf("Query(%d) = %v, want %d", i, got, x)
+		}
+	}
+	if got := sk.Query(42); got != 0 {
+		t.Errorf("Query(absent) = %v", got)
+	}
+}
+
+// TestHalvingSchedule: p tracks ceil(log2(t/S)) - 1 and the sampling rate
+// stays within [S/(2t), 2S/t].
+func TestHalvingSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const S = 1024
+	sk := New(rng, Params{Rows: 1, K: 1, S: S})
+	for step := 0; step < 20*S; step++ {
+		sk.Update(uint64(step%64), 1)
+		tt := sk.Position()
+		p := sk.SampleExponent()
+		rate := math.Ldexp(1, -p)
+		if tt > 2*S {
+			if rate < float64(S)/(2*float64(tt)) || rate > 2*float64(S)/float64(tt) {
+				t.Fatalf("t=%d p=%d: rate %v outside [S/2t, 2S/t]", tt, p, rate)
+			}
+		} else if p != 0 {
+			t.Fatalf("halved too early: t=%d p=%d", tt, p)
+		}
+	}
+}
+
+// TestPositionTracksUnitLength: big deltas expand into units.
+func TestPositionTracksUnitLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sk := New(rng, Params{Rows: 3, K: 4, S: 1 << 12})
+	sk.Update(1, 500)
+	sk.Update(2, -300)
+	if sk.Position() != 800 {
+		t.Errorf("Position = %d, want 800", sk.Position())
+	}
+}
+
+// TestUnbiasedUnderSampling: with m >> S, E[Query(i)] = f_i. Averages
+// repeated independent sketches of a two-item stream.
+func TestUnbiasedUnderSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const reps = 60
+	const fi = 2000
+	var sum float64
+	for rep := 0; rep < reps; rep++ {
+		sk := New(rng, Params{Rows: 5, K: 8, S: 256})
+		sk.Update(7, fi)    // target
+		sk.Update(9, 3000)  // mass elsewhere
+		sk.Update(9, -2900) // deletions: alpha-property stream
+		sum += sk.Query(7)
+	}
+	mean := sum / reps
+	if math.Abs(mean-fi) > 0.15*fi {
+		t.Errorf("mean estimate %.1f, want %d +- 15%%", mean, fi)
+	}
+}
+
+// TestTheorem1ErrorBound: on a bounded-deletion zipf workload with heavy
+// sampling, point-query error stays within the Theorem 1 form
+// 2(Err^k_2/sqrt(k) + eps_eff*||f||_1) where eps_eff reflects the actual
+// sample size: eps_eff ~ alpha*sqrt(2/S).
+func TestTheorem1ErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const alpha = 4
+	s, v := zipfStream(rng, 1<<14, 60000, alpha)
+	m := float64(s.UnitLength())
+	l1 := float64(v.L1())
+	if m/l1 > 2*alpha+1 {
+		t.Fatalf("workload alpha %f exceeds target", m/l1)
+	}
+	const S = 1 << 14
+	const k = 16
+	sk := New(rng, Params{Rows: 9, K: k, S: S})
+	feed(sk, s)
+	if sk.SampleExponent() == 0 {
+		t.Fatal("test needs actual sampling: increase stream size")
+	}
+	errk := v.ErrK2(k)
+	epsEff := math.Sqrt(2/float64(S)) * (m / l1) // alpha * sqrt(2/S)
+	bound := 2 * (errk/math.Sqrt(k) + 3*epsEff*l1)
+	viol := 0
+	checked := 0
+	for _, e := range v.TopK(200) {
+		checked++
+		if got := sk.Query(e.Index); math.Abs(got-float64(e.Value)) > bound {
+			viol++
+		}
+	}
+	if viol > checked/20 {
+		t.Errorf("%d/%d point queries broke bound %.1f", viol, checked, bound)
+	}
+}
+
+// TestWeightedUpdates: weight w scales the estimate linearly.
+func TestWeightedUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sk := New(rng, Params{Rows: 7, K: 16, S: 1 << 20, FixedPointBits: 12})
+	sk.UpdateWeighted(5, 40, 2.5)
+	got := sk.Query(5)
+	if math.Abs(got-100) > 0.2 {
+		t.Errorf("weighted query = %v, want 100", got)
+	}
+	// Fractional weights resolve at fixed-point precision.
+	sk.UpdateWeighted(6, 1, 0.125)
+	if got := sk.Query(6); math.Abs(got-0.125) > 0.01 {
+		t.Errorf("fractional weight query = %v, want 0.125", got)
+	}
+}
+
+func TestWeightPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sk := New(rng, Params{Rows: 1, K: 1, S: 8})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on nonpositive weight")
+		}
+	}()
+	sk.UpdateWeighted(1, 1, 0)
+}
+
+// TestCounterMassBounded: after the stream, per-row sampled mass is O(S),
+// the invariant that makes counters O(log S) bits.
+func TestCounterMassBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const S = 2048
+	sk := New(rng, Params{Rows: 5, K: 8, S: S})
+	for i := 0; i < 500000; i++ {
+		sk.Update(uint64(i%1000), 1)
+	}
+	for r := 0; r < sk.Rows(); r++ {
+		var mass int64
+		for c := uint64(0); c < sk.cols; c++ {
+			mass += sk.table[r][c].pos + sk.table[r][c].neg
+		}
+		if mass > 8*S {
+			t.Errorf("row %d holds %d samples, want O(S)=O(%d)", r, mass, S)
+		}
+	}
+	// Space: counters should be ~log(S) bits wide, far below log(m)*cells.
+	if sk.maxCount > 64*S {
+		t.Errorf("maxCount %d too large", sk.maxCount)
+	}
+}
+
+// TestSpaceBitsSublinearInStream: growing the stream 64x while holding S
+// fixed should grow SpaceBits only additively (log factor), not linearly.
+func TestSpaceBitsSublinearInStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const S = 1024
+	run := func(m int) int64 {
+		sk := New(rng, Params{Rows: 5, K: 8, S: S})
+		for i := 0; i < m; i++ {
+			sk.Update(uint64(i%100), 1)
+		}
+		return sk.SpaceBits()
+	}
+	small := run(10000)
+	big := run(640000)
+	if float64(big) > 1.5*float64(small) {
+		t.Errorf("SpaceBits grew from %d to %d; should be nearly flat", small, big)
+	}
+}
+
+// TestBigDeltaMatchesUnits: Update(i, D) has the same distribution as D
+// unit updates; compare means across repetitions.
+func TestBigDeltaMatchesUnits(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	const D = 5000
+	const reps = 40
+	var sumBig, sumUnit float64
+	for rep := 0; rep < reps; rep++ {
+		a := New(rng, Params{Rows: 3, K: 4, S: 512})
+		a.Update(1, D)
+		sumBig += a.Query(1)
+		b := New(rng, Params{Rows: 3, K: 4, S: 512})
+		for j := 0; j < D; j++ {
+			b.Update(1, 1)
+		}
+		sumUnit += b.Query(1)
+	}
+	if math.Abs(sumBig-sumUnit)/reps > 0.1*D {
+		t.Errorf("big-delta mean %.0f vs unit mean %.0f differ", sumBig/reps, sumUnit/reps)
+	}
+}
+
+// TestTailEstimatorBounds reproduces Lemma 5's sandwich on a workload.
+func TestTailEstimatorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s, v := zipfStream(rng, 1<<12, 40000, 4)
+	const k = 8
+	te := NewTailEstimator(rng, Params{Rows: 9, K: k, S: 1 << 13})
+	for _, u := range s.Updates {
+		te.Update(u.Index, u.Delta)
+	}
+	cands := make([]uint64, 0, len(v))
+	for i := range v {
+		cands = append(cands, i)
+	}
+	l1 := float64(v.L1())
+	m := float64(s.UnitLength())
+	epsEff := math.Sqrt(2.0/float64(1<<13)) * (m / l1)
+	vEst, yhat := te.Estimate(cands, l1, epsEff)
+	errk := v.ErrK2(k)
+	if vEst < errk {
+		t.Errorf("tail estimate %.1f below Err^k_2 = %.1f", vEst, errk)
+	}
+	upper := 45*math.Sqrt(k)*epsEff*l1 + 20*errk
+	if vEst > upper {
+		t.Errorf("tail estimate %.1f above Lemma 5 upper bound %.1f", vEst, upper)
+	}
+	if len(yhat) != k {
+		t.Errorf("yhat has %d entries, want %d", len(yhat), k)
+	}
+}
+
+func TestRecommendedS(t *testing.T) {
+	if RecommendedS(1, 0.5, 1024) < 1024 {
+		t.Error("RecommendedS below floor")
+	}
+	a := RecommendedS(2, 0.1, 1<<20)
+	b := RecommendedS(4, 0.1, 1<<20)
+	if b <= a {
+		t.Error("RecommendedS should grow with alpha")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for eps out of range")
+		}
+	}()
+	RecommendedS(1, 2, 10)
+}
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(rand.New(rand.NewSource(12)), Params{Rows: 0, K: 1, S: 1})
+}
+
+func BenchmarkUpdateUnit(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	sk := New(rng, Params{Rows: 7, K: 32, S: 1 << 15})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Update(uint64(i%4096), 1)
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	sk := New(rng, Params{Rows: 7, K: 32, S: 1 << 15})
+	for i := 0; i < 100000; i++ {
+		sk.Update(uint64(i%4096), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Query(uint64(i % 4096))
+	}
+}
+
+// TestLinearityUnsampled: in the unsampled regime (t <= 2S) CSSS is an
+// exact Count-Sketch, so feeding f then -f returns every query to zero.
+func TestLinearityUnsampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	sk := New(rng, Params{Rows: 5, K: 8, S: 1 << 20})
+	updates := make([]stream.Update, 200)
+	for i := range updates {
+		updates[i] = stream.Update{Index: uint64(rng.Intn(64)), Delta: int64(rng.Intn(9) - 4)}
+	}
+	for _, u := range updates {
+		sk.Update(u.Index, u.Delta)
+	}
+	for _, u := range updates {
+		sk.Update(u.Index, -u.Delta)
+	}
+	for i := uint64(0); i < 64; i++ {
+		if got := sk.Query(i); got != 0 {
+			t.Fatalf("Query(%d) = %v after cancellation", i, got)
+		}
+	}
+}
+
+// TestQueryStableAcrossCalls: Query must not mutate state.
+func TestQueryStableAcrossCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	sk := New(rng, Params{Rows: 5, K: 8, S: 256})
+	for i := 0; i < 10000; i++ {
+		sk.Update(uint64(i%50), 1)
+	}
+	for i := uint64(0); i < 50; i++ {
+		a := sk.Query(i)
+		b := sk.Query(i)
+		if a != b {
+			t.Fatalf("Query(%d) unstable: %v vs %v", i, a, b)
+		}
+	}
+}

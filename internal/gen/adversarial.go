@@ -1,0 +1,274 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// IndInstance is one adversarial stream built from the paper's Section 8
+// augmented-indexing reduction (Theorem 12): r = log_6(alpha/4) levels
+// of planted sets x_1..x_r, each of floor(1/(2 eps)) items inserted with
+// weight alpha*6^i + 1; the suffix levels above QueryLevel are deleted
+// down to weight 1. A correct eps-heavy-hitters algorithm must return
+// exactly the level-QueryLevel set — this is the hardest input the
+// lower bound knows how to build, so running our upper-bound algorithms
+// against it exercises them at their design limit.
+type IndInstance struct {
+	Stream     *stream.Stream
+	QueryLevel int
+	Answer     []uint64 // the planted set x_{QueryLevel}, sorted
+	Eps        float64
+	Alpha      float64
+}
+
+// AdversarialInd builds the Theorem 12 instance. level is 1-based and
+// clamped to [1, r]; alpha must be > 24 for at least one level to exist
+// (log_6(alpha/4) >= 1).
+func AdversarialInd(seed int64, n uint64, eps, alpha float64, level int) IndInstance {
+	rng := rand.New(rand.NewSource(seed))
+	const d = 6.0
+	r := int(math.Floor(math.Log(alpha/4) / math.Log(d)))
+	if r < 1 {
+		r = 1
+	}
+	if level < 1 {
+		level = 1
+	}
+	if level > r {
+		level = r
+	}
+	setSize := int(math.Floor(1 / (2 * eps)))
+	if setSize < 1 {
+		setSize = 1
+	}
+	s := &stream.Stream{N: n}
+	sets := make([][]uint64, r+1)
+	used := make(map[uint64]bool)
+	for i := 1; i <= r; i++ {
+		set := make([]uint64, 0, setSize)
+		for len(set) < setSize {
+			id := uint64(rng.Int63n(int64(n)))
+			if used[id] {
+				continue
+			}
+			used[id] = true
+			set = append(set, id)
+		}
+		sets[i] = set
+		w := int64(alpha*math.Pow(d, float64(i))) + 1
+		for _, id := range set {
+			s.Updates = append(s.Updates, stream.Update{Index: id, Delta: w})
+		}
+	}
+	// Bob deletes the suffix weights above the query level.
+	for i := level + 1; i <= r; i++ {
+		w := int64(alpha * math.Pow(d, float64(i)))
+		for _, id := range sets[i] {
+			s.Updates = append(s.Updates, stream.Update{Index: id, Delta: -w})
+		}
+	}
+	ans := append([]uint64(nil), sets[level]...)
+	sort.Slice(ans, func(a, b int) bool { return ans[a] < ans[b] })
+	return IndInstance{Stream: s, QueryLevel: level, Answer: ans, Eps: eps, Alpha: alpha}
+}
+
+// EqualityInstance is the Theorem 13 construction: an L1-estimation
+// stream with alpha = 3/2 whose final norm is n/2 when Alice's and
+// Bob's coded sets agree and at least 5n/8 when they differ — so even a
+// (1 +- 1/16) L1 estimate decides EQUALITY, which costs Omega(log n)
+// bits.
+type EqualityInstance struct {
+	Stream *stream.Stream
+	Equal  bool
+	// L1IfEqual / L1IfDifferent are the two separated norm regimes.
+	L1IfEqual, L1Threshold int64
+}
+
+// AdversarialEquality builds the instance over universe n (power of
+// two): Alice inserts the characteristic vector of a random n/8-subset
+// of [n/2] plus all of [n/2, n); Bob deletes his own coded subset. Two
+// random n/8-subsets of [n/2] have symmetric difference >= n/16 with
+// overwhelming probability, standing in for the paper's code family.
+func AdversarialEquality(seed int64, n uint64, equal bool) EqualityInstance {
+	rng := rand.New(rand.NewSource(seed))
+	half := n / 2
+	size := int(n / 8)
+	draw := func(r *rand.Rand) map[uint64]bool {
+		set := make(map[uint64]bool, size)
+		for len(set) < size {
+			set[uint64(r.Int63n(int64(half)))] = true
+		}
+		return set
+	}
+	alice := draw(rng)
+	bob := alice
+	if !equal {
+		bob = draw(rand.New(rand.NewSource(seed + 1)))
+	}
+	s := &stream.Stream{N: n}
+	for id := range alice {
+		s.Updates = append(s.Updates, stream.Update{Index: id, Delta: 1})
+	}
+	for i := half; i < n; i++ {
+		s.Updates = append(s.Updates, stream.Update{Index: i, Delta: 1})
+	}
+	for id := range bob {
+		s.Updates = append(s.Updates, stream.Update{Index: id, Delta: -1})
+	}
+	return EqualityInstance{
+		Stream:      s,
+		Equal:       equal,
+		L1IfEqual:   int64(half),
+		L1Threshold: int64(half) + int64(n)/16, // midpoint of the gap
+	}
+}
+
+// GapHammingInstance is the Theorem 14 flavor of hardness: the stream's
+// L1 equals the Hamming distance between two random bit vectors with a
+// planted gap around n/2, so a (1 +- eps) L1 estimate with
+// eps < 1/(2 sqrt(n)) decides Gap-Hamming. The construction keeps
+// alpha ~ 2 (each coordinate touched at most twice, most survive).
+type GapHammingInstance struct {
+	Stream *stream.Stream
+	// Far is true when the Hamming distance is n/2 + 2 sqrt(n), false
+	// when it is n/2 - 2 sqrt(n).
+	Far       bool
+	Distance  int64
+	Threshold float64 // n/2: estimates above mean Far, below mean near
+}
+
+// AdversarialGapHamming builds the instance over n coordinates.
+func AdversarialGapHamming(seed int64, n uint64, far bool) GapHammingInstance {
+	rng := rand.New(rand.NewSource(seed))
+	gap := int64(2 * math.Sqrt(float64(n)))
+	target := int64(n)/2 - gap
+	if far {
+		target = int64(n)/2 + gap
+	}
+	// x random; y = x with exactly `target` flipped positions.
+	flip := make(map[uint64]bool, target)
+	for int64(len(flip)) < target {
+		flip[uint64(rng.Int63n(int64(n)))] = true
+	}
+	s := &stream.Stream{N: n}
+	for i := uint64(0); i < n; i++ {
+		xi := rng.Intn(2) == 1
+		yi := xi != flip[i]
+		// f_i = y_i - x_i in {-1, 0, 1}; |f|_1 counts disagreements.
+		if yi {
+			s.Updates = append(s.Updates, stream.Update{Index: i, Delta: 1})
+		}
+		if xi {
+			s.Updates = append(s.Updates, stream.Update{Index: i, Delta: -1})
+		}
+	}
+	return GapHammingInstance{
+		Stream: s, Far: far, Distance: target, Threshold: float64(n) / 2,
+	}
+}
+
+// SupportInstance is the Theorem 20 construction: log(alpha/4) blocks of
+// exponentially many singleton items; after the suffix deletion, a
+// majority of the live support lies in the query block, so a correct
+// support sampler's output identifies it (which is what makes the
+// problem cost Omega(log(n/alpha) log(alpha)) bits).
+type SupportInstance struct {
+	Stream     *stream.Stream
+	QueryLevel int
+	// Block is the set of identities planted at the query level.
+	Block map[uint64]bool
+}
+
+// AdversarialSupport builds the instance: level i holds 2^i distinct
+// items, levels above the query level are deleted entirely.
+func AdversarialSupport(seed int64, n uint64, levels, query int) SupportInstance {
+	rng := rand.New(rand.NewSource(seed))
+	if query < 1 {
+		query = 1
+	}
+	if query > levels {
+		query = levels
+	}
+	s := &stream.Stream{N: n}
+	used := make(map[uint64]bool)
+	blocks := make([]map[uint64]bool, levels+1)
+	for i := 1; i <= levels; i++ {
+		blocks[i] = make(map[uint64]bool)
+		for len(blocks[i]) < 1<<uint(i) {
+			id := uint64(rng.Int63n(int64(n)))
+			if used[id] {
+				continue
+			}
+			used[id] = true
+			blocks[i][id] = true
+			s.Updates = append(s.Updates, stream.Update{Index: id, Delta: 1})
+		}
+	}
+	for i := query + 1; i <= levels; i++ {
+		for id := range blocks[i] {
+			s.Updates = append(s.Updates, stream.Update{Index: id, Delta: -1})
+		}
+	}
+	return SupportInstance{Stream: s, QueryLevel: query, Block: blocks[query]}
+}
+
+// InnerProductInstance is the Theorem 21 construction: block items carry
+// weight b*10^j + 1 with b in {alpha, 2*alpha} encoding Alice's bits;
+// Bob zeroes the suffix blocks and probes coordinate i* with a singleton
+// g. An inner-product estimate with additive eps ||f||_1 ||g||_1 error
+// separates the two weight levels.
+type InnerProductInstance struct {
+	F, G *stream.Stream
+	// Bit is the planted bit at the probe coordinate.
+	Bit bool
+	// Threshold separates the two inner-product regimes: above means
+	// Bit = true.
+	Threshold float64
+}
+
+// AdversarialInnerProduct builds the instance with block size
+// floor(1/(8 eps)) and `level` weight scales.
+func AdversarialInnerProduct(seed int64, n uint64, eps, alpha float64, level int) InnerProductInstance {
+	rng := rand.New(rand.NewSource(seed))
+	if level < 1 {
+		level = 1
+	}
+	blockSize := int(1 / (8 * eps))
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	f := &stream.Stream{N: n}
+	var probe uint64
+	var bit bool
+	next := uint64(0)
+	for j := 1; j <= level; j++ {
+		scale := math.Pow(10, float64(j))
+		for k := 0; k < blockSize; k++ {
+			id := next
+			next++
+			b := alpha
+			planted := rng.Intn(2) == 1
+			if planted {
+				b = 2 * alpha
+			}
+			w := int64(b*scale) + 1
+			f.Updates = append(f.Updates, stream.Update{Index: id, Delta: w})
+			if j == level && k == blockSize/2 {
+				probe = id
+				bit = planted
+			}
+		}
+	}
+	// Bob knows nothing to delete above `level` in this single-shot
+	// variant; he probes with g = e_probe.
+	g := &stream.Stream{N: n}
+	g.Updates = append(g.Updates, stream.Update{Index: probe, Delta: 1})
+	scale := math.Pow(10, float64(level))
+	return InnerProductInstance{
+		F: f, G: g, Bit: bit,
+		Threshold: 1.5 * alpha * scale, // midpoint of alpha*10^j vs 2*alpha*10^j
+	}
+}

@@ -1,0 +1,98 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestAdversarialEqualityGap(t *testing.T) {
+	const n = 1 << 12
+	eq := AdversarialEquality(1, n, true)
+	ne := AdversarialEquality(2, n, false)
+	vEq := eq.Stream.Materialize()
+	vNe := ne.Stream.Materialize()
+	if got := vEq.L1(); got != eq.L1IfEqual {
+		t.Errorf("equal instance L1 = %d, want %d", got, eq.L1IfEqual)
+	}
+	if got := vNe.L1(); got < ne.L1Threshold+int64(n)/32 {
+		t.Errorf("different instance L1 = %d, want comfortably above threshold %d",
+			got, ne.L1Threshold)
+	}
+	// Both instances are bounded-deletion: alpha <= 3/2 + slack.
+	for name, inst := range map[string]EqualityInstance{"eq": eq, "ne": ne} {
+		tr := stream.NewTracker(n)
+		tr.Consume(inst.Stream)
+		if a := tr.AlphaL1(); a > 2 {
+			t.Errorf("%s instance alpha = %v, want <= 2", name, a)
+		}
+	}
+}
+
+func TestAdversarialGapHammingDistance(t *testing.T) {
+	const n = 1 << 12
+	far := AdversarialGapHamming(3, n, true)
+	near := AdversarialGapHamming(4, n, false)
+	if got := far.Stream.Materialize().L1(); got != far.Distance {
+		t.Errorf("far L1 = %d, want %d", got, far.Distance)
+	}
+	if got := near.Stream.Materialize().L1(); got != near.Distance {
+		t.Errorf("near L1 = %d, want %d", got, near.Distance)
+	}
+	if far.Distance <= int64(far.Threshold) || near.Distance >= int64(near.Threshold) {
+		t.Error("gap instances not separated around threshold")
+	}
+	tr := stream.NewTracker(n)
+	tr.Consume(far.Stream)
+	if a := tr.AlphaL1(); a > 3 {
+		t.Errorf("gap-hamming alpha = %v, want ~2", a)
+	}
+}
+
+func TestAdversarialSupportMajority(t *testing.T) {
+	inst := AdversarialSupport(5, 1<<16, 8, 6)
+	v := inst.Stream.Materialize()
+	inBlock := 0
+	for id := range v {
+		if inst.Block[id] {
+			inBlock++
+		}
+	}
+	if inBlock != len(inst.Block) {
+		t.Errorf("block items missing from support: %d of %d", inBlock, len(inst.Block))
+	}
+	// The query block dominates the surviving support: lower levels sum
+	// to less than the block.
+	if int64(len(inst.Block)) <= v.L0()/2 {
+		t.Errorf("block %d not a majority of support %d", len(inst.Block), v.L0())
+	}
+}
+
+func TestAdversarialSupportClamps(t *testing.T) {
+	inst := AdversarialSupport(6, 1<<12, 4, 99)
+	if inst.QueryLevel != 4 {
+		t.Errorf("QueryLevel = %d, want clamp to 4", inst.QueryLevel)
+	}
+}
+
+func TestAdversarialInnerProductEncoding(t *testing.T) {
+	for _, seed := range []int64{7, 8, 9, 10} {
+		inst := AdversarialInnerProduct(seed, 1<<12, 0.05, 4, 2)
+		vf := inst.F.Materialize()
+		vg := inst.G.Materialize()
+		ip := float64(vf.Inner(vg))
+		if inst.Bit && ip <= inst.Threshold {
+			t.Errorf("seed %d: bit=1 but <f,g> = %v <= threshold %v", seed, ip, inst.Threshold)
+		}
+		if !inst.Bit && ip >= inst.Threshold {
+			t.Errorf("seed %d: bit=0 but <f,g> = %v >= threshold %v", seed, ip, inst.Threshold)
+		}
+		// Strong alpha property: every coordinate keeps all its mass.
+		tr := stream.NewTracker(1 << 12)
+		tr.Consume(inst.F)
+		if sa := tr.StrongAlpha(); math.IsInf(sa, 1) || sa > 1 {
+			t.Errorf("seed %d: F should be insertion-only here, strong alpha %v", seed, sa)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package gen synthesizes the workloads this library's benchmarks and
+// examples run on. The paper is a theory paper with no datasets; these
+// generators realize the application scenarios its introduction uses to
+// motivate bounded deletions (network traffic differences, remote
+// differential compression, clustered sensor occupancy) plus the
+// adversarial instances of its own lower-bound section (Section 8),
+// parameterized by the target alpha.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// Config is the common generator configuration.
+type Config struct {
+	N       uint64  // universe size
+	Items   int     // number of insert updates (pre-deletion)
+	Alpha   float64 // target L1 alpha: deletions remove a (1-1/alpha) mass fraction
+	Zipf    float64 // zipf skew (0 => uniform; otherwise > 1, e.g. 1.2)
+	Shuffle bool    // interleave deletions with insertions
+	Seed    int64
+}
+
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+func (c Config) validate() {
+	if c.N < 2 || c.Items < 1 {
+		panic(fmt.Sprintf("gen: invalid config %+v", c))
+	}
+	if c.Alpha < 1 {
+		panic("gen: alpha must be >= 1")
+	}
+}
+
+// BoundedDeletion builds a strict-turnstile stream with the L1
+// alpha-property: Items unit insertions (zipf or uniform) followed by
+// per-item deletions of a (1 - 1/alpha) fraction of that item's mass.
+// With Shuffle the deletions are interleaved after their insertions.
+func BoundedDeletion(c Config) *stream.Stream {
+	c.validate()
+	rng := c.rng()
+	s := &stream.Stream{N: c.N}
+	var draw func() uint64
+	if c.Zipf > 1 {
+		z := rand.NewZipf(rng, c.Zipf, 1, c.N-1)
+		draw = z.Uint64
+	} else {
+		draw = func() uint64 { return uint64(rng.Int63n(int64(c.N))) }
+	}
+	counts := make(map[uint64]int64)
+	var distinct []uint64 // insertion order, for deterministic iteration
+	for i := 0; i < c.Items; i++ {
+		id := draw()
+		if counts[id] == 0 {
+			distinct = append(distinct, id)
+		}
+		counts[id]++
+		s.Updates = append(s.Updates, stream.Update{Index: id, Delta: 1})
+	}
+	if c.Alpha > 1 {
+		// Target: alpha = (ins+del)/(ins-del), so del = ins*(a-1)/(a+1).
+		target := int64(float64(c.Items) * (c.Alpha - 1) / (c.Alpha + 1))
+		remaining := make(map[uint64]int64, len(counts))
+		var dels []stream.Update
+		deleted := int64(0)
+		// First pass: proportional deletions per item.
+		for _, id := range distinct {
+			d := int64(float64(counts[id]) * (c.Alpha - 1) / (c.Alpha + 1))
+			remaining[id] = counts[id] - d
+			deleted += d
+			for k := int64(0); k < d; k++ {
+				dels = append(dels, stream.Update{Index: id, Delta: -1})
+			}
+		}
+		// Second pass: the floor truncation above under-deletes on long
+		// tails of singletons; make up the shortfall round-robin while
+		// keeping the final vector nonzero.
+		for deleted < target {
+			progressed := false
+			for _, id := range distinct {
+				if deleted >= target {
+					break
+				}
+				if remaining[id] > 0 && (int64(c.Items)-deleted) > 1 {
+					remaining[id]--
+					deleted++
+					progressed = true
+					dels = append(dels, stream.Update{Index: id, Delta: -1})
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+		rng.Shuffle(len(dels), func(a, b int) { dels[a], dels[b] = dels[b], dels[a] })
+		if c.Shuffle {
+			s.Updates = interleave(rng, s.Updates, dels, counts)
+		} else {
+			s.Updates = append(s.Updates, dels...)
+		}
+	}
+	return s
+}
+
+// interleave merges deletions into the stream after enough matching
+// insertions have occurred, keeping the stream strict-turnstile.
+func interleave(rng *rand.Rand, ins, dels []stream.Update, counts map[uint64]int64) []stream.Update {
+	// Walk the insertion stream; after each insertion, with probability
+	// proportional to pending deletions, emit deletions whose items
+	// already have positive balance.
+	balance := make(map[uint64]int64, len(counts))
+	pending := make(map[uint64]int64, len(counts))
+	for _, d := range dels {
+		pending[d.Index]++
+	}
+	out := make([]stream.Update, 0, len(ins)+len(dels))
+	ratio := float64(len(dels)) / float64(len(ins))
+	carry := 0.0
+	for _, u := range ins {
+		out = append(out, u)
+		balance[u.Index]++
+		carry += ratio
+		for carry >= 1 {
+			carry--
+			// Delete from the item itself if possible, else skip (the
+			// leftover deletions are appended at the end).
+			if pending[u.Index] > 0 && balance[u.Index] > 0 {
+				out = append(out, stream.Update{Index: u.Index, Delta: -1})
+				pending[u.Index]--
+				balance[u.Index]--
+			}
+		}
+	}
+	for id, p := range pending {
+		for k := int64(0); k < p; k++ {
+			out = append(out, stream.Update{Index: id, Delta: -1})
+		}
+	}
+	return out
+}
+
+// Turnstile builds an unbounded-deletion contrast stream: nearly all
+// mass is inserted then deleted, leaving a tiny residue (alpha ~ m).
+func Turnstile(c Config) *stream.Stream {
+	c.validate()
+	rng := c.rng()
+	s := &stream.Stream{N: c.N}
+	counts := make(map[uint64]int64)
+	var distinct []uint64
+	for i := 0; i < c.Items; i++ {
+		id := uint64(rng.Int63n(int64(c.N)))
+		if counts[id] == 0 {
+			distinct = append(distinct, id)
+		}
+		counts[id]++
+		s.Updates = append(s.Updates, stream.Update{Index: id, Delta: 1})
+	}
+	for k, id := range distinct {
+		d := counts[id]
+		if k == 0 {
+			d-- // leave one unit so ||f||_1 = 1 > 0
+		}
+		if d > 0 {
+			s.Updates = append(s.Updates, stream.Update{Index: id, Delta: -d})
+		}
+	}
+	return s
+}
+
+// NetworkPair builds two traffic snapshots f1, f2 over [source,
+// destination] pairs whose difference carries about `diff` fraction of
+// the joint mass — the traffic-monitoring scenario of Section 1 (alpha
+// ~ 2/diff for the difference stream f1 - f2).
+func NetworkPair(c Config, diff float64) (f1, f2 *stream.Stream) {
+	c.validate()
+	rng := c.rng()
+	f1 = &stream.Stream{N: c.N}
+	f2 = &stream.Stream{N: c.N}
+	z := rand.NewZipf(rng, 1.2, 1, c.N-1)
+	for i := 0; i < c.Items; i++ {
+		id := z.Uint64()
+		f1.Updates = append(f1.Updates, stream.Update{Index: id, Delta: 1})
+		// f2 shares the flow except with probability diff.
+		if rng.Float64() < diff {
+			f2.Updates = append(f2.Updates, stream.Update{Index: z.Uint64(), Delta: 1})
+		} else {
+			f2.Updates = append(f2.Updates, stream.Update{Index: id, Delta: 1})
+		}
+	}
+	return f1, f2
+}
+
+// Difference converts a snapshot pair into the single general-turnstile
+// stream f1 - f2 (insert f1, delete f2).
+func Difference(f1, f2 *stream.Stream) *stream.Stream {
+	out := &stream.Stream{N: f1.N}
+	out.Updates = append(out.Updates, f1.Updates...)
+	for _, u := range f2.Updates {
+		out.Updates = append(out.Updates, stream.Update{Index: u.Index, Delta: -u.Delta})
+	}
+	return out
+}
+
+// RDCSync builds the remote-differential-compression scenario: a file of
+// `blocks` chunk hashes is synchronized after a `changed` fraction of
+// chunks were rewritten. The stream deletes stale chunks and inserts new
+// ones; alpha ~ (1+changed)/(1-changed) stays near 1 for realistic
+// change rates (the paper's "even a half resynchronized gives alpha=2").
+func RDCSync(c Config, changed float64) *stream.Stream {
+	c.validate()
+	rng := c.rng()
+	s := &stream.Stream{N: c.N}
+	blocks := c.Items
+	for b := 0; b < blocks; b++ {
+		s.Updates = append(s.Updates, stream.Update{Index: uint64(b) % c.N, Delta: 1})
+	}
+	for b := 0; b < blocks; b++ {
+		if rng.Float64() < changed {
+			s.Updates = append(s.Updates, stream.Update{Index: uint64(b) % c.N, Delta: -1})
+			// The rewritten chunk hashes to a fresh identity.
+			s.Updates = append(s.Updates, stream.Update{
+				Index: uint64(blocks) + uint64(rng.Int63n(int64(c.N)-int64(blocks)%int64(c.N))),
+				Delta: 1,
+			})
+		}
+	}
+	for i := range s.Updates {
+		s.Updates[i].Index %= c.N
+	}
+	return s
+}
+
+// SensorOccupancy builds the clustered-sensor L0 scenario: F0 = Items
+// sensors report at least once; only the 1/alpha fraction inside
+// persistent clusters stay active (nonzero) at query time, so
+// F0/L0 = alpha (the L0 alpha-property).
+func SensorOccupancy(c Config) *stream.Stream {
+	c.validate()
+	rng := c.rng()
+	s := &stream.Stream{N: c.N}
+	seen := make(map[uint64]bool, c.Items)
+	type sensor struct {
+		id uint64
+		w  int64
+	}
+	order := make([]sensor, 0, c.Items)
+	for len(order) < c.Items {
+		id := uint64(rng.Int63n(int64(c.N)))
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		w := 1 + rng.Int63n(3)
+		order = append(order, sensor{id, w})
+		s.Updates = append(s.Updates, stream.Update{Index: id, Delta: w})
+	}
+	kill := int(float64(len(order)) * (1 - 1/c.Alpha))
+	for i := 0; i < kill; i++ {
+		s.Updates = append(s.Updates, stream.Update{Index: order[i].id, Delta: -order[i].w})
+	}
+	return s
+}

@@ -1,0 +1,151 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestBoundedDeletionAlphaTarget(t *testing.T) {
+	for _, alpha := range []float64{1, 2, 8, 32} {
+		s := BoundedDeletion(Config{N: 1 << 14, Items: 30000, Alpha: alpha, Zipf: 1.3, Seed: 1})
+		tr := stream.NewTracker(1 << 14)
+		tr.Consume(s)
+		got := tr.AlphaL1()
+		if got > alpha*1.2+0.5 {
+			t.Errorf("alpha=%v: measured %v exceeds target", alpha, got)
+		}
+		if alpha >= 2 && got < alpha/2 {
+			t.Errorf("alpha=%v: measured %v far below target", alpha, got)
+		}
+		if !tr.Strict {
+			t.Errorf("alpha=%v: stream is not strict turnstile", alpha)
+		}
+	}
+}
+
+func TestBoundedDeletionShuffleStrict(t *testing.T) {
+	s := BoundedDeletion(Config{N: 1 << 10, Items: 20000, Alpha: 4, Shuffle: true, Seed: 2})
+	tr := stream.NewTracker(1 << 10)
+	tr.Consume(s)
+	if !tr.Strict {
+		t.Error("shuffled stream must stay strict turnstile")
+	}
+	if a := tr.AlphaL1(); a > 5.5 {
+		t.Errorf("shuffled alpha %v exceeds target", a)
+	}
+}
+
+func TestBoundedDeletionDeterministicSeed(t *testing.T) {
+	a := BoundedDeletion(Config{N: 256, Items: 1000, Alpha: 2, Seed: 7})
+	b := BoundedDeletion(Config{N: 256, Items: 1000, Alpha: 2, Seed: 7})
+	if len(a.Updates) != len(b.Updates) {
+		t.Fatal("same seed produced different streams")
+	}
+	for i := range a.Updates {
+		if a.Updates[i] != b.Updates[i] {
+			t.Fatal("same seed produced different updates")
+		}
+	}
+}
+
+func TestTurnstileNearTotalCancellation(t *testing.T) {
+	s := Turnstile(Config{N: 1 << 10, Items: 10000, Alpha: 1, Seed: 3})
+	tr := stream.NewTracker(1 << 10)
+	tr.Consume(s)
+	if tr.F.L1() != 1 {
+		t.Errorf("turnstile residue L1 = %d, want 1", tr.F.L1())
+	}
+	if a := tr.AlphaL1(); a < 1000 {
+		t.Errorf("turnstile alpha %v should be ~ m", a)
+	}
+}
+
+func TestNetworkPairDifference(t *testing.T) {
+	f1, f2 := NetworkPair(Config{N: 1 << 16, Items: 40000, Alpha: 1, Seed: 4}, 0.1)
+	d := Difference(f1, f2)
+	tr := stream.NewTracker(1 << 16)
+	tr.Consume(d)
+	// Difference mass should be around 2*diff of total; alpha ~ 1/diff.
+	a := tr.AlphaL1()
+	if a < 2 || a > 40 {
+		t.Errorf("difference stream alpha = %v, want ~10", a)
+	}
+}
+
+func TestRDCSyncSmallAlpha(t *testing.T) {
+	s := RDCSync(Config{N: 1 << 16, Items: 20000, Alpha: 1, Seed: 5}, 0.25)
+	tr := stream.NewTracker(1 << 16)
+	tr.Consume(s)
+	if a := tr.AlphaL1(); a > 3 {
+		t.Errorf("RDC alpha = %v, want < 3 for 25%% change", a)
+	}
+}
+
+func TestSensorOccupancyL0Alpha(t *testing.T) {
+	s := SensorOccupancy(Config{N: 1 << 20, Items: 5000, Alpha: 4, Seed: 6})
+	tr := stream.NewTracker(1 << 20)
+	tr.Consume(s)
+	got := tr.AlphaL0()
+	if math.Abs(got-4) > 0.5 {
+		t.Errorf("sensor F0/L0 = %v, want ~4", got)
+	}
+	if !tr.Strict {
+		t.Error("sensor stream must be strict")
+	}
+}
+
+func TestAdversarialIndStructure(t *testing.T) {
+	inst := AdversarialInd(7, 1<<16, 0.05, 1000, 2)
+	v := inst.Stream.Materialize()
+	l1 := float64(v.L1())
+	// Every planted answer item must be an eps-heavy hitter...
+	for _, id := range inst.Answer {
+		if float64(v[id]) < inst.Eps*l1 {
+			t.Errorf("planted item %d has weight %d < eps*L1 = %.0f", id, v[id], inst.Eps*l1)
+		}
+	}
+	// ...and nothing outside it reaches eps/2.
+	ansSet := make(map[uint64]bool)
+	for _, id := range inst.Answer {
+		ansSet[id] = true
+	}
+	for i, x := range v {
+		if !ansSet[i] && float64(x) >= inst.Eps/2*l1 {
+			t.Errorf("non-answer item %d is eps/2-heavy (%d of %0.f)", i, x, l1)
+		}
+	}
+	// The stream satisfies a strong alpha-property bound ~ O(alpha^2).
+	tr := stream.NewTracker(1 << 16)
+	tr.Consume(inst.Stream)
+	if sa := tr.StrongAlpha(); math.IsInf(sa, 1) || sa > 3*1000*1000 {
+		t.Errorf("instance strong alpha = %v, want O(alpha^2)", sa)
+	}
+}
+
+func TestAdversarialIndLevelClamping(t *testing.T) {
+	inst := AdversarialInd(8, 1<<12, 0.1, 1000, 99)
+	if inst.QueryLevel < 1 {
+		t.Error("level must clamp to >= 1")
+	}
+	if len(inst.Answer) == 0 {
+		t.Error("answer set empty")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { BoundedDeletion(Config{N: 1, Items: 1, Alpha: 1}) },
+		func() { BoundedDeletion(Config{N: 10, Items: 1, Alpha: 0.5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

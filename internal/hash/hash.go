@@ -1,0 +1,159 @@
+// Package hash implements the k-wise independent hash families that back
+// every sketch in this library.
+//
+// A k-wise independent family over a field F_p is the set of degree-(k-1)
+// polynomials with uniform random coefficients: evaluating one polynomial
+// at k distinct points yields k independent uniform field values. The
+// paper (Jayaram & Woodruff, PODS 2018) uses
+//
+//   - pairwise independence for subsampling levels (Sections 6 and 7),
+//   - 4-wise independence for Count-Sketch rows h_i : [n] -> [6k] and
+//     sign functions g_i : [n] -> {-1, +1} (Section 2),
+//   - k = Theta(log(1/eps))-wise independence for precision-sampling
+//     scaling factors t_i (Section 4) and Cauchy sketch seeds (Section 5).
+//
+// All families here work over the Mersenne field p = 2^61 - 1, which is
+// large enough to treat 64-bit-truncated universe identities as field
+// elements (the library constrains universes to n <= 2^60).
+package hash
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/nt"
+)
+
+// KWise is a k-wise independent hash function represented as a random
+// polynomial of degree k-1 over F_{2^61-1}. The zero value is unusable;
+// construct with NewKWise (or the NewPairwise / NewFourWise shorthands).
+type KWise struct {
+	coeffs []uint64 // degree k-1 polynomial, coeffs[0] is the constant term
+}
+
+// NewKWise draws a fresh k-wise independent function using rng. k must be
+// at least 1 (k = 1 yields a constant function, k = 2 pairwise, etc.).
+func NewKWise(rng *rand.Rand, k int) *KWise {
+	if k < 1 {
+		panic(fmt.Sprintf("hash: NewKWise requires k >= 1, got %d", k))
+	}
+	coeffs := make([]uint64, k)
+	for i := range coeffs {
+		coeffs[i] = rng.Uint64() % nt.MersennePrime61
+	}
+	// Force a nonzero leading coefficient so the polynomial has true
+	// degree k-1; this costs a negligible bias and guards against the
+	// degenerate constant polynomial for k >= 2.
+	if k >= 2 && coeffs[k-1] == 0 {
+		coeffs[k-1] = 1
+	}
+	return &KWise{coeffs: coeffs}
+}
+
+// NewPairwise draws a pairwise (2-wise) independent hash function.
+func NewPairwise(rng *rand.Rand) *KWise { return NewKWise(rng, 2) }
+
+// NewFourWise draws a 4-wise independent hash function, the independence
+// Count-Sketch requires of both its bucket and sign hashes.
+func NewFourWise(rng *rand.Rand) *KWise { return NewKWise(rng, 4) }
+
+// K returns the independence parameter of the family.
+func (h *KWise) K() int { return len(h.coeffs) }
+
+// Field evaluates the polynomial at x, returning a value uniform in
+// [0, 2^61-1). x is reduced into the field first.
+func (h *KWise) Field(x uint64) uint64 {
+	x %= nt.MersennePrime61
+	acc := uint64(0)
+	for i := len(h.coeffs) - 1; i >= 0; i-- {
+		acc = nt.MulModMersenne61(acc, x)
+		acc = nt.AddModMersenne61(acc, h.coeffs[i])
+	}
+	return acc
+}
+
+// Range maps x to a bucket in [0, r). For r that divide the field order
+// nearly evenly (any r << 2^61) the modulo bias is below 2^-40 and is
+// ignored, matching standard streaming practice.
+func (h *KWise) Range(x, r uint64) uint64 {
+	if r == 0 {
+		panic("hash: Range with r == 0")
+	}
+	return h.Field(x) % r
+}
+
+// Sign maps x to -1 or +1 using the low bit of the field evaluation. When
+// h is 4-wise independent this is the 4-wise sign function g : [n] -> {±1}
+// Count-Sketch requires.
+func (h *KWise) Sign(x uint64) int {
+	if h.Field(x)&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Unit maps x to a scaling factor in (0, 1], the t_i of the paper's
+// precision sampling (Section 4). The value is never exactly 0, so z_i =
+// f_i / t_i is always finite.
+func (h *KWise) Unit(x uint64) float64 {
+	v := h.Field(x)
+	return (float64(v) + 1) / float64(nt.MersennePrime61)
+}
+
+// SpaceBits returns the bits needed to store the function: k coefficients
+// of 61 bits each, the cost model used throughout the paper.
+func (h *KWise) SpaceBits() int64 {
+	return int64(len(h.coeffs)) * 61
+}
+
+// LSB returns the 0-based index of the least significant set bit of x,
+// with the paper's convention LSB(0) = maxBits (Section 6.1 uses
+// lsb(0) = log n). maxBits is typically log2(universe size).
+func LSB(x uint64, maxBits int) int {
+	if x == 0 {
+		return maxBits
+	}
+	return bits.TrailingZeros64(x)
+}
+
+// Buckets describes a matrix of d independent hash-function pairs
+// (bucket hash, sign hash), the standard Count-Sketch layout. It exists so
+// Count-Sketch, CSSS and the inner-product sketches share one wiring.
+type Buckets struct {
+	Rows int
+	Cols uint64
+	hs   []*KWise // bucket hashes, one per row
+	gs   []*KWise // sign hashes, one per row
+}
+
+// NewBuckets draws d rows of 4-wise independent (bucket, sign) hash pairs
+// over [cols].
+func NewBuckets(rng *rand.Rand, rows int, cols uint64) *Buckets {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("hash: NewBuckets(rows=%d, cols=%d)", rows, cols))
+	}
+	b := &Buckets{Rows: rows, Cols: cols}
+	b.hs = make([]*KWise, rows)
+	b.gs = make([]*KWise, rows)
+	for i := 0; i < rows; i++ {
+		b.hs[i] = NewFourWise(rng)
+		b.gs[i] = NewFourWise(rng)
+	}
+	return b
+}
+
+// Bucket returns the column index of x in row i.
+func (b *Buckets) Bucket(i int, x uint64) uint64 { return b.hs[i].Range(x, b.Cols) }
+
+// Sign returns the ±1 sign of x in row i.
+func (b *Buckets) Sign(i int, x uint64) int { return b.gs[i].Sign(x) }
+
+// SpaceBits returns the seed storage cost of all rows.
+func (b *Buckets) SpaceBits() int64 {
+	var total int64
+	for i := range b.hs {
+		total += b.hs[i].SpaceBits() + b.gs[i].SpaceBits()
+	}
+	return total
+}

@@ -1,0 +1,282 @@
+package hash
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nt"
+)
+
+func TestNewKWisePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k = 0")
+		}
+	}()
+	NewKWise(rand.New(rand.NewSource(1)), 0)
+}
+
+func TestFieldDeterministic(t *testing.T) {
+	h := NewFourWise(rand.New(rand.NewSource(2)))
+	for x := uint64(0); x < 100; x++ {
+		if h.Field(x) != h.Field(x) {
+			t.Fatalf("Field(%d) not deterministic", x)
+		}
+		if h.Field(x) >= nt.MersennePrime61 {
+			t.Fatalf("Field(%d) = %d out of field", x, h.Field(x))
+		}
+	}
+}
+
+func TestFieldMatchesHorner(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := NewKWise(rng, 5)
+	// Reference evaluation: sum coeffs[i] * x^i mod p.
+	eval := func(x uint64) uint64 {
+		x %= nt.MersennePrime61
+		acc := uint64(0)
+		pw := uint64(1)
+		for _, c := range h.coeffs {
+			acc = nt.AddModMersenne61(acc, nt.MulModMersenne61(c, pw))
+			pw = nt.MulModMersenne61(pw, x)
+		}
+		return acc
+	}
+	for i := 0; i < 1000; i++ {
+		x := rng.Uint64()
+		if got, want := h.Field(x), eval(x); got != want {
+			t.Fatalf("Field(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+// TestPairwiseCollisions verifies that pairwise hashing into r buckets
+// produces collision rate about 1/r over random pairs.
+func TestPairwiseCollisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const r = 64
+	const pairs = 4000
+	collisions := 0
+	trials := 0
+	for rep := 0; rep < 20; rep++ {
+		h := NewPairwise(rng)
+		for i := 0; i < pairs; i++ {
+			x := rng.Uint64()
+			y := rng.Uint64()
+			if x == y {
+				continue
+			}
+			trials++
+			if h.Range(x, r) == h.Range(y, r) {
+				collisions++
+			}
+		}
+	}
+	got := float64(collisions) / float64(trials)
+	want := 1.0 / r
+	if got < want/2 || got > want*2 {
+		t.Errorf("pairwise collision rate %.5f, want about %.5f", got, want)
+	}
+}
+
+// TestRangeUniformity checks that bucket loads are near-uniform via a
+// chi-squared-style bound.
+func TestRangeUniformity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := NewFourWise(rng)
+	const r = 32
+	const items = 32000
+	counts := make([]int, r)
+	for i := 0; i < items; i++ {
+		counts[h.Range(uint64(i), r)]++
+	}
+	mean := float64(items) / r
+	for b, c := range counts {
+		if math.Abs(float64(c)-mean) > 6*math.Sqrt(mean) {
+			t.Errorf("bucket %d load %d deviates from mean %.1f", b, c, mean)
+		}
+	}
+}
+
+// TestSignBalance verifies E[g(x)] is near 0 and that 4-wise signs make
+// sums of signed values concentrate: Var(sum g(i)) = n for distinct i.
+func TestSignBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 10000
+	total := 0
+	h := NewFourWise(rng)
+	for i := 0; i < n; i++ {
+		total += h.Sign(uint64(i))
+	}
+	if math.Abs(float64(total)) > 6*math.Sqrt(n) {
+		t.Errorf("sign sum %d too far from 0 for n=%d", total, n)
+	}
+}
+
+// TestSignSecondMoment estimates E[(sum_i g(i))^2] over fresh hash draws;
+// pairwise independence gives exactly n.
+func TestSignSecondMoment(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 256
+	const reps = 3000
+	var sumSq float64
+	for rep := 0; rep < reps; rep++ {
+		h := NewFourWise(rng)
+		s := 0
+		for i := 0; i < n; i++ {
+			s += h.Sign(uint64(i))
+		}
+		sumSq += float64(s) * float64(s)
+	}
+	got := sumSq / reps
+	// Want n, allow +-25% (std error of the mean is about n*sqrt(2/reps)).
+	if got < 0.75*n || got > 1.25*n {
+		t.Errorf("second moment %.1f, want about %d", got, n)
+	}
+}
+
+func TestUnitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	h := NewKWise(rng, 8)
+	var mn, mx float64 = 2, -1
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		u := h.Unit(uint64(i))
+		if u <= 0 || u > 1 {
+			t.Fatalf("Unit(%d) = %v out of (0,1]", i, u)
+		}
+		sum += u
+		mn = math.Min(mn, u)
+		mx = math.Max(mx, u)
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Errorf("Unit mean %.3f, want about 0.5", mean)
+	}
+	if mn > 0.001 || mx < 0.999 {
+		t.Errorf("Unit range [%v, %v] too narrow", mn, mx)
+	}
+}
+
+func TestLSB(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		want int
+	}{{6, 1}, {5, 0}, {8, 3}, {1, 0}, {0, 20}, {1 << 40, 40}}
+	for _, c := range cases {
+		if got := LSB(c.x, 20); got != c.want {
+			t.Errorf("LSB(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+// TestLSBGeometric: for random x, P[LSB = j] = 2^-(j+1); check the first
+// few levels.
+func TestLSBGeometric(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 200000
+	counts := make([]int, 8)
+	for i := 0; i < n; i++ {
+		j := LSB(rng.Uint64(), 64)
+		if j < len(counts) {
+			counts[j]++
+		}
+	}
+	for j := 0; j < 5; j++ {
+		want := float64(n) / float64(uint64(2)<<uint(j))
+		if math.Abs(float64(counts[j])-want) > 6*math.Sqrt(want) {
+			t.Errorf("LSB level %d count %d, want about %.0f", j, counts[j], want)
+		}
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	b := NewBuckets(rng, 5, 48)
+	for i := 0; i < 5; i++ {
+		for x := uint64(0); x < 1000; x++ {
+			if c := b.Bucket(i, x); c >= 48 {
+				t.Fatalf("Bucket(%d,%d) = %d out of range", i, x, c)
+			}
+			if s := b.Sign(i, x); s != 1 && s != -1 {
+				t.Fatalf("Sign(%d,%d) = %d", i, x, s)
+			}
+		}
+	}
+	if b.SpaceBits() != 5*2*4*61 {
+		t.Errorf("SpaceBits = %d, want %d", b.SpaceBits(), 5*2*4*61)
+	}
+}
+
+func TestBucketsRowsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := NewBuckets(rng, 2, 1024)
+	same := 0
+	const n = 10000
+	for x := uint64(0); x < n; x++ {
+		if b.Bucket(0, x) == b.Bucket(1, x) {
+			same++
+		}
+	}
+	// Independent rows collide with rate 1/1024.
+	if same > 40 {
+		t.Errorf("rows agree on %d/%d items; look dependent", same, n)
+	}
+}
+
+func TestStreamedMod(t *testing.T) {
+	f := func(x uint64, p uint64) bool {
+		p = p%(1<<61) + 1
+		return StreamedMod(x, p) == x%p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamedModEdge(t *testing.T) {
+	if StreamedMod(12345, 1) != 0 {
+		t.Error("StreamedMod(x, 1) should be 0")
+	}
+	if StreamedMod(0, 97) != 0 {
+		t.Error("StreamedMod(0, p) should be 0")
+	}
+	if StreamedMod(^uint64(0), nt.MersennePrime61) != ^uint64(0)%nt.MersennePrime61 {
+		t.Error("StreamedMod wrong at max uint64")
+	}
+}
+
+func TestKWiseSpaceBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for k := 1; k <= 10; k++ {
+		h := NewKWise(rng, k)
+		if h.SpaceBits() != int64(k*61) {
+			t.Errorf("k=%d SpaceBits=%d", k, h.SpaceBits())
+		}
+		if h.K() != k {
+			t.Errorf("K() = %d, want %d", h.K(), k)
+		}
+	}
+}
+
+func BenchmarkFieldFourWise(b *testing.B) {
+	h := NewFourWise(rand.New(rand.NewSource(13)))
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = h.Field(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkFieldKWise16(b *testing.B) {
+	h := NewKWise(rand.New(rand.NewSource(14)), 16)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = h.Field(uint64(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,113 @@
+package hash
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/nt"
+)
+
+// Binary layout of a KWise function: "HK" magic, a uint16 k, then k
+// little-endian uint64 coefficients. Serialization exists because the
+// library's sketches are linear and therefore shippable: a remote party
+// can only merge or subtract a sketch if it can reconstruct the exact
+// hash functions (the RDC synchronization scenario of the paper's
+// introduction).
+
+var errBadHashData = errors.New("hash: malformed KWise data")
+
+// MarshalBinary encodes the function's coefficients.
+func (h *KWise) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 4+8*len(h.coeffs))
+	buf[0], buf[1] = 'H', 'K'
+	binary.LittleEndian.PutUint16(buf[2:], uint16(len(h.coeffs)))
+	for i, c := range h.coeffs {
+		binary.LittleEndian.PutUint64(buf[4+8*i:], c)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a function serialized by MarshalBinary.
+func (h *KWise) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 || data[0] != 'H' || data[1] != 'K' {
+		return errBadHashData
+	}
+	k := int(binary.LittleEndian.Uint16(data[2:]))
+	if k < 1 || len(data) != 4+8*k {
+		return errBadHashData
+	}
+	coeffs := make([]uint64, k)
+	for i := range coeffs {
+		c := binary.LittleEndian.Uint64(data[4+8*i:])
+		if c >= nt.MersennePrime61 {
+			return fmt.Errorf("hash: coefficient %d out of field", i)
+		}
+		coeffs[i] = c
+	}
+	h.coeffs = coeffs
+	return nil
+}
+
+// MarshalBinary encodes a Buckets wiring: "HB" magic, rows, cols, then
+// each row's bucket and sign function.
+func (b *Buckets) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 16+b.Rows*2*(4+8*4))
+	out = append(out, 'H', 'B')
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(b.Rows))
+	binary.LittleEndian.PutUint64(hdr[4:], b.Cols)
+	out = append(out, hdr[:]...)
+	for i := 0; i < b.Rows; i++ {
+		for _, h := range []*KWise{b.hs[i], b.gs[i]} {
+			enc, err := h.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			var l [4]byte
+			binary.LittleEndian.PutUint32(l[:], uint32(len(enc)))
+			out = append(out, l[:]...)
+			out = append(out, enc...)
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores a Buckets wiring.
+func (b *Buckets) UnmarshalBinary(data []byte) error {
+	if len(data) < 14 || data[0] != 'H' || data[1] != 'B' {
+		return errors.New("hash: malformed Buckets data")
+	}
+	rows := int(binary.LittleEndian.Uint32(data[2:]))
+	cols := binary.LittleEndian.Uint64(data[6:])
+	if rows < 1 || cols < 1 {
+		return errors.New("hash: malformed Buckets dims")
+	}
+	pos := 14
+	hs := make([]*KWise, rows)
+	gs := make([]*KWise, rows)
+	for i := 0; i < rows; i++ {
+		for j, target := range []*[]*KWise{&hs, &gs} {
+			if pos+4 > len(data) {
+				return errors.New("hash: truncated Buckets data")
+			}
+			l := int(binary.LittleEndian.Uint32(data[pos:]))
+			pos += 4
+			if pos+l > len(data) {
+				return errors.New("hash: truncated Buckets data")
+			}
+			h := &KWise{}
+			if err := h.UnmarshalBinary(data[pos : pos+l]); err != nil {
+				return err
+			}
+			pos += l
+			(*target)[i] = h
+			_ = j
+		}
+	}
+	if pos != len(data) {
+		return errors.New("hash: trailing Buckets data")
+	}
+	b.Rows, b.Cols, b.hs, b.gs = rows, cols, hs, gs
+	return nil
+}

@@ -1,0 +1,37 @@
+package hash
+
+// StreamedMod computes x mod p bit by bit, mirroring the paper's Lemma 7:
+// a log(n)-bit identity can be reduced modulo p using only
+// O(log log n + log p) bits of working state. The implementation walks the
+// bits of x from least significant to most significant, maintaining the
+// running residue c and the power-of-two residue y_t = 2^t mod p; the only
+// state is (c, y, t), exactly the lemma's accounting.
+//
+// Functionally this equals x % p; it exists (and is tested against x % p)
+// to document that the small-space reduction the paper's inner-product
+// algorithm relies on is implementable as stated.
+func StreamedMod(x, p uint64) uint64 {
+	if p == 0 {
+		panic("hash: StreamedMod with p == 0")
+	}
+	if p == 1 {
+		return 0
+	}
+	c := uint64(0) // running residue, always < p
+	y := uint64(1) % p
+	for t := 0; t < 64; t++ {
+		if x>>uint(t)&1 == 1 {
+			c += y
+			if c >= p {
+				c -= p
+			}
+		}
+		y <<= 1
+		if y >= p {
+			y -= p
+		}
+		// p < 2^63 is required so y never overflows; the library only
+		// uses primes below 2^61.
+	}
+	return c
+}

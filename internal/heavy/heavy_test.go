@@ -1,0 +1,304 @@
+package heavy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/topk"
+)
+
+// hhStream builds a strict-turnstile alpha-property stream with planted
+// heavy hitters above eps*L1 and bulk noise below (eps/2)*L1.
+func hhStream(rng *rand.Rand, n uint64, eps float64, alpha float64) (*stream.Stream, stream.Vector) {
+	s := &stream.Stream{N: n}
+	// Noise: spread mass thinly.
+	const noiseItems = 2000
+	for i := 0; i < noiseItems; i++ {
+		id := uint64(rng.Int63n(int64(n)))
+		s.Updates = append(s.Updates, stream.Update{Index: id, Delta: 1 + rng.Int63n(8)})
+	}
+	v := s.Materialize()
+	base := float64(v.L1())
+	// Plant 3 strong heavies at about 4*eps of the final L1.
+	heavyMass := int64(4 * eps * base / (1 - 12*eps))
+	for h := 0; h < 3; h++ {
+		id := uint64(int64(n) - 1 - int64(h))
+		s.Updates = append(s.Updates, stream.Update{Index: id, Delta: heavyMass})
+	}
+	// Deletions to reach the target alpha without touching heavies.
+	if alpha > 1 {
+		for id, c := range v {
+			del := int64(float64(c) * (1 - 1/alpha))
+			if del > 0 {
+				s.Updates = append(s.Updates, stream.Update{Index: id, Delta: -del})
+			}
+		}
+	}
+	return s, s.Materialize()
+}
+
+// verify checks recall of eps-heavy items and rejection of sub-eps/2
+// items.
+func verify(t *testing.T, name string, got []uint64, v stream.Vector, eps float64) (missed, spurious int) {
+	t.Helper()
+	gotSet := make(map[uint64]bool)
+	for _, i := range got {
+		gotSet[i] = true
+	}
+	l1 := float64(v.L1())
+	for i, x := range v {
+		f := float64(x)
+		if f < 0 {
+			f = -f
+		}
+		if f >= eps*l1 && !gotSet[i] {
+			missed++
+		}
+	}
+	for _, i := range got {
+		f := float64(v[i])
+		if f < 0 {
+			f = -f
+		}
+		if f < eps/2*l1 {
+			spurious++
+		}
+	}
+	return missed, spurious
+}
+
+func TestAlphaL1Strict(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const eps = 0.05
+	s, v := hhStream(rng, 1<<16, eps, 4)
+	good := 0
+	const reps = 8
+	for rep := 0; rep < reps; rep++ {
+		h := NewAlphaL1(rng, AlphaL1Params{N: 1 << 16, Eps: eps, Mode: Strict, Alpha: 4})
+		for _, u := range s.Updates {
+			h.Update(u.Index, u.Delta)
+		}
+		missed, spurious := verify(t, "alpha-strict", h.HeavyHitters(), v, eps)
+		if missed == 0 && spurious == 0 {
+			good++
+		}
+	}
+	if good < reps*3/4 {
+		t.Errorf("strict alpha HH exact on only %d/%d reps", good, reps)
+	}
+}
+
+func TestAlphaL1General(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const eps = 0.05
+	s, v := hhStream(rng, 1<<16, eps, 4)
+	good := 0
+	const reps = 8
+	for rep := 0; rep < reps; rep++ {
+		h := NewAlphaL1(rng, AlphaL1Params{N: 1 << 16, Eps: eps, Mode: General, Alpha: 4})
+		for _, u := range s.Updates {
+			h.Update(u.Index, u.Delta)
+		}
+		missed, _ := verify(t, "alpha-general", h.HeavyHitters(), v, eps)
+		if missed == 0 {
+			good++
+		}
+	}
+	if good < reps*5/8 {
+		t.Errorf("general alpha HH full recall on only %d/%d reps", good, reps)
+	}
+}
+
+func TestCountSketchHHBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const eps = 0.05
+	s, v := hhStream(rng, 1<<16, eps, 4)
+	h := NewCountSketchHH(rng, 1<<16, eps, Strict, 8, 7)
+	for _, u := range s.Updates {
+		h.Update(u.Index, u.Delta)
+	}
+	missed, spurious := verify(t, "cs-baseline", h.HeavyHitters(), v, eps)
+	if missed != 0 {
+		t.Errorf("baseline missed %d heavy hitters", missed)
+	}
+	if spurious > 1 {
+		t.Errorf("baseline returned %d spurious items", spurious)
+	}
+}
+
+// TestAlphaSpaceAdvantage: on a long alpha-property stream the CSSS-based
+// structure uses narrower counters than the dense baseline at equal
+// dimensions — Figure 1 row 1's claim.
+func TestAlphaSpaceAdvantage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const eps = 0.1
+	alphaHH := NewAlphaL1(rng, AlphaL1Params{N: 1 << 16, Eps: eps, Mode: Strict, Alpha: 2, S: 1 << 12})
+	baseHH := NewCountSketchHH(rng, 1<<16, eps, Strict, 8, 7)
+	for i := 0; i < 400000; i++ {
+		id := uint64(i % 256)
+		alphaHH.Update(id, 1)
+		baseHH.Update(id, 1)
+	}
+	if alphaHH.SpaceBits() >= baseHH.SpaceBits() {
+		t.Errorf("alpha HH space %d >= baseline %d", alphaHH.SpaceBits(), baseHH.SpaceBits())
+	}
+}
+
+func TestMisraGries(t *testing.T) {
+	mg := NewMisraGries(0.1)
+	// 60% of mass on item 7, rest spread.
+	for i := 0; i < 6000; i++ {
+		mg.Update(7, 1)
+	}
+	for i := 0; i < 4000; i++ {
+		mg.Update(uint64(100+i%997), 1)
+	}
+	hh := mg.HeavyHitters()
+	found := false
+	for _, i := range hh {
+		if i == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("MisraGries missed a 60% item")
+	}
+	// Estimate error bounded by m/k.
+	if est := mg.Estimate(7); est < 6000-10000/20 {
+		t.Errorf("MisraGries estimate %d too low", est)
+	}
+}
+
+func TestMisraGriesPanicsOnDeletion(t *testing.T) {
+	mg := NewMisraGries(0.5)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on deletion")
+		}
+	}()
+	mg.Update(1, -1)
+}
+
+func TestAlphaL2(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 1 << 14
+	const eps = 0.25
+	const alpha = 2.0
+	good := 0
+	const reps = 8
+	for rep := 0; rep < reps; rep++ {
+		h := NewAlphaL2(rng, n, eps, alpha)
+		tr := stream.NewTracker(n)
+		feed := func(i uint64, d int64) {
+			h.Update(i, d)
+			tr.Update(stream.Update{Index: i, Delta: d})
+		}
+		// Noise: many small items, half-deleted (alpha ~ 2).
+		for i := 0; i < 3000; i++ {
+			id := uint64(rng.Int63n(n - 10))
+			feed(id, 2)
+			if i%2 == 0 {
+				feed(id, -2)
+			}
+		}
+		// One strong L2 heavy item.
+		feed(n-1, 500)
+		got := h.HeavyHitters()
+		foundHeavy := false
+		falsePos := 0
+		l2 := tr.F.L2()
+		for _, i := range got {
+			fi := float64(tr.F[i])
+			if i == n-1 {
+				foundHeavy = true
+			}
+			if fi < 0 {
+				fi = -fi
+			}
+			if fi < eps/2*l2 {
+				falsePos++
+			}
+		}
+		if foundHeavy && falsePos == 0 {
+			good++
+		}
+	}
+	if good < reps*3/4 {
+		t.Errorf("AlphaL2 exact on only %d/%d reps", good, reps)
+	}
+}
+
+func TestTopTrackerCompaction(t *testing.T) {
+	tr := topk.New(4)
+	for i := uint64(0); i < 100; i++ {
+		tr.Offer(i, float64(i))
+	}
+	c := tr.Candidates()
+	if len(c) > 8 {
+		t.Errorf("tracker holds %d candidates, cap 4 (2x slack allowed)", len(c))
+	}
+	// The largest-estimate items must survive.
+	has99 := false
+	for _, i := range c {
+		if i == 99 {
+			has99 = true
+		}
+	}
+	if !has99 {
+		t.Error("tracker evicted the top item")
+	}
+}
+
+func TestTopTrackerUpdatesEstimates(t *testing.T) {
+	tr := topk.New(2)
+	tr.Offer(1, 10)
+	tr.Offer(2, 20)
+	tr.Offer(3, 1)
+	tr.Offer(3, 100) // update should raise 3 above eviction
+	tr.Compact()
+	keep := map[uint64]bool{}
+	for _, i := range tr.Candidates() {
+		keep[i] = true
+	}
+	if !keep[3] || !keep[2] {
+		t.Errorf("tracker kept %v, want {2,3}", tr.Candidates())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, f := range []func(){
+		func() { NewAlphaL1(rng, AlphaL1Params{N: 10, Eps: 0}) },
+		func() { NewCountSketchHH(rng, 10, 1.5, Strict, 0, 0) },
+		func() { NewMisraGries(0) },
+		func() { NewAlphaL2(rng, 10, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkAlphaL1Update(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewAlphaL1(rng, AlphaL1Params{N: 1 << 20, Eps: 0.05, Mode: Strict, Alpha: 4, S: 1 << 14})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Update(uint64(i%4096), 1)
+	}
+}
+
+func BenchmarkCountSketchHHUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	h := NewCountSketchHH(rng, 1<<20, 0.05, Strict, 8, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Update(uint64(i%4096), 1)
+	}
+}

@@ -1,0 +1,90 @@
+package heavy
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sketch"
+	"repro/internal/topk"
+)
+
+// AlphaL2 implements the paper's Appendix A sketch of L2 heavy hitters
+// for alpha-property streams: if |f_i| >= eps ||f||_2 then, on the
+// insertion-only stream I + D (every update taken with positive sign),
+// item i satisfies I_i + D_i >= |f_i| >= (eps/alpha) ||I + D||_2 — so an
+// insertion-only (eps/alpha) L2 heavy hitters pass over |updates| yields
+// a candidate set S of size O((alpha/eps)^2), which a second
+// Count-Sketch over f verifies at threshold (3 eps / 4) ||f||_2.
+//
+// The appendix invokes BPTree for the insertion-only pass; we substitute
+// a Count-Sketch over I+D (DESIGN.md section 5), preserving the
+// (alpha/eps)^2 shape the appendix establishes.
+type AlphaL2 struct {
+	eps   float64
+	alpha float64
+	insCS *sketch.CountSketch // over I + D (all-positive)
+	verCS *sketch.CountSketch // over f
+	trk   *topk.Tracker
+	n     uint64
+}
+
+// NewAlphaL2 builds the Appendix A structure. Column counts follow the
+// appendix: the insertion pass at sensitivity eps/alpha needs
+// O((alpha/eps)^2) columns; the verifier needs O(1/eps^2).
+func NewAlphaL2(rng *rand.Rand, n uint64, eps, alpha float64) *AlphaL2 {
+	if eps <= 0 || eps >= 1 {
+		panic("heavy: eps must be in (0,1)")
+	}
+	if alpha < 1 {
+		alpha = 1
+	}
+	insCols := uint64(math.Ceil(4 * (alpha / eps) * (alpha / eps)))
+	if insCols < 16 {
+		insCols = 16
+	}
+	verCols := uint64(math.Ceil(4 / (eps * eps)))
+	if verCols < 16 {
+		verCols = 16
+	}
+	return &AlphaL2{
+		eps:   eps,
+		alpha: alpha,
+		insCS: sketch.NewCountSketch(rng, 5, insCols),
+		verCS: sketch.NewCountSketch(rng, 7, verCols),
+		trk:   topk.New(2 * int(math.Ceil((alpha/eps)*(alpha/eps)))),
+		n:     n,
+	}
+}
+
+// Update feeds one stream update.
+func (h *AlphaL2) Update(i uint64, delta int64) {
+	mag := delta
+	if mag < 0 {
+		mag = -mag
+	}
+	h.insCS.Update(i, mag) // the insertion-only stream I + D
+	h.verCS.Update(i, delta)
+	h.trk.Offer(i, float64(h.insCS.Query(i)))
+}
+
+// HeavyHitters returns the verified eps L2 heavy hitters of f.
+func (h *AlphaL2) HeavyHitters() []uint64 {
+	// ||f||_2 estimate from the verifier's rows (Lemma 4).
+	l2 := h.verCS.L2Estimate()
+	thr := 3 * h.eps * l2 / 4
+	var out []uint64
+	for _, i := range h.trk.Candidates() {
+		if math.Abs(float64(h.verCS.Query(i))) >= thr {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// SpaceBits charges both sketches and the tracker — the appendix's
+// O(alpha^2 ...) shape comes from the insertion pass and tracker.
+func (h *AlphaL2) SpaceBits() int64 {
+	return h.insCS.SpaceBits() + h.verCS.SpaceBits() + h.trk.SpaceBits(h.n)
+}

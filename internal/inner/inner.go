@@ -1,0 +1,263 @@
+// Package inner implements inner-product estimation between two
+// alpha-property streams (the paper's Section 2.2, Theorem 2):
+// <f, g> +- eps ||f||_1 ||g||_1 in O(eps^-1 log(alpha log n / eps)) bits.
+//
+// The pipeline per stream, following Theorem 2's proof:
+//
+//  1. sample updates in exponentially increasing intervals
+//     I_r = [s^r, s^{r+2}] at rate s^-r, keeping the two live levels
+//     (Lemma 6: a poly(alpha/eps)-size uniform sample preserves inner
+//     products to additive eps ||f||_1 ||g||_1);
+//  2. reduce sampled identities modulo a random prime P (Lemma 7's
+//     small-space bit-by-bit reduction, hash.StreamedMod) — since at most
+//     ~2s^2 distinct identities are ever sampled, a random P from a range
+//     with >> s^4 primes preserves distinctness whp;
+//  3. feed the reduced identities into Count-Sketch vectors A and B of
+//     k = Theta(1/eps) buckets sharing the same bucket and sign hashes
+//     (Lemma 8);
+//  4. return p_f^-1 p_g^-1 <A, B>.
+//
+// The dense baseline for Figure 1 row 3 is sketch.CountSketch's
+// InnerProduct over the full streams.
+package inner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/hash"
+	"repro/internal/nt"
+	"repro/internal/sample"
+)
+
+// Params configures the estimator.
+type Params struct {
+	N   uint64
+	Eps float64
+	// Base is the interval base s = poly(alpha/eps); the level answering
+	// a query has sampled between base and base^2 updates of its stream.
+	Base int64
+	// K overrides the bucket count k = Theta(1/eps) (default 4/eps).
+	K int
+	// Rows > 1 runs parallel independent repetitions and returns their
+	// median (the paper amplifies its 11/13 single-shot probability the
+	// same way).
+	Rows int
+}
+
+func (p *Params) fill() {
+	if p.Eps <= 0 || p.Eps >= 1 {
+		panic(fmt.Sprintf("inner: eps must be in (0,1), got %v", p.Eps))
+	}
+	if p.Base < 4 {
+		panic("inner: base must be >= 4")
+	}
+	if p.K <= 0 {
+		p.K = int(math.Ceil(4 / p.Eps))
+	}
+	if p.Rows <= 0 {
+		p.Rows = 1
+	}
+}
+
+// Estimator sketches two streams f and g.
+type Estimator struct {
+	params Params
+	prime  uint64
+	hb     []*hash.KWise // bucket hashes over [P], 4-wise, one per row
+	hs     []*hash.KWise // sign hashes over [P], 4-wise, one per row
+	f, g   *side
+	rng    *rand.Rand
+}
+
+// side is the per-stream interval-sampled Count-Sketch stack.
+type side struct {
+	t        int64
+	levels   map[int]*ipLevel
+	maxCount int64
+}
+
+type ipLevel struct {
+	j     int
+	start int64
+	bins  [][]int64 // [row][bucket] signed sampled counts
+}
+
+// New builds the estimator.
+func New(rng *rand.Rand, params Params) *Estimator {
+	params.fill()
+	// D = 100 s^2 gives >> s^4/log primes in [D, D^2]; the at most
+	// ~2 s^2 sampled identities collide mod a random such prime with
+	// o(1) probability (Theorem 2's argument with laptop-scaled D).
+	// D is clamped to 2^31 so D^2 stays within uint64; identities above
+	// that already fit comfortably in the hash seeds' budget.
+	d := uint64(100) * uint64(params.Base) * uint64(params.Base)
+	if d < 1<<20 {
+		d = 1 << 20
+	}
+	if d > 1<<31 {
+		d = 1 << 31
+	}
+	prime, err := nt.RandomPrime(rng, d, d*d)
+	if err != nil {
+		panic("inner: no prime: " + err.Error())
+	}
+	e := &Estimator{
+		params: params,
+		prime:  prime,
+		f:      newSide(),
+		g:      newSide(),
+		rng:    rng,
+	}
+	e.hb = make([]*hash.KWise, params.Rows)
+	e.hs = make([]*hash.KWise, params.Rows)
+	for r := range e.hb {
+		e.hb[r] = hash.NewFourWise(rng)
+		e.hs[r] = hash.NewFourWise(rng)
+	}
+	return e
+}
+
+func newSide() *side {
+	return &side{levels: make(map[int]*ipLevel)}
+}
+
+// UpdateF feeds an update to the first stream.
+func (e *Estimator) UpdateF(i uint64, delta int64) { e.update(e.f, i, delta) }
+
+// UpdateG feeds an update to the second stream.
+func (e *Estimator) UpdateG(i uint64, delta int64) { e.update(e.g, i, delta) }
+
+func (e *Estimator) update(sd *side, i uint64, delta int64) {
+	mag := delta
+	sign := int64(1)
+	if mag < 0 {
+		mag = -mag
+		sign = -1
+	}
+	// Reduce the identity once per update (Lemma 7 small-space mod).
+	reduced := hash.StreamedMod(i, e.prime)
+	for u := int64(0); u < mag; u++ {
+		sd.t++
+		e.syncLevels(sd)
+		for _, lv := range sd.levels {
+			if !e.sampleAt(lv.j) {
+				continue
+			}
+			for r := 0; r < e.params.Rows; r++ {
+				b := e.hb[r].Range(reduced, uint64(e.params.K))
+				s := int64(e.hs[r].Sign(reduced))
+				lv.bins[r][b] += sign * s
+				if a := abs64(lv.bins[r][b]); a > sd.maxCount {
+					sd.maxCount = a
+				}
+			}
+		}
+	}
+}
+
+func (e *Estimator) sampleAt(j int) bool {
+	if j == 0 {
+		return true
+	}
+	return e.rng.Int63n(sample.Pow(e.params.Base, j)) == 0
+}
+
+func (e *Estimator) syncLevels(sd *side) {
+	lo, hi := sample.ActiveLevels(sd.t, e.params.Base)
+	for j := range sd.levels {
+		if j < lo || j > hi {
+			delete(sd.levels, j)
+		}
+	}
+	for j := lo; j <= hi; j++ {
+		if _, ok := sd.levels[j]; !ok {
+			lv := &ipLevel{j: j, start: sd.t, bins: make([][]int64, e.params.Rows)}
+			for r := range lv.bins {
+				lv.bins[r] = make([]int64, e.params.K)
+			}
+			sd.levels[j] = lv
+		}
+	}
+}
+
+func oldest(sd *side) *ipLevel {
+	var best *ipLevel
+	for _, lv := range sd.levels {
+		if best == nil || lv.j < best.j {
+			best = lv
+		}
+	}
+	return best
+}
+
+// Estimate returns p_f^-1 p_g^-1 <A, B> (median over rows).
+func (e *Estimator) Estimate() float64 {
+	lf, lg := oldest(e.f), oldest(e.g)
+	if lf == nil || lg == nil {
+		return 0
+	}
+	scaleF := float64(sample.Pow(e.params.Base, lf.j))
+	scaleG := float64(sample.Pow(e.params.Base, lg.j))
+	ests := make([]float64, e.params.Rows)
+	for r := range ests {
+		var dot int64
+		for c := 0; c < e.params.K; c++ {
+			dot += lf.bins[r][c] * lg.bins[r][c]
+		}
+		ests[r] = scaleF * scaleG * float64(dot)
+	}
+	return medianFloat(ests)
+}
+
+// SpaceBits charges the live bins at sampled-count width, seeds at
+// log(P) scale, and the position counters — the
+// O(eps^-1 log(alpha log n / eps)) layout of Theorem 2.
+func (e *Estimator) SpaceBits() int64 {
+	width := int64(nt.BitsFor(uint64(maxI64(e.f.maxCount, e.g.maxCount)))) + 1
+	var bins int64
+	for _, sd := range []*side{e.f, e.g} {
+		for range sd.levels {
+			bins += int64(e.params.Rows) * int64(e.params.K)
+		}
+	}
+	var seeds int64
+	for r := range e.hb {
+		seeds += e.hb[r].SpaceBits() + e.hs[r].SpaceBits()
+	}
+	positions := int64(nt.BitsFor(uint64(e.f.t)) + nt.BitsFor(uint64(e.g.t)))
+	return bins*width + seeds + positions + int64(nt.BitsFor(e.prime))
+}
+
+func medianFloat(xs []float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

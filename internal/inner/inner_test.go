@@ -1,0 +1,193 @@
+package inner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// pairedStreams builds two overlapping alpha-property streams (the
+// network-difference scenario of the paper's introduction).
+func pairedStreams(rng *rand.Rand, n uint64, items int, alpha float64) (sf, sg *stream.Stream, vf, vg stream.Vector) {
+	sf = &stream.Stream{N: n}
+	sg = &stream.Stream{N: n}
+	for i := 0; i < items; i++ {
+		id := uint64(rng.Int63n(int64(n)))
+		sf.Updates = append(sf.Updates, stream.Update{Index: id, Delta: 1})
+		// g correlates with f on half the updates.
+		if rng.Intn(2) == 0 {
+			sg.Updates = append(sg.Updates, stream.Update{Index: id, Delta: 1})
+		} else {
+			sg.Updates = append(sg.Updates, stream.Update{Index: uint64(rng.Int63n(int64(n))), Delta: 1})
+		}
+	}
+	del := func(s *stream.Stream) {
+		if alpha <= 1 {
+			return
+		}
+		v := s.Materialize()
+		for id, c := range v {
+			d := int64(float64(c) * (1 - 1/alpha))
+			if d > 0 {
+				s.Updates = append(s.Updates, stream.Update{Index: id, Delta: -d})
+			}
+		}
+	}
+	del(sf)
+	del(sg)
+	return sf, sg, sf.Materialize(), sg.Materialize()
+}
+
+func feed(e *Estimator, sf, sg *stream.Stream) {
+	for _, u := range sf.Updates {
+		e.UpdateF(u.Index, u.Delta)
+	}
+	for _, u := range sg.Updates {
+		e.UpdateG(u.Index, u.Delta)
+	}
+}
+
+// TestUnsampledRegimeAccuracy: while both streams are shorter than
+// base^2 nothing is subsampled; the Count-Sketch error
+// eps ||f||_1 ||g||_1 is all that remains (Lemma 8).
+func TestUnsampledRegimeAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sf, sg, vf, vg := pairedStreams(rng, 256, 3000, 2)
+	want := float64(vf.Inner(vg))
+	budget := 0.25 * float64(vf.L1()) * float64(vg.L1())
+	good := 0
+	const reps = 15
+	for rep := 0; rep < reps; rep++ {
+		e := New(rng, Params{N: 256, Eps: 0.25, Base: 1 << 12, Rows: 5})
+		feed(e, sf, sg)
+		if math.Abs(e.Estimate()-want) <= budget {
+			good++
+		}
+	}
+	if good < reps*4/5 {
+		t.Errorf("unsampled estimate within budget only %d/%d times", good, reps)
+	}
+}
+
+// TestSampledRegimeAccuracy: with base << m the surviving level samples
+// at rate ~ base/m; Lemma 6's additive eps ||f||_1 ||g||_1 error holds
+// with the effective eps of that sample size.
+func TestSampledRegimeAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sf, sg, vf, vg := pairedStreams(rng, 64, 60000, 2)
+	want := float64(vf.Inner(vg))
+	// Effective additive error: Count-Sketch term + sampling term.
+	budget := 0.35 * float64(vf.L1()) * float64(vg.L1())
+	good := 0
+	const reps = 12
+	for rep := 0; rep < reps; rep++ {
+		e := New(rng, Params{N: 64, Eps: 0.2, Base: 64, Rows: 7})
+		feed(e, sf, sg)
+		if math.Abs(e.Estimate()-want) <= budget {
+			good++
+		}
+	}
+	if good < reps*2/3 {
+		t.Errorf("sampled estimate within budget only %d/%d times", good, reps)
+	}
+}
+
+// TestSelfInnerProduct: <f, f> with two synced copies approximates
+// ||f||_2^2.
+func TestSelfInnerProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := &stream.Stream{N: 128}
+	for i := 0; i < 2000; i++ {
+		s.Updates = append(s.Updates, stream.Update{Index: uint64(rng.Intn(128)), Delta: 1})
+	}
+	v := s.Materialize()
+	want := v.L2Squared()
+	good := 0
+	const reps = 10
+	for rep := 0; rep < reps; rep++ {
+		e := New(rng, Params{N: 128, Eps: 0.2, Base: 1 << 12, Rows: 7})
+		for _, u := range s.Updates {
+			e.UpdateF(u.Index, u.Delta)
+			e.UpdateG(u.Index, u.Delta)
+		}
+		if math.Abs(e.Estimate()-want) <= 0.2*float64(v.L1())*float64(v.L1()) {
+			good++
+		}
+	}
+	if good < reps*4/5 {
+		t.Errorf("self inner product within budget only %d/%d times", good, reps)
+	}
+}
+
+// TestDisjointSupports: disjoint streams have inner product 0; the
+// estimate must stay within the additive budget around 0.
+func TestDisjointSupports(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e := New(rng, Params{N: 1 << 10, Eps: 0.2, Base: 1 << 12, Rows: 7})
+	var l1f, l1g float64
+	for i := 0; i < 2000; i++ {
+		e.UpdateF(uint64(rng.Intn(512)), 1)
+		e.UpdateG(uint64(512+rng.Intn(512)), 1)
+		l1f++
+		l1g++
+	}
+	if got := math.Abs(e.Estimate()); got > 0.2*l1f*l1g {
+		t.Errorf("disjoint estimate %v exceeds additive budget", got)
+	}
+}
+
+// TestSpaceFlatInStream: the alpha estimator's bins stay narrow as m
+// grows.
+func TestSpaceFlatInStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	run := func(m int) int64 {
+		e := New(rng, Params{N: 1 << 20, Eps: 0.25, Base: 64, Rows: 3})
+		for i := 0; i < m; i++ {
+			id := uint64(i % 128)
+			e.UpdateF(id, 1)
+			e.UpdateG(id, 1)
+		}
+		return e.SpaceBits()
+	}
+	small := run(20000)
+	big := run(640000)
+	if float64(big) > 1.35*float64(small) {
+		t.Errorf("space grew %d -> %d over 32x stream growth", small, big)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	e := New(rng, Params{N: 1 << 10, Eps: 0.25, Base: 16})
+	if e.Estimate() != 0 {
+		t.Error("empty estimate nonzero")
+	}
+}
+
+func TestParamsPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, f := range []func(){
+		func() { New(rng, Params{N: 10, Eps: 0, Base: 16}) },
+		func() { New(rng, Params{N: 10, Eps: 0.5, Base: 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	e := New(rng, Params{N: 1 << 20, Eps: 0.1, Base: 1 << 10, Rows: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.UpdateF(uint64(i%4096), 1)
+	}
+}

@@ -1,0 +1,142 @@
+// Package morris implements the Morris approximate counter and the
+// paper's loose-but-small analysis of it (Lemma 11): after t events the
+// estimate v_t satisfies
+//
+//	(delta / 12 log m) * t  <=  estimate  <=  t / delta
+//
+// with probability 1 - delta, using O(log log m) bits. The
+// alpha-property L1 estimator (Figure 4) uses a Morris counter as its
+// stream-position clock so the whole structure stays below log(n) bits;
+// the estimator only needs the clock within a poly(log) factor, exactly
+// what Lemma 11 provides.
+//
+// Averaged (multi-copy) counters are also provided: averaging b
+// independent counters is the standard variance reduction and yields
+// (1 +- eps) estimates; tests use it to cross-check the single-counter
+// bounds.
+package morris
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/nt"
+)
+
+// Counter is a single Morris counter. The zero value is not usable;
+// construct with New.
+type Counter struct {
+	rng *rand.Rand
+	v   uint8 // the exponent; 2^v - 1 estimates the count, v <= 64
+	max uint8 // tracked maximum of v, for space accounting
+}
+
+// New returns a fresh Morris counter drawing randomness from rng.
+func New(rng *rand.Rand) *Counter {
+	return &Counter{rng: rng}
+}
+
+// Increment registers one event: v increases with probability 2^-v.
+func (c *Counter) Increment() {
+	if c.v >= 63 {
+		return // saturated; beyond any stream this library produces
+	}
+	if c.rng.Uint64()&((1<<uint(c.v))-1) == 0 {
+		c.v++
+		if c.v > c.max {
+			c.max = c.v
+		}
+	}
+}
+
+// Add registers n events at once, exactly distributed as n Increment
+// calls: the wait until the next successful increment at exponent v is
+// Geometric(2^-v), so the batch walks geometric gaps — O(log n) work
+// per call instead of O(n).
+func (c *Counter) Add(n int64) {
+	for n > 0 && c.v < 63 {
+		if c.v == 0 {
+			c.v++
+			if c.v > c.max {
+				c.max = c.v
+			}
+			n--
+			continue
+		}
+		p := math.Ldexp(1, -int(c.v))
+		u := c.rng.Float64()
+		if u == 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		gap := int64(math.Floor(math.Log(u)/math.Log1p(-p))) + 1
+		if gap <= 0 {
+			gap = 1
+		}
+		if gap > n {
+			return // no success within the remaining events
+		}
+		n -= gap
+		c.v++
+		if c.v > c.max {
+			c.max = c.v
+		}
+	}
+}
+
+// Estimate returns the unbiased estimate 2^v - 1 of the event count.
+func (c *Counter) Estimate() int64 {
+	return int64(1)<<uint(c.v) - 1
+}
+
+// Exponent returns the raw exponent v (the paper indexes sampling levels
+// by this value directly).
+func (c *Counter) Exponent() int { return int(c.v) }
+
+// SpaceBits returns ceil(log2(1+v_max)) — the O(log log m) bits a Morris
+// counter occupies.
+func (c *Counter) SpaceBits() int64 {
+	return int64(nt.BitsFor(uint64(c.max)))
+}
+
+// Averaged is the mean of b independent Morris counters, trading a
+// factor-b space increase for concentration ~ 1/sqrt(b).
+type Averaged struct {
+	counters []*Counter
+}
+
+// NewAveraged returns an averaged counter over b independent copies.
+func NewAveraged(rng *rand.Rand, b int) *Averaged {
+	if b < 1 {
+		b = 1
+	}
+	cs := make([]*Counter, b)
+	for i := range cs {
+		cs[i] = New(rng)
+	}
+	return &Averaged{counters: cs}
+}
+
+// Increment registers one event on every copy.
+func (a *Averaged) Increment() {
+	for _, c := range a.counters {
+		c.Increment()
+	}
+}
+
+// Estimate returns the averaged estimate.
+func (a *Averaged) Estimate() int64 {
+	var sum int64
+	for _, c := range a.counters {
+		sum += c.Estimate()
+	}
+	return sum / int64(len(a.counters))
+}
+
+// SpaceBits returns the total space of all copies.
+func (a *Averaged) SpaceBits() int64 {
+	var total int64
+	for _, c := range a.counters {
+		total += c.SpaceBits()
+	}
+	return total
+}

@@ -1,0 +1,191 @@
+// Package sample implements the sampling primitives behind the paper's
+// alpha-property algorithms:
+//
+//   - Bernoulli sampling at dyadic rates 2^-k (CSSS samples each update
+//     with probability 2^-p, Figure 2),
+//   - binomial thinning Bin(c, 1/2) used to halve CSSS counters at the
+//     schedule boundaries t = 2^r log(S) + 1, and Bin(|Delta|, p) used to
+//     expand large updates into sampled unit updates (Section 1.3),
+//   - the exponential-interval double-buffer schedule I_j = [s^j, s^{j+2}]
+//     from Figure 4 and Theorem 2: at any time exactly the two levels
+//     floor(log_s t)-1 and floor(log_s t) are live, so the survivor at
+//     query time has sampled at least a (1 - 2/s) suffix of the stream,
+//   - a classic reservoir sampler used by tests and baselines.
+package sample
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+)
+
+// Dyadic reports true with probability exactly 2^-k (k >= 0; k = 0 always
+// true, k >= 64 uses multiple words). This is the "flip log(n) coins
+// sequentially" sampler of Theorem 2, implemented with whole words.
+func Dyadic(rng *rand.Rand, k int) bool {
+	for k > 63 {
+		if rng.Uint64() != 0 {
+			return false
+		}
+		k -= 64
+	}
+	if k <= 0 {
+		return true
+	}
+	return rng.Uint64()&((1<<uint(k))-1) == 0
+}
+
+// Half returns an exact sample of Bin(c, 1/2) — the counter-halving
+// operation of CSSS (Figure 2, step 5a). For counts up to halfExactLimit
+// it uses popcounts of fresh random words (exact); above the limit it
+// uses a rounded Gaussian with continuity correction, whose total
+// variation error is far below any sketch guarantee at that scale.
+func Half(rng *rand.Rand, c int64) int64 {
+	if c <= 0 {
+		return 0
+	}
+	if c <= halfExactLimit {
+		var successes int64
+		for c >= 64 {
+			successes += int64(bits.OnesCount64(rng.Uint64()))
+			c -= 64
+		}
+		if c > 0 {
+			successes += int64(bits.OnesCount64(rng.Uint64() & ((1 << uint(c)) - 1)))
+		}
+		return successes
+	}
+	mean := float64(c) / 2
+	sd := math.Sqrt(float64(c)) / 2
+	v := math.Round(mean + sd*rng.NormFloat64())
+	if v < 0 {
+		v = 0
+	}
+	if v > float64(c) {
+		v = float64(c)
+	}
+	return int64(v)
+}
+
+// halfExactLimit bounds the exact popcount path of Half; 1<<22 bits costs
+// ~65k words, acceptable for the rare halving events.
+const halfExactLimit = 1 << 22
+
+// Binomial returns a sample of Bin(n, p). The implementation is exact for
+// all regimes the library exercises: geometric-gap counting when the
+// expected count np is small (exact for any p), the popcount path for
+// p = 1/2, and symmetry p -> 1-p; only for np beyond binomialExactLimit
+// does it fall back to a clamped rounded Gaussian.
+func Binomial(rng *rand.Rand, n int64, p float64) int64 {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	case p > 0.5:
+		return n - Binomial(rng, n, 1-p)
+	case p == 0.5:
+		return Half(rng, n)
+	}
+	if float64(n)*p <= binomialExactLimit {
+		// Count successes by jumping geometric gaps: the index of the
+		// next success after position i is i + Geom(p). Exact.
+		var count int64
+		i := int64(0)
+		logq := math.Log1p(-p)
+		for {
+			u := rng.Float64()
+			if u == 0 {
+				u = math.SmallestNonzeroFloat64
+			}
+			gap := int64(math.Floor(math.Log(u)/logq)) + 1
+			if gap <= 0 { // numerical floor guard
+				gap = 1
+			}
+			i += gap
+			if i > n {
+				return count
+			}
+			count++
+		}
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	v := math.Round(mean + sd*rng.NormFloat64())
+	if v < 0 {
+		v = 0
+	}
+	if v > float64(n) {
+		v = float64(n)
+	}
+	return int64(v)
+}
+
+// binomialExactLimit bounds the expected work of the exact geometric-gap
+// path.
+const binomialExactLimit = 1 << 16
+
+// ActiveLevels returns the two live levels of the exponential-interval
+// schedule with base s at (1-indexed) time t: levels r and r+1 where
+// r = floor(log_s t) - 1, clamped at 0. Level j samples updates with
+// probability s^-j while t is inside I_j = [s^j, s^{j+2}].
+func ActiveLevels(t, s int64) (lo, hi int) {
+	if t < 1 || s < 2 {
+		return 0, 0
+	}
+	fl := 0
+	v := t
+	for v >= s {
+		v /= s
+		fl++
+	}
+	hi = fl
+	lo = fl - 1
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// Pow returns s^j as int64, saturating at math.MaxInt64 on overflow.
+func Pow(s int64, j int) int64 {
+	result := int64(1)
+	for i := 0; i < j; i++ {
+		if result > math.MaxInt64/s {
+			return math.MaxInt64
+		}
+		result *= s
+	}
+	return result
+}
+
+// Reservoir maintains a uniform sample of k items from a stream of
+// unknown length (Vitter's algorithm R). It is used by baselines and
+// test oracles.
+type Reservoir struct {
+	K     int
+	Items []uint64
+	seen  int64
+	rng   *rand.Rand
+}
+
+// NewReservoir returns a reservoir of capacity k.
+func NewReservoir(rng *rand.Rand, k int) *Reservoir {
+	return &Reservoir{K: k, rng: rng}
+}
+
+// Offer feeds one item.
+func (r *Reservoir) Offer(x uint64) {
+	r.seen++
+	if len(r.Items) < r.K {
+		r.Items = append(r.Items, x)
+		return
+	}
+	j := r.rng.Int63n(r.seen)
+	if j < int64(r.K) {
+		r.Items[j] = x
+	}
+}
+
+// Seen returns the number of items offered so far.
+func (r *Reservoir) Seen() int64 { return r.seen }

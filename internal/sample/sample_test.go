@@ -1,0 +1,257 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDyadicRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{0, 1, 3, 6} {
+		const n = 200000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if Dyadic(rng, k) {
+				hits++
+			}
+		}
+		want := float64(n) / float64(int64(1)<<uint(k))
+		if k == 0 && hits != n {
+			t.Fatalf("Dyadic(0) must always hit")
+		}
+		if math.Abs(float64(hits)-want) > 6*math.Sqrt(want) {
+			t.Errorf("Dyadic(%d): %d hits, want about %.0f", k, hits, want)
+		}
+	}
+}
+
+func TestDyadicLargeK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// 2^-100 should essentially never hit.
+	for i := 0; i < 10000; i++ {
+		if Dyadic(rng, 100) {
+			t.Fatal("Dyadic(100) hit; astronomically unlikely")
+		}
+	}
+}
+
+func TestHalfMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, c := range []int64{1, 5, 63, 64, 65, 1000} {
+		const reps = 20000
+		var sum, sumSq float64
+		for i := 0; i < reps; i++ {
+			v := Half(rng, c)
+			if v < 0 || v > c {
+				t.Fatalf("Half(%d) = %d out of range", c, v)
+			}
+			sum += float64(v)
+			sumSq += float64(v) * float64(v)
+		}
+		mean := sum / reps
+		wantMean := float64(c) / 2
+		tol := 6 * math.Sqrt(float64(c)/4/reps)
+		if math.Abs(mean-wantMean) > tol+0.01 {
+			t.Errorf("Half(%d) mean %.3f, want %.3f +- %.3f", c, mean, wantMean, tol)
+		}
+		variance := sumSq/reps - mean*mean
+		wantVar := float64(c) / 4
+		if c >= 64 && math.Abs(variance-wantVar) > 0.25*wantVar {
+			t.Errorf("Half(%d) variance %.3f, want about %.3f", c, variance, wantVar)
+		}
+	}
+}
+
+func TestHalfEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if Half(rng, 0) != 0 || Half(rng, -5) != 0 {
+		t.Error("Half of nonpositive should be 0")
+	}
+}
+
+func TestHalfLargePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := int64(halfExactLimit) * 4
+	v := Half(rng, c)
+	if v < 0 || v > c {
+		t.Fatalf("Half(%d) = %d out of range", c, v)
+	}
+	// Within 10 standard deviations of c/2.
+	sd := math.Sqrt(float64(c)) / 2
+	if math.Abs(float64(v)-float64(c)/2) > 10*sd {
+		t.Errorf("Half(%d) = %d too far from mean", c, v)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{10, 0.3}, {100, 0.01}, {1000, 0.5}, {50, 0.9}, {1 << 20, 1e-4},
+	}
+	for _, c := range cases {
+		const reps = 20000
+		var sum, sumSq float64
+		for i := 0; i < reps; i++ {
+			v := Binomial(rng, c.n, c.p)
+			if v < 0 || v > c.n {
+				t.Fatalf("Binomial(%d,%v) = %d out of range", c.n, c.p, v)
+			}
+			sum += float64(v)
+			sumSq += float64(v) * float64(v)
+		}
+		mean := sum / reps
+		wantMean := float64(c.n) * c.p
+		sd := math.Sqrt(float64(c.n) * c.p * (1 - c.p))
+		if math.Abs(mean-wantMean) > 6*sd/math.Sqrt(reps)+0.01 {
+			t.Errorf("Binomial(%d,%v) mean %.3f, want %.3f", c.n, c.p, mean, wantMean)
+		}
+		variance := sumSq/reps - mean*mean
+		wantVar := sd * sd
+		if wantVar > 1 && math.Abs(variance-wantVar) > 0.2*wantVar {
+			t.Errorf("Binomial(%d,%v) var %.3f, want about %.3f", c.n, c.p, variance, wantVar)
+		}
+	}
+}
+
+func TestBinomialEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if Binomial(rng, 0, 0.5) != 0 {
+		t.Error("Bin(0,p) != 0")
+	}
+	if Binomial(rng, 10, 0) != 0 {
+		t.Error("Bin(n,0) != 0")
+	}
+	if Binomial(rng, 10, 1) != 10 {
+		t.Error("Bin(n,1) != n")
+	}
+	if Binomial(rng, 10, 1.5) != 10 {
+		t.Error("Bin(n,p>1) != n")
+	}
+	if Binomial(rng, -3, 0.5) != 0 {
+		t.Error("Bin(n<0,p) != 0")
+	}
+}
+
+func TestBinomialLargeGaussianPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := int64(1) << 30
+	p := 0.25
+	v := Binomial(rng, n, p)
+	mean := float64(n) * p
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	if math.Abs(float64(v)-mean) > 10*sd {
+		t.Errorf("Binomial large path: %d too far from mean %.0f", v, mean)
+	}
+}
+
+func TestActiveLevels(t *testing.T) {
+	cases := []struct {
+		t, s   int64
+		lo, hi int
+	}{
+		{1, 4, 0, 0},
+		{3, 4, 0, 0},
+		{4, 4, 0, 1},
+		{15, 4, 0, 1},
+		{16, 4, 1, 2},
+		{63, 4, 1, 2},
+		{64, 4, 2, 3},
+		{0, 4, 0, 0},
+	}
+	for _, c := range cases {
+		lo, hi := ActiveLevels(c.t, c.s)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("ActiveLevels(%d,%d) = (%d,%d), want (%d,%d)", c.t, c.s, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+// TestActiveLevelsInvariant: at every time t, t is inside I_j = [s^j,
+// s^{j+2}] for both returned levels, so both live sketches are valid.
+func TestActiveLevelsInvariant(t *testing.T) {
+	for _, s := range []int64{2, 4, 10} {
+		for tm := int64(1); tm < 100000; tm += 7 {
+			lo, hi := ActiveLevels(tm, s)
+			for _, j := range []int{lo, hi} {
+				lower := Pow(s, j)
+				upper := Pow(s, j+2)
+				if tm < lower || tm > upper {
+					t.Fatalf("t=%d s=%d level %d: t outside [s^%d, s^%d] = [%d,%d]",
+						tm, s, j, j, j+2, lower, upper)
+				}
+			}
+			if hi-lo > 1 {
+				t.Fatalf("more than two live levels at t=%d", tm)
+			}
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(4, 0) != 1 || Pow(4, 3) != 64 {
+		t.Error("Pow basic values wrong")
+	}
+	if Pow(10, 30) != math.MaxInt64 {
+		t.Error("Pow should saturate")
+	}
+}
+
+func TestReservoirUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 50
+	const k = 5
+	const reps = 30000
+	counts := make([]int, n)
+	for rep := 0; rep < reps; rep++ {
+		r := NewReservoir(rng, k)
+		for i := uint64(0); i < n; i++ {
+			r.Offer(i)
+		}
+		if len(r.Items) != k {
+			t.Fatalf("reservoir holds %d items, want %d", len(r.Items), k)
+		}
+		for _, it := range r.Items {
+			counts[it]++
+		}
+	}
+	want := float64(reps) * k / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("item %d sampled %d times, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestReservoirFewerThanK(t *testing.T) {
+	r := NewReservoir(rand.New(rand.NewSource(10)), 10)
+	r.Offer(1)
+	r.Offer(2)
+	if len(r.Items) != 2 || r.Seen() != 2 {
+		t.Errorf("reservoir state wrong: %v seen=%d", r.Items, r.Seen())
+	}
+}
+
+func BenchmarkDyadic(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < b.N; i++ {
+		Dyadic(rng, 10)
+	}
+}
+
+func BenchmarkHalf1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < b.N; i++ {
+		Half(rng, 1000)
+	}
+}
+
+func BenchmarkBinomialSmallMean(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < b.N; i++ {
+		Binomial(rng, 1<<20, 1e-5)
+	}
+}

@@ -1,0 +1,117 @@
+package sketch
+
+import (
+	"math/rand"
+
+	"repro/internal/hash"
+	"repro/internal/nt"
+)
+
+// CountMin is a d-row, w-column Count-Min sketch. On strict turnstile
+// streams the min-of-rows query overestimates f_i by at most
+// ||f||_1 / cols per row in expectation; it is the standard unbounded-
+// deletion heavy hitters baseline the paper's Figure 1 compares against.
+type CountMin struct {
+	rows   int
+	cols   uint64
+	hs     []*hash.KWise
+	table  [][]int64
+	maxAbs int64
+	total  int64 // running sum of deltas = ||f||_1 on insertion-only input
+}
+
+// NewCountMin allocates a rows x cols Count-Min with pairwise hashes.
+func NewCountMin(rng *rand.Rand, rows int, cols uint64) *CountMin {
+	cm := &CountMin{rows: rows, cols: cols}
+	cm.hs = make([]*hash.KWise, rows)
+	for i := range cm.hs {
+		cm.hs[i] = hash.NewPairwise(rng)
+	}
+	cm.table = make([][]int64, rows)
+	for i := range cm.table {
+		cm.table[i] = make([]int64, cols)
+	}
+	return cm
+}
+
+// Update adds delta to coordinate i.
+func (cm *CountMin) Update(i uint64, delta int64) {
+	cm.total += delta
+	for r := 0; r < cm.rows; r++ {
+		c := cm.hs[r].Range(i, cm.cols)
+		cm.table[r][c] += delta
+		if a := abs64(cm.table[r][c]); a > cm.maxAbs {
+			cm.maxAbs = a
+		}
+	}
+}
+
+// Query returns the min-of-rows estimate, valid for strict turnstile
+// streams (never underestimates f_i when all frequencies are >= 0).
+func (cm *CountMin) Query(i uint64) int64 {
+	best := int64(1)<<62 - 1
+	for r := 0; r < cm.rows; r++ {
+		v := cm.table[r][cm.hs[r].Range(i, cm.cols)]
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// QueryMedian returns the median-of-rows estimate (Count-Median), usable
+// on general turnstile streams.
+func (cm *CountMin) QueryMedian(i uint64) int64 {
+	ests := make([]int64, cm.rows)
+	for r := 0; r < cm.rows; r++ {
+		ests[r] = cm.table[r][cm.hs[r].Range(i, cm.cols)]
+	}
+	return medianInt64(ests)
+}
+
+// Total returns the running sum of all deltas (equals ||f||_1 for
+// insertion-only streams and sum f_i in general).
+func (cm *CountMin) Total() int64 { return cm.total }
+
+// InnerProduct returns min over rows of <A_r, B_r>, the classic
+// Count-Min join-size estimate; requires the two sketches to share
+// dimensions and hash functions (build the second with SameHashes).
+func (cm *CountMin) InnerProduct(other *CountMin) int64 {
+	best := int64(1)<<62 - 1
+	for r := 0; r < cm.rows; r++ {
+		var s int64
+		for c := uint64(0); c < cm.cols; c++ {
+			s += cm.table[r][c] * other.table[r][c]
+		}
+		if s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// SameHashes returns an empty Count-Min sharing this sketch's hash
+// functions, so inner products between the two are meaningful.
+func (cm *CountMin) SameHashes() *CountMin {
+	c := &CountMin{rows: cm.rows, cols: cm.cols, hs: cm.hs}
+	c.table = make([][]int64, cm.rows)
+	for i := range c.table {
+		c.table[i] = make([]int64, cm.cols)
+	}
+	return c
+}
+
+// SpaceBits charges counters at stream-mass capacity (see
+// CountSketch.SpaceBits) plus hash seeds.
+func (cm *CountMin) SpaceBits() int64 {
+	mass := cm.maxAbs // counters are nonneg-dominated; capacity is total mass
+	if cm.total > mass {
+		mass = cm.total
+	}
+	perCounter := int64(nt.BitsFor(uint64(mass))) + 1
+	var seeds int64
+	for _, h := range cm.hs {
+		seeds += h.SpaceBits()
+	}
+	return int64(cm.rows)*int64(cm.cols)*perCounter + seeds
+}

@@ -1,0 +1,223 @@
+// Package sketch implements the classic linear sketches the paper builds
+// on: Count-Sketch (Charikar, Chen, Farach-Colton) and Count-Min
+// (Cormode, Muthukrishnan). Both are linear maps of the frequency vector,
+// so sketches of two streams can be added, subtracted, and compared; the
+// alpha-property structures in sibling packages (csss, inner, heavy) reuse
+// these tables on sampled sub-streams.
+//
+// The Count-Sketch guarantee reproduced here is Lemma 2 of the paper: a
+// d x 6k table answers point queries within Err^k_2(f)/sqrt(k) with high
+// probability for d = O(log n), and each row's L2 norm estimates ||f||_2
+// within (1 +- O(1/sqrt(cols))) (Lemma 4).
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hash"
+	"repro/internal/nt"
+)
+
+// CountSketch is a d-row, w-column Count-Sketch with int64 counters.
+type CountSketch struct {
+	buckets *hash.Buckets
+	rows    int
+	cols    uint64
+	table   [][]int64
+	maxAbs  int64 // largest |counter| ever held (diagnostics)
+	mass    int64 // sum of |delta| consumed: counters must be sized for it
+}
+
+// NewCountSketch allocates a rows x cols Count-Sketch with fresh 4-wise
+// independent hash functions drawn from rng.
+func NewCountSketch(rng *rand.Rand, rows int, cols uint64) *CountSketch {
+	return NewCountSketchWithBuckets(hash.NewBuckets(rng, rows, cols))
+}
+
+// NewCountSketchWithBuckets builds a Count-Sketch over existing hash
+// functions. Two sketches sharing Buckets are comparable: their tables
+// are coordinate-wise linear in their input streams, which the
+// inner-product estimators require.
+func NewCountSketchWithBuckets(b *hash.Buckets) *CountSketch {
+	cs := &CountSketch{buckets: b, rows: b.Rows, cols: b.Cols}
+	cs.table = make([][]int64, cs.rows)
+	for i := range cs.table {
+		cs.table[i] = make([]int64, cs.cols)
+	}
+	return cs
+}
+
+// Rows returns the number of rows d.
+func (cs *CountSketch) Rows() int { return cs.rows }
+
+// Cols returns the number of columns (buckets per row).
+func (cs *CountSketch) Cols() uint64 { return cs.cols }
+
+// Buckets exposes the hash wiring for sketches that must share it.
+func (cs *CountSketch) Buckets() *hash.Buckets { return cs.buckets }
+
+// Update adds delta to coordinate i.
+func (cs *CountSketch) Update(i uint64, delta int64) {
+	if delta >= 0 {
+		cs.mass += delta
+	} else {
+		cs.mass -= delta
+	}
+	for r := 0; r < cs.rows; r++ {
+		c := cs.buckets.Bucket(r, i)
+		cs.table[r][c] += int64(cs.buckets.Sign(r, i)) * delta
+		if a := abs64(cs.table[r][c]); a > cs.maxAbs {
+			cs.maxAbs = a
+		}
+	}
+}
+
+// RowEstimate returns row r's estimate g_r(i) * table[r][h_r(i)] of f_i.
+func (cs *CountSketch) RowEstimate(r int, i uint64) int64 {
+	return int64(cs.buckets.Sign(r, i)) * cs.table[r][cs.buckets.Bucket(r, i)]
+}
+
+// Query returns the median-of-rows point estimate of f_i (Lemma 2).
+func (cs *CountSketch) Query(i uint64) int64 {
+	ests := make([]int64, cs.rows)
+	for r := 0; r < cs.rows; r++ {
+		ests[r] = cs.RowEstimate(r, i)
+	}
+	return medianInt64(ests)
+}
+
+// RowL2 returns the L2 norm of row r, a (1 +- O(1/sqrt(cols))) estimate
+// of ||f||_2 with probability 99/100 (Lemma 4).
+func (cs *CountSketch) RowL2(r int) float64 {
+	var s float64
+	for _, v := range cs.table[r] {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// L2Estimate returns the median of the per-row L2 estimates.
+func (cs *CountSketch) L2Estimate() float64 {
+	ests := make([]float64, cs.rows)
+	for r := range ests {
+		ests[r] = cs.RowL2(r)
+	}
+	sort.Float64s(ests)
+	return ests[len(ests)/2]
+}
+
+// RowResidualL2 returns the L2 norm of row r after subtracting the
+// sketch of the sparse vector yhat (values at fixed-point scale fpUnit:
+// the table is assumed to hold values multiplied by fpUnit). Used by the
+// precision-sampling tail estimator (Lemma 5) on dense baselines.
+func (cs *CountSketch) RowResidualL2(r int, yhat map[uint64]float64, fpUnit float64) float64 {
+	resid := make([]float64, cs.cols)
+	for c := uint64(0); c < cs.cols; c++ {
+		resid[c] = float64(cs.table[r][c]) / fpUnit
+	}
+	for j, v := range yhat {
+		c := cs.buckets.Bucket(r, j)
+		resid[c] -= float64(cs.buckets.Sign(r, j)) * v
+	}
+	var t float64
+	for _, v := range resid {
+		t += v * v
+	}
+	return math.Sqrt(t)
+}
+
+// RowInner returns <A_r, B_r> for row r of two sketches sharing hashes;
+// its expectation is <f, g>.
+func (cs *CountSketch) RowInner(other *CountSketch, r int) int64 {
+	if cs.buckets != other.buckets {
+		panic("sketch: RowInner requires sketches sharing hash.Buckets")
+	}
+	var s int64
+	for c := uint64(0); c < cs.cols; c++ {
+		s += cs.table[r][c] * other.table[r][c]
+	}
+	return s
+}
+
+// InnerProduct returns the median over rows of the per-row inner
+// products, an estimate of <f, g> with additive error
+// O(||f||_2 ||g||_2 / sqrt(cols)).
+func (cs *CountSketch) InnerProduct(other *CountSketch) int64 {
+	ests := make([]int64, cs.rows)
+	for r := 0; r < cs.rows; r++ {
+		ests[r] = cs.RowInner(other, r)
+	}
+	return medianInt64(ests)
+}
+
+// Add accumulates another sketch sharing the same hashes (linearity).
+func (cs *CountSketch) Add(other *CountSketch) {
+	cs.combine(other, 1)
+}
+
+// Sub subtracts another sketch sharing the same hashes.
+func (cs *CountSketch) Sub(other *CountSketch) {
+	cs.combine(other, -1)
+}
+
+func (cs *CountSketch) combine(other *CountSketch, sign int64) {
+	if cs.buckets != other.buckets {
+		panic("sketch: combining sketches with different hashes")
+	}
+	for r := range cs.table {
+		for c := range cs.table[r] {
+			cs.table[r][c] += sign * other.table[r][c]
+			if a := abs64(cs.table[r][c]); a > cs.maxAbs {
+				cs.maxAbs = a
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy sharing the hash functions.
+func (cs *CountSketch) Clone() *CountSketch {
+	c := NewCountSketchWithBuckets(cs.buckets)
+	for r := range cs.table {
+		copy(c.table[r], cs.table[r])
+	}
+	c.maxAbs = cs.maxAbs
+	return c
+}
+
+// SpaceBits charges each counter at capacity: a turnstile Count-Sketch
+// bucket can absorb the entire stream mass, so it must be dimensioned at
+// log2(m M) + 1 bits (the paper's model for the dense baselines), plus
+// the hash seeds.
+func (cs *CountSketch) SpaceBits() int64 {
+	perCounter := int64(nt.BitsFor(uint64(cs.mass))) + 1
+	return int64(cs.rows)*int64(cs.cols)*perCounter + cs.buckets.SpaceBits()
+}
+
+// String summarizes dimensions for diagnostics.
+func (cs *CountSketch) String() string {
+	return fmt.Sprintf("CountSketch{%dx%d, maxAbs=%d}", cs.rows, cs.cols, cs.maxAbs)
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func medianInt64(xs []int64) int64 {
+	s := make([]int64, len(xs))
+	copy(s, xs)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

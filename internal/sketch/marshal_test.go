@@ -1,0 +1,85 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCountSketchMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cs := NewCountSketch(rng, 5, 64)
+	for i := uint64(0); i < 500; i++ {
+		cs.Update(i, int64(i%7)-3)
+	}
+	data, err := cs.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &CountSketch{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 500; i++ {
+		if restored.Query(i) != cs.Query(i) {
+			t.Fatalf("query %d differs after round trip", i)
+		}
+	}
+	if restored.SpaceBits() != cs.SpaceBits() {
+		t.Errorf("SpaceBits differs: %d vs %d", restored.SpaceBits(), cs.SpaceBits())
+	}
+}
+
+// TestCombineRemote: the difference of two serialized sketches built on
+// the same wiring answers queries about f - g.
+func TestCombineRemote(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewCountSketch(rng, 7, 256)
+	b := NewCountSketchWithBuckets(a.Buckets())
+	a.Update(5, 100)
+	a.Update(9, 40)
+	b.Update(9, 40)
+	b.Update(11, 25)
+	wire, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CombineRemote(wire, -1); err != nil {
+		t.Fatal(err)
+	}
+	// a now sketches f - g: {5: 100, 11: -25}.
+	if got := a.Query(5); got != 100 {
+		t.Errorf("Query(5) = %d, want 100", got)
+	}
+	if got := a.Query(9); got != 0 {
+		t.Errorf("Query(9) = %d, want 0", got)
+	}
+	if got := a.Query(11); got != -25 {
+		t.Errorf("Query(11) = %d, want -25", got)
+	}
+}
+
+func TestCombineRemoteRejectsForeign(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewCountSketch(rng, 3, 16)
+	b := NewCountSketch(rng, 3, 16) // fresh hashes
+	wire, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CombineRemote(wire, 1); err == nil {
+		t.Error("expected rejection of foreign wiring")
+	}
+}
+
+func TestCountSketchUnmarshalRejectsGarbage(t *testing.T) {
+	cs := &CountSketch{}
+	for _, data := range [][]byte{nil, {9}, []byte("CSgarbagegarbagegarbagegarbagegar")} {
+		if err := cs.UnmarshalBinary(data); err == nil {
+			t.Errorf("accepted garbage of length %d", len(data))
+		}
+	}
+	good, _ := NewCountSketch(rand.New(rand.NewSource(4)), 2, 8).MarshalBinary()
+	if err := cs.UnmarshalBinary(good[:len(good)-3]); err == nil {
+		t.Error("accepted truncated data")
+	}
+}

@@ -1,0 +1,270 @@
+// Package sparse implements exact s-sparse recovery (the paper's
+// Lemma 22, cited from Jowhari-Saglam-Tardos): a linear sketch of
+// O(s log n) bits from which an s-sparse frequency vector can be
+// recovered exactly with high probability, and which reports DENSE when
+// the vector is not s-sparse.
+//
+// The construction is an invertible Bloom lookup table (IBLT) over the
+// Mersenne field: three pairwise-independent bucket choices per item,
+// each cell holding
+//
+//	count  = sum of f_x over items x in the cell     (int64)
+//	keySum = sum of f_x * x        mod p             (field)
+//	fpSum  = sum of f_x * fp(x)    mod p             (field)
+//
+// A cell is a verified singleton when keySum/count names an in-range key
+// that hashes to that cell and whose fingerprint matches fpSum/count;
+// peeling verified singletons recovers the vector. Fingerprints make a
+// false peel a 1/p event, so failures surface as DENSE rather than as
+// wrong answers. The sketch is linear: Add/Sub combine sketches
+// coordinate-wise, which Figure 8's suffix-vector trick relies on.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hash"
+	"repro/internal/nt"
+)
+
+// ErrDense is returned by Decode when the sketched vector is (probably)
+// not s-sparse, matching Lemma 22's DENSE output.
+var ErrDense = errors.New("sparse: vector is not s-sparse")
+
+const subtables = 3
+
+// Recovery is the invertible sketch.
+type Recovery struct {
+	capacity int    // s: the sparsity the sketch must recover
+	universe uint64 // keys are in [0, universe)
+	perTable int    // cells per subtable
+	hs       [subtables]*hash.KWise
+	fp       *hash.KWise
+	cells    []cell // subtables concatenated
+	maxCount int64
+}
+
+type cell struct {
+	count  int64
+	keySum uint64 // mod p
+	fpSum  uint64 // mod p
+}
+
+// NewRecovery allocates a sketch able to recover capacity-sparse vectors
+// over [0, universe) with high probability. Total cell count is about
+// 2.4 * capacity (the 3-partite peeling threshold with margin for small
+// capacities).
+func NewRecovery(rng *rand.Rand, capacity int, universe uint64) *Recovery {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sparse: capacity must be >= 1, got %d", capacity))
+	}
+	per := (8*capacity + 9) / 10 // 0.8 * capacity per subtable = 2.4s total
+	if per < 4 {
+		per = 4
+	}
+	r := &Recovery{
+		capacity: capacity,
+		universe: universe,
+		perTable: per,
+		fp:       hash.NewFourWise(rng),
+		cells:    make([]cell, subtables*per),
+	}
+	for i := range r.hs {
+		r.hs[i] = hash.NewPairwise(rng)
+	}
+	return r
+}
+
+// bucket returns the cell index of key x in subtable t.
+func (r *Recovery) bucket(t int, x uint64) int {
+	return t*r.perTable + int(r.hs[t].Range(x, uint64(r.perTable)))
+}
+
+// Update adds delta to coordinate x.
+func (r *Recovery) Update(x uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	xm := x % nt.MersennePrime61
+	fpx := r.fp.Field(x)
+	dm := fieldOf(delta)
+	for t := 0; t < subtables; t++ {
+		c := &r.cells[r.bucket(t, x)]
+		c.count += delta
+		c.keySum = nt.AddModMersenne61(c.keySum, nt.MulModMersenne61(dm, xm))
+		c.fpSum = nt.AddModMersenne61(c.fpSum, nt.MulModMersenne61(dm, fpx))
+		if a := abs64(c.count); a > r.maxCount {
+			r.maxCount = a
+		}
+	}
+}
+
+// Add accumulates another sketch with identical hash functions and
+// dimensions (i.e., one returned by Sibling).
+func (r *Recovery) Add(other *Recovery) { r.combine(other, 1) }
+
+// Sub subtracts another sketch with identical hash functions.
+func (r *Recovery) Sub(other *Recovery) { r.combine(other, -1) }
+
+func (r *Recovery) combine(other *Recovery, sign int64) {
+	if other.perTable != r.perTable || other.hs != r.hs {
+		panic("sparse: combining incompatible sketches")
+	}
+	for i := range r.cells {
+		oc := other.cells[i]
+		ks, fs := oc.keySum, oc.fpSum
+		if sign < 0 {
+			ks = nt.MersennePrime61 - ks
+			if ks == nt.MersennePrime61 {
+				ks = 0
+			}
+			fs = nt.MersennePrime61 - fs
+			if fs == nt.MersennePrime61 {
+				fs = 0
+			}
+		}
+		r.cells[i].count += sign * oc.count
+		r.cells[i].keySum = nt.AddModMersenne61(r.cells[i].keySum, ks)
+		r.cells[i].fpSum = nt.AddModMersenne61(r.cells[i].fpSum, fs)
+		if a := abs64(r.cells[i].count); a > r.maxCount {
+			r.maxCount = a
+		}
+	}
+}
+
+// Sibling returns an empty sketch sharing hash functions and dimensions,
+// so the two may later be combined with Add/Sub.
+func (r *Recovery) Sibling() *Recovery {
+	s := &Recovery{
+		capacity: r.capacity,
+		universe: r.universe,
+		perTable: r.perTable,
+		hs:       r.hs,
+		fp:       r.fp,
+		cells:    make([]cell, subtables*r.perTable),
+	}
+	return s
+}
+
+// trySingleton checks whether cell index ci holds exactly one key and, if
+// so, returns (key, count, true).
+func (r *Recovery) trySingleton(ci int) (uint64, int64, bool) {
+	c := r.cells[ci]
+	if c.count == 0 {
+		return 0, 0, false
+	}
+	cm := fieldOf(c.count)
+	inv := nt.PowMod(cm, nt.MersennePrime61-2, nt.MersennePrime61)
+	x := nt.MulModMersenne61(c.keySum, inv)
+	if x >= r.universe {
+		return 0, 0, false
+	}
+	// The key must actually hash to this cell in this subtable.
+	t := ci / r.perTable
+	if r.bucket(t, x) != ci {
+		return 0, 0, false
+	}
+	// Fingerprint must verify: fpSum == count * fp(x).
+	if c.fpSum != nt.MulModMersenne61(cm, r.fp.Field(x)) {
+		return 0, 0, false
+	}
+	return x, c.count, true
+}
+
+// remove peels (x, count) out of all three subtables.
+func (r *Recovery) remove(x uint64, count int64) {
+	xm := x % nt.MersennePrime61
+	fpx := r.fp.Field(x)
+	dm := fieldOf(-count)
+	for t := 0; t < subtables; t++ {
+		c := &r.cells[r.bucket(t, x)]
+		c.count -= count
+		c.keySum = nt.AddModMersenne61(c.keySum, nt.MulModMersenne61(dm, xm))
+		c.fpSum = nt.AddModMersenne61(c.fpSum, nt.MulModMersenne61(dm, fpx))
+	}
+}
+
+// Decode recovers the sketched vector if it is capacity-sparse,
+// restoring the sketch to its pre-Decode state before returning. It
+// returns ErrDense when peeling stalls or the vector exceeds capacity.
+func (r *Recovery) Decode() (map[uint64]int64, error) {
+	recovered := make(map[uint64]int64)
+	var peeled []struct {
+		x uint64
+		c int64
+	}
+	restore := func() {
+		for _, p := range peeled {
+			r.Update(p.x, p.c)
+		}
+	}
+	progress := true
+	for progress {
+		progress = false
+		for ci := range r.cells {
+			x, count, ok := r.trySingleton(ci)
+			if !ok {
+				continue
+			}
+			r.remove(x, count)
+			recovered[x] += count
+			if recovered[x] == 0 {
+				delete(recovered, x)
+			}
+			peeled = append(peeled, struct {
+				x uint64
+				c int64
+			}{x, count})
+			progress = true
+			if len(peeled) > subtables*r.perTable+r.capacity {
+				restore()
+				return nil, ErrDense
+			}
+		}
+	}
+	for ci := range r.cells {
+		if r.cells[ci].count != 0 || r.cells[ci].keySum != 0 || r.cells[ci].fpSum != 0 {
+			restore()
+			return nil, ErrDense
+		}
+	}
+	restore()
+	if len(recovered) > r.capacity {
+		return nil, ErrDense
+	}
+	return recovered, nil
+}
+
+// Capacity returns s.
+func (r *Recovery) Capacity() int { return r.capacity }
+
+// SpaceBits charges each cell a count at observed width plus two 61-bit
+// field sums, plus the four hash seeds: the O(s log n) of Lemma 22.
+func (r *Recovery) SpaceBits() int64 {
+	countBits := int64(nt.BitsFor(uint64(r.maxCount))) + 1
+	perCell := countBits + 2*61
+	var seeds int64
+	for _, h := range r.hs {
+		seeds += h.SpaceBits()
+	}
+	seeds += r.fp.SpaceBits()
+	return int64(len(r.cells))*perCell + seeds
+}
+
+// fieldOf embeds a signed delta into the Mersenne field.
+func fieldOf(d int64) uint64 {
+	m := d % int64(nt.MersennePrime61)
+	if m < 0 {
+		m += int64(nt.MersennePrime61)
+	}
+	return uint64(m)
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,377 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorApply(t *testing.T) {
+	v := make(Vector)
+	v.Apply(Update{3, 5})
+	v.Apply(Update{3, -5})
+	if _, ok := v[3]; ok {
+		t.Error("zero entry should be deleted")
+	}
+	v.Apply(Update{1, 2})
+	v.Apply(Update{1, 3})
+	if v[1] != 5 {
+		t.Errorf("v[1] = %d, want 5", v[1])
+	}
+	if v.L0() != 1 {
+		t.Errorf("L0 = %d, want 1", v.L0())
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := Vector{1: 3, 2: -4}
+	if v.L1() != 7 {
+		t.Errorf("L1 = %d", v.L1())
+	}
+	if v.L2() != 5 {
+		t.Errorf("L2 = %v", v.L2())
+	}
+	if v.L0() != 2 {
+		t.Errorf("L0 = %d", v.L0())
+	}
+	if got := v.Lp(1); math.Abs(got-7) > 1e-9 {
+		t.Errorf("Lp(1) = %v", got)
+	}
+	if got := v.Lp(2); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Lp(2) = %v", got)
+	}
+}
+
+func TestLpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Lp(0) should panic")
+		}
+	}()
+	Vector{}.Lp(0)
+}
+
+func TestInner(t *testing.T) {
+	v := Vector{1: 2, 2: 3, 5: -1}
+	w := Vector{2: 4, 5: 10, 7: 100}
+	want := int64(3*4 + (-1)*10)
+	if got := v.Inner(w); got != want {
+		t.Errorf("Inner = %d, want %d", got, want)
+	}
+	if got := w.Inner(v); got != want {
+		t.Errorf("Inner not symmetric: %d", got)
+	}
+}
+
+func TestInnerProperty(t *testing.T) {
+	// <v, w> computed both directions agrees, and <v, v> = L2^2.
+	f := func(keys []uint8, vals []int8) bool {
+		v := make(Vector)
+		for i := range keys {
+			if i < len(vals) && vals[i] != 0 {
+				v[uint64(keys[i])] += int64(vals[i])
+				if v[uint64(keys[i])] == 0 {
+					delete(v, uint64(keys[i]))
+				}
+			}
+		}
+		selfInner := float64(v.Inner(v))
+		return math.Abs(selfInner-v.L2Squared()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKAndErrK2(t *testing.T) {
+	v := Vector{1: 10, 2: -20, 3: 5, 4: 1}
+	top := v.TopK(2)
+	if len(top) != 2 || top[0].Index != 2 || top[1].Index != 1 {
+		t.Fatalf("TopK(2) = %v", top)
+	}
+	want := math.Sqrt(25 + 1)
+	if got := v.ErrK2(2); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ErrK2(2) = %v, want %v", got, want)
+	}
+	if got := v.ErrK2(10); got != 0 {
+		t.Errorf("ErrK2(10) = %v, want 0", got)
+	}
+	if got := v.ErrK2(0); math.Abs(got-v.L2()) > 1e-9 {
+		t.Errorf("ErrK2(0) = %v, want L2 = %v", got, v.L2())
+	}
+}
+
+func TestTopKDeterministicTieBreak(t *testing.T) {
+	v := Vector{5: 7, 3: 7, 9: 7}
+	top := v.TopK(2)
+	if top[0].Index != 3 || top[1].Index != 5 {
+		t.Errorf("tie break wrong: %v", top)
+	}
+}
+
+func TestHeavyHitters(t *testing.T) {
+	v := Vector{1: 50, 2: -30, 3: 15, 4: 5} // L1 = 100
+	got := v.HeavyHitters(0.3)
+	if !reflect.DeepEqual(got, []uint64{1, 2}) {
+		t.Errorf("HeavyHitters(0.3) = %v", got)
+	}
+	got = v.HeavyHitters(0.5)
+	if !reflect.DeepEqual(got, []uint64{1}) {
+		t.Errorf("HeavyHitters(0.5) = %v", got)
+	}
+	if got := v.HeavyHitters(0.9); got != nil {
+		t.Errorf("HeavyHitters(0.9) = %v, want none", got)
+	}
+}
+
+func TestL2HeavyHitters(t *testing.T) {
+	v := Vector{1: 4, 2: 3} // L2 = 5
+	if got := v.L2HeavyHitters(0.7); !reflect.DeepEqual(got, []uint64{1}) {
+		t.Errorf("L2HeavyHitters(0.7) = %v", got)
+	}
+}
+
+func TestTrackerBasics(t *testing.T) {
+	tr := NewTracker(100)
+	tr.Update(Update{1, 5})
+	tr.Update(Update{2, 3})
+	tr.Update(Update{1, -2})
+	if tr.M != 10 {
+		t.Errorf("M = %d, want 10", tr.M)
+	}
+	if tr.F[1] != 3 || tr.F[2] != 3 {
+		t.Errorf("F = %v", tr.F)
+	}
+	if tr.I[1] != 5 || tr.D[1] != 2 {
+		t.Errorf("I/D wrong: %v %v", tr.I, tr.D)
+	}
+	if !tr.Strict {
+		t.Error("stream should be strict")
+	}
+	// alpha = (||I||+||D||)/||f|| = 10/6.
+	if got := tr.AlphaL1(); math.Abs(got-10.0/6.0) > 1e-9 {
+		t.Errorf("AlphaL1 = %v", got)
+	}
+	if !tr.HasAlphaL1(2) || tr.HasAlphaL1(1.5) {
+		t.Error("HasAlphaL1 thresholds wrong")
+	}
+}
+
+func TestTrackerStrictDetection(t *testing.T) {
+	tr := NewTracker(10)
+	tr.Update(Update{1, 2})
+	tr.Update(Update{1, -3})
+	if tr.Strict {
+		t.Error("negative prefix should clear Strict")
+	}
+}
+
+func TestTrackerInsertionOnlyAlphaOne(t *testing.T) {
+	tr := NewTracker(1000)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		tr.Update(Update{uint64(rng.Intn(1000)), int64(1 + rng.Intn(5))})
+	}
+	if got := tr.AlphaL1(); got != 1 {
+		t.Errorf("insertion-only AlphaL1 = %v, want 1", got)
+	}
+	if got := tr.AlphaL0(); got != 1 {
+		t.Errorf("insertion-only AlphaL0 = %v, want 1", got)
+	}
+}
+
+func TestTrackerAlphaL0(t *testing.T) {
+	tr := NewTracker(100)
+	// Touch 10 items, zero out 5 of them: F0 = 10, L0 = 5, alpha = 2.
+	for i := uint64(0); i < 10; i++ {
+		tr.Update(Update{i, 1})
+	}
+	for i := uint64(0); i < 5; i++ {
+		tr.Update(Update{i, -1})
+	}
+	if got := tr.F0(); got != 10 {
+		t.Errorf("F0 = %d", got)
+	}
+	if got := tr.AlphaL0(); got != 2 {
+		t.Errorf("AlphaL0 = %v, want 2", got)
+	}
+}
+
+func TestStrongAlpha(t *testing.T) {
+	tr := NewTracker(10)
+	tr.Update(Update{1, 4})
+	tr.Update(Update{1, -2}) // traffic 6, |f|=2 -> ratio 3
+	tr.Update(Update{2, 5})  // ratio 1
+	if got := tr.StrongAlpha(); got != 3 {
+		t.Errorf("StrongAlpha = %v, want 3", got)
+	}
+	tr.Update(Update{2, -5}) // coordinate zeroed -> Inf
+	if got := tr.StrongAlpha(); !math.IsInf(got, 1) {
+		t.Errorf("StrongAlpha = %v, want +Inf", got)
+	}
+}
+
+func TestTrackerEmpty(t *testing.T) {
+	tr := NewTracker(10)
+	if tr.AlphaL1() != 1 || tr.AlphaL0() != 1 || tr.StrongAlpha() != 1 {
+		t.Error("empty stream should have alpha 1 everywhere")
+	}
+}
+
+func TestTrackerZeroVectorInfiniteAlpha(t *testing.T) {
+	tr := NewTracker(10)
+	tr.Update(Update{1, 3})
+	tr.Update(Update{1, -3})
+	if !math.IsInf(tr.AlphaL1(), 1) {
+		t.Error("zero final vector with updates should give alpha = +Inf")
+	}
+}
+
+func TestTrackerPanicsOutOfUniverse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewTracker(4).Update(Update{4, 1})
+}
+
+func TestExpandUnits(t *testing.T) {
+	s := &Stream{N: 10, Updates: []Update{{1, 3}, {2, -2}, {3, 0}}}
+	e := ExpandUnits(s)
+	if int64(len(e.Updates)) != s.UnitLength() {
+		t.Fatalf("expanded length %d, want %d", len(e.Updates), s.UnitLength())
+	}
+	v1 := s.Materialize()
+	v2 := e.Materialize()
+	if !reflect.DeepEqual(v1, v2) {
+		t.Errorf("expanded stream materializes differently: %v vs %v", v1, v2)
+	}
+	for _, u := range e.Updates {
+		if u.Delta != 1 && u.Delta != -1 {
+			t.Errorf("non-unit update %v", u)
+		}
+	}
+}
+
+func TestExpandUnitsProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		s := &Stream{N: 64}
+		for j, d := range raw {
+			if d == 0 {
+				continue
+			}
+			s.Updates = append(s.Updates, Update{uint64(j % 64), int64(d % 20)})
+		}
+		a := s.Materialize()
+		b := ExpandUnits(s).Materialize()
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaterializeMatchesTracker(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := &Stream{N: 256}
+	for i := 0; i < 5000; i++ {
+		s.Updates = append(s.Updates, Update{uint64(rng.Intn(256)), int64(rng.Intn(9) - 4)})
+	}
+	tr := NewTracker(256)
+	tr.Consume(s)
+	if !reflect.DeepEqual(tr.F, s.Materialize()) {
+		t.Error("Tracker.F disagrees with Materialize")
+	}
+	// f = I - D entrywise.
+	for i := range tr.I {
+		if tr.F[i] != tr.I[i]-tr.D[i] {
+			t.Errorf("f != I - D at %d: %d vs %d - %d", i, tr.F[i], tr.I[i], tr.D[i])
+		}
+	}
+}
+
+func TestSupportSorted(t *testing.T) {
+	v := Vector{9: 1, 2: 1, 5: -1}
+	if got := v.Support(); !reflect.DeepEqual(got, []uint64{2, 5, 9}) {
+		t.Errorf("Support = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vector{1: 1}
+	c := v.Clone()
+	c[1] = 99
+	if v[1] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+// TestAlphaAtLeastOneProperty: for any stream, the measured alpha values
+// are always >= 1 (Definition 1 cannot be beaten).
+func TestAlphaAtLeastOneProperty(t *testing.T) {
+	f := func(idx []uint8, deltas []int8) bool {
+		tr := NewTracker(256)
+		for i := range idx {
+			if i >= len(deltas) || deltas[i] == 0 {
+				continue
+			}
+			tr.Update(Update{Index: uint64(idx[i]), Delta: int64(deltas[i])})
+		}
+		return tr.AlphaL1() >= 1 && tr.AlphaL0() >= 1 && tr.StrongAlpha() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestErrKMonotoneProperty: Err^k_2 is non-increasing in k.
+func TestErrKMonotoneProperty(t *testing.T) {
+	f := func(vals []int8) bool {
+		v := make(Vector)
+		for i, x := range vals {
+			if x != 0 {
+				v[uint64(i)] = int64(x)
+			}
+		}
+		prev := v.ErrK2(0)
+		for k := 1; k <= len(v)+1; k++ {
+			cur := v.ErrK2(k)
+			if cur > prev+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTopKSubsetProperty: TopK(j) is a prefix of TopK(k) for j < k.
+func TestTopKSubsetProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		v := make(Vector)
+		for i, x := range vals {
+			if x != 0 {
+				v[uint64(i)] = int64(x)
+			}
+		}
+		full := v.TopK(len(v))
+		for j := 0; j <= len(full); j++ {
+			part := v.TopK(j)
+			for i := range part {
+				if part[i] != full[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

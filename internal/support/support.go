@@ -1,0 +1,225 @@
+// Package support implements support sampling (the paper's Section 7):
+// return at least min(k, ||f||_0) coordinates of the support of a strict
+// turnstile stream.
+//
+// Sampler follows Figure 8 (alpha-SupportSampler): identities are
+// level-sampled by a pairwise hash (level j keeps items with h(i) <
+// 2^j, an expected 2^j/n fraction), each live level feeds an exact
+// s-sparse recovery sketch (package sparse, the paper's Lemma 22), and —
+// this is the alpha-property saving — only the levels within a window of
+// log2(n*s / (3*R_t)) are maintained, where R_t is the running rough L0
+// estimate (Corollary 2). A level created at time t_j sketches the
+// suffix frequency vector f^{t_j:m}; on a strict turnstile stream every
+// strictly positive suffix coordinate belongs to the final support,
+// which is why decoding suffix vectors is sound (Theorem 11).
+//
+// The unbounded-deletion baseline (windowed = false) maintains all
+// log(n) levels for the whole stream — the O(k log^2 n) layout Figure 1
+// row 8 compares against.
+package support
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hash"
+	"repro/internal/l0"
+	"repro/internal/nt"
+	"repro/internal/sparse"
+)
+
+// Params configures a Sampler.
+type Params struct {
+	// N is the universe size (power of two recommended).
+	N uint64
+	// K is the number of support coordinates the caller wants.
+	K int
+	// SparsityFactor scales the per-level sketch capacity s = factor*K
+	// (the paper's s = 205k; 8 is the laptop-scaled default used when 0;
+	// DESIGN.md section 5).
+	SparsityFactor int
+	// Windowed selects Figure 8 (true) or the keep-all-levels baseline
+	// (false).
+	Windowed bool
+	// Window is the one-sided level window around log2(ns/3R_t);
+	// nominally 2*log2(alpha/eps) with eps = 1/48 (Figure 8 step 2).
+	// RecommendedWindow supplies a padded default.
+	Window int
+}
+
+// RecommendedWindow returns a level window in the Figure 8 form
+// log2(48*alpha) plus constant padding for the looser factors of our
+// rough-estimator substitution. (The paper writes 2*log2(alpha/eps)
+// with eps = 1/48; its constants are generous — one log suffices for
+// the overshoot range [L0, O(alpha) L0] the estimate can occupy.)
+func RecommendedWindow(alpha float64) int {
+	if alpha < 1 {
+		alpha = 1
+	}
+	return int(math.Ceil(math.Log2(48*alpha))) + 3
+}
+
+// Sampler is the support sampler.
+type Sampler struct {
+	params   Params
+	s        int // per-level sparse recovery capacity
+	maxLevel int
+	h        *hash.KWise
+	rough    *l0.RoughF0
+	levels   map[int]*levelSketch
+	proto    *sparse.Recovery // hash-sharing prototype for level sketches
+	rng      *rand.Rand
+	// alwaysFrom: levels >= this index are always maintained (Figure 8's
+	// j >= log(n*s*loglog n / (24 log n)) clause, covering tiny L0).
+	maxLiveLevels int
+}
+
+type levelSketch struct {
+	j      int
+	sketch *sparse.Recovery
+}
+
+// NewSampler builds a support sampler.
+func NewSampler(rng *rand.Rand, params Params) *Sampler {
+	if params.K < 1 || params.N < 2 {
+		panic(fmt.Sprintf("support: invalid params %+v", params))
+	}
+	factor := params.SparsityFactor
+	if factor <= 0 {
+		factor = 8
+	}
+	sp := &Sampler{
+		params:   params,
+		s:        factor * params.K,
+		maxLevel: nt.Log2Ceil(params.N),
+		h:        hash.NewPairwise(rng),
+		rough:    l0.NewRoughF0(rng, 16),
+		levels:   make(map[int]*levelSketch),
+		rng:      rng,
+	}
+	sp.proto = sparse.NewRecovery(rng, sp.s, params.N)
+	sp.syncLevels()
+	return sp
+}
+
+// liveRange returns the maintained level interval [lo, maxLevel] — the
+// top levels are always kept; below the window only.
+func (sp *Sampler) liveRange() (int, int) {
+	if !sp.params.Windowed {
+		return 0, sp.maxLevel
+	}
+	r := sp.rough.Estimate()
+	if r < 1 {
+		r = 1
+	}
+	// center = log2(n*s / (3*R_t)).
+	ns := float64(sp.params.N) * float64(sp.s)
+	center := int(math.Floor(math.Log2(ns / (3 * float64(r)))))
+	lo := center - sp.params.Window
+	hi := center + sp.params.Window
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > sp.maxLevel {
+		hi = sp.maxLevel
+	}
+	return lo, hi
+}
+
+func (sp *Sampler) syncLevels() {
+	lo, hi := sp.liveRange()
+	keep := func(j int) bool {
+		if j >= lo && j <= hi {
+			return true
+		}
+		// Figure 8's always-on top levels (they cover streams whose L0
+		// stays below the rough estimator's reliable range).
+		return j > sp.maxLevel-2 && j <= sp.maxLevel
+	}
+	for j := range sp.levels {
+		if !keep(j) {
+			delete(sp.levels, j)
+		}
+	}
+	for j := 0; j <= sp.maxLevel; j++ {
+		if keep(j) {
+			if _, ok := sp.levels[j]; !ok {
+				sp.levels[j] = &levelSketch{j: j, sketch: sp.proto.Sibling()}
+			}
+		}
+	}
+	if len(sp.levels) > sp.maxLiveLevels {
+		sp.maxLiveLevels = len(sp.levels)
+	}
+}
+
+// Update feeds one stream update.
+func (sp *Sampler) Update(i uint64, delta int64) {
+	if delta == 0 {
+		return
+	}
+	sp.rough.Update(i)
+	if sp.params.Windowed {
+		sp.syncLevels()
+	}
+	hv := sp.h.Range(i, sp.params.N)
+	// i belongs to I_j iff hv < 2^j, i.e. j >= bitlen(hv).
+	minLevel := 0
+	if hv > 0 {
+		minLevel = nt.Log2Floor(hv) + 1
+	}
+	for j, lv := range sp.levels {
+		if j >= minLevel {
+			lv.sketch.Update(i, delta)
+		}
+	}
+}
+
+// Recover returns distinct support coordinates — every one strictly
+// positive in some decoded suffix vector, hence in the true support of a
+// strict turnstile stream. On success the result has at least
+// min(K, ||f||_0) entries with the probability of Theorem 11.
+func (sp *Sampler) Recover() []uint64 {
+	found := make(map[uint64]bool)
+	// Decode denser (higher) levels last so sparse levels contribute
+	// first; order is cosmetic since we take a union.
+	order := make([]int, 0, len(sp.levels))
+	for j := range sp.levels {
+		order = append(order, j)
+	}
+	sort.Ints(order)
+	for _, j := range order {
+		vec, err := sp.levels[j].sketch.Decode()
+		if err != nil {
+			continue // DENSE level; other levels may still decode
+		}
+		for x, v := range vec {
+			if v > 0 {
+				found[x] = true
+			}
+		}
+	}
+	out := make([]uint64, 0, len(found))
+	for x := range found {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// LiveLevels reports the number of maintained level sketches.
+func (sp *Sampler) LiveLevels() int { return len(sp.levels) }
+
+// SpaceBits sums the live level sketches (at the peak live count), the
+// level hash, and the rough estimator.
+func (sp *Sampler) SpaceBits() int64 {
+	var perLevel int64
+	for _, lv := range sp.levels {
+		if b := lv.sketch.SpaceBits(); b > perLevel {
+			perLevel = b
+		}
+	}
+	return int64(sp.maxLiveLevels)*perLevel + sp.h.SpaceBits() + sp.rough.SpaceBits()
+}

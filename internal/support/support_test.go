@@ -1,0 +1,214 @@
+package support
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// strictStream builds a strict-turnstile L0 alpha-property stream: f0
+// distinct items inserted, all but f0/alpha fully deleted.
+func strictStream(rng *rand.Rand, n uint64, f0 int, alpha float64) (*stream.Stream, stream.Vector) {
+	s := &stream.Stream{N: n}
+	seen := make(map[uint64]bool)
+	ids := make([]uint64, 0, f0)
+	for len(ids) < f0 {
+		id := uint64(rng.Int63n(int64(n)))
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		ids = append(ids, id)
+		s.Updates = append(s.Updates, stream.Update{Index: id, Delta: 1 + rng.Int63n(4)})
+	}
+	v := s.Materialize()
+	kill := int(float64(f0) * (1 - 1/alpha))
+	for i := 0; i < kill; i++ {
+		s.Updates = append(s.Updates, stream.Update{Index: ids[i], Delta: -v[ids[i]]})
+	}
+	return s, s.Materialize()
+}
+
+func checkValid(t *testing.T, got []uint64, v stream.Vector) {
+	t.Helper()
+	for _, x := range got {
+		if v[x] == 0 {
+			t.Fatalf("returned %d not in support", x)
+		}
+	}
+}
+
+func TestRecoversSparseSupportExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sp := NewSampler(rng, Params{N: 1 << 16, K: 16})
+	v := stream.Vector{3: 5, 900: 2, 40000: 11}
+	for i, x := range v {
+		sp.Update(i, x)
+	}
+	got := sp.Recover()
+	checkValid(t, got, v)
+	if len(got) != 3 {
+		t.Errorf("recovered %d coords, want all 3: %v", len(got), got)
+	}
+}
+
+func TestReturnsAtLeastKOnDenseStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s, v := strictStream(rng, 1<<16, 6000, 4)
+	const k = 32
+	good := 0
+	const reps = 10
+	for rep := 0; rep < reps; rep++ {
+		sp := NewSampler(rng, Params{N: 1 << 16, K: k})
+		for _, u := range s.Updates {
+			sp.Update(u.Index, u.Delta)
+		}
+		got := sp.Recover()
+		checkValid(t, got, v)
+		if len(got) >= k {
+			good++
+		}
+	}
+	if good < reps*4/5 {
+		t.Errorf("returned >= k coords only %d/%d times", good, reps)
+	}
+}
+
+func TestWindowedMatchesBaselineValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const alpha = 4.0
+	s, v := strictStream(rng, 1<<16, 6000, alpha)
+	const k = 32
+	win := RecommendedWindow(alpha)
+	good := 0
+	const reps = 10
+	for rep := 0; rep < reps; rep++ {
+		sp := NewSampler(rng, Params{N: 1 << 16, K: k, Windowed: true, Window: win})
+		for _, u := range s.Updates {
+			sp.Update(u.Index, u.Delta)
+		}
+		got := sp.Recover()
+		checkValid(t, got, v)
+		if len(got) >= k {
+			good++
+		}
+	}
+	if good < reps*4/5 {
+		t.Errorf("windowed sampler returned >= k coords only %d/%d times", good, reps)
+	}
+}
+
+func TestWindowedKeepsFewerLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	full := NewSampler(rng, Params{N: 1 << 40, K: 8})
+	win := NewSampler(rng, Params{N: 1 << 40, K: 8, Windowed: true, Window: 8})
+	for i := uint64(0); i < 3000; i++ {
+		full.Update(i, 1)
+		win.Update(i, 1)
+	}
+	if win.LiveLevels() >= full.LiveLevels() {
+		t.Errorf("windowed levels %d >= full levels %d", win.LiveLevels(), full.LiveLevels())
+	}
+	if win.SpaceBits() >= full.SpaceBits() {
+		t.Errorf("windowed space %d >= full %d", win.SpaceBits(), full.SpaceBits())
+	}
+}
+
+// TestSuffixSafety: deletions that happen before a level is created must
+// never cause a non-support coordinate to be returned (the strictly-
+// positive filter of Theorem 11).
+func TestSuffixSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 1 << 16
+	// Phase 1: insert many items (levels will be created later under
+	// windowing as the rough estimate grows).
+	sp := NewSampler(rng, Params{N: n, K: 8, Windowed: true, Window: 6})
+	tr := stream.NewTracker(n)
+	feed := func(i uint64, d int64) {
+		sp.Update(i, d)
+		tr.Update(stream.Update{Index: i, Delta: d})
+	}
+	for i := uint64(0); i < 2000; i++ {
+		feed(i, 2)
+	}
+	// Phase 2: delete most of them entirely.
+	for i := uint64(0); i < 1900; i++ {
+		feed(i, -2)
+	}
+	got := sp.Recover()
+	checkValid(t, got, tr.F)
+	if len(got) == 0 {
+		t.Error("expected at least one support coordinate")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sp := NewSampler(rng, Params{N: 1 << 10, K: 4})
+	if got := sp.Recover(); len(got) != 0 {
+		t.Errorf("empty stream recovered %v", got)
+	}
+}
+
+func TestFullCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sp := NewSampler(rng, Params{N: 1 << 10, K: 4})
+	for i := uint64(0); i < 200; i++ {
+		sp.Update(i, 3)
+	}
+	for i := uint64(0); i < 200; i++ {
+		sp.Update(i, -3)
+	}
+	if got := sp.Recover(); len(got) != 0 {
+		t.Errorf("cancelled stream recovered %v", got)
+	}
+}
+
+func TestFewerThanKSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	sp := NewSampler(rng, Params{N: 1 << 12, K: 64})
+	for i := uint64(0); i < 5; i++ {
+		sp.Update(i*100, 7)
+	}
+	got := sp.Recover()
+	if len(got) != 5 {
+		t.Errorf("recovered %d of 5 support coords", len(got))
+	}
+}
+
+func TestRecommendedWindowGrows(t *testing.T) {
+	if RecommendedWindow(16) <= RecommendedWindow(1) {
+		t.Error("window should grow with alpha")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSampler(rand.New(rand.NewSource(9)), Params{N: 100, K: 0})
+}
+
+func BenchmarkUpdateWindowed(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	sp := NewSampler(rng, Params{N: 1 << 30, K: 16, Windowed: true, Window: 10})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Update(uint64(i), 1)
+	}
+}
+
+func BenchmarkRecover(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	sp := NewSampler(rng, Params{N: 1 << 20, K: 16})
+	for i := uint64(0); i < 10000; i++ {
+		sp.Update(i*7, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Recover()
+	}
+}

@@ -1,0 +1,89 @@
+// Package topk provides a bounded candidate tracker — the standard
+// heap-beside-sketch pattern: on every stream update the updated item's
+// fresh sketch estimate is offered, so any true heavy item (whose
+// estimate at some point exceeds the eviction floor) is retained. With
+// capacity O(1/eps) the tracker adds O(eps^-1 log n) bits, within every
+// heavy-hitters and sampling space budget in this library.
+package topk
+
+import (
+	"sort"
+
+	"repro/internal/nt"
+)
+
+// Tracker maintains a bounded set of candidate items with their latest
+// estimates.
+type Tracker struct {
+	cap  int
+	ests map[uint64]float64
+}
+
+// New returns a tracker retaining the top `capacity` items by
+// |estimate|.
+func New(capacity int) *Tracker {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracker{cap: capacity, ests: make(map[uint64]float64, 2*capacity)}
+}
+
+// Offer records the latest estimate for item i, compacting to the top
+// cap items when the map doubles past capacity.
+func (t *Tracker) Offer(i uint64, est float64) {
+	t.ests[i] = est
+	if len(t.ests) > 2*t.cap {
+		t.Compact()
+	}
+}
+
+// Compact shrinks the tracked set to capacity, keeping the largest
+// |estimate| items (ties broken by index for determinism).
+func (t *Tracker) Compact() {
+	type kv struct {
+		i uint64
+		v float64
+	}
+	all := make([]kv, 0, len(t.ests))
+	for i, v := range t.ests {
+		all = append(all, kv{i, v})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		av, bv := abs(all[a].v), abs(all[b].v)
+		if av != bv {
+			return av > bv
+		}
+		return all[a].i < all[b].i
+	})
+	if len(all) > t.cap {
+		all = all[:t.cap]
+	}
+	t.ests = make(map[uint64]float64, 2*t.cap)
+	for _, e := range all {
+		t.ests[e.i] = e.v
+	}
+}
+
+// Candidates returns the tracked items, unordered.
+func (t *Tracker) Candidates() []uint64 {
+	out := make([]uint64, 0, len(t.ests))
+	for i := range t.ests {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Len returns the current number of tracked items.
+func (t *Tracker) Len() int { return len(t.ests) }
+
+// SpaceBits charges cap slots of (id, estimate) pairs over universe n.
+func (t *Tracker) SpaceBits(n uint64) int64 {
+	return int64(t.cap) * int64(nt.BitsFor(n)+32)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,108 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeepsLargest(t *testing.T) {
+	tr := New(4)
+	for i := uint64(0); i < 1000; i++ {
+		tr.Offer(i, float64(i))
+	}
+	tr.Compact()
+	keep := map[uint64]bool{}
+	for _, c := range tr.Candidates() {
+		keep[c] = true
+	}
+	for want := uint64(996); want < 1000; want++ {
+		if !keep[want] {
+			t.Errorf("evicted top item %d; kept %v", want, tr.Candidates())
+		}
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d after compaction, want 4", tr.Len())
+	}
+}
+
+func TestNegativeMagnitudes(t *testing.T) {
+	tr := New(2)
+	tr.Offer(1, -100)
+	tr.Offer(2, 5)
+	tr.Offer(3, 1)
+	tr.Compact()
+	keep := map[uint64]bool{}
+	for _, c := range tr.Candidates() {
+		keep[c] = true
+	}
+	if !keep[1] || !keep[2] {
+		t.Errorf("|estimate| ordering wrong: %v", tr.Candidates())
+	}
+}
+
+func TestUpdatedEstimateResurrects(t *testing.T) {
+	tr := New(2)
+	tr.Offer(7, 1)
+	tr.Offer(8, 50)
+	tr.Offer(9, 60)
+	tr.Offer(7, 100)
+	tr.Compact()
+	found := false
+	for _, c := range tr.Candidates() {
+		if c == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("re-offered item with larger estimate was evicted")
+	}
+}
+
+func TestBoundedMemoryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(capRaw uint8, n uint16) bool {
+		capacity := int(capRaw)%16 + 1
+		tr := New(capacity)
+		for i := 0; i < int(n); i++ {
+			tr.Offer(rng.Uint64()%1000, rng.Float64()*100)
+		}
+		return tr.Len() <= 2*capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	tr := New(0)
+	tr.Offer(1, 1)
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.SpaceBits(1<<20) <= 0 {
+		t.Error("SpaceBits must be positive")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	run := func() []uint64 {
+		tr := New(2)
+		for _, i := range []uint64{5, 3, 9, 7} {
+			tr.Offer(i, 42)
+		}
+		tr.Compact()
+		return tr.Candidates()
+	}
+	a := run()
+	b := run()
+	am := map[uint64]bool{}
+	for _, x := range a {
+		am[x] = true
+	}
+	for _, x := range b {
+		if !am[x] {
+			t.Fatalf("tie-break nondeterministic: %v vs %v", a, b)
+		}
+	}
+}
