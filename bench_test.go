@@ -63,12 +63,44 @@ func feedAll(s *stream.Stream, up func(uint64, int64)) {
 type metrics map[string]float64
 
 // timeUpdates times the update path of `up` over the stream's updates,
-// then attaches the collected metrics.
+// then attaches the collected metrics. Allocations are reported so the
+// zero-allocation steady-state contract of the update pipeline is
+// checked on every benchmark run.
 func timeUpdates(b *testing.B, s *stream.Stream, up func(uint64, int64), m metrics) {
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u := s.Updates[i%len(s.Updates)]
 		up(u.Index, u.Delta)
+	}
+	b.StopTimer()
+	for k, v := range m {
+		b.ReportMetric(v, k)
+	}
+}
+
+// benchBatchSize is the ingest batch width used by the *Batch
+// benchmarks — large enough to amortize per-call overhead, small enough
+// to model a network read's worth of updates.
+const benchBatchSize = 256
+
+// timeBatches times the batched ingest path: ns/op remains
+// per-update so numbers are directly comparable with timeUpdates.
+func timeBatches(b *testing.B, s *stream.Stream, up func([]stream.Update), m metrics) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		for off := 0; off < len(s.Updates) && done < b.N; off += benchBatchSize {
+			end := off + benchBatchSize
+			if end > len(s.Updates) {
+				end = len(s.Updates)
+			}
+			if take := b.N - done; end-off > take {
+				end = off + take
+			}
+			up(s.Updates[off:end])
+			done += end - off
+		}
 	}
 	b.StopTimer()
 	for k, v := range m {
@@ -96,6 +128,16 @@ func BenchmarkFig1HeavyHittersStrict(b *testing.B) {
 
 	fresh := heavy.NewAlphaL1(rng, heavy.AlphaL1Params{N: benchN, Eps: benchEps, Mode: heavy.Strict, Alpha: benchAlpha})
 	timeUpdates(b, s, fresh.Update, m)
+}
+
+// BenchmarkFig1HeavyHittersStrictBatch — the same structure fed through
+// the batched ingest path (UpdateBatch): candidate tracking refreshes
+// once per distinct index per batch instead of once per update.
+func BenchmarkFig1HeavyHittersStrictBatch(b *testing.B) {
+	s, _ := benchHHStream()
+	rng := rand.New(rand.NewSource(benchSeed))
+	fresh := heavy.NewAlphaL1(rng, heavy.AlphaL1Params{N: benchN, Eps: benchEps, Mode: heavy.Strict, Alpha: benchAlpha})
+	timeBatches(b, s, fresh.UpdateBatch, metrics{})
 }
 
 // BenchmarkFig1HeavyHittersGeneral — Figure 1 row 2: eps-HH, general
@@ -342,6 +384,17 @@ func BenchmarkFig3AlphaL1Sampler(b *testing.B) {
 
 	fresh := sampler.New(rng, p, 4)
 	timeUpdates(b, s, fresh.Update, m)
+}
+
+// BenchmarkFig3AlphaL1SamplerBatch — the Figure 3 sampler fed through
+// UpdateBatch: the distinct-index candidate refresh is computed once
+// and shared across the parallel copies.
+func BenchmarkFig3AlphaL1SamplerBatch(b *testing.B) {
+	s := gen.BoundedDeletion(gen.Config{N: 64, Items: 6000, Alpha: 2, Seed: benchSeed})
+	rng := rand.New(rand.NewSource(benchSeed))
+	p := sampler.Params{N: 64, Eps: 0.25, Alpha: 2, S: 1 << 18}
+	fresh := sampler.New(rng, p, 4)
+	timeBatches(b, s, fresh.UpdateBatch, metrics{})
 }
 
 // BenchmarkFig4AlphaL1Estimator — Figure 4 / Theorem 6.

@@ -67,6 +67,11 @@ func NewHeavyHitters(cfg Config, strict bool) *HeavyHitters {
 // Update feeds one stream update.
 func (h *HeavyHitters) Update(i uint64, delta int64) { h.impl.Update(i, delta) }
 
+// UpdateBatch feeds a batch of updates in one call — the preferred
+// high-throughput ingest path: per-call overhead amortizes across the
+// batch and candidate tracking refreshes once per distinct index.
+func (h *HeavyHitters) UpdateBatch(batch []Update) { h.impl.UpdateBatch(batch) }
+
 // HeavyHitters returns the detected heavy coordinates, sorted.
 func (h *HeavyHitters) HeavyHitters() []uint64 { return h.impl.HeavyHitters() }
 
@@ -115,6 +120,15 @@ func (e *L1Estimator) Update(i uint64, delta int64) {
 	}
 }
 
+// UpdateBatch feeds a batch of updates in one call.
+func (e *L1Estimator) UpdateBatch(batch []Update) {
+	if e.strict != nil {
+		e.strict.UpdateBatch(batch)
+	} else {
+		e.general.UpdateBatch(batch)
+	}
+}
+
 // Estimate returns the (1 +- eps) estimate of ||f||_1.
 func (e *L1Estimator) Estimate() float64 {
 	if e.strict != nil {
@@ -149,6 +163,9 @@ func NewL0Estimator(cfg Config) *L0Estimator {
 
 // Update feeds one stream update.
 func (e *L0Estimator) Update(i uint64, delta int64) { e.impl.Update(i, delta) }
+
+// UpdateBatch feeds a batch of updates in one call.
+func (e *L0Estimator) UpdateBatch(batch []Update) { e.impl.UpdateBatch(batch) }
 
 // Estimate returns the (1 +- eps) estimate of ||f||_0.
 func (e *L0Estimator) Estimate() float64 { return e.impl.Estimate() }
@@ -189,6 +206,11 @@ func NewL1Sampler(cfg Config, copies int) *L1Sampler {
 // Update feeds one stream update.
 func (s *L1Sampler) Update(i uint64, delta int64) { s.impl.Update(i, delta) }
 
+// UpdateBatch feeds a batch of updates in one call; the distinct-index
+// candidate refresh is computed once and shared across the sampler's
+// parallel copies.
+func (s *L1Sampler) UpdateBatch(batch []Update) { s.impl.UpdateBatch(batch) }
+
 // Sample draws one sample; ok is false when every instance FAILed (the
 // sampler never fabricates an index).
 func (s *L1Sampler) Sample() (Sample, bool) { return s.impl.Sample() }
@@ -212,6 +234,9 @@ func NewSupportSampler(cfg Config, k int) *SupportSampler {
 
 // Update feeds one stream update.
 func (s *SupportSampler) Update(i uint64, delta int64) { s.impl.Update(i, delta) }
+
+// UpdateBatch feeds a batch of updates in one call.
+func (s *SupportSampler) UpdateBatch(batch []Update) { s.impl.UpdateBatch(batch) }
 
 // Recover returns distinct support coordinates, sorted.
 func (s *SupportSampler) Recover() []uint64 { return s.impl.Recover() }
@@ -243,6 +268,12 @@ func (ip *InnerProduct) UpdateF(i uint64, delta int64) { ip.impl.UpdateF(i, delt
 // UpdateG feeds an update to the second stream.
 func (ip *InnerProduct) UpdateG(i uint64, delta int64) { ip.impl.UpdateG(i, delta) }
 
+// UpdateBatchF feeds a batch of updates to the first stream.
+func (ip *InnerProduct) UpdateBatchF(batch []Update) { ip.impl.UpdateBatchF(batch) }
+
+// UpdateBatchG feeds a batch of updates to the second stream.
+func (ip *InnerProduct) UpdateBatchG(batch []Update) { ip.impl.UpdateBatchG(batch) }
+
 // Estimate returns the inner-product estimate.
 func (ip *InnerProduct) Estimate() float64 { return ip.impl.Estimate() }
 
@@ -272,6 +303,9 @@ func NewSyncSketch(cfg Config, capacity int) *SyncSketch {
 
 // Update feeds one stream update.
 func (s *SyncSketch) Update(i uint64, delta int64) { s.impl.Update(i, delta) }
+
+// UpdateBatch feeds a batch of updates in one call.
+func (s *SyncSketch) UpdateBatch(batch []Update) { s.impl.UpdateBatch(batch) }
 
 // MarshalBinary serializes the sketch for transmission.
 func (s *SyncSketch) MarshalBinary() ([]byte, error) { return s.impl.MarshalBinary() }
@@ -309,6 +343,9 @@ func NewL2HeavyHitters(cfg Config) *L2HeavyHitters {
 
 // Update feeds one stream update.
 func (h *L2HeavyHitters) Update(i uint64, delta int64) { h.impl.Update(i, delta) }
+
+// UpdateBatch feeds a batch of updates in one call.
+func (h *L2HeavyHitters) UpdateBatch(batch []Update) { h.impl.UpdateBatch(batch) }
 
 // HeavyHitters returns the detected heavy coordinates, sorted.
 func (h *L2HeavyHitters) HeavyHitters() []uint64 { return h.impl.HeavyHitters() }

@@ -12,6 +12,11 @@
 //
 // Experiment ids follow DESIGN.md's index (F1.1..F1.8, F7, A1, LB,
 // AB1..AB3).
+//
+// Streams are fed through each structure's UpdateBatch — the batched
+// ingest idiom (one call per structure per stream) that the library
+// prefers for throughput; only the magnitude-scaled sweeps, which
+// rewrite deltas on the fly, feed update-by-update.
 package main
 
 import (
@@ -122,10 +127,8 @@ func hhTable(alphas []float64, mode heavy.Mode) *core.Table {
 			rng := rand.New(rand.NewSource(*seed + int64(100+r)))
 			alg := heavy.NewAlphaL1(rng, heavy.AlphaL1Params{N: n, Eps: eps, Mode: mode, Alpha: a})
 			base := heavy.NewCountSketchHH(rng, n, eps, mode, 8, 7)
-			for _, u := range s.Updates {
-				alg.Update(u.Index, u.Delta)
-				base.Update(u.Index, u.Delta)
-			}
+			alg.UpdateBatch(s.Updates)
+			base.UpdateBatch(s.Updates)
 			got := alg.HeavyHitters()
 			recA = append(recA, core.Recall(got, want))
 			spurA = append(spurA, 1-core.Precision(got, allowed))
@@ -183,14 +186,10 @@ func innerTable(alphas []float64) *core.Table {
 			alg := inner.New(rng, inner.Params{N: n, Eps: 0.1, Base: int64(16 * a * a * 10), Rows: 5})
 			cs1 := sketch.NewCountSketch(rng, 5, 256)
 			cs2 := sketch.NewCountSketchWithBuckets(cs1.Buckets())
-			for _, u := range f1.Updates {
-				alg.UpdateF(u.Index, u.Delta)
-				cs1.Update(u.Index, u.Delta)
-			}
-			for _, u := range f2.Updates {
-				alg.UpdateG(u.Index, u.Delta)
-				cs2.Update(u.Index, u.Delta)
-			}
+			alg.UpdateBatchF(f1.Updates)
+			cs1.UpdateBatch(f1.Updates)
+			alg.UpdateBatchG(f2.Updates)
+			cs2.UpdateBatch(f2.Updates)
 			errA = append(errA, math.Abs(alg.Estimate()-want)/norm)
 			errB = append(errB, math.Abs(float64(cs1.InnerProduct(cs2))-want)/norm)
 			bitsA = append(bitsA, float64(alg.SpaceBits()))
@@ -213,9 +212,7 @@ func l1StrictTable(alphas []float64) *core.Table {
 			want := float64(s.Materialize().L1())
 			rng := rand.New(rand.NewSource(*seed + int64(300+r)))
 			alg := l1.New(rng, int64(32*a))
-			for _, u := range s.Updates {
-				alg.Update(u.Index, u.Delta)
-			}
+			alg.UpdateBatch(s.Updates)
 			errA = append(errA, core.RelErr(alg.Estimate(), want))
 			bitsA = append(bitsA, float64(alg.SpaceBits()))
 		}
@@ -270,10 +267,8 @@ func l1GeneralTable(alphas []float64) *core.Table {
 			}
 			alg := cauchy.NewSampledSketch(rng, 192, 32, 6, sampleBase, 10)
 			base := cauchy.NewSketch(rng, 192, 32, 6)
-			for _, u := range s.Updates {
-				alg.Update(u.Index, u.Delta)
-				base.Update(u.Index, u.Delta)
-			}
+			alg.UpdateBatch(s.Updates)
+			base.UpdateBatch(s.Updates)
 			errA = append(errA, core.RelErr(alg.Estimate(), want))
 			errB = append(errB, core.RelErr(base.LnCosEstimate(), want))
 			cbA = append(cbA, float64(alg.MaxCounterBits()))
@@ -297,10 +292,8 @@ func l0Table(alphas []float64) *core.Table {
 			rng := rand.New(rand.NewSource(*seed + int64(500+r)))
 			alg := l0.NewEstimator(rng, l0.Params{N: n, Eps: 0.1, Windowed: true, Window: l0.RecommendedWindow(a, 0.1)})
 			base := l0.NewEstimator(rng, l0.Params{N: n, Eps: 0.1})
-			for _, u := range s.Updates {
-				alg.Update(u.Index, u.Delta)
-				base.Update(u.Index, u.Delta)
-			}
+			alg.UpdateBatch(s.Updates)
+			base.UpdateBatch(s.Updates)
 			errA = append(errA, core.RelErr(alg.Estimate(), want))
 			errB = append(errB, core.RelErr(base.Estimate(), want))
 			rowsA = append(rowsA, float64(alg.LiveRows()))
@@ -334,9 +327,7 @@ func samplerTable(alphas []float64) *core.Table {
 		var bitsA, bitsB float64
 		for trial := 0; trial < trials; trial++ {
 			sp := sampler.New(rng, p, 16)
-			for _, u := range s.Updates {
-				sp.Update(u.Index, u.Delta)
-			}
+			sp.UpdateBatch(s.Updates)
 			if res, ok := sp.Sample(); ok {
 				succ++
 				counts[res.Index]++
@@ -344,9 +335,7 @@ func samplerTable(alphas []float64) *core.Table {
 			if trial == 0 {
 				bitsA = float64(sp.SpaceBits())
 				base := sampler.NewBaseline(rng, p, 16)
-				for _, u := range s.Updates {
-					base.Update(u.Index, u.Delta)
-				}
+				base.UpdateBatch(s.Updates)
 				bitsB = float64(base.SpaceBits())
 			}
 		}
@@ -392,10 +381,8 @@ func supportTable(alphas []float64) *core.Table {
 			rng := rand.New(rand.NewSource(*seed + int64(700+r)))
 			alg := support.NewSampler(rng, support.Params{N: n, K: k, Windowed: true, Window: support.RecommendedWindow(a)})
 			base := support.NewSampler(rng, support.Params{N: n, K: k})
-			for _, u := range s.Updates {
-				alg.Update(u.Index, u.Delta)
-				base.Update(u.Index, u.Delta)
-			}
+			alg.UpdateBatch(s.Updates)
+			base.UpdateBatch(s.Updates)
 			got := alg.Recover()
 			for _, i := range got {
 				if v[i] == 0 {
@@ -431,9 +418,7 @@ func l0RowsTable(alphas []float64) *core.Table {
 		rng := rand.New(rand.NewSource(*seed))
 		alg := l0.NewEstimator(rng, l0.Params{N: n, Eps: 0.1, Windowed: true, Window: win})
 		s := gen.SensorOccupancy(gen.Config{N: n, Items: 20000, Alpha: a, Seed: *seed})
-		for _, u := range s.Updates {
-			alg.Update(u.Index, u.Delta)
-		}
+		alg.UpdateBatch(s.Updates)
 		t.Add(fmt.Sprintf("alpha=%g", a),
 			fmt.Sprintf("%d", win), fmt.Sprintf("%d", alg.LiveRows()),
 			fmt.Sprintf("%d", nt.Log2Ceil(n)+1))
@@ -461,9 +446,7 @@ func l2Table(alphas []float64) *core.Table {
 			v := st.Materialize()
 			want := v.L2HeavyHitters(0.25)
 			alg := heavy.NewAlphaL2(rng, n, 0.25, a)
-			for _, u := range st.Updates {
-				alg.Update(u.Index, u.Delta)
-			}
+			alg.UpdateBatch(st.Updates)
 			rec = append(rec, core.Recall(alg.HeavyHitters(), want))
 			bits = append(bits, float64(alg.SpaceBits()))
 		}
@@ -479,9 +462,7 @@ func lbTable() *core.Table {
 		inst := gen.AdversarialInd(*seed, 1<<16, 0.05, 1000, level)
 		rng := rand.New(rand.NewSource(*seed + int64(level)))
 		alg := heavy.NewAlphaL1(rng, heavy.AlphaL1Params{N: 1 << 16, Eps: 0.05, Mode: heavy.Strict, Alpha: 1e6})
-		for _, u := range inst.Stream.Updates {
-			alg.Update(u.Index, u.Delta)
-		}
+		alg.UpdateBatch(inst.Stream.Updates)
 		got := alg.HeavyHitters()
 		t.Add(fmt.Sprintf("query level %d", inst.QueryLevel),
 			fmt.Sprintf("%d", inst.QueryLevel),
@@ -500,10 +481,8 @@ func ab1Table() *core.Table {
 	const k = 32
 	a := csss.New(rng, csss.Params{Rows: 7, K: k, S: 1 << 13})
 	d := sketch.NewCountSketch(rng, 7, 6*k)
-	for _, u := range s.Updates {
-		a.Update(u.Index, u.Delta)
-		d.Update(u.Index, u.Delta)
-	}
+	a.UpdateBatch(s.Updates)
+	d.UpdateBatch(s.Updates)
 	var errA, errD float64
 	for _, e := range top {
 		errA += math.Abs(a.Query(e.Index) - float64(e.Value))
@@ -541,9 +520,7 @@ func ab2Table() *core.Table {
 		for r := 0; r < *reps; r++ {
 			rng := rand.New(rand.NewSource(*seed + int64(1100+r)))
 			e := l0.NewEstimator(rng, l0.Params{N: 1 << 30, Eps: 0.1, Windowed: true, Window: win})
-			for _, u := range s.Updates {
-				e.Update(u.Index, u.Delta)
-			}
+			e.UpdateBatch(s.Updates)
 			errs = append(errs, core.RelErr(e.Estimate(), want))
 			rows = append(rows, float64(e.LiveRows()))
 			bits = append(bits, float64(e.SpaceBits()))
@@ -565,10 +542,8 @@ func ab3Table() *core.Table {
 		rng := rand.New(rand.NewSource(*seed + int64(1200+r)))
 		am := l1.New(rng, 64)
 		ae := l1.NewExactClock(rng, 64)
-		for _, u := range s.Updates {
-			am.Update(u.Index, u.Delta)
-			ae.Update(u.Index, u.Delta)
-		}
+		am.UpdateBatch(s.Updates)
+		ae.UpdateBatch(s.Updates)
 		mErrs = append(mErrs, core.RelErr(am.Estimate(), want))
 		eErrs = append(eErrs, core.RelErr(ae.Estimate(), want))
 		mBits, eBits = am.SpaceBits(), ae.SpaceBits()
@@ -589,9 +564,7 @@ func f2Table() *core.Table {
 	for _, budget := range []int64{1 << 11, 1 << 13, 1 << 15} {
 		rng := rand.New(rand.NewSource(*seed + budget))
 		sk := csss.New(rng, csss.Params{Rows: 7, K: 32, S: budget})
-		for _, u := range s.Updates {
-			sk.Update(u.Index, u.Delta)
-		}
+		sk.UpdateBatch(s.Updates)
 		var errSum float64
 		for _, e := range top {
 			errSum += math.Abs(sk.Query(e.Index) - float64(e.Value))
@@ -624,9 +597,7 @@ func f4Table() *core.Table {
 		for r := 0; r < 5**reps; r++ {
 			rng := rand.New(rand.NewSource(*seed + int64(2000+r)))
 			a := l1.New(rng, base)
-			for _, u := range s.Updates {
-				a.Update(u.Index, u.Delta)
-			}
+			a.UpdateBatch(s.Updates)
 			errs = append(errs, core.RelErr(a.Estimate(), want))
 			bits = a.SpaceBits()
 		}
@@ -647,9 +618,7 @@ func f5Table() *core.Table {
 		for r := 0; r < *reps; r++ {
 			rng := rand.New(rand.NewSource(*seed + int64(2100+r)))
 			sk := cauchy.NewSketch(rng, rows, 32, 6)
-			for _, u := range s.Updates {
-				sk.Update(u.Index, u.Delta)
-			}
+			sk.UpdateBatch(s.Updates)
 			errs = append(errs, core.RelErr(sk.LnCosEstimate(), want))
 			bits = sk.SpaceBits()
 		}
@@ -669,9 +638,7 @@ func f6Table() *core.Table {
 		for r := 0; r < *reps; r++ {
 			rng := rand.New(rand.NewSource(*seed + int64(2200+r)))
 			e := l0.NewEstimator(rng, l0.Params{N: 1 << 30, Eps: eps})
-			for _, u := range s.Updates {
-				e.Update(u.Index, u.Delta)
-			}
+			e.UpdateBatch(s.Updates)
 			errs = append(errs, core.RelErr(e.Estimate(), want))
 			bits = append(bits, float64(e.SpaceBits()))
 		}
@@ -694,9 +661,7 @@ func f8Table() *core.Table {
 			N: 1 << 30, K: k, SparsityFactor: factor,
 			Windowed: true, Window: support.RecommendedWindow(8),
 		})
-		for _, u := range s.Updates {
-			sp.Update(u.Index, u.Delta)
-		}
+		sp.UpdateBatch(s.Updates)
 		got := sp.Recover()
 		valid := "yes"
 		for _, i := range got {

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFig1HeavyHittersStrict-8 	12345678	       144.7 ns/op	    207263 bits/alpha	         1.000 recall/alpha	       0 B/op	       0 allocs/op
+BenchmarkFig3AlphaL1Sampler 	 3833416	       959.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	22.603s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Package != "repro" {
+		t.Errorf("header = %q %q %q", rep.GoOS, rep.GoArch, rep.Package)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	hh := rep.Benchmarks[0]
+	if hh.Name != "BenchmarkFig1HeavyHittersStrict" {
+		t.Errorf("procs suffix not stripped: %q", hh.Name)
+	}
+	if hh.Iterations != 12345678 {
+		t.Errorf("iterations = %d", hh.Iterations)
+	}
+	if hh.Metrics["ns/op"] != 144.7 || hh.Metrics["bits/alpha"] != 207263 {
+		t.Errorf("metrics = %v", hh.Metrics)
+	}
+	if hh.Metrics["allocs/op"] != 0 {
+		t.Errorf("allocs/op = %v", hh.Metrics["allocs/op"])
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Error("expected error on output with no benchmarks")
+	}
+}

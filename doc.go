@@ -46,6 +46,60 @@
 // to regenerate Figure 1 empirically. All randomness is seeded and
 // deterministic.
 //
+// # Performance
+//
+// The update pipeline is allocation-free in steady state and built for
+// throughput:
+//
+//   - Each Count-Sketch/CSSS row derives its bucket AND sign from ONE
+//     4-wise polynomial evaluation (disjoint bit-fields of the 61-bit
+//     output), with specialized straight-line Horner chains over
+//     2^61 - 1 using lazy reductions, and Lemire multiply-shift fast
+//     range instead of a hardware division per bucket.
+//   - Query medians select in place over reusable scratch (quickselect
+//     plus median networks for the common depths) — no sorting, no
+//     allocation — and an update immediately followed by a query of the
+//     same index reuses the update's hash evaluations.
+//   - Candidate tracking is a bounded min-heap over a linear-probe
+//     index: Offer never allocates once warm.
+//
+// Measured on the Figure 1 benchmarks (bench_test.go, containerized
+// linux/amd64, Go 1.24; before/after binaries interleaved over 5
+// rounds to cancel machine drift, medians reported), this pipeline
+// rebuild moved the two hottest update paths from
+//
+//	BenchmarkFig1HeavyHittersStrict   669 ns/op  1 alloc/op  ->  184 ns/op  0 allocs/op  (3.6x; 4.1x on min-vs-min)
+//	BenchmarkFig3AlphaL1Sampler      3059 ns/op  4 allocs/op -> 1002 ns/op  0 allocs/op  (3.1x)
+//
+// BENCH_1.json at the repository root archives the full post-change
+// baseline (regenerate with `go test -run '^$' -bench 'Fig1|Fig2|Fig3'
+// -benchmem | go run ./cmd/benchjson`); CI re-emits it on every push so
+// future PRs can diff their perf trajectory.
+//
+// # Batched ingest
+//
+// Every structure accepts a batch of updates in one call — the
+// preferred high-throughput path:
+//
+//	batch := make([]bounded.Update, 0, 4096)
+//	// ... append network reads ...
+//	hh.UpdateBatch(batch) // one call per structure per batch
+//
+// UpdateBatch amortizes per-call overhead and refreshes candidate
+// tracking once per DISTINCT index per batch rather than once per
+// update, so heavily-skewed batches (the common case under heavy
+// traffic) cost proportionally less than scalar feeding; see
+// cmd/bdbench and the examples/ directory for the idiom end to end.
+//
+// # Concurrency
+//
+// Each structure is single-goroutine: updates AND queries reuse
+// per-structure scratch buffers (that reuse is where the zero
+// allocations come from), so neither concurrent updates nor concurrent
+// queries on one structure are safe. Shard across structures — they
+// are independent after construction — and merge results, or serialize
+// access externally; a sharded ingest layer is on the roadmap.
+//
 // See DESIGN.md for the system inventory and the laptop-scale parameter
 // substitutions, and EXPERIMENTS.md for measured results per table and
 // figure.

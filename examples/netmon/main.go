@@ -47,10 +47,11 @@ func main() {
 	hh := bounded.NewHeavyHitters(cfg, false) // difference can go negative: general turnstile
 	// (b) total traffic shift.
 	l1 := bounded.NewL1Estimator(bounded.Config{N: n, Eps: 0.2, Alpha: alpha, Seed: 13}, false, 0)
-	for _, u := range d.Updates {
-		hh.Update(u.Index, u.Delta)
-		l1.Update(u.Index, u.Delta)
-	}
+	// Batched ingest: feeding a whole interval's updates in one call is
+	// the preferred high-throughput path (per-call overhead amortizes
+	// and candidate tracking refreshes once per distinct flow).
+	hh.UpdateBatch(d.Updates)
+	l1.UpdateBatch(d.Updates)
 	got := hh.HeavyHitters()
 	want := truth.F.HeavyHitters(0.02)
 	fmt.Printf("changed flows (true)     : %d flows >= 2%% of shift\n", len(want))
@@ -62,12 +63,12 @@ func main() {
 	ip := bounded.NewInnerProduct(bounded.Config{N: n, Eps: 0.1, Alpha: 2, Seed: 14})
 	t1 := bounded.NewTracker(n)
 	t2 := bounded.NewTracker(n)
+	ip.UpdateBatchF(f1.Updates)
+	ip.UpdateBatchG(f2.Updates)
 	for _, u := range f1.Updates {
-		ip.UpdateF(u.Index, u.Delta)
 		t1.Update(u)
 	}
 	for _, u := range f2.Updates {
-		ip.UpdateG(u.Index, u.Delta)
 		t2.Update(u)
 	}
 	trueIP := t1.F.Inner(t2.F)

@@ -27,13 +27,26 @@ func main() {
 	smp := bounded.NewL1Sampler(bounded.Config{N: n, Eps: 0.25, Alpha: alpha, Seed: 2}, 32)
 	truth := bounded.NewTracker(n)
 
-	// A synthetic session: one hot key, lots of churn below it.
+	// A synthetic session: one hot key, lots of churn below it. Updates
+	// are staged into batches and ingested through UpdateBatch — the
+	// preferred high-throughput path (per-call overhead amortizes across
+	// the batch and candidate tracking refreshes once per distinct key).
 	rng := rand.New(rand.NewSource(3))
+	batch := make([]bounded.Update, 0, 4096)
+	flush := func() {
+		hh.UpdateBatch(batch)
+		l1.UpdateBatch(batch)
+		smp.UpdateBatch(batch)
+		for _, u := range batch {
+			truth.Update(u)
+		}
+		batch = batch[:0]
+	}
 	feed := func(i uint64, d int64) {
-		hh.Update(i, d)
-		l1.Update(i, d)
-		smp.Update(i, d)
-		truth.Update(bounded.Update{Index: i, Delta: d})
+		batch = append(batch, bounded.Update{Index: i, Delta: d})
+		if len(batch) == cap(batch) {
+			flush()
+		}
 	}
 	for t := 0; t < 50000; t++ {
 		feed(uint64(rng.Intn(2000)), 1) // background inserts
@@ -47,6 +60,7 @@ func main() {
 			feed(42424, 1) // the hot key
 		}
 	}
+	flush()
 
 	fmt.Println("== quickstart ==")
 	fmt.Printf("stream alpha (measured)  : %.2f\n", truth.AlphaL1())

@@ -33,6 +33,7 @@ import (
 	"repro/internal/hash"
 	"repro/internal/nt"
 	"repro/internal/sample"
+	"repro/internal/stream"
 )
 
 // rowKeyBits bounds the universe: identities must fit in 44 bits so the
@@ -112,6 +113,13 @@ func (s *Sketch) Update(i uint64, delta int64) {
 		if a := math.Abs(s.yPrime[j]); a > s.maxAbs {
 			s.maxAbs = a
 		}
+	}
+}
+
+// UpdateBatch applies a batch of updates.
+func (s *Sketch) UpdateBatch(batch []stream.Update) {
+	for _, u := range batch {
+		s.Update(u.Index, u.Delta)
 	}
 }
 
@@ -226,6 +234,13 @@ func (s *SampledSketch) Update(i uint64, delta int64) {
 			}
 			s.addTo(lv, i, sign)
 		}
+	}
+}
+
+// UpdateBatch applies a batch of updates.
+func (s *SampledSketch) UpdateBatch(batch []stream.Update) {
+	for _, u := range batch {
+		s.Update(u.Index, u.Delta)
 	}
 }
 

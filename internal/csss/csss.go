@@ -27,6 +27,11 @@
 //     integer sub-units, so the binomial counter halving Bin(a, 1/2)
 //     remains well defined. Thinning sub-units independently is unbiased
 //     and no less concentrated than thinning whole updates.
+//
+// A Sketch is single-goroutine for updates AND queries: the update
+// path and Query share per-sketch scratch (the row-hash memo) — the
+// source of the zero-allocation steady state. Shard across sketches
+// for parallelism.
 package csss
 
 import (
@@ -37,7 +42,9 @@ import (
 
 	"repro/internal/hash"
 	"repro/internal/nt"
+	"repro/internal/order"
 	"repro/internal/sample"
+	"repro/internal/stream"
 )
 
 // Params configures a CSSampSim sketch.
@@ -80,11 +87,10 @@ func RecommendedS(alpha, eps float64, n uint64) int64 {
 	return int64(v)
 }
 
-// cell is one table entry: the positive and negative sampled masses.
-// Both are nonnegative; the paper's a+ and a-.
-type cell struct {
-	pos, neg int64
-}
+// cell is one table entry: cell[0] holds the positive and cell[1] the
+// negative sampled mass (the paper's a+ and a-). The array layout lets
+// the write path select the side by index instead of by branch.
+type cell [2]int64
 
 // Sketch is the CSSampSim data structure.
 type Sketch struct {
@@ -92,14 +98,35 @@ type Sketch struct {
 	buckets *hash.Buckets
 	rows    int
 	cols    uint64
-	table   [][]cell
+	table   []cell // flat rows*cols layout: row r, column c at r*cols+c
 	rng     *rand.Rand
 
-	t        int64 // position in the (unit-expanded) stream
-	p        int   // current sampling exponent: rate 2^-p
-	nextHalf int64 // next halving boundary S*2^r + 1
-	maxCount int64 // largest counter value ever held (space accounting)
-	fpUnit   int64 // 2^FixedPointBits
+	t        int64   // position in the (unit-expanded) stream
+	p        int     // current sampling exponent: rate 2^-p
+	scale    float64 // 2^p, cached so estimates avoid math.Ldexp per row
+	estScale float64 // 2^p / 2^fb: the per-row estimate rescaling factor
+	nextHalf int64   // next halving boundary S*2^r + 1
+	maxCount int64   // largest counter value ever held (space accounting)
+	fpUnit   int64   // 2^FixedPointBits
+
+	// Per-update scratch: row bucket/sign pairs are evaluated once per
+	// update (one 4-wise evaluation per row) and reused across the
+	// binomial-thinning chunks, and the query median selects in place.
+	// lastKey memoizes which key the scratch belongs to, so the
+	// update-then-query pattern of the heavy-hitters and sampler loops
+	// (Offer the just-updated index's fresh estimate) skips re-hashing —
+	// the hash functions are fixed at construction, so the memo never
+	// goes stale.
+	rowCols  []uint64
+	rowSigns []int64
+	rowIdx   []int   // flat table index of each row's cell for lastKey
+	rowSide  []int   // 0 = positive side, 1 = negative, for (lastKey, lastSign)
+	cnts     []int64 // per-row sampled counts of the current chunk
+	lastKey  uint64
+	lastSign int64
+	haveLast bool
+	qest     []float64
+	resid    []float64
 }
 
 // New allocates a CSSampSim sketch.
@@ -114,13 +141,18 @@ func New(rng *rand.Rand, params Params) *Sketch {
 		rows:     params.Rows,
 		cols:     cols,
 		rng:      rng,
+		scale:    1,
+		estScale: 1 / float64(int64(1)<<params.FixedPointBits),
 		nextHalf: 2*params.S + 1,
 		fpUnit:   1 << params.FixedPointBits,
+		rowCols:  make([]uint64, params.Rows),
+		rowSigns: make([]int64, params.Rows),
+		rowIdx:   make([]int, params.Rows),
+		rowSide:  make([]int, params.Rows),
+		cnts:     make([]int64, params.Rows),
+		qest:     make([]float64, params.Rows),
 	}
-	s.table = make([][]cell, s.rows)
-	for i := range s.table {
-		s.table[i] = make([]cell, cols)
-	}
+	s.table = make([]cell, uint64(s.rows)*cols)
 	return s
 }
 
@@ -131,6 +163,14 @@ func (s *Sketch) Update(i uint64, delta int64) {
 	s.UpdateWeighted(i, delta, 1.0)
 }
 
+// UpdateBatch applies a batch of updates, amortizing the per-call
+// overhead of the chunked sampling loop.
+func (s *Sketch) UpdateBatch(batch []stream.Update) {
+	for _, u := range batch {
+		s.UpdateWeighted(u.Index, u.Delta, 1.0)
+	}
+}
+
 // UpdateWeighted feeds an update whose unit updates each carry the given
 // positive weight (the L1 sampler passes weight = 1/t_i). The weight is
 // quantized to FixedPointBits of sub-unit resolution.
@@ -138,16 +178,23 @@ func (s *Sketch) UpdateWeighted(i uint64, delta int64, weight float64) {
 	if delta == 0 {
 		return
 	}
+	sign, mag, wfp := s.decompose(delta, weight)
+	s.updateUnits(i, sign, mag, wfp)
+}
+
+// decompose splits a weighted update into the (sign, magnitude,
+// fixed-point sub-units) triple updateUnits consumes — the single home
+// of the weight quantization and the counter-overflow clamp, shared by
+// Sketch and TailEstimator so the two can never drift apart.
+func (s *Sketch) decompose(delta int64, weight float64) (sign, mag, wfp int64) {
 	if weight <= 0 {
 		panic("csss: nonpositive weight")
 	}
-	mag := delta
-	sign := int64(1)
+	mag, sign = delta, 1
 	if mag < 0 {
-		mag = -mag
-		sign = -1
+		mag, sign = -mag, -1
 	}
-	wfp := int64(math.Round(weight * float64(s.fpUnit)))
+	wfp = int64(math.Round(weight * float64(s.fpUnit)))
 	if wfp < 1 {
 		wfp = 1
 	}
@@ -155,6 +202,14 @@ func (s *Sketch) UpdateWeighted(i uint64, delta int64, weight float64) {
 	if wfp > weightCap {
 		wfp = weightCap
 	}
+	return sign, mag, wfp
+}
+
+// updateUnits ingests mag pre-decomposed unit updates of the given sign,
+// each carrying wfp fixed-point sub-units. It is the common tail of
+// UpdateWeighted, split out so TailEstimator pays the weight
+// quantization once for its two instances.
+func (s *Sketch) updateUnits(i uint64, sign, mag, wfp int64) {
 	for mag > 0 {
 		// Process the unit updates up to (but excluding) the next halving
 		// boundary in one chunk: all are sampled at the same rate 2^-p,
@@ -180,10 +235,81 @@ func (s *Sketch) UpdateWeighted(i uint64, delta int64, weight float64) {
 	}
 }
 
-// addSampled samples `units` unit updates of the given sign and weight
-// into every row independently at the current rate 2^-p.
+// ensureKeyScratch makes the per-row scratch (bucket, sign, flat cell
+// index) valid for key i: one 4-wise evaluation per row, reused across
+// the chunks of an update, across consecutive updates to the same key,
+// and by Query. The hash functions are fixed at construction, so the
+// memo never goes stale.
+func (s *Sketch) ensureKeyScratch(i uint64) {
+	if !s.haveLast || s.lastKey != i {
+		s.buckets.BucketSignsInto(i, s.rowCols, s.rowSigns)
+		for r := 0; r < s.rows; r++ {
+			s.rowIdx[r] = r*int(s.cols) + int(s.rowCols[r])
+		}
+		s.lastKey = i
+		s.lastSign = 0 // force the side recomputation in ensureScratch
+		s.haveLast = true
+	}
+}
+
+// ensureScratch extends ensureKeyScratch with the per-update write
+// side: sign*g > 0 feeds the positive mass (side 0), otherwise the
+// negative (side 1) — computed branchlessly, and only when the (key,
+// sign) pair changed, so the sampled write loop is a pure indexed add.
+// It is called lazily, at the first row write of an update: an update
+// that is sampled out everywhere costs no hashing at all (the deep-
+// sampling regime where 2^-p is tiny and almost every update drops).
+func (s *Sketch) ensureScratch(i uint64, sign int64) {
+	s.ensureKeyScratch(i)
+	if sign != s.lastSign {
+		for r := 0; r < s.rows; r++ {
+			s.rowSide[r] = int((1 - sign*s.rowSigns[r]) >> 1)
+		}
+		s.lastSign = sign
+	}
+}
+
+// addSampled samples `units` unit updates of the given sign into every
+// row independently at the current rate 2^-p. Row hashes are computed
+// only when at least one row actually samples the update.
 func (s *Sketch) addSampled(i uint64, sign, wfp, units int64) {
+	if s.p == 0 {
+		// Sampling rate 1: every row takes the whole chunk; skip the
+		// random draws entirely (the regime until the stream passes 2S
+		// units).
+		s.ensureScratch(i, sign)
+		for r := 0; r < s.rows; r++ {
+			s.bump(r, units*wfp)
+		}
+		return
+	}
+	if units == 1 && s.p*s.rows <= 64 {
+		// One random word funds all rows' independent 2^-p coin flips:
+		// disjoint p-bit fields are independent fair bits, so "field ==
+		// 0" is exactly a rate-2^-p event per row with one rng draw
+		// instead of one per row.
+		w := s.rng.Uint64()
+		mask := uint64(1)<<uint(s.p) - 1
+		var hits uint64
+		for r := 0; r < s.rows; r++ {
+			if w&mask == 0 {
+				hits |= 1 << uint(r)
+			}
+			w >>= uint(s.p)
+		}
+		if hits == 0 {
+			return
+		}
+		s.ensureScratch(i, sign)
+		for r := 0; r < s.rows; r++ {
+			if hits&(1<<uint(r)) != 0 {
+				s.bump(r, wfp)
+			}
+		}
+		return
+	}
 	rate := math.Ldexp(1, -s.p)
+	any := false
 	for r := 0; r < s.rows; r++ {
 		var cnt int64
 		if units == 1 {
@@ -193,38 +319,60 @@ func (s *Sketch) addSampled(i uint64, sign, wfp, units int64) {
 		} else {
 			cnt = sample.Binomial(s.rng, units, rate)
 		}
-		if cnt == 0 {
-			continue
-		}
-		c := s.buckets.Bucket(r, i)
-		g := int64(s.buckets.Sign(r, i))
-		cl := &s.table[r][c]
-		if sign*g > 0 {
-			cl.pos += cnt * wfp
-			if cl.pos > s.maxCount {
-				s.maxCount = cl.pos
-			}
-		} else {
-			cl.neg += cnt * wfp
-			if cl.neg > s.maxCount {
-				s.maxCount = cl.neg
-			}
+		s.cnts[r] = cnt
+		any = any || cnt != 0
+	}
+	if !any {
+		return
+	}
+	s.ensureScratch(i, sign)
+	for r := 0; r < s.rows; r++ {
+		if s.cnts[r] != 0 {
+			s.bump(r, s.cnts[r]*wfp)
 		}
 	}
+}
+
+// bump adds `amount` sampled sub-units to row r's precomputed cell and
+// side. Counters only grow between halvings, so the largest-ever
+// diagnostic is recovered by scanning at halving time and in SpaceBits
+// (refreshMaxCount) instead of two compares per write.
+func (s *Sketch) bump(r int, amount int64) {
+	s.table[s.rowIdx[r]][s.rowSide[r]] += amount
+}
+
+// refreshMaxCount folds the current table maximum into maxCount.
+// Because pos/neg increase monotonically between halvings and only
+// shrink at a halving, scanning just before each halving and at
+// SpaceBits time observes every per-epoch peak — the same value the
+// historical per-write tracking maintained.
+func (s *Sketch) refreshMaxCount() {
+	m := s.maxCount
+	for c := range s.table {
+		cl := &s.table[c]
+		if cl[0] > m {
+			m = cl[0]
+		}
+		if cl[1] > m {
+			m = cl[1]
+		}
+	}
+	s.maxCount = m
 }
 
 // maybeHalve applies the Figure 2 step 5(a) boundary: when t crosses
 // S*2^r + 1, thin every counter by Bin(a, 1/2) and bump p.
 func (s *Sketch) maybeHalve() {
 	for s.t >= s.nextHalf {
-		for r := range s.table {
-			for c := range s.table[r] {
-				cl := &s.table[r][c]
-				cl.pos = sample.Half(s.rng, cl.pos)
-				cl.neg = sample.Half(s.rng, cl.neg)
-			}
+		s.refreshMaxCount()
+		for c := range s.table {
+			cl := &s.table[c]
+			cl[0] = sample.Half(s.rng, cl[0])
+			cl[1] = sample.Half(s.rng, cl[1])
 		}
 		s.p++
+		s.scale *= 2
+		s.estScale *= 2
 		s.nextHalf = 2*s.nextHalf - 1 // S*2^r + 1 -> S*2^(r+1) + 1
 	}
 }
@@ -232,24 +380,35 @@ func (s *Sketch) maybeHalve() {
 // RowEstimate returns row r's rescaled estimate of f_i:
 // 2^p * g_r(i) * (a+ - a-) / 2^fb.
 func (s *Sketch) RowEstimate(r int, i uint64) float64 {
-	c := s.buckets.Bucket(r, i)
-	g := float64(s.buckets.Sign(r, i))
-	raw := float64(s.table[r][c].pos - s.table[r][c].neg)
-	return scalb(g*raw, s.p) / float64(s.fpUnit)
+	c, g := s.buckets.BucketSign(r, i)
+	cl := &s.table[uint64(r)*s.cols+c]
+	return float64(g) * float64(cl[0]-cl[1]) * s.estScale
 }
 
 // Query returns the median-of-rows estimate y*_i of f_i (Figure 2 step 6).
+// The median selects in place over a scratch buffer (no allocation),
+// and a query for the key that was just updated reuses the update's row
+// hash evaluations instead of recomputing them.
 func (s *Sketch) Query(i uint64) float64 {
-	ests := make([]float64, s.rows)
+	s.ensureKeyScratch(i)
+	if s.rows == 5 {
+		// The sampler's depth: read the five cells straight into the
+		// median network, no scratch traffic.
+		return order.MedianOf5(
+			s.cachedRowEstimate(0), s.cachedRowEstimate(1),
+			s.cachedRowEstimate(2), s.cachedRowEstimate(3),
+			s.cachedRowEstimate(4))
+	}
 	for r := 0; r < s.rows; r++ {
-		ests[r] = s.RowEstimate(r, i)
+		s.qest[r] = s.cachedRowEstimate(r)
 	}
-	sort.Float64s(ests)
-	n := len(ests)
-	if n%2 == 1 {
-		return ests[n/2]
-	}
-	return (ests[n/2-1] + ests[n/2]) / 2
+	return order.MedianFloat64(s.qest)
+}
+
+// cachedRowEstimate reads row r's estimate for the memoized lastKey.
+func (s *Sketch) cachedRowEstimate(r int) float64 {
+	cl := &s.table[s.rowIdx[r]]
+	return float64(s.rowSigns[r]) * float64(cl[0]-cl[1]) * s.estScale
 }
 
 // RowResidualL2 returns the L2 norm of row r after subtracting the
@@ -257,14 +416,18 @@ func (s *Sketch) Query(i uint64) float64 {
 // the "feed -yhat into CSSS2 and read the row L2" step of Lemma 5,
 // computed without mutating the table.
 func (s *Sketch) RowResidualL2(r int, yhat map[uint64]float64) float64 {
-	resid := make([]float64, s.cols)
+	if s.resid == nil {
+		s.resid = make([]float64, s.cols)
+	}
+	resid := s.resid
+	base := uint64(r) * s.cols
 	for c := uint64(0); c < s.cols; c++ {
-		raw := float64(s.table[r][c].pos-s.table[r][c].neg) / float64(s.fpUnit)
-		resid[c] = scalb(raw, s.p)
+		cl := &s.table[base+c]
+		resid[c] = float64(cl[0]-cl[1]) / float64(s.fpUnit) * s.scale
 	}
 	for j, v := range yhat {
-		c := s.buckets.Bucket(r, j)
-		resid[c] -= float64(s.buckets.Sign(r, j)) * v
+		c, g := s.buckets.BucketSign(r, j)
+		resid[c] -= float64(g) * v
 	}
 	var t float64
 	for _, v := range resid {
@@ -289,14 +452,12 @@ func (s *Sketch) Rows() int { return s.rows }
 // the largest value ever held, plus hash seeds, plus the log(n)-bit
 // position counter and the sampling exponent — Figure 2's layout.
 func (s *Sketch) SpaceBits() int64 {
+	s.refreshMaxCount()
 	perCounter := int64(nt.BitsFor(uint64(s.maxCount)))
 	counters := 2 * int64(s.rows) * int64(s.cols) * perCounter
 	position := int64(nt.BitsFor(uint64(s.t))) + int64(nt.BitsFor(uint64(s.p)))
 	return counters + position + s.buckets.SpaceBits()
 }
-
-// scalb returns v * 2^e without math.Pow.
-func scalb(v float64, e int) float64 { return math.Ldexp(v, e) }
 
 // TailEstimator implements Lemma 5: using two independent CSSS
 // instances, it produces v with
@@ -322,11 +483,18 @@ func (te *TailEstimator) Update(i uint64, delta int64) {
 	te.CS2.Update(i, delta)
 }
 
-// UpdateWeighted feeds both instances with a weighted update.
+// UpdateWeighted feeds both instances with a weighted update, paying
+// the sign/magnitude decomposition and weight quantization once (both
+// instances share FixedPointBits by construction).
 func (te *TailEstimator) UpdateWeighted(i uint64, delta int64, w float64) {
-	te.CS1.UpdateWeighted(i, delta, w)
-	te.CS2.UpdateWeighted(i, delta, w)
+	if delta == 0 {
+		return
+	}
+	sign, mag, wfp := te.CS1.decompose(delta, w)
+	te.CS1.updateUnits(i, sign, mag, wfp)
+	te.CS2.updateUnits(i, sign, mag, wfp)
 }
+
 
 // Estimate returns (v, yhat): the tail-error bound and the k-sparse
 // approximation used to compute it. candidates is the set of coordinates

@@ -187,7 +187,8 @@ func TestCounterMassBounded(t *testing.T) {
 	for r := 0; r < sk.Rows(); r++ {
 		var mass int64
 		for c := uint64(0); c < sk.cols; c++ {
-			mass += sk.table[r][c].pos + sk.table[r][c].neg
+			cl := sk.table[uint64(r)*sk.cols+c]
+			mass += cl[0] + cl[1]
 		}
 		if mass > 8*S {
 			t.Errorf("row %d holds %d samples, want O(S)=O(%d)", r, mass, S)

@@ -1,0 +1,224 @@
+package hash
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nt"
+)
+
+// The update hot path replaces (a) the generic Horner loop with
+// straight-line chains for k = 2 and k = 4, (b) the % r bucket reduction
+// with Lemire's multiply-shift fast range, and (c) the two-polynomial
+// (bucket, sign) row with disjoint bit-fields of one evaluation. These
+// tests pin each fast path bit-for-bit against a reference computed the
+// slow, obviously-correct way.
+
+// edgeXs are evaluation points that stress the field reduction: zero,
+// values at and around the Mersenne modulus, and the extremes of uint64.
+var edgeXs = []uint64{
+	0, 1, 2,
+	nt.MersennePrime61 - 1, nt.MersennePrime61, nt.MersennePrime61 + 1,
+	1<<62 + 12345, ^uint64(0),
+}
+
+// TestFieldFastPathsMatchReference: the specialized k = 2 / k = 4 Horner
+// chains must agree with the generic loop on every input.
+func TestFieldFastPathsMatchReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, k := range []int{1, 2, 3, 4, 5, 8} {
+			h := NewKWise(rng, k)
+			check := func(x uint64) {
+				if got, want := h.Field(x), h.FieldReference(x); got != want {
+					t.Fatalf("seed=%d k=%d: Field(%d) = %d, reference %d", seed, k, x, got, want)
+				}
+			}
+			for _, x := range edgeXs {
+				check(x)
+			}
+			for i := 0; i < 2000; i++ {
+				check(rng.Uint64())
+			}
+		}
+	}
+}
+
+// referenceReduce is the fast-range map computed from first principles:
+// stretch the 61-bit field value over 64 bits, take the high word of the
+// 128-bit product with r.
+func referenceReduce(v, r uint64) uint64 {
+	hi, _ := bits.Mul64(v<<3, r)
+	return hi
+}
+
+// TestRangeMatchesReduceOfReference: Range must equal the fast-range
+// reduction applied to the reference polynomial evaluation — i.e. the
+// specialization and the reduction compose without drift.
+func TestRangeMatchesReduceOfReference(t *testing.T) {
+	ranges := []uint64{1, 2, 3, 5, 48, 1024, 1<<44 - 59, 1 << 44}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		for _, k := range []int{2, 4} {
+			h := NewKWise(rng, k)
+			for _, r := range ranges {
+				for i := 0; i < 500; i++ {
+					x := rng.Uint64()
+					want := referenceReduce(h.FieldReference(x), r)
+					if got := h.Range(x, r); got != want {
+						t.Fatalf("seed=%d k=%d r=%d: Range(%d) = %d, want %d", seed, k, r, x, got, want)
+					}
+					if got := h.Range(x, r); got >= r {
+						t.Fatalf("Range(%d, %d) = %d out of range", x, r, got)
+					}
+				}
+				// x = 0 must also agree (constant-term-only evaluation).
+				if got, want := h.Range(0, r), referenceReduce(h.FieldReference(0), r); got != want {
+					t.Fatalf("Range(0, %d) = %d, want %d", r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestReduceEdges: r = 1 always yields bucket 0, and results stay in
+// range for r near the 2^44 universe cap.
+func TestReduceEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for i := 0; i < 10000; i++ {
+		v := rng.Uint64() % nt.MersennePrime61
+		if Reduce(v, 1) != 0 {
+			t.Fatalf("Reduce(%d, 1) != 0", v)
+		}
+		for _, r := range []uint64{1 << 44, 1<<44 - 59, 3} {
+			if got := Reduce(v, r); got >= r {
+				t.Fatalf("Reduce(%d, %d) = %d out of range", v, r, got)
+			}
+		}
+	}
+	if Reduce(0, 1<<44) != 0 {
+		t.Error("Reduce(0, r) should be 0")
+	}
+}
+
+// TestBucketSignMatchesReference: the fused single-evaluation row hash
+// must decompose exactly as (fast-range of the high 60 bits, sign from
+// the low bit) of the reference evaluation, across seeds, ranges and
+// edge inputs.
+func TestBucketSignMatchesReference(t *testing.T) {
+	ranges := []uint64{1, 2, 48, 6 * 160, 1<<44 - 59, 1 << 44}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		h := NewFourWise(rng)
+		check := func(x, r uint64) {
+			v := h.FieldReference(x)
+			// BucketSign stretches the high 60 bits as (v>>1)<<4, which is
+			// the low-bit-cleared value (v &^ 1) put through the same <<3
+			// stretch referenceReduce applies.
+			wantBucket := referenceReduce(v&^1, r)
+			wantSign := int64(1)
+			if v&1 == 1 {
+				wantSign = -1
+			}
+			gotBucket, gotSign := h.BucketSign(x, r)
+			if gotBucket != wantBucket || gotSign != wantSign {
+				t.Fatalf("seed=%d r=%d x=%d: BucketSign = (%d, %d), want (%d, %d)",
+					seed, r, x, gotBucket, gotSign, wantBucket, wantSign)
+			}
+			if gotBucket >= r {
+				t.Fatalf("BucketSign bucket %d out of range %d", gotBucket, r)
+			}
+		}
+		for _, r := range ranges {
+			for _, x := range edgeXs {
+				check(x, r)
+			}
+			for i := 0; i < 1000; i++ {
+				check(rng.Uint64(), r)
+			}
+		}
+	}
+}
+
+// TestBucketsAccessorsConsistent: Bucket, Sign and the fused BucketSign
+// must tell the same story for every row.
+func TestBucketsAccessorsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(400))
+	b := NewBuckets(rng, 6, 96)
+	for i := 0; i < 6; i++ {
+		for x := uint64(0); x < 2000; x++ {
+			c, s := b.BucketSign(i, x)
+			if c != b.Bucket(i, x) {
+				t.Fatalf("row %d x %d: fused bucket %d != Bucket %d", i, x, c, b.Bucket(i, x))
+			}
+			if int(s) != b.Sign(i, x) {
+				t.Fatalf("row %d x %d: fused sign %d != Sign %d", i, x, s, b.Sign(i, x))
+			}
+		}
+	}
+}
+
+// TestBucketSignMarginals: statistical sanity for the bit-field split —
+// the sign must stay balanced and the bucket near-uniform when both are
+// read from one evaluation.
+func TestBucketSignMarginals(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	h := NewFourWise(rng)
+	const r = 32
+	const n = 32000
+	var signSum int
+	counts := make([]int, r)
+	for i := 0; i < n; i++ {
+		c, s := h.BucketSign(uint64(i), r)
+		counts[c]++
+		signSum += int(s)
+	}
+	if signSum > 1200 || signSum < -1200 { // 6 sigma ~ 6*sqrt(32000) ~ 1073
+		t.Errorf("sign sum %d too far from 0", signSum)
+	}
+	mean := float64(n) / r
+	for bkt, c := range counts {
+		if float64(c) < mean/2 || float64(c) > mean*1.5 {
+			t.Errorf("bucket %d load %d far from mean %.0f", bkt, c, mean)
+		}
+	}
+}
+
+func BenchmarkBucketSignFused(b *testing.B) {
+	h := NewFourWise(rand.New(rand.NewSource(600)))
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, s := h.BucketSign(uint64(i), 96)
+		sink += c + uint64(s)
+	}
+	_ = sink
+}
+
+func BenchmarkBucketSignTwoEvals(b *testing.B) {
+	rng := rand.New(rand.NewSource(601))
+	h, g := NewFourWise(rng), NewFourWise(rng)
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := h.Range(uint64(i), 96)
+		s := g.Sign(uint64(i))
+		sink += c + uint64(s)
+	}
+	_ = sink
+}
+
+// TestUnitInvMatchesUnit: the fused single-division weight must agree
+// with 1/Unit to floating-point roundoff.
+func TestUnitInvMatchesUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	h := NewKWise(rng, 8)
+	for i := 0; i < 20000; i++ {
+		x := rng.Uint64()
+		prod := h.UnitInv(x) * h.Unit(x)
+		if prod < 1-1e-12 || prod > 1+1e-12 {
+			t.Fatalf("UnitInv(%d)*Unit(%d) = %v, want 1", x, x, prod)
+		}
+	}
+}

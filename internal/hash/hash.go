@@ -15,6 +15,29 @@
 // All families here work over the Mersenne field p = 2^61 - 1, which is
 // large enough to treat 64-bit-truncated universe identities as field
 // elements (the library constrains universes to n <= 2^60).
+//
+// # Hot-path layout
+//
+// The update hot path of every sketch reduces to "evaluate a polynomial,
+// map it to a bucket, read off a sign". Three decisions keep that path at
+// a handful of multiply-adds:
+//
+//  1. Horner evaluation is specialized for the dominant k = 2 and k = 4
+//     cases, so a row costs one MulModMersenne61 chain with no loop or
+//     bounds checks (Field; FieldReference keeps the generic loop as the
+//     differential-test oracle).
+//  2. Bucket reduction uses Lemire's multiply-shift fast range (Reduce)
+//     instead of a 64-bit division: the 61-bit field value is stretched
+//     across the full 64-bit range and the high word of value*r is the
+//     bucket. Like the % r it replaces, the map is uniform up to a
+//     bias below 2^-16 for any r <= 2^44.
+//  3. A Count-Sketch row derives bucket AND sign from one 4-wise field
+//     evaluation via disjoint bit-fields (BucketSign): the low bit is the
+//     sign, the remaining 60 bits feed the bucket reduction. Both margins
+//     of a uniform field value are uniform, and any joint event over <= 4
+//     distinct keys inherits the 4-wise independence of the underlying
+//     polynomial, which is the independence Count-Sketch's analysis
+//     consumes (Section 2).
 package hash
 
 import (
@@ -62,8 +85,50 @@ func NewFourWise(rng *rand.Rand) *KWise { return NewKWise(rng, 4) }
 func (h *KWise) K() int { return len(h.coeffs) }
 
 // Field evaluates the polynomial at x, returning a value uniform in
-// [0, 2^61-1). x is reduced into the field first.
+// [0, 2^61-1). x is reduced into the field first. The k = 2, 4 and 8
+// cases — every subsampling hash, every Count-Sketch row, and the
+// precision-sampling scaling hashes — run as straight-line fused
+// Horner chains (nt.MulAddModMersenne61); FieldReference is the generic
+// oracle they are differentially tested against.
 func (h *KWise) Field(x uint64) uint64 {
+	return h.fieldReduced(x % nt.MersennePrime61)
+}
+
+// fieldReduced evaluates the polynomial at an already-reduced point
+// (x < 2^61 - 1), letting row sweeps pay the universe reduction once.
+func (h *KWise) fieldReduced(x uint64) uint64 {
+	c := h.coeffs
+	switch len(c) {
+	case 1:
+		return c[0]
+	case 2:
+		return nt.MulAddModMersenne61(c[1], x, c[0])
+	case 4:
+		acc := nt.MulAddLazyMersenne61(c[3], x, c[2])
+		acc = nt.MulAddLazyMersenne61(acc, x, c[1])
+		acc = nt.MulAddLazyMersenne61(acc, x, c[0])
+		return nt.ReduceLazyMersenne61(acc)
+	case 8:
+		acc := nt.MulAddLazyMersenne61(c[7], x, c[6])
+		acc = nt.MulAddLazyMersenne61(acc, x, c[5])
+		acc = nt.MulAddLazyMersenne61(acc, x, c[4])
+		acc = nt.MulAddLazyMersenne61(acc, x, c[3])
+		acc = nt.MulAddLazyMersenne61(acc, x, c[2])
+		acc = nt.MulAddLazyMersenne61(acc, x, c[1])
+		acc = nt.MulAddLazyMersenne61(acc, x, c[0])
+		return nt.ReduceLazyMersenne61(acc)
+	}
+	acc := uint64(0)
+	for i := len(c) - 1; i >= 0; i-- {
+		acc = nt.MulAddModMersenne61(acc, x, c[i])
+	}
+	return acc
+}
+
+// FieldReference evaluates the polynomial with the generic Horner loop,
+// bypassing the specialized k = 2 / k = 4 fast paths. It exists as the
+// oracle for differential tests; sketches never call it.
+func (h *KWise) FieldReference(x uint64) uint64 {
 	x %= nt.MersennePrime61
 	acc := uint64(0)
 	for i := len(h.coeffs) - 1; i >= 0; i-- {
@@ -73,14 +138,23 @@ func (h *KWise) Field(x uint64) uint64 {
 	return acc
 }
 
-// Range maps x to a bucket in [0, r). For r that divide the field order
-// nearly evenly (any r << 2^61) the modulo bias is below 2^-40 and is
-// ignored, matching standard streaming practice.
+// Reduce maps a field value v (v < 2^61) uniformly onto [0, r) with
+// Lemire's multiply-shift fast range: v is stretched across the full
+// 64-bit range and the high 64 bits of v*r are the bucket. It replaces
+// the 64-bit division of v % r; for any r <= 2^44 the deviation from
+// uniform is below 2^-16, the same order as the modulo bias it replaces,
+// and is ignored as standard streaming practice.
+func Reduce(v, r uint64) uint64 {
+	hi, _ := bits.Mul64(v<<3, r)
+	return hi
+}
+
+// Range maps x to a bucket in [0, r) via Reduce.
 func (h *KWise) Range(x, r uint64) uint64 {
 	if r == 0 {
 		panic("hash: Range with r == 0")
 	}
-	return h.Field(x) % r
+	return Reduce(h.Field(x), r)
 }
 
 // Sign maps x to -1 or +1 using the low bit of the field evaluation. When
@@ -93,12 +167,32 @@ func (h *KWise) Sign(x uint64) int {
 	return -1
 }
 
+// BucketSign derives a Count-Sketch row's bucket in [0, r) and ±1 sign
+// from ONE field evaluation, using disjoint bit-fields of the 61-bit
+// output: the low bit is the sign (matching Sign's convention) and the
+// remaining 60 bits feed the fast-range bucket reduction. This halves
+// both the evaluation cost and the seed storage of the historical
+// two-polynomial (bucket hash, sign hash) row layout.
+func (h *KWise) BucketSign(x, r uint64) (uint64, int64) {
+	v := h.Field(x)
+	hi, _ := bits.Mul64((v>>1)<<4, r)
+	return hi, 1 - int64(v&1)<<1
+}
+
 // Unit maps x to a scaling factor in (0, 1], the t_i of the paper's
 // precision sampling (Section 4). The value is never exactly 0, so z_i =
 // f_i / t_i is always finite.
 func (h *KWise) Unit(x uint64) float64 {
 	v := h.Field(x)
 	return (float64(v) + 1) / float64(nt.MersennePrime61)
+}
+
+// UnitInv returns 1/t_i = p/(v+1) directly — the precision-sampling
+// weight — with a single float division instead of the two that
+// 1/Unit(x) costs on the update hot path.
+func (h *KWise) UnitInv(x uint64) float64 {
+	v := h.Field(x)
+	return float64(nt.MersennePrime61) / (float64(v) + 1)
 }
 
 // SpaceBits returns the bits needed to store the function: k coefficients
@@ -117,43 +211,91 @@ func LSB(x uint64, maxBits int) int {
 	return bits.TrailingZeros64(x)
 }
 
-// Buckets describes a matrix of d independent hash-function pairs
-// (bucket hash, sign hash), the standard Count-Sketch layout. It exists so
-// Count-Sketch, CSSS and the inner-product sketches share one wiring.
+// Buckets describes a matrix of d independent row hash functions, the
+// Count-Sketch layout shared by Count-Sketch, CSSS and the inner-product
+// sketches. Each row is ONE 4-wise polynomial whose single evaluation
+// yields both the bucket and the sign (see KWise.BucketSign); the
+// historical layout of two polynomials per row cost twice the evaluation
+// time and twice the seed space for the same guarantee.
 type Buckets struct {
 	Rows int
 	Cols uint64
-	hs   []*KWise // bucket hashes, one per row
-	gs   []*KWise // sign hashes, one per row
+	fns  []*KWise // one 4-wise row function: low bit sign, high bits bucket
+	// flat holds every row's 4 coefficients contiguously (row i at
+	// flat[4i:4i+4]) so the all-rows sweep reads one cache-friendly
+	// array instead of chasing a pointer per row.
+	flat []uint64
 }
 
-// NewBuckets draws d rows of 4-wise independent (bucket, sign) hash pairs
-// over [cols].
+// NewBuckets draws d rows of 4-wise independent row hash functions over
+// [cols].
 func NewBuckets(rng *rand.Rand, rows int, cols uint64) *Buckets {
 	if rows < 1 || cols < 1 {
 		panic(fmt.Sprintf("hash: NewBuckets(rows=%d, cols=%d)", rows, cols))
 	}
 	b := &Buckets{Rows: rows, Cols: cols}
-	b.hs = make([]*KWise, rows)
-	b.gs = make([]*KWise, rows)
+	b.fns = make([]*KWise, rows)
 	for i := 0; i < rows; i++ {
-		b.hs[i] = NewFourWise(rng)
-		b.gs[i] = NewFourWise(rng)
+		b.fns[i] = NewFourWise(rng)
 	}
+	b.buildFlat()
 	return b
 }
 
+// buildFlat (re)derives the contiguous coefficient array from fns.
+func (b *Buckets) buildFlat() {
+	b.flat = make([]uint64, 0, 4*b.Rows)
+	for _, f := range b.fns {
+		b.flat = append(b.flat, f.coeffs...)
+	}
+}
+
 // Bucket returns the column index of x in row i.
-func (b *Buckets) Bucket(i int, x uint64) uint64 { return b.hs[i].Range(x, b.Cols) }
+func (b *Buckets) Bucket(i int, x uint64) uint64 {
+	c, _ := b.fns[i].BucketSign(x, b.Cols)
+	return c
+}
 
 // Sign returns the ±1 sign of x in row i.
-func (b *Buckets) Sign(i int, x uint64) int { return b.gs[i].Sign(x) }
+func (b *Buckets) Sign(i int, x uint64) int {
+	_, s := b.fns[i].BucketSign(x, b.Cols)
+	return int(s)
+}
+
+// BucketSign returns both the column index and the ±1 sign of x in row
+// i from one polynomial evaluation — the hot-path accessor.
+func (b *Buckets) BucketSign(i int, x uint64) (uint64, int64) {
+	return b.fns[i].BucketSign(x, b.Cols)
+}
+
+// BucketSignsInto fills cols[i], signs[i] for every row with x's bucket
+// and sign, paying the universe-to-field reduction of x once instead of
+// once per row and walking the rows' coefficients as one contiguous
+// array. The interior Horner steps use the lazy Mersenne form (no
+// conditional subtraction); the single final reduction restores the
+// canonical value, bit-identical to the per-row BucketSign path.
+func (b *Buckets) BucketSignsInto(x uint64, cols []uint64, signs []int64) {
+	xr := x % nt.MersennePrime61
+	r := b.Cols
+	flat := b.flat
+	for i := 0; i < b.Rows; i++ {
+		c := flat[4*i : 4*i+4 : 4*i+4]
+		acc := nt.MulAddLazyMersenne61(c[3], xr, c[2])
+		acc = nt.MulAddLazyMersenne61(acc, xr, c[1])
+		acc = nt.MulAddLazyMersenne61(acc, xr, c[0])
+		v := nt.ReduceLazyMersenne61(acc)
+		hi, _ := bits.Mul64((v>>1)<<4, r)
+		cols[i] = hi
+		signs[i] = 1 - int64(v&1)<<1
+	}
+}
+
 
 // SpaceBits returns the seed storage cost of all rows.
 func (b *Buckets) SpaceBits() int64 {
 	var total int64
-	for i := range b.hs {
-		total += b.hs[i].SpaceBits() + b.gs[i].SpaceBits()
+	for i := range b.fns {
+		total += b.fns[i].SpaceBits()
 	}
 	return total
 }

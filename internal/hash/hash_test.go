@@ -205,8 +205,9 @@ func TestBuckets(t *testing.T) {
 			}
 		}
 	}
-	if b.SpaceBits() != 5*2*4*61 {
-		t.Errorf("SpaceBits = %d, want %d", b.SpaceBits(), 5*2*4*61)
+	// One 4-wise polynomial per row: bucket and sign share the evaluation.
+	if b.SpaceBits() != 5*4*61 {
+		t.Errorf("SpaceBits = %d, want %d", b.SpaceBits(), 5*4*61)
 	}
 }
 

@@ -49,65 +49,74 @@ func (h *KWise) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
-// MarshalBinary encodes a Buckets wiring: "HB" magic, rows, cols, then
-// each row's bucket and sign function.
+// MarshalBinary encodes a Buckets wiring: "HB" magic, a format version,
+// rows, cols, then each row's single 4-wise function. Version 2 is the
+// single-polynomial-per-row layout (bucket and sign share one
+// evaluation); the version byte rejects payloads from the historical
+// two-polynomial layout instead of silently mis-wiring them.
 func (b *Buckets) MarshalBinary() ([]byte, error) {
-	out := make([]byte, 0, 16+b.Rows*2*(4+8*4))
-	out = append(out, 'H', 'B')
+	out := make([]byte, 0, 16+b.Rows*(4+4+8*4))
+	out = append(out, 'H', 'B', bucketsFormatV2)
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(b.Rows))
 	binary.LittleEndian.PutUint64(hdr[4:], b.Cols)
 	out = append(out, hdr[:]...)
 	for i := 0; i < b.Rows; i++ {
-		for _, h := range []*KWise{b.hs[i], b.gs[i]} {
-			enc, err := h.MarshalBinary()
-			if err != nil {
-				return nil, err
-			}
-			var l [4]byte
-			binary.LittleEndian.PutUint32(l[:], uint32(len(enc)))
-			out = append(out, l[:]...)
-			out = append(out, enc...)
+		enc, err := b.fns[i].MarshalBinary()
+		if err != nil {
+			return nil, err
 		}
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(enc)))
+		out = append(out, l[:]...)
+		out = append(out, enc...)
 	}
 	return out, nil
 }
 
+// bucketsFormatV2 tags the single-polynomial-per-row wire layout.
+const bucketsFormatV2 = 2
+
 // UnmarshalBinary restores a Buckets wiring.
 func (b *Buckets) UnmarshalBinary(data []byte) error {
-	if len(data) < 14 || data[0] != 'H' || data[1] != 'B' {
+	if len(data) < 15 || data[0] != 'H' || data[1] != 'B' {
 		return errors.New("hash: malformed Buckets data")
 	}
-	rows := int(binary.LittleEndian.Uint32(data[2:]))
-	cols := binary.LittleEndian.Uint64(data[6:])
+	if data[2] != bucketsFormatV2 {
+		return fmt.Errorf("hash: unsupported Buckets format %d", data[2])
+	}
+	rows := int(binary.LittleEndian.Uint32(data[3:]))
+	cols := binary.LittleEndian.Uint64(data[7:])
 	if rows < 1 || cols < 1 {
 		return errors.New("hash: malformed Buckets dims")
 	}
-	pos := 14
-	hs := make([]*KWise, rows)
-	gs := make([]*KWise, rows)
+	pos := 15
+	fns := make([]*KWise, rows)
 	for i := 0; i < rows; i++ {
-		for j, target := range []*[]*KWise{&hs, &gs} {
-			if pos+4 > len(data) {
-				return errors.New("hash: truncated Buckets data")
-			}
-			l := int(binary.LittleEndian.Uint32(data[pos:]))
-			pos += 4
-			if pos+l > len(data) {
-				return errors.New("hash: truncated Buckets data")
-			}
-			h := &KWise{}
-			if err := h.UnmarshalBinary(data[pos : pos+l]); err != nil {
-				return err
-			}
-			pos += l
-			(*target)[i] = h
-			_ = j
+		if pos+4 > len(data) {
+			return errors.New("hash: truncated Buckets data")
 		}
+		l := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if pos+l > len(data) {
+			return errors.New("hash: truncated Buckets data")
+		}
+		h := &KWise{}
+		if err := h.UnmarshalBinary(data[pos : pos+l]); err != nil {
+			return err
+		}
+		pos += l
+		fns[i] = h
 	}
 	if pos != len(data) {
 		return errors.New("hash: trailing Buckets data")
 	}
-	b.Rows, b.Cols, b.hs, b.gs = rows, cols, hs, gs
+	for _, f := range fns {
+		if f.K() != 4 {
+			return errors.New("hash: Buckets rows must be 4-wise")
+		}
+	}
+	b.Rows, b.Cols, b.fns = rows, cols, fns
+	b.buildFlat()
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/csss"
 	"repro/internal/nt"
 	"repro/internal/sketch"
+	"repro/internal/stream"
 	"repro/internal/topk"
 )
 
@@ -51,6 +52,9 @@ type AlphaL1 struct {
 	l1Exact int64          // Strict mode: running sum of deltas
 	l1Est   *cauchy.Sketch // General mode: constant-factor estimator
 	maxL1   int64
+
+	batchSeen map[uint64]struct{} // scratch for stream.DistinctIndices
+	distinct  []uint64
 }
 
 // AlphaL1Params configures AlphaL1.
@@ -107,6 +111,13 @@ func NewAlphaL1(rng *rand.Rand, p AlphaL1Params) *AlphaL1 {
 
 // Update feeds one stream update.
 func (h *AlphaL1) Update(i uint64, delta int64) {
+	h.ingest(i, delta)
+	h.tracker.Offer(i, h.sk.Query(i))
+}
+
+// ingest feeds the sketch and the L1 scale without touching the
+// candidate tracker.
+func (h *AlphaL1) ingest(i uint64, delta int64) {
 	h.sk.Update(i, delta)
 	switch h.mode {
 	case Strict:
@@ -117,7 +128,24 @@ func (h *AlphaL1) Update(i uint64, delta int64) {
 	case General:
 		h.l1Est.Update(i, delta)
 	}
-	h.tracker.Offer(i, h.sk.Query(i))
+}
+
+// UpdateBatch feeds a batch of updates. The sketch and scale ingest
+// every update, but the candidate tracker is refreshed once per
+// DISTINCT index at the end of the batch — the CSSS median query is the
+// dominant per-update cost of the scalar path, and an index updated k
+// times in one batch needs only its final estimate offered.
+func (h *AlphaL1) UpdateBatch(batch []stream.Update) {
+	for _, u := range batch {
+		h.ingest(u.Index, u.Delta)
+	}
+	if h.batchSeen == nil {
+		h.batchSeen = make(map[uint64]struct{}, 256)
+	}
+	h.distinct = stream.DistinctIndices(h.distinct[:0], h.batchSeen, batch)
+	for _, i := range h.distinct {
+		h.tracker.Offer(i, h.sk.Query(i))
+	}
 }
 
 // scale returns R, the L1 scale estimate.
@@ -172,6 +200,9 @@ type CountSketchHH struct {
 	l1Exact int64
 	maxL1   int64
 	l1Est   *cauchy.Sketch
+
+	batchSeen map[uint64]struct{}
+	distinct  []uint64
 }
 
 // NewCountSketchHH builds the baseline with K = ceil(quality/eps)
@@ -202,6 +233,13 @@ func NewCountSketchHH(rng *rand.Rand, n uint64, eps float64, mode Mode, quality 
 
 // Update feeds one update.
 func (b *CountSketchHH) Update(i uint64, delta int64) {
+	b.ingest(i, delta)
+	b.tracker.Offer(i, float64(b.sk.Query(i)))
+}
+
+// ingest feeds the sketch and the L1 scale without touching the
+// candidate tracker — the shared body of Update and UpdateBatch.
+func (b *CountSketchHH) ingest(i uint64, delta int64) {
 	b.sk.Update(i, delta)
 	if b.mode == Strict {
 		b.l1Exact += delta
@@ -211,7 +249,21 @@ func (b *CountSketchHH) Update(i uint64, delta int64) {
 	} else {
 		b.l1Est.Update(i, delta)
 	}
-	b.tracker.Offer(i, float64(b.sk.Query(i)))
+}
+
+// UpdateBatch feeds a batch of updates (see AlphaL1.UpdateBatch for the
+// distinct-index tracker refresh).
+func (b *CountSketchHH) UpdateBatch(batch []stream.Update) {
+	for _, u := range batch {
+		b.ingest(u.Index, u.Delta)
+	}
+	if b.batchSeen == nil {
+		b.batchSeen = make(map[uint64]struct{}, 256)
+	}
+	b.distinct = stream.DistinctIndices(b.distinct[:0], b.batchSeen, batch)
+	for _, i := range b.distinct {
+		b.tracker.Offer(i, float64(b.sk.Query(i)))
+	}
 }
 
 // HeavyHitters applies the same 3 eps R / 4 rule as AlphaL1.

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/sketch"
+	"repro/internal/stream"
 	"repro/internal/topk"
 )
 
@@ -27,6 +28,9 @@ type AlphaL2 struct {
 	verCS *sketch.CountSketch // over f
 	trk   *topk.Tracker
 	n     uint64
+
+	batchSeen map[uint64]struct{}
+	distinct  []uint64
 }
 
 // NewAlphaL2 builds the Appendix A structure. Column counts follow the
@@ -66,6 +70,26 @@ func (h *AlphaL2) Update(i uint64, delta int64) {
 	h.insCS.Update(i, mag) // the insertion-only stream I + D
 	h.verCS.Update(i, delta)
 	h.trk.Offer(i, float64(h.insCS.Query(i)))
+}
+
+// UpdateBatch feeds a batch of updates, refreshing the candidate
+// tracker once per distinct index at the end of the batch.
+func (h *AlphaL2) UpdateBatch(batch []stream.Update) {
+	for _, u := range batch {
+		mag := u.Delta
+		if mag < 0 {
+			mag = -mag
+		}
+		h.insCS.Update(u.Index, mag)
+		h.verCS.Update(u.Index, u.Delta)
+	}
+	if h.batchSeen == nil {
+		h.batchSeen = make(map[uint64]struct{}, 256)
+	}
+	h.distinct = stream.DistinctIndices(h.distinct[:0], h.batchSeen, batch)
+	for _, i := range h.distinct {
+		h.trk.Offer(i, float64(h.insCS.Query(i)))
+	}
 }
 
 // HeavyHitters returns the verified eps L2 heavy hitters of f.

@@ -29,6 +29,7 @@ import (
 	"repro/internal/hash"
 	"repro/internal/nt"
 	"repro/internal/sample"
+	"repro/internal/stream"
 )
 
 // Params configures the estimator.
@@ -128,6 +129,20 @@ func (e *Estimator) UpdateF(i uint64, delta int64) { e.update(e.f, i, delta) }
 
 // UpdateG feeds an update to the second stream.
 func (e *Estimator) UpdateG(i uint64, delta int64) { e.update(e.g, i, delta) }
+
+// UpdateBatchF feeds a batch of updates to the first stream.
+func (e *Estimator) UpdateBatchF(batch []stream.Update) {
+	for _, u := range batch {
+		e.update(e.f, u.Index, u.Delta)
+	}
+}
+
+// UpdateBatchG feeds a batch of updates to the second stream.
+func (e *Estimator) UpdateBatchG(batch []stream.Update) {
+	for _, u := range batch {
+		e.update(e.g, u.Index, u.Delta)
+	}
+}
 
 func (e *Estimator) update(sd *side, i uint64, delta int64) {
 	mag := delta

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/hash"
 	"repro/internal/nt"
+	"repro/internal/stream"
 )
 
 // Params configures the (1 +- eps) L0 estimator.
@@ -209,6 +210,13 @@ func (e *Estimator) Update(i uint64, delta int64) {
 	bins := e.h3s.Range(ids, uint64(2*e.k))
 	mult := e.us[e.h4s.Range(ids, uint64(2*e.k))]
 	e.singleRow[bins] = nt.AddMod(e.singleRow[bins], nt.MulMod(d, mult, e.p), e.p)
+}
+
+// UpdateBatch applies a batch of updates.
+func (e *Estimator) UpdateBatch(batch []stream.Update) {
+	for _, u := range batch {
+		e.Update(u.Index, u.Delta)
+	}
 }
 
 func cube(k int) uint64 {

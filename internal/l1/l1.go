@@ -27,6 +27,7 @@ import (
 	"repro/internal/morris"
 	"repro/internal/nt"
 	"repro/internal/sample"
+	"repro/internal/stream"
 )
 
 // Clock abstracts the stream-position estimate: Figure 4 uses a Morris
@@ -165,6 +166,13 @@ func (a *AlphaEstimator) Update(i uint64, delta int64) {
 			}
 		}
 		mag -= chunk
+	}
+}
+
+// UpdateBatch applies a batch of updates.
+func (a *AlphaEstimator) UpdateBatch(batch []stream.Update) {
+	for _, u := range batch {
+		a.Update(u.Index, u.Delta)
 	}
 }
 

@@ -85,6 +85,46 @@ func AddModMersenne61(a, b uint64) uint64 {
 	return sum
 }
 
+// MulAddLazyMersenne61 performs one Horner step a*x + c over the
+// Mersenne field in LAZY form: a may be any value below 2^62 (e.g. a
+// previous lazy result), x and c must be reduced, and the result is
+// congruent to a*x + c mod p but only guaranteed below 2^61 + 3 — so
+// chained steps skip the conditional subtraction entirely and a single
+// ReduceLazyMersenne61 at the end of the chain produces the canonical
+// value. This shaves the data-dependent branch from every interior
+// Horner step of the row-sweep hot path.
+func MulAddLazyMersenne61(a, x, c uint64) uint64 {
+	hi, lo := bits.Mul64(a, x)
+	s := ((hi << 3) | (lo >> 61)) + ((lo & MersennePrime61) + c)
+	return (s >> 61) + (s & MersennePrime61)
+}
+
+// ReduceLazyMersenne61 maps a lazy value (< 2^62) to its canonical
+// representative in [0, 2^61 - 1).
+func ReduceLazyMersenne61(v uint64) uint64 {
+	v = (v >> 61) + (v & MersennePrime61)
+	if v >= MersennePrime61 {
+		v -= MersennePrime61
+	}
+	return v
+}
+
+// MulAddModMersenne61 returns (a*x + c) mod (2^61 - 1) for reduced
+// inputs — one Horner step with a single final conditional subtraction
+// instead of the three a separate MulMod + AddMod chain performs. The
+// intermediate sums stay lazy: s1 = fold(a*x) < 2^62, s2 = s1 + c <
+// 3*2^61, and folding s2's bit 61+ overflow back (2^61 ≡ 1 mod p)
+// leaves a value below p + 3, so one subtraction fully reduces.
+func MulAddModMersenne61(a, x, c uint64) uint64 {
+	hi, lo := bits.Mul64(a, x)
+	s := ((hi << 3) | (lo >> 61)) + (lo & MersennePrime61) + c
+	s = (s >> 61) + (s & MersennePrime61)
+	if s >= MersennePrime61 {
+		s -= MersennePrime61
+	}
+	return s
+}
+
 // millerRabinWitnesses is a deterministic witness set valid for all
 // 64-bit integers (Sinclair's seven-base set).
 var millerRabinWitnesses = [...]uint64{2, 325, 9375, 28178, 450775, 9780504, 1795265022}

@@ -293,3 +293,52 @@ func BenchmarkIsPrime(b *testing.B) {
 		IsPrime(18446744073709551557)
 	}
 }
+
+func TestMulAddModMersenne61(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 200000; i++ {
+		a := rng.Uint64() % MersennePrime61
+		x := rng.Uint64() % MersennePrime61
+		c := rng.Uint64() % MersennePrime61
+		want := AddModMersenne61(MulModMersenne61(a, x), c)
+		if got := MulAddModMersenne61(a, x, c); got != want {
+			t.Fatalf("MulAdd(%d,%d,%d) = %d, want %d", a, x, c, got, want)
+		}
+	}
+}
+
+// TestLazyChainMatchesStrict: chains of lazy Horner steps, finished with
+// one reduction, must equal the fully-reduced chain — including when the
+// lazy accumulator is fed back in unreduced.
+func TestLazyChainMatchesStrict(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for i := 0; i < 100000; i++ {
+		x := rng.Uint64() % MersennePrime61
+		cs := [4]uint64{}
+		for j := range cs {
+			cs[j] = rng.Uint64() % MersennePrime61
+		}
+		want := MulAddModMersenne61(cs[3], x, cs[2])
+		want = MulAddModMersenne61(want, x, cs[1])
+		want = MulAddModMersenne61(want, x, cs[0])
+		acc := MulAddLazyMersenne61(cs[3], x, cs[2])
+		if acc >= 1<<62 {
+			t.Fatalf("lazy value %d out of invariant range", acc)
+		}
+		acc = MulAddLazyMersenne61(acc, x, cs[1])
+		acc = MulAddLazyMersenne61(acc, x, cs[0])
+		if got := ReduceLazyMersenne61(acc); got != want {
+			t.Fatalf("lazy chain = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestReduceLazyEdges(t *testing.T) {
+	cases := []uint64{0, 1, MersennePrime61 - 1, MersennePrime61, MersennePrime61 + 1, 1<<62 - 1}
+	for _, v := range cases {
+		want := v % MersennePrime61
+		if got := ReduceLazyMersenne61(v); got != want {
+			t.Errorf("ReduceLazy(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package order provides small in-place selection routines for the
+// sketch query paths. Every sketch in this library answers queries with
+// a median (or k-th statistic) over a handful of per-row estimates;
+// doing that with sort.Float64s costs an allocation and an O(d log d)
+// sort per query, which the heavy-hitters and sampler update loops pay
+// on every stream update. These helpers select in place over a
+// caller-owned scratch buffer: zero allocations, O(d) expected time, and
+// exactly the same results as the sort-based formulation.
+package order
+
+// MedianInt64 returns the median of s, averaging the two central
+// elements when len(s) is even (matching the historical sort-then-index
+// convention). s is reordered in place; it must be a scratch buffer.
+// An empty s returns 0.
+func MedianInt64(s []int64) int64 {
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	hi := selectInt64(s, n/2)
+	if n%2 == 1 {
+		return hi
+	}
+	// Quickselect leaves s[:n/2] holding the n/2 smallest values; the
+	// lower central element is their maximum.
+	lo := s[0]
+	for _, v := range s[1:n/2] {
+		if v > lo {
+			lo = v
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MedianFloat64 returns the median of s under the same conventions as
+// MedianInt64. s may be reordered in place. The sketch depths that
+// dominate every query path (3, 5 rows) run as comparison networks with
+// no memory traffic.
+func MedianFloat64(s []float64) float64 {
+	switch n := len(s); n {
+	case 0:
+		return 0
+	case 1:
+		return s[0]
+	case 3:
+		return MedianOf3(s[0], s[1], s[2])
+	case 5:
+		return MedianOf5(s[0], s[1], s[2], s[3], s[4])
+	default:
+		hi := selectFloat64(s, n/2)
+		if n%2 == 1 {
+			return hi
+		}
+		lo := s[0]
+		for _, v := range s[1:n/2] {
+			if v > lo {
+				lo = v
+			}
+		}
+		return (lo + hi) / 2
+	}
+}
+
+// MedianOf3 returns the median of three values.
+func MedianOf3(a, b, c float64) float64 {
+	if b < a {
+		a, b = b, a
+	}
+	if c < b {
+		b = c
+		if b < a {
+			b = a
+		}
+	}
+	return b
+}
+
+// MedianOf5 returns the median of five values with a 7-comparison
+// network.
+func MedianOf5(a, b, c, d, e float64) float64 {
+	if b < a {
+		a, b = b, a
+	}
+	if d < c {
+		c, d = d, c
+	}
+	if c < a {
+		a, c = c, a
+		b, d = d, b
+	}
+	// Now a <= b, c <= d, a <= c: a is the minimum of {a,b,c,d}, so the
+	// median of five is the 2nd smallest of {b, c, d, e}.
+	if e < b {
+		b, e = e, b
+	}
+	// Two sorted pairs (b <= e) and (c <= d): their 2nd smallest is
+	// min(max(b, c), min(e, d)).
+	bc := b
+	if c > bc {
+		bc = c
+	}
+	ed := e
+	if d < ed {
+		ed = d
+	}
+	if bc < ed {
+		return bc
+	}
+	return ed
+}
+
+// UpperMedianFloat64 returns the element that sorting would place at
+// index len(s)/2 — the convention the row-L2 estimators use. s is
+// reordered in place. An empty s returns 0.
+func UpperMedianFloat64(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return selectFloat64(s, len(s)/2)
+}
+
+// selectInt64 places the k-th smallest element of s at index k and
+// returns it, partitioning s around it. Expected O(len(s)); small
+// slices use insertion sort directly.
+func selectInt64(s []int64, k int) int64 {
+	lo, hi := 0, len(s)-1
+	for hi-lo > insertionCutoff {
+		p := partitionInt64(s, lo, hi)
+		switch {
+		case p == k:
+			return s[k]
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[k]
+}
+
+func selectFloat64(s []float64, k int) float64 {
+	lo, hi := 0, len(s)-1
+	for hi-lo > insertionCutoff {
+		p := partitionFloat64(s, lo, hi)
+		switch {
+		case p == k:
+			return s[k]
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[k]
+}
+
+// insertionCutoff is the subproblem size below which insertion sort
+// beats further partitioning; sketch depths (5–9 rows) land here
+// immediately, so the common case is one tiny insertion sort.
+const insertionCutoff = 12
+
+// partitionInt64 is Hoare-style median-of-three Lomuto partitioning over
+// s[lo:hi+1], returning the pivot's final index.
+func partitionInt64(s []int64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if s[mid] < s[lo] {
+		s[mid], s[lo] = s[lo], s[mid]
+	}
+	if s[hi] < s[lo] {
+		s[hi], s[lo] = s[lo], s[hi]
+	}
+	if s[hi] < s[mid] {
+		s[hi], s[mid] = s[mid], s[hi]
+	}
+	pivot := s[mid]
+	s[mid], s[hi-1] = s[hi-1], s[mid]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if s[j] < pivot {
+			s[i], s[j] = s[j], s[i]
+			i++
+		}
+	}
+	s[i], s[hi-1] = s[hi-1], s[i]
+	return i
+}
+
+func partitionFloat64(s []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if s[mid] < s[lo] {
+		s[mid], s[lo] = s[lo], s[mid]
+	}
+	if s[hi] < s[lo] {
+		s[hi], s[lo] = s[lo], s[hi]
+	}
+	if s[hi] < s[mid] {
+		s[hi], s[mid] = s[mid], s[hi]
+	}
+	pivot := s[mid]
+	s[mid], s[hi-1] = s[hi-1], s[mid]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if s[j] < pivot {
+			s[i], s[j] = s[j], s[i]
+			i++
+		}
+	}
+	s[i], s[hi-1] = s[hi-1], s[i]
+	return i
+}

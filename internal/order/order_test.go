@@ -1,0 +1,126 @@
+package order
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sortMedianInt64 is the historical allocate-and-sort formulation the
+// in-place selectors must match exactly.
+func sortMedianInt64(xs []int64) int64 {
+	s := make([]int64, len(xs))
+	copy(s, xs)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func sortMedianFloat64(xs []float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func TestMedianInt64MatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(40)
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = rng.Int63n(100) - 50
+		}
+		want := sortMedianInt64(xs)
+		scratch := append([]int64(nil), xs...)
+		if got := MedianInt64(scratch); got != want {
+			t.Fatalf("MedianInt64(%v) = %d, want %d", xs, got, want)
+		}
+	}
+}
+
+func TestMedianFloat64MatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		want := sortMedianFloat64(xs)
+		scratch := append([]float64(nil), xs...)
+		if got := MedianFloat64(scratch); got != want {
+			t.Fatalf("MedianFloat64(%v) = %v, want %v", xs, got, want)
+		}
+	}
+}
+
+func TestUpperMedianFloat64MatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(30)) // duplicates exercise ties
+		}
+		var want float64
+		if n > 0 {
+			s := append([]float64(nil), xs...)
+			sort.Float64s(s)
+			want = s[n/2]
+		}
+		scratch := append([]float64(nil), xs...)
+		if got := UpperMedianFloat64(scratch); got != want {
+			t.Fatalf("UpperMedianFloat64(%v) = %v, want %v", xs, got, want)
+		}
+	}
+}
+
+func TestMedianEmptyAndSingle(t *testing.T) {
+	if MedianInt64(nil) != 0 || MedianFloat64(nil) != 0 || UpperMedianFloat64(nil) != 0 {
+		t.Error("empty inputs must return 0")
+	}
+	if MedianInt64([]int64{7}) != 7 || MedianFloat64([]float64{1.5}) != 1.5 {
+		t.Error("singleton median wrong")
+	}
+}
+
+// TestLargeSlicesHitPartition forces the quickselect path (n above the
+// insertion cutoff) and checks it against the sort oracle.
+func TestLargeSlicesHitPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		n := 13 + rng.Intn(500)
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = rng.Int63n(1000)
+		}
+		want := sortMedianInt64(xs)
+		if got := MedianInt64(append([]int64(nil), xs...)); got != want {
+			t.Fatalf("n=%d: MedianInt64 = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func BenchmarkMedianFloat64Depth7(b *testing.B) {
+	scratch := make([]float64, 7)
+	src := []float64{3, -1, 4, 1, -5, 9, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, src)
+		MedianFloat64(scratch)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/hash"
 	"repro/internal/nt"
 	"repro/internal/sketch"
+	"repro/internal/stream"
 	"repro/internal/topk"
 )
 
@@ -170,7 +171,7 @@ func (in *instance) qEstimate() float64 {
 
 // weight returns 1/t_i, clamped.
 func (in *instance) weight(i uint64) float64 {
-	w := 1 / in.tHash.Unit(i)
+	w := in.tHash.UnitInv(i)
 	if w > in.p.WeightCap {
 		w = in.p.WeightCap
 	}
@@ -178,6 +179,14 @@ func (in *instance) weight(i uint64) float64 {
 }
 
 func (in *instance) update(i uint64, delta int64) {
+	in.ingest(i, delta)
+	in.trk.Offer(i, in.te.CS1.Query(i))
+}
+
+// ingest feeds the sketches and norm counters without refreshing the
+// candidate tracker (the batch path defers that to once per distinct
+// index).
+func (in *instance) ingest(i uint64, delta int64) {
 	w := in.weight(i)
 	in.te.UpdateWeighted(i, delta, w)
 	in.r += delta
@@ -189,7 +198,6 @@ func (in *instance) update(i uint64, delta int64) {
 		in.rSketch.Update(i, delta)
 		in.qSketch.Update(i, int64(math.Round(float64(delta)*w*in.qFP)))
 	}
-	in.trk.Offer(i, in.te.CS1.Query(i))
 }
 
 // sample runs Figure 3's Recovery. ok is false on FAIL.
@@ -240,6 +248,9 @@ func (in *instance) spaceBits() int64 {
 // (Theorem 5's amplification).
 type Sampler struct {
 	instances []*instance
+
+	batchSeen map[uint64]struct{} // scratch for stream.DistinctIndices
+	distinct  []uint64            // the batch's distinct indices, shared by copies
 }
 
 // New builds a sampler with `copies` parallel instances; pass
@@ -260,6 +271,26 @@ func New(rng *rand.Rand, p Params, copies int) *Sampler {
 func (s *Sampler) Update(i uint64, delta int64) {
 	for _, in := range s.instances {
 		in.update(i, delta)
+	}
+}
+
+// UpdateBatch feeds a batch to all instances. Each instance ingests
+// every update but refreshes its candidate tracker only once per
+// distinct index — the tracker offer costs a full CSSS median query,
+// the dominant term of the scalar path, and the distinct-index set is
+// computed once and shared across the ~2/eps parallel copies.
+func (s *Sampler) UpdateBatch(batch []stream.Update) {
+	if s.batchSeen == nil {
+		s.batchSeen = make(map[uint64]struct{}, 256)
+	}
+	s.distinct = stream.DistinctIndices(s.distinct[:0], s.batchSeen, batch)
+	for _, in := range s.instances {
+		for _, u := range batch {
+			in.ingest(u.Index, u.Delta)
+		}
+		for _, i := range s.distinct {
+			in.trk.Offer(i, in.te.CS1.Query(i))
+		}
 	}
 }
 
@@ -411,6 +442,15 @@ func (bi *baseInstance) sample() (Result, bool) {
 func (b *Baseline) Update(i uint64, delta int64) {
 	for _, in := range b.instances {
 		in.update(i, delta)
+	}
+}
+
+// UpdateBatch feeds a batch to all baseline instances.
+func (b *Baseline) UpdateBatch(batch []stream.Update) {
+	for _, in := range b.instances {
+		for _, u := range batch {
+			in.update(u.Index, u.Delta)
+		}
 	}
 }
 

@@ -274,8 +274,10 @@ func TestGeneralModeSpaceIncludesEstimators(t *testing.T) {
 // (augmented indexing with one planted heavy item per level, eps = 1/2)
 // is decoded by the sampler: the returned index is the planted item.
 func TestTheorem19Instance(t *testing.T) {
+	// 12 independent instances keep the 40% bar far below the ~80%
+	// empirical hit rate, so one unlucky seed cannot flip the verdict.
 	hits, draws := 0, 0
-	for r := int64(0); r < 6; r++ {
+	for r := int64(0); r < 12; r++ {
 		inst := gen.AdversarialInd(50+r, 1<<12, 0.5, 1000, 2)
 		if len(inst.Answer) != 1 {
 			t.Fatalf("instance should plant a single item, got %d", len(inst.Answer))

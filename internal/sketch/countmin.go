@@ -5,6 +5,8 @@ import (
 
 	"repro/internal/hash"
 	"repro/internal/nt"
+	"repro/internal/order"
+	"repro/internal/stream"
 )
 
 // CountMin is a d-row, w-column Count-Min sketch. On strict turnstile
@@ -16,13 +18,15 @@ type CountMin struct {
 	cols   uint64
 	hs     []*hash.KWise
 	table  [][]int64
-	maxAbs int64
+	maxAbs int64 // largest |counter| ever held: the space-sizing peak
 	total  int64 // running sum of deltas = ||f||_1 on insertion-only input
+
+	qInt []int64 // scratch for QueryMedian
 }
 
 // NewCountMin allocates a rows x cols Count-Min with pairwise hashes.
 func NewCountMin(rng *rand.Rand, rows int, cols uint64) *CountMin {
-	cm := &CountMin{rows: rows, cols: cols}
+	cm := &CountMin{rows: rows, cols: cols, qInt: make([]int64, rows)}
 	cm.hs = make([]*hash.KWise, rows)
 	for i := range cm.hs {
 		cm.hs[i] = hash.NewPairwise(rng)
@@ -34,15 +38,29 @@ func NewCountMin(rng *rand.Rand, rows int, cols uint64) *CountMin {
 	return cm
 }
 
-// Update adds delta to coordinate i.
+// Update adds delta to coordinate i. Unlike Count-Sketch and CSSS
+// (whose counters are monotone between halvings, so the peak is
+// recoverable by scanning), Count-Min counters shrink on deletions at
+// arbitrary times, so the largest-value-ever peak that SpaceBits
+// charges must be tracked as writes happen. Count-Min is a baseline,
+// not a timed hot path, so the two compares per row stay.
 func (cm *CountMin) Update(i uint64, delta int64) {
 	cm.total += delta
 	for r := 0; r < cm.rows; r++ {
 		c := cm.hs[r].Range(i, cm.cols)
 		cm.table[r][c] += delta
-		if a := abs64(cm.table[r][c]); a > cm.maxAbs {
+		if a := cm.table[r][c]; a > cm.maxAbs {
 			cm.maxAbs = a
+		} else if -a > cm.maxAbs {
+			cm.maxAbs = -a
 		}
+	}
+}
+
+// UpdateBatch applies a batch of updates.
+func (cm *CountMin) UpdateBatch(batch []stream.Update) {
+	for _, u := range batch {
+		cm.Update(u.Index, u.Delta)
 	}
 }
 
@@ -62,11 +80,10 @@ func (cm *CountMin) Query(i uint64) int64 {
 // QueryMedian returns the median-of-rows estimate (Count-Median), usable
 // on general turnstile streams.
 func (cm *CountMin) QueryMedian(i uint64) int64 {
-	ests := make([]int64, cm.rows)
 	for r := 0; r < cm.rows; r++ {
-		ests[r] = cm.table[r][cm.hs[r].Range(i, cm.cols)]
+		cm.qInt[r] = cm.table[r][cm.hs[r].Range(i, cm.cols)]
 	}
-	return medianInt64(ests)
+	return order.MedianInt64(cm.qInt)
 }
 
 // Total returns the running sum of all deltas (equals ||f||_1 for
@@ -93,7 +110,7 @@ func (cm *CountMin) InnerProduct(other *CountMin) int64 {
 // SameHashes returns an empty Count-Min sharing this sketch's hash
 // functions, so inner products between the two are meaningful.
 func (cm *CountMin) SameHashes() *CountMin {
-	c := &CountMin{rows: cm.rows, cols: cm.cols, hs: cm.hs}
+	c := &CountMin{rows: cm.rows, cols: cm.cols, hs: cm.hs, qInt: make([]int64, cm.rows)}
 	c.table = make([][]int64, cm.rows)
 	for i := range c.table {
 		c.table[i] = make([]int64, cm.cols)

@@ -9,16 +9,27 @@
 // d x 6k table answers point queries within Err^k_2(f)/sqrt(k) with high
 // probability for d = O(log n), and each row's L2 norm estimates ||f||_2
 // within (1 +- O(1/sqrt(cols))) (Lemma 4).
+//
+// Hot-path notes: Update derives each row's bucket and sign from one
+// 4-wise polynomial evaluation (hash.Buckets.BucketSign) and does no
+// bookkeeping beyond the counter write — the largest-counter diagnostic
+// is computed on demand by MaxAbs rather than tracked per write. Query
+// and L2Estimate select medians in place over reusable scratch buffers
+// (package order), so steady-state updates and point queries perform
+// zero heap allocations. Because queries share that scratch, a sketch
+// is single-goroutine for QUERIES as well as updates; shard across
+// sketches for parallel readers.
 package sketch
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"repro/internal/hash"
 	"repro/internal/nt"
+	"repro/internal/order"
+	"repro/internal/stream"
 )
 
 // CountSketch is a d-row, w-column Count-Sketch with int64 counters.
@@ -27,8 +38,13 @@ type CountSketch struct {
 	rows    int
 	cols    uint64
 	table   [][]int64
-	maxAbs  int64 // largest |counter| ever held (diagnostics)
 	mass    int64 // sum of |delta| consumed: counters must be sized for it
+
+	qInt    []int64   // scratch for Query's median
+	qFloat  []float64 // scratch for L2Estimate's median
+	resid   []float64 // scratch for RowResidualL2
+	upCols  []uint64  // scratch for Update's row sweep
+	upSigns []int64
 }
 
 // NewCountSketch allocates a rows x cols Count-Sketch with fresh 4-wise
@@ -42,7 +58,15 @@ func NewCountSketch(rng *rand.Rand, rows int, cols uint64) *CountSketch {
 // are coordinate-wise linear in their input streams, which the
 // inner-product estimators require.
 func NewCountSketchWithBuckets(b *hash.Buckets) *CountSketch {
-	cs := &CountSketch{buckets: b, rows: b.Rows, cols: b.Cols}
+	cs := &CountSketch{
+		buckets: b,
+		rows:    b.Rows,
+		cols:    b.Cols,
+		qInt:    make([]int64, b.Rows),
+		qFloat:  make([]float64, b.Rows),
+		upCols:  make([]uint64, b.Rows),
+		upSigns: make([]int64, b.Rows),
+	}
 	cs.table = make([][]int64, cs.rows)
 	for i := range cs.table {
 		cs.table[i] = make([]int64, cs.cols)
@@ -66,27 +90,33 @@ func (cs *CountSketch) Update(i uint64, delta int64) {
 	} else {
 		cs.mass -= delta
 	}
+	cs.buckets.BucketSignsInto(i, cs.upCols, cs.upSigns)
 	for r := 0; r < cs.rows; r++ {
-		c := cs.buckets.Bucket(r, i)
-		cs.table[r][c] += int64(cs.buckets.Sign(r, i)) * delta
-		if a := abs64(cs.table[r][c]); a > cs.maxAbs {
-			cs.maxAbs = a
-		}
+		cs.table[r][cs.upCols[r]] += cs.upSigns[r] * delta
+	}
+}
+
+// UpdateBatch applies a batch of updates. It is the amortized entry
+// point of the batched ingest pipeline: one mass accumulation and one
+// row sweep per update, with no per-call bookkeeping.
+func (cs *CountSketch) UpdateBatch(batch []stream.Update) {
+	for _, u := range batch {
+		cs.Update(u.Index, u.Delta)
 	}
 }
 
 // RowEstimate returns row r's estimate g_r(i) * table[r][h_r(i)] of f_i.
 func (cs *CountSketch) RowEstimate(r int, i uint64) int64 {
-	return int64(cs.buckets.Sign(r, i)) * cs.table[r][cs.buckets.Bucket(r, i)]
+	c, g := cs.buckets.BucketSign(r, i)
+	return g * cs.table[r][c]
 }
 
 // Query returns the median-of-rows point estimate of f_i (Lemma 2).
 func (cs *CountSketch) Query(i uint64) int64 {
-	ests := make([]int64, cs.rows)
 	for r := 0; r < cs.rows; r++ {
-		ests[r] = cs.RowEstimate(r, i)
+		cs.qInt[r] = cs.RowEstimate(r, i)
 	}
-	return medianInt64(ests)
+	return order.MedianInt64(cs.qInt)
 }
 
 // RowL2 returns the L2 norm of row r, a (1 +- O(1/sqrt(cols))) estimate
@@ -101,12 +131,10 @@ func (cs *CountSketch) RowL2(r int) float64 {
 
 // L2Estimate returns the median of the per-row L2 estimates.
 func (cs *CountSketch) L2Estimate() float64 {
-	ests := make([]float64, cs.rows)
-	for r := range ests {
-		ests[r] = cs.RowL2(r)
+	for r := range cs.qFloat {
+		cs.qFloat[r] = cs.RowL2(r)
 	}
-	sort.Float64s(ests)
-	return ests[len(ests)/2]
+	return order.UpperMedianFloat64(cs.qFloat)
 }
 
 // RowResidualL2 returns the L2 norm of row r after subtracting the
@@ -114,13 +142,16 @@ func (cs *CountSketch) L2Estimate() float64 {
 // the table is assumed to hold values multiplied by fpUnit). Used by the
 // precision-sampling tail estimator (Lemma 5) on dense baselines.
 func (cs *CountSketch) RowResidualL2(r int, yhat map[uint64]float64, fpUnit float64) float64 {
-	resid := make([]float64, cs.cols)
+	if cs.resid == nil {
+		cs.resid = make([]float64, cs.cols)
+	}
+	resid := cs.resid
 	for c := uint64(0); c < cs.cols; c++ {
 		resid[c] = float64(cs.table[r][c]) / fpUnit
 	}
 	for j, v := range yhat {
-		c := cs.buckets.Bucket(r, j)
-		resid[c] -= float64(cs.buckets.Sign(r, j)) * v
+		c, g := cs.buckets.BucketSign(r, j)
+		resid[c] -= float64(g) * v
 	}
 	var t float64
 	for _, v := range resid {
@@ -146,11 +177,10 @@ func (cs *CountSketch) RowInner(other *CountSketch, r int) int64 {
 // products, an estimate of <f, g> with additive error
 // O(||f||_2 ||g||_2 / sqrt(cols)).
 func (cs *CountSketch) InnerProduct(other *CountSketch) int64 {
-	ests := make([]int64, cs.rows)
 	for r := 0; r < cs.rows; r++ {
-		ests[r] = cs.RowInner(other, r)
+		cs.qInt[r] = cs.RowInner(other, r)
 	}
-	return medianInt64(ests)
+	return order.MedianInt64(cs.qInt)
 }
 
 // Add accumulates another sketch sharing the same hashes (linearity).
@@ -170,9 +200,6 @@ func (cs *CountSketch) combine(other *CountSketch, sign int64) {
 	for r := range cs.table {
 		for c := range cs.table[r] {
 			cs.table[r][c] += sign * other.table[r][c]
-			if a := abs64(cs.table[r][c]); a > cs.maxAbs {
-				cs.maxAbs = a
-			}
 		}
 	}
 }
@@ -183,8 +210,25 @@ func (cs *CountSketch) Clone() *CountSketch {
 	for r := range cs.table {
 		copy(c.table[r], cs.table[r])
 	}
-	c.maxAbs = cs.maxAbs
+	c.mass = cs.mass
 	return c
+}
+
+// MaxAbs returns the largest |counter| currently held — a diagnostic,
+// computed on demand so the update loop does not pay for it.
+func (cs *CountSketch) MaxAbs() int64 {
+	var m int64
+	for r := range cs.table {
+		for _, v := range cs.table[r] {
+			if v < 0 {
+				v = -v
+			}
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
 }
 
 // SpaceBits charges each counter at capacity: a turnstile Count-Sketch
@@ -198,26 +242,5 @@ func (cs *CountSketch) SpaceBits() int64 {
 
 // String summarizes dimensions for diagnostics.
 func (cs *CountSketch) String() string {
-	return fmt.Sprintf("CountSketch{%dx%d, maxAbs=%d}", cs.rows, cs.cols, cs.maxAbs)
-}
-
-func abs64(x int64) int64 {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
-
-func medianInt64(xs []int64) int64 {
-	s := make([]int64, len(xs))
-	copy(s, xs)
-	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
-	n := len(s)
-	if n == 0 {
-		return 0
-	}
-	if n%2 == 1 {
-		return s[n/2]
-	}
-	return (s[n/2-1] + s[n/2]) / 2
+	return fmt.Sprintf("CountSketch{%dx%d, maxAbs=%d}", cs.rows, cs.cols, cs.MaxAbs())
 }

@@ -26,7 +26,7 @@ func (cs *CountSketch) MarshalBinary() ([]byte, error) {
 	var hdr [40]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(cs.rows))
 	binary.LittleEndian.PutUint64(hdr[4:], cs.cols)
-	binary.LittleEndian.PutUint64(hdr[12:], uint64(cs.maxAbs))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(cs.MaxAbs()))
 	binary.LittleEndian.PutUint64(hdr[20:], uint64(cs.mass))
 	binary.LittleEndian.PutUint32(hdr[28:], uint32(len(wiring)))
 	buf = append(buf, hdr[:32]...)
@@ -48,7 +48,8 @@ func (cs *CountSketch) UnmarshalBinary(data []byte) error {
 	}
 	rows := int(binary.LittleEndian.Uint32(data[2:]))
 	cols := binary.LittleEndian.Uint64(data[6:])
-	maxAbs := int64(binary.LittleEndian.Uint64(data[14:]))
+	// data[14:22] holds the encoder's maxAbs diagnostic; it is derivable
+	// from the table (MaxAbs), so decoding ignores it.
 	mass := int64(binary.LittleEndian.Uint64(data[22:]))
 	wlen := int(binary.LittleEndian.Uint32(data[30:]))
 	if rows < 1 || cols < 1 || wlen < 0 {
@@ -79,7 +80,11 @@ func (cs *CountSketch) UnmarshalBinary(data []byte) error {
 		}
 	}
 	cs.buckets, cs.rows, cs.cols = buckets, rows, cols
-	cs.table, cs.maxAbs, cs.mass = table, maxAbs, mass
+	cs.table, cs.mass = table, mass
+	cs.qInt = make([]int64, rows)
+	cs.qFloat = make([]float64, rows)
+	cs.upCols = make([]uint64, rows)
+	cs.upSigns = make([]int64, rows)
 	return nil
 }
 

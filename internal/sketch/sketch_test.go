@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/hash"
+	"repro/internal/order"
 	"repro/internal/stream"
 )
 
@@ -175,7 +176,7 @@ func TestMedianInt64(t *testing.T) {
 		{[]int64{-10, 10}, 0},
 	}
 	for _, c := range cases {
-		if got := medianInt64(c.in); got != c.want {
+		if got := order.MedianInt64(append([]int64(nil), c.in...)); got != c.want {
 			t.Errorf("median(%v) = %d, want %d", c.in, got, c.want)
 		}
 	}

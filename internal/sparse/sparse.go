@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/hash"
 	"repro/internal/nt"
+	"repro/internal/stream"
 )
 
 // ErrDense is returned by Decode when the sketched vector is (probably)
@@ -98,6 +99,13 @@ func (r *Recovery) Update(x uint64, delta int64) {
 		if a := abs64(c.count); a > r.maxCount {
 			r.maxCount = a
 		}
+	}
+}
+
+// UpdateBatch applies a batch of updates.
+func (r *Recovery) UpdateBatch(batch []stream.Update) {
+	for _, u := range batch {
+		r.Update(u.Index, u.Delta)
 	}
 }
 

@@ -24,6 +24,23 @@ type Update struct {
 	Delta int64
 }
 
+// DistinctIndices appends batch's distinct indices to dst in first-
+// occurrence order and returns the extended slice. seen is caller-owned
+// scratch (cleared here) so batched ingest paths can refresh per-index
+// state — candidate trackers, cached estimates — once per distinct
+// index without allocating per batch.
+func DistinctIndices(dst []uint64, seen map[uint64]struct{}, batch []Update) []uint64 {
+	clear(seen)
+	for _, u := range batch {
+		if _, ok := seen[u.Index]; ok {
+			continue
+		}
+		seen[u.Index] = struct{}{}
+		dst = append(dst, u.Index)
+	}
+	return dst
+}
+
 // Stream is an ordered sequence of updates over a universe of size N.
 type Stream struct {
 	N       uint64 // universe size; indices are in [0, N)

