@@ -1,6 +1,7 @@
 package bounded
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/cauchy"
@@ -43,6 +44,40 @@ type Config struct {
 
 func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
 
+// Validate reports whether the configuration is usable by every
+// constructor in this package. Historically bad values were silently
+// clamped (Alpha < 1) or misbehaved downstream (N outside the fast-range
+// hash's 2^44 bound, nonpositive Eps); now every public constructor
+// rejects them up front with a descriptive error. Call Validate directly
+// to check a configuration without constructing anything (the engine
+// package does exactly that and returns the error instead of panicking).
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("bounded: Config.N must be >= 2 (universe needs at least two indices), got %d", c.N)
+	}
+	if c.N > 1<<44 {
+		return fmt.Errorf("bounded: Config.N must be <= 2^44 (the fast-range bucket reduction and Cauchy key packing are uniform only up to 44-bit universes), got %d", c.N)
+	}
+	if c.Eps <= 0 {
+		return fmt.Errorf("bounded: Config.Eps must be positive, got %v", c.Eps)
+	}
+	if c.Eps >= 1 {
+		return fmt.Errorf("bounded: Config.Eps must be below 1 (accuracy parameters live in (0,1)), got %v", c.Eps)
+	}
+	if c.Alpha < 1 {
+		return fmt.Errorf("bounded: Config.Alpha must be >= 1 (alpha = 1 is the insertion-only model; see Definition 1), got %v", c.Alpha)
+	}
+	return nil
+}
+
+// mustValidate is the constructor-side guard: public constructors have
+// no error return, so an invalid Config panics with Validate's message.
+func mustValidate(c Config) {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+}
+
 // HeavyHitters answers L1 epsilon-heavy-hitters queries on alpha-property
 // streams (Section 3 of the paper): it returns every i with
 // |f_i| >= eps ||f||_1 and no i with |f_i| < (eps/2) ||f||_1, with high
@@ -55,6 +90,7 @@ type HeavyHitters struct {
 // NewHeavyHitters builds the structure. strict selects the exact-counter
 // L1 scale (valid only when no prefix frequency goes negative).
 func NewHeavyHitters(cfg Config, strict bool) *HeavyHitters {
+	mustValidate(cfg)
 	mode := heavy.General
 	if strict {
 		mode = heavy.Strict
@@ -92,6 +128,7 @@ type L1Estimator struct {
 // NewL1Estimator builds the estimator; delta is the failure probability
 // (strict variant only).
 func NewL1Estimator(cfg Config, strict bool, delta float64) *L1Estimator {
+	mustValidate(cfg)
 	rng := cfg.rng()
 	if strict {
 		if delta <= 0 || delta >= 1 {
@@ -155,6 +192,7 @@ type L0Estimator struct {
 
 // NewL0Estimator builds the windowed estimator.
 func NewL0Estimator(cfg Config) *L0Estimator {
+	mustValidate(cfg)
 	return &L0Estimator{impl: l0.NewEstimator(cfg.rng(), l0.Params{
 		N: cfg.N, Eps: cfg.Eps,
 		Windowed: true, Window: l0.RecommendedWindow(cfg.Alpha, cfg.Eps),
@@ -192,6 +230,7 @@ type L1Sampler struct {
 // succeeds with probability Theta(eps); 2/eps copies give constant
 // failure probability; pass 0 for that default).
 func NewL1Sampler(cfg Config, copies int) *L1Sampler {
+	mustValidate(cfg)
 	if copies <= 0 {
 		copies = int(2 / cfg.Eps)
 		if copies < 4 {
@@ -226,6 +265,7 @@ type SupportSampler struct {
 
 // NewSupportSampler builds the sampler for k requested coordinates.
 func NewSupportSampler(cfg Config, k int) *SupportSampler {
+	mustValidate(cfg)
 	return &SupportSampler{impl: support.NewSampler(cfg.rng(), support.Params{
 		N: cfg.N, K: k,
 		Windowed: true, Window: support.RecommendedWindow(cfg.Alpha),
@@ -253,6 +293,7 @@ type InnerProduct struct {
 // NewInnerProduct builds the estimator. The sample budget grows with
 // alpha^2/eps as in the paper's s = poly(alpha/eps).
 func NewInnerProduct(cfg Config) *InnerProduct {
+	mustValidate(cfg)
 	base := int64(16 * cfg.Alpha * cfg.Alpha / cfg.Eps)
 	if base < 16 {
 		base = 16
@@ -298,6 +339,7 @@ type SyncSketch struct {
 // differing coordinates. Peers that intend to exchange sketches must
 // use identical cfg.Seed, cfg.N and capacity.
 func NewSyncSketch(cfg Config, capacity int) *SyncSketch {
+	mustValidate(cfg)
 	return &SyncSketch{impl: sparse.NewRecovery(cfg.rng(), capacity, cfg.N)}
 }
 
@@ -310,21 +352,45 @@ func (s *SyncSketch) UpdateBatch(batch []Update) { s.impl.UpdateBatch(batch) }
 // MarshalBinary serializes the sketch for transmission.
 func (s *SyncSketch) MarshalBinary() ([]byte, error) { return s.impl.MarshalBinary() }
 
-// UnmarshalBinary restores a transmitted sketch.
+// UnmarshalBinary restores a transmitted sketch. It works on a
+// zero-value receiver — `var s SyncSketch; s.UnmarshalBinary(wire)` is
+// the receive side of an exchange, no prior NewSyncSketch needed — and
+// on failure leaves the receiver as it was instead of installing a
+// half-initialized sketch.
 func (s *SyncSketch) UnmarshalBinary(data []byte) error {
-	if s.impl == nil {
-		s.impl = &sparse.Recovery{}
+	impl := s.impl
+	if impl == nil {
+		impl = &sparse.Recovery{}
 	}
-	return s.impl.UnmarshalBinary(data)
+	if err := impl.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	s.impl = impl
+	return nil
 }
 
 // SubRemote subtracts a peer's serialized sketch (built with the same
-// seed) from this one, leaving the sketch of the difference vector.
-func (s *SyncSketch) SubRemote(data []byte) error { return s.impl.SubRemote(data) }
+// seed) from this one, leaving the sketch of the difference vector. On
+// a zero-value receiver that has not restored any state yet it returns
+// a descriptive error instead of panicking: an empty receiver has no
+// hash wiring to subtract against — call UnmarshalBinary (or
+// NewSyncSketch plus updates) first.
+func (s *SyncSketch) SubRemote(data []byte) error {
+	if s.impl == nil {
+		return fmt.Errorf("bounded: SubRemote on zero-value SyncSketch; restore it with UnmarshalBinary (or build it with NewSyncSketch) first")
+	}
+	return s.impl.SubRemote(data)
+}
 
 // Decode recovers the sketched (difference) vector exactly, or returns
-// ErrDense when it exceeds capacity.
-func (s *SyncSketch) Decode() (map[uint64]int64, error) { return s.impl.Decode() }
+// ErrDense when it exceeds capacity. A zero-value receiver decodes to
+// an error rather than panicking.
+func (s *SyncSketch) Decode() (map[uint64]int64, error) {
+	if s.impl == nil {
+		return nil, fmt.Errorf("bounded: Decode on zero-value SyncSketch; restore it with UnmarshalBinary (or build it with NewSyncSketch) first")
+	}
+	return s.impl.Decode()
+}
 
 // SpaceBits reports the structure's space.
 func (s *SyncSketch) SpaceBits() int64 { return s.impl.SpaceBits() }
@@ -338,6 +404,7 @@ type L2HeavyHitters struct {
 
 // NewL2HeavyHitters builds the Appendix A structure.
 func NewL2HeavyHitters(cfg Config) *L2HeavyHitters {
+	mustValidate(cfg)
 	return &L2HeavyHitters{impl: heavy.NewAlphaL2(cfg.rng(), cfg.N, cfg.Eps, cfg.Alpha)}
 }
 

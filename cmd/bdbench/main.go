@@ -27,7 +27,12 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	bounded "repro"
+	"repro/engine"
 	"repro/internal/cauchy"
 	"repro/internal/core"
 	"repro/internal/csss"
@@ -76,6 +81,7 @@ func main() {
 		{"F8", "Fig 8 — support sampler sparsity budget sweep", f8Table},
 		{"A1", "Appendix A — L2 heavy hitters", func() *core.Table { return l2Table(alphas) }},
 		{"LB", "Sec 8 — adversarial augmented-indexing instance", lbTable},
+		{"ENG", "Engine — sharded concurrent ingest vs single writer (F1.1 workload)", engTable},
 		{"AB1", "Ablation — CSSS vs dense Count-Sketch at equal dims", ab1Table},
 		{"AB2", "Ablation — Fig 7 window width", ab2Table},
 		{"AB3", "Ablation — Morris vs exact clock in Fig 4", ab3Table},
@@ -404,6 +410,85 @@ func supportTable(alphas []float64) *core.Table {
 			fmt.Sprintf("%.0f", median(lvA)), fmt.Sprintf("%.0f", median(lvB)),
 			core.HumanBits(int64(median(bitsA))), core.HumanBits(int64(median(bitsB))),
 			fmt.Sprintf("%.2fx", median(bitsB)/median(bitsA)))
+	}
+	return t
+}
+
+// engTable drives the sharded ingest engine on the Figure 1 row 1
+// workload and compares it against the single-writer structure: same
+// heavy-hitters answer (the differential guarantee), wall-clock ingest
+// time across shard counts, and the aggregate space cost of S-way
+// parallelism. Producers equal shards; scaling needs cores.
+func engTable() *core.Table {
+	t := &core.Table{Headers: []string{"ingest", "speedup", "answers", "bits"}}
+	const n, eps, alpha = 1 << 16, 0.05, 8.0
+	cfg := bounded.Config{N: n, Eps: eps, Alpha: alpha, Seed: *seed}
+	s := gen.BoundedDeletion(gen.Config{N: n, Items: 200000, Alpha: alpha, Zipf: 1.5, Seed: *seed})
+
+	single := bounded.NewHeavyHitters(cfg, true)
+	start := time.Now()
+	single.UpdateBatch(s.Updates)
+	baseTime := time.Since(start)
+	want := single.HeavyHitters()
+	t.Add("single-writer", baseTime.Round(time.Millisecond).String(), "1.00x", "-",
+		core.HumanBits(single.SpaceBits()))
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		e, err := engine.New(cfg, engine.Options{Shards: shards, BatchSize: 1024, Queue: 8})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		const chunk = 4096
+		start := time.Now()
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for p := 0; p < shards; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					off := int(next.Add(chunk)) - chunk
+					if off >= len(s.Updates) {
+						return
+					}
+					end := off + chunk
+					if end > len(s.Updates) {
+						end = len(s.Updates)
+					}
+					if err := e.Ingest(s.Updates[off:end]); err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err := e.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		elapsed := time.Since(start)
+		got, err := e.HeavyHitters()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		match := "IDENTICAL"
+		if len(got) != len(want) {
+			match = "DIFFER"
+		} else {
+			for i := range want {
+				if got[i] != want[i] {
+					match = "DIFFER"
+				}
+			}
+		}
+		bits, _ := e.SpaceBits()
+		t.Add(fmt.Sprintf("engine shards=%d", shards),
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", float64(baseTime)/float64(elapsed)),
+			match, core.HumanBits(bits))
+		e.Close()
 	}
 	return t
 }

@@ -91,14 +91,46 @@
 // traffic) cost proportionally less than scalar feeding; see
 // cmd/bdbench and the examples/ directory for the idiom end to end.
 //
-// # Concurrency
+// # Concurrency and the sharded ingest engine
 //
 // Each structure is single-goroutine: updates AND queries reuse
 // per-structure scratch buffers (that reuse is where the zero
 // allocations come from), so neither concurrent updates nor concurrent
-// queries on one structure are safe. Shard across structures — they
-// are independent after construction — and merge results, or serialize
-// access externally; a sharded ingest layer is on the roadmap.
+// queries on one structure are safe.
+//
+// For parallel ingest, use the repro/engine package instead of locking
+// a structure: engine.New(cfg, engine.Options{Shards: S}) owns S
+// single-writer shards (one goroutine each, fed through bounded batch
+// channels whose blocking IS the backpressure), hash-partitions every
+// ingested batch across them with the library's fast-range hash, and
+// answers queries from merged snapshots. That design leans on the
+// mergeability layer in this package: every structure here exposes
+//
+//	Merge(other) error  // fold a same-Config instance in; counters add
+//	Clone()             // deep snapshot, safe to merge/query elsewhere
+//
+// because all of the paper's sketches are linear (or monotone) in their
+// input stream — Count-Sketch/CSSS tables add coordinate-wise (CSSS
+// aligns sampling rates by extra halvings first), subsampling bins add
+// modulo the shared prime, candidate trackers re-rank the union under
+// merged estimates. Merge requires both instances to come from the SAME
+// Config (seed included) and reports a descriptive error otherwise; in
+// the sketches' exact regimes a merged snapshot is bit-identical to a
+// single-writer structure fed the concatenated stream, which the
+// engine's differential tests assert. InnerProduct is the one structure
+// without Merge: it sketches two streams and its query is bilinear, so
+// single-partition ingest does not apply.
+//
+// Pick the engine when ingest throughput is the bottleneck and cores
+// are available (producers can be many goroutines; Ingest is
+// concurrency-safe); pick a direct structure when one goroutine keeps
+// up — engine queries pay S snapshots plus S-1 merges per refresh, a
+// direct structure answers from live state. examples/shardedingest
+// walks the full pattern end to end.
+//
+// Invalid configurations no longer clamp silently: Config.Validate
+// rejects N < 2, N > 2^44, Eps outside (0,1) and Alpha < 1, every
+// public constructor panics with that error, and engine.New returns it.
 //
 // See DESIGN.md for the system inventory and the laptop-scale parameter
 // substitutions, and EXPERIMENTS.md for measured results per table and

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	bounded "repro"
+)
+
+// BenchmarkEngineIngest measures aggregate multi-producer UpdateBatch
+// throughput through the engine on the Figure 1 heavy-hitters workload,
+// across shard counts. ns/op is wall-clock per ingested update with S
+// producers feeding S shards concurrently, flushed before the clock
+// stops — the number BENCH_2.json archives. Scaling with shard count
+// requires cores: on a single-CPU host the curve is flat (the workers
+// time-share), which the BENCH_2.json note records alongside the
+// numbers.
+func BenchmarkEngineIngest(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchEngineIngest(b, shards)
+		})
+	}
+}
+
+func benchEngineIngest(b *testing.B, shards int) {
+	s, _ := fig1Stream(42)
+	const chunk = 2048
+	var chunks [][]bounded.Update
+	for off := 0; off < len(s.Updates); off += chunk {
+		end := off + chunk
+		if end > len(s.Updates) {
+			end = len(s.Updates)
+		}
+		chunks = append(chunks, s.Updates[off:end])
+	}
+	e, err := New(testCfg, Options{Shards: shards, BatchSize: 1024, Queue: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+
+	producers := shards
+	b.ReportMetric(float64(producers), "producers")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next, fed atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if fed.Load() >= int64(b.N) {
+					return
+				}
+				c := chunks[int(next.Add(1))%len(chunks)]
+				if err := e.Ingest(c); err != nil {
+					b.Error(err)
+					return
+				}
+				fed.Add(int64(len(c)))
+			}
+		}()
+	}
+	wg.Wait()
+	if err := e.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	// Normalize ns/op to the updates actually ingested (the chunked
+	// producers overshoot b.N by at most producers*chunk updates).
+	b.ReportMetric(float64(fed.Load())/float64(b.N), "updatesPerOp")
+}
+
+// BenchmarkSingleWriterBaseline is the same workload through one
+// bounded.HeavyHitters on the bench goroutine — the no-engine reference
+// point for the shards=1 overhead and the scaling ratio.
+func BenchmarkSingleWriterBaseline(b *testing.B) {
+	s, _ := fig1Stream(42)
+	hh := bounded.NewHeavyHitters(testCfg, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	const chunk = 2048
+	for done := 0; done < b.N; {
+		for off := 0; off < len(s.Updates) && done < b.N; off += chunk {
+			end := off + chunk
+			if end > len(s.Updates) {
+				end = len(s.Updates)
+			}
+			if take := b.N - done; end-off > take {
+				end = off + take
+			}
+			hh.UpdateBatch(s.Updates[off:end])
+			done += end - off
+		}
+	}
+}

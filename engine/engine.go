@@ -1,0 +1,630 @@
+// Package engine is the sharded concurrent ingest layer over the
+// bounded-deletion sketch library (module root package "repro").
+//
+// Every structure in the library is single-writer: updates and queries
+// share per-structure scratch, which is where the zero-allocation hot
+// path comes from, and why one instance cannot absorb updates from many
+// goroutines. The engine turns that constraint into the scaling story
+// used by production deployments of bounded-deletion sketches (e.g. the
+// SpaceSaving± line of work): it owns S single-writer shards, one
+// goroutine each, hash-partitions incoming batches across them with the
+// library's fast-range hash, and answers queries from merged snapshots.
+//
+//	              Ingest(batch)
+//	                   │ partition by fast-range hash of index
+//	   ┌───────────────┼───────────────┐
+//	[shard 0]       [shard 1]  ...  [shard S-1]   bounded channels,
+//	goroutine        goroutine       goroutine    blocking = backpressure
+//	   │                │                │
+//	sketches         sketches        sketches     same Config ⇒ same seed
+//	   └────────── snapshot ∘ merge ──────────┘
+//	                   │
+//	               Query (HeavyHitters, L1, L0, Sample, ...)
+//
+// Correctness rests on two properties the library guarantees:
+//
+//  1. Mergeability: all shards build their structures from the SAME
+//     Config, so hash functions agree and two instances combine by
+//     coordinate-wise addition (Merge). A merged snapshot answers for
+//     the whole stream; in the sketches' exact regimes the answer is
+//     identical to a single-writer structure fed the same updates.
+//  2. Snapshot isolation: snapshots are taken inside each shard's
+//     goroutine (serialized with its ingest), so queries never race
+//     updates; -race clean with any number of producers.
+//
+// Choose the engine over direct bounded.* use when ingest throughput is
+// the bottleneck and multiple cores (or multiple producer goroutines)
+// are available; stay with a direct structure when a single goroutine
+// can keep up — merged queries cost S snapshots plus S-1 merges, where
+// a direct structure answers from live state.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	bounded "repro"
+	"repro/internal/hash"
+	"repro/internal/shard"
+	"repro/internal/stream"
+)
+
+// Structures selects which sketches every shard maintains; combine with
+// bitwise OR. Each enabled structure costs its full space per shard.
+type Structures uint32
+
+const (
+	// HeavyHitters enables the Section 3 eps-heavy-hitters structure.
+	HeavyHitters Structures = 1 << iota
+	// L1Estimator enables the Figure 4 / Theorem 8 L1 estimator.
+	L1Estimator
+	// L0Estimator enables the Figure 7 L0 (support size) estimator.
+	L0Estimator
+	// L1Sampler enables the Figure 3 perfect L1 sampler.
+	L1Sampler
+	// SupportSampler enables the Figure 8 support sampler.
+	SupportSampler
+	// L2HeavyHitters enables the Appendix A L2 heavy hitters.
+	L2HeavyHitters
+	// SyncSketch enables the s-sparse recovery sync sketch.
+	SyncSketch
+)
+
+// Options configures an Engine. The zero value is usable: it means
+// "one shard per CPU, 1024-update hand-off batches, heavy hitters
+// only, strict turnstile".
+type Options struct {
+	// Shards is the number of single-writer shards (default
+	// runtime.GOMAXPROCS(0)).
+	Shards int
+	// BatchSize is the per-shard hand-off granularity in updates
+	// (default 1024): Ingest accumulates per-shard runs of this size
+	// before handing them to the shard goroutine.
+	BatchSize int
+	// Queue is the per-shard inbox depth in batches (default 4). A full
+	// inbox blocks Ingest — bounded memory via backpressure.
+	Queue int
+	// Structures selects the sketches each shard maintains (default
+	// HeavyHitters).
+	Structures Structures
+	// General selects general-turnstile variants where a structure has
+	// one (heavy hitters' Cauchy L1 scale, the sampled-Cauchy L1
+	// estimator). The default is the strict turnstile model.
+	General bool
+	// SamplerCopies is passed to bounded.NewL1Sampler (0 = its default).
+	SamplerCopies int
+	// SupportK is the support sampler's coordinate budget (default 32).
+	SupportK int
+	// SyncCapacity is the sync sketch's recoverable sparsity (default 256).
+	SyncCapacity int
+	// L1Delta is the strict L1 estimator's failure probability (0 = its
+	// default).
+	L1Delta float64
+}
+
+func (o *Options) fill() {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1024
+	}
+	if o.Queue <= 0 {
+		o.Queue = 4
+	}
+	if o.Structures == 0 {
+		o.Structures = HeavyHitters
+	}
+	if o.SupportK <= 0 {
+		o.SupportK = 32
+	}
+	if o.SyncCapacity <= 0 {
+		o.SyncCapacity = 256
+	}
+}
+
+// ErrNotEnabled is wrapped by query methods whose structure was not
+// selected in Options.Structures.
+var ErrNotEnabled = fmt.Errorf("engine: structure not enabled in Options.Structures")
+
+// structSet is one shard's sketch collection. All shards hold sets
+// built from the same Config, which is what makes them mergeable.
+type structSet struct {
+	hh  *bounded.HeavyHitters
+	l1  *bounded.L1Estimator
+	l0  *bounded.L0Estimator
+	smp *bounded.L1Sampler
+	sup *bounded.SupportSampler
+	l2  *bounded.L2HeavyHitters
+	syn *bounded.SyncSketch
+}
+
+func newStructSet(cfg bounded.Config, o Options) *structSet {
+	s := &structSet{}
+	if o.Structures&HeavyHitters != 0 {
+		s.hh = bounded.NewHeavyHitters(cfg, !o.General)
+	}
+	if o.Structures&L1Estimator != 0 {
+		s.l1 = bounded.NewL1Estimator(cfg, !o.General, o.L1Delta)
+	}
+	if o.Structures&L0Estimator != 0 {
+		s.l0 = bounded.NewL0Estimator(cfg)
+	}
+	if o.Structures&L1Sampler != 0 {
+		s.smp = bounded.NewL1Sampler(cfg, o.SamplerCopies)
+	}
+	if o.Structures&SupportSampler != 0 {
+		s.sup = bounded.NewSupportSampler(cfg, o.SupportK)
+	}
+	if o.Structures&L2HeavyHitters != 0 {
+		s.l2 = bounded.NewL2HeavyHitters(cfg)
+	}
+	if o.Structures&SyncSketch != 0 {
+		s.syn = bounded.NewSyncSketch(cfg, o.SyncCapacity)
+	}
+	return s
+}
+
+// UpdateBatch fans one batch to every enabled structure (shard.Ingester).
+func (s *structSet) UpdateBatch(batch []stream.Update) {
+	if s.hh != nil {
+		s.hh.UpdateBatch(batch)
+	}
+	if s.l1 != nil {
+		s.l1.UpdateBatch(batch)
+	}
+	if s.l0 != nil {
+		s.l0.UpdateBatch(batch)
+	}
+	if s.smp != nil {
+		s.smp.UpdateBatch(batch)
+	}
+	if s.sup != nil {
+		s.sup.UpdateBatch(batch)
+	}
+	if s.l2 != nil {
+		s.l2.UpdateBatch(batch)
+	}
+	if s.syn != nil {
+		s.syn.UpdateBatch(batch)
+	}
+}
+
+// snapshot deep-clones every enabled structure.
+func (s *structSet) snapshot() *structSet {
+	c := &structSet{}
+	if s.hh != nil {
+		c.hh = s.hh.Clone()
+	}
+	if s.l1 != nil {
+		c.l1 = s.l1.Clone()
+	}
+	if s.l0 != nil {
+		c.l0 = s.l0.Clone()
+	}
+	if s.smp != nil {
+		c.smp = s.smp.Clone()
+	}
+	if s.sup != nil {
+		c.sup = s.sup.Clone()
+	}
+	if s.l2 != nil {
+		c.l2 = s.l2.Clone()
+	}
+	if s.syn != nil {
+		c.syn = s.syn.Clone()
+	}
+	return c
+}
+
+// merge folds other into s, structure by structure. other must not be
+// used afterwards.
+func (s *structSet) merge(other *structSet) error {
+	if s.hh != nil {
+		if err := s.hh.Merge(other.hh); err != nil {
+			return err
+		}
+	}
+	if s.l1 != nil {
+		if err := s.l1.Merge(other.l1); err != nil {
+			return err
+		}
+	}
+	if s.l0 != nil {
+		if err := s.l0.Merge(other.l0); err != nil {
+			return err
+		}
+	}
+	if s.smp != nil {
+		if err := s.smp.Merge(other.smp); err != nil {
+			return err
+		}
+	}
+	if s.sup != nil {
+		if err := s.sup.Merge(other.sup); err != nil {
+			return err
+		}
+	}
+	if s.l2 != nil {
+		if err := s.l2.Merge(other.l2); err != nil {
+			return err
+		}
+	}
+	if s.syn != nil {
+		if err := s.syn.Merge(other.syn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *structSet) spaceBits() int64 {
+	var total int64
+	if s.hh != nil {
+		total += s.hh.SpaceBits()
+	}
+	if s.l1 != nil {
+		total += s.l1.SpaceBits()
+	}
+	if s.l0 != nil {
+		total += s.l0.SpaceBits()
+	}
+	if s.smp != nil {
+		total += s.smp.SpaceBits()
+	}
+	if s.sup != nil {
+		total += s.sup.SpaceBits()
+	}
+	if s.l2 != nil {
+		total += s.l2.SpaceBits()
+	}
+	if s.syn != nil {
+		total += s.syn.SpaceBits()
+	}
+	return total
+}
+
+// Engine is the sharded ingest engine. All methods are safe for
+// concurrent use by multiple goroutines; ingest from many producers is
+// the intended deployment. Queries serialize with each other (the
+// merged snapshot's query paths share scratch); producers only hold the
+// lock to partition, not while blocked on a full shard inbox.
+type Engine struct {
+	mu      sync.Mutex
+	cfg     bounded.Config
+	opt     Options
+	part    *hash.KWise
+	workers []*shard.Worker
+	sets    []*structSet // owned by the worker goroutines; touch via Do
+	pending [][]stream.Update
+	pool    sync.Pool
+	// inflight counts producers that are handing filled buffers to shard
+	// inboxes outside the lock; flushLocked waits for them so a flush
+	// (and therefore a merged view, and Close) covers every Ingest whose
+	// locked section completed.
+	inflight sync.WaitGroup
+	gen      uint64 // bumped on every Ingest; versions the merged cache
+	viewGen  uint64
+	view     *structSet // cached merged snapshot (valid iff viewGen == gen+valid flag)
+	hasView  bool
+	closed   bool
+}
+
+// partitionSeedSalt decorrelates the partition hash from the structure
+// seeds derived from the same Config.Seed.
+const partitionSeedSalt = 0x5DEECE66D
+
+// New builds and starts an engine. Unlike the root package's
+// constructors it returns Config validation problems as an error.
+func New(cfg bounded.Config, opts Options) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opts.fill()
+	e := &Engine{
+		cfg:     cfg,
+		opt:     opts,
+		part:    hash.NewPairwise(rand.New(rand.NewSource(cfg.Seed ^ partitionSeedSalt))),
+		workers: make([]*shard.Worker, opts.Shards),
+		sets:    make([]*structSet, opts.Shards),
+		pending: make([][]stream.Update, opts.Shards),
+	}
+	e.pool.New = func() any { return make([]stream.Update, 0, opts.BatchSize) }
+	recycle := func(b []stream.Update) { e.pool.Put(b[:0]) } //nolint:staticcheck // slice headers are cheap to box
+	for i := range e.workers {
+		e.sets[i] = newStructSet(cfg, opts)
+		e.workers[i] = shard.New(e.sets[i], opts.Queue, recycle)
+		e.pending[i] = e.pool.Get().([]stream.Update)
+	}
+	return e, nil
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return e.opt.Shards }
+
+// shardOf maps an index to its owning shard with the library's
+// fast-range hash — the same reduction the sketches use for buckets.
+func (e *Engine) shardOf(i uint64) int {
+	return int(e.part.Range(i, uint64(e.opt.Shards)))
+}
+
+// Ingest partitions a batch across the shards, handing off per-shard
+// runs of BatchSize updates to the shard goroutines. It blocks when a
+// shard's inbox is full (backpressure) and is safe to call from many
+// producer goroutines concurrently. The input slice is copied; the
+// caller may reuse it immediately.
+func (e *Engine) Ingest(batch []bounded.Update) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: Ingest on closed engine")
+	}
+	// Partition under the lock; hand filled buffers off OUTSIDE it, so a
+	// full shard inbox blocks only this producer — other producers keep
+	// partitioning and queries keep answering (they wait, via inflight,
+	// only when they need a fresh view). Concurrent producers may then
+	// interleave their filled buffers in a shard's inbox in either
+	// order; every structure's state is a commutative fold of updates,
+	// so shard state is unaffected.
+	type sendJob struct {
+		shard int
+		buf   []stream.Update
+	}
+	var full []sendJob
+	for _, u := range batch {
+		s := e.shardOf(u.Index)
+		e.pending[s] = append(e.pending[s], u)
+		if len(e.pending[s]) >= e.opt.BatchSize {
+			full = append(full, sendJob{shard: s, buf: e.pending[s]})
+			e.pending[s] = e.pool.Get().([]stream.Update)
+		}
+	}
+	e.gen++
+	e.hasView = false
+	if len(full) > 0 {
+		e.inflight.Add(1)
+	}
+	e.mu.Unlock()
+	if len(full) > 0 {
+		for _, j := range full {
+			e.workers[j.shard].Send(j.buf)
+		}
+		e.inflight.Done()
+	}
+	return nil
+}
+
+// flushLocked pushes every pending run to its shard and waits until all
+// shards have drained their inboxes. Callers hold e.mu.
+func (e *Engine) flushLocked() {
+	e.inflight.Wait() // in-flight producer hand-offs must land first
+	for s := range e.pending {
+		if len(e.pending[s]) > 0 {
+			e.workers[s].Send(e.pending[s])
+			e.pending[s] = e.pool.Get().([]stream.Update)
+		}
+	}
+	barriers := make([]<-chan struct{}, len(e.workers))
+	for i, w := range e.workers {
+		barriers[i] = w.DoAsync(nil)
+	}
+	for _, b := range barriers {
+		<-b
+	}
+}
+
+// Flush blocks until every update passed to Ingest so far has been
+// applied by its shard.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("engine: Flush on closed engine")
+	}
+	e.flushLocked()
+	return nil
+}
+
+// withView runs f over the merged snapshot while holding the engine
+// lock. Structure queries mutate per-structure scratch (that is where
+// the hot path's zero allocations come from), so concurrent queries
+// against the shared cached view must serialize; the lock also keeps
+// the view coherent with Flush and Close.
+func (e *Engine) withView(f func(*structSet) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("engine: query on closed engine")
+	}
+	v, err := e.mergedViewLocked()
+	if err != nil {
+		return err
+	}
+	return f(v)
+}
+
+// mergedViewLocked returns the merged snapshot of all shards, flushing
+// first when the cache is stale. The result is cached until the next
+// Ingest, so query bursts between ingest rounds take a mutex-only fast
+// path: a valid cache means no Ingest completed since the view was
+// built, hence nothing pending or in flight to flush. Callers hold e.mu.
+func (e *Engine) mergedViewLocked() (*structSet, error) {
+	if e.hasView && e.viewGen == e.gen {
+		return e.view, nil
+	}
+	e.flushLocked()
+	snaps := make([]*structSet, len(e.workers))
+	barriers := make([]<-chan struct{}, len(e.workers))
+	for i, w := range e.workers {
+		i, set := i, e.sets[i]
+		barriers[i] = w.DoAsync(func() { snaps[i] = set.snapshot() })
+	}
+	for _, b := range barriers {
+		<-b
+	}
+	merged := snaps[0]
+	for _, s := range snaps[1:] {
+		if err := merged.merge(s); err != nil {
+			return nil, err
+		}
+	}
+	e.view, e.viewGen, e.hasView = merged, e.gen, true
+	return merged, nil
+}
+
+// HeavyHitters returns the eps-heavy coordinates of the full ingested
+// stream, from the merged shard snapshots.
+func (e *Engine) HeavyHitters() ([]uint64, error) {
+	var out []uint64
+	err := e.withView(func(v *structSet) error {
+		if v.hh == nil {
+			return fmt.Errorf("HeavyHitters: %w", ErrNotEnabled)
+		}
+		out = v.hh.HeavyHitters()
+		return nil
+	})
+	return out, err
+}
+
+// Estimate returns the heavy-hitters structure's point estimate of f_i.
+func (e *Engine) Estimate(i uint64) (float64, error) {
+	var out float64
+	err := e.withView(func(v *structSet) error {
+		if v.hh == nil {
+			return fmt.Errorf("Estimate: %w", ErrNotEnabled)
+		}
+		out = v.hh.Estimate(i)
+		return nil
+	})
+	return out, err
+}
+
+// L1 returns the merged (1 +- eps) estimate of ||f||_1.
+func (e *Engine) L1() (float64, error) {
+	var out float64
+	err := e.withView(func(v *structSet) error {
+		if v.l1 == nil {
+			return fmt.Errorf("L1: %w", ErrNotEnabled)
+		}
+		out = v.l1.Estimate()
+		return nil
+	})
+	return out, err
+}
+
+// L0 returns the merged (1 +- eps) estimate of ||f||_0.
+func (e *Engine) L0() (float64, error) {
+	var out float64
+	err := e.withView(func(v *structSet) error {
+		if v.l0 == nil {
+			return fmt.Errorf("L0: %w", ErrNotEnabled)
+		}
+		out = v.l0.Estimate()
+		return nil
+	})
+	return out, err
+}
+
+// Sample draws one L1 sample from the merged sampler; ok is false when
+// every sampler instance FAILed (the sampler never fabricates).
+func (e *Engine) Sample() (bounded.Sample, bool, error) {
+	var res bounded.Sample
+	var ok bool
+	err := e.withView(func(v *structSet) error {
+		if v.smp == nil {
+			return fmt.Errorf("Sample: %w", ErrNotEnabled)
+		}
+		res, ok = v.smp.Sample()
+		return nil
+	})
+	return res, ok, err
+}
+
+// Support returns distinct support coordinates recovered from the
+// merged support sampler.
+func (e *Engine) Support() ([]uint64, error) {
+	var out []uint64
+	err := e.withView(func(v *structSet) error {
+		if v.sup == nil {
+			return fmt.Errorf("Support: %w", ErrNotEnabled)
+		}
+		out = v.sup.Recover()
+		return nil
+	})
+	return out, err
+}
+
+// L2HeavyHitters returns the merged Appendix A L2 heavy hitters.
+func (e *Engine) L2HeavyHitters() ([]uint64, error) {
+	var out []uint64
+	err := e.withView(func(v *structSet) error {
+		if v.l2 == nil {
+			return fmt.Errorf("L2HeavyHitters: %w", ErrNotEnabled)
+		}
+		out = v.l2.HeavyHitters()
+		return nil
+	})
+	return out, err
+}
+
+// SyncSketch returns a private copy of the merged sync sketch — the
+// full-stream sketch a peer exchange serializes, subtracts, and
+// decodes. Mutating the copy does not affect the engine.
+func (e *Engine) SyncSketch() (*bounded.SyncSketch, error) {
+	var out *bounded.SyncSketch
+	err := e.withView(func(v *structSet) error {
+		if v.syn == nil {
+			return fmt.Errorf("SyncSketch: %w", ErrNotEnabled)
+		}
+		out = v.syn.Clone()
+		return nil
+	})
+	return out, err
+}
+
+// SpaceBits reports the summed space of every shard's structures (the
+// engine costs S times one structure set, the price of S-way write
+// parallelism).
+func (e *Engine) SpaceBits() (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, fmt.Errorf("engine: SpaceBits on closed engine")
+	}
+	e.flushLocked()
+	totals := make([]int64, len(e.workers))
+	barriers := make([]<-chan struct{}, len(e.workers))
+	for i, w := range e.workers {
+		i, set := i, e.sets[i]
+		barriers[i] = w.DoAsync(func() { totals[i] = set.spaceBits() })
+	}
+	for _, b := range barriers {
+		<-b
+	}
+	var sum int64
+	for _, t := range totals {
+		sum += t
+	}
+	return sum, nil
+}
+
+// Close flushes pending updates and stops every shard goroutine. The
+// engine cannot be used afterwards.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.flushLocked()
+	for _, w := range e.workers {
+		w.Close()
+	}
+	e.closed = true
+	return nil
+}

@@ -1,0 +1,143 @@
+// Sharded ingest: drive the engine from several producer goroutines —
+// the deployment shape for heavy traffic — and answer heavy-hitters,
+// L1 and L0 queries from merged shard snapshots.
+//
+// The engine owns one single-writer shard per core (configurable), hash
+// partitions every batch across them, and blocks producers when a shard
+// falls behind (bounded channels = backpressure, no unbounded queues).
+// All shards are built from the same Config, so their sketches merge
+// exactly; on this workload the merged heavy-hitters answer is
+// IDENTICAL to a single-writer structure fed the same stream, which the
+// example verifies at the end.
+//
+// Run with: go run ./examples/shardedingest
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	bounded "repro"
+	"repro/engine"
+)
+
+func main() {
+	const (
+		n     = 1 << 16
+		alpha = 4
+		eps   = 0.05
+	)
+	cfg := bounded.Config{N: n, Eps: eps, Alpha: alpha, Seed: 1}
+
+	eng, err := engine.New(cfg, engine.Options{
+		// Zero values would also work: GOMAXPROCS shards, 1024-update
+		// batches, heavy hitters only. Spelled out for the tour.
+		Shards:     runtime.GOMAXPROCS(0),
+		BatchSize:  1024,
+		Queue:      4,
+		Structures: engine.HeavyHitters | engine.L1Estimator | engine.L0Estimator,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer eng.Close()
+
+	// Several producers — network listeners, partition consumers — each
+	// build private batches and push them into the same engine. The
+	// stream: one hot key per producer plus churn (inserts mostly
+	// matched by deletes, the bounded-deletion regime).
+	const producers = 4
+	const perProducer = 100000
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + p)))
+			hot := uint64(4242 + p)
+			batch := make([]bounded.Update, 0, 4096)
+			push := func(i uint64, d int64) {
+				batch = append(batch, bounded.Update{Index: i, Delta: d})
+				if len(batch) == cap(batch) {
+					if err := eng.Ingest(batch); err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					batch = batch[:0] // Ingest copied it; reuse freely
+				}
+			}
+			for t := 0; t < perProducer; t++ {
+				k := uint64(rng.Intn(8000))
+				push(k, 1)
+				if t%2 == 0 {
+					push(k, -1) // churn: delete most background inserts
+				}
+				if t%5 == 0 {
+					push(hot, 1)
+				}
+			}
+			if err := eng.Ingest(batch); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := eng.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	hh, _ := eng.HeavyHitters()
+	l1, _ := eng.L1()
+	l0, _ := eng.L0()
+	bits, _ := eng.SpaceBits()
+	total := producers * perProducer * 2 // rough update count incl. churn
+	fmt.Println("== sharded ingest ==")
+	fmt.Printf("shards                  : %d (GOMAXPROCS)\n", eng.Shards())
+	fmt.Printf("ingested                : ~%d updates from %d producers in %v\n", total, producers, elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput              : ~%.1f M updates/s\n", float64(total)/elapsed.Seconds()/1e6)
+	fmt.Printf("heavy hitters (merged)  : %v\n", hh)
+	fmt.Printf("estimated ||f||_1       : %.0f\n", l1)
+	fmt.Printf("estimated ||f||_0       : %.0f\n", l0)
+	fmt.Printf("space, all shards       : %d bits\n", bits)
+
+	// Differential check: a single-writer structure over the identical
+	// stream must report the identical heavy hitters. Rebuild the
+	// per-producer streams deterministically and replay them serially.
+	single := bounded.NewHeavyHitters(cfg, true)
+	for p := 0; p < producers; p++ {
+		rng := rand.New(rand.NewSource(int64(100 + p)))
+		hot := uint64(4242 + p)
+		var batch []bounded.Update
+		for t := 0; t < perProducer; t++ {
+			k := uint64(rng.Intn(8000))
+			batch = append(batch, bounded.Update{Index: k, Delta: 1})
+			if t%2 == 0 {
+				batch = append(batch, bounded.Update{Index: k, Delta: -1})
+			}
+			if t%5 == 0 {
+				batch = append(batch, bounded.Update{Index: hot, Delta: 1})
+			}
+		}
+		single.UpdateBatch(batch)
+	}
+	want := single.HeavyHitters()
+	match := len(want) == len(hh)
+	if match {
+		for i := range want {
+			if want[i] != hh[i] {
+				match = false
+			}
+		}
+	}
+	fmt.Printf("matches single writer   : %v (%v)\n", match, want)
+}

@@ -155,6 +155,52 @@ func lnCos(y []float64, ymed float64) float64 {
 	return ymed * (-math.Log(acc))
 }
 
+// Merge folds another Sketch built from the same seed into this one:
+// the counters are linear in the input stream, so coordinate-wise
+// addition yields the sketch of the concatenated stream.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil {
+		return fmt.Errorf("cauchy: merge with nil Sketch")
+	}
+	if s.r != other.r || s.rPrime != other.rPrime {
+		return fmt.Errorf("cauchy: merging Sketches with different dimensions (r=%d/%d r'=%d/%d)",
+			s.r, other.r, s.rPrime, other.rPrime)
+	}
+	if !s.hA.Equal(other.hA) || !s.hAPrime.Equal(other.hAPrime) {
+		return fmt.Errorf("cauchy: merging Sketches with different hash functions (same seed required)")
+	}
+	for j := range s.y {
+		s.y[j] += other.y[j]
+		if a := math.Abs(s.y[j]); a > s.maxAbs {
+			s.maxAbs = a
+		}
+	}
+	for j := range s.yPrime {
+		s.yPrime[j] += other.yPrime[j]
+		if a := math.Abs(s.yPrime[j]); a > s.maxAbs {
+			s.maxAbs = a
+		}
+	}
+	if other.maxAbs > s.maxAbs {
+		s.maxAbs = other.maxAbs
+	}
+	s.m += other.m
+	return nil
+}
+
+// Clone returns a deep copy sharing the (immutable) hash functions.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{
+		r: s.r, rPrime: s.rPrime,
+		hA: s.hA, hAPrime: s.hAPrime,
+		y:      append([]float64(nil), s.y...),
+		yPrime: append([]float64(nil), s.yPrime...),
+		maxAbs: s.maxAbs,
+		m:      s.m,
+	}
+	return c
+}
+
 // MaxCounterBits returns the fixed-point width one dense counter needs:
 // log2(1+max|y|) magnitude bits plus the paper's delta = Theta(eps/m)
 // precision bits (Lemma 12) plus a sign — the O(log n) width Figure 1
@@ -334,6 +380,74 @@ func (s *SampledSketch) MedianEstimate() float64 {
 		yp[i] = float64(v) * scale
 	}
 	return medianAbs(yp)
+}
+
+// Merge folds another SampledSketch built from the same seed into this
+// one. Levels live in both sketches at the same index j sample at the
+// same rate base^-j, so their counters add; levels live in only one
+// survive as-is. The combined position re-runs the interval schedule,
+// pruning levels that fall outside the merged stream's active window.
+// While both sketches are still in the rate-1 regime (t < base, only
+// level 0 live), the merge is exact.
+func (s *SampledSketch) Merge(other *SampledSketch) error {
+	if other == nil {
+		return fmt.Errorf("cauchy: merge with nil SampledSketch")
+	}
+	if s.r != other.r || s.rPrime != other.rPrime || s.base != other.base || s.fpBits != other.fpBits {
+		return fmt.Errorf("cauchy: merging SampledSketches with different params")
+	}
+	if !s.hA.Equal(other.hA) || !s.hAPrime.Equal(other.hAPrime) {
+		return fmt.Errorf("cauchy: merging SampledSketches with different hash functions (same seed required)")
+	}
+	for j, olv := range other.levels {
+		if lv, ok := s.levels[j]; ok {
+			for i := range lv.y {
+				lv.y[i] += olv.y[i]
+			}
+			for i := range lv.yPrime {
+				lv.yPrime[i] += olv.yPrime[i]
+			}
+			if olv.start < lv.start {
+				lv.start = olv.start
+			}
+		} else {
+			s.levels[j] = &sampledLevel{
+				j:      j,
+				start:  olv.start,
+				y:      append([]int64(nil), olv.y...),
+				yPrime: append([]int64(nil), olv.yPrime...),
+			}
+		}
+	}
+	s.t += other.t
+	if other.maxCount > s.maxCount {
+		s.maxCount = other.maxCount
+	}
+	s.syncLevels()
+	return nil
+}
+
+// Clone returns a deep copy sharing the (immutable) hash functions,
+// with a fresh rng stream for the clone's own sampling decisions.
+func (s *SampledSketch) Clone() *SampledSketch {
+	c := &SampledSketch{
+		r: s.r, rPrime: s.rPrime,
+		hA: s.hA, hAPrime: s.hAPrime,
+		base: s.base, fpBits: s.fpBits,
+		t:        s.t,
+		levels:   make(map[int]*sampledLevel, len(s.levels)),
+		rng:      rand.New(rand.NewSource(s.rng.Int63())),
+		maxCount: s.maxCount,
+	}
+	for j, lv := range s.levels {
+		c.levels[j] = &sampledLevel{
+			j:      lv.j,
+			start:  lv.start,
+			y:      append([]int64(nil), lv.y...),
+			yPrime: append([]int64(nil), lv.yPrime...),
+		}
+	}
+	return c
 }
 
 // MaxCounterBits returns the width of the widest sampled counter — the

@@ -364,17 +364,93 @@ func (s *Sketch) refreshMaxCount() {
 // S*2^r + 1, thin every counter by Bin(a, 1/2) and bump p.
 func (s *Sketch) maybeHalve() {
 	for s.t >= s.nextHalf {
-		s.refreshMaxCount()
-		for c := range s.table {
-			cl := &s.table[c]
-			cl[0] = sample.Half(s.rng, cl[0])
-			cl[1] = sample.Half(s.rng, cl[1])
-		}
-		s.p++
-		s.scale *= 2
-		s.estScale *= 2
-		s.nextHalf = 2*s.nextHalf - 1 // S*2^r + 1 -> S*2^(r+1) + 1
+		s.halveOnce()
 	}
+}
+
+// halveOnce performs one halving step unconditionally: thin every
+// counter by Bin(a, 1/2) and move the sampling exponent up one level.
+// maybeHalve drives it on schedule; Merge drives it to align two
+// sketches' sampling rates.
+func (s *Sketch) halveOnce() {
+	s.refreshMaxCount()
+	for c := range s.table {
+		cl := &s.table[c]
+		cl[0] = sample.Half(s.rng, cl[0])
+		cl[1] = sample.Half(s.rng, cl[1])
+	}
+	s.p++
+	s.scale *= 2
+	s.estScale *= 2
+	s.nextHalf = 2*s.nextHalf - 1 // S*2^r + 1 -> S*2^(r+1) + 1
+}
+
+// Merge folds another CSSS sketch built with the same seed and params
+// into this one. Both sketches' tables are honest rate-2^-p samples of
+// their input streams; the merge thins the finer-sampled sketch down to
+// the coarser rate (extra halvings — other may be mutated to align),
+// adds counters coordinate-wise, sums stream positions, and re-applies
+// the halving schedule at the combined position. While neither sketch
+// has halved (combined position within the rate-1 regime), the merge is
+// exact: counters equal those of a single sketch that ingested the
+// concatenated stream.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil {
+		return fmt.Errorf("csss: merge with nil sketch")
+	}
+	if s.params != other.params {
+		return fmt.Errorf("csss: merging sketches with different params (%+v vs %+v)", s.params, other.params)
+	}
+	if !s.buckets.Equal(other.buckets) {
+		return fmt.Errorf("csss: merging sketches with different hash wirings (same seed required)")
+	}
+	for s.p < other.p {
+		s.halveOnce()
+	}
+	for other.p < s.p {
+		other.halveOnce()
+	}
+	for c := range s.table {
+		s.table[c][0] += other.table[c][0]
+		s.table[c][1] += other.table[c][1]
+	}
+	s.t += other.t
+	if other.maxCount > s.maxCount {
+		s.maxCount = other.maxCount
+	}
+	s.haveLast = false // the memoized cell contents changed
+	s.maybeHalve()
+	return nil
+}
+
+// Clone returns a deep copy sharing the (immutable) hash wiring; the
+// clone owns fresh scratch and a fresh rng stream, so it can be handed
+// to another goroutine for merge-and-query snapshots while the original
+// keeps ingesting.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{
+		params:   s.params,
+		buckets:  s.buckets,
+		rows:     s.rows,
+		cols:     s.cols,
+		rng:      rand.New(rand.NewSource(s.rng.Int63())),
+		t:        s.t,
+		p:        s.p,
+		scale:    s.scale,
+		estScale: s.estScale,
+		nextHalf: s.nextHalf,
+		maxCount: s.maxCount,
+		fpUnit:   s.fpUnit,
+		rowCols:  make([]uint64, s.rows),
+		rowSigns: make([]int64, s.rows),
+		rowIdx:   make([]int, s.rows),
+		rowSide:  make([]int, s.rows),
+		cnts:     make([]int64, s.rows),
+		qest:     make([]float64, s.rows),
+	}
+	c.table = make([]cell, len(s.table))
+	copy(c.table, s.table)
+	return c
 }
 
 // RowEstimate returns row r's rescaled estimate of f_i:
@@ -495,7 +571,6 @@ func (te *TailEstimator) UpdateWeighted(i uint64, delta int64, w float64) {
 	te.CS2.updateUnits(i, sign, mag, wfp)
 }
 
-
 // Estimate returns (v, yhat): the tail-error bound and the k-sparse
 // approximation used to compute it. candidates is the set of coordinates
 // to consider for the top-k (callers track candidates with a heap; exact
@@ -534,6 +609,25 @@ func (te *TailEstimator) Estimate(candidates []uint64, l1, eps float64) (float64
 	med := rows[len(rows)/2]
 	v := 2*med + 5*eps*l1
 	return v, yhat
+}
+
+// Merge folds another tail estimator (same seed/params) into this one.
+func (te *TailEstimator) Merge(other *TailEstimator) error {
+	if other == nil {
+		return fmt.Errorf("csss: merge with nil TailEstimator")
+	}
+	if te.k != other.k {
+		return fmt.Errorf("csss: merging TailEstimators with different k (%d vs %d)", te.k, other.k)
+	}
+	if err := te.CS1.Merge(other.CS1); err != nil {
+		return err
+	}
+	return te.CS2.Merge(other.CS2)
+}
+
+// Clone returns a deep copy (see Sketch.Clone).
+func (te *TailEstimator) Clone() *TailEstimator {
+	return &TailEstimator{CS1: te.CS1.Clone(), CS2: te.CS2.Clone(), k: te.k}
 }
 
 // SpaceBits is the total cost of both instances.

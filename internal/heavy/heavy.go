@@ -176,6 +176,57 @@ func (h *AlphaL1) HeavyHitters() []uint64 {
 // Query returns the CSSS point estimate for one item.
 func (h *AlphaL1) Query(i uint64) float64 { return h.sk.Query(i) }
 
+// Merge folds another AlphaL1 built from the same seed into this one:
+// the CSSS sketches and L1 scale merge, then the union of both
+// candidate sets is re-offered against the merged sketch, so the
+// tracker holds the top candidates under post-merge estimates. other
+// may be mutated (its sketch may be thinned to align sampling rates)
+// and must not be used afterwards.
+func (h *AlphaL1) Merge(other *AlphaL1) error {
+	if other == nil {
+		return fmt.Errorf("heavy: merge with nil AlphaL1")
+	}
+	if h.mode != other.mode || h.eps != other.eps || h.n != other.n {
+		return fmt.Errorf("heavy: merging AlphaL1 with different params (same seed/params required)")
+	}
+	if err := h.sk.Merge(other.sk); err != nil {
+		return err
+	}
+	switch h.mode {
+	case Strict:
+		h.l1Exact += other.l1Exact
+		if h.l1Exact > h.maxL1 {
+			h.maxL1 = h.l1Exact
+		}
+		if other.maxL1 > h.maxL1 {
+			h.maxL1 = other.maxL1
+		}
+	case General:
+		if err := h.l1Est.Merge(other.l1Est); err != nil {
+			return err
+		}
+	}
+	return h.tracker.Merge(other.tracker, h.sk.Query)
+}
+
+// Clone returns a deep copy (snapshot) safe to hand to another
+// goroutine for merge-and-query while the original keeps ingesting.
+func (h *AlphaL1) Clone() *AlphaL1 {
+	c := &AlphaL1{
+		mode:    h.mode,
+		eps:     h.eps,
+		sk:      h.sk.Clone(),
+		tracker: h.tracker.Clone(),
+		n:       h.n,
+		l1Exact: h.l1Exact,
+		maxL1:   h.maxL1,
+	}
+	if h.l1Est != nil {
+		c.l1Est = h.l1Est.Clone()
+	}
+	return c
+}
+
 // SpaceBits charges the CSSS sketch, the scale estimator, and the
 // candidate tracker.
 func (h *AlphaL1) SpaceBits() int64 {

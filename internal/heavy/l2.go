@@ -1,6 +1,7 @@
 package heavy
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -105,6 +106,39 @@ func (h *AlphaL2) HeavyHitters() []uint64 {
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
+}
+
+// Merge folds another AlphaL2 built from the same seed into this one:
+// both Count-Sketches add coordinate-wise and the candidate union is
+// re-offered against the merged insertion-pass sketch.
+func (h *AlphaL2) Merge(other *AlphaL2) error {
+	if other == nil {
+		return fmt.Errorf("heavy: merge with nil AlphaL2")
+	}
+	if h.eps != other.eps || h.alpha != other.alpha || h.n != other.n {
+		return fmt.Errorf("heavy: merging AlphaL2 with different params (same seed/params required)")
+	}
+	if err := h.insCS.Merge(other.insCS); err != nil {
+		return err
+	}
+	if err := h.verCS.Merge(other.verCS); err != nil {
+		return err
+	}
+	return h.trk.Merge(other.trk, func(i uint64) float64 {
+		return float64(h.insCS.Query(i))
+	})
+}
+
+// Clone returns a deep copy (snapshot).
+func (h *AlphaL2) Clone() *AlphaL2 {
+	return &AlphaL2{
+		eps:   h.eps,
+		alpha: h.alpha,
+		insCS: h.insCS.Clone(),
+		verCS: h.verCS.Clone(),
+		trk:   h.trk.Clone(),
+		n:     h.n,
+	}
 }
 
 // SpaceBits charges both sketches and the tracker — the appendix's

@@ -1,0 +1,137 @@
+package heavy
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+func splitByIndex(s *stream.Stream, parts int) [][]stream.Update {
+	out := make([][]stream.Update, parts)
+	for _, u := range s.Updates {
+		p := int(u.Index) % parts
+		out[p] = append(out[p], u)
+	}
+	return out
+}
+
+// TestAlphaL1MergeMatchesSingleStream: same-seed shards over an index
+// partition, merged, must report exactly the heavy hitters the
+// single-writer structure reports (the CSSS stays in its exact regime
+// on this workload), with identical point estimates.
+func TestAlphaL1MergeMatchesSingleStream(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 1 << 14, Items: 40000, Alpha: 4, Zipf: 1.5, Seed: 31})
+	p := AlphaL1Params{N: 1 << 14, Eps: 0.05, Mode: Strict, Alpha: 4}
+	const seed = 37
+	whole := NewAlphaL1(rand.New(rand.NewSource(seed)), p)
+	whole.UpdateBatch(s.Updates)
+
+	parts := splitByIndex(s, 4)
+	merged := NewAlphaL1(rand.New(rand.NewSource(seed)), p)
+	merged.UpdateBatch(parts[0])
+	for _, pt := range parts[1:] {
+		sh := NewAlphaL1(rand.New(rand.NewSource(seed)), p)
+		sh.UpdateBatch(pt)
+		if err := merged.Merge(sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, want := merged.HeavyHitters(), whole.HeavyHitters()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged heavy hitters %v, single-stream %v", got, want)
+	}
+	for _, i := range want {
+		if merged.Query(i) != whole.Query(i) {
+			t.Fatalf("estimate of %d: merged %v, single-stream %v", i, merged.Query(i), whole.Query(i))
+		}
+	}
+}
+
+// TestAlphaL1MergeGeneralMode: the Cauchy L1 scale merges too.
+func TestAlphaL1MergeGeneralMode(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 1 << 12, Items: 20000, Alpha: 4, Zipf: 1.5, Seed: 41})
+	p := AlphaL1Params{N: 1 << 12, Eps: 0.05, Mode: General, Alpha: 4}
+	const seed = 43
+	whole := NewAlphaL1(rand.New(rand.NewSource(seed)), p)
+	whole.UpdateBatch(s.Updates)
+
+	parts := splitByIndex(s, 2)
+	merged := NewAlphaL1(rand.New(rand.NewSource(seed)), p)
+	merged.UpdateBatch(parts[0])
+	sh := NewAlphaL1(rand.New(rand.NewSource(seed)), p)
+	sh.UpdateBatch(parts[1])
+	if err := merged.Merge(sh); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.HeavyHitters(), whole.HeavyHitters(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged heavy hitters %v, single-stream %v", got, want)
+	}
+}
+
+// TestAlphaL1MergeRejectsMismatches: mode, eps and seed mismatches fail.
+func TestAlphaL1MergeRejectsMismatches(t *testing.T) {
+	p := AlphaL1Params{N: 1 << 10, Eps: 0.1, Mode: Strict, Alpha: 2}
+	a := NewAlphaL1(rand.New(rand.NewSource(1)), p)
+	pg := p
+	pg.Mode = General
+	if err := a.Merge(NewAlphaL1(rand.New(rand.NewSource(1)), pg)); err == nil {
+		t.Fatal("merging different modes should fail")
+	}
+	pe := p
+	pe.Eps = 0.2
+	if err := a.Merge(NewAlphaL1(rand.New(rand.NewSource(1)), pe)); err == nil {
+		t.Fatal("merging different eps should fail")
+	}
+	if err := a.Merge(NewAlphaL1(rand.New(rand.NewSource(9)), p)); err == nil {
+		t.Fatal("merging different seeds should fail")
+	}
+}
+
+// TestAlphaL2Merge: split-stream merge finds the planted L2-heavy item
+// that the single-writer finds, with identical output.
+func TestAlphaL2Merge(t *testing.T) {
+	const n = 1 << 12
+	st := &stream.Stream{N: n}
+	r := rand.New(rand.NewSource(47))
+	for i := 0; i < 8000; i++ {
+		id := uint64(r.Intn(2000))
+		st.Updates = append(st.Updates, stream.Update{Index: id, Delta: 2})
+		if i%2 == 0 {
+			st.Updates = append(st.Updates, stream.Update{Index: id, Delta: -2})
+		}
+	}
+	st.Updates = append(st.Updates, stream.Update{Index: n - 1, Delta: 900})
+
+	const seed = 53
+	whole := NewAlphaL2(rand.New(rand.NewSource(seed)), n, 0.25, 2)
+	whole.UpdateBatch(st.Updates)
+	parts := splitByIndex(st, 3)
+	merged := NewAlphaL2(rand.New(rand.NewSource(seed)), n, 0.25, 2)
+	merged.UpdateBatch(parts[0])
+	for _, pt := range parts[1:] {
+		sh := NewAlphaL2(rand.New(rand.NewSource(seed)), n, 0.25, 2)
+		sh.UpdateBatch(pt)
+		if err := merged.Merge(sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, want := merged.HeavyHitters(), whole.HeavyHitters()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged L2 heavy hitters %v, single-stream %v", got, want)
+	}
+	found := false
+	for _, i := range got {
+		if i == n-1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("merged structure missed the planted L2-heavy item")
+	}
+	if err := merged.Merge(NewAlphaL2(rand.New(rand.NewSource(seed)), n, 0.5, 2)); err == nil {
+		t.Fatal("merging different eps should fail")
+	}
+}

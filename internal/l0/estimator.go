@@ -313,6 +313,92 @@ func (e *Estimator) Estimate() float64 {
 	return (ests[n/2-1] + ests[n/2]) / 2
 }
 
+// Merge folds another estimator built from the same seed into this one.
+// Every component is linear or monotone: bins add modulo the shared
+// prime, the exact-small and rough structures merge, and the row window
+// re-syncs at the merged rough estimate. For the unwindowed (Figure 6)
+// variant the merge is exact — every counter equals the single-stream
+// value; the windowed variant inherits the window-trajectory slack the
+// alpha-property analysis already absorbs.
+func (e *Estimator) Merge(other *Estimator) error {
+	if other == nil {
+		return fmt.Errorf("l0: merge with nil Estimator")
+	}
+	if e.params != other.params || e.k != other.k || e.p != other.p {
+		return fmt.Errorf("l0: merging Estimators with different params (same seed/params required)")
+	}
+	if !e.h1.Equal(other.h1) || !e.h2.Equal(other.h2) || !e.h3.Equal(other.h3) || !e.h4.Equal(other.h4) ||
+		!e.h2s.Equal(other.h2s) || !e.h3s.Equal(other.h3s) || !e.h4s.Equal(other.h4s) {
+		return fmt.Errorf("l0: merging Estimators with different hash functions (same seed required)")
+	}
+	if !slicesEqual(e.u, other.u) || !slicesEqual(e.us, other.us) {
+		return fmt.Errorf("l0: merging Estimators with different multiplier vectors (same seed required)")
+	}
+	if e.params.Windowed {
+		if err := e.rough.Merge(other.rough); err != nil {
+			return err
+		}
+	}
+	if err := e.final.Merge(other.final); err != nil {
+		return err
+	}
+	if err := e.small.Merge(other.small); err != nil {
+		return err
+	}
+	for b := range e.singleRow {
+		e.singleRow[b] = nt.AddMod(e.singleRow[b], other.singleRow[b], e.p)
+	}
+	for j, obins := range other.rows {
+		if bins, ok := e.rows[j]; ok {
+			for b := range bins {
+				bins[b] = nt.AddMod(bins[b], obins[b], e.p)
+			}
+		} else {
+			e.rows[j] = append([]uint64(nil), obins...)
+		}
+	}
+	if other.maxLiveRows > e.maxLiveRows {
+		e.maxLiveRows = other.maxLiveRows
+	}
+	e.syncRows()
+	return nil
+}
+
+// Clone returns a deep copy sharing the (immutable) hash functions and
+// multiplier vectors.
+func (e *Estimator) Clone() *Estimator {
+	c := &Estimator{
+		params:   e.params,
+		k:        e.k,
+		maxRow:   e.maxRow,
+		p:        e.p,
+		h1:       e.h1,
+		h2:       e.h2,
+		h3:       e.h3,
+		h4:       e.h4,
+		u:        e.u,
+		rows:     make(map[int][]uint64, len(e.rows)),
+		floorRow: e.floorRow,
+		final:    e.final.Clone(),
+		small:    e.small.Clone(),
+		singleRow: append([]uint64(nil),
+			e.singleRow...),
+		h2s:         e.h2s,
+		h3s:         e.h3s,
+		h4s:         e.h4s,
+		us:          e.us,
+		maxLiveRows: e.maxLiveRows,
+		seeds:       e.seeds,
+	}
+	if e.rough != nil {
+		c.rough = e.rough.Clone()
+	}
+	for j, bins := range e.rows {
+		c.rows[j] = append([]uint64(nil), bins...)
+	}
+	return c
+}
+
 // LiveRows reports the number of maintained rows.
 func (e *Estimator) LiveRows() int { return len(e.rows) }
 
@@ -331,6 +417,18 @@ func (e *Estimator) SpaceBits() int64 {
 		total += e.rough.SpaceBits()
 	}
 	return total
+}
+
+func slicesEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func absInt(x int) int {

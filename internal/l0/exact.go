@@ -109,6 +109,52 @@ func (e *ExactSmall) CountSaturating() int64 {
 	return int64(e.c) + 1
 }
 
+// Merge folds another ExactSmall built from the same seed into this
+// one: per-bucket counters add modulo the shared prime (cancellations
+// stay honest), and the structure overflows if either side overflowed
+// or the combined live set exceeds the promise bound.
+func (e *ExactSmall) Merge(other *ExactSmall) error {
+	if other == nil {
+		return fmt.Errorf("l0: merge with nil ExactSmall")
+	}
+	if e.c != other.c || e.prime != other.prime || e.buckets != other.buckets || !e.hash.Equal(other.hash) {
+		return fmt.Errorf("l0: merging ExactSmall structures with different wiring (same seed/params required)")
+	}
+	for b, v := range other.counters {
+		nv := nt.AddMod(e.counters[b], v, e.prime)
+		if nv == 0 {
+			delete(e.counters, b)
+		} else {
+			e.counters[b] = nv
+		}
+	}
+	e.overflow = e.overflow || other.overflow || len(e.counters) > e.c
+	if len(e.counters) > e.maxLive {
+		e.maxLive = len(e.counters)
+	}
+	if other.maxLive > e.maxLive {
+		e.maxLive = other.maxLive
+	}
+	return nil
+}
+
+// Clone returns a deep copy sharing the (immutable) hash function.
+func (e *ExactSmall) Clone() *ExactSmall {
+	c := &ExactSmall{
+		c:        e.c,
+		hash:     e.hash,
+		buckets:  e.buckets,
+		prime:    e.prime,
+		counters: make(map[uint64]uint64, len(e.counters)),
+		overflow: e.overflow,
+		maxLive:  e.maxLive,
+	}
+	for b, v := range e.counters {
+		c.counters[b] = v
+	}
+	return c
+}
+
 // SpaceBits charges the occupied (bucket id, counter) pairs at their
 // widths plus the hash seed and prime: O(c(log c + log log n) + log n).
 func (e *ExactSmall) SpaceBits() int64 {

@@ -1,6 +1,7 @@
 package l0
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/hash"
@@ -74,6 +75,43 @@ func (r *RoughF0) current() int64 {
 // before any update).
 func (r *RoughF0) Estimate() int64 { return r.best }
 
+// Merge folds another RoughF0 built from the same seed into this one:
+// level bitmaps OR together (the union stream touched a level iff some
+// shard did), and the running max re-derives from the merged bitmaps.
+func (r *RoughF0) Merge(other *RoughF0) error {
+	if other == nil {
+		return fmt.Errorf("l0: merge with nil RoughF0")
+	}
+	if len(r.hs) != len(other.hs) || r.safety != other.safety {
+		return fmt.Errorf("l0: merging RoughF0 with different shapes")
+	}
+	for i := range r.hs {
+		if !r.hs[i].Equal(other.hs[i]) {
+			return fmt.Errorf("l0: merging RoughF0 with different hash functions (same seed required)")
+		}
+	}
+	for c := range r.bitmaps {
+		r.bitmaps[c] |= other.bitmaps[c]
+	}
+	if other.best > r.best {
+		r.best = other.best
+	}
+	if v := r.current(); v > r.best {
+		r.best = v
+	}
+	return nil
+}
+
+// Clone returns a deep copy sharing the (immutable) hash functions.
+func (r *RoughF0) Clone() *RoughF0 {
+	return &RoughF0{
+		hs:      r.hs,
+		bitmaps: append([]uint64(nil), r.bitmaps...),
+		best:    r.best,
+		safety:  r.safety,
+	}
+}
+
 // SpaceBits charges the bitmaps and hash seeds: O(copies * log n).
 func (r *RoughF0) SpaceBits() int64 {
 	var seeds int64
@@ -120,10 +158,14 @@ type RoughL0 struct {
 	maxLevel int
 	levels   map[int]*ExactSmall
 	h        *hash.KWise // level hash h: [n] -> [n], level = lsb(h(i))
-	rngRef   *rand.Rand
-	windowed bool
-	window   int
-	rough    *RoughF0
+	// levelSeed derives each level's ExactSmall wiring as a pure
+	// function of the level index, so instances built from the same
+	// seed agree on every level's hash and prime no matter WHEN the
+	// sliding window instantiated it — the property Merge relies on.
+	levelSeed int64
+	windowed  bool
+	window    int
+	rough     *RoughF0
 	// levelFloor notes the paper's L_t = max(estimate, 8 log n / log log
 	// n) lower clamp.
 	levelFloor int64
@@ -150,13 +192,13 @@ func NewRoughL0Windowed(rng *rand.Rand, n uint64, window int) *RoughL0 {
 
 func newRoughL0(rng *rand.Rand, n uint64, windowed bool, window int) *RoughL0 {
 	r := &RoughL0{
-		maxLevel: nt.Log2Ceil(n),
-		levels:   make(map[int]*ExactSmall),
-		h:        hash.NewPairwise(rng),
-		rngRef:   rng,
-		windowed: windowed,
-		window:   window,
-		created:  make(map[int]bool),
+		maxLevel:  nt.Log2Ceil(n),
+		levels:    make(map[int]*ExactSmall),
+		h:         hash.NewPairwise(rng),
+		levelSeed: rng.Int63(),
+		windowed:  windowed,
+		window:    window,
+		created:   make(map[int]bool),
 	}
 	if windowed {
 		r.rough = NewRoughF0(rng, 16)
@@ -198,10 +240,17 @@ func (r *RoughL0) syncLevels() {
 	}
 	for j := lo; j <= hi; j++ {
 		if _, ok := r.levels[j]; !ok {
-			r.levels[j] = NewExactSmall(r.rngRef, roughC)
+			r.levels[j] = NewExactSmall(r.levelRNG(j), roughC)
 			r.created[j] = true
 		}
 	}
+}
+
+// levelRNG derives level j's private construction rng from the shared
+// per-instance seed, so the level's ExactSmall wiring is identical in
+// every instance built from the same seed.
+func (r *RoughL0) levelRNG(j int) *rand.Rand {
+	return rand.New(rand.NewSource(r.levelSeed ^ (int64(j)+1)*0x5851F42D4C957F2D))
 }
 
 // Update feeds one stream update.
@@ -240,6 +289,61 @@ func (r *RoughL0) Estimate() int64 {
 // LiveLevels reports how many level structures are currently maintained
 // (log n for the baseline, O(window) for Lemma 20).
 func (r *RoughL0) LiveLevels() int { return len(r.levels) }
+
+// Merge folds another RoughL0 built from the same seed into this one:
+// the rough-F0 tracker merges, levels maintained by both add their
+// exact counters, levels maintained by only one survive, and the window
+// re-syncs at the merged estimate.
+func (r *RoughL0) Merge(other *RoughL0) error {
+	if other == nil {
+		return fmt.Errorf("l0: merge with nil RoughL0")
+	}
+	if r.maxLevel != other.maxLevel || r.windowed != other.windowed ||
+		r.window != other.window || r.levelSeed != other.levelSeed || !r.h.Equal(other.h) {
+		return fmt.Errorf("l0: merging RoughL0 with different wiring (same seed/params required)")
+	}
+	if r.rough != nil {
+		if err := r.rough.Merge(other.rough); err != nil {
+			return err
+		}
+	}
+	for j, ob := range other.levels {
+		if b, ok := r.levels[j]; ok {
+			if err := b.Merge(ob); err != nil {
+				return err
+			}
+		} else {
+			r.levels[j] = ob.Clone()
+			r.created[j] = true
+		}
+	}
+	r.syncLevels()
+	return nil
+}
+
+// Clone returns a deep copy sharing the (immutable) hash function.
+func (r *RoughL0) Clone() *RoughL0 {
+	c := &RoughL0{
+		maxLevel:   r.maxLevel,
+		levels:     make(map[int]*ExactSmall, len(r.levels)),
+		h:          r.h,
+		levelSeed:  r.levelSeed,
+		windowed:   r.windowed,
+		window:     r.window,
+		levelFloor: r.levelFloor,
+		created:    make(map[int]bool, len(r.created)),
+	}
+	if r.rough != nil {
+		c.rough = r.rough.Clone()
+	}
+	for j, b := range r.levels {
+		c.levels[j] = b.Clone()
+	}
+	for j := range r.created {
+		c.created[j] = true
+	}
+	return c
+}
 
 // SpaceBits sums the live level structures, the level hash, and the
 // rough-F0 tracker.

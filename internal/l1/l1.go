@@ -37,6 +37,9 @@ type Clock interface {
 	Advance(n int64)
 	Now() int64
 	SpaceBits() int64
+	// Clone copies the clock state; the copy draws any randomness it
+	// needs from rng (snapshot support for merge-on-query).
+	Clone(rng *rand.Rand) Clock
 }
 
 // morrisClock adapts morris.Counter to Clock.
@@ -45,6 +48,9 @@ type morrisClock struct{ c *morris.Counter }
 func (m morrisClock) Advance(n int64)  { m.c.Add(n) }
 func (m morrisClock) Now() int64       { return m.c.Estimate() }
 func (m morrisClock) SpaceBits() int64 { return m.c.SpaceBits() }
+func (m morrisClock) Clone(rng *rand.Rand) Clock {
+	return morrisClock{m.c.Clone(rng)}
+}
 
 // exactClock is the ablation clock.
 type exactClock struct {
@@ -56,6 +62,9 @@ func (e *exactClock) Advance(n int64) { e.t += n; e.max = e.t }
 func (e *exactClock) Now() int64      { return e.t }
 func (e *exactClock) SpaceBits() int64 {
 	return int64(nt.BitsFor(uint64(e.max)))
+}
+func (e *exactClock) Clone(*rand.Rand) Clock {
+	return &exactClock{t: e.t, max: e.max}
 }
 
 // AlphaEstimator is the Figure 4 structure.
@@ -174,6 +183,54 @@ func (a *AlphaEstimator) UpdateBatch(batch []stream.Update) {
 	for _, u := range batch {
 		a.Update(u.Index, u.Delta)
 	}
+}
+
+// Merge folds another estimator with the same interval base into this
+// one: the clock advances by the other's position estimate, level pairs
+// live in both at the same index j add their (c+, c-) counters (both
+// sample at rate s^-j), level pairs live in only one survive, and the
+// schedule re-syncs at the combined position. In the early regime where
+// only level 0 is live (combined position below the base), counters are
+// exact signed unit counts and the merge is exact.
+func (a *AlphaEstimator) Merge(other *AlphaEstimator) error {
+	if other == nil {
+		return fmt.Errorf("l1: merge with nil AlphaEstimator")
+	}
+	if a.base != other.base {
+		return fmt.Errorf("l1: merging estimators with different interval bases (%d vs %d)", a.base, other.base)
+	}
+	a.clock.Advance(other.clock.Now())
+	a.units += other.units
+	for j, olv := range other.levels {
+		if lv, ok := a.levels[j]; ok {
+			lv.pos += olv.pos
+			lv.neg += olv.neg
+		} else {
+			a.levels[j] = &level{j: j, pos: olv.pos, neg: olv.neg}
+		}
+	}
+	if other.maxCount > a.maxCount {
+		a.maxCount = other.maxCount
+	}
+	a.syncLevels()
+	return nil
+}
+
+// Clone returns a deep copy with a fresh rng stream.
+func (a *AlphaEstimator) Clone() *AlphaEstimator {
+	rng := rand.New(rand.NewSource(a.rng.Int63()))
+	c := &AlphaEstimator{
+		base:     a.base,
+		clock:    a.clock.Clone(rng),
+		levels:   make(map[int]*level, len(a.levels)),
+		rng:      rng,
+		maxCount: a.maxCount,
+		units:    a.units,
+	}
+	for j, lv := range a.levels {
+		c.levels[j] = &level{j: lv.j, pos: lv.pos, neg: lv.neg}
+	}
+	return c
 }
 
 // syncLevels keeps exactly the levels the (approximate) clock says are

@@ -1,0 +1,105 @@
+package l1
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestMergeExactInLevelZeroRegime: with an interval base far above the
+// combined stream length only level 0 is ever live, its (c+, c-) pair
+// counts units exactly, and merging split streams reproduces the
+// single-stream counters bit for bit (exact clock keeps the schedule
+// deterministic).
+func TestMergeExactInLevelZeroRegime(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 256, Items: 5000, Alpha: 2, Seed: 127})
+	const base = 1 << 30
+	whole := NewExactClock(rand.New(rand.NewSource(1)), base)
+	a := NewExactClock(rand.New(rand.NewSource(2)), base)
+	b := NewExactClock(rand.New(rand.NewSource(3)), base)
+	for _, u := range s.Updates {
+		whole.Update(u.Index, u.Delta)
+		if u.Index%2 == 0 {
+			a.Update(u.Index, u.Delta)
+		} else {
+			b.Update(u.Index, u.Delta)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Units() != whole.Units() {
+		t.Fatalf("units: merged %d, single-stream %d", a.Units(), whole.Units())
+	}
+	la, lw := a.levels[0], whole.levels[0]
+	if la == nil || lw == nil {
+		t.Fatal("level 0 missing; base too small for the exact-regime test")
+	}
+	if la.pos != lw.pos || la.neg != lw.neg {
+		t.Fatalf("level-0 counters: merged (%d,%d), single-stream (%d,%d)", la.pos, la.neg, lw.pos, lw.neg)
+	}
+	if a.Estimate() != whole.Estimate() {
+		t.Fatalf("estimate: merged %v, single-stream %v", a.Estimate(), whole.Estimate())
+	}
+}
+
+// TestMergeMorrisClockStaysAccurate: with the randomized Morris clock
+// the merge is statistical; the merged estimate must stay within the
+// estimator's envelope of the truth across repetitions.
+func TestMergeMorrisClockStaysAccurate(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 512, Items: 100000, Alpha: 2, Seed: 131})
+	want := float64(s.Materialize().L1())
+	good := 0
+	const reps = 11
+	for rep := 0; rep < reps; rep++ {
+		a := New(rand.New(rand.NewSource(int64(200+rep))), 64)
+		b := New(rand.New(rand.NewSource(int64(300+rep))), 64)
+		for _, u := range s.Updates {
+			if u.Index%2 == 0 {
+				a.Update(u.Index, u.Delta)
+			} else {
+				b.Update(u.Index, u.Delta)
+			}
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Estimate()-want) < 0.35*want {
+			good++
+		}
+	}
+	if good < reps*2/3 {
+		t.Fatalf("merged Morris-clock estimate within 35%% only %d/%d times", good, reps)
+	}
+}
+
+// TestMergeRejectsMismatchedBase.
+func TestMergeRejectsMismatchedBase(t *testing.T) {
+	a := New(rand.New(rand.NewSource(1)), 64)
+	if err := a.Merge(New(rand.New(rand.NewSource(1)), 128)); err == nil {
+		t.Fatal("merging different interval bases should fail")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Fatal("merging nil should fail")
+	}
+}
+
+// TestCloneIsolated: the clone's clock and levels are private copies.
+func TestCloneIsolated(t *testing.T) {
+	a := NewExactClock(rand.New(rand.NewSource(5)), 1<<20)
+	for i := 0; i < 100; i++ {
+		a.Update(uint64(i), 1)
+	}
+	c := a.Clone()
+	for i := 0; i < 500; i++ {
+		c.Update(uint64(i), 1)
+	}
+	if a.Units() != 100 {
+		t.Fatalf("original units %d after clone mutation, want 100", a.Units())
+	}
+	if c.Units() != 600 {
+		t.Fatalf("clone units %d, want 600", c.Units())
+	}
+}

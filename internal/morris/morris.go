@@ -88,6 +88,12 @@ func (c *Counter) Estimate() int64 {
 	return int64(1)<<uint(c.v) - 1
 }
 
+// Clone returns a copy of the counter state drawing randomness from
+// rng — the snapshot primitive for structures that embed a Morris clock.
+func (c *Counter) Clone(rng *rand.Rand) *Counter {
+	return &Counter{rng: rng, v: c.v, max: c.max}
+}
+
 // Exponent returns the raw exponent v (the paper indexes sampling levels
 // by this value directly).
 func (c *Counter) Exponent() int { return int(c.v) }

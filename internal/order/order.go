@@ -24,7 +24,7 @@ func MedianInt64(s []int64) int64 {
 	// Quickselect leaves s[:n/2] holding the n/2 smallest values; the
 	// lower central element is their maximum.
 	lo := s[0]
-	for _, v := range s[1:n/2] {
+	for _, v := range s[1 : n/2] {
 		if v > lo {
 			lo = v
 		}
@@ -52,7 +52,7 @@ func MedianFloat64(s []float64) float64 {
 			return hi
 		}
 		lo := s[0]
-		for _, v := range s[1:n/2] {
+		for _, v := range s[1 : n/2] {
 			if v > lo {
 				lo = v
 			}

@@ -294,6 +294,85 @@ func (s *Sampler) UpdateBatch(batch []stream.Update) {
 	}
 }
 
+// merge folds another instance built from the same seed into this one.
+func (in *instance) merge(other *instance) error {
+	if in.p != other.p {
+		return fmt.Errorf("sampler: merging instances with different params")
+	}
+	if !in.tHash.Equal(other.tHash) {
+		return fmt.Errorf("sampler: merging instances with different scaling hashes (same seed required)")
+	}
+	if err := in.te.Merge(other.te); err != nil {
+		return err
+	}
+	in.r += other.r
+	if in.r > in.maxR {
+		in.maxR = in.r
+	}
+	if other.maxR > in.maxR {
+		in.maxR = other.maxR
+	}
+	in.q += other.q
+	if in.rSketch != nil {
+		if err := in.rSketch.Merge(other.rSketch); err != nil {
+			return err
+		}
+		if err := in.qSketch.Merge(other.qSketch); err != nil {
+			return err
+		}
+	}
+	return in.trk.Merge(other.trk, in.te.CS1.Query)
+}
+
+// clone returns a deep copy of the instance.
+func (in *instance) clone() *instance {
+	c := &instance{
+		p:       in.p,
+		tHash:   in.tHash,
+		te:      in.te.Clone(),
+		trk:     in.trk.Clone(),
+		r:       in.r,
+		q:       in.q,
+		maxR:    in.maxR,
+		epsPrim: in.epsPrim,
+		logN:    in.logN,
+		qFP:     in.qFP,
+	}
+	if in.rSketch != nil {
+		c.rSketch = in.rSketch.Clone()
+		c.qSketch = in.qSketch.Clone()
+	}
+	return c
+}
+
+// Merge folds another Sampler built from the same seed into this one,
+// instance by instance. other may be mutated (sampling-rate alignment)
+// and must not be used afterwards.
+func (s *Sampler) Merge(other *Sampler) error {
+	if other == nil {
+		return fmt.Errorf("sampler: merge with nil Sampler")
+	}
+	if len(s.instances) != len(other.instances) {
+		return fmt.Errorf("sampler: merging Samplers with different copy counts (%d vs %d)",
+			len(s.instances), len(other.instances))
+	}
+	for i := range s.instances {
+		if err := s.instances[i].merge(other.instances[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy (snapshot) of all instances.
+func (s *Sampler) Clone() *Sampler {
+	c := &Sampler{instances: make([]*instance, len(s.instances))}
+	for i, in := range s.instances {
+		c.instances[i] = in.clone()
+	}
+	return c
+}
+
 // Sample returns the first non-FAIL instance's output; ok is false when
 // every instance failed.
 func (s *Sampler) Sample() (Result, bool) {

@@ -1,0 +1,118 @@
+// Package shard provides the single-writer worker that the sharded
+// ingest engine (package engine) builds on. Every sketch in this
+// library is single-goroutine by design — updates and queries share
+// per-structure scratch — so parallel ingest means partitioning the
+// stream across S structures, each owned by exactly one goroutine.
+//
+// A Worker owns one such structure set. It consumes batches of updates
+// from a bounded channel (the bound IS the backpressure: when a shard
+// falls behind, senders block instead of queueing unbounded memory) and
+// executes closures in the owner goroutine between batches, which gives
+// callers two primitives for free:
+//
+//   - a flush barrier: Do(func(){}) returns only after every batch sent
+//     before it has been applied, and
+//   - race-free snapshots: Do(func(){ snap = structures.Clone() }) runs
+//     serialized with ingest, so queries never observe a torn sketch.
+//
+// The worker deliberately knows nothing about which structures it
+// feeds: it moves batches and closures, the engine supplies the
+// Ingester.
+package shard
+
+import (
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// Ingester consumes batches of updates. The engine's per-shard
+// structure set implements it by fanning each batch to every enabled
+// sketch.
+type Ingester interface {
+	UpdateBatch(batch []stream.Update)
+}
+
+// message is one unit of work: exactly one of batch or do is set.
+type message struct {
+	batch []stream.Update
+	do    func()
+	done  chan struct{}
+}
+
+// Worker is a single-writer shard: one goroutine, one Ingester, one
+// bounded inbox.
+type Worker struct {
+	in      chan message
+	wg      sync.WaitGroup
+	recycle func([]stream.Update)
+}
+
+// New starts a worker goroutine that feeds ing. queue is the inbox
+// depth in batches (minimum 1) — the backpressure window. recycle, if
+// non-nil, receives each batch slice after it has been applied so the
+// caller can pool buffers; the worker never touches a batch afterwards.
+func New(ing Ingester, queue int, recycle func([]stream.Update)) *Worker {
+	if queue < 1 {
+		queue = 1
+	}
+	w := &Worker{in: make(chan message, queue), recycle: recycle}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for m := range w.in {
+			if m.batch != nil {
+				ing.UpdateBatch(m.batch)
+				if w.recycle != nil {
+					w.recycle(m.batch)
+				}
+			}
+			if m.do != nil {
+				m.do()
+				close(m.done)
+			}
+		}
+	}()
+	return w
+}
+
+// Send hands a batch to the worker, transferring ownership of the
+// slice. It blocks while the inbox is full — the backpressure that
+// keeps a slow shard from accumulating unbounded queued batches.
+func (w *Worker) Send(batch []stream.Update) {
+	if len(batch) == 0 {
+		return
+	}
+	w.in <- message{batch: batch}
+}
+
+// Do runs f in the worker goroutine after every previously sent batch
+// has been applied, and returns once f has run. With f == nil it is a
+// pure flush barrier.
+func (w *Worker) Do(f func()) {
+	if f == nil {
+		f = func() {}
+	}
+	done := make(chan struct{})
+	w.in <- message{do: f, done: done}
+	<-done
+}
+
+// DoAsync enqueues f like Do but returns immediately with the channel
+// that closes when f has run — the fan-out form used to snapshot many
+// shards concurrently.
+func (w *Worker) DoAsync(f func()) <-chan struct{} {
+	if f == nil {
+		f = func() {}
+	}
+	done := make(chan struct{})
+	w.in <- message{do: f, done: done}
+	return done
+}
+
+// Close stops the worker after draining every queued message and waits
+// for the goroutine to exit. The Worker must not be used afterwards.
+func (w *Worker) Close() {
+	close(w.in)
+	w.wg.Wait()
+}

@@ -1,0 +1,118 @@
+package shard
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// recorder counts applied updates and remembers their order.
+type recorder struct {
+	applied []stream.Update
+	batches int
+}
+
+func (r *recorder) UpdateBatch(batch []stream.Update) {
+	r.applied = append(r.applied, batch...)
+	r.batches++
+}
+
+func TestWorkerAppliesInOrder(t *testing.T) {
+	rec := &recorder{}
+	w := New(rec, 2, nil)
+	var want []stream.Update
+	for b := 0; b < 10; b++ {
+		batch := make([]stream.Update, 0, 16)
+		for i := 0; i < 16; i++ {
+			u := stream.Update{Index: uint64(b*16 + i), Delta: 1}
+			batch = append(batch, u)
+			want = append(want, u)
+		}
+		w.Send(batch)
+	}
+	w.Do(nil) // flush barrier
+	if len(rec.applied) != len(want) {
+		t.Fatalf("applied %d updates, want %d", len(rec.applied), len(want))
+	}
+	for i := range want {
+		if rec.applied[i] != want[i] {
+			t.Fatalf("update %d out of order: got %+v want %+v", i, rec.applied[i], want[i])
+		}
+	}
+	w.Close()
+}
+
+// TestWorkerDoIsBarrier checks Do observes every previously sent batch.
+func TestWorkerDoIsBarrier(t *testing.T) {
+	rec := &recorder{}
+	w := New(rec, 4, nil)
+	for b := 0; b < 7; b++ {
+		w.Send([]stream.Update{{Index: uint64(b), Delta: 1}})
+	}
+	var seen int
+	w.Do(func() { seen = len(rec.applied) })
+	if seen != 7 {
+		t.Fatalf("Do observed %d applied updates, want 7", seen)
+	}
+	w.Close()
+}
+
+// slowIngester blocks until released, so the inbox can be filled.
+type slowIngester struct {
+	release chan struct{}
+	n       atomic.Int64
+}
+
+func (s *slowIngester) UpdateBatch(batch []stream.Update) {
+	<-s.release
+	s.n.Add(int64(len(batch)))
+}
+
+// TestWorkerBackpressure: with a queue of 1 and a stalled ingester, a
+// sender must block rather than queue unbounded batches.
+func TestWorkerBackpressure(t *testing.T) {
+	ing := &slowIngester{release: make(chan struct{})}
+	w := New(ing, 1, nil)
+	// First batch is picked up by the goroutine (stalls in UpdateBatch),
+	// second fills the inbox; the third must block.
+	w.Send([]stream.Update{{Index: 1, Delta: 1}})
+	w.Send([]stream.Update{{Index: 2, Delta: 1}})
+	blocked := make(chan struct{})
+	go func() {
+		w.Send([]stream.Update{{Index: 3, Delta: 1}})
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("third Send did not block on a full inbox")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(ing.release) // drain
+	select {
+	case <-blocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Send still blocked after drain")
+	}
+	w.Do(nil)
+	if got := ing.n.Load(); got != 3 {
+		t.Fatalf("ingested %d updates, want 3", got)
+	}
+	w.Close()
+}
+
+// TestWorkerRecycle: applied batches come back through the recycle hook.
+func TestWorkerRecycle(t *testing.T) {
+	rec := &recorder{}
+	var recycled atomic.Int64
+	w := New(rec, 2, func(b []stream.Update) { recycled.Add(1) })
+	for b := 0; b < 5; b++ {
+		w.Send([]stream.Update{{Index: uint64(b), Delta: 1}})
+	}
+	w.Do(nil)
+	if got := recycled.Load(); got != 5 {
+		t.Fatalf("recycled %d batches, want 5", got)
+	}
+	w.Close()
+}

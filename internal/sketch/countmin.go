@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/hash"
@@ -115,6 +116,49 @@ func (cm *CountMin) SameHashes() *CountMin {
 	for i := range c.table {
 		c.table[i] = make([]int64, cm.cols)
 	}
+	return c
+}
+
+// Merge folds another Count-Min built from the same seed into this one
+// by coordinate-wise addition. other is not mutated.
+func (cm *CountMin) Merge(other *CountMin) error {
+	if other == nil {
+		return fmt.Errorf("sketch: merge with nil CountMin")
+	}
+	if cm.rows != other.rows || cm.cols != other.cols {
+		return fmt.Errorf("sketch: merging CountMins with different dimensions (%dx%d vs %dx%d)",
+			cm.rows, cm.cols, other.rows, other.cols)
+	}
+	for r := range cm.hs {
+		if !cm.hs[r].Equal(other.hs[r]) {
+			return fmt.Errorf("sketch: merging CountMins with different hash functions (same seed/params required)")
+		}
+	}
+	for r := range cm.table {
+		row, orow := cm.table[r], other.table[r]
+		for c := range row {
+			row[c] += orow[c]
+			if a := row[c]; a > cm.maxAbs {
+				cm.maxAbs = a
+			} else if -a > cm.maxAbs {
+				cm.maxAbs = -a
+			}
+		}
+	}
+	cm.total += other.total
+	if other.maxAbs > cm.maxAbs {
+		cm.maxAbs = other.maxAbs
+	}
+	return nil
+}
+
+// Clone returns a deep copy sharing the hash functions.
+func (cm *CountMin) Clone() *CountMin {
+	c := cm.SameHashes()
+	for r := range cm.table {
+		copy(c.table[r], cm.table[r])
+	}
+	c.maxAbs, c.total = cm.maxAbs, cm.total
 	return c
 }
 

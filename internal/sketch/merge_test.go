@@ -1,0 +1,126 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+// splitByIndex partitions a stream by index into `parts` substreams,
+// the same partition shape the sharded engine produces.
+func splitByIndex(s *stream.Stream, parts int) [][]stream.Update {
+	out := make([][]stream.Update, parts)
+	for _, u := range s.Updates {
+		p := int(u.Index) % parts
+		out[p] = append(out[p], u)
+	}
+	return out
+}
+
+// TestCountSketchMergeBitForBit: Count-Sketch is linear, so merging
+// same-seed sketches of split streams must reproduce the single-stream
+// table exactly, counter for counter.
+func TestCountSketchMergeBitForBit(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 1 << 12, Items: 20000, Alpha: 4, Zipf: 1.2, Seed: 3})
+	const seed = 99
+	whole := NewCountSketch(rand.New(rand.NewSource(seed)), 5, 128)
+	whole.UpdateBatch(s.Updates)
+
+	parts := splitByIndex(s, 3)
+	shards := make([]*CountSketch, len(parts))
+	for i, p := range parts {
+		shards[i] = NewCountSketch(rand.New(rand.NewSource(seed)), 5, 128)
+		shards[i].UpdateBatch(p)
+	}
+	merged := shards[0]
+	for _, sh := range shards[1:] {
+		if err := merged.Merge(sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := range whole.table {
+		for c := range whole.table[r] {
+			if merged.table[r][c] != whole.table[r][c] {
+				t.Fatalf("cell (%d,%d): merged %d, single-stream %d", r, c, merged.table[r][c], whole.table[r][c])
+			}
+		}
+	}
+	if merged.mass != whole.mass {
+		t.Fatalf("mass: merged %d, single-stream %d", merged.mass, whole.mass)
+	}
+}
+
+// TestCountSketchMergeRejectsDifferentSeeds: different hash wirings are
+// refused with an error, not silently combined.
+func TestCountSketchMergeRejectsDifferentSeeds(t *testing.T) {
+	a := NewCountSketch(rand.New(rand.NewSource(1)), 5, 128)
+	b := NewCountSketch(rand.New(rand.NewSource(2)), 5, 128)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging different-seed CountSketches should fail")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Fatal("merging nil should fail")
+	}
+}
+
+// TestCountMinMergeBitForBit mirrors the Count-Sketch test.
+func TestCountMinMergeBitForBit(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 1 << 12, Items: 20000, Alpha: 4, Zipf: 1.2, Seed: 4})
+	const seed = 7
+	whole := NewCountMin(rand.New(rand.NewSource(seed)), 5, 256)
+	whole.UpdateBatch(s.Updates)
+
+	parts := splitByIndex(s, 4)
+	merged := NewCountMin(rand.New(rand.NewSource(seed)), 5, 256)
+	merged.UpdateBatch(parts[0])
+	for _, p := range parts[1:] {
+		sh := NewCountMin(rand.New(rand.NewSource(seed)), 5, 256)
+		sh.UpdateBatch(p)
+		if err := merged.Merge(sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := range whole.table {
+		for c := range whole.table[r] {
+			if merged.table[r][c] != whole.table[r][c] {
+				t.Fatalf("cell (%d,%d): merged %d, single-stream %d", r, c, merged.table[r][c], whole.table[r][c])
+			}
+		}
+	}
+	if merged.total != whole.total {
+		t.Fatalf("total: merged %d, single-stream %d", merged.total, whole.total)
+	}
+	if err := merged.Merge(NewCountMin(rand.New(rand.NewSource(seed+1)), 5, 256)); err == nil {
+		t.Fatal("merging different-seed CountMins should fail")
+	}
+}
+
+// TestCountSketchCloneIsolated: a clone shares no mutable state.
+func TestCountSketchCloneIsolated(t *testing.T) {
+	cs := NewCountSketch(rand.New(rand.NewSource(5)), 5, 64)
+	cs.Update(10, 3)
+	c := cs.Clone()
+	c.Update(10, 40)
+	if cs.Query(10) == c.Query(10) {
+		t.Fatal("clone mutation leaked into the original")
+	}
+	if got := cs.Query(10); got != 3 {
+		t.Fatalf("original query = %d, want 3", got)
+	}
+}
+
+// TestCountMinCloneIsolated mirrors the Count-Sketch clone test.
+func TestCountMinCloneIsolated(t *testing.T) {
+	cm := NewCountMin(rand.New(rand.NewSource(6)), 4, 64)
+	cm.Update(10, 3)
+	c := cm.Clone()
+	c.Update(10, 40)
+	if got := cm.Query(10); got != 3 {
+		t.Fatalf("original query = %d, want 3", got)
+	}
+	if got := c.Query(10); got != 43 {
+		t.Fatalf("clone query = %d, want 43", got)
+	}
+}

@@ -142,6 +142,57 @@ func (r *Recovery) combine(other *Recovery, sign int64) {
 	}
 }
 
+// Compatible reports (as an error) whether another sketch has the same
+// dimensions and hash functions — coefficient equality, not pointer
+// identity, so sketches built independently from the same seed qualify.
+func (r *Recovery) Compatible(other *Recovery) error {
+	if other == nil {
+		return errors.New("sparse: nil sketch")
+	}
+	if other.capacity != r.capacity || other.perTable != r.perTable || other.universe != r.universe {
+		return errors.New("sparse: sketches have different dimensions")
+	}
+	for i := range r.hs {
+		if !r.hs[i].Equal(other.hs[i]) {
+			return errors.New("sparse: sketches use different hash functions (same seed required)")
+		}
+	}
+	if !r.fp.Equal(other.fp) {
+		return errors.New("sparse: sketches use different fingerprints (same seed required)")
+	}
+	return nil
+}
+
+// Merge folds another sketch built from the same seed into this one by
+// cell-wise addition — the sketch is linear, so the result sketches the
+// sum of the two frequency vectors exactly.
+func (r *Recovery) Merge(other *Recovery) error {
+	if err := r.Compatible(other); err != nil {
+		return err
+	}
+	for i := range r.cells {
+		oc := other.cells[i]
+		r.cells[i].count += oc.count
+		r.cells[i].keySum = nt.AddModMersenne61(r.cells[i].keySum, oc.keySum)
+		r.cells[i].fpSum = nt.AddModMersenne61(r.cells[i].fpSum, oc.fpSum)
+		if a := abs64(r.cells[i].count); a > r.maxCount {
+			r.maxCount = a
+		}
+	}
+	if other.maxCount > r.maxCount {
+		r.maxCount = other.maxCount
+	}
+	return nil
+}
+
+// Clone returns a deep copy sharing the (immutable) hash functions.
+func (r *Recovery) Clone() *Recovery {
+	c := r.Sibling()
+	copy(c.cells, r.cells)
+	c.maxCount = r.maxCount
+	return c
+}
+
 // Sibling returns an empty sketch sharing hash functions and dimensions,
 // so the two may later be combined with Add/Sub.
 func (r *Recovery) Sibling() *Recovery {

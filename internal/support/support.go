@@ -217,6 +217,63 @@ func (sp *Sampler) Recover() []uint64 {
 	return out
 }
 
+// Merge folds another support sampler built from the same seed into
+// this one: the rough-F0 tracker merges, levels maintained by both add
+// their (linear) sparse-recovery sketches cell-wise, levels maintained
+// by only one survive, and the window re-syncs at the merged estimate.
+// Each merged level sketch is the sum of two suffix frequency vectors
+// over disjoint time windows, so every strictly positive decoded
+// coordinate still belongs to the final support of a strict turnstile
+// stream — the property Recover relies on.
+func (sp *Sampler) Merge(other *Sampler) error {
+	if other == nil {
+		return fmt.Errorf("support: merge with nil Sampler")
+	}
+	if sp.params != other.params || sp.s != other.s || !sp.h.Equal(other.h) {
+		return fmt.Errorf("support: merging Samplers with different wiring (same seed/params required)")
+	}
+	if err := sp.proto.Compatible(other.proto); err != nil {
+		return fmt.Errorf("support: %w", err)
+	}
+	if err := sp.rough.Merge(other.rough); err != nil {
+		return err
+	}
+	for j, olv := range other.levels {
+		if lv, ok := sp.levels[j]; ok {
+			if err := lv.sketch.Merge(olv.sketch); err != nil {
+				return err
+			}
+		} else {
+			sp.levels[j] = &levelSketch{j: j, sketch: olv.sketch.Clone()}
+		}
+	}
+	if other.maxLiveLevels > sp.maxLiveLevels {
+		sp.maxLiveLevels = other.maxLiveLevels
+	}
+	sp.syncLevels()
+	return nil
+}
+
+// Clone returns a deep copy sharing the (immutable) hash functions and
+// sketch prototype.
+func (sp *Sampler) Clone() *Sampler {
+	c := &Sampler{
+		params:        sp.params,
+		s:             sp.s,
+		maxLevel:      sp.maxLevel,
+		h:             sp.h,
+		rough:         sp.rough.Clone(),
+		levels:        make(map[int]*levelSketch, len(sp.levels)),
+		proto:         sp.proto,
+		rng:           rand.New(rand.NewSource(sp.rng.Int63())),
+		maxLiveLevels: sp.maxLiveLevels,
+	}
+	for j, lv := range sp.levels {
+		c.levels[j] = &levelSketch{j: j, sketch: lv.sketch.Clone()}
+	}
+	return c
+}
+
 // LiveLevels reports the number of maintained level sketches.
 func (sp *Sampler) LiveLevels() int { return len(sp.levels) }
 

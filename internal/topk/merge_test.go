@@ -1,0 +1,114 @@
+package topk
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestMergeKeepsTopOfUnion: after a merge the tracked set is the
+// top-of-union under the supplied estimates, independent of which
+// tracker held which item.
+func TestMergeKeepsTopOfUnion(t *testing.T) {
+	est := func(i uint64) float64 { return float64(i) }
+	a := New(2) // retains up to 4 items (2x capacity)
+	b := New(2)
+	for _, i := range []uint64{1, 5, 9, 3} {
+		a.Offer(i, est(i))
+	}
+	for _, i := range []uint64{2, 8, 7, 4} {
+		b.Offer(i, est(i))
+	}
+	if err := a.Merge(b, est); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Candidates()
+	sort.Slice(got, func(x, y int) bool { return got[x] < got[y] })
+	want := []uint64{5, 7, 8, 9} // top 4 of the union {1..5,7,8,9}
+	if len(got) != len(want) {
+		t.Fatalf("merged candidates %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged candidates %v, want %v", got, want)
+		}
+	}
+}
+
+// TestMergeOrderIndependent: merging A into B and B into A yields the
+// same candidate set.
+func TestMergeOrderIndependent(t *testing.T) {
+	est := func(i uint64) float64 { return float64(i * 3 % 17) }
+	build := func(items []uint64) *Tracker {
+		tr := New(3)
+		for _, i := range items {
+			tr.Offer(i, est(i))
+		}
+		return tr
+	}
+	itemsA := []uint64{1, 2, 3, 4, 5, 6, 7}
+	itemsB := []uint64{8, 9, 10, 11, 12, 13}
+	ab := build(itemsA)
+	if err := ab.Merge(build(itemsB), est); err != nil {
+		t.Fatal(err)
+	}
+	ba := build(itemsB)
+	if err := ba.Merge(build(itemsA), est); err != nil {
+		t.Fatal(err)
+	}
+	ga, gb := ab.Candidates(), ba.Candidates()
+	sort.Slice(ga, func(x, y int) bool { return ga[x] < ga[y] })
+	sort.Slice(gb, func(x, y int) bool { return gb[x] < gb[y] })
+	if len(ga) != len(gb) {
+		t.Fatalf("merge not order independent: %v vs %v", ga, gb)
+	}
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("merge not order independent: %v vs %v", ga, gb)
+		}
+	}
+}
+
+// TestMergeRejectsCapacityMismatch.
+func TestMergeRejectsCapacityMismatch(t *testing.T) {
+	a, b := New(2), New(3)
+	if err := a.Merge(b, func(uint64) float64 { return 0 }); err == nil {
+		t.Fatal("merging different capacities should fail")
+	}
+}
+
+// TestCloneIsolated: clone shares nothing mutable with the original.
+func TestCloneIsolated(t *testing.T) {
+	a := New(2)
+	a.Offer(1, 10)
+	a.Offer(2, 20)
+	c := a.Clone()
+	c.Offer(3, 30)
+	c.Offer(4, 40)
+	c.Offer(5, 50) // evicts from the clone only
+	if a.Len() != 2 {
+		t.Fatalf("original tracks %d items after clone mutation, want 2", a.Len())
+	}
+	found := map[uint64]bool{}
+	for _, i := range a.Candidates() {
+		found[i] = true
+	}
+	if !found[1] || !found[2] {
+		t.Fatalf("original lost items after clone mutation: %v", a.Candidates())
+	}
+}
+
+// TestResetEmptiesIndex: offers after Reset behave like a fresh tracker.
+func TestResetEmptiesIndex(t *testing.T) {
+	a := New(2)
+	for i := uint64(0); i < 10; i++ {
+		a.Offer(i, float64(i))
+	}
+	a.Reset()
+	if a.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", a.Len())
+	}
+	a.Offer(3, 1)
+	if a.Len() != 1 || a.Candidates()[0] != 3 {
+		t.Fatalf("tracker broken after Reset: %v", a.Candidates())
+	}
+}

@@ -17,6 +17,7 @@
 package topk
 
 import (
+	"fmt"
 	"math/bits"
 
 	"repro/internal/nt"
@@ -215,6 +216,54 @@ func (t *Tracker) Candidates() []uint64 {
 
 // Len returns the current number of tracked items.
 func (t *Tracker) Len() int { return len(t.heap) }
+
+// Capacity returns the construction-time capacity (Compact's target).
+func (t *Tracker) Capacity() int { return t.cap }
+
+// Reset empties the tracker in place, keeping its capacity and index
+// storage.
+func (t *Tracker) Reset() {
+	t.heap = t.heap[:0]
+	for i := range t.idxSlots {
+		t.idxSlots[i] = -1
+	}
+}
+
+// Clone returns a deep copy.
+func (t *Tracker) Clone() *Tracker {
+	c := &Tracker{
+		cap:      t.cap,
+		limit:    t.limit,
+		heap:     append(make([]entry, 0, t.limit), t.heap...),
+		idxKeys:  append([]uint64(nil), t.idxKeys...),
+		idxSlots: append([]int32(nil), t.idxSlots...),
+		idxMask:  t.idxMask,
+		idxShift: t.idxShift,
+	}
+	return c
+}
+
+// Merge combines another tracker's candidate set into this one: the
+// union of both candidate sets is re-offered with estimates from est
+// (normally the merged sketch's Query), so the surviving set is the
+// top-limit of the union under the post-merge estimates. Because Offer
+// retains the top-limit set of distinct items regardless of insertion
+// order, the result is deterministic.
+func (t *Tracker) Merge(other *Tracker, est func(uint64) float64) error {
+	if other == nil {
+		return fmt.Errorf("topk: merge with nil Tracker")
+	}
+	if t.cap != other.cap {
+		return fmt.Errorf("topk: merging trackers with different capacities (%d vs %d)", t.cap, other.cap)
+	}
+	ids := t.Candidates()
+	ids = append(ids, other.Candidates()...)
+	t.Reset()
+	for _, id := range ids {
+		t.Offer(id, est(id))
+	}
+	return nil
+}
 
 // SpaceBits charges cap slots of (id, estimate) pairs over universe n.
 func (t *Tracker) SpaceBits(n uint64) int64 {

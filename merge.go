@@ -1,0 +1,146 @@
+package bounded
+
+// This file is the public face of the mergeability layer. Every sketch
+// in the library is a linear (or monotone) function of its input
+// stream, so two instances built from the SAME Config — same Seed, same
+// parameters — combine into the sketch of the concatenated stream:
+// counters add coordinate-wise, sampling schedules align, candidate
+// trackers re-rank under the merged estimates. That is what makes the
+// sharded ingest engine (package engine) possible: S single-writer
+// instances ingest disjoint substreams in parallel and queries are
+// answered from a merged snapshot.
+//
+// Contract shared by every Merge below:
+//
+//   - Both structures must have been built with identical Config (and
+//     any extra constructor arguments); mismatches return a descriptive
+//     error and leave the receiver unchanged where practical.
+//   - Merge may mutate other (e.g. thinning a CSSS table to align
+//     sampling rates); other must not be used afterwards. Merge clones
+//     when you need to keep the inputs.
+//   - Neither Merge nor Clone is safe concurrently with updates to the
+//     involved structures; the engine serializes them through its shard
+//     workers.
+//
+// Clone returns a deep snapshot sharing only immutable state (hash
+// functions), safe to hand to another goroutine while the original
+// keeps ingesting. InnerProduct is the one structure without a Merge:
+// it sketches TWO streams and its query is bilinear, so the engine's
+// single-partition ingest does not apply to it.
+
+import "fmt"
+
+// Merge folds another HeavyHitters built from the same Config into this
+// one; afterwards queries answer for the union of both input streams.
+func (h *HeavyHitters) Merge(other *HeavyHitters) error {
+	if other == nil {
+		return fmt.Errorf("bounded: merge with nil HeavyHitters")
+	}
+	return h.impl.Merge(other.impl)
+}
+
+// Clone returns a deep snapshot.
+func (h *HeavyHitters) Clone() *HeavyHitters {
+	return &HeavyHitters{impl: h.impl.Clone()}
+}
+
+// Merge folds another L1Estimator built from the same Config (and the
+// same strict flag) into this one.
+func (e *L1Estimator) Merge(other *L1Estimator) error {
+	if other == nil {
+		return fmt.Errorf("bounded: merge with nil L1Estimator")
+	}
+	if (e.strict != nil) != (other.strict != nil) {
+		return fmt.Errorf("bounded: merging strict and general L1Estimators")
+	}
+	if e.strict != nil {
+		return e.strict.Merge(other.strict)
+	}
+	return e.general.Merge(other.general)
+}
+
+// Clone returns a deep snapshot.
+func (e *L1Estimator) Clone() *L1Estimator {
+	if e.strict != nil {
+		return &L1Estimator{strict: e.strict.Clone()}
+	}
+	return &L1Estimator{general: e.general.Clone()}
+}
+
+// Merge folds another L0Estimator built from the same Config into this
+// one.
+func (e *L0Estimator) Merge(other *L0Estimator) error {
+	if other == nil {
+		return fmt.Errorf("bounded: merge with nil L0Estimator")
+	}
+	return e.impl.Merge(other.impl)
+}
+
+// Clone returns a deep snapshot.
+func (e *L0Estimator) Clone() *L0Estimator {
+	return &L0Estimator{impl: e.impl.Clone()}
+}
+
+// Merge folds another L1Sampler built from the same Config and copy
+// count into this one.
+func (s *L1Sampler) Merge(other *L1Sampler) error {
+	if other == nil {
+		return fmt.Errorf("bounded: merge with nil L1Sampler")
+	}
+	return s.impl.Merge(other.impl)
+}
+
+// Clone returns a deep snapshot.
+func (s *L1Sampler) Clone() *L1Sampler {
+	return &L1Sampler{impl: s.impl.Clone()}
+}
+
+// Merge folds another SupportSampler built from the same Config and k
+// into this one.
+func (s *SupportSampler) Merge(other *SupportSampler) error {
+	if other == nil {
+		return fmt.Errorf("bounded: merge with nil SupportSampler")
+	}
+	return s.impl.Merge(other.impl)
+}
+
+// Clone returns a deep snapshot.
+func (s *SupportSampler) Clone() *SupportSampler {
+	return &SupportSampler{impl: s.impl.Clone()}
+}
+
+// Merge folds another L2HeavyHitters built from the same Config into
+// this one.
+func (h *L2HeavyHitters) Merge(other *L2HeavyHitters) error {
+	if other == nil {
+		return fmt.Errorf("bounded: merge with nil L2HeavyHitters")
+	}
+	return h.impl.Merge(other.impl)
+}
+
+// Clone returns a deep snapshot.
+func (h *L2HeavyHitters) Clone() *L2HeavyHitters {
+	return &L2HeavyHitters{impl: h.impl.Clone()}
+}
+
+// Merge folds another SyncSketch built from the same Config and
+// capacity into this one: the sketch is linear, so the result sketches
+// the sum of both frequency vectors — shard-local sync sketches merge
+// into the sketch of the full stream before an exchange.
+func (s *SyncSketch) Merge(other *SyncSketch) error {
+	if other == nil || other.impl == nil {
+		return fmt.Errorf("bounded: merge with nil SyncSketch")
+	}
+	if s.impl == nil {
+		return fmt.Errorf("bounded: merge into zero-value SyncSketch (construct with NewSyncSketch or UnmarshalBinary first)")
+	}
+	return s.impl.Merge(other.impl)
+}
+
+// Clone returns a deep snapshot.
+func (s *SyncSketch) Clone() *SyncSketch {
+	if s.impl == nil {
+		return &SyncSketch{}
+	}
+	return &SyncSketch{impl: s.impl.Clone()}
+}

