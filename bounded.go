@@ -39,6 +39,8 @@ type Config struct {
 	// (>= 1). It scales sampling budgets and retention windows.
 	Alpha float64
 	// Seed drives all randomness; equal seeds give identical structures.
+	// Peers that intend to merge or exchange serialized sketches must
+	// construct them from identical Configs.
 	Seed int64
 }
 
@@ -47,10 +49,9 @@ func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
 // Validate reports whether the configuration is usable by every
 // constructor in this package. Historically bad values were silently
 // clamped (Alpha < 1) or misbehaved downstream (N outside the fast-range
-// hash's 2^44 bound, nonpositive Eps); now every public constructor
-// rejects them up front with a descriptive error. Call Validate directly
-// to check a configuration without constructing anything (the engine
-// package does exactly that and returns the error instead of panicking).
+// hash's 2^44 bound, nonpositive Eps); now every constructor rejects
+// them up front with a descriptive error. Call Validate directly to
+// check a configuration without constructing anything.
 func (c Config) Validate() error {
 	if c.N < 2 {
 		return fmt.Errorf("bounded: Config.N must be >= 2 (universe needs at least two indices), got %d", c.N)
@@ -70,34 +71,50 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// mustValidate is the constructor-side guard: public constructors have
-// no error return, so an invalid Config panics with Validate's message.
-func mustValidate(c Config) {
-	if err := c.Validate(); err != nil {
-		panic(err)
-	}
-}
-
 // HeavyHitters answers L1 epsilon-heavy-hitters queries on alpha-property
 // streams (Section 3 of the paper): it returns every i with
 // |f_i| >= eps ||f||_1 and no i with |f_i| < (eps/2) ||f||_1, with high
 // probability for strict turnstile streams (Theorem 4) and constant
 // probability for general turnstile streams (Theorem 3).
 type HeavyHitters struct {
-	impl *heavy.AlphaL1
+	cfg    Config
+	strict bool
+	impl   *heavy.AlphaL1
 }
 
-// NewHeavyHitters builds the structure. strict selects the exact-counter
-// L1 scale (valid only when no prefix frequency goes negative).
-func NewHeavyHitters(cfg Config, strict bool) *HeavyHitters {
-	mustValidate(cfg)
+// NewHeavyHitters builds the structure. By default it assumes the
+// strict turnstile model (exact-counter L1 scale, valid when no prefix
+// frequency goes negative); WithStrict(false) selects the general
+// turnstile variant.
+func NewHeavyHitters(cfg Config, opts ...Option) (*HeavyHitters, error) {
+	o, err := buildOptions("NewHeavyHitters", cfg, opts, optStrict)
+	if err != nil {
+		return nil, err
+	}
 	mode := heavy.General
-	if strict {
+	if o.strict {
 		mode = heavy.Strict
 	}
-	return &HeavyHitters{impl: heavy.NewAlphaL1(cfg.rng(), heavy.AlphaL1Params{
-		N: cfg.N, Eps: cfg.Eps, Mode: mode, Alpha: cfg.Alpha,
-	})}
+	return &HeavyHitters{
+		cfg:    cfg,
+		strict: o.strict,
+		impl: heavy.NewAlphaL1(cfg.rng(), heavy.AlphaL1Params{
+			N: cfg.N, Eps: cfg.Eps, Mode: mode, Alpha: cfg.Alpha,
+		}),
+	}, nil
+}
+
+// MustHeavyHitters is the historical positional constructor.
+//
+// Deprecated: use NewHeavyHitters(cfg, WithStrict(strict)); this
+// wrapper panics on an invalid Config and will be removed after one
+// release.
+func MustHeavyHitters(cfg Config, strict bool) *HeavyHitters {
+	h, err := NewHeavyHitters(cfg, WithStrict(strict))
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 // Update feeds one stream update.
@@ -121,21 +138,29 @@ func (h *HeavyHitters) SpaceBits() int64 { return h.impl.SpaceBits() }
 // eps): Figure 4 / Theorem 6 in the strict turnstile model (tiny space:
 // O(log(alpha/eps) + loglog n) bits), Theorem 8 in the general model.
 type L1Estimator struct {
+	cfg     Config
+	delta   float64
 	strict  *l1.AlphaEstimator
 	general *cauchy.SampledSketch
 }
 
-// NewL1Estimator builds the estimator; delta is the failure probability
-// (strict variant only).
-func NewL1Estimator(cfg Config, strict bool, delta float64) *L1Estimator {
-	mustValidate(cfg)
+// NewL1Estimator builds the estimator. By default it assumes the strict
+// turnstile model with failure probability 0.1; tune the latter with
+// WithFailureProb (strict variant only — combining WithFailureProb with
+// WithStrict(false) is an error, as is any delta outside (0,1); the
+// historical constructor silently replaced bad deltas with 0.1).
+func NewL1Estimator(cfg Config, opts ...Option) (*L1Estimator, error) {
+	o, err := buildOptions("NewL1Estimator", cfg, opts, optStrict, optFailure)
+	if err != nil {
+		return nil, err
+	}
+	if o.failureSet && !o.strict {
+		return nil, fmt.Errorf("bounded: WithFailureProb applies only to the strict L1 estimator (the general variant's failure probability is fixed by its row count)")
+	}
 	rng := cfg.rng()
-	if strict {
-		if delta <= 0 || delta >= 1 {
-			delta = 0.1
-		}
-		base := l1.RecommendedBase(cfg.Alpha, cfg.Eps, delta, cfg.N)
-		return &L1Estimator{strict: l1.New(rng, base)}
+	if o.strict {
+		base := l1.RecommendedBase(cfg.Alpha, cfg.Eps, o.failureProb, cfg.N)
+		return &L1Estimator{cfg: cfg, delta: o.failureProb, strict: l1.New(rng, base)}, nil
 	}
 	r := int(4 / (cfg.Eps * cfg.Eps))
 	if r < 16 {
@@ -145,7 +170,26 @@ func NewL1Estimator(cfg Config, strict bool, delta float64) *L1Estimator {
 	if base < 16 {
 		base = 16
 	}
-	return &L1Estimator{general: l1.NewGeneral(rng, r, 32, 6, base, 10)}
+	return &L1Estimator{cfg: cfg, delta: o.failureProb, general: l1.NewGeneral(rng, r, 32, 6, base, 10)}, nil
+}
+
+// MustL1Estimator is the historical positional constructor, including
+// its silent replacement of an out-of-range delta with 0.1.
+//
+// Deprecated: use NewL1Estimator(cfg, WithStrict(strict),
+// WithFailureProb(delta)), which rejects bad deltas instead of
+// clamping; this wrapper panics on an invalid Config and will be
+// removed after one release.
+func MustL1Estimator(cfg Config, strict bool, delta float64) *L1Estimator {
+	opts := []Option{WithStrict(strict)}
+	if strict && delta > 0 && delta < 1 {
+		opts = append(opts, WithFailureProb(delta))
+	}
+	e, err := NewL1Estimator(cfg, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return e
 }
 
 // Update feeds one stream update.
@@ -187,16 +231,34 @@ func (e *L1Estimator) SpaceBits() int64 {
 // subsampling rows are kept live, replacing the turnstile
 // eps^-2 log n with eps^-2 log(alpha/eps) + log n.
 type L0Estimator struct {
+	cfg  Config
 	impl *l0.Estimator
 }
 
 // NewL0Estimator builds the windowed estimator.
-func NewL0Estimator(cfg Config) *L0Estimator {
-	mustValidate(cfg)
-	return &L0Estimator{impl: l0.NewEstimator(cfg.rng(), l0.Params{
-		N: cfg.N, Eps: cfg.Eps,
-		Windowed: true, Window: l0.RecommendedWindow(cfg.Alpha, cfg.Eps),
-	})}
+func NewL0Estimator(cfg Config, opts ...Option) (*L0Estimator, error) {
+	if _, err := buildOptions("NewL0Estimator", cfg, opts); err != nil {
+		return nil, err
+	}
+	return &L0Estimator{
+		cfg: cfg,
+		impl: l0.NewEstimator(cfg.rng(), l0.Params{
+			N: cfg.N, Eps: cfg.Eps,
+			Windowed: true, Window: l0.RecommendedWindow(cfg.Alpha, cfg.Eps),
+		}),
+	}, nil
+}
+
+// MustL0Estimator is the historical positional constructor.
+//
+// Deprecated: use NewL0Estimator(cfg); this wrapper panics on an
+// invalid Config and will be removed after one release.
+func MustL0Estimator(cfg Config) *L0Estimator {
+	e, err := NewL0Estimator(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
 }
 
 // Update feeds one stream update.
@@ -223,23 +285,50 @@ type Sample = sampler.Result
 // L1Sampler is the Figure 3 / Theorem 5 perfect L1 sampler for strict
 // turnstile strong alpha-property streams.
 type L1Sampler struct {
-	impl *sampler.Sampler
+	cfg    Config
+	copies int
+	impl   *sampler.Sampler
 }
 
-// NewL1Sampler builds the sampler with `copies` parallel instances (each
-// succeeds with probability Theta(eps); 2/eps copies give constant
-// failure probability; pass 0 for that default).
-func NewL1Sampler(cfg Config, copies int) *L1Sampler {
-	mustValidate(cfg)
+// NewL1Sampler builds the sampler. WithCopies sets the number of
+// parallel instances (each succeeds with probability Theta(eps)); the
+// default 2/eps copies give constant failure probability.
+func NewL1Sampler(cfg Config, opts ...Option) (*L1Sampler, error) {
+	o, err := buildOptions("NewL1Sampler", cfg, opts, optCopies)
+	if err != nil {
+		return nil, err
+	}
+	copies := o.copies
 	if copies <= 0 {
 		copies = int(2 / cfg.Eps)
 		if copies < 4 {
 			copies = 4
 		}
 	}
-	return &L1Sampler{impl: sampler.New(cfg.rng(), sampler.Params{
-		N: cfg.N, Eps: cfg.Eps, Alpha: cfg.Alpha,
-	}, copies)}
+	return &L1Sampler{
+		cfg:    cfg,
+		copies: copies,
+		impl: sampler.New(cfg.rng(), sampler.Params{
+			N: cfg.N, Eps: cfg.Eps, Alpha: cfg.Alpha,
+		}, copies),
+	}, nil
+}
+
+// MustL1Sampler is the historical positional constructor (copies <= 0
+// selects the default).
+//
+// Deprecated: use NewL1Sampler(cfg, WithCopies(copies)); this wrapper
+// panics on an invalid Config and will be removed after one release.
+func MustL1Sampler(cfg Config, copies int) *L1Sampler {
+	var opts []Option
+	if copies > 0 {
+		opts = append(opts, WithCopies(copies))
+	}
+	s, err := NewL1Sampler(cfg, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Update feeds one stream update.
@@ -260,16 +349,38 @@ func (s *L1Sampler) SpaceBits() int64 { return s.impl.SpaceBits() }
 // SupportSampler returns at least min(k, ||f||_0) support coordinates of
 // a strict turnstile L0 alpha-property stream (Figure 8 / Theorem 11).
 type SupportSampler struct {
+	cfg  Config
+	k    int
 	impl *support.Sampler
 }
 
-// NewSupportSampler builds the sampler for k requested coordinates.
-func NewSupportSampler(cfg Config, k int) *SupportSampler {
-	mustValidate(cfg)
-	return &SupportSampler{impl: support.NewSampler(cfg.rng(), support.Params{
-		N: cfg.N, K: k,
-		Windowed: true, Window: support.RecommendedWindow(cfg.Alpha),
-	})}
+// NewSupportSampler builds the sampler; WithK sets the number of
+// requested coordinates (default 32).
+func NewSupportSampler(cfg Config, opts ...Option) (*SupportSampler, error) {
+	o, err := buildOptions("NewSupportSampler", cfg, opts, optK)
+	if err != nil {
+		return nil, err
+	}
+	return &SupportSampler{
+		cfg: cfg,
+		k:   o.k,
+		impl: support.NewSampler(cfg.rng(), support.Params{
+			N: cfg.N, K: o.k,
+			Windowed: true, Window: support.RecommendedWindow(cfg.Alpha),
+		}),
+	}, nil
+}
+
+// MustSupportSampler is the historical positional constructor.
+//
+// Deprecated: use NewSupportSampler(cfg, WithK(k)); this wrapper panics
+// on an invalid Config and will be removed after one release.
+func MustSupportSampler(cfg Config, k int) *SupportSampler {
+	s, err := NewSupportSampler(cfg, WithK(k))
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Update feeds one stream update.
@@ -287,29 +398,55 @@ func (s *SupportSampler) SpaceBits() int64 { return s.impl.SpaceBits() }
 // InnerProduct estimates <f, g> between two alpha-property streams to
 // additive eps ||f||_1 ||g||_1 (Theorem 2).
 type InnerProduct struct {
+	cfg  Config
 	impl *inner.Estimator
 }
 
 // NewInnerProduct builds the estimator. The sample budget grows with
 // alpha^2/eps as in the paper's s = poly(alpha/eps).
-func NewInnerProduct(cfg Config) *InnerProduct {
-	mustValidate(cfg)
+func NewInnerProduct(cfg Config, opts ...Option) (*InnerProduct, error) {
+	if _, err := buildOptions("NewInnerProduct", cfg, opts); err != nil {
+		return nil, err
+	}
 	base := int64(16 * cfg.Alpha * cfg.Alpha / cfg.Eps)
 	if base < 16 {
 		base = 16
 	}
-	return &InnerProduct{impl: inner.New(cfg.rng(), inner.Params{
-		N: cfg.N, Eps: cfg.Eps, Base: base, Rows: 5,
-	})}
+	return &InnerProduct{
+		cfg: cfg,
+		impl: inner.New(cfg.rng(), inner.Params{
+			N: cfg.N, Eps: cfg.Eps, Base: base, Rows: 5,
+		}),
+	}, nil
 }
 
-// UpdateF feeds an update to the first stream.
+// MustInnerProduct is the historical positional constructor.
+//
+// Deprecated: use NewInnerProduct(cfg); this wrapper panics on an
+// invalid Config and will be removed after one release.
+func MustInnerProduct(cfg Config) *InnerProduct {
+	ip, err := NewInnerProduct(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// Update feeds an update to the FIRST stream f — the Sketch-interface
+// ingest path. Use UpdateG for the second stream g.
+func (ip *InnerProduct) Update(i uint64, delta int64) { ip.impl.UpdateF(i, delta) }
+
+// UpdateBatch feeds a batch of updates to the first stream f.
+func (ip *InnerProduct) UpdateBatch(batch []Update) { ip.impl.UpdateBatchF(batch) }
+
+// UpdateF feeds an update to the first stream (alias of Update).
 func (ip *InnerProduct) UpdateF(i uint64, delta int64) { ip.impl.UpdateF(i, delta) }
 
 // UpdateG feeds an update to the second stream.
 func (ip *InnerProduct) UpdateG(i uint64, delta int64) { ip.impl.UpdateG(i, delta) }
 
-// UpdateBatchF feeds a batch of updates to the first stream.
+// UpdateBatchF feeds a batch of updates to the first stream (alias of
+// UpdateBatch).
 func (ip *InnerProduct) UpdateBatchF(batch []Update) { ip.impl.UpdateBatchF(batch) }
 
 // UpdateBatchG feeds a batch of updates to the second stream.
@@ -332,15 +469,37 @@ var ErrDense = sparse.ErrDense
 // coordinates on which the two frequency vectors differ — provided
 // there are at most `capacity` of them (otherwise ErrDense).
 type SyncSketch struct {
-	impl *sparse.Recovery
+	cfg      Config
+	capacity int
+	impl     *sparse.Recovery
 }
 
-// NewSyncSketch builds a sketch able to recover up to capacity
-// differing coordinates. Peers that intend to exchange sketches must
-// use identical cfg.Seed, cfg.N and capacity.
-func NewSyncSketch(cfg Config, capacity int) *SyncSketch {
-	mustValidate(cfg)
-	return &SyncSketch{impl: sparse.NewRecovery(cfg.rng(), capacity, cfg.N)}
+// NewSyncSketch builds a sketch able to recover up to WithCapacity
+// (default 256) differing coordinates. Peers that intend to exchange
+// sketches must use identical cfg (Seed and N included) and capacity.
+func NewSyncSketch(cfg Config, opts ...Option) (*SyncSketch, error) {
+	o, err := buildOptions("NewSyncSketch", cfg, opts, optCapacity)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncSketch{
+		cfg:      cfg,
+		capacity: o.capacity,
+		impl:     sparse.NewRecovery(cfg.rng(), o.capacity, cfg.N),
+	}, nil
+}
+
+// MustSyncSketch is the historical positional constructor.
+//
+// Deprecated: use NewSyncSketch(cfg, WithCapacity(capacity)); this
+// wrapper panics on an invalid Config and will be removed after one
+// release.
+func MustSyncSketch(cfg Config, capacity int) *SyncSketch {
+	s, err := NewSyncSketch(cfg, WithCapacity(capacity))
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Update feeds one stream update.
@@ -349,37 +508,22 @@ func (s *SyncSketch) Update(i uint64, delta int64) { s.impl.Update(i, delta) }
 // UpdateBatch feeds a batch of updates in one call.
 func (s *SyncSketch) UpdateBatch(batch []Update) { s.impl.UpdateBatch(batch) }
 
-// MarshalBinary serializes the sketch for transmission.
-func (s *SyncSketch) MarshalBinary() ([]byte, error) { return s.impl.MarshalBinary() }
-
-// UnmarshalBinary restores a transmitted sketch. It works on a
-// zero-value receiver — `var s SyncSketch; s.UnmarshalBinary(wire)` is
-// the receive side of an exchange, no prior NewSyncSketch needed — and
-// on failure leaves the receiver as it was instead of installing a
-// half-initialized sketch.
-func (s *SyncSketch) UnmarshalBinary(data []byte) error {
-	impl := s.impl
-	if impl == nil {
-		impl = &sparse.Recovery{}
-	}
-	if err := impl.UnmarshalBinary(data); err != nil {
-		return err
-	}
-	s.impl = impl
-	return nil
-}
-
 // SubRemote subtracts a peer's serialized sketch (built with the same
-// seed) from this one, leaving the sketch of the difference vector. On
-// a zero-value receiver that has not restored any state yet it returns
-// a descriptive error instead of panicking: an empty receiver has no
-// hash wiring to subtract against — call UnmarshalBinary (or
-// NewSyncSketch plus updates) first.
+// seed) from this one, leaving the sketch of the difference vector. It
+// accepts both the enveloped MarshalBinary format and the historical
+// raw frame. On a zero-value receiver that has not restored any state
+// yet it returns a descriptive error instead of panicking: an empty
+// receiver has no hash wiring to subtract against — call
+// UnmarshalBinary (or NewSyncSketch plus updates) first.
 func (s *SyncSketch) SubRemote(data []byte) error {
 	if s.impl == nil {
 		return fmt.Errorf("bounded: SubRemote on zero-value SyncSketch; restore it with UnmarshalBinary (or build it with NewSyncSketch) first")
 	}
-	return s.impl.SubRemote(data)
+	payload, err := syncPayload(data)
+	if err != nil {
+		return err
+	}
+	return s.impl.SubRemote(payload)
 }
 
 // Decode recovers the sketched (difference) vector exactly, or returns
@@ -399,13 +543,31 @@ func (s *SyncSketch) SpaceBits() int64 { return s.impl.SpaceBits() }
 // streams (Appendix A): every i with |f_i| >= eps ||f||_2 is returned
 // and no i with |f_i| < (eps/2) ||f||_2, using O((alpha/eps)^2) space.
 type L2HeavyHitters struct {
+	cfg  Config
 	impl *heavy.AlphaL2
 }
 
 // NewL2HeavyHitters builds the Appendix A structure.
-func NewL2HeavyHitters(cfg Config) *L2HeavyHitters {
-	mustValidate(cfg)
-	return &L2HeavyHitters{impl: heavy.NewAlphaL2(cfg.rng(), cfg.N, cfg.Eps, cfg.Alpha)}
+func NewL2HeavyHitters(cfg Config, opts ...Option) (*L2HeavyHitters, error) {
+	if _, err := buildOptions("NewL2HeavyHitters", cfg, opts); err != nil {
+		return nil, err
+	}
+	return &L2HeavyHitters{
+		cfg:  cfg,
+		impl: heavy.NewAlphaL2(cfg.rng(), cfg.N, cfg.Eps, cfg.Alpha),
+	}, nil
+}
+
+// MustL2HeavyHitters is the historical positional constructor.
+//
+// Deprecated: use NewL2HeavyHitters(cfg); this wrapper panics on an
+// invalid Config and will be removed after one release.
+func MustL2HeavyHitters(cfg Config) *L2HeavyHitters {
+	h, err := NewL2HeavyHitters(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 // Update feeds one stream update.

@@ -61,6 +61,15 @@ type experiment struct {
 	run   func() *core.Table
 }
 
+// must unwraps a constructor result; bdbench always builds from valid
+// in-tree configurations.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func main() {
 	flag.Parse()
 	alphas := parseAlphas(*alphaList)
@@ -82,6 +91,7 @@ func main() {
 		{"A1", "Appendix A — L2 heavy hitters", func() *core.Table { return l2Table(alphas) }},
 		{"LB", "Sec 8 — adversarial augmented-indexing instance", lbTable},
 		{"ENG", "Engine — sharded concurrent ingest vs single writer (F1.1 workload)", engTable},
+		{"SER", "Serialization — wire size and marshal/unmarshal cost per structure", serTable},
 		{"AB1", "Ablation — CSSS vs dense Count-Sketch at equal dims", ab1Table},
 		{"AB2", "Ablation — Fig 7 window width", ab2Table},
 		{"AB3", "Ablation — Morris vs exact clock in Fig 4", ab3Table},
@@ -419,13 +429,70 @@ func supportTable(alphas []float64) *core.Table {
 // heavy-hitters answer (the differential guarantee), wall-clock ingest
 // time across shard counts, and the aggregate space cost of S-way
 // parallelism. Producers equal shards; scaling needs cores.
+// serTable measures the wire format: serialized size and
+// marshal/unmarshal latency per public structure on the Fig1 workload —
+// the cost of shipping each summary to a peer (examples/distributedmerge
+// and engine.Snapshot pay exactly these).
+func serTable() *core.Table {
+	t := &core.Table{Headers: []string{"bytes", "marshal", "unmarshal", "sketch bits"}}
+	const n = 1 << 14
+	cfg := bounded.Config{N: n, Eps: 0.05, Alpha: 4, Seed: *seed}
+	s := gen.BoundedDeletion(gen.Config{N: n, Items: 50000, Alpha: 4, Zipf: 1.3, Seed: *seed})
+
+	structures := []struct {
+		name string
+		make func() (bounded.Sketch, error)
+	}{
+		{"HeavyHitters", func() (bounded.Sketch, error) { return bounded.NewHeavyHitters(cfg) }},
+		{"L1Estimator", func() (bounded.Sketch, error) { return bounded.NewL1Estimator(cfg) }},
+		{"L0Estimator", func() (bounded.Sketch, error) { return bounded.NewL0Estimator(cfg) }},
+		{"L1Sampler", func() (bounded.Sketch, error) {
+			return bounded.NewL1Sampler(bounded.Config{N: n, Eps: 0.25, Alpha: 4, Seed: *seed}, bounded.WithCopies(4))
+		}},
+		{"SupportSampler", func() (bounded.Sketch, error) { return bounded.NewSupportSampler(cfg, bounded.WithK(32)) }},
+		{"InnerProduct", func() (bounded.Sketch, error) { return bounded.NewInnerProduct(cfg) }},
+		{"L2HeavyHitters", func() (bounded.Sketch, error) {
+			return bounded.NewL2HeavyHitters(bounded.Config{N: n, Eps: 0.1, Alpha: 4, Seed: *seed})
+		}},
+		{"SyncSketch", func() (bounded.Sketch, error) { return bounded.NewSyncSketch(cfg, bounded.WithCapacity(256)) }},
+	}
+	for _, sc := range structures {
+		sk := must(sc.make())
+		sk.UpdateBatch(s.Updates)
+		// Median-of-reps marshal and unmarshal timings.
+		var data []byte
+		var marshalNS, unmarshalNS []float64
+		rounds := 3 * *reps
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			var err error
+			data, err = sk.MarshalBinary()
+			if err != nil {
+				panic(err)
+			}
+			marshalNS = append(marshalNS, float64(time.Since(start).Nanoseconds()))
+			start = time.Now()
+			if _, err := bounded.UnmarshalSketch(data); err != nil {
+				panic(err)
+			}
+			unmarshalNS = append(unmarshalNS, float64(time.Since(start).Nanoseconds()))
+		}
+		t.Add(sc.name,
+			fmt.Sprintf("%d", len(data)),
+			time.Duration(median(marshalNS)).String(),
+			time.Duration(median(unmarshalNS)).String(),
+			core.HumanBits(sk.SpaceBits()))
+	}
+	return t
+}
+
 func engTable() *core.Table {
 	t := &core.Table{Headers: []string{"ingest", "speedup", "answers", "bits"}}
 	const n, eps, alpha = 1 << 16, 0.05, 8.0
 	cfg := bounded.Config{N: n, Eps: eps, Alpha: alpha, Seed: *seed}
 	s := gen.BoundedDeletion(gen.Config{N: n, Items: 200000, Alpha: alpha, Zipf: 1.5, Seed: *seed})
 
-	single := bounded.NewHeavyHitters(cfg, true)
+	single := must(bounded.NewHeavyHitters(cfg))
 	start := time.Now()
 	single.UpdateBatch(s.Updates)
 	baseTime := time.Since(start)

@@ -34,6 +34,15 @@ var (
 	seed    = flag.Int64("seed", 1, "random seed")
 )
 
+// must unwraps a constructor result, exiting on a bad configuration.
+func must[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bdquery: %v\n", err)
+		os.Exit(2)
+	}
+	return v
+}
+
 func main() {
 	flag.Parse()
 	updates, fileN, err := readStream(*in)
@@ -71,7 +80,7 @@ func main() {
 		fmt.Printf("strict         : %v\n", truth.Strict)
 		fmt.Printf("||f||_1, ||f||_0: %d, %d\n", truth.F.L1(), truth.F.L0())
 	case "hh":
-		h := bounded.NewHeavyHitters(cfg, true)
+		h := must(bounded.NewHeavyHitters(cfg))
 		for _, u := range updates {
 			h.Update(u.Index, u.Delta)
 			truth.Update(u)
@@ -80,7 +89,7 @@ func main() {
 		fmt.Printf("true    : %v\n", truth.F.HeavyHitters(*eps))
 		fmt.Printf("space   : %d bits\n", h.SpaceBits())
 	case "l2hh":
-		h := bounded.NewL2HeavyHitters(cfg)
+		h := must(bounded.NewL2HeavyHitters(cfg))
 		for _, u := range updates {
 			h.Update(u.Index, u.Delta)
 			truth.Update(u)
@@ -89,7 +98,7 @@ func main() {
 		fmt.Printf("true    : %v\n", truth.F.L2HeavyHitters(*eps))
 		fmt.Printf("space   : %d bits\n", h.SpaceBits())
 	case "l1":
-		e := bounded.NewL1Estimator(cfg, true, 0.05)
+		e := must(bounded.NewL1Estimator(cfg, bounded.WithFailureProb(0.05)))
 		for _, u := range updates {
 			e.Update(u.Index, u.Delta)
 			truth.Update(u)
@@ -97,7 +106,7 @@ func main() {
 		fmt.Printf("estimate: %.0f (true %d)\n", e.Estimate(), truth.F.L1())
 		fmt.Printf("space   : %d bits\n", e.SpaceBits())
 	case "l0":
-		e := bounded.NewL0Estimator(cfg)
+		e := must(bounded.NewL0Estimator(cfg))
 		for _, u := range updates {
 			e.Update(u.Index, u.Delta)
 			truth.Update(u)
@@ -106,7 +115,7 @@ func main() {
 		fmt.Printf("rows    : %d live\n", e.LiveRows())
 		fmt.Printf("space   : %d bits\n", e.SpaceBits())
 	case "sample":
-		sp := bounded.NewL1Sampler(cfg, 0)
+		sp := must(bounded.NewL1Sampler(cfg))
 		for _, u := range updates {
 			sp.Update(u.Index, u.Delta)
 			truth.Update(u)
@@ -119,7 +128,7 @@ func main() {
 		}
 		fmt.Printf("space   : %d bits\n", sp.SpaceBits())
 	case "support":
-		sp := bounded.NewSupportSampler(cfg, *k)
+		sp := must(bounded.NewSupportSampler(cfg, bounded.WithK(*k)))
 		for _, u := range updates {
 			sp.Update(u.Index, u.Delta)
 			truth.Update(u)

@@ -41,10 +41,61 @@
 //   - NewL2HeavyHitters — Appendix A
 //   - NewTracker — exact alpha-property measurement (Definitions 1, 2)
 //
-// Every structure reports SpaceBits(), an information-theoretic space
-// account in the paper's cost model, which the benchmark harness uses
-// to regenerate Figure 1 empirically. All randomness is seeded and
-// deterministic.
+// Constructors share one shape: NewX(cfg Config, opts ...Option)
+// (*X, error). The Config carries the universal parameters (universe
+// size, accuracy, assumed alpha, seed); functional options carry the
+// structure-specific knobs — WithStrict selects the turnstile model
+// (strict is the default), WithFailureProb tunes the strict L1
+// estimator, WithCopies the sampler's parallel instances, WithK the
+// support budget, WithCapacity the sync sketch's sparsity. Invalid
+// configurations and out-of-range or non-applicable options return
+// descriptive errors; nothing is silently clamped (the historical API
+// replaced a bad L1 failure probability with 0.1 — that bug class is
+// gone). The positional panicking constructors survive one release as
+// deprecated Must* wrappers.
+//
+// Every structure implements the Sketch interface —
+//
+//	Update(i uint64, delta int64)
+//	UpdateBatch(batch []Update)
+//	Merge(other Sketch) error
+//	Clone() Sketch
+//	SpaceBits() int64
+//	MarshalBinary() ([]byte, error)
+//	UnmarshalBinary([]byte) error
+//
+// — so generic code (the engine, a network shipper, a checkpointer)
+// handles all eight uniformly. SpaceBits is an information-theoretic
+// space account in the paper's cost model, which the benchmark harness
+// uses to regenerate Figure 1 empirically. All randomness is seeded
+// and deterministic.
+//
+// # Serialization: sketches cross process boundaries
+//
+// The paper's headline scenarios — distributed monitoring, file
+// synchronization — have each site build a small linear sketch and
+// ship it for merging elsewhere. MarshalBinary implements exactly
+// that: a versioned, self-describing envelope (magic, kind byte,
+// format version, Config echo) around the structure's state INCLUDING
+// its hash coefficients, so the receiver reconstructs the identical
+// linear map. UnmarshalBinary works on a zero-value receiver;
+// UnmarshalSketch dispatches on the kind byte when the receiver does
+// not know what it was sent; SketchKind peeks without restoring.
+//
+//	wire, _ := siteSketch.MarshalBinary()      // site: serialize
+//	sk, err := bounded.UnmarshalSketch(wire)   // coordinator: restore
+//	err = coordinator.Merge(sk)                // ... and merge
+//
+// In the sketches' exact regimes, marshal → ship → unmarshal → Merge
+// is bit-identical to an in-process Clone + Merge (asserted by
+// differential tests on the Fig1 workload for every structure), and
+// the restored structure keeps ingesting: counters, sampling clocks,
+// candidate trackers and norm scales all round-trip. Corrupt,
+// truncated, or wrong-version payloads return errors, never panic —
+// enforced by the FuzzUnmarshal target CI runs. The engine exposes the
+// same mechanics at aggregate level via Engine.Snapshot/Restore;
+// examples/distributedmerge runs the whole exchange across real OS
+// processes.
 //
 // # Performance
 //
@@ -104,22 +155,25 @@
 // channels whose blocking IS the backpressure), hash-partitions every
 // ingested batch across them with the library's fast-range hash, and
 // answers queries from merged snapshots. That design leans on the
-// mergeability layer in this package: every structure here exposes
+// mergeability layer in this package: every structure exposes the
+// Sketch interface's
 //
-//	Merge(other) error  // fold a same-Config instance in; counters add
-//	Clone()             // deep snapshot, safe to merge/query elsewhere
+//	Merge(other Sketch) error  // fold a same-Config instance in; counters add
+//	Clone() Sketch             // deep snapshot, safe to merge/query elsewhere
 //
 // because all of the paper's sketches are linear (or monotone) in their
 // input stream — Count-Sketch/CSSS tables add coordinate-wise (CSSS
 // aligns sampling rates by extra halvings first), subsampling bins add
 // modulo the shared prime, candidate trackers re-rank the union under
-// merged estimates. Merge requires both instances to come from the SAME
+// merged estimates, and InnerProduct's f- and g-sketches each add
+// coordinate-wise. Merge requires both instances to come from the SAME
 // Config (seed included) and reports a descriptive error otherwise; in
 // the sketches' exact regimes a merged snapshot is bit-identical to a
 // single-writer structure fed the concatenated stream, which the
-// engine's differential tests assert. InnerProduct is the one structure
-// without Merge: it sketches two streams and its query is bilinear, so
-// single-partition ingest does not apply.
+// engine's differential tests assert. One caveat: InnerProduct
+// sketches TWO streams, so the engine's single-partition Ingest does
+// not feed it — merge InnerProduct instances directly (each site calls
+// UpdateF/UpdateG) rather than through engine shards.
 //
 // Pick the engine when ingest throughput is the bottleneck and cores
 // are available (producers can be many goroutines; Ingest is
@@ -129,8 +183,8 @@
 // walks the full pattern end to end.
 //
 // Invalid configurations no longer clamp silently: Config.Validate
-// rejects N < 2, N > 2^44, Eps outside (0,1) and Alpha < 1, every
-// public constructor panics with that error, and engine.New returns it.
+// rejects N < 2, N > 2^44, Eps outside (0,1) and Alpha < 1, and every
+// constructor — engine.New included — returns that error.
 //
 // See DESIGN.md for the system inventory and the laptop-scale parameter
 // substitutions, and EXPERIMENTS.md for measured results per table and

@@ -82,7 +82,7 @@ func benchEngineIngest(b *testing.B, shards int) {
 // point for the shards=1 overhead and the scaling ratio.
 func BenchmarkSingleWriterBaseline(b *testing.B) {
 	s, _ := fig1Stream(42)
-	hh := bounded.NewHeavyHitters(testCfg, true)
+	hh := bounded.MustHeavyHitters(testCfg, true)
 	b.ReportAllocs()
 	b.ResetTimer()
 	const chunk = 2048

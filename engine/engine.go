@@ -100,7 +100,8 @@ type Options struct {
 	// SyncCapacity is the sync sketch's recoverable sparsity (default 256).
 	SyncCapacity int
 	// L1Delta is the strict L1 estimator's failure probability (0 = its
-	// default).
+	// default; out-of-range values are rejected by engine.New). The
+	// general variant (General: true) has no delta knob and ignores it.
 	L1Delta float64
 }
 
@@ -141,30 +142,59 @@ type structSet struct {
 	syn *bounded.SyncSketch
 }
 
-func newStructSet(cfg bounded.Config, o Options) *structSet {
+func newStructSet(cfg bounded.Config, o Options) (*structSet, error) {
 	s := &structSet{}
+	var err error
 	if o.Structures&HeavyHitters != 0 {
-		s.hh = bounded.NewHeavyHitters(cfg, !o.General)
+		if s.hh, err = bounded.NewHeavyHitters(cfg, bounded.WithStrict(!o.General)); err != nil {
+			return nil, err
+		}
 	}
 	if o.Structures&L1Estimator != 0 {
-		s.l1 = bounded.NewL1Estimator(cfg, !o.General, o.L1Delta)
+		opts := []bounded.Option{bounded.WithStrict(!o.General)}
+		// L1Delta == 0 means "the constructor's default"; any other value
+		// goes through WithFailureProb so an out-of-range delta surfaces
+		// as NewL1Estimator's descriptive error instead of being clamped.
+		// The general variant has no delta knob (its failure probability
+		// is fixed by its row count), so L1Delta is ignored there as it
+		// always was.
+		if o.L1Delta != 0 && !o.General {
+			opts = append(opts, bounded.WithFailureProb(o.L1Delta))
+		}
+		if s.l1, err = bounded.NewL1Estimator(cfg, opts...); err != nil {
+			return nil, err
+		}
 	}
 	if o.Structures&L0Estimator != 0 {
-		s.l0 = bounded.NewL0Estimator(cfg)
+		if s.l0, err = bounded.NewL0Estimator(cfg); err != nil {
+			return nil, err
+		}
 	}
 	if o.Structures&L1Sampler != 0 {
-		s.smp = bounded.NewL1Sampler(cfg, o.SamplerCopies)
+		var opts []bounded.Option
+		if o.SamplerCopies > 0 {
+			opts = append(opts, bounded.WithCopies(o.SamplerCopies))
+		}
+		if s.smp, err = bounded.NewL1Sampler(cfg, opts...); err != nil {
+			return nil, err
+		}
 	}
 	if o.Structures&SupportSampler != 0 {
-		s.sup = bounded.NewSupportSampler(cfg, o.SupportK)
+		if s.sup, err = bounded.NewSupportSampler(cfg, bounded.WithK(o.SupportK)); err != nil {
+			return nil, err
+		}
 	}
 	if o.Structures&L2HeavyHitters != 0 {
-		s.l2 = bounded.NewL2HeavyHitters(cfg)
+		if s.l2, err = bounded.NewL2HeavyHitters(cfg); err != nil {
+			return nil, err
+		}
 	}
 	if o.Structures&SyncSketch != 0 {
-		s.syn = bounded.NewSyncSketch(cfg, o.SyncCapacity)
+		if s.syn, err = bounded.NewSyncSketch(cfg, bounded.WithCapacity(o.SyncCapacity)); err != nil {
+			return nil, err
+		}
 	}
-	return s
+	return s, nil
 }
 
 // UpdateBatch fans one batch to every enabled structure (shard.Ingester).
@@ -192,29 +222,31 @@ func (s *structSet) UpdateBatch(batch []stream.Update) {
 	}
 }
 
-// snapshot deep-clones every enabled structure.
+// snapshot deep-clones every enabled structure. (Clone returns the
+// bounded.Sketch interface; the set stores concrete types, hence the
+// assertions.)
 func (s *structSet) snapshot() *structSet {
 	c := &structSet{}
 	if s.hh != nil {
-		c.hh = s.hh.Clone()
+		c.hh = s.hh.Clone().(*bounded.HeavyHitters)
 	}
 	if s.l1 != nil {
-		c.l1 = s.l1.Clone()
+		c.l1 = s.l1.Clone().(*bounded.L1Estimator)
 	}
 	if s.l0 != nil {
-		c.l0 = s.l0.Clone()
+		c.l0 = s.l0.Clone().(*bounded.L0Estimator)
 	}
 	if s.smp != nil {
-		c.smp = s.smp.Clone()
+		c.smp = s.smp.Clone().(*bounded.L1Sampler)
 	}
 	if s.sup != nil {
-		c.sup = s.sup.Clone()
+		c.sup = s.sup.Clone().(*bounded.SupportSampler)
 	}
 	if s.l2 != nil {
-		c.l2 = s.l2.Clone()
+		c.l2 = s.l2.Clone().(*bounded.L2HeavyHitters)
 	}
 	if s.syn != nil {
-		c.syn = s.syn.Clone()
+		c.syn = s.syn.Clone().(*bounded.SyncSketch)
 	}
 	return c
 }
@@ -334,7 +366,14 @@ func New(cfg bounded.Config, opts Options) (*Engine, error) {
 	e.pool.New = func() any { return make([]stream.Update, 0, opts.BatchSize) }
 	recycle := func(b []stream.Update) { e.pool.Put(b[:0]) } //nolint:staticcheck // slice headers are cheap to box
 	for i := range e.workers {
-		e.sets[i] = newStructSet(cfg, opts)
+		set, err := newStructSet(cfg, opts)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				e.workers[j].Close()
+			}
+			return nil, err
+		}
+		e.sets[i] = set
 		e.workers[i] = shard.New(e.sets[i], opts.Queue, recycle)
 		e.pending[i] = e.pool.Get().([]stream.Update)
 	}
@@ -581,10 +620,120 @@ func (e *Engine) SyncSketch() (*bounded.SyncSketch, error) {
 		if v.syn == nil {
 			return fmt.Errorf("SyncSketch: %w", ErrNotEnabled)
 		}
-		out = v.syn.Clone()
+		out = v.syn.Clone().(*bounded.SyncSketch)
 		return nil
 	})
 	return out, err
+}
+
+// sketchFor maps a single Structures bit to the merged view's sketch.
+func (s *structSet) sketchFor(kind Structures) (bounded.Sketch, bool) {
+	switch kind {
+	case HeavyHitters:
+		return s.hh, s.hh != nil
+	case L1Estimator:
+		return s.l1, s.l1 != nil
+	case L0Estimator:
+		return s.l0, s.l0 != nil
+	case L1Sampler:
+		return s.smp, s.smp != nil
+	case SupportSampler:
+		return s.sup, s.sup != nil
+	case L2HeavyHitters:
+		return s.l2, s.l2 != nil
+	case SyncSketch:
+		return s.syn, s.syn != nil
+	}
+	return nil, false
+}
+
+// Snapshot serializes the merged full-stream state of ONE structure
+// (pass exactly one Structures bit) in the library's self-describing
+// wire format: ship the bytes to a peer engine (Restore) or a direct
+// bounded.UnmarshalSketch consumer, or write them to disk as a
+// checkpoint. The merged view is built the same way queries build it,
+// so a snapshot reflects every update Ingest accepted before the call.
+func (e *Engine) Snapshot(kind Structures) ([]byte, error) {
+	if kind == 0 || kind&(kind-1) != 0 {
+		return nil, fmt.Errorf("engine: Snapshot takes exactly one Structures bit, got %b", kind)
+	}
+	var out []byte
+	err := e.withView(func(v *structSet) error {
+		sk, ok := v.sketchFor(kind)
+		if !ok {
+			return fmt.Errorf("Snapshot: %w", ErrNotEnabled)
+		}
+		var mErr error
+		out, mErr = sk.MarshalBinary()
+		return mErr
+	})
+	return out, err
+}
+
+// Restore merges a serialized sketch — an engine peer's Snapshot or any
+// structure's MarshalBinary bytes — into this engine's state. The
+// payload must hold a structure that is enabled in Options.Structures
+// and was built from the same Config (hash-coefficient equality is
+// enforced by the underlying Merge). The imported state lands in shard
+// 0's structure, serialized through that shard's worker goroutine like
+// any other mutation, and subsequent queries and Snapshots answer for
+// the union of the local stream and the imported state.
+func (e *Engine) Restore(data []byte) error {
+	sk, err := bounded.UnmarshalSketch(data)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("engine: Restore on closed engine")
+	}
+	set := e.sets[0]
+	var mErr error
+	<-e.workers[0].DoAsync(func() {
+		switch v := sk.(type) {
+		case *bounded.HeavyHitters:
+			mErr = mergeInto(set.hh, v)
+		case *bounded.L1Estimator:
+			mErr = mergeInto(set.l1, v)
+		case *bounded.L0Estimator:
+			mErr = mergeInto(set.l0, v)
+		case *bounded.L1Sampler:
+			mErr = mergeInto(set.smp, v)
+		case *bounded.SupportSampler:
+			mErr = mergeInto(set.sup, v)
+		case *bounded.InnerProduct:
+			mErr = fmt.Errorf("engine: Restore of InnerProduct: %w", ErrNotEnabled)
+		case *bounded.L2HeavyHitters:
+			mErr = mergeInto(set.l2, v)
+		case *bounded.SyncSketch:
+			mErr = mergeInto(set.syn, v)
+		default:
+			mErr = fmt.Errorf("engine: Restore of unsupported sketch %T", sk)
+		}
+	})
+	if mErr != nil {
+		return mErr
+	}
+	// The merged view cache now lags shard 0's state.
+	e.gen++
+	e.hasView = false
+	return nil
+}
+
+// mergeInto folds an imported sketch into a shard structure, reporting
+// not-enabled for structures the engine does not maintain. The type
+// parameter keeps the nil check on the CONCRETE pointer: a nil *X boxed
+// in the Sketch interface would slip past an interface nil check.
+func mergeInto[T interface {
+	comparable
+	bounded.Sketch
+}](dst T, src bounded.Sketch) error {
+	var zero T
+	if dst == zero {
+		return fmt.Errorf("Restore: %w", ErrNotEnabled)
+	}
+	return dst.Merge(src)
 }
 
 // SpaceBits reports the summed space of every shard's structures (the

@@ -29,7 +29,7 @@ var testCfg = bounded.Config{N: 1 << 16, Eps: 0.05, Alpha: 8, Seed: 42}
 func TestEngineMatchesSingleWriter(t *testing.T) {
 	s, _ := fig1Stream(7)
 
-	single := bounded.NewHeavyHitters(testCfg, true)
+	single := bounded.MustHeavyHitters(testCfg, true)
 	single.UpdateBatch(s.Updates)
 
 	for _, shards := range []int{1, 2, 4, 8} {
@@ -84,7 +84,7 @@ func TestEngineMatchesSingleWriter(t *testing.T) {
 // writer.
 func TestEngineConcurrentProducers(t *testing.T) {
 	s, _ := fig1Stream(11)
-	single := bounded.NewHeavyHitters(testCfg, true)
+	single := bounded.MustHeavyHitters(testCfg, true)
 	single.UpdateBatch(s.Updates)
 
 	e, err := New(testCfg, Options{Shards: 4, BatchSize: 256, Queue: 2})
@@ -261,7 +261,7 @@ func TestEngineFullSuite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	other := bounded.NewSyncSketch(cfg, 64)
+	other := bounded.MustSyncSketch(cfg, 64)
 	other.UpdateBatch(s.Updates)
 	wire, err := other.MarshalBinary()
 	if err != nil {

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	bounded "repro"
+)
+
+// TestSnapshotRestoreAcrossEngines models the distributed-monitoring
+// deployment the wire format exists for: two engines (two "sites")
+// ingest disjoint substreams, one Snapshots its merged state, the other
+// Restores it, and the receiver then answers for the union — identical
+// to a single engine that ingested everything.
+func TestSnapshotRestoreAcrossEngines(t *testing.T) {
+	s, _ := fig1Stream(19)
+	half := len(s.Updates) / 2
+
+	whole, err := New(testCfg, Options{Shards: 2, BatchSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer whole.Close()
+	if err := whole.Ingest(s.Updates); err != nil {
+		t.Fatal(err)
+	}
+
+	siteA, err := New(testCfg, Options{Shards: 2, BatchSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer siteA.Close()
+	siteB, err := New(testCfg, Options{Shards: 3, BatchSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer siteB.Close()
+	if err := siteA.Ingest(s.Updates[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if err := siteB.Ingest(s.Updates[half:]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ship B's merged heavy-hitters state to A.
+	wire, err := siteB.Snapshot(HeavyHitters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, err := bounded.SketchKind(wire); err != nil || k != bounded.KindHeavyHitters {
+		t.Fatalf("snapshot kind = %v, %v", k, err)
+	}
+	if err := siteA.Restore(wire); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := siteA.HeavyHitters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := whole.HeavyHitters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored engine answers %v, whole-stream engine answers %v", got, want)
+	}
+	// Point estimates agree exactly (identical counters after restore).
+	for _, i := range want {
+		ga, err := siteA.Estimate(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gw, err := whole.Estimate(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ga != gw {
+			t.Fatalf("estimate of %d: restored %v, whole %v", i, ga, gw)
+		}
+	}
+
+	// Restoring does not freeze the engine: more ingest still lands.
+	if err := siteA.Ingest([]bounded.Update{{Index: 1, Delta: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := siteA.HeavyHitters(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotRoundTripsThroughUnmarshalSketch: an engine snapshot is a
+// plain library payload — a direct bounded consumer can restore it
+// without an engine on the other side.
+func TestSnapshotRoundTripsThroughUnmarshalSketch(t *testing.T) {
+	s, _ := fig1Stream(23)
+	e, err := New(testCfg, Options{Shards: 4, BatchSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Ingest(s.Updates); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := e.Snapshot(HeavyHitters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := bounded.UnmarshalSketch(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh, ok := sk.(*bounded.HeavyHitters)
+	if !ok {
+		t.Fatalf("snapshot restored as %T", sk)
+	}
+	want, err := e.HeavyHitters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hh.HeavyHitters(), want) {
+		t.Fatalf("standalone restore answers %v, engine answers %v", hh.HeavyHitters(), want)
+	}
+}
+
+// TestEngineRejectsBadL1Delta: an out-of-range Options.L1Delta must
+// surface NewL1Estimator's descriptive error from engine.New, not be
+// silently replaced by the default (the clamp this PR removes).
+func TestEngineRejectsBadL1Delta(t *testing.T) {
+	for _, delta := range []float64{1.5, -0.2, 1} {
+		if _, err := New(testCfg, Options{Structures: L1Estimator, L1Delta: delta}); err == nil {
+			t.Errorf("engine.New accepted L1Delta = %v", delta)
+		}
+	}
+	// Zero still means "the constructor's default".
+	e, err := New(testCfg, Options{Structures: L1Estimator})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	// The general variant has no delta knob; a set L1Delta is ignored
+	// there (the historical behavior), not rejected.
+	g, err := New(testCfg, Options{Structures: L1Estimator, General: true, L1Delta: 0.05})
+	if err != nil {
+		t.Fatalf("General+L1Delta rejected: %v", err)
+	}
+	g.Close()
+}
+
+// TestSnapshotRestoreErrors covers the failure surface: multiple bits,
+// disabled structures, wrong-config payloads, garbage.
+func TestSnapshotRestoreErrors(t *testing.T) {
+	e, err := New(testCfg, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Snapshot(HeavyHitters | L1Estimator); err == nil {
+		t.Error("Snapshot accepted two bits")
+	}
+	if _, err := e.Snapshot(0); err == nil {
+		t.Error("Snapshot accepted zero bits")
+	}
+	if _, err := e.Snapshot(L0Estimator); err == nil {
+		t.Error("Snapshot of a disabled structure succeeded")
+	}
+	if err := e.Restore([]byte("garbage")); err == nil {
+		t.Error("Restore accepted garbage")
+	}
+	// A payload from a different seed restores fine but must be refused
+	// at merge time (hash wirings differ).
+	otherCfg := testCfg
+	otherCfg.Seed = 999
+	other, err := New(otherCfg, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	wire, err := other.Snapshot(HeavyHitters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Restore(wire); err == nil {
+		t.Error("Restore accepted a different-seed snapshot")
+	}
+	// A structure the engine does not maintain is refused.
+	l0sketch, err := bounded.NewL0Estimator(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0wire, err := l0sketch.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Restore(l0wire); err == nil {
+		t.Error("Restore accepted a disabled structure's payload")
+	}
+}

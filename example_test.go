@@ -11,7 +11,10 @@ import (
 // key and churny background traffic, then asks for the 10%-heavy items.
 func ExampleNewHeavyHitters() {
 	cfg := bounded.Config{N: 1 << 16, Eps: 0.1, Alpha: 4, Seed: 1}
-	hh := bounded.NewHeavyHitters(cfg, true)
+	hh, err := bounded.NewHeavyHitters(cfg) // strict turnstile is the default
+	if err != nil {
+		panic(err)
+	}
 	for i := 0; i < 3000; i++ {
 		hh.Update(uint64(i%100), 2)  // background inserts
 		hh.Update(uint64(i%100), -1) // bounded churn: half deleted
@@ -25,7 +28,10 @@ func ExampleNewHeavyHitters() {
 // stream exactly in the unsampled regime.
 func ExampleNewL1Estimator() {
 	cfg := bounded.Config{N: 1 << 10, Eps: 0.1, Alpha: 2, Seed: 1}
-	e := bounded.NewL1Estimator(cfg, true, 0.05)
+	e, err := bounded.NewL1Estimator(cfg, bounded.WithFailureProb(0.05))
+	if err != nil {
+		panic(err)
+	}
 	for i := uint64(0); i < 100; i++ {
 		e.Update(i, 10)
 		e.Update(i, -4)
@@ -38,7 +44,10 @@ func ExampleNewL1Estimator() {
 // is small (the exact small-L0 path of Lemma 19).
 func ExampleNewL0Estimator() {
 	cfg := bounded.Config{N: 1 << 20, Eps: 0.2, Alpha: 4, Seed: 1}
-	e := bounded.NewL0Estimator(cfg)
+	e, err := bounded.NewL0Estimator(cfg)
+	if err != nil {
+		panic(err)
+	}
 	for i := uint64(0); i < 80; i++ {
 		e.Update(i*1000, 1)
 	}
@@ -55,8 +64,8 @@ func ExampleNewL0Estimator() {
 // differing chunks.
 func ExampleNewSyncSketch() {
 	cfg := bounded.Config{N: 1 << 20, Seed: 99, Eps: 0.1, Alpha: 2}
-	client := bounded.NewSyncSketch(cfg, 8)
-	server := bounded.NewSyncSketch(cfg, 8)
+	client, _ := bounded.NewSyncSketch(cfg, bounded.WithCapacity(8))
+	server, _ := bounded.NewSyncSketch(cfg, bounded.WithCapacity(8))
 
 	for _, chunk := range []uint64{10, 20, 30, 40} { // client's file
 		client.Update(chunk, 1)

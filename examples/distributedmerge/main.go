@@ -1,0 +1,152 @@
+// Distributedmerge demonstrates the wire format end to end with REAL
+// process isolation — the paper's distributed monitoring scenario: S
+// sites each observe a disjoint substream, build small linear sketches,
+// and ship them (serialized) to a coordinator that merges and answers
+// for the union.
+//
+// The binary re-executes itself once per site (a separate OS process
+// with nothing shared but the Config), reads the site's marshaled
+// sketches from the child's stdout, restores them with
+// bounded.UnmarshalSketch, and Merges. A single-writer reference over
+// the concatenated stream verifies the coordinator's answers are
+// identical — the exact-regime guarantee the library's differential
+// tests assert.
+//
+// Run with: go run ./examples/distributedmerge
+package main
+
+import (
+	"encoding/base64"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strings"
+
+	bounded "repro"
+)
+
+const (
+	sites = 3
+	n     = 1 << 16
+	eps   = 0.05
+)
+
+// cfg must be identical at every site: same Seed means same hash
+// functions, which is what makes the shipped sketches mergeable.
+var cfg = bounded.Config{N: n, Eps: eps, Alpha: 4, Seed: 7}
+
+var siteFlag = flag.Int("site", -1, "internal: run as site worker (0-based)")
+
+// must unwraps a constructor result; real services handle the error.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+// siteStream deterministically generates site s's substream: skewed
+// background churn plus a site-specific hot key.
+func siteStream(site int) []bounded.Update {
+	rng := rand.New(rand.NewSource(int64(1000 + site)))
+	hot := uint64(4242 + site)
+	var updates []bounded.Update
+	for t := 0; t < 30000; t++ {
+		k := uint64(rng.Intn(8000))
+		updates = append(updates, bounded.Update{Index: k, Delta: 1})
+		if t%2 == 0 {
+			// Delete a background key again: bounded deletions.
+			updates = append(updates, bounded.Update{Index: uint64(rng.Intn(8000)), Delta: -1})
+		}
+		if t%5 == 0 {
+			updates = append(updates, bounded.Update{Index: hot, Delta: 1})
+		}
+	}
+	return updates
+}
+
+// runSite is the child-process role: sketch the substream, print each
+// serialized sketch as one base64 line.
+func runSite(site int) {
+	hh := must(bounded.NewHeavyHitters(cfg))
+	l1 := must(bounded.NewL1Estimator(cfg))
+	batch := siteStream(site)
+	hh.UpdateBatch(batch)
+	l1.UpdateBatch(batch)
+	for _, sk := range []bounded.Sketch{hh, l1} {
+		wire, err := sk.MarshalBinary()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(base64.StdEncoding.EncodeToString(wire))
+	}
+}
+
+func main() {
+	flag.Parse()
+	if *siteFlag >= 0 {
+		runSite(*siteFlag)
+		return
+	}
+
+	// Coordinator role: spawn one worker process per site and merge
+	// whatever they ship back.
+	hh := must(bounded.NewHeavyHitters(cfg))
+	l1 := must(bounded.NewL1Estimator(cfg))
+	var wireBytes int
+	for site := 0; site < sites; site++ {
+		out, err := exec.Command(os.Args[0], fmt.Sprintf("-site=%d", site)).Output()
+		if err != nil {
+			log.Fatalf("site %d: %v", site, err)
+		}
+		for _, line := range strings.Fields(string(out)) {
+			wire, err := base64.StdEncoding.DecodeString(line)
+			if err != nil {
+				log.Fatal(err)
+			}
+			wireBytes += len(wire)
+			// The payload is self-describing: the coordinator does not
+			// need to know which sketch each line holds.
+			sk, err := bounded.UnmarshalSketch(wire)
+			if err != nil {
+				log.Fatal(err)
+			}
+			switch remote := sk.(type) {
+			case *bounded.HeavyHitters:
+				if err := hh.Merge(remote); err != nil {
+					log.Fatal(err)
+				}
+			case *bounded.L1Estimator:
+				if err := l1.Merge(remote); err != nil {
+					log.Fatal(err)
+				}
+			default:
+				log.Fatalf("unexpected sketch kind %T", sk)
+			}
+		}
+	}
+
+	// Single-writer reference over the concatenated stream.
+	refHH := must(bounded.NewHeavyHitters(cfg))
+	refL1 := must(bounded.NewL1Estimator(cfg))
+	for site := 0; site < sites; site++ {
+		batch := siteStream(site)
+		refHH.UpdateBatch(batch)
+		refL1.UpdateBatch(batch)
+	}
+
+	fmt.Println("== distributed merge (one process per site) ==")
+	fmt.Printf("sites                    : %d\n", sites)
+	fmt.Printf("shipped sketch bytes     : %d\n", wireBytes)
+	fmt.Printf("merged heavy hitters     : %v\n", hh.HeavyHitters())
+	fmt.Printf("single-writer reference  : %v\n", refHH.HeavyHitters())
+	fmt.Printf("merged ||f||_1 estimate  : %.0f (reference %.0f)\n", l1.Estimate(), refL1.Estimate())
+	match := fmt.Sprint(hh.HeavyHitters()) == fmt.Sprint(refHH.HeavyHitters())
+	fmt.Printf("answers identical        : %v\n", match)
+	if !match {
+		os.Exit(1)
+	}
+}

@@ -15,10 +15,19 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	bounded "repro"
 	"repro/internal/gen"
 )
+
+// must unwraps a constructor result; real services handle the error.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
 
 func main() {
 	const (
@@ -44,9 +53,10 @@ func main() {
 
 	// (a) biggest flow changes.
 	cfg := bounded.Config{N: n, Eps: 0.02, Alpha: alpha, Seed: 12}
-	hh := bounded.NewHeavyHitters(cfg, false) // difference can go negative: general turnstile
+	// The difference can go negative: general turnstile variants.
+	hh := must(bounded.NewHeavyHitters(cfg, bounded.WithStrict(false)))
 	// (b) total traffic shift.
-	l1 := bounded.NewL1Estimator(bounded.Config{N: n, Eps: 0.2, Alpha: alpha, Seed: 13}, false, 0)
+	l1 := must(bounded.NewL1Estimator(bounded.Config{N: n, Eps: 0.2, Alpha: alpha, Seed: 13}, bounded.WithStrict(false)))
 	// Batched ingest: feeding a whole interval's updates in one call is
 	// the preferred high-throughput path (per-call overhead amortizes
 	// and candidate tracking refreshes once per distinct flow).
@@ -60,7 +70,7 @@ func main() {
 	fmt.Printf("traffic shift (sketch)   : %.0f packets, space %d bits\n", l1.Estimate(), l1.SpaceBits())
 
 	// (c) interval similarity via inner product <f1, f2>.
-	ip := bounded.NewInnerProduct(bounded.Config{N: n, Eps: 0.1, Alpha: 2, Seed: 14})
+	ip := must(bounded.NewInnerProduct(bounded.Config{N: n, Eps: 0.1, Alpha: 2, Seed: 14}))
 	t1 := bounded.NewTracker(n)
 	t2 := bounded.NewTracker(n)
 	ip.UpdateBatchF(f1.Updates)

@@ -7,10 +7,19 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	bounded "repro"
 )
+
+// must unwraps a constructor result; real services handle the error.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
 
 func main() {
 	const (
@@ -20,11 +29,11 @@ func main() {
 	)
 	cfg := bounded.Config{N: n, Eps: eps, Alpha: alpha, Seed: 1}
 
-	hh := bounded.NewHeavyHitters(cfg, true) // strict turnstile
-	l1 := bounded.NewL1Estimator(cfg, true, 0.05)
+	hh := must(bounded.NewHeavyHitters(cfg)) // strict turnstile is the default
+	l1 := must(bounded.NewL1Estimator(cfg, bounded.WithFailureProb(0.05)))
 	// Each sampler instance succeeds with probability Theta(eps); 32
 	// parallel copies push the failure probability below a percent.
-	smp := bounded.NewL1Sampler(bounded.Config{N: n, Eps: 0.25, Alpha: alpha, Seed: 2}, 32)
+	smp := must(bounded.NewL1Sampler(bounded.Config{N: n, Eps: 0.25, Alpha: alpha, Seed: 2}, bounded.WithCopies(32)))
 	truth := bounded.NewTracker(n)
 
 	// A synthetic session: one hot key, lots of churn below it. Updates

@@ -11,10 +11,19 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	bounded "repro"
 )
+
+// must unwraps a constructor result; real services handle the error.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
 
 func main() {
 	const (
@@ -28,13 +37,13 @@ func main() {
 	// rewrite churn: stale hash deleted, fresh hash inserted). This is
 	// the alpha ~ 1 + 2*changed stream the paper describes.
 	file := bounded.NewTracker(n)
-	fileL1 := bounded.NewL1Estimator(bounded.Config{N: n, Eps: 0.1, Alpha: 2, Seed: 22}, true, 0.05)
+	fileL1 := must(bounded.NewL1Estimator(bounded.Config{N: n, Eps: 0.1, Alpha: 2, Seed: 22}, bounded.WithFailureProb(0.05)))
 	// The sync view: new file minus old file. Changed chunk slots leave
 	// a -1 on the stale hash and +1 on the fresh hash; everything else
 	// cancels. Support-sampling its positives yields the chunk ids to
 	// request from the peer.
 	diff := bounded.NewTracker(n)
-	sup := bounded.NewSupportSampler(bounded.Config{N: n, Alpha: 2, Eps: 0.1, Seed: 23}, 64)
+	sup := must(bounded.NewSupportSampler(bounded.Config{N: n, Alpha: 2, Eps: 0.1, Seed: 23}, bounded.WithK(64)))
 
 	feedFile := func(i uint64, d int64) {
 		fileL1.Update(i, d)

@@ -35,7 +35,10 @@ func main() {
 		truth := bounded.NewTracker(n)
 		truth.Consume(s)
 
-		est := bounded.NewL0Estimator(bounded.Config{N: n, Eps: eps, Alpha: alpha, Seed: 31})
+		est, err := bounded.NewL0Estimator(bounded.Config{N: n, Eps: eps, Alpha: alpha, Seed: 31})
+		if err != nil {
+			panic(err)
+		}
 		full := l0.NewEstimator(rand.New(rand.NewSource(32)), l0.Params{N: n, Eps: eps})
 		for _, u := range s.Updates {
 			est.Update(u.Index, u.Delta)

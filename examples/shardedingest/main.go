@@ -113,7 +113,10 @@ func main() {
 	// Differential check: a single-writer structure over the identical
 	// stream must report the identical heavy hitters. Rebuild the
 	// per-producer streams deterministically and replay them serially.
-	single := bounded.NewHeavyHitters(cfg, true)
+	single, err := bounded.NewHeavyHitters(cfg)
+	if err != nil {
+		panic(err)
+	}
 	for p := 0; p < producers; p++ {
 		rng := rand.New(rand.NewSource(int64(100 + p)))
 		hot := uint64(4242 + p)

@@ -1,0 +1,85 @@
+package bounded
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshal drives arbitrary bytes through every deserialization
+// entry point. The contract under fuzzing: corrupt, truncated,
+// bit-flipped or wrong-version payloads return errors — they never
+// panic, never allocate beyond the input's own size (the wire reader
+// refuses length prefixes exceeding the remaining bytes), and never
+// install half-initialized state (a failed UnmarshalBinary leaves the
+// receiver untouched, which the post-failure Update exercises).
+func FuzzUnmarshal(f *testing.F) {
+	// Seed the corpus with one valid payload per structure, plus
+	// adversarial fragments.
+	cfg := Config{N: 1 << 10, Eps: 0.1, Alpha: 2, Seed: 9}
+	seed := func(s Sketch, err error) {
+		if err != nil {
+			f.Fatal(err)
+		}
+		s.Update(3, 2)
+		s.Update(7, -1)
+		data, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		// A truncated and a version-flipped variant per structure.
+		f.Add(data[:len(data)/2])
+		flipped := append([]byte(nil), data...)
+		flipped[2] ^= 0xFF
+		f.Add(flipped)
+	}
+	seed(NewHeavyHitters(cfg))
+	seed(NewHeavyHitters(cfg, WithStrict(false)))
+	seed(NewL1Estimator(cfg))
+	seed(NewL1Estimator(cfg, WithStrict(false)))
+	seed(NewL0Estimator(cfg))
+	seed(NewL1Sampler(Config{N: 1 << 10, Eps: 0.25, Alpha: 2, Seed: 9}, WithCopies(2)))
+	seed(NewSupportSampler(cfg, WithK(4)))
+	seed(NewInnerProduct(cfg))
+	seed(NewL2HeavyHitters(cfg))
+	seed(NewSyncSketch(cfg, WithCapacity(16)))
+	f.Add([]byte{})
+	f.Add([]byte{'B', 'D'})
+	f.Add([]byte{'B', 'D', 1, 1, 0, 0, 0})
+	f.Add([]byte{'S', 'R', 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The generic dispatcher.
+		if s, err := UnmarshalSketch(data); err == nil {
+			// A successfully restored sketch must be usable.
+			s.Update(1, 1)
+			if _, err := s.MarshalBinary(); err != nil {
+				t.Errorf("restored sketch failed to re-marshal: %v", err)
+			}
+		}
+		// Every typed receiver, including the legacy sync path. A failed
+		// restore must leave the zero value intact (the subsequent
+		// UnmarshalBinary of a valid payload checks nothing leaked).
+		var hh HeavyHitters
+		_ = hh.UnmarshalBinary(data)
+		var l1e L1Estimator
+		_ = l1e.UnmarshalBinary(data)
+		var l0e L0Estimator
+		_ = l0e.UnmarshalBinary(data)
+		var smp L1Sampler
+		_ = smp.UnmarshalBinary(data)
+		var sup SupportSampler
+		_ = sup.UnmarshalBinary(data)
+		var ip InnerProduct
+		_ = ip.UnmarshalBinary(data)
+		var l2 L2HeavyHitters
+		_ = l2.UnmarshalBinary(data)
+		var syn SyncSketch
+		if err := syn.UnmarshalBinary(data); err == nil {
+			_ = syn.SubRemote(data)
+			_, _ = syn.Decode()
+		}
+		if _, err := SketchKind(data); err == nil && len(data) < 4 {
+			t.Error("SketchKind accepted a short payload")
+		}
+	})
+}

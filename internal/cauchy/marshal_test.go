@@ -1,0 +1,98 @@
+package cauchy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSketchMarshalRoundTrip(t *testing.T) {
+	s := NewSketch(rand.New(rand.NewSource(1)), 16, 8, 4)
+	for i := uint64(0); i < 400; i++ {
+		s.Update(i, int64(i%9)-4)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &Sketch{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.MedianEstimate() != s.MedianEstimate() {
+		t.Errorf("MedianEstimate differs: %v vs %v", restored.MedianEstimate(), s.MedianEstimate())
+	}
+	if restored.LnCosEstimate() != s.LnCosEstimate() {
+		t.Errorf("LnCosEstimate differs")
+	}
+	if restored.SpaceBits() != s.SpaceBits() {
+		t.Errorf("SpaceBits differs")
+	}
+	// The restored sketch merges where a clone would.
+	peer := NewSketch(rand.New(rand.NewSource(1)), 16, 8, 4)
+	peer.Update(3, 2)
+	if err := peer.Merge(restored); err != nil {
+		t.Fatalf("merge of restored sketch rejected: %v", err)
+	}
+}
+
+func TestSampledSketchMarshalRoundTrip(t *testing.T) {
+	s := NewSampledSketch(rand.New(rand.NewSource(2)), 8, 8, 4, 1<<20, 6)
+	for i := uint64(0); i < 300; i++ {
+		s.Update(i%64, 1)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &SampledSketch{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.t != s.t || len(restored.levels) != len(s.levels) {
+		t.Fatalf("state: restored (t=%d, levels=%d), original (t=%d, levels=%d)",
+			restored.t, len(restored.levels), s.t, len(s.levels))
+	}
+	if restored.Estimate() != s.Estimate() {
+		t.Errorf("Estimate differs: %v vs %v", restored.Estimate(), s.Estimate())
+	}
+	if restored.MedianEstimate() != s.MedianEstimate() {
+		t.Errorf("MedianEstimate differs")
+	}
+	// Rate-1 regime merge is exact: wire-merge must equal clone-merge.
+	peerA := NewSampledSketch(rand.New(rand.NewSource(2)), 8, 8, 4, 1<<20, 6)
+	peerA.Update(9, 4)
+	peerB := peerA.Clone()
+	if err := peerA.Merge(s.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := peerB.Merge(restored); err != nil {
+		t.Fatal(err)
+	}
+	if peerA.Estimate() != peerB.Estimate() {
+		t.Fatalf("clone-merge %v != wire-merge %v", peerA.Estimate(), peerB.Estimate())
+	}
+}
+
+func TestCauchyUnmarshalRejectsGarbage(t *testing.T) {
+	s := NewSketch(rand.New(rand.NewSource(3)), 4, 4, 4)
+	data, _ := s.MarshalBinary()
+	fresh := &Sketch{}
+	if err := fresh.UnmarshalBinary(nil); err == nil {
+		t.Error("accepted nil")
+	}
+	if err := fresh.UnmarshalBinary(data[:len(data)-1]); err == nil {
+		t.Error("accepted truncated payload")
+	}
+	ss := NewSampledSketch(rand.New(rand.NewSource(4)), 2, 2, 4, 8, 4)
+	ss.Update(1, 1)
+	sdata, _ := ss.MarshalBinary()
+	freshS := &SampledSketch{}
+	if err := freshS.UnmarshalBinary(sdata[:len(sdata)-2]); err == nil {
+		t.Error("accepted truncated sampled payload")
+	}
+	bad := append([]byte(nil), sdata...)
+	bad[2] = 77
+	if err := freshS.UnmarshalBinary(bad); err == nil {
+		t.Error("accepted wrong version")
+	}
+}

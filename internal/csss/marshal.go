@@ -1,0 +1,161 @@
+package csss
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/hash"
+	"repro/internal/wire"
+)
+
+// Wire layout of a CSSampSim sketch: the Figure 2 parameters, the hash
+// wiring, the sampling clock (t, p), and the positive/negative counter
+// pairs. scale, estScale, nextHalf and fpUnit are pure functions of
+// (params, p) and are rederived on restore; the per-update scratch and
+// the row-hash memo are rebuilt empty. The restored instance reseeds its
+// thinning rng deterministically from the payload — counters are exact,
+// the rng only drives future halvings and sampling decisions, so any
+// fixed reseed preserves Theorem 1's guarantees.
+const (
+	sketchMagic        = "XS"
+	tailEstimatorMagic = "XT"
+	formatV1           = 1
+)
+
+// MarshalBinary encodes the sketch.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(sketchMagic, formatV1)
+	w.U32(uint32(s.params.Rows))
+	w.U32(uint32(s.params.K))
+	w.I64(s.params.S)
+	w.U32(uint32(s.params.FixedPointBits))
+	if err := w.Marshal(s.buckets); err != nil {
+		return nil, err
+	}
+	w.I64(s.t)
+	w.U32(uint32(s.p))
+	w.I64(s.maxCount)
+	w.U32(uint32(len(s.table)))
+	for c := range s.table {
+		w.I64(s.table[c][0])
+		w.I64(s.table[c][1])
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a sketch serialized by MarshalBinary. On
+// failure the receiver is left unchanged.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	rd, v, err := wire.NewReader(data, sketchMagic)
+	if err != nil {
+		return err
+	}
+	if v != formatV1 {
+		return errors.New("csss: unsupported Sketch format version")
+	}
+	params := Params{
+		Rows:           int(rd.U32()),
+		K:              int(rd.U32()),
+		S:              rd.I64(),
+		FixedPointBits: uint(rd.U32()),
+	}
+	buckets := &hash.Buckets{}
+	rd.Unmarshal(buckets)
+	t := rd.I64()
+	p := int(rd.U32())
+	maxCount := rd.I64()
+	nCells := int(rd.U32())
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	if params.Rows < 1 || params.K < 1 || params.S < 1 || params.FixedPointBits > 42 {
+		return errors.New("csss: bad Sketch parameters")
+	}
+	if p < 0 || p > 60 || t < 0 || params.S > int64(1)<<(61-uint(p)) {
+		// The last clause keeps the rederived halving boundary
+		// S*2^(p+1)+1 inside int64.
+		return errors.New("csss: bad Sketch sampling clock")
+	}
+	cols := uint64(6 * params.K)
+	if buckets.Rows != params.Rows || buckets.Cols != cols {
+		return errors.New("csss: hash wiring disagrees with parameters")
+	}
+	if uint64(nCells) != uint64(params.Rows)*cols || nCells*16 > rd.Remaining() {
+		return errors.New("csss: bad Sketch cell count")
+	}
+	table := make([]cell, nCells)
+	for c := range table {
+		table[c][0] = rd.I64()
+		table[c][1] = rd.I64()
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	for c := range table {
+		if table[c][0] < 0 || table[c][1] < 0 {
+			return errors.New("csss: negative sampled counter")
+		}
+	}
+	restored := &Sketch{
+		params:   params,
+		buckets:  buckets,
+		rows:     params.Rows,
+		cols:     cols,
+		table:    table,
+		rng:      rand.New(rand.NewSource(wire.Seed(data))),
+		t:        t,
+		p:        p,
+		maxCount: maxCount,
+		fpUnit:   1 << params.FixedPointBits,
+		rowCols:  make([]uint64, params.Rows),
+		rowSigns: make([]int64, params.Rows),
+		rowIdx:   make([]int, params.Rows),
+		rowSide:  make([]int, params.Rows),
+		cnts:     make([]int64, params.Rows),
+		qest:     make([]float64, params.Rows),
+	}
+	restored.scale = math.Ldexp(1, p)
+	restored.estScale = restored.scale / float64(restored.fpUnit)
+	// nextHalf follows the S*2^r + 1 schedule: r = p+1 boundaries passed.
+	restored.nextHalf = params.S<<uint(p+1) + 1
+	*s = *restored
+	return nil
+}
+
+// MarshalBinary encodes the two-instance Lemma 5 tail estimator.
+func (te *TailEstimator) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(tailEstimatorMagic, formatV1)
+	w.U32(uint32(te.k))
+	if err := w.Marshal(te.CS1); err != nil {
+		return nil, err
+	}
+	if err := w.Marshal(te.CS2); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a tail estimator serialized by MarshalBinary.
+// On failure the receiver is left unchanged.
+func (te *TailEstimator) UnmarshalBinary(data []byte) error {
+	rd, v, err := wire.NewReader(data, tailEstimatorMagic)
+	if err != nil {
+		return err
+	}
+	if v != formatV1 {
+		return errors.New("csss: unsupported TailEstimator format version")
+	}
+	k := int(rd.U32())
+	cs1, cs2 := &Sketch{}, &Sketch{}
+	rd.Unmarshal(cs1)
+	rd.Unmarshal(cs2)
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	if k < 1 || cs1.params.K != k || cs2.params.K != k {
+		return errors.New("csss: TailEstimator k disagrees with instances")
+	}
+	te.CS1, te.CS2, te.k = cs1, cs2, k
+	return nil
+}

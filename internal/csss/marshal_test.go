@@ -1,0 +1,125 @@
+package csss
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestSketchMarshalRoundTrip(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 1 << 12, Items: 20000, Alpha: 4, Zipf: 1.2, Seed: 8})
+	params := Params{Rows: 5, K: 16, S: 1 << 20}
+	sk := New(rand.New(rand.NewSource(17)), params)
+	sk.UpdateBatch(s.Updates)
+
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &Sketch{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.t != sk.t || restored.p != sk.p || restored.nextHalf != sk.nextHalf {
+		t.Fatalf("clock: restored (%d,%d,%d), original (%d,%d,%d)",
+			restored.t, restored.p, restored.nextHalf, sk.t, sk.p, sk.nextHalf)
+	}
+	for i := uint64(0); i < 1<<12; i++ {
+		if restored.Query(i) != sk.Query(i) {
+			t.Fatalf("query %d differs after round trip", i)
+		}
+	}
+	if restored.SpaceBits() != sk.SpaceBits() {
+		t.Errorf("SpaceBits differs")
+	}
+
+	// A restored sketch merges like a clone: in the rate-1 regime the
+	// result must be bit-identical.
+	peerA := New(rand.New(rand.NewSource(17)), params)
+	peerA.Update(7, 3)
+	peerB := peerA.Clone()
+	if err := peerA.Merge(sk.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := peerB.Merge(restored); err != nil {
+		t.Fatal(err)
+	}
+	for c := range peerA.table {
+		if peerA.table[c] != peerB.table[c] {
+			t.Fatalf("cell %d: clone-merge %v, wire-merge %v", c, peerA.table[c], peerB.table[c])
+		}
+	}
+}
+
+// TestSketchMarshalAfterHalving: a sketch that has left the rate-1
+// regime round-trips its sampling clock (the rederived halving boundary
+// must match).
+func TestSketchMarshalAfterHalving(t *testing.T) {
+	params := Params{Rows: 5, K: 8, S: 1 << 8}
+	sk := New(rand.New(rand.NewSource(5)), params)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		sk.Update(uint64(rng.Intn(256)), 1)
+	}
+	if sk.SampleExponent() == 0 {
+		t.Fatal("workload did not force a halving")
+	}
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &Sketch{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.p != sk.p || restored.nextHalf != sk.nextHalf || restored.scale != sk.scale || restored.estScale != sk.estScale {
+		t.Fatalf("sampling clock mismatch: restored p=%d nextHalf=%d scale=%v, original p=%d nextHalf=%d scale=%v",
+			restored.p, restored.nextHalf, restored.scale, sk.p, sk.nextHalf, sk.scale)
+	}
+	for i := uint64(0); i < 256; i++ {
+		if restored.Query(i) != sk.Query(i) {
+			t.Fatalf("query %d differs after round trip", i)
+		}
+	}
+}
+
+func TestTailEstimatorMarshalRoundTrip(t *testing.T) {
+	params := Params{Rows: 5, K: 8, S: 1 << 16, FixedPointBits: 4}
+	te := NewTailEstimator(rand.New(rand.NewSource(3)), params)
+	for i := uint64(0); i < 300; i++ {
+		te.UpdateWeighted(i, int64(i%5)-2, 1.5)
+	}
+	data, err := te.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &TailEstimator{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	cands := []uint64{1, 2, 3, 4, 5}
+	v1, _ := te.Estimate(cands, 100, 0.01)
+	v2, _ := restored.Estimate(cands, 100, 0.01)
+	if v1 != v2 {
+		t.Fatalf("tail estimate differs: %v vs %v", v1, v2)
+	}
+}
+
+func TestSketchUnmarshalRejectsGarbage(t *testing.T) {
+	sk := New(rand.New(rand.NewSource(9)), Params{Rows: 3, K: 4, S: 64})
+	sk.Update(1, 5)
+	data, _ := sk.MarshalBinary()
+	fresh := &Sketch{}
+	if err := fresh.UnmarshalBinary(nil); err == nil {
+		t.Error("accepted nil")
+	}
+	if err := fresh.UnmarshalBinary(data[:len(data)-5]); err == nil {
+		t.Error("accepted truncated payload")
+	}
+	bad := append([]byte(nil), data...)
+	bad[2] = 99 // version byte
+	if err := fresh.UnmarshalBinary(bad); err == nil {
+		t.Error("accepted wrong version")
+	}
+}

@@ -1,0 +1,91 @@
+package heavy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+func fig1Workload(seed int64) []stream.Update {
+	s := gen.BoundedDeletion(gen.Config{N: 1 << 12, Items: 20000, Alpha: 4, Zipf: 1.3, Seed: seed})
+	return s.Updates
+}
+
+func TestAlphaL1MarshalRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{Strict, General} {
+		h := NewAlphaL1(rand.New(rand.NewSource(11)), AlphaL1Params{
+			N: 1 << 12, Eps: 0.05, Mode: mode, Alpha: 4,
+		})
+		h.UpdateBatch(fig1Workload(3))
+		data, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored := &AlphaL1{}
+		if err := restored.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		a, b := h.HeavyHitters(), restored.HeavyHitters()
+		if len(a) != len(b) {
+			t.Fatalf("mode %v: heavy hitters differ: %v vs %v", mode, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("mode %v: heavy hitters differ at %d", mode, i)
+			}
+		}
+		for i := uint64(0); i < 64; i++ {
+			if h.Query(i) != restored.Query(i) {
+				t.Fatalf("mode %v: query %d differs", mode, i)
+			}
+		}
+		if h.SpaceBits() != restored.SpaceBits() {
+			t.Errorf("mode %v: SpaceBits differs", mode)
+		}
+	}
+}
+
+func TestAlphaL2MarshalRoundTrip(t *testing.T) {
+	h := NewAlphaL2(rand.New(rand.NewSource(12)), 1<<12, 0.1, 2)
+	h.UpdateBatch(fig1Workload(4))
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &AlphaL2{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	a, b := h.HeavyHitters(), restored.HeavyHitters()
+	if len(a) != len(b) {
+		t.Fatalf("heavy hitters differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("heavy hitters differ at %d", i)
+		}
+	}
+	if h.SpaceBits() != restored.SpaceBits() {
+		t.Errorf("SpaceBits differs")
+	}
+}
+
+func TestHeavyUnmarshalRejectsGarbage(t *testing.T) {
+	h := NewAlphaL1(rand.New(rand.NewSource(13)), AlphaL1Params{N: 256, Eps: 0.2, Mode: Strict, Alpha: 2})
+	h.Update(1, 5)
+	data, _ := h.MarshalBinary()
+	fresh := &AlphaL1{}
+	if err := fresh.UnmarshalBinary(nil); err == nil {
+		t.Error("accepted nil")
+	}
+	if err := fresh.UnmarshalBinary(data[:len(data)-4]); err == nil {
+		t.Error("accepted truncated payload")
+	}
+	bad := append([]byte(nil), data...)
+	bad[3] = 9 // mode byte
+	if err := fresh.UnmarshalBinary(bad); err == nil {
+		t.Error("accepted unknown mode")
+	}
+}

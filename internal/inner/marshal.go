@@ -1,0 +1,156 @@
+package inner
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hash"
+	"repro/internal/wire"
+)
+
+// Wire layout of the inner-product estimator: Params, the shared random
+// prime, the per-row bucket/sign hashes, then both stream sides (each a
+// position counter plus the live interval-sampled levels). The restored
+// instance reseeds its sampling rng from the payload; bins are exact.
+const (
+	estimatorMagic = "IP"
+	formatV1       = 1
+)
+
+// MarshalBinary encodes the estimator.
+func (e *Estimator) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(estimatorMagic, formatV1)
+	w.U64(e.params.N)
+	w.F64(e.params.Eps)
+	w.I64(e.params.Base)
+	w.U32(uint32(e.params.K))
+	w.U32(uint32(e.params.Rows))
+	w.U64(e.prime)
+	for r := range e.hb {
+		if err := w.Marshal(e.hb[r]); err != nil {
+			return nil, err
+		}
+		if err := w.Marshal(e.hs[r]); err != nil {
+			return nil, err
+		}
+	}
+	for _, sd := range []*side{e.f, e.g} {
+		if err := marshalSide(w, sd); err != nil {
+			return nil, err
+		}
+	}
+	return w.Bytes(), nil
+}
+
+func marshalSide(w *wire.Writer, sd *side) error {
+	w.I64(sd.t)
+	w.I64(sd.maxCount)
+	js := make([]int, 0, len(sd.levels))
+	for j := range sd.levels {
+		js = append(js, j)
+	}
+	sort.Ints(js)
+	w.U32(uint32(len(js)))
+	for _, j := range js {
+		lv := sd.levels[j]
+		w.U32(uint32(j))
+		w.I64(lv.start)
+		w.U32(uint32(len(lv.bins)))
+		for r := range lv.bins {
+			w.I64s(lv.bins[r])
+		}
+	}
+	return nil
+}
+
+// UnmarshalBinary restores an estimator serialized by MarshalBinary. On
+// failure the receiver is left unchanged.
+func (e *Estimator) UnmarshalBinary(data []byte) error {
+	rd, v, err := wire.NewReader(data, estimatorMagic)
+	if err != nil {
+		return err
+	}
+	if v != formatV1 {
+		return errors.New("inner: unsupported Estimator format version")
+	}
+	params := Params{
+		N:    rd.U64(),
+		Eps:  rd.F64(),
+		Base: rd.I64(),
+		K:    int(rd.U32()),
+		Rows: int(rd.U32()),
+	}
+	prime := rd.U64()
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	if !(params.Eps > 0 && params.Eps < 1) || params.Base < 4 ||
+		params.K < 1 || params.Rows < 1 || prime < 2 {
+		return errors.New("inner: bad Estimator parameters")
+	}
+	hb := make([]*hash.KWise, params.Rows)
+	hs := make([]*hash.KWise, params.Rows)
+	for r := range hb {
+		hb[r] = &hash.KWise{}
+		rd.Unmarshal(hb[r])
+		hs[r] = &hash.KWise{}
+		rd.Unmarshal(hs[r])
+	}
+	f, err2 := unmarshalSide(rd, params)
+	if err2 != nil {
+		return err2
+	}
+	g, err2 := unmarshalSide(rd, params)
+	if err2 != nil {
+		return err2
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	e.params = params
+	e.prime = prime
+	e.hb, e.hs = hb, hs
+	e.f, e.g = f, g
+	e.rng = rand.New(rand.NewSource(wire.Seed(data)))
+	return nil
+}
+
+func unmarshalSide(rd *wire.Reader, params Params) (*side, error) {
+	t := rd.I64()
+	maxCount := rd.I64()
+	nLevels := int(rd.U32())
+	if rd.Err() != nil {
+		return nil, rd.Err()
+	}
+	if t < 0 || nLevels < 0 || nLevels > rd.Remaining() {
+		return nil, errors.New("inner: bad side shape")
+	}
+	sd := &side{t: t, maxCount: maxCount, levels: make(map[int]*ipLevel, nLevels)}
+	for i := 0; i < nLevels; i++ {
+		j := int(rd.U32())
+		start := rd.I64()
+		nRows := int(rd.U32())
+		if rd.Err() != nil {
+			return nil, rd.Err()
+		}
+		if j > 62 || nRows != params.Rows {
+			return nil, errors.New("inner: bad side level")
+		}
+		lv := &ipLevel{j: j, start: start, bins: make([][]int64, nRows)}
+		for r := range lv.bins {
+			lv.bins[r] = rd.I64s()
+			if rd.Err() != nil {
+				return nil, rd.Err()
+			}
+			if len(lv.bins[r]) != params.K {
+				return nil, errors.New("inner: bad side bins")
+			}
+		}
+		if _, dup := sd.levels[j]; dup {
+			return nil, errors.New("inner: duplicate side level")
+		}
+		sd.levels[j] = lv
+	}
+	return sd, nil
+}

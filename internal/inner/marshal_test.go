@@ -1,0 +1,111 @@
+package inner
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func buildEstimator(seed int64) *Estimator {
+	e := New(rand.New(rand.NewSource(seed)), Params{N: 1 << 10, Eps: 0.25, Base: 1 << 20, Rows: 3})
+	for i := uint64(0); i < 200; i++ {
+		e.UpdateF(i%40, 2)
+		e.UpdateG(i%40, 1)
+	}
+	return e
+}
+
+func TestEstimatorMarshalRoundTrip(t *testing.T) {
+	e := buildEstimator(41)
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &Estimator{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Estimate() != e.Estimate() {
+		t.Fatalf("Estimate differs: %v vs %v", restored.Estimate(), e.Estimate())
+	}
+	if restored.SpaceBits() != e.SpaceBits() {
+		t.Errorf("SpaceBits differs")
+	}
+	// The restored estimator keeps ingesting identically in the exact
+	// (rate-1) regime.
+	restored.UpdateF(3, 5)
+	e.UpdateF(3, 5)
+	if restored.Estimate() != e.Estimate() {
+		t.Fatalf("post-restore ingest diverged")
+	}
+}
+
+// TestEstimatorMergeExactInRateOneRegime: the satellite Merge — both
+// stream sketches are linear, so same-seed instances over split streams
+// merge into exactly the single-instance state while level 0 is the only
+// live level.
+func TestEstimatorMergeExactInRateOneRegime(t *testing.T) {
+	const seed = 43
+	whole := New(rand.New(rand.NewSource(seed)), Params{N: 1 << 10, Eps: 0.25, Base: 1 << 20, Rows: 3})
+	partA := New(rand.New(rand.NewSource(seed)), Params{N: 1 << 10, Eps: 0.25, Base: 1 << 20, Rows: 3})
+	partB := New(rand.New(rand.NewSource(seed)), Params{N: 1 << 10, Eps: 0.25, Base: 1 << 20, Rows: 3})
+	for i := uint64(0); i < 300; i++ {
+		whole.UpdateF(i%50, 1)
+		whole.UpdateG(i%50, 2)
+		if i%2 == 0 {
+			partA.UpdateF(i%50, 1)
+			partA.UpdateG(i%50, 2)
+		} else {
+			partB.UpdateF(i%50, 1)
+			partB.UpdateG(i%50, 2)
+		}
+	}
+	if err := partA.Merge(partB); err != nil {
+		t.Fatal(err)
+	}
+	if partA.Estimate() != whole.Estimate() {
+		t.Fatalf("merged %v != single-instance %v", partA.Estimate(), whole.Estimate())
+	}
+	if partA.f.t != whole.f.t || partA.g.t != whole.g.t {
+		t.Fatalf("merged positions differ from single-instance")
+	}
+}
+
+func TestEstimatorMergeRejectsForeign(t *testing.T) {
+	a := buildEstimator(44)
+	b := buildEstimator(45) // different seed -> different wiring
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of foreign estimator accepted")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Fatal("merge of nil accepted")
+	}
+}
+
+func TestEstimatorCloneIsDeep(t *testing.T) {
+	e := buildEstimator(46)
+	c := e.Clone()
+	if c.Estimate() != e.Estimate() {
+		t.Fatalf("clone answers differently")
+	}
+	c.UpdateF(1, 1000)
+	if c.f.t == e.f.t {
+		t.Fatal("clone shares position state with original")
+	}
+}
+
+func TestInnerUnmarshalRejectsGarbage(t *testing.T) {
+	e := buildEstimator(47)
+	data, _ := e.MarshalBinary()
+	fresh := &Estimator{}
+	if err := fresh.UnmarshalBinary(nil); err == nil {
+		t.Error("accepted nil")
+	}
+	if err := fresh.UnmarshalBinary(data[:len(data)-7]); err == nil {
+		t.Error("accepted truncated payload")
+	}
+	bad := append([]byte(nil), data...)
+	bad[2] = 123
+	if err := fresh.UnmarshalBinary(bad); err == nil {
+		t.Error("accepted wrong version")
+	}
+}

@@ -1,0 +1,86 @@
+package inner
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Merge folds another Estimator built from the same seed into this one.
+// Both of the estimator's stream sketches are linear in their sampled
+// inputs: f-levels live at the same index j in both instances sample at
+// the same rate base^-j, so their bins add coordinate-wise, and likewise
+// for the g-levels; levels live in only one survive as-is. The combined
+// positions re-run the interval schedule, pruning levels outside the
+// merged stream's active window. While both sides are still in the
+// rate-1 regime (t < base, only level 0 live) the merge is exact: bins
+// equal those of a single estimator that ingested both streams.
+func (e *Estimator) Merge(other *Estimator) error {
+	if other == nil {
+		return fmt.Errorf("inner: merge with nil Estimator")
+	}
+	if e.params != other.params || e.prime != other.prime {
+		return fmt.Errorf("inner: merging Estimators with different params (same seed/params required)")
+	}
+	for r := range e.hb {
+		if !e.hb[r].Equal(other.hb[r]) || !e.hs[r].Equal(other.hs[r]) {
+			return fmt.Errorf("inner: merging Estimators with different hash functions (same seed required)")
+		}
+	}
+	e.mergeSide(e.f, other.f)
+	e.mergeSide(e.g, other.g)
+	return nil
+}
+
+// mergeSide folds one stream's level stack into the receiver's.
+func (e *Estimator) mergeSide(sd, osd *side) {
+	for j, olv := range osd.levels {
+		if lv, ok := sd.levels[j]; ok {
+			for r := range lv.bins {
+				for c := range lv.bins[r] {
+					lv.bins[r][c] += olv.bins[r][c]
+				}
+			}
+			if olv.start < lv.start {
+				lv.start = olv.start
+			}
+		} else {
+			lv := &ipLevel{j: j, start: olv.start, bins: make([][]int64, len(olv.bins))}
+			for r := range olv.bins {
+				lv.bins[r] = append([]int64(nil), olv.bins[r]...)
+			}
+			sd.levels[j] = lv
+		}
+	}
+	sd.t += osd.t
+	if osd.maxCount > sd.maxCount {
+		sd.maxCount = osd.maxCount
+	}
+	e.syncLevels(sd)
+}
+
+// Clone returns a deep copy sharing the (immutable) hash functions,
+// with a fresh rng stream for the clone's own sampling decisions.
+func (e *Estimator) Clone() *Estimator {
+	c := &Estimator{
+		params: e.params,
+		prime:  e.prime,
+		hb:     e.hb,
+		hs:     e.hs,
+		f:      cloneSide(e.f),
+		g:      cloneSide(e.g),
+		rng:    rand.New(rand.NewSource(e.rng.Int63())),
+	}
+	return c
+}
+
+func cloneSide(sd *side) *side {
+	c := &side{t: sd.t, maxCount: sd.maxCount, levels: make(map[int]*ipLevel, len(sd.levels))}
+	for j, lv := range sd.levels {
+		nl := &ipLevel{j: lv.j, start: lv.start, bins: make([][]int64, len(lv.bins))}
+		for r := range lv.bins {
+			nl.bins[r] = append([]int64(nil), lv.bins[r]...)
+		}
+		c.levels[j] = nl
+	}
+	return c
+}

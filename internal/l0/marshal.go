@@ -1,0 +1,415 @@
+package l0
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/hash"
+	"repro/internal/nt"
+	"repro/internal/wire"
+)
+
+// Wire layouts for the Section 6 structures. Every hash function and
+// random multiplier vector travels with the counters, so a restored
+// instance subsamples, perfect-hashes and bins identically to the
+// original — the property that makes the modular bins addable across a
+// marshal/unmarshal boundary.
+const (
+	exactSmallMagic = "0E"
+	roughF0Magic    = "0F"
+	roughL0Magic    = "0R"
+	estimatorMagic  = "0M"
+	formatV1        = 1
+)
+
+// MarshalBinary encodes the exact small-L0 structure.
+func (e *ExactSmall) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(exactSmallMagic, formatV1)
+	w.U32(uint32(e.c))
+	w.U64(e.buckets)
+	w.U64(e.prime)
+	w.Bool(e.overflow)
+	w.U32(uint32(e.maxLive))
+	if err := w.Marshal(e.hash); err != nil {
+		return nil, err
+	}
+	keys := make([]uint64, 0, len(e.counters))
+	for b := range e.counters {
+		keys = append(keys, b)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	w.U32(uint32(len(keys)))
+	for _, b := range keys {
+		w.U64(b)
+		w.U64(e.counters[b])
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores an ExactSmall serialized by MarshalBinary.
+// On failure the receiver is left unchanged.
+func (e *ExactSmall) UnmarshalBinary(data []byte) error {
+	rd, v, err := wire.NewReader(data, exactSmallMagic)
+	if err != nil {
+		return err
+	}
+	if v != formatV1 {
+		return errors.New("l0: unsupported ExactSmall format version")
+	}
+	c := int(rd.U32())
+	buckets := rd.U64()
+	prime := rd.U64()
+	overflow := rd.Bool()
+	maxLive := int(rd.U32())
+	h := &hash.KWise{}
+	rd.Unmarshal(h)
+	n := int(rd.U32())
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	if c < 1 || buckets < 1 || prime < 2 {
+		return errors.New("l0: bad ExactSmall parameters")
+	}
+	if n < 0 || n*16 > rd.Remaining() {
+		return errors.New("l0: bad ExactSmall counter count")
+	}
+	counters := make(map[uint64]uint64, n)
+	for i := 0; i < n; i++ {
+		b := rd.U64()
+		val := rd.U64()
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		if b >= buckets || val == 0 || val >= prime {
+			return errors.New("l0: bad ExactSmall counter")
+		}
+		if _, dup := counters[b]; dup {
+			return errors.New("l0: duplicate ExactSmall bucket")
+		}
+		counters[b] = val
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	if !overflow && n > c {
+		return errors.New("l0: ExactSmall live set exceeds promise bound")
+	}
+	e.c, e.buckets, e.prime = c, buckets, prime
+	e.hash = h
+	e.counters = counters
+	e.overflow, e.maxLive = overflow, maxLive
+	return nil
+}
+
+// MarshalBinary encodes the rough F0 overestimator.
+func (r *RoughF0) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(roughF0Magic, formatV1)
+	w.I64(r.best)
+	w.I64(r.safety)
+	w.U32(uint32(len(r.hs)))
+	for _, h := range r.hs {
+		if err := w.Marshal(h); err != nil {
+			return nil, err
+		}
+	}
+	w.U64s(r.bitmaps)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a RoughF0 serialized by MarshalBinary. On
+// failure the receiver is left unchanged.
+func (r *RoughF0) UnmarshalBinary(data []byte) error {
+	rd, v, err := wire.NewReader(data, roughF0Magic)
+	if err != nil {
+		return err
+	}
+	if v != formatV1 {
+		return errors.New("l0: unsupported RoughF0 format version")
+	}
+	best := rd.I64()
+	safety := rd.I64()
+	n := int(rd.U32())
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	if best < 0 || safety < 1 || n < 1 || n > rd.Remaining() {
+		return errors.New("l0: bad RoughF0 shape")
+	}
+	hs := make([]*hash.KWise, n)
+	for i := range hs {
+		hs[i] = &hash.KWise{}
+		rd.Unmarshal(hs[i])
+	}
+	bitmaps := rd.U64s()
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	if len(bitmaps) != n {
+		return errors.New("l0: RoughF0 bitmap count disagrees with copies")
+	}
+	r.hs, r.bitmaps = hs, bitmaps
+	r.best, r.safety = best, safety
+	return nil
+}
+
+// MarshalBinary encodes the constant-factor L0 estimator.
+func (r *RoughL0) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(roughL0Magic, formatV1)
+	w.U32(uint32(r.maxLevel))
+	w.I64(r.levelSeed)
+	w.Bool(r.windowed)
+	w.U32(uint32(r.window))
+	w.I64(r.levelFloor)
+	if err := w.Marshal(r.h); err != nil {
+		return nil, err
+	}
+	if r.windowed {
+		if err := w.Marshal(r.rough); err != nil {
+			return nil, err
+		}
+	}
+	js := sortedIntKeys(len(r.levels), func(f func(int)) {
+		for j := range r.levels {
+			f(j)
+		}
+	})
+	w.U32(uint32(len(js)))
+	for _, j := range js {
+		w.U32(uint32(j))
+		if err := w.Marshal(r.levels[j]); err != nil {
+			return nil, err
+		}
+	}
+	created := sortedIntKeys(len(r.created), func(f func(int)) {
+		for j := range r.created {
+			f(j)
+		}
+	})
+	w.U32(uint32(len(created)))
+	for _, j := range created {
+		w.U32(uint32(j))
+	}
+	return w.Bytes(), nil
+}
+
+// sortedIntKeys collects map keys via the supplied iterator and sorts
+// them — canonical encodings need deterministic order.
+func sortedIntKeys(n int, iterate func(func(int))) []int {
+	out := make([]int, 0, n)
+	iterate(func(j int) { out = append(out, j) })
+	sort.Ints(out)
+	return out
+}
+
+// UnmarshalBinary restores a RoughL0 serialized by MarshalBinary. On
+// failure the receiver is left unchanged.
+func (r *RoughL0) UnmarshalBinary(data []byte) error {
+	rd, v, err := wire.NewReader(data, roughL0Magic)
+	if err != nil {
+		return err
+	}
+	if v != formatV1 {
+		return errors.New("l0: unsupported RoughL0 format version")
+	}
+	maxLevel := int(rd.U32())
+	levelSeed := rd.I64()
+	windowed := rd.Bool()
+	window := int(rd.U32())
+	levelFloor := rd.I64()
+	h := &hash.KWise{}
+	rd.Unmarshal(h)
+	var rough *RoughF0
+	if windowed {
+		rough = &RoughF0{}
+		rd.Unmarshal(rough)
+	}
+	nLevels := int(rd.U32())
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	if maxLevel < 0 || maxLevel > 64 || window < 0 || nLevels < 0 || nLevels > rd.Remaining() {
+		return errors.New("l0: bad RoughL0 shape")
+	}
+	levels := make(map[int]*ExactSmall, nLevels)
+	for i := 0; i < nLevels; i++ {
+		j := int(rd.U32())
+		b := &ExactSmall{}
+		rd.Unmarshal(b)
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		if j > maxLevel {
+			return errors.New("l0: RoughL0 level out of range")
+		}
+		if _, dup := levels[j]; dup {
+			return errors.New("l0: duplicate RoughL0 level")
+		}
+		levels[j] = b
+	}
+	nCreated := int(rd.U32())
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	if nCreated < 0 || nCreated*4 > rd.Remaining() {
+		return errors.New("l0: bad RoughL0 created count")
+	}
+	created := make(map[int]bool, nCreated)
+	for i := 0; i < nCreated; i++ {
+		created[int(rd.U32())] = true
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	r.maxLevel = maxLevel
+	r.levels = levels
+	r.h = h
+	r.levelSeed = levelSeed
+	r.windowed, r.window = windowed, window
+	r.rough = rough
+	r.levelFloor = levelFloor
+	r.created = created
+	return nil
+}
+
+// MarshalBinary encodes the (1 +- eps) balls-into-bins estimator.
+func (e *Estimator) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(estimatorMagic, formatV1)
+	w.U64(e.params.N)
+	w.F64(e.params.Eps)
+	w.Bool(e.params.Windowed)
+	w.U32(uint32(e.params.Window))
+	w.U32(uint32(e.k))
+	w.U64(e.p)
+	w.I64(e.floorRow)
+	w.U32(uint32(e.maxLiveRows))
+	for _, h := range []*hash.KWise{e.h1, e.h2, e.h3, e.h4, e.h2s, e.h3s, e.h4s} {
+		if err := w.Marshal(h); err != nil {
+			return nil, err
+		}
+	}
+	w.U64s(e.u)
+	w.U64s(e.us)
+	w.U64s(e.singleRow)
+	if e.params.Windowed {
+		if err := w.Marshal(e.rough); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Marshal(e.final); err != nil {
+		return nil, err
+	}
+	if err := w.Marshal(e.small); err != nil {
+		return nil, err
+	}
+	js := sortedIntKeys(len(e.rows), func(f func(int)) {
+		for j := range e.rows {
+			f(j)
+		}
+	})
+	w.U32(uint32(len(js)))
+	for _, j := range js {
+		w.U32(uint32(j))
+		w.U64s(e.rows[j])
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores an Estimator serialized by MarshalBinary. On
+// failure the receiver is left unchanged.
+func (e *Estimator) UnmarshalBinary(data []byte) error {
+	rd, v, err := wire.NewReader(data, estimatorMagic)
+	if err != nil {
+		return err
+	}
+	if v != formatV1 {
+		return errors.New("l0: unsupported Estimator format version")
+	}
+	params := Params{
+		N:        rd.U64(),
+		Eps:      rd.F64(),
+		Windowed: rd.Bool(),
+		Window:   int(rd.U32()),
+	}
+	k := int(rd.U32())
+	p := rd.U64()
+	floorRow := rd.I64()
+	maxLiveRows := int(rd.U32())
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	if params.N < 2 || !(params.Eps > 0 && params.Eps < 1) || k < 1 || p < 2 {
+		return errors.New("l0: bad Estimator parameters")
+	}
+	hs := make([]*hash.KWise, 7)
+	for i := range hs {
+		hs[i] = &hash.KWise{}
+		rd.Unmarshal(hs[i])
+	}
+	u := rd.U64s()
+	us := rd.U64s()
+	singleRow := rd.U64s()
+	var rough *RoughF0
+	if params.Windowed {
+		rough = &RoughF0{}
+		rd.Unmarshal(rough)
+	}
+	final := &RoughL0{}
+	rd.Unmarshal(final)
+	small := &ExactSmall{}
+	rd.Unmarshal(small)
+	nRows := int(rd.U32())
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	if len(u) != k || len(us) != 2*k || len(singleRow) != 2*k {
+		return errors.New("l0: Estimator vector lengths disagree with k")
+	}
+	if nRows < 0 || nRows > rd.Remaining() {
+		return errors.New("l0: bad Estimator row count")
+	}
+	rows := make(map[int][]uint64, nRows)
+	for i := 0; i < nRows; i++ {
+		j := int(rd.U32())
+		bins := rd.U64s()
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		if len(bins) != k || j > 64 {
+			return errors.New("l0: bad Estimator row")
+		}
+		if _, dup := rows[j]; dup {
+			return errors.New("l0: duplicate Estimator row")
+		}
+		rows[j] = bins
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	restored := &Estimator{
+		params:      params,
+		k:           k,
+		maxRow:      nt.Log2Ceil(params.N),
+		p:           p,
+		h1:          hs[0],
+		h2:          hs[1],
+		h3:          hs[2],
+		h4:          hs[3],
+		u:           u,
+		rows:        rows,
+		rough:       rough,
+		floorRow:    floorRow,
+		final:       final,
+		small:       small,
+		singleRow:   singleRow,
+		h2s:         hs[4],
+		h3s:         hs[5],
+		h4s:         hs[6],
+		us:          us,
+		maxLiveRows: maxLiveRows,
+	}
+	restored.seeds = restored.h1.SpaceBits() + restored.h2.SpaceBits() +
+		restored.h3.SpaceBits() + restored.h4.SpaceBits() +
+		restored.h2s.SpaceBits() + restored.h3s.SpaceBits() + restored.h4s.SpaceBits()
+	*e = *restored
+	return nil
+}

@@ -1,0 +1,63 @@
+package l1
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAlphaEstimatorMarshalRoundTrip(t *testing.T) {
+	for _, exact := range []bool{false, true} {
+		var a *AlphaEstimator
+		if exact {
+			a = NewExactClock(rand.New(rand.NewSource(1)), 1<<16)
+		} else {
+			a = New(rand.New(rand.NewSource(1)), 1<<16)
+		}
+		for i := uint64(0); i < 500; i++ {
+			a.Update(i, 3)
+		}
+		data, err := a.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored := &AlphaEstimator{}
+		if err := restored.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if restored.Estimate() != a.Estimate() {
+			t.Fatalf("exact=%v: Estimate differs: %v vs %v", exact, restored.Estimate(), a.Estimate())
+		}
+		if restored.Units() != a.Units() || restored.LiveLevels() != a.LiveLevels() {
+			t.Fatalf("exact=%v: state differs after round trip", exact)
+		}
+		if restored.base != a.base || restored.maxCount != a.maxCount {
+			t.Fatalf("exact=%v: diagnostics differ", exact)
+		}
+		// The restored estimator merges where a clone would.
+		peer := NewExactClock(rand.New(rand.NewSource(9)), 1<<16)
+		if exact {
+			peer.Update(1, 10)
+			if err := peer.Merge(restored); err != nil {
+				t.Fatalf("merge of restored estimator rejected: %v", err)
+			}
+		}
+	}
+}
+
+func TestAlphaEstimatorUnmarshalRejectsGarbage(t *testing.T) {
+	a := New(rand.New(rand.NewSource(2)), 64)
+	a.Update(1, 5)
+	data, _ := a.MarshalBinary()
+	fresh := &AlphaEstimator{}
+	if err := fresh.UnmarshalBinary(nil); err == nil {
+		t.Error("accepted nil")
+	}
+	if err := fresh.UnmarshalBinary(data[:len(data)-1]); err == nil {
+		t.Error("accepted truncated payload")
+	}
+	bad := append([]byte(nil), data...)
+	bad[2] = 42
+	if err := fresh.UnmarshalBinary(bad); err == nil {
+		t.Error("accepted wrong version")
+	}
+}

@@ -98,6 +98,16 @@ func (c *Counter) Clone(rng *rand.Rand) *Counter {
 // by this value directly).
 func (c *Counter) Exponent() int { return int(c.v) }
 
+// State exposes the counter's persistent state (current and maximum
+// exponent) for serialization; Restore is the inverse.
+func (c *Counter) State() (v, max uint8) { return c.v, c.max }
+
+// Restore rebuilds a counter from serialized State, drawing future
+// randomness from rng.
+func Restore(rng *rand.Rand, v, max uint8) *Counter {
+	return &Counter{rng: rng, v: v, max: max}
+}
+
 // SpaceBits returns ceil(log2(1+v_max)) — the O(log log m) bits a Morris
 // counter occupies.
 func (c *Counter) SpaceBits() int64 {

@@ -1,0 +1,57 @@
+package sampler
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSamplerMarshalRoundTrip(t *testing.T) {
+	for _, general := range []bool{false, true} {
+		p := Params{N: 1 << 10, Eps: 0.25, Alpha: 2, General: general}
+		s := New(rand.New(rand.NewSource(21)), p, 4)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 2000; i++ {
+			s.Update(uint64(rng.Intn(64)), 1)
+		}
+		s.Update(5, 100000) // a dominant item most instances should return
+
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored := &Sampler{}
+		if err := restored.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		r1, ok1 := s.Sample()
+		r2, ok2 := restored.Sample()
+		if ok1 != ok2 || r1 != r2 {
+			t.Fatalf("general=%v: Sample differs: (%v,%v) vs (%v,%v)", general, r1, ok1, r2, ok2)
+		}
+		if s.SpaceBits() != restored.SpaceBits() {
+			t.Errorf("general=%v: SpaceBits differs", general)
+		}
+		// The restored sampler merges where a clone would.
+		if err := restored.Merge(s.Clone()); err != nil {
+			t.Fatalf("general=%v: merge of restored sampler rejected: %v", general, err)
+		}
+	}
+}
+
+func TestSamplerUnmarshalRejectsGarbage(t *testing.T) {
+	s := New(rand.New(rand.NewSource(22)), Params{N: 256, Eps: 0.3, Alpha: 1}, 2)
+	s.Update(1, 3)
+	data, _ := s.MarshalBinary()
+	fresh := &Sampler{}
+	if err := fresh.UnmarshalBinary(nil); err == nil {
+		t.Error("accepted nil")
+	}
+	if err := fresh.UnmarshalBinary(data[:len(data)-6]); err == nil {
+		t.Error("accepted truncated payload")
+	}
+	bad := append([]byte(nil), data...)
+	bad[2] = 55
+	if err := fresh.UnmarshalBinary(bad); err == nil {
+		t.Error("accepted wrong version")
+	}
+}

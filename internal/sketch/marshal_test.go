@@ -71,6 +71,51 @@ func TestCombineRemoteRejectsForeign(t *testing.T) {
 	}
 }
 
+func TestCountMinMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cm := NewCountMin(rng, 5, 128)
+	for i := uint64(0); i < 700; i++ {
+		cm.Update(i%90, int64(i%11)-2)
+	}
+	data, err := cm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &CountMin{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 90; i++ {
+		if restored.Query(i) != cm.Query(i) || restored.QueryMedian(i) != cm.QueryMedian(i) {
+			t.Fatalf("query %d differs after round trip", i)
+		}
+	}
+	if restored.Total() != cm.Total() || restored.SpaceBits() != cm.SpaceBits() {
+		t.Errorf("diagnostics differ after round trip")
+	}
+	if err := restored.Merge(cm.Clone()); err != nil {
+		t.Fatalf("merge of restored CountMin rejected: %v", err)
+	}
+}
+
+func TestCountMinUnmarshalRejectsGarbage(t *testing.T) {
+	cm := NewCountMin(rand.New(rand.NewSource(7)), 2, 8)
+	cm.Update(1, 1)
+	data, _ := cm.MarshalBinary()
+	fresh := &CountMin{}
+	if err := fresh.UnmarshalBinary(nil); err == nil {
+		t.Error("accepted nil")
+	}
+	if err := fresh.UnmarshalBinary(data[:len(data)-2]); err == nil {
+		t.Error("accepted truncated payload")
+	}
+	bad := append([]byte(nil), data...)
+	bad[2] = 77
+	if err := fresh.UnmarshalBinary(bad); err == nil {
+		t.Error("accepted wrong version")
+	}
+}
+
 func TestCountSketchUnmarshalRejectsGarbage(t *testing.T) {
 	cs := &CountSketch{}
 	for _, data := range [][]byte{nil, {9}, []byte("CSgarbagegarbagegarbagegarbagegar")} {

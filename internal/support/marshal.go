@@ -1,0 +1,134 @@
+package support
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hash"
+	"repro/internal/l0"
+	"repro/internal/nt"
+	"repro/internal/sparse"
+	"repro/internal/wire"
+)
+
+// Wire layout of the Figure 8 support sampler: Params (every field —
+// merge compatibility compares them), the level hash, the rough-F0
+// tracker, the hash-sharing sparse-recovery prototype, and each live
+// level's sketch. The restored instance reseeds its rng from the
+// payload; counters and hash wirings are exact.
+const (
+	samplerMagic = "SS"
+	formatV1     = 1
+)
+
+// MarshalBinary encodes the sampler.
+func (sp *Sampler) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(samplerMagic, formatV1)
+	w.U64(sp.params.N)
+	w.U32(uint32(sp.params.K))
+	w.U32(uint32(sp.params.SparsityFactor))
+	w.Bool(sp.params.Windowed)
+	w.U32(uint32(sp.params.Window))
+	w.U32(uint32(sp.s))
+	w.U32(uint32(sp.maxLiveLevels))
+	if err := w.Marshal(sp.h); err != nil {
+		return nil, err
+	}
+	if err := w.Marshal(sp.rough); err != nil {
+		return nil, err
+	}
+	if err := w.Marshal(sp.proto); err != nil {
+		return nil, err
+	}
+	js := make([]int, 0, len(sp.levels))
+	for j := range sp.levels {
+		js = append(js, j)
+	}
+	sort.Ints(js)
+	w.U32(uint32(len(js)))
+	for _, j := range js {
+		w.U32(uint32(j))
+		if err := w.Marshal(sp.levels[j].sketch); err != nil {
+			return nil, err
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a sampler serialized by MarshalBinary. On
+// failure the receiver is left unchanged.
+func (sp *Sampler) UnmarshalBinary(data []byte) error {
+	rd, v, err := wire.NewReader(data, samplerMagic)
+	if err != nil {
+		return err
+	}
+	if v != formatV1 {
+		return errors.New("support: unsupported Sampler format version")
+	}
+	params := Params{
+		N:              rd.U64(),
+		K:              int(rd.U32()),
+		SparsityFactor: int(rd.U32()),
+		Windowed:       rd.Bool(),
+		Window:         int(rd.U32()),
+	}
+	s := int(rd.U32())
+	maxLiveLevels := int(rd.U32())
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	if params.N < 2 || params.K < 1 || s < 1 {
+		return errors.New("support: bad Sampler parameters")
+	}
+	h := &hash.KWise{}
+	rd.Unmarshal(h)
+	rough := &l0.RoughF0{}
+	rd.Unmarshal(rough)
+	proto := &sparse.Recovery{}
+	rd.Unmarshal(proto)
+	nLevels := int(rd.U32())
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	maxLevel := nt.Log2Ceil(params.N)
+	if nLevels < 0 || nLevels > rd.Remaining() {
+		return errors.New("support: bad Sampler level count")
+	}
+	levels := make(map[int]*levelSketch, nLevels)
+	for i := 0; i < nLevels; i++ {
+		j := int(rd.U32())
+		sk := &sparse.Recovery{}
+		rd.Unmarshal(sk)
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		if j > maxLevel {
+			return errors.New("support: Sampler level out of range")
+		}
+		if _, dup := levels[j]; dup {
+			return errors.New("support: duplicate Sampler level")
+		}
+		levels[j] = &levelSketch{j: j, sketch: sk}
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	// Every level sketch must share the prototype's wiring, the invariant
+	// Merge and Recover rely on.
+	for _, lv := range levels {
+		if err := proto.Compatible(lv.sketch); err != nil {
+			return errors.New("support: level sketch wiring disagrees with prototype")
+		}
+	}
+	sp.params = params
+	sp.s = s
+	sp.maxLevel = maxLevel
+	sp.h = h
+	sp.rough = rough
+	sp.levels = levels
+	sp.proto = proto
+	sp.rng = rand.New(rand.NewSource(wire.Seed(data)))
+	sp.maxLiveLevels = maxLiveLevels
+	return nil
+}

@@ -1,0 +1,59 @@
+package support
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSamplerMarshalRoundTrip(t *testing.T) {
+	for _, windowed := range []bool{false, true} {
+		sp := NewSampler(rand.New(rand.NewSource(31)), Params{
+			N: 1 << 10, K: 8, Windowed: windowed, Window: RecommendedWindow(4),
+		})
+		for i := uint64(0); i < 20; i++ {
+			sp.Update(i*37%1024, int64(i)+1)
+		}
+		data, err := sp.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored := &Sampler{}
+		if err := restored.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		a, b := sp.Recover(), restored.Recover()
+		if len(a) != len(b) {
+			t.Fatalf("windowed=%v: Recover differs: %v vs %v", windowed, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("windowed=%v: Recover differs at %d", windowed, i)
+			}
+		}
+		if sp.LiveLevels() != restored.LiveLevels() {
+			t.Fatalf("windowed=%v: LiveLevels differs", windowed)
+		}
+		// The restored sampler merges where a clone would.
+		if err := restored.Merge(sp.Clone()); err != nil {
+			t.Fatalf("windowed=%v: merge of restored sampler rejected: %v", windowed, err)
+		}
+	}
+}
+
+func TestSupportUnmarshalRejectsGarbage(t *testing.T) {
+	sp := NewSampler(rand.New(rand.NewSource(32)), Params{N: 256, K: 4})
+	sp.Update(1, 2)
+	data, _ := sp.MarshalBinary()
+	fresh := &Sampler{}
+	if err := fresh.UnmarshalBinary(nil); err == nil {
+		t.Error("accepted nil")
+	}
+	if err := fresh.UnmarshalBinary(data[:len(data)-9]); err == nil {
+		t.Error("accepted truncated payload")
+	}
+	bad := append([]byte(nil), data...)
+	bad[2] = 99
+	if err := fresh.UnmarshalBinary(bad); err == nil {
+		t.Error("accepted wrong version")
+	}
+}

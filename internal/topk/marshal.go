@@ -1,0 +1,77 @@
+package topk
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/wire"
+)
+
+// Wire layout of a Tracker: capacity, then the (id, estimate) pairs in
+// heap order. The linear-probe index, the heap invariant and the cached
+// |estimate| keys are all derivable, so the restore path re-offers the
+// entries through the normal insertion machinery rather than trusting
+// the payload's structure.
+const (
+	trackerMagic    = "TK"
+	trackerFormatV1 = 1
+)
+
+// MarshalBinary encodes the tracked (item, estimate) set.
+func (t *Tracker) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(trackerMagic, trackerFormatV1)
+	w.U32(uint32(t.cap))
+	w.U32(uint32(len(t.heap)))
+	for i := range t.heap {
+		w.U64(t.heap[i].id)
+		w.F64(t.heap[i].est)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary restores a tracker serialized by MarshalBinary. On
+// failure the receiver is left unchanged.
+func (t *Tracker) UnmarshalBinary(data []byte) error {
+	r, v, err := wire.NewReader(data, trackerMagic)
+	if err != nil {
+		return err
+	}
+	if v != trackerFormatV1 {
+		return errors.New("topk: unsupported Tracker format version")
+	}
+	capacity := int(r.U32())
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if capacity < 1 || capacity > 1<<30 {
+		return errors.New("topk: bad Tracker capacity")
+	}
+	if n < 0 || n > 2*capacity || n*16 > r.Remaining() {
+		return errors.New("topk: bad Tracker entry count")
+	}
+	ids := make([]uint64, n)
+	ests := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ids[i] = r.U64()
+		ests[i] = r.F64()
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	restored := New(capacity)
+	for i := 0; i < n; i++ {
+		if math.IsNaN(ests[i]) {
+			return errors.New("topk: NaN estimate in Tracker payload")
+		}
+		before := restored.Len()
+		restored.Offer(ids[i], ests[i])
+		if restored.Len() == before {
+			// A duplicate id updates in place instead of growing the heap;
+			// a valid payload never carries duplicates.
+			return errors.New("topk: duplicate id in Tracker payload")
+		}
+	}
+	*t = *restored
+	return nil
+}

@@ -1,0 +1,72 @@
+package topk
+
+import (
+	"testing"
+)
+
+func TestTrackerMarshalRoundTrip(t *testing.T) {
+	tr := New(8)
+	for i := uint64(0); i < 40; i++ {
+		tr.Offer(i, float64(i)*1.5-20)
+	}
+	data, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &Tracker{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Capacity() != tr.Capacity() || restored.Len() != tr.Len() {
+		t.Fatalf("shape: restored (%d,%d), original (%d,%d)",
+			restored.Capacity(), restored.Len(), tr.Capacity(), tr.Len())
+	}
+	want := map[uint64]bool{}
+	for _, id := range tr.Candidates() {
+		want[id] = true
+	}
+	for _, id := range restored.Candidates() {
+		if !want[id] {
+			t.Fatalf("restored tracks %d, original does not", id)
+		}
+		delete(want, id)
+	}
+	if len(want) != 0 {
+		t.Fatalf("restored lost candidates: %v", want)
+	}
+	// The restored tracker keeps evicting correctly.
+	restored.Offer(999, 1e9)
+	found := false
+	for _, id := range restored.Candidates() {
+		if id == 999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("restored tracker dropped a dominant offer")
+	}
+}
+
+func TestTrackerUnmarshalRejectsGarbage(t *testing.T) {
+	tr := New(4)
+	tr.Offer(1, 10)
+	data, _ := tr.MarshalBinary()
+	fresh := &Tracker{}
+	if err := fresh.UnmarshalBinary(nil); err == nil {
+		t.Error("accepted nil")
+	}
+	if err := fresh.UnmarshalBinary(data[:len(data)-3]); err == nil {
+		t.Error("accepted truncated payload")
+	}
+	// Duplicate entries are rejected (a valid payload never carries them).
+	dup := New(4)
+	dup.Offer(7, 1)
+	d, _ := dup.MarshalBinary()
+	// Append a second copy of the same entry by hand-editing the count.
+	d2 := append([]byte(nil), d...)
+	d2[7], d2[8], d2[9], d2[10] = 2, 0, 0, 0 // entry count u32 -> 2
+	d2 = append(d2, d[11:]...)               // repeat the (id, est) pair
+	if err := fresh.UnmarshalBinary(d2); err == nil {
+		t.Error("accepted duplicate ids")
+	}
+}

@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter("XY", 3)
+	w.U8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(12345)
+	w.U64(1 << 50)
+	w.I64(-99)
+	w.F64(3.25)
+	w.Bytes32([]byte("hello"))
+	w.U64s([]uint64{1, 2, 3})
+	w.I64s([]int64{-1, 0, 1})
+	w.F64s([]float64{0.5, -0.5})
+
+	r, v, err := NewReader(w.Bytes(), "XY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Fatalf("version = %d, want 3", v)
+	}
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bool round trip")
+	}
+	if got := r.U32(); got != 12345 {
+		t.Errorf("U32 = %d", got)
+	}
+	if got := r.U64(); got != 1<<50 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -99 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.F64(); got != 3.25 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := string(r.Bytes32()); got != "hello" {
+		t.Errorf("Bytes32 = %q", got)
+	}
+	if got := r.U64s(); len(got) != 3 || got[2] != 3 {
+		t.Errorf("U64s = %v", got)
+	}
+	if got := r.I64s(); len(got) != 3 || got[0] != -1 {
+		t.Errorf("I64s = %v", got)
+	}
+	if got := r.F64s(); len(got) != 2 || got[1] != -0.5 {
+		t.Errorf("F64s = %v", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, _, err := NewReader([]byte{'A', 'B', 1}, "XY"); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	if _, _, err := NewReader([]byte{'X'}, "XY"); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestTruncationLatches(t *testing.T) {
+	w := NewWriter("XY", 1)
+	w.U64(42)
+	data := w.Bytes()[:5] // cut mid-field
+	r, _, err := NewReader(data, "XY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.U64()
+	if r.Err() == nil {
+		t.Fatal("truncated read did not latch an error")
+	}
+	// Subsequent reads stay zero and don't panic.
+	if got := r.U64(); got != 0 {
+		t.Errorf("post-error read = %d, want 0", got)
+	}
+	if r.Done() == nil {
+		t.Fatal("Done succeeded after error")
+	}
+}
+
+func TestOversizedLengthPrefixRejected(t *testing.T) {
+	w := NewWriter("XY", 1)
+	w.U32(1 << 30) // absurd element count with no bytes behind it
+	r, _, err := NewReader(w.Bytes(), "XY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.U64s(); got != nil {
+		t.Errorf("oversized prefix yielded %v", got)
+	}
+	if r.Err() == nil || !strings.Contains(r.Err().Error(), "length prefix") {
+		t.Fatalf("want length-prefix error, got %v", r.Err())
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	w := NewWriter("XY", 1)
+	w.U8(1)
+	w.U8(2)
+	r, _, err := NewReader(w.Bytes(), "XY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.U8()
+	if r.Done() == nil {
+		t.Fatal("trailing byte not reported")
+	}
+}
+
+func TestSeedDeterministicAndNonNegative(t *testing.T) {
+	a := Seed([]byte("abc"))
+	b := Seed([]byte("abc"))
+	c := Seed([]byte("abd"))
+	if a != b {
+		t.Error("Seed not deterministic")
+	}
+	if a == c {
+		t.Error("Seed ignores content")
+	}
+	if a < 0 || c < 0 {
+		t.Error("Seed must be non-negative (rand.NewSource-safe)")
+	}
+}

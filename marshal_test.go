@@ -1,0 +1,325 @@
+package bounded
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+// fig1Stream is the shared marshal-test workload: the Fig1
+// bounded-deletion stream the benchmarks use, split into two halves so
+// tests can model "two sites sketch disjoint substreams, one ships its
+// sketch to the other".
+func fig1Stream(t *testing.T) (whole, first, second []stream.Update) {
+	t.Helper()
+	s := gen.BoundedDeletion(gen.Config{N: 1 << 12, Items: 30000, Alpha: 4, Zipf: 1.3, Seed: 77})
+	half := len(s.Updates) / 2
+	return s.Updates, s.Updates[:half], s.Updates[half:]
+}
+
+// marshalCase describes one structure's differential ship-merge check.
+type marshalCase struct {
+	name string
+	kind Kind
+	make func(t *testing.T) Sketch
+	// answer extracts a comparable query answer.
+	answer func(s Sketch) any
+}
+
+func marshalCases() []marshalCase {
+	cfg := Config{N: 1 << 12, Eps: 0.05, Alpha: 4, Seed: 5}
+	must := func(s Sketch, err error) func(*testing.T) Sketch {
+		return func(t *testing.T) Sketch {
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+	}
+	return []marshalCase{
+		{
+			name:   "HeavyHitters",
+			kind:   KindHeavyHitters,
+			make:   func(t *testing.T) Sketch { return must(NewHeavyHitters(cfg))(t) },
+			answer: func(s Sketch) any { return s.(*HeavyHitters).HeavyHitters() },
+		},
+		{
+			name:   "HeavyHittersGeneral",
+			kind:   KindHeavyHitters,
+			make:   func(t *testing.T) Sketch { return must(NewHeavyHitters(cfg, WithStrict(false)))(t) },
+			answer: func(s Sketch) any { return s.(*HeavyHitters).HeavyHitters() },
+		},
+		{
+			name:   "L1Estimator",
+			kind:   KindL1Estimator,
+			make:   func(t *testing.T) Sketch { return must(NewL1Estimator(cfg))(t) },
+			answer: func(s Sketch) any { return s.(*L1Estimator).Estimate() },
+		},
+		{
+			name:   "L1EstimatorGeneral",
+			kind:   KindL1Estimator,
+			make:   func(t *testing.T) Sketch { return must(NewL1Estimator(cfg, WithStrict(false)))(t) },
+			answer: func(s Sketch) any { return s.(*L1Estimator).Estimate() },
+		},
+		{
+			name:   "L0Estimator",
+			kind:   KindL0Estimator,
+			make:   func(t *testing.T) Sketch { return must(NewL0Estimator(cfg))(t) },
+			answer: func(s Sketch) any { return s.(*L0Estimator).Estimate() },
+		},
+		{
+			name: "L1Sampler",
+			kind: KindL1Sampler,
+			make: func(t *testing.T) Sketch {
+				return must(NewL1Sampler(Config{N: 1 << 12, Eps: 0.25, Alpha: 4, Seed: 5}, WithCopies(4)))(t)
+			},
+			answer: func(s Sketch) any {
+				r, ok := s.(*L1Sampler).Sample()
+				return fmt.Sprintf("%v/%v", r, ok)
+			},
+		},
+		{
+			name:   "SupportSampler",
+			kind:   KindSupportSampler,
+			make:   func(t *testing.T) Sketch { return must(NewSupportSampler(cfg, WithK(16)))(t) },
+			answer: func(s Sketch) any { return s.(*SupportSampler).Recover() },
+		},
+		{
+			name:   "InnerProduct",
+			kind:   KindInnerProduct,
+			make:   func(t *testing.T) Sketch { return must(NewInnerProduct(cfg))(t) },
+			answer: func(s Sketch) any { return s.(*InnerProduct).Estimate() },
+		},
+		{
+			name: "L2HeavyHitters",
+			kind: KindL2HeavyHitters,
+			make: func(t *testing.T) Sketch {
+				return must(NewL2HeavyHitters(Config{N: 1 << 12, Eps: 0.1, Alpha: 4, Seed: 5}))(t)
+			},
+			answer: func(s Sketch) any { return s.(*L2HeavyHitters).HeavyHitters() },
+		},
+		{
+			name:   "SyncSketch",
+			kind:   KindSyncSketch,
+			make:   func(t *testing.T) Sketch { return must(NewSyncSketch(cfg, WithCapacity(64)))(t) },
+			answer: func(s Sketch) any { return s.(*SyncSketch).SpaceBits() },
+		},
+	}
+}
+
+// TestShipMergeMatchesCloneMerge is the acceptance differential: for
+// every structure, marshal → (ship) → unmarshal → Merge into a peer
+// produces answers identical to an in-process Clone + Merge, on the
+// Fig1 workload. The wire format therefore loses nothing a merge
+// consumes: tables, trackers, sampling clocks, hash wirings.
+func TestShipMergeMatchesCloneMerge(t *testing.T) {
+	_, first, second := fig1Stream(t)
+	for _, tc := range marshalCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			// Site A sketches the first half; site B the second half.
+			siteA := tc.make(t)
+			siteA.UpdateBatch(first)
+			siteB := tc.make(t)
+			siteB.UpdateBatch(second)
+
+			// In-process path: a clone of B merges into a clone of A.
+			inProc := siteA.Clone()
+			if err := inProc.Merge(siteB.Clone()); err != nil {
+				t.Fatalf("in-process merge: %v", err)
+			}
+
+			// Wire path: B's sketch ships as bytes; A restores and merges.
+			data, err := siteB.MarshalBinary()
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			shipped, err := UnmarshalSketch(data)
+			if err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if k, _ := SketchKind(data); k != tc.kind {
+				t.Fatalf("SketchKind = %v, want %v", k, tc.kind)
+			}
+			overWire := siteA.Clone()
+			if err := overWire.Merge(shipped); err != nil {
+				t.Fatalf("wire merge: %v", err)
+			}
+
+			got, want := tc.answer(overWire), tc.answer(inProc)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("wire-merged answer %v differs from clone-merged answer %v", got, want)
+			}
+		})
+	}
+}
+
+// TestMarshalRoundTripAnswers: Unmarshal(Marshal(s)) answers exactly
+// like s on the full Fig1 workload.
+func TestMarshalRoundTripAnswers(t *testing.T) {
+	whole, _, _ := fig1Stream(t)
+	for _, tc := range marshalCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.make(t)
+			s.UpdateBatch(whole)
+			data, err := s.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := UnmarshalSketch(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := tc.answer(restored), tc.answer(s); !reflect.DeepEqual(got, want) {
+				t.Fatalf("restored answer %v differs from original %v", got, want)
+			}
+			if restored.SpaceBits() != s.SpaceBits() {
+				t.Errorf("SpaceBits differs: %d vs %d", restored.SpaceBits(), s.SpaceBits())
+			}
+		})
+	}
+}
+
+// TestMergeRejectsWrongKind: the Sketch-interface Merge refuses a
+// different concrete type with a descriptive error.
+func TestMergeRejectsWrongKind(t *testing.T) {
+	cfg := Config{N: 1 << 10, Eps: 0.1, Alpha: 2, Seed: 1}
+	hh, err := NewHeavyHitters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0e, err := NewL0Estimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hh.Merge(l0e); err == nil {
+		t.Fatal("HeavyHitters.Merge accepted an L0Estimator")
+	}
+	if err := hh.Merge(nil); err == nil {
+		t.Fatal("HeavyHitters.Merge accepted nil")
+	}
+	// A typed-nil of the RIGHT type reads as a nil diagnostic, not a
+	// misleading wrong-type one.
+	var typedNil *HeavyHitters
+	err = hh.Merge(typedNil)
+	if err == nil {
+		t.Fatal("HeavyHitters.Merge accepted a typed nil")
+	}
+	if !strings.Contains(err.Error(), "nil") || strings.Contains(err.Error(), "concrete type") {
+		t.Fatalf("typed-nil merge diagnostic misleads: %v", err)
+	}
+}
+
+// TestUnmarshalWrongKindRejected: a structure refuses another
+// structure's payload by kind byte, before touching any state.
+func TestUnmarshalWrongKindRejected(t *testing.T) {
+	cfg := Config{N: 1 << 10, Eps: 0.1, Alpha: 2, Seed: 1}
+	hh, err := NewHeavyHitters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := hh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l0e L0Estimator
+	if err := l0e.UnmarshalBinary(data); err == nil {
+		t.Fatal("L0Estimator accepted a HeavyHitters payload")
+	}
+}
+
+// TestOptionErrors covers the constructor option contract: bad values
+// and non-applicable options return descriptive errors (the historical
+// API silently clamped the L1 estimator's delta).
+func TestOptionErrors(t *testing.T) {
+	cfg := Config{N: 1 << 10, Eps: 0.1, Alpha: 2, Seed: 1}
+	if _, err := NewL1Estimator(cfg, WithFailureProb(1.5)); err == nil {
+		t.Error("out-of-range WithFailureProb accepted")
+	}
+	if _, err := NewL1Estimator(cfg, WithFailureProb(0)); err == nil {
+		t.Error("zero WithFailureProb accepted")
+	}
+	if _, err := NewL1Estimator(cfg, WithStrict(false), WithFailureProb(0.1)); err == nil {
+		t.Error("WithFailureProb on the general estimator accepted")
+	}
+	if _, err := NewHeavyHitters(cfg, WithCopies(4)); err == nil {
+		t.Error("WithCopies on NewHeavyHitters accepted")
+	}
+	if _, err := NewL0Estimator(cfg, WithK(8)); err == nil {
+		t.Error("WithK on NewL0Estimator accepted")
+	}
+	if _, err := NewL1Sampler(cfg, WithCopies(0)); err == nil {
+		t.Error("WithCopies(0) accepted")
+	}
+	if _, err := NewSyncSketch(cfg, WithCapacity(-1)); err == nil {
+		t.Error("negative WithCapacity accepted")
+	}
+	if _, err := NewHeavyHitters(Config{}); err == nil {
+		t.Error("invalid Config accepted")
+	}
+	// Valid combinations still construct.
+	if _, err := NewL1Estimator(cfg, WithStrict(true), WithFailureProb(0.05)); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+// TestZeroValueMarshalErrors: MarshalBinary on a zero-value receiver
+// returns the descriptive zero-value error for every structure — the
+// typed-nil impl pointer must not slip past the guard and panic.
+func TestZeroValueMarshalErrors(t *testing.T) {
+	zeroes := []Sketch{
+		&HeavyHitters{},
+		&L1Estimator{},
+		&L0Estimator{},
+		&L1Sampler{},
+		&SupportSampler{},
+		&InnerProduct{},
+		&L2HeavyHitters{},
+		&SyncSketch{},
+	}
+	for _, z := range zeroes {
+		if _, err := z.MarshalBinary(); err == nil {
+			t.Errorf("%T: zero-value MarshalBinary succeeded, want error", z)
+		}
+	}
+}
+
+// TestUnmarshalSketchRejectsGarbage: corrupt, truncated, and
+// wrong-version payloads error without panicking.
+func TestUnmarshalSketchRejectsGarbage(t *testing.T) {
+	cfg := Config{N: 1 << 10, Eps: 0.1, Alpha: 2, Seed: 1}
+	hh, err := NewHeavyHitters(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh.Update(1, 5)
+	data, err := hh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]byte{
+		nil,
+		{},
+		{'B'},
+		{'X', 'Y', 1, 1},
+		data[:len(data)/2],
+		data[:len(data)-1],
+	} {
+		if _, err := UnmarshalSketch(bad); err == nil {
+			t.Errorf("accepted garbage of length %d", len(bad))
+		}
+	}
+	wrongVersion := append([]byte(nil), data...)
+	wrongVersion[2] = 99
+	if _, err := UnmarshalSketch(wrongVersion); err == nil {
+		t.Error("accepted wrong envelope version")
+	}
+	wrongKind := append([]byte(nil), data...)
+	wrongKind[3] = 200
+	if _, err := UnmarshalSketch(wrongKind); err == nil {
+		t.Error("accepted unknown kind byte")
+	}
+}

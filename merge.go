@@ -8,13 +8,16 @@ package bounded
 // trackers re-rank under the merged estimates. That is what makes the
 // sharded ingest engine (package engine) possible: S single-writer
 // instances ingest disjoint substreams in parallel and queries are
-// answered from a merged snapshot.
+// answered from a merged snapshot. Paired with the wire format in
+// sketch.go it also crosses process boundaries: marshal on one machine,
+// unmarshal on another, Merge there.
 //
-// Contract shared by every Merge below:
+// Contract shared by every Merge below (the Sketch interface contract):
 //
-//   - Both structures must have been built with identical Config (and
-//     any extra constructor arguments); mismatches return a descriptive
-//     error and leave the receiver unchanged where practical.
+//   - other must be the same concrete type as the receiver and both
+//     structures must have been built with identical Config (and
+//     options); mismatches return a descriptive error and leave the
+//     receiver unchanged where practical.
 //   - Merge may mutate other (e.g. thinning a CSSS table to align
 //     sampling rates); other must not be used afterwards. Merge clones
 //     when you need to keep the inputs.
@@ -24,123 +27,171 @@ package bounded
 //
 // Clone returns a deep snapshot sharing only immutable state (hash
 // functions), safe to hand to another goroutine while the original
-// keeps ingesting. InnerProduct is the one structure without a Merge:
-// it sketches TWO streams and its query is bilinear, so the engine's
-// single-partition ingest does not apply to it.
+// keeps ingesting. Clone returns the Sketch interface (the signature
+// all eight structures share); assert back to the concrete type when
+// you need the full query surface:
+//
+//	snap := hh.Clone().(*bounded.HeavyHitters)
+//
+// InnerProduct merges like every other structure: both of its stream
+// sketches are linear, so f-sketches and g-sketches add coordinate-wise.
 
-import "fmt"
+import (
+	"fmt"
+	"reflect"
+)
+
+// mergeTypeError formats the mismatched-operand diagnostic,
+// distinguishing a nil operand (untyped or a typed-nil pointer boxed in
+// the interface) from a genuinely different concrete type.
+func mergeTypeError(want Kind, other Sketch) error {
+	if other == nil {
+		return fmt.Errorf("bounded: merge with nil %s", want)
+	}
+	if v := reflect.ValueOf(other); v.Kind() == reflect.Pointer && v.IsNil() {
+		return fmt.Errorf("bounded: merge with nil %s", want)
+	}
+	return fmt.Errorf("bounded: merge of %T into %s (Merge requires the same concrete type)", other, want)
+}
 
 // Merge folds another HeavyHitters built from the same Config into this
 // one; afterwards queries answer for the union of both input streams.
-func (h *HeavyHitters) Merge(other *HeavyHitters) error {
-	if other == nil {
-		return fmt.Errorf("bounded: merge with nil HeavyHitters")
+func (h *HeavyHitters) Merge(other Sketch) error {
+	o, ok := other.(*HeavyHitters)
+	if !ok || o == nil {
+		return mergeTypeError(KindHeavyHitters, other)
 	}
-	return h.impl.Merge(other.impl)
+	return h.impl.Merge(o.impl)
 }
 
 // Clone returns a deep snapshot.
-func (h *HeavyHitters) Clone() *HeavyHitters {
-	return &HeavyHitters{impl: h.impl.Clone()}
+func (h *HeavyHitters) Clone() Sketch {
+	return &HeavyHitters{cfg: h.cfg, strict: h.strict, impl: h.impl.Clone()}
 }
 
 // Merge folds another L1Estimator built from the same Config (and the
 // same strict flag) into this one.
-func (e *L1Estimator) Merge(other *L1Estimator) error {
-	if other == nil {
-		return fmt.Errorf("bounded: merge with nil L1Estimator")
+func (e *L1Estimator) Merge(other Sketch) error {
+	o, ok := other.(*L1Estimator)
+	if !ok || o == nil {
+		return mergeTypeError(KindL1Estimator, other)
 	}
-	if (e.strict != nil) != (other.strict != nil) {
+	if (e.strict != nil) != (o.strict != nil) {
 		return fmt.Errorf("bounded: merging strict and general L1Estimators")
 	}
 	if e.strict != nil {
-		return e.strict.Merge(other.strict)
+		return e.strict.Merge(o.strict)
 	}
-	return e.general.Merge(other.general)
+	return e.general.Merge(o.general)
 }
 
 // Clone returns a deep snapshot.
-func (e *L1Estimator) Clone() *L1Estimator {
+func (e *L1Estimator) Clone() Sketch {
+	c := &L1Estimator{cfg: e.cfg, delta: e.delta}
 	if e.strict != nil {
-		return &L1Estimator{strict: e.strict.Clone()}
+		c.strict = e.strict.Clone()
+	} else {
+		c.general = e.general.Clone()
 	}
-	return &L1Estimator{general: e.general.Clone()}
+	return c
 }
 
 // Merge folds another L0Estimator built from the same Config into this
 // one.
-func (e *L0Estimator) Merge(other *L0Estimator) error {
-	if other == nil {
-		return fmt.Errorf("bounded: merge with nil L0Estimator")
+func (e *L0Estimator) Merge(other Sketch) error {
+	o, ok := other.(*L0Estimator)
+	if !ok || o == nil {
+		return mergeTypeError(KindL0Estimator, other)
 	}
-	return e.impl.Merge(other.impl)
+	return e.impl.Merge(o.impl)
 }
 
 // Clone returns a deep snapshot.
-func (e *L0Estimator) Clone() *L0Estimator {
-	return &L0Estimator{impl: e.impl.Clone()}
+func (e *L0Estimator) Clone() Sketch {
+	return &L0Estimator{cfg: e.cfg, impl: e.impl.Clone()}
 }
 
 // Merge folds another L1Sampler built from the same Config and copy
 // count into this one.
-func (s *L1Sampler) Merge(other *L1Sampler) error {
-	if other == nil {
-		return fmt.Errorf("bounded: merge with nil L1Sampler")
+func (s *L1Sampler) Merge(other Sketch) error {
+	o, ok := other.(*L1Sampler)
+	if !ok || o == nil {
+		return mergeTypeError(KindL1Sampler, other)
 	}
-	return s.impl.Merge(other.impl)
+	return s.impl.Merge(o.impl)
 }
 
 // Clone returns a deep snapshot.
-func (s *L1Sampler) Clone() *L1Sampler {
-	return &L1Sampler{impl: s.impl.Clone()}
+func (s *L1Sampler) Clone() Sketch {
+	return &L1Sampler{cfg: s.cfg, copies: s.copies, impl: s.impl.Clone()}
 }
 
 // Merge folds another SupportSampler built from the same Config and k
 // into this one.
-func (s *SupportSampler) Merge(other *SupportSampler) error {
-	if other == nil {
-		return fmt.Errorf("bounded: merge with nil SupportSampler")
+func (s *SupportSampler) Merge(other Sketch) error {
+	o, ok := other.(*SupportSampler)
+	if !ok || o == nil {
+		return mergeTypeError(KindSupportSampler, other)
 	}
-	return s.impl.Merge(other.impl)
+	return s.impl.Merge(o.impl)
 }
 
 // Clone returns a deep snapshot.
-func (s *SupportSampler) Clone() *SupportSampler {
-	return &SupportSampler{impl: s.impl.Clone()}
+func (s *SupportSampler) Clone() Sketch {
+	return &SupportSampler{cfg: s.cfg, k: s.k, impl: s.impl.Clone()}
+}
+
+// Merge folds another InnerProduct built from the same Config into this
+// one: both of its stream sketches are linear, so the result estimates
+// the inner product of the concatenated f streams and concatenated g
+// streams.
+func (ip *InnerProduct) Merge(other Sketch) error {
+	o, ok := other.(*InnerProduct)
+	if !ok || o == nil {
+		return mergeTypeError(KindInnerProduct, other)
+	}
+	return ip.impl.Merge(o.impl)
+}
+
+// Clone returns a deep snapshot.
+func (ip *InnerProduct) Clone() Sketch {
+	return &InnerProduct{cfg: ip.cfg, impl: ip.impl.Clone()}
 }
 
 // Merge folds another L2HeavyHitters built from the same Config into
 // this one.
-func (h *L2HeavyHitters) Merge(other *L2HeavyHitters) error {
-	if other == nil {
-		return fmt.Errorf("bounded: merge with nil L2HeavyHitters")
+func (h *L2HeavyHitters) Merge(other Sketch) error {
+	o, ok := other.(*L2HeavyHitters)
+	if !ok || o == nil {
+		return mergeTypeError(KindL2HeavyHitters, other)
 	}
-	return h.impl.Merge(other.impl)
+	return h.impl.Merge(o.impl)
 }
 
 // Clone returns a deep snapshot.
-func (h *L2HeavyHitters) Clone() *L2HeavyHitters {
-	return &L2HeavyHitters{impl: h.impl.Clone()}
+func (h *L2HeavyHitters) Clone() Sketch {
+	return &L2HeavyHitters{cfg: h.cfg, impl: h.impl.Clone()}
 }
 
 // Merge folds another SyncSketch built from the same Config and
 // capacity into this one: the sketch is linear, so the result sketches
 // the sum of both frequency vectors — shard-local sync sketches merge
 // into the sketch of the full stream before an exchange.
-func (s *SyncSketch) Merge(other *SyncSketch) error {
-	if other == nil || other.impl == nil {
-		return fmt.Errorf("bounded: merge with nil SyncSketch")
+func (s *SyncSketch) Merge(other Sketch) error {
+	o, ok := other.(*SyncSketch)
+	if !ok || o == nil || o.impl == nil {
+		return mergeTypeError(KindSyncSketch, other)
 	}
 	if s.impl == nil {
 		return fmt.Errorf("bounded: merge into zero-value SyncSketch (construct with NewSyncSketch or UnmarshalBinary first)")
 	}
-	return s.impl.Merge(other.impl)
+	return s.impl.Merge(o.impl)
 }
 
 // Clone returns a deep snapshot.
-func (s *SyncSketch) Clone() *SyncSketch {
+func (s *SyncSketch) Clone() Sketch {
 	if s.impl == nil {
-		return &SyncSketch{}
+		return &SyncSketch{cfg: s.cfg, capacity: s.capacity}
 	}
-	return &SyncSketch{impl: s.impl.Clone()}
+	return &SyncSketch{cfg: s.cfg, capacity: s.capacity, impl: s.impl.Clone()}
 }

@@ -1,0 +1,500 @@
+package bounded
+
+import (
+	"encoding"
+	"fmt"
+
+	"repro/internal/cauchy"
+	"repro/internal/heavy"
+	"repro/internal/inner"
+	"repro/internal/l0"
+	"repro/internal/l1"
+	"repro/internal/sampler"
+	"repro/internal/sparse"
+	"repro/internal/support"
+	"repro/internal/wire"
+)
+
+// Sketch is the interface every structure in this package implements:
+// a mergeable, serializable summary of a bounded-deletion stream. It is
+// the contract the distributed scenarios compose against — each site
+// feeds Update/UpdateBatch, ships MarshalBinary bytes, and a
+// coordinator UnmarshalBinary-restores and Merges them — and the engine
+// package's Snapshot/Restore speaks exactly this interface.
+//
+// Merge requires the other sketch to be the same concrete type, built
+// from the same Config (seed included); violations return a descriptive
+// error. Clone returns a deep snapshot safe to hand to another
+// goroutine while the original keeps ingesting. A marshal → unmarshal
+// round trip is answer-preserving: in the sketches' exact regimes the
+// restored instance is bit-identical to a Clone, which the differential
+// tests assert on the Fig1 workload.
+//
+// InnerProduct sketches TWO streams; its Update/UpdateBatch feed the
+// first stream f (UpdateG/UpdateBatchG feed g).
+type Sketch interface {
+	// Update feeds one stream update.
+	Update(i uint64, delta int64)
+	// UpdateBatch feeds a batch of updates in one call — the preferred
+	// high-throughput ingest path.
+	UpdateBatch(batch []Update)
+	// Merge folds another same-type, same-Config sketch into this one;
+	// afterwards queries answer for the union of both input streams.
+	// other may be mutated (e.g. sampling-rate alignment) and must not
+	// be used afterwards.
+	Merge(other Sketch) error
+	// Clone returns a deep snapshot.
+	Clone() Sketch
+	// SpaceBits reports the structure's space in the paper's cost model.
+	SpaceBits() int64
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// Compile-time interface checks: every public structure is a Sketch.
+var (
+	_ Sketch = (*HeavyHitters)(nil)
+	_ Sketch = (*L1Estimator)(nil)
+	_ Sketch = (*L0Estimator)(nil)
+	_ Sketch = (*L1Sampler)(nil)
+	_ Sketch = (*SupportSampler)(nil)
+	_ Sketch = (*InnerProduct)(nil)
+	_ Sketch = (*L2HeavyHitters)(nil)
+	_ Sketch = (*SyncSketch)(nil)
+)
+
+// Kind identifies a structure in the wire format.
+type Kind uint8
+
+// Wire kinds. Values are part of the serialization format; never
+// renumber.
+const (
+	KindHeavyHitters Kind = iota + 1
+	KindL1Estimator
+	KindL0Estimator
+	KindL1Sampler
+	KindSupportSampler
+	KindInnerProduct
+	KindL2HeavyHitters
+	KindSyncSketch
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindHeavyHitters:
+		return "HeavyHitters"
+	case KindL1Estimator:
+		return "L1Estimator"
+	case KindL0Estimator:
+		return "L0Estimator"
+	case KindL1Sampler:
+		return "L1Sampler"
+	case KindSupportSampler:
+		return "SupportSampler"
+	case KindInnerProduct:
+		return "InnerProduct"
+	case KindL2HeavyHitters:
+		return "L2HeavyHitters"
+	case KindSyncSketch:
+		return "SyncSketch"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// The public wire envelope: "BD" magic, a format version, the kind, the
+// Config echo (N, Eps, Alpha, Seed), the constructor options echo, and
+// the structure's own framed payload (which carries every hash
+// coefficient). The envelope makes payloads self-describing — a
+// receiver can SketchKind-peek a blob, UnmarshalSketch it without
+// knowing its type, and verify the Config matches its own before
+// merging.
+const (
+	envelopeMagic = "BD"
+	envelopeV1    = 1
+)
+
+// envelope is the decoded public frame.
+type envelope struct {
+	kind    Kind
+	cfg     Config
+	opts    sketchOptions
+	payload []byte
+}
+
+// errZeroValueMarshal is the zero-value-receiver diagnostic. Callers
+// must check their CONCRETE impl pointer before calling
+// marshalEnvelope: a nil *X boxed into the BinaryMarshaler parameter
+// would slip past an interface nil check (the typed-nil trap).
+func errZeroValueMarshal(kind Kind) error {
+	return fmt.Errorf("bounded: marshal of zero-value %s (construct or UnmarshalBinary first)", kind)
+}
+
+// marshalEnvelope frames a structure's payload.
+func marshalEnvelope(kind Kind, cfg Config, o sketchOptions, impl encoding.BinaryMarshaler) ([]byte, error) {
+	if impl == nil {
+		return nil, errZeroValueMarshal(kind)
+	}
+	w := wire.NewWriter(envelopeMagic, envelopeV1)
+	w.U8(uint8(kind))
+	w.U64(cfg.N)
+	w.F64(cfg.Eps)
+	w.F64(cfg.Alpha)
+	w.I64(cfg.Seed)
+	w.Bool(o.strict)
+	w.U32(uint32(o.copies))
+	w.F64(o.failureProb)
+	w.U32(uint32(o.k))
+	w.U32(uint32(o.capacity))
+	if err := w.Marshal(impl); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// parseEnvelope decodes the public frame, verifying the kind when
+// wantKind is nonzero.
+func parseEnvelope(data []byte, wantKind Kind) (*envelope, error) {
+	rd, v, err := wire.NewReader(data, envelopeMagic)
+	if err != nil {
+		return nil, err
+	}
+	if v != envelopeV1 {
+		return nil, fmt.Errorf("bounded: unsupported wire format version %d", v)
+	}
+	e := &envelope{}
+	e.kind = Kind(rd.U8())
+	e.cfg = Config{N: rd.U64(), Eps: rd.F64(), Alpha: rd.F64(), Seed: rd.I64()}
+	e.opts.strict = rd.Bool()
+	e.opts.copies = int(rd.U32())
+	e.opts.failureProb = rd.F64()
+	e.opts.k = int(rd.U32())
+	e.opts.capacity = int(rd.U32())
+	e.payload = rd.Bytes32()
+	if err := rd.Done(); err != nil {
+		return nil, err
+	}
+	if e.kind < KindHeavyHitters || e.kind > KindSyncSketch {
+		return nil, fmt.Errorf("bounded: unknown sketch kind %d", uint8(e.kind))
+	}
+	if wantKind != 0 && e.kind != wantKind {
+		return nil, fmt.Errorf("bounded: payload holds a %s, not a %s", e.kind, wantKind)
+	}
+	return e, nil
+}
+
+// SketchKind peeks at a serialized sketch and reports which structure
+// it holds, without unmarshaling the state.
+func SketchKind(data []byte) (Kind, error) {
+	rd, v, err := wire.NewReader(data, envelopeMagic)
+	if err != nil {
+		return 0, err
+	}
+	if v != envelopeV1 {
+		return 0, fmt.Errorf("bounded: unsupported wire format version %d", v)
+	}
+	k := Kind(rd.U8())
+	if err := rd.Err(); err != nil {
+		return 0, err
+	}
+	if k < KindHeavyHitters || k > KindSyncSketch {
+		return 0, fmt.Errorf("bounded: unknown sketch kind %d", uint8(k))
+	}
+	return k, nil
+}
+
+// UnmarshalSketch restores any serialized structure, dispatching on the
+// envelope's kind byte — the receive side of a heterogeneous sketch
+// exchange (engine.Restore is built on it).
+func UnmarshalSketch(data []byte) (Sketch, error) {
+	kind, err := SketchKind(data)
+	if err != nil {
+		return nil, err
+	}
+	var s Sketch
+	switch kind {
+	case KindHeavyHitters:
+		s = &HeavyHitters{}
+	case KindL1Estimator:
+		s = &L1Estimator{}
+	case KindL0Estimator:
+		s = &L0Estimator{}
+	case KindL1Sampler:
+		s = &L1Sampler{}
+	case KindSupportSampler:
+		s = &SupportSampler{}
+	case KindInnerProduct:
+		s = &InnerProduct{}
+	case KindL2HeavyHitters:
+		s = &L2HeavyHitters{}
+	case KindSyncSketch:
+		s = &SyncSketch{}
+	}
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MarshalBinary serializes the structure: a self-describing envelope
+// (kind, Config echo, options echo) around the sketch state including
+// its hash coefficients. Ship the bytes to a peer holding a same-Config
+// instance and Merge there — identical to an in-process merge in the
+// sketches' exact regimes.
+func (h *HeavyHitters) MarshalBinary() ([]byte, error) {
+	if h == nil || h.impl == nil {
+		return nil, errZeroValueMarshal(KindHeavyHitters)
+	}
+	return marshalEnvelope(KindHeavyHitters, h.cfg, sketchOptions{strict: h.strict}, h.impl)
+}
+
+// UnmarshalBinary restores a structure serialized by MarshalBinary. It
+// works on a zero-value receiver; on failure the receiver is left
+// unchanged.
+func (h *HeavyHitters) UnmarshalBinary(data []byte) error {
+	e, err := parseEnvelope(data, KindHeavyHitters)
+	if err != nil {
+		return err
+	}
+	if err := e.cfg.Validate(); err != nil {
+		return err
+	}
+	impl := &heavy.AlphaL1{}
+	if err := impl.UnmarshalBinary(e.payload); err != nil {
+		return err
+	}
+	h.cfg, h.strict, h.impl = e.cfg, e.opts.strict, impl
+	return nil
+}
+
+// MarshalBinary serializes the estimator (see HeavyHitters.MarshalBinary).
+func (e *L1Estimator) MarshalBinary() ([]byte, error) {
+	if e == nil || (e.strict == nil && e.general == nil) {
+		return nil, errZeroValueMarshal(KindL1Estimator)
+	}
+	var impl encoding.BinaryMarshaler
+	if e.strict != nil {
+		impl = e.strict
+	} else {
+		impl = e.general
+	}
+	return marshalEnvelope(KindL1Estimator, e.cfg,
+		sketchOptions{strict: e.strict != nil, failureProb: e.delta}, impl)
+}
+
+// UnmarshalBinary restores an estimator serialized by MarshalBinary.
+func (e *L1Estimator) UnmarshalBinary(data []byte) error {
+	env, err := parseEnvelope(data, KindL1Estimator)
+	if err != nil {
+		return err
+	}
+	if err := env.cfg.Validate(); err != nil {
+		return err
+	}
+	if env.opts.strict {
+		impl := &l1.AlphaEstimator{}
+		if err := impl.UnmarshalBinary(env.payload); err != nil {
+			return err
+		}
+		e.cfg, e.delta = env.cfg, env.opts.failureProb
+		e.strict, e.general = impl, nil
+		return nil
+	}
+	impl := &cauchy.SampledSketch{}
+	if err := impl.UnmarshalBinary(env.payload); err != nil {
+		return err
+	}
+	e.cfg, e.delta = env.cfg, env.opts.failureProb
+	e.strict, e.general = nil, impl
+	return nil
+}
+
+// MarshalBinary serializes the estimator (see HeavyHitters.MarshalBinary).
+func (e *L0Estimator) MarshalBinary() ([]byte, error) {
+	if e == nil || e.impl == nil {
+		return nil, errZeroValueMarshal(KindL0Estimator)
+	}
+	return marshalEnvelope(KindL0Estimator, e.cfg, sketchOptions{}, e.impl)
+}
+
+// UnmarshalBinary restores an estimator serialized by MarshalBinary.
+func (e *L0Estimator) UnmarshalBinary(data []byte) error {
+	env, err := parseEnvelope(data, KindL0Estimator)
+	if err != nil {
+		return err
+	}
+	if err := env.cfg.Validate(); err != nil {
+		return err
+	}
+	impl := &l0.Estimator{}
+	if err := impl.UnmarshalBinary(env.payload); err != nil {
+		return err
+	}
+	e.cfg, e.impl = env.cfg, impl
+	return nil
+}
+
+// MarshalBinary serializes the sampler (see HeavyHitters.MarshalBinary).
+func (s *L1Sampler) MarshalBinary() ([]byte, error) {
+	if s == nil || s.impl == nil {
+		return nil, errZeroValueMarshal(KindL1Sampler)
+	}
+	return marshalEnvelope(KindL1Sampler, s.cfg, sketchOptions{copies: s.copies}, s.impl)
+}
+
+// UnmarshalBinary restores a sampler serialized by MarshalBinary.
+func (s *L1Sampler) UnmarshalBinary(data []byte) error {
+	env, err := parseEnvelope(data, KindL1Sampler)
+	if err != nil {
+		return err
+	}
+	if err := env.cfg.Validate(); err != nil {
+		return err
+	}
+	impl := &sampler.Sampler{}
+	if err := impl.UnmarshalBinary(env.payload); err != nil {
+		return err
+	}
+	s.cfg, s.copies, s.impl = env.cfg, env.opts.copies, impl
+	return nil
+}
+
+// MarshalBinary serializes the sampler (see HeavyHitters.MarshalBinary).
+func (s *SupportSampler) MarshalBinary() ([]byte, error) {
+	if s == nil || s.impl == nil {
+		return nil, errZeroValueMarshal(KindSupportSampler)
+	}
+	return marshalEnvelope(KindSupportSampler, s.cfg, sketchOptions{k: s.k}, s.impl)
+}
+
+// UnmarshalBinary restores a sampler serialized by MarshalBinary.
+func (s *SupportSampler) UnmarshalBinary(data []byte) error {
+	env, err := parseEnvelope(data, KindSupportSampler)
+	if err != nil {
+		return err
+	}
+	if err := env.cfg.Validate(); err != nil {
+		return err
+	}
+	impl := &support.Sampler{}
+	if err := impl.UnmarshalBinary(env.payload); err != nil {
+		return err
+	}
+	s.cfg, s.k, s.impl = env.cfg, env.opts.k, impl
+	return nil
+}
+
+// MarshalBinary serializes the estimator (see HeavyHitters.MarshalBinary).
+func (ip *InnerProduct) MarshalBinary() ([]byte, error) {
+	if ip == nil || ip.impl == nil {
+		return nil, errZeroValueMarshal(KindInnerProduct)
+	}
+	return marshalEnvelope(KindInnerProduct, ip.cfg, sketchOptions{}, ip.impl)
+}
+
+// UnmarshalBinary restores an estimator serialized by MarshalBinary.
+func (ip *InnerProduct) UnmarshalBinary(data []byte) error {
+	env, err := parseEnvelope(data, KindInnerProduct)
+	if err != nil {
+		return err
+	}
+	if err := env.cfg.Validate(); err != nil {
+		return err
+	}
+	impl := &inner.Estimator{}
+	if err := impl.UnmarshalBinary(env.payload); err != nil {
+		return err
+	}
+	ip.cfg, ip.impl = env.cfg, impl
+	return nil
+}
+
+// MarshalBinary serializes the structure (see HeavyHitters.MarshalBinary).
+func (h *L2HeavyHitters) MarshalBinary() ([]byte, error) {
+	if h == nil || h.impl == nil {
+		return nil, errZeroValueMarshal(KindL2HeavyHitters)
+	}
+	return marshalEnvelope(KindL2HeavyHitters, h.cfg, sketchOptions{}, h.impl)
+}
+
+// UnmarshalBinary restores a structure serialized by MarshalBinary.
+func (h *L2HeavyHitters) UnmarshalBinary(data []byte) error {
+	env, err := parseEnvelope(data, KindL2HeavyHitters)
+	if err != nil {
+		return err
+	}
+	if err := env.cfg.Validate(); err != nil {
+		return err
+	}
+	impl := &heavy.AlphaL2{}
+	if err := impl.UnmarshalBinary(env.payload); err != nil {
+		return err
+	}
+	h.cfg, h.impl = env.cfg, impl
+	return nil
+}
+
+// MarshalBinary serializes the sync sketch in the self-describing
+// envelope every other structure uses.
+func (s *SyncSketch) MarshalBinary() ([]byte, error) {
+	if s == nil || s.impl == nil {
+		return nil, errZeroValueMarshal(KindSyncSketch)
+	}
+	return marshalEnvelope(KindSyncSketch, s.cfg, sketchOptions{capacity: s.capacity}, s.impl)
+}
+
+// UnmarshalBinary restores a sync sketch. It accepts both the envelope
+// format and the historical raw sparse-recovery payload (pre-envelope
+// peers shipped the bare "SR" frame), works on a zero-value receiver —
+// `var s SyncSketch; s.UnmarshalBinary(data)` is the receive side of an
+// exchange — and on failure leaves the receiver as it was.
+func (s *SyncSketch) UnmarshalBinary(data []byte) error {
+	if legacySyncPayload(data) {
+		impl := &sparse.Recovery{}
+		if err := impl.UnmarshalBinary(data); err != nil {
+			return err
+		}
+		// Legacy frames carry no Config echo; the capacity comes from
+		// the sketch itself.
+		s.cfg = Config{}
+		s.capacity = impl.Capacity()
+		s.impl = impl
+		return nil
+	}
+	env, err := parseEnvelope(data, KindSyncSketch)
+	if err != nil {
+		return err
+	}
+	// A sync sketch restored from a legacy frame re-marshals with a zero
+	// Config echo; accept that alongside fully-described payloads.
+	if env.cfg != (Config{}) {
+		if err := env.cfg.Validate(); err != nil {
+			return err
+		}
+	}
+	impl := &sparse.Recovery{}
+	if err := impl.UnmarshalBinary(env.payload); err != nil {
+		return err
+	}
+	s.cfg, s.capacity, s.impl = env.cfg, env.opts.capacity, impl
+	return nil
+}
+
+// legacySyncPayload reports whether data is a bare sparse-recovery
+// frame ("SR" magic) rather than the enveloped format.
+func legacySyncPayload(data []byte) bool {
+	return len(data) >= 2 && data[0] == 'S' && data[1] == 'R'
+}
+
+// syncPayload extracts the raw sparse-recovery frame from either wire
+// format — the input SubRemote's subtraction consumes.
+func syncPayload(data []byte) ([]byte, error) {
+	if legacySyncPayload(data) {
+		return data, nil
+	}
+	env, err := parseEnvelope(data, KindSyncSketch)
+	if err != nil {
+		return nil, err
+	}
+	return env.payload, nil
+}

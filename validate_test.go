@@ -48,14 +48,14 @@ func TestConfigValidate(t *testing.T) {
 func TestConstructorsRejectInvalidConfig(t *testing.T) {
 	bad := Config{N: 1 << 10, Eps: 0.1, Alpha: 0.25, Seed: 1}
 	ctors := map[string]func(){
-		"NewHeavyHitters":   func() { NewHeavyHitters(bad, true) },
-		"NewL1Estimator":    func() { NewL1Estimator(bad, true, 0.1) },
-		"NewL0Estimator":    func() { NewL0Estimator(bad) },
-		"NewL1Sampler":      func() { NewL1Sampler(bad, 4) },
-		"NewSupportSampler": func() { NewSupportSampler(bad, 8) },
-		"NewInnerProduct":   func() { NewInnerProduct(bad) },
-		"NewSyncSketch":     func() { NewSyncSketch(bad, 16) },
-		"NewL2HeavyHitters": func() { NewL2HeavyHitters(bad) },
+		"NewHeavyHitters":   func() { MustHeavyHitters(bad, true) },
+		"NewL1Estimator":    func() { MustL1Estimator(bad, true, 0.1) },
+		"NewL0Estimator":    func() { MustL0Estimator(bad) },
+		"NewL1Sampler":      func() { MustL1Sampler(bad, 4) },
+		"NewSupportSampler": func() { MustSupportSampler(bad, 8) },
+		"NewInnerProduct":   func() { MustInnerProduct(bad) },
+		"NewSyncSketch":     func() { MustSyncSketch(bad, 16) },
+		"NewL2HeavyHitters": func() { MustL2HeavyHitters(bad) },
 	}
 	for name, ctor := range ctors {
 		func() {
