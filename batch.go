@@ -1,0 +1,39 @@
+package bounded
+
+import (
+	"repro/internal/core"
+)
+
+// Batch is the columnar (structure-of-arrays) form of one ingest batch
+// — the "plan" stage of the plan → hash → apply pipeline. The index
+// and delta columns of every update live contiguously, so a
+// structure's batch hash evaluators can fill whole bucket/sign columns
+// in straight-line loops and the apply stage can sweep counter tables
+// row-major. Producers that already hold columnar data (the engine's
+// shard partitioner, network decoders) build a Batch directly and call
+// UpdateColumns, skipping the array-of-structs detour entirely;
+// UpdateBatch remains the convenience entry that plans an []Update
+// into a pooled Batch internally.
+//
+// Structures treat the Idx/Delta columns as read-only, so one Batch
+// can be fanned across several structures; the hash-column scratch
+// inside the Batch is reused by each structure in turn.
+type Batch = core.Batch
+
+// GetBatch returns an empty batch from the shared arena. Pair with
+// PutBatch when done to keep the steady-state ingest path
+// allocation-free.
+func GetBatch() *Batch { return core.GetBatch() }
+
+// PutBatch returns a batch to the arena. The caller must not touch it
+// afterwards.
+func PutBatch(b *Batch) { core.PutBatch(b) }
+
+// PlanBatch loads updates into a pooled batch — the explicit plan step
+// for callers that want to reuse one columnar batch across several
+// structures before returning it with PutBatch.
+func PlanBatch(updates []Update) *Batch {
+	b := core.GetBatch()
+	b.LoadUpdates(updates)
+	return b
+}

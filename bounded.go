@@ -104,19 +104,6 @@ func NewHeavyHitters(cfg Config, opts ...Option) (*HeavyHitters, error) {
 	}, nil
 }
 
-// MustHeavyHitters is the historical positional constructor.
-//
-// Deprecated: use NewHeavyHitters(cfg, WithStrict(strict)); this
-// wrapper panics on an invalid Config and will be removed after one
-// release.
-func MustHeavyHitters(cfg Config, strict bool) *HeavyHitters {
-	h, err := NewHeavyHitters(cfg, WithStrict(strict))
-	if err != nil {
-		panic(err)
-	}
-	return h
-}
-
 // Update feeds one stream update.
 func (h *HeavyHitters) Update(i uint64, delta int64) { h.impl.Update(i, delta) }
 
@@ -124,6 +111,11 @@ func (h *HeavyHitters) Update(i uint64, delta int64) { h.impl.Update(i, delta) }
 // high-throughput ingest path: per-call overhead amortizes across the
 // batch and candidate tracking refreshes once per distinct index.
 func (h *HeavyHitters) UpdateBatch(batch []Update) { h.impl.UpdateBatch(batch) }
+
+// UpdateColumns feeds a pre-planned columnar batch (plan → hash →
+// apply): the CSSS rows hash the whole index column in straight-line
+// batch evaluations and apply row-major in the exact (rate-1) regime.
+func (h *HeavyHitters) UpdateColumns(b *Batch) { h.impl.UpdateColumns(b) }
 
 // HeavyHitters returns the detected heavy coordinates, sorted.
 func (h *HeavyHitters) HeavyHitters() []uint64 { return h.impl.HeavyHitters() }
@@ -173,25 +165,6 @@ func NewL1Estimator(cfg Config, opts ...Option) (*L1Estimator, error) {
 	return &L1Estimator{cfg: cfg, delta: o.failureProb, general: l1.NewGeneral(rng, r, 32, 6, base, 10)}, nil
 }
 
-// MustL1Estimator is the historical positional constructor, including
-// its silent replacement of an out-of-range delta with 0.1.
-//
-// Deprecated: use NewL1Estimator(cfg, WithStrict(strict),
-// WithFailureProb(delta)), which rejects bad deltas instead of
-// clamping; this wrapper panics on an invalid Config and will be
-// removed after one release.
-func MustL1Estimator(cfg Config, strict bool, delta float64) *L1Estimator {
-	opts := []Option{WithStrict(strict)}
-	if strict && delta > 0 && delta < 1 {
-		opts = append(opts, WithFailureProb(delta))
-	}
-	e, err := NewL1Estimator(cfg, opts...)
-	if err != nil {
-		panic(err)
-	}
-	return e
-}
-
 // Update feeds one stream update.
 func (e *L1Estimator) Update(i uint64, delta int64) {
 	if e.strict != nil {
@@ -207,6 +180,15 @@ func (e *L1Estimator) UpdateBatch(batch []Update) {
 		e.strict.UpdateBatch(batch)
 	} else {
 		e.general.UpdateBatch(batch)
+	}
+}
+
+// UpdateColumns feeds a pre-planned columnar batch.
+func (e *L1Estimator) UpdateColumns(b *Batch) {
+	if e.strict != nil {
+		e.strict.UpdateColumns(b)
+	} else {
+		e.general.UpdateColumns(b)
 	}
 }
 
@@ -249,23 +231,15 @@ func NewL0Estimator(cfg Config, opts ...Option) (*L0Estimator, error) {
 	}, nil
 }
 
-// MustL0Estimator is the historical positional constructor.
-//
-// Deprecated: use NewL0Estimator(cfg); this wrapper panics on an
-// invalid Config and will be removed after one release.
-func MustL0Estimator(cfg Config) *L0Estimator {
-	e, err := NewL0Estimator(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return e
-}
-
 // Update feeds one stream update.
 func (e *L0Estimator) Update(i uint64, delta int64) { e.impl.Update(i, delta) }
 
 // UpdateBatch feeds a batch of updates in one call.
 func (e *L0Estimator) UpdateBatch(batch []Update) { e.impl.UpdateBatch(batch) }
+
+// UpdateColumns feeds a pre-planned columnar batch (the subsampling
+// level hash is batch-evaluated into one contiguous column).
+func (e *L0Estimator) UpdateColumns(b *Batch) { e.impl.UpdateColumns(b) }
 
 // Estimate returns the (1 +- eps) estimate of ||f||_0.
 func (e *L0Estimator) Estimate() float64 { return e.impl.Estimate() }
@@ -314,23 +288,6 @@ func NewL1Sampler(cfg Config, opts ...Option) (*L1Sampler, error) {
 	}, nil
 }
 
-// MustL1Sampler is the historical positional constructor (copies <= 0
-// selects the default).
-//
-// Deprecated: use NewL1Sampler(cfg, WithCopies(copies)); this wrapper
-// panics on an invalid Config and will be removed after one release.
-func MustL1Sampler(cfg Config, copies int) *L1Sampler {
-	var opts []Option
-	if copies > 0 {
-		opts = append(opts, WithCopies(copies))
-	}
-	s, err := NewL1Sampler(cfg, opts...)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Update feeds one stream update.
 func (s *L1Sampler) Update(i uint64, delta int64) { s.impl.Update(i, delta) }
 
@@ -338,6 +295,9 @@ func (s *L1Sampler) Update(i uint64, delta int64) { s.impl.Update(i, delta) }
 // candidate refresh is computed once and shared across the sampler's
 // parallel copies.
 func (s *L1Sampler) UpdateBatch(batch []Update) { s.impl.UpdateBatch(batch) }
+
+// UpdateColumns feeds a pre-planned columnar batch.
+func (s *L1Sampler) UpdateColumns(b *Batch) { s.impl.UpdateColumns(b) }
 
 // Sample draws one sample; ok is false when every instance FAILed (the
 // sampler never fabricates an index).
@@ -371,23 +331,15 @@ func NewSupportSampler(cfg Config, opts ...Option) (*SupportSampler, error) {
 	}, nil
 }
 
-// MustSupportSampler is the historical positional constructor.
-//
-// Deprecated: use NewSupportSampler(cfg, WithK(k)); this wrapper panics
-// on an invalid Config and will be removed after one release.
-func MustSupportSampler(cfg Config, k int) *SupportSampler {
-	s, err := NewSupportSampler(cfg, WithK(k))
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Update feeds one stream update.
 func (s *SupportSampler) Update(i uint64, delta int64) { s.impl.Update(i, delta) }
 
 // UpdateBatch feeds a batch of updates in one call.
 func (s *SupportSampler) UpdateBatch(batch []Update) { s.impl.UpdateBatch(batch) }
+
+// UpdateColumns feeds a pre-planned columnar batch (the level hash is
+// batch-evaluated into one contiguous column).
+func (s *SupportSampler) UpdateColumns(b *Batch) { s.impl.UpdateColumns(b) }
 
 // Recover returns distinct support coordinates, sorted.
 func (s *SupportSampler) Recover() []uint64 { return s.impl.Recover() }
@@ -420,18 +372,6 @@ func NewInnerProduct(cfg Config, opts ...Option) (*InnerProduct, error) {
 	}, nil
 }
 
-// MustInnerProduct is the historical positional constructor.
-//
-// Deprecated: use NewInnerProduct(cfg); this wrapper panics on an
-// invalid Config and will be removed after one release.
-func MustInnerProduct(cfg Config) *InnerProduct {
-	ip, err := NewInnerProduct(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return ip
-}
-
 // Update feeds an update to the FIRST stream f — the Sketch-interface
 // ingest path. Use UpdateG for the second stream g.
 func (ip *InnerProduct) Update(i uint64, delta int64) { ip.impl.UpdateF(i, delta) }
@@ -451,6 +391,14 @@ func (ip *InnerProduct) UpdateBatchF(batch []Update) { ip.impl.UpdateBatchF(batc
 
 // UpdateBatchG feeds a batch of updates to the second stream.
 func (ip *InnerProduct) UpdateBatchG(batch []Update) { ip.impl.UpdateBatchG(batch) }
+
+// UpdateColumns feeds a pre-planned columnar batch to the first
+// stream; UpdateColumnsG feeds the second.
+func (ip *InnerProduct) UpdateColumns(b *Batch) { ip.impl.UpdateColumnsF(b) }
+
+// UpdateColumnsG feeds a pre-planned columnar batch to the second
+// stream.
+func (ip *InnerProduct) UpdateColumnsG(b *Batch) { ip.impl.UpdateColumnsG(b) }
 
 // Estimate returns the inner-product estimate.
 func (ip *InnerProduct) Estimate() float64 { return ip.impl.Estimate() }
@@ -489,24 +437,16 @@ func NewSyncSketch(cfg Config, opts ...Option) (*SyncSketch, error) {
 	}, nil
 }
 
-// MustSyncSketch is the historical positional constructor.
-//
-// Deprecated: use NewSyncSketch(cfg, WithCapacity(capacity)); this
-// wrapper panics on an invalid Config and will be removed after one
-// release.
-func MustSyncSketch(cfg Config, capacity int) *SyncSketch {
-	s, err := NewSyncSketch(cfg, WithCapacity(capacity))
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Update feeds one stream update.
 func (s *SyncSketch) Update(i uint64, delta int64) { s.impl.Update(i, delta) }
 
 // UpdateBatch feeds a batch of updates in one call.
 func (s *SyncSketch) UpdateBatch(batch []Update) { s.impl.UpdateBatch(batch) }
+
+// UpdateColumns feeds a pre-planned columnar batch: the fingerprint
+// column is hashed once and each IBLT subtable applies it in one
+// cache-friendly sweep.
+func (s *SyncSketch) UpdateColumns(b *Batch) { s.impl.UpdateColumns(b) }
 
 // SubRemote subtracts a peer's serialized sketch (built with the same
 // seed) from this one, leaving the sketch of the difference vector. It
@@ -558,23 +498,15 @@ func NewL2HeavyHitters(cfg Config, opts ...Option) (*L2HeavyHitters, error) {
 	}, nil
 }
 
-// MustL2HeavyHitters is the historical positional constructor.
-//
-// Deprecated: use NewL2HeavyHitters(cfg); this wrapper panics on an
-// invalid Config and will be removed after one release.
-func MustL2HeavyHitters(cfg Config) *L2HeavyHitters {
-	h, err := NewL2HeavyHitters(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return h
-}
-
 // Update feeds one stream update.
 func (h *L2HeavyHitters) Update(i uint64, delta int64) { h.impl.Update(i, delta) }
 
 // UpdateBatch feeds a batch of updates in one call.
 func (h *L2HeavyHitters) UpdateBatch(batch []Update) { h.impl.UpdateBatch(batch) }
+
+// UpdateColumns feeds a pre-planned columnar batch to both the
+// insertion-pass and verifier Count-Sketches.
+func (h *L2HeavyHitters) UpdateColumns(b *Batch) { h.impl.UpdateColumns(b) }
 
 // HeavyHitters returns the detected heavy coordinates, sorted.
 func (h *L2HeavyHitters) HeavyHitters() []uint64 { return h.impl.HeavyHitters() }

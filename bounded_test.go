@@ -8,6 +8,16 @@ import (
 	"repro/internal/stream"
 )
 
+// must unwraps a constructor result: the options constructors return
+// errors (the Must* positional wrappers were removed after their
+// deprecation release), and test workloads always pass valid Configs.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // TestPublicHeavyHitters runs the end-to-end public API pipeline on a
 // generated alpha-property workload.
 func TestPublicHeavyHitters(t *testing.T) {
@@ -15,7 +25,7 @@ func TestPublicHeavyHitters(t *testing.T) {
 	tr := NewTracker(1 << 14)
 	tr.Consume(s)
 	const eps = 0.05
-	hh := MustHeavyHitters(Config{N: 1 << 14, Eps: eps, Alpha: 4, Seed: 2}, true)
+	hh := must(NewHeavyHitters(Config{N: 1 << 14, Eps: eps, Alpha: 4, Seed: 2}))
 	for _, u := range s.Updates {
 		hh.Update(u.Index, u.Delta)
 	}
@@ -49,7 +59,7 @@ func TestPublicL1Estimator(t *testing.T) {
 	good := 0
 	const reps = 12
 	for rep := 0; rep < reps; rep++ {
-		e := MustL1Estimator(Config{N: 512, Eps: 0.2, Alpha: 2, Seed: int64(100 + rep)}, true, 0.1)
+		e := must(NewL1Estimator(Config{N: 512, Eps: 0.2, Alpha: 2, Seed: int64(100 + rep)}))
 		for _, u := range s.Updates {
 			e.Update(u.Index, u.Delta)
 		}
@@ -70,7 +80,7 @@ func TestPublicL0Estimator(t *testing.T) {
 	good := 0
 	const reps = 8
 	for rep := 0; rep < reps; rep++ {
-		e := MustL0Estimator(Config{N: 1 << 20, Eps: 0.1, Alpha: 4, Seed: int64(10 + rep)})
+		e := must(NewL0Estimator(Config{N: 1 << 20, Eps: 0.1, Alpha: 4, Seed: int64(10 + rep)}))
 		for _, u := range s.Updates {
 			e.Update(u.Index, u.Delta)
 		}
@@ -93,7 +103,7 @@ func TestPublicL1Sampler(t *testing.T) {
 	var res Sample
 	ok := false
 	for seed := int64(6); seed < 9 && !ok; seed++ {
-		sp := MustL1Sampler(Config{N: 16, Eps: 0.25, Alpha: 2, Seed: seed}, 16)
+		sp := must(NewL1Sampler(Config{N: 16, Eps: 0.25, Alpha: 2, Seed: seed}, WithCopies(16)))
 		for _, u := range s.Updates {
 			sp.Update(u.Index, u.Delta)
 		}
@@ -111,7 +121,7 @@ func TestPublicSupportSampler(t *testing.T) {
 	s := gen.SensorOccupancy(gen.Config{N: 1 << 16, Items: 5000, Alpha: 4, Seed: 7})
 	tr := NewTracker(1 << 16)
 	tr.Consume(s)
-	sp := MustSupportSampler(Config{N: 1 << 16, Alpha: 4, Eps: 0.1, Seed: 8}, 16)
+	sp := must(NewSupportSampler(Config{N: 1 << 16, Alpha: 4, Eps: 0.1, Seed: 8}, WithK(16)))
 	for _, u := range s.Updates {
 		sp.Update(u.Index, u.Delta)
 	}
@@ -135,7 +145,7 @@ func TestPublicInnerProduct(t *testing.T) {
 	good := 0
 	const reps = 10
 	for rep := 0; rep < reps; rep++ {
-		ip := MustInnerProduct(Config{N: 256, Eps: 0.25, Alpha: 2, Seed: int64(20 + rep)})
+		ip := must(NewInnerProduct(Config{N: 256, Eps: 0.25, Alpha: 2, Seed: int64(20 + rep)}))
 		for _, u := range f1.Updates {
 			ip.UpdateF(u.Index, u.Delta)
 		}
@@ -153,7 +163,7 @@ func TestPublicInnerProduct(t *testing.T) {
 
 func TestPublicL2HeavyHitters(t *testing.T) {
 	cfg := Config{N: 1 << 12, Eps: 0.25, Alpha: 2, Seed: 10}
-	h := MustL2HeavyHitters(cfg)
+	h := must(NewL2HeavyHitters(cfg))
 	tr := NewTracker(1 << 12)
 	feed := func(i uint64, d int64) {
 		h.Update(i, d)

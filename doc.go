@@ -51,13 +51,28 @@
 // configurations and out-of-range or non-applicable options return
 // descriptive errors; nothing is silently clamped (the historical API
 // replaced a bad L1 failure probability with 0.1 — that bug class is
-// gone). The positional panicking constructors survive one release as
-// deprecated Must* wrappers.
+// gone). The deprecated positional Must* wrappers have now been REMOVED
+// after their one-release grace period; migrate as follows:
+//
+//	removed                          replacement
+//	MustHeavyHitters(cfg, strict)    NewHeavyHitters(cfg, WithStrict(strict))
+//	MustL1Estimator(cfg, s, delta)   NewL1Estimator(cfg, WithStrict(s), WithFailureProb(delta))
+//	MustL0Estimator(cfg)             NewL0Estimator(cfg)
+//	MustL1Sampler(cfg, copies)       NewL1Sampler(cfg, WithCopies(copies))
+//	MustSupportSampler(cfg, k)       NewSupportSampler(cfg, WithK(k))
+//	MustInnerProduct(cfg)            NewInnerProduct(cfg)
+//	MustSyncSketch(cfg, capacity)    NewSyncSketch(cfg, WithCapacity(capacity))
+//	MustL2HeavyHitters(cfg)          NewL2HeavyHitters(cfg)
+//
+// (Each New* returns (*X, error); the old wrappers panicked on invalid
+// Config, so a mechanical translation is x, err := NewX(...); if err !=
+// nil { panic(err) }.)
 //
 // Every structure implements the Sketch interface —
 //
 //	Update(i uint64, delta int64)
 //	UpdateBatch(batch []Update)
+//	UpdateColumns(b *Batch)
 //	Merge(other Sketch) error
 //	Clone() Sketch
 //	SpaceBits() int64
@@ -127,7 +142,7 @@
 // -benchmem | go run ./cmd/benchjson`); CI re-emits it on every push so
 // future PRs can diff their perf trajectory.
 //
-// # Batched ingest
+// # Batched ingest: the plan → hash → apply columnar pipeline
 //
 // Every structure accepts a batch of updates in one call — the
 // preferred high-throughput path:
@@ -136,11 +151,28 @@
 //	// ... append network reads ...
 //	hh.UpdateBatch(batch) // one call per structure per batch
 //
-// UpdateBatch amortizes per-call overhead and refreshes candidate
-// tracking once per DISTINCT index per batch rather than once per
-// update, so heavily-skewed batches (the common case under heavy
-// traffic) cost proportionally less than scalar feeding; see
-// cmd/bdbench and the examples/ directory for the idiom end to end.
+// Internally every batch runs a three-stage columnar pipeline:
+//
+//  1. PLAN — the batch is laid out as contiguous index and delta
+//     columns in a pooled arena Batch (UpdateBatch does this for you;
+//     PlanBatch + UpdateColumns is the explicit form, and lets one
+//     planned batch fan across several structures).
+//  2. HASH — the structure's batch evaluators fill whole bucket/sign
+//     columns per Count-Sketch row from the shared index column:
+//     straight-line multiply-add loops with the row coefficients in
+//     registers, no per-item function calls.
+//  3. APPLY — the counter tables are swept row-major against the
+//     pre-hashed columns (sequential column reads, one cache-resident
+//     table row at a time), and candidate tracking re-estimates the
+//     batch's DISTINCT indices in one further batched hash pass.
+//
+// The columnar path is bit-for-bit identical to feeding the same
+// updates through Update: counter adds commute, per-counter write
+// order is preserved, and sampling stages (CSSS past its rate-1
+// regime, the precision sampler, subsampling levels) fall back to the
+// per-item path exactly where rng draws occur, preserving the draw
+// sequence. Differential tests assert this equality per structure and
+// through the engine at 1/2/4/8 shards.
 //
 // # Concurrency and the sharded ingest engine
 //
@@ -175,12 +207,25 @@
 // not feed it — merge InnerProduct instances directly (each site calls
 // UpdateF/UpdateG) rather than through engine shards.
 //
+// The engine's Ingest is itself columnar: one batch hash evaluation
+// computes every update's shard, indices and deltas scatter into
+// per-shard column batches, and each shard goroutine receives
+// ready-to-apply columns. Point queries bypass snapshots entirely:
+// Engine.Estimate routes to the index's OWNING shard (the partition
+// hash sends every update for an index to one shard) and runs in that
+// shard's goroutine — no all-shard flush barrier, no merged-view
+// rebuild (Engine.SnapshotBuilds counts rebuilds; point queries never
+// move it). Global queries (HeavyHitters, L1, ...) still answer from
+// the merged snapshot, behind a generation-tagged cache that is
+// checked before the engine mutex, so query bursts do not stall
+// producers.
+//
 // Pick the engine when ingest throughput is the bottleneck and cores
 // are available (producers can be many goroutines; Ingest is
 // concurrency-safe); pick a direct structure when one goroutine keeps
-// up — engine queries pay S snapshots plus S-1 merges per refresh, a
-// direct structure answers from live state. examples/shardedingest
-// walks the full pattern end to end.
+// up — global engine queries pay S snapshots plus S-1 merges per
+// refresh, a direct structure answers from live state.
+// examples/shardedingest walks the full pattern end to end.
 //
 // Invalid configurations no longer clamp silently: Config.Validate
 // rejects N < 2, N > 2^44, Eps outside (0,1) and Alpha < 1, and every

@@ -77,12 +77,61 @@ func benchEngineIngest(b *testing.B, shards int) {
 	b.ReportMetric(float64(fed.Load())/float64(b.N), "updatesPerOp")
 }
 
+// BenchmarkEngineQueryIngestInterleave is the regression benchmark for
+// the query/ingest interleave cost: one producer keeps ingesting while
+// the bench goroutine queries after every chunk. "point" uses the
+// snapshot-free per-shard Estimate; "global" rebuilds (or reuses) the
+// merged view through the generation-tagged cache, which is checked
+// before the engine mutex — so neither query flavor stalls the
+// producer's partitioning. ns/op is per query+chunk round.
+func BenchmarkEngineQueryIngestInterleave(b *testing.B) {
+	s, _ := fig1Stream(42)
+	const chunk = 512
+	run := func(b *testing.B, query func(e *Engine) error) {
+		e, err := New(testCfg, Options{Shards: 4, BatchSize: 256, Queue: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		off := 0
+		for i := 0; i < b.N; i++ {
+			end := off + chunk
+			if end > len(s.Updates) {
+				off, end = 0, chunk
+			}
+			if err := e.Ingest(s.Updates[off:end]); err != nil {
+				b.Fatal(err)
+			}
+			off = end
+			if err := query(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(e.SnapshotBuilds())/float64(b.N), "snapshots/op")
+	}
+	b.Run("point", func(b *testing.B) {
+		run(b, func(e *Engine) error {
+			_, err := e.Estimate(uint64(b.N) % (1 << 16))
+			return err
+		})
+	})
+	b.Run("global", func(b *testing.B) {
+		run(b, func(e *Engine) error {
+			_, err := e.HeavyHitters()
+			return err
+		})
+	})
+}
+
 // BenchmarkSingleWriterBaseline is the same workload through one
 // bounded.HeavyHitters on the bench goroutine — the no-engine reference
 // point for the shards=1 overhead and the scaling ratio.
 func BenchmarkSingleWriterBaseline(b *testing.B) {
 	s, _ := fig1Stream(42)
-	hh := bounded.MustHeavyHitters(testCfg, true)
+	hh := must(bounded.NewHeavyHitters(testCfg))
 	b.ReportAllocs()
 	b.ResetTimer()
 	const chunk = 2048

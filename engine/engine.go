@@ -11,17 +11,24 @@
 // library's fast-range hash, and answers queries from merged snapshots.
 //
 //	              Ingest(batch)
-//	                   │ partition by fast-range hash of index
+//	                   │ plan: one batch hash evaluation computes every
+//	                   │ update's shard; scatter indices+deltas by column
 //	   ┌───────────────┼───────────────┐
-//	[shard 0]       [shard 1]  ...  [shard S-1]   bounded channels,
-//	goroutine        goroutine       goroutine    blocking = backpressure
-//	   │                │                │
+//	[shard 0]       [shard 1]  ...  [shard S-1]   bounded channels of
+//	goroutine        goroutine       goroutine    columnar batches,
+//	   │                │                │        blocking = backpressure
 //	sketches         sketches        sketches     same Config ⇒ same seed
-//	   └────────── snapshot ∘ merge ──────────┘
-//	                   │
-//	               Query (HeavyHitters, L1, L0, Sample, ...)
+//	   │  └────────── snapshot ∘ merge ───────┘
+//	   │                │
+//	   │            global Query (HeavyHitters, L1, L0, Sample, ...)
+//	   └─ point Query (Estimate): routed to the owning shard,
+//	      snapshot-free — no flush barrier, no merged-view rebuild
 //
-// Correctness rests on two properties the library guarantees:
+// Each shard goroutine receives ready-to-apply column batches and fans
+// them to its structures' UpdateColumns — the plan → hash → apply
+// pipeline runs end to end without re-deriving an index per item.
+//
+// Correctness rests on three properties the library guarantees:
 //
 //  1. Mergeability: all shards build their structures from the SAME
 //     Config, so hash functions agree and two instances combine by
@@ -31,12 +38,19 @@
 //  2. Snapshot isolation: snapshots are taken inside each shard's
 //     goroutine (serialized with its ingest), so queries never race
 //     updates; -race clean with any number of producers.
+//  3. Partition completeness: the fast-range partition hash routes
+//     EVERY update for an index to one shard, so that shard's live
+//     structure alone answers point queries for the index — in the
+//     sketches' exact regimes identically to a single-writer structure
+//     fed that shard's substream, and generally with LESS collision
+//     noise than a merged table.
 //
 // Choose the engine over direct bounded.* use when ingest throughput is
 // the bottleneck and multiple cores (or multiple producer goroutines)
 // are available; stay with a direct structure when a single goroutine
-// can keep up — merged queries cost S snapshots plus S-1 merges, where
-// a direct structure answers from live state.
+// can keep up — global merged queries cost S snapshots plus S-1 merges
+// when the generation-tagged view cache is stale (point queries never
+// pay that; they serialize only with the owning shard's ingest).
 package engine
 
 import (
@@ -44,11 +58,12 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	bounded "repro"
+	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/shard"
-	"repro/internal/stream"
 )
 
 // Structures selects which sketches every shard maintains; combine with
@@ -197,28 +212,31 @@ func newStructSet(cfg bounded.Config, o Options) (*structSet, error) {
 	return s, nil
 }
 
-// UpdateBatch fans one batch to every enabled structure (shard.Ingester).
-func (s *structSet) UpdateBatch(batch []stream.Update) {
+// UpdateColumns fans one pre-planned columnar batch to every enabled
+// structure (shard.Ingester). The batch's index/delta columns are
+// shared read-only; each structure hashes them with its own batch
+// evaluators into the batch's reusable column scratch and applies.
+func (s *structSet) UpdateColumns(b *core.Batch) {
 	if s.hh != nil {
-		s.hh.UpdateBatch(batch)
+		s.hh.UpdateColumns(b)
 	}
 	if s.l1 != nil {
-		s.l1.UpdateBatch(batch)
+		s.l1.UpdateColumns(b)
 	}
 	if s.l0 != nil {
-		s.l0.UpdateBatch(batch)
+		s.l0.UpdateColumns(b)
 	}
 	if s.smp != nil {
-		s.smp.UpdateBatch(batch)
+		s.smp.UpdateColumns(b)
 	}
 	if s.sup != nil {
-		s.sup.UpdateBatch(batch)
+		s.sup.UpdateColumns(b)
 	}
 	if s.l2 != nil {
-		s.l2.UpdateBatch(batch)
+		s.l2.UpdateColumns(b)
 	}
 	if s.syn != nil {
-		s.syn.UpdateBatch(batch)
+		s.syn.UpdateColumns(b)
 	}
 }
 
@@ -320,28 +338,47 @@ func (s *structSet) spaceBits() int64 {
 
 // Engine is the sharded ingest engine. All methods are safe for
 // concurrent use by multiple goroutines; ingest from many producers is
-// the intended deployment. Queries serialize with each other (the
-// merged snapshot's query paths share scratch); producers only hold the
-// lock to partition, not while blocked on a full shard inbox.
+// the intended deployment. Global queries serialize with each other on
+// queryMu (the merged snapshot's query paths share scratch) but — when
+// the generation-tagged view cache is warm — never touch the engine
+// mutex, so a query burst does not stall producers' partitioning.
+// Point queries (Estimate) route to the owning shard and serialize only
+// with that shard's ingest.
 type Engine struct {
-	mu      sync.Mutex
+	mu      sync.Mutex // engine state: pending buffers, workers, view rebuild
+	queryMu sync.Mutex // serializes queries over the cached merged view
 	cfg     bounded.Config
 	opt     Options
 	part    *hash.KWise
 	workers []*shard.Worker
 	sets    []*structSet // owned by the worker goroutines; touch via Do
-	pending [][]stream.Update
-	pool    sync.Pool
-	// inflight counts producers that are handing filled buffers to shard
-	// inboxes outside the lock; flushLocked waits for them so a flush
-	// (and therefore a merged view, and Close) covers every Ingest whose
-	// locked section completed.
+	pending []*core.Batch
+	// Partition-plan scratch (guarded by mu): the whole incoming batch's
+	// keys and shard assignments, computed in one batch hash evaluation
+	// before the columnar scatter.
+	planKeys   []uint64
+	planShards []uint64
+	// inflight counts producers (and point queries) that are handing
+	// filled buffers to shard inboxes or running shard closures outside
+	// the lock; flushLocked waits for them so a flush (and therefore a
+	// merged view, and Close) covers every Ingest whose locked section
+	// completed.
 	inflight sync.WaitGroup
-	gen      uint64 // bumped on every Ingest; versions the merged cache
-	viewGen  uint64
-	view     *structSet // cached merged snapshot (valid iff viewGen == gen+valid flag)
-	hasView  bool
-	closed   bool
+	// gen is bumped on every state-changing Ingest/Restore; a cached
+	// view is valid iff viewGen == gen. All three cache fields are
+	// atomics so the global-query fast path can check them before
+	// taking any engine lock.
+	gen            atomic.Uint64
+	viewGen        atomic.Uint64
+	hasView        atomic.Bool
+	view           atomic.Pointer[structSet] // written under mu, queried under queryMu
+	closed         atomic.Bool               // transitions under mu
+	snapshotBuilds atomic.Int64              // merged-view (snapshot) rebuild count
+	// restored flips (permanently) when Restore imports external state:
+	// imported mass lands in shard 0 only, so the per-shard point-query
+	// routing loses its "owning shard holds the index's entire mass"
+	// invariant and Estimate falls back to the merged view.
+	restored atomic.Bool
 }
 
 // partitionSeedSalt decorrelates the partition hash from the structure
@@ -361,10 +398,8 @@ func New(cfg bounded.Config, opts Options) (*Engine, error) {
 		part:    hash.NewPairwise(rand.New(rand.NewSource(cfg.Seed ^ partitionSeedSalt))),
 		workers: make([]*shard.Worker, opts.Shards),
 		sets:    make([]*structSet, opts.Shards),
-		pending: make([][]stream.Update, opts.Shards),
+		pending: make([]*core.Batch, opts.Shards),
 	}
-	e.pool.New = func() any { return make([]stream.Update, 0, opts.BatchSize) }
-	recycle := func(b []stream.Update) { e.pool.Put(b[:0]) } //nolint:staticcheck // slice headers are cheap to box
 	for i := range e.workers {
 		set, err := newStructSet(cfg, opts)
 		if err != nil {
@@ -374,8 +409,9 @@ func New(cfg bounded.Config, opts Options) (*Engine, error) {
 			return nil, err
 		}
 		e.sets[i] = set
-		e.workers[i] = shard.New(e.sets[i], opts.Queue, recycle)
-		e.pending[i] = e.pool.Get().([]stream.Update)
+		// Applied batches return to the shared columnar arena.
+		e.workers[i] = shard.New(e.sets[i], opts.Queue, core.PutBatch)
+		e.pending[i] = core.GetBatch()
 	}
 	return e, nil
 }
@@ -389,8 +425,12 @@ func (e *Engine) shardOf(i uint64) int {
 	return int(e.part.Range(i, uint64(e.opt.Shards)))
 }
 
-// Ingest partitions a batch across the shards, handing off per-shard
-// runs of BatchSize updates to the shard goroutines. It blocks when a
+// Ingest partitions a batch across the shards columnar-ly: one pass
+// extracts the key column, one batch hash evaluation computes every
+// update's shard, and a scatter pass appends indices and deltas into
+// per-shard column batches. Runs of BatchSize updates hand off to the
+// shard goroutines ready to apply — the shards never re-derive
+// partition or bucket indices item-by-item. Ingest blocks when a
 // shard's inbox is full (backpressure) and is safe to call from many
 // producer goroutines concurrently. The input slice is copied; the
 // caller may reuse it immediately.
@@ -399,11 +439,23 @@ func (e *Engine) Ingest(batch []bounded.Update) error {
 		return nil
 	}
 	e.mu.Lock()
-	if e.closed {
+	if e.closed.Load() {
 		e.mu.Unlock()
 		return fmt.Errorf("engine: Ingest on closed engine")
 	}
-	// Partition under the lock; hand filled buffers off OUTSIDE it, so a
+	// Plan: shard keys for the whole batch in one straight-line hash
+	// sweep, then scatter by column.
+	n := len(batch)
+	if cap(e.planKeys) < n {
+		e.planKeys = make([]uint64, n)
+		e.planShards = make([]uint64, n)
+	}
+	keys, shards := e.planKeys[:n], e.planShards[:n]
+	for j, u := range batch {
+		keys[j] = u.Index
+	}
+	e.part.RangeBatch(keys, uint64(e.opt.Shards), shards)
+	// Scatter under the lock; hand filled buffers off OUTSIDE it, so a
 	// full shard inbox blocks only this producer — other producers keep
 	// partitioning and queries keep answering (they wait, via inflight,
 	// only when they need a fresh view). Concurrent producers may then
@@ -412,19 +464,19 @@ func (e *Engine) Ingest(batch []bounded.Update) error {
 	// so shard state is unaffected.
 	type sendJob struct {
 		shard int
-		buf   []stream.Update
+		buf   *core.Batch
 	}
 	var full []sendJob
-	for _, u := range batch {
-		s := e.shardOf(u.Index)
-		e.pending[s] = append(e.pending[s], u)
-		if len(e.pending[s]) >= e.opt.BatchSize {
-			full = append(full, sendJob{shard: s, buf: e.pending[s]})
-			e.pending[s] = e.pool.Get().([]stream.Update)
+	for j, u := range batch {
+		s := shards[j]
+		p := e.pending[s]
+		p.Append(u.Index, u.Delta)
+		if p.Len() >= e.opt.BatchSize {
+			full = append(full, sendJob{shard: int(s), buf: p})
+			e.pending[s] = core.GetBatch()
 		}
 	}
-	e.gen++
-	e.hasView = false
+	e.gen.Add(1)
 	if len(full) > 0 {
 		e.inflight.Add(1)
 	}
@@ -443,9 +495,9 @@ func (e *Engine) Ingest(batch []bounded.Update) error {
 func (e *Engine) flushLocked() {
 	e.inflight.Wait() // in-flight producer hand-offs must land first
 	for s := range e.pending {
-		if len(e.pending[s]) > 0 {
+		if e.pending[s].Len() > 0 {
 			e.workers[s].Send(e.pending[s])
-			e.pending[s] = e.pool.Get().([]stream.Update)
+			e.pending[s] = core.GetBatch()
 		}
 	}
 	barriers := make([]<-chan struct{}, len(e.workers))
@@ -462,41 +514,72 @@ func (e *Engine) flushLocked() {
 func (e *Engine) Flush() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
 		return fmt.Errorf("engine: Flush on closed engine")
 	}
 	e.flushLocked()
 	return nil
 }
 
-// withView runs f over the merged snapshot while holding the engine
-// lock. Structure queries mutate per-structure scratch (that is where
-// the hot path's zero allocations come from), so concurrent queries
-// against the shared cached view must serialize; the lock also keeps
-// the view coherent with Flush and Close.
+// withView runs f over the merged snapshot. Structure queries mutate
+// per-structure scratch (that is where the hot path's zero allocations
+// come from), so concurrent queries against the shared cached view
+// serialize on queryMu. The generation-tagged cache is checked BEFORE
+// the engine mutex: a query burst against a warm cache never touches
+// e.mu, so it cannot stall producers partitioning under it — the
+// query/ingest interleave cost is one atomic load plus queryMu.
 func (e *Engine) withView(f func(*structSet) error) error {
+	if e.hasView.Load() && e.viewGen.Load() == e.gen.Load() {
+		e.queryMu.Lock()
+		if e.closed.Load() {
+			e.queryMu.Unlock()
+			return fmt.Errorf("engine: query on closed engine")
+		}
+		// Re-verify under queryMu: the cache may have gone stale between
+		// the check and the lock; if so, fall through to the slow path.
+		if e.hasView.Load() && e.viewGen.Load() == e.gen.Load() {
+			err := f(e.view.Load())
+			e.queryMu.Unlock()
+			return err
+		}
+		e.queryMu.Unlock()
+	}
+	// Slow path: (re)build the merged view under the engine mutex, then
+	// release it before running the query — only queryMu is held while
+	// the query walks the view, so producers resume immediately.
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
+		e.mu.Unlock()
 		return fmt.Errorf("engine: query on closed engine")
 	}
 	v, err := e.mergedViewLocked()
 	if err != nil {
+		e.mu.Unlock()
 		return err
 	}
-	return f(v)
+	e.queryMu.Lock()
+	e.mu.Unlock()
+	err = f(v)
+	e.queryMu.Unlock()
+	return err
 }
 
 // mergedViewLocked returns the merged snapshot of all shards, flushing
 // first when the cache is stale. The result is cached until the next
-// Ingest, so query bursts between ingest rounds take a mutex-only fast
-// path: a valid cache means no Ingest completed since the view was
-// built, hence nothing pending or in flight to flush. Callers hold e.mu.
+// Ingest, so query bursts between ingest rounds rebuild nothing: a
+// valid cache means no Ingest completed since the view was built,
+// hence nothing pending or in flight to flush. Callers hold e.mu.
 func (e *Engine) mergedViewLocked() (*structSet, error) {
-	if e.hasView && e.viewGen == e.gen {
-		return e.view, nil
+	if e.hasView.Load() && e.viewGen.Load() == e.gen.Load() {
+		return e.view.Load(), nil
 	}
 	e.flushLocked()
+	// Every Ingest whose locked section completed has bumped gen by now
+	// (it did so under e.mu) and been flushed; later Ingests are blocked
+	// on e.mu, so this generation stamp covers exactly what the view
+	// will hold.
+	genAt := e.gen.Load()
+	e.snapshotBuilds.Add(1)
 	snaps := make([]*structSet, len(e.workers))
 	barriers := make([]<-chan struct{}, len(e.workers))
 	for i, w := range e.workers {
@@ -512,9 +595,16 @@ func (e *Engine) mergedViewLocked() (*structSet, error) {
 			return nil, err
 		}
 	}
-	e.view, e.viewGen, e.hasView = merged, e.gen, true
+	e.view.Store(merged)
+	e.viewGen.Store(genAt)
+	e.hasView.Store(true)
 	return merged, nil
 }
+
+// SnapshotBuilds reports how many times the engine has rebuilt its
+// merged snapshot view — a diagnostic for the snapshot-free point
+// query contract: Estimate never increments it.
+func (e *Engine) SnapshotBuilds() int64 { return e.snapshotBuilds.Load() }
 
 // HeavyHitters returns the eps-heavy coordinates of the full ingested
 // stream, from the merged shard snapshots.
@@ -530,17 +620,65 @@ func (e *Engine) HeavyHitters() ([]uint64, error) {
 	return out, err
 }
 
-// Estimate returns the heavy-hitters structure's point estimate of f_i.
+// Estimate returns the heavy-hitters structure's point estimate of
+// f_i, answered snapshot-free by the index's OWNING shard: the same
+// fast-range partition hash that routes i's updates routes the query,
+// and that shard's live structure holds i's entire mass. The query
+// runs as a closure in the shard's goroutine — serialized with that
+// shard's ingest, after the shard's pending run (if any) is handed off
+// — so it never pays the all-shard flush barrier and never builds a
+// merged snapshot (SnapshotBuilds does not move). Routing to the owner
+// is also slightly more accurate than querying a merged table: the
+// owning shard's counters only carry collision noise from its own
+// partition of the key space.
+//
+// Exception: once Restore has imported external state (which lands in
+// shard 0 only), the owning shard no longer holds an index's entire
+// mass, so Estimate permanently reverts to answering from the merged
+// view — correct over the union, at the usual merged-query cost.
 func (e *Engine) Estimate(i uint64) (float64, error) {
+	if e.restored.Load() {
+		var out float64
+		err := e.withView(func(v *structSet) error {
+			if v.hh == nil {
+				return fmt.Errorf("Estimate: %w", ErrNotEnabled)
+			}
+			out = v.hh.Estimate(i)
+			return nil
+		})
+		return out, err
+	}
+	e.mu.Lock()
+	if e.closed.Load() {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("engine: query on closed engine")
+	}
+	s := e.shardOf(i)
+	var pend *core.Batch
+	if e.pending[s].Len() > 0 {
+		pend = e.pending[s]
+		e.pending[s] = core.GetBatch()
+	}
+	w, set := e.workers[s], e.sets[s]
+	// Registering with inflight keeps Flush/Close honest: they wait for
+	// the early hand-off and the shard closure below, so they can never
+	// observe (or tear down) the shard mid-query.
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+	if pend != nil {
+		w.Send(pend)
+	}
 	var out float64
-	err := e.withView(func(v *structSet) error {
-		if v.hh == nil {
-			return fmt.Errorf("Estimate: %w", ErrNotEnabled)
+	var qErr error
+	w.Do(func() {
+		if set.hh == nil {
+			qErr = fmt.Errorf("Estimate: %w", ErrNotEnabled)
+			return
 		}
-		out = v.hh.Estimate(i)
-		return nil
+		out = set.hh.Estimate(i)
 	})
-	return out, err
+	return out, qErr
 }
 
 // L1 returns the merged (1 +- eps) estimate of ||f||_1.
@@ -677,7 +815,10 @@ func (e *Engine) Snapshot(kind Structures) ([]byte, error) {
 // enforced by the underlying Merge). The imported state lands in shard
 // 0's structure, serialized through that shard's worker goroutine like
 // any other mutation, and subsequent queries and Snapshots answer for
-// the union of the local stream and the imported state.
+// the union of the local stream and the imported state. Because the
+// imported mass is not partitioned by this engine's hash, Restore also
+// permanently switches Estimate from per-shard routing to the merged
+// view (see Estimate).
 func (e *Engine) Restore(data []byte) error {
 	sk, err := bounded.UnmarshalSketch(data)
 	if err != nil {
@@ -685,7 +826,7 @@ func (e *Engine) Restore(data []byte) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
 		return fmt.Errorf("engine: Restore on closed engine")
 	}
 	set := e.sets[0]
@@ -715,9 +856,11 @@ func (e *Engine) Restore(data []byte) error {
 	if mErr != nil {
 		return mErr
 	}
-	// The merged view cache now lags shard 0's state.
-	e.gen++
-	e.hasView = false
+	// The merged view cache now lags shard 0's state, and point queries
+	// must stop trusting per-shard routing: the imported mass is not
+	// partitioned by the engine's hash.
+	e.gen.Add(1)
+	e.restored.Store(true)
 	return nil
 }
 
@@ -742,7 +885,7 @@ func mergeInto[T interface {
 func (e *Engine) SpaceBits() (int64, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
 		return 0, fmt.Errorf("engine: SpaceBits on closed engine")
 	}
 	e.flushLocked()
@@ -767,13 +910,17 @@ func (e *Engine) SpaceBits() (int64, error) {
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
 		return nil
 	}
+	// Publish closure before tearing down workers: queries that start
+	// after this point fail fast instead of racing the shutdown. Point
+	// queries and producer hand-offs already in flight are covered by
+	// flushLocked's inflight wait.
+	e.closed.Store(true)
 	e.flushLocked()
 	for _, w := range e.workers {
 		w.Close()
 	}
-	e.closed = true
 	return nil
 }

@@ -21,6 +21,14 @@ func fig1Stream(seed int64) (*stream.Stream, stream.Vector) {
 
 var testCfg = bounded.Config{N: 1 << 16, Eps: 0.05, Alpha: 8, Seed: 42}
 
+// must unwraps a constructor result (test Configs are always valid).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // TestEngineMatchesSingleWriter is the differential test of the
 // acceptance criteria: the engine's merged answers must be identical to
 // a single-writer structure fed the same stream. The default heavy
@@ -29,7 +37,7 @@ var testCfg = bounded.Config{N: 1 << 16, Eps: 0.05, Alpha: 8, Seed: 42}
 func TestEngineMatchesSingleWriter(t *testing.T) {
 	s, _ := fig1Stream(7)
 
-	single := bounded.MustHeavyHitters(testCfg, true)
+	single := must(bounded.NewHeavyHitters(testCfg))
 	single.UpdateBatch(s.Updates)
 
 	for _, shards := range []int{1, 2, 4, 8} {
@@ -61,19 +69,118 @@ func TestEngineMatchesSingleWriter(t *testing.T) {
 				t.Fatalf("shards=%d: heavy hitter %d is %d, single-writer has %d", shards, i, got[i], want[i])
 			}
 		}
-		// Point estimates must agree exactly too (same counters after merge).
+		// Point estimates route to the OWNING shard: each must agree
+		// exactly with a single-writer structure fed only that shard's
+		// substream (the columnar scatter and the scalar reference see
+		// the same updates in the same order).
+		refs := make([]*bounded.HeavyHitters, shards)
+		for r := range refs {
+			refs[r] = must(bounded.NewHeavyHitters(testCfg))
+		}
+		for _, u := range s.Updates {
+			refs[e.shardOf(u.Index)].Update(u.Index, u.Delta)
+		}
 		for _, i := range want {
 			ge, err := e.Estimate(i)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if se := single.Estimate(i); ge != se {
-				t.Fatalf("shards=%d: estimate of %d is %v, single-writer says %v", shards, i, ge, se)
+			if se := refs[e.shardOf(i)].Estimate(i); ge != se {
+				t.Fatalf("shards=%d: estimate of %d is %v, owning-shard reference says %v", shards, i, ge, se)
+			}
+		}
+		// At one shard the owning shard IS the whole stream.
+		if shards == 1 {
+			for _, i := range want {
+				ge, err := e.Estimate(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if se := single.Estimate(i); ge != se {
+					t.Fatalf("shards=1: estimate of %d is %v, single-writer says %v", i, ge, se)
+				}
 			}
 		}
 		if err := e.Close(); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestEnginePointQuerySnapshotFree asserts the snapshot-free contract:
+// point queries never pay the flush barrier + merged-view rebuild —
+// the engine's snapshot-build counter must not move on Estimate, only
+// on global queries against a stale cache.
+func TestEnginePointQuerySnapshotFree(t *testing.T) {
+	s, _ := fig1Stream(29)
+	e, err := New(testCfg, Options{Shards: 4, BatchSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Ingest(s.Updates); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.SnapshotBuilds(); n != 0 {
+		t.Fatalf("snapshot builds after ingest = %d, want 0", n)
+	}
+	for i := uint64(0); i < 64; i++ {
+		if _, err := e.Estimate(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := e.SnapshotBuilds(); n != 0 {
+		t.Fatalf("snapshot builds after 64 point queries = %d, want 0", n)
+	}
+	// A global query pays one rebuild…
+	if _, err := e.HeavyHitters(); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.SnapshotBuilds(); n != 1 {
+		t.Fatalf("snapshot builds after one global query = %d, want 1", n)
+	}
+	// …point queries after more ingest still trigger none, and the
+	// cached view stays valid for global queries until ingest.
+	if err := e.Ingest(s.Updates[:1000]); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 64; i++ {
+		if _, err := e.Estimate(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.HeavyHitters(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.HeavyHitters(); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.SnapshotBuilds(); n != 2 {
+		t.Fatalf("snapshot builds = %d, want 2 (one per post-ingest global query burst)", n)
+	}
+}
+
+// TestEnginePointQuerySeesIngestedUpdates: Estimate reflects every
+// update whose Ingest returned, including runs still sitting in the
+// shard's pending buffer (they are handed off, not flushed globally).
+func TestEnginePointQuerySeesIngestedUpdates(t *testing.T) {
+	e, err := New(testCfg, Options{Shards: 4, BatchSize: 1 << 20}) // nothing auto-flushes
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Ingest([]bounded.Update{{Index: 7, Delta: 5}, {Index: 7, Delta: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Estimate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("Estimate(7) = %v before any flush, want 7", got)
+	}
+	if n := e.SnapshotBuilds(); n != 0 {
+		t.Fatalf("snapshot builds = %d, want 0", n)
 	}
 }
 
@@ -84,7 +191,7 @@ func TestEngineMatchesSingleWriter(t *testing.T) {
 // writer.
 func TestEngineConcurrentProducers(t *testing.T) {
 	s, _ := fig1Stream(11)
-	single := bounded.MustHeavyHitters(testCfg, true)
+	single := must(bounded.NewHeavyHitters(testCfg))
 	single.UpdateBatch(s.Updates)
 
 	e, err := New(testCfg, Options{Shards: 4, BatchSize: 256, Queue: 2})
@@ -261,7 +368,7 @@ func TestEngineFullSuite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	other := bounded.MustSyncSketch(cfg, 64)
+	other := must(bounded.NewSyncSketch(cfg, bounded.WithCapacity(64)))
 	other.UpdateBatch(s.Updates)
 	wire, err := other.MarshalBinary()
 	if err != nil {

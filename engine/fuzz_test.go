@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"testing"
+
+	bounded "repro"
+)
+
+// FuzzColumnarScatter drives the columnar partition path (plan the
+// whole batch's shard keys, scatter indices and deltas by column) with
+// arbitrary update sequences and adversarial shard skew, and checks
+// the engine's state bit-for-bit against a single-writer sketch of the
+// same stream: the merged sync sketch must subtract to the empty
+// difference. The seed corpus pins the skew extremes — every update on
+// one index (all batches land on one shard) and strided indices.
+func FuzzColumnarScatter(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint8(4), uint8(3))                // max skew: one index
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(3), uint8(1)) // strided
+	f.Add([]byte{255, 0, 255, 0, 7, 7, 7, 7, 128, 64, 32, 16}, uint8(8), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, shards, chunk uint8) {
+		s := int(shards%8) + 1
+		c := int(chunk%7) + 1
+		cfg := bounded.Config{N: 1 << 10, Eps: 0.2, Alpha: 4, Seed: 99}
+		e, err := New(cfg, Options{
+			Shards: s, BatchSize: c, Queue: 2, Structures: SyncSketch, SyncCapacity: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		single, err := bounded.NewSyncSketch(cfg, bounded.WithCapacity(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Decode bytes into updates: two bytes each — index (skew-prone:
+		// reduced mod a small universe slice) and signed delta.
+		var batch []bounded.Update
+		for i := 0; i+1 < len(data); i += 2 {
+			u := bounded.Update{
+				Index: uint64(data[i]) % (1 << 10),
+				Delta: int64(int8(data[i+1])),
+			}
+			batch = append(batch, u)
+			// Uneven ingest chunks exercise pending-buffer boundaries.
+			if len(batch) >= c+i%3 {
+				if err := e.Ingest(batch); err != nil {
+					t.Fatal(err)
+				}
+				single.UpdateBatch(batch)
+				batch = batch[:0]
+			}
+		}
+		if err := e.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+		single.UpdateBatch(batch)
+
+		merged, err := e.SyncSketch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := single.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.SubRemote(wire); err != nil {
+			t.Fatal(err)
+		}
+		diff, err := merged.Decode()
+		if err != nil {
+			t.Fatalf("decode after subtract: %v", err)
+		}
+		if len(diff) != 0 {
+			t.Fatalf("columnar scatter diverged from single writer: %v", diff)
+		}
+	})
+}

@@ -20,7 +20,7 @@ func TestAdversarialIndThroughPublicAPI(t *testing.T) {
 	for level := 1; level <= 3; level++ {
 		inst := gen.AdversarialInd(7, 1<<16, 0.05, 1000, level)
 		// The instance has strong alpha ~ O(alpha^2); pass that bound.
-		hh := MustHeavyHitters(Config{N: 1 << 16, Eps: 0.05, Alpha: 1e6, Seed: int64(level)}, true)
+		hh := must(NewHeavyHitters(Config{N: 1 << 16, Eps: 0.05, Alpha: 1e6, Seed: int64(level)}))
 		for _, u := range inst.Stream.Updates {
 			hh.Update(u.Index, u.Delta)
 		}
@@ -46,8 +46,8 @@ func TestTurnstileContrastDegradesGracefully(t *testing.T) {
 	if tr.AlphaL1() < 1000 {
 		t.Fatalf("contrast stream alpha %.0f not extreme", tr.AlphaL1())
 	}
-	e := MustL1Estimator(Config{N: 1 << 12, Eps: 0.2, Alpha: 4, Seed: 10}, true, 0.1)
-	hh := MustHeavyHitters(Config{N: 1 << 12, Eps: 0.1, Alpha: 4, Seed: 11}, true)
+	e := must(NewL1Estimator(Config{N: 1 << 12, Eps: 0.2, Alpha: 4, Seed: 10}))
+	hh := must(NewHeavyHitters(Config{N: 1 << 12, Eps: 0.1, Alpha: 4, Seed: 11}))
 	for _, u := range s.Updates {
 		e.Update(u.Index, u.Delta)
 		hh.Update(u.Index, u.Delta)
@@ -67,10 +67,10 @@ func TestPipelineSharedStream(t *testing.T) {
 	tr.Consume(s)
 
 	cfg := Config{N: 1 << 14, Eps: 0.05, Alpha: 4, Seed: 13}
-	hh := MustHeavyHitters(cfg, true)
-	l1e := MustL1Estimator(Config{N: 1 << 14, Eps: 0.2, Alpha: 4, Seed: 14}, true, 0.1)
-	l0e := MustL0Estimator(Config{N: 1 << 14, Eps: 0.15, Alpha: 4, Seed: 15})
-	sup := MustSupportSampler(Config{N: 1 << 14, Eps: 0.1, Alpha: 4, Seed: 16}, 8)
+	hh := must(NewHeavyHitters(cfg))
+	l1e := must(NewL1Estimator(Config{N: 1 << 14, Eps: 0.2, Alpha: 4, Seed: 14}))
+	l0e := must(NewL0Estimator(Config{N: 1 << 14, Eps: 0.15, Alpha: 4, Seed: 15}))
+	sup := must(NewSupportSampler(Config{N: 1 << 14, Eps: 0.1, Alpha: 4, Seed: 16}, WithK(8)))
 	for _, u := range s.Updates {
 		hh.Update(u.Index, u.Delta)
 		l1e.Update(u.Index, u.Delta)
@@ -103,7 +103,7 @@ func TestLargeDeltaEquivalence(t *testing.T) {
 	s := gen.BoundedDeletion(gen.Config{N: 256, Items: 20000, Alpha: 2, Seed: 17})
 	want := float64(s.Materialize().L1())
 	const mult = 1 << 30
-	e := MustL1Estimator(Config{N: 256, Eps: 0.2, Alpha: 2, Seed: 18}, true, 0.1)
+	e := must(NewL1Estimator(Config{N: 256, Eps: 0.2, Alpha: 2, Seed: 18}))
 	for _, u := range s.Updates {
 		e.Update(u.Index, u.Delta*mult)
 	}
@@ -119,8 +119,8 @@ func TestSeedDeterminism(t *testing.T) {
 	s := gen.BoundedDeletion(gen.Config{N: 1 << 12, Items: 20000, Alpha: 4, Seed: 19})
 	run := func() ([]uint64, float64) {
 		cfg := Config{N: 1 << 12, Eps: 0.05, Alpha: 4, Seed: 20}
-		hh := MustHeavyHitters(cfg, true)
-		l0e := MustL0Estimator(Config{N: 1 << 12, Eps: 0.2, Alpha: 4, Seed: 21})
+		hh := must(NewHeavyHitters(cfg))
+		l0e := must(NewL0Estimator(Config{N: 1 << 12, Eps: 0.2, Alpha: 4, Seed: 21}))
 		for _, u := range s.Updates {
 			hh.Update(u.Index, u.Delta)
 			l0e.Update(u.Index, u.Delta)
@@ -153,7 +153,7 @@ func TestNetworkDifferencePipeline(t *testing.T) {
 	tr := NewTracker(1 << 16)
 	tr.Consume(d)
 
-	hh := MustHeavyHitters(Config{N: 1 << 16, Eps: 0.05, Alpha: tr.AlphaL1() + 1, Seed: 23}, false)
+	hh := must(NewHeavyHitters(Config{N: 1 << 16, Eps: 0.05, Alpha: tr.AlphaL1() + 1, Seed: 23}, WithStrict(false)))
 	for _, u := range d.Updates {
 		hh.Update(u.Index, u.Delta)
 	}
@@ -167,7 +167,7 @@ func TestNetworkDifferencePipeline(t *testing.T) {
 		t.Error("missed the planted attack flow in the difference stream")
 	}
 
-	ip := MustInnerProduct(Config{N: 1 << 16, Eps: 0.1, Alpha: 2, Seed: 24})
+	ip := must(NewInnerProduct(Config{N: 1 << 16, Eps: 0.1, Alpha: 2, Seed: 24}))
 	t1 := NewTracker(1 << 16)
 	t2 := NewTracker(1 << 16)
 	for _, u := range f1.Updates {
@@ -194,7 +194,7 @@ func TestEqualityViaL1Estimator(t *testing.T) {
 	const n = 1 << 12
 	decide := func(seed int64, equal bool) bool {
 		inst := gen.AdversarialEquality(seed, n, equal)
-		e := MustL1Estimator(Config{N: n, Eps: 0.08, Alpha: 2, Seed: seed + 100}, false, 0)
+		e := must(NewL1Estimator(Config{N: n, Eps: 0.08, Alpha: 2, Seed: seed + 100}, WithStrict(false)))
 		for _, u := range inst.Stream.Updates {
 			e.Update(u.Index, u.Delta)
 		}
@@ -228,7 +228,7 @@ func TestGapHammingViaL1Estimator(t *testing.T) {
 	for r := int64(0); r < reps; r++ {
 		far := r%2 == 0
 		inst := gen.AdversarialGapHamming(r, n, far)
-		e := MustL1Estimator(Config{N: n, Eps: 0.05, Alpha: 4, Seed: r + 200}, false, 0)
+		e := must(NewL1Estimator(Config{N: n, Eps: 0.05, Alpha: 4, Seed: r + 200}, WithStrict(false)))
 		for _, u := range inst.Stream.Updates {
 			e.Update(u.Index, u.Delta)
 		}
@@ -246,7 +246,7 @@ func TestGapHammingViaL1Estimator(t *testing.T) {
 func TestSupportLBViaSampler(t *testing.T) {
 	const n = 1 << 16
 	inst := gen.AdversarialSupport(9, n, 8, 6)
-	sp := MustSupportSampler(Config{N: n, Eps: 0.1, Alpha: 16, Seed: 10}, 16)
+	sp := must(NewSupportSampler(Config{N: n, Eps: 0.1, Alpha: 16, Seed: 10}, WithK(16)))
 	for _, u := range inst.Stream.Updates {
 		sp.Update(u.Index, u.Delta)
 	}
@@ -274,7 +274,7 @@ func TestInnerProductLBViaEstimator(t *testing.T) {
 	const reps = 10
 	for r := int64(0); r < reps; r++ {
 		inst := gen.AdversarialInnerProduct(r, n, 0.05, 4, 2)
-		ip := MustInnerProduct(Config{N: n, Eps: 0.02, Alpha: 2, Seed: r + 300})
+		ip := must(NewInnerProduct(Config{N: n, Eps: 0.02, Alpha: 2, Seed: r + 300}))
 		for _, u := range inst.F.Updates {
 			ip.UpdateF(u.Index, u.Delta)
 		}

@@ -30,6 +30,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/nt"
 	"repro/internal/sample"
@@ -116,10 +117,44 @@ func (s *Sketch) Update(i uint64, delta int64) {
 	}
 }
 
-// UpdateBatch applies a batch of updates.
+// UpdateBatch applies a batch of updates through the columnar pipeline
+// (see UpdateColumns).
 func (s *Sketch) UpdateBatch(batch []stream.Update) {
-	for _, u := range batch {
-		s.Update(u.Index, u.Delta)
+	b := core.GetBatch()
+	b.LoadUpdates(batch)
+	s.UpdateColumns(b)
+	core.PutBatch(b)
+}
+
+// UpdateColumns applies a pre-planned columnar batch accumulator-major:
+// each dense counter folds the whole batch in one straight-line loop
+// before the next counter is touched. Every accumulator sees its adds
+// in batch order — the same float sequence as the scalar path — so the
+// counters and the running |y| peak are bit-identical to Update.
+func (s *Sketch) UpdateColumns(b *core.Batch) {
+	idx, deltas := b.Idx, b.Delta
+	for _, d := range deltas {
+		s.m += absInt64(d)
+	}
+	for j := range s.y {
+		acc := s.y[j]
+		for t, i := range idx {
+			acc += s.entryA(j, i) * float64(deltas[t])
+			if a := math.Abs(acc); a > s.maxAbs {
+				s.maxAbs = a
+			}
+		}
+		s.y[j] = acc
+	}
+	for j := range s.yPrime {
+		acc := s.yPrime[j]
+		for t, i := range idx {
+			acc += s.entryAPrime(j, i) * float64(deltas[t])
+			if a := math.Abs(acc); a > s.maxAbs {
+				s.maxAbs = a
+			}
+		}
+		s.yPrime[j] = acc
 	}
 }
 
@@ -283,10 +318,22 @@ func (s *SampledSketch) Update(i uint64, delta int64) {
 	}
 }
 
-// UpdateBatch applies a batch of updates.
+// UpdateBatch applies a batch of updates through the columnar pipeline
+// (see UpdateColumns).
 func (s *SampledSketch) UpdateBatch(batch []stream.Update) {
-	for _, u := range batch {
-		s.Update(u.Index, u.Delta)
+	b := core.GetBatch()
+	b.LoadUpdates(batch)
+	s.UpdateColumns(b)
+	core.PutBatch(b)
+}
+
+// UpdateColumns consumes a pre-planned columnar batch. The sampled
+// levels draw one rng decision per unit update, so application stays
+// per-item in column order — the rng sequence (and therefore the
+// state) is identical to the scalar path.
+func (s *SampledSketch) UpdateColumns(b *core.Batch) {
+	for j, i := range b.Idx {
+		s.Update(i, b.Delta[j])
 	}
 }
 

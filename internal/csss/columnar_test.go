@@ -1,0 +1,113 @@
+package csss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+// TestUpdateColumnsMatchesScalar: the columnar batch path must be
+// bit-identical to per-update ingestion in EVERY regime — the rate-1
+// columnar fast path draws no rng (like the scalar rate-1 path), and
+// boundary-crossing and sampled updates fall back to the scalar chunk
+// loop, so two same-seeded sketches stay in rng lockstep across
+// halvings.
+func TestUpdateColumnsMatchesScalar(t *testing.T) {
+	// Small S forces several halvings inside the stream; magnitudes > 1
+	// exercise the chunked unit expansion across boundaries.
+	for _, fb := range []uint{0, 6} {
+		p := Params{Rows: 5, K: 8, S: 64, FixedPointBits: fb}
+		s := gen.BoundedDeletion(gen.Config{N: 512, Items: 4000, Alpha: 4, Zipf: 1.3, Seed: 21})
+		a := New(rand.New(rand.NewSource(31)), p)
+		b := New(rand.New(rand.NewSource(31)), p)
+		for _, u := range s.Updates {
+			a.Update(u.Index, u.Delta)
+		}
+		sizes := []int{1, 3, 17, 129, 511}
+		for off, k := 0, 0; off < len(s.Updates); k++ {
+			end := off + sizes[k%len(sizes)]
+			if end > len(s.Updates) {
+				end = len(s.Updates)
+			}
+			b.UpdateBatch(s.Updates[off:end])
+			off = end
+		}
+		if a.Position() != b.Position() {
+			t.Fatalf("fb=%d: position scalar %d, columnar %d", fb, a.Position(), b.Position())
+		}
+		if a.SampleExponent() != b.SampleExponent() {
+			t.Fatalf("fb=%d: exponent scalar %d, columnar %d", fb, a.SampleExponent(), b.SampleExponent())
+		}
+		for i := uint64(0); i < 512; i++ {
+			if qa, qb := a.Query(i), b.Query(i); qa != qb {
+				t.Fatalf("fb=%d: Query(%d): scalar %v, columnar %v", fb, i, qa, qb)
+			}
+		}
+		if sa, sb := a.SpaceBits(), b.SpaceBits(); sa != sb {
+			t.Fatalf("fb=%d: SpaceBits: scalar %d, columnar %d", fb, sa, sb)
+		}
+	}
+}
+
+// TestUpdateColumnsExtremeDeltas: MinInt64 (a scalar-path no-op: its
+// magnitude cannot be negated) and large deltas must not corrupt the
+// position counter or halving schedule via overflow in the columnar
+// prefix scan — state stays identical to the scalar path. (Cumulative
+// unit mass near 2^63 overflows the halving schedule on BOTH paths and
+// is out of model — a stream that long cannot exist — so the large
+// deltas here stay within the schedule's range.)
+func TestUpdateColumnsExtremeDeltas(t *testing.T) {
+	p := Params{Rows: 5, K: 8, S: 64}
+	us := []stream.Update{
+		{Index: 1, Delta: 3},
+		{Index: 2, Delta: math.MinInt64},
+		{Index: 3, Delta: 5},
+		{Index: 4, Delta: 1 << 40},
+		{Index: 5, Delta: -2},
+		{Index: 6, Delta: math.MinInt64},
+	}
+	a := New(rand.New(rand.NewSource(51)), p)
+	b := New(rand.New(rand.NewSource(51)), p)
+	for _, u := range us {
+		a.Update(u.Index, u.Delta)
+	}
+	b.UpdateBatch(us)
+	if a.Position() != b.Position() {
+		t.Fatalf("position: scalar %d, columnar %d", a.Position(), b.Position())
+	}
+	if a.SampleExponent() != b.SampleExponent() {
+		t.Fatalf("exponent: scalar %d, columnar %d", a.SampleExponent(), b.SampleExponent())
+	}
+	if a.Position() < 0 {
+		t.Fatalf("position went negative: %d", a.Position())
+	}
+}
+
+// TestUpdateColumnsRateOneExact: entirely inside the rate-1 regime the
+// columnar path is the pure row-major apply; state must equal the
+// scalar path's and the rng must be untouched (identical next draw).
+func TestUpdateColumnsRateOneExact(t *testing.T) {
+	p := Params{Rows: 7, K: 16, S: 1 << 30} // never halves
+	us := make([]stream.Update, 0, 1000)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		us = append(us, stream.Update{Index: uint64(rng.Intn(256)), Delta: int64(rng.Intn(9) - 4)})
+	}
+	a := New(rand.New(rand.NewSource(2)), p)
+	b := New(rand.New(rand.NewSource(2)), p)
+	for _, u := range us {
+		a.Update(u.Index, u.Delta)
+	}
+	b.UpdateBatch(us)
+	for i := uint64(0); i < 256; i++ {
+		if qa, qb := a.Query(i), b.Query(i); qa != qb {
+			t.Fatalf("Query(%d): scalar %v, columnar %v", i, qa, qb)
+		}
+	}
+	if a.rng.Uint64() != b.rng.Uint64() {
+		t.Fatal("rate-1 columnar path consumed rng; scalar path does not")
+	}
+}

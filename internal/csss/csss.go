@@ -40,6 +40,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/nt"
 	"repro/internal/order"
@@ -163,11 +164,99 @@ func (s *Sketch) Update(i uint64, delta int64) {
 	s.UpdateWeighted(i, delta, 1.0)
 }
 
-// UpdateBatch applies a batch of updates, amortizing the per-call
-// overhead of the chunked sampling loop.
+// UpdateBatch applies a batch of updates through the columnar plan →
+// hash → apply pipeline (see UpdateColumns).
 func (s *Sketch) UpdateBatch(batch []stream.Update) {
-	for _, u := range batch {
-		s.UpdateWeighted(u.Index, u.Delta, 1.0)
+	b := core.GetBatch()
+	b.LoadUpdates(batch)
+	s.UpdateColumns(b)
+	core.PutBatch(b)
+}
+
+// UpdateColumns applies a pre-planned columnar batch. In the rate-1
+// regime (sampling exponent p = 0, the regime until the stream passes
+// 2S units) every unit is kept, so a run of updates that stays
+// strictly below the next halving boundary needs no rng and no
+// per-item chunking: one batch hash evaluation fills all rows' bucket
+// and sign columns and the apply stage sweeps the table row-major.
+// Updates that cross a halving boundary — and everything once p > 0 —
+// go through the scalar per-item path, which preserves the rng draw
+// sequence exactly; the result is bit-identical to feeding the same
+// updates through Update in every regime.
+func (s *Sketch) UpdateColumns(b *core.Batch) {
+	idx, deltas := b.Idx, b.Delta
+	j := 0
+	for j < len(idx) {
+		if s.p != 0 {
+			for ; j < len(idx); j++ {
+				s.UpdateWeighted(idx[j], deltas[j], 1.0)
+			}
+			return
+		}
+		// Longest prefix whose unit mass keeps t strictly below the
+		// halving boundary: all of it is rate-1, order-commutative.
+		// Overflow discipline: room - mass >= 0 by loop invariant, so
+		// `m > room-mass` detects a boundary crossing without mass+m
+		// ever wrapping; m < 0 after negation means delta == MinInt64,
+		// which the scalar path treats as a no-op (decompose leaves a
+		// negative magnitude) — route it there rather than corrupt t.
+		room := s.nextHalf - 1 - s.t
+		var mass int64
+		k := j
+		for k < len(idx) {
+			m := deltas[k]
+			if m < 0 {
+				m = -m
+			}
+			if m < 0 || m > room-mass {
+				break
+			}
+			mass += m
+			k++
+		}
+		if k > j {
+			s.applyRateOne(b, idx[j:k], deltas[j:k])
+			s.t += mass
+			j = k
+		}
+		if j < len(idx) {
+			// This update crosses (or lands on) the boundary: the scalar
+			// chunk loop handles the halving and any post-halving
+			// sampling with the exact rng sequence of the scalar path.
+			s.UpdateWeighted(idx[j], deltas[j], 1.0)
+			j++
+		}
+	}
+}
+
+// applyRateOne applies a rate-1 run columnar-ly: every row's bucket
+// and sign come from one batch hash evaluation, and each update adds
+// its full unit mass (at fixed-point weight 1.0) to the selected side
+// of the selected cell — the same writes the scalar rate-1 path makes,
+// reordered row-major (integer adds commute).
+func (s *Sketch) applyRateOne(b *core.Batch, idx []uint64, deltas []int64) {
+	n := len(idx)
+	cols := b.Cols32(s.rows * n)
+	signs := b.Signs8(s.rows * n)
+	s.buckets.BucketSignsBatch(idx, cols, signs)
+	_, _, wfp := s.decompose(1, 1.0) // weight 1.0 quantized exactly as the scalar path does
+	// Per-item sub-unit masses, computed once (branchless |d|); a zero
+	// delta contributes a zero add, which is cheaper than a branch.
+	mags := b.Col64(n)
+	for t, d := range deltas {
+		m := (d ^ (d >> 63)) - (d >> 63)
+		mags[t] = uint64(m * wfp)
+	}
+	for r := 0; r < s.rows; r++ {
+		base := r * int(s.cols)
+		rc := cols[r*n : r*n+n : r*n+n]
+		rs := signs[r*n : r*n+n : r*n+n]
+		for t, d := range deltas {
+			// side 0 (positive mass) iff sign(d)*g > 0: the XOR of the
+			// two sign bits, branch-free.
+			side := int((uint8(rs[t]) >> 7) ^ uint8(uint64(d)>>63))
+			s.table[base+int(rc[t])][side] += int64(mags[t])
+		}
 	}
 }
 
@@ -485,6 +574,33 @@ func (s *Sketch) Query(i uint64) float64 {
 func (s *Sketch) cachedRowEstimate(r int) float64 {
 	cl := &s.table[s.rowIdx[r]]
 	return float64(s.rowSigns[r]) * float64(cl[0]-cl[1]) * s.estScale
+}
+
+// QueryColumns fills est[j] with Query(keys[j]) for every key, hashing
+// the whole key column in ONE batch evaluation into b's column scratch
+// — the batched form of the candidate-refresh loop of the heavy
+// hitters and sampler batch paths, where an entire batch's distinct
+// indices are re-estimated at once. Answers are bit-identical to
+// Query's.
+func (s *Sketch) QueryColumns(b *core.Batch, keys []uint64, est []float64) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	cols := b.Cols32(s.rows * n)
+	signs := b.Signs8(s.rows * n)
+	s.buckets.BucketSignsBatch(keys, cols, signs)
+	for j := 0; j < n; j++ {
+		for r := 0; r < s.rows; r++ {
+			cl := &s.table[r*int(s.cols)+int(cols[r*n+j])]
+			s.qest[r] = float64(signs[r*n+j]) * float64(cl[0]-cl[1]) * s.estScale
+		}
+		if s.rows == 5 {
+			est[j] = order.MedianOf5(s.qest[0], s.qest[1], s.qest[2], s.qest[3], s.qest[4])
+		} else {
+			est[j] = order.MedianFloat64(s.qest)
+		}
+	}
 }
 
 // RowResidualL2 returns the L2 norm of row r after subtracting the

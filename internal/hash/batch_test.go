@@ -1,0 +1,77 @@
+package hash
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBucketSignsBatchMatchesScalar: the row-major batch evaluator must
+// be bit-identical to the per-key BucketSign path for every row.
+func TestBucketSignsBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, rows := range []int{1, 3, 7} {
+		for _, cols := range []uint64{2, 96, 1 << 20} {
+			b := NewBuckets(rng, rows, cols)
+			keys := make([]uint64, 257)
+			for i := range keys {
+				keys[i] = rng.Uint64() >> 4
+			}
+			keys[0], keys[1] = 0, 1 // edge keys
+			n := len(keys)
+			bc := make([]uint32, rows*n)
+			bs := make([]int8, rows*n)
+			b.BucketSignsBatch(keys, bc, bs)
+			for r := 0; r < rows; r++ {
+				for j, x := range keys {
+					wc, ws := b.BucketSign(r, x)
+					if uint64(bc[r*n+j]) != wc || int64(bs[r*n+j]) != ws {
+						t.Fatalf("rows=%d cols=%d row %d key %d: batch (%d,%d) != scalar (%d,%d)",
+							rows, cols, r, x, bc[r*n+j], bs[r*n+j], wc, ws)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFieldBatchMatchesScalar covers the specialized k = 2/4 loops and
+// the generic fallback.
+func TestFieldBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range []int{1, 2, 4, 8} {
+		h := NewKWise(rng, k)
+		keys := make([]uint64, 100)
+		for i := range keys {
+			keys[i] = rng.Uint64()
+		}
+		out := make([]uint64, len(keys))
+		h.FieldBatch(keys, out)
+		for j, x := range keys {
+			if want := h.Field(x); out[j] != want {
+				t.Fatalf("k=%d key %d: batch %d != scalar %d", k, x, out[j], want)
+			}
+		}
+	}
+}
+
+// TestRangeBatchMatchesScalar covers the pairwise fast path and the
+// generic path at small and universe-sized ranges.
+func TestRangeBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, k := range []int{2, 4} {
+		h := NewKWise(rng, k)
+		keys := make([]uint64, 100)
+		for i := range keys {
+			keys[i] = rng.Uint64()
+		}
+		for _, r := range []uint64{1, 7, 1 << 16, 1 << 44} {
+			out := make([]uint64, len(keys))
+			h.RangeBatch(keys, r, out)
+			for j, x := range keys {
+				if want := h.Range(x, r); out[j] != want {
+					t.Fatalf("k=%d r=%d key %d: batch %d != scalar %d", k, r, x, out[j], want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package heavy
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestAlphaL1ColumnarMatchesScalar: feeding the heavy-hitters
+// structure through the columnar batch path must reproduce the scalar
+// path bit-for-bit in the exact (rate-1) regime: same sketch, same L1
+// scale, same candidate set, same answers.
+func TestAlphaL1ColumnarMatchesScalar(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 1 << 14, Items: 30000, Alpha: 4, Zipf: 1.5, Seed: 3})
+	p := AlphaL1Params{N: 1 << 14, Eps: 0.05, Mode: Strict, Alpha: 4}
+	a := NewAlphaL1(rand.New(rand.NewSource(23)), p)
+	b := NewAlphaL1(rand.New(rand.NewSource(23)), p)
+	for _, u := range s.Updates {
+		a.Update(u.Index, u.Delta)
+	}
+	sizes := []int{64, 1, 509, 2048}
+	for off, k := 0, 0; off < len(s.Updates); k++ {
+		end := off + sizes[k%len(sizes)]
+		if end > len(s.Updates) {
+			end = len(s.Updates)
+		}
+		b.UpdateBatch(s.Updates[off:end])
+		off = end
+	}
+	if !reflect.DeepEqual(a.HeavyHitters(), b.HeavyHitters()) {
+		t.Fatalf("HeavyHitters: scalar %v, columnar %v", a.HeavyHitters(), b.HeavyHitters())
+	}
+	for i := uint64(0); i < 1<<14; i += 97 {
+		if qa, qb := a.Query(i), b.Query(i); qa != qb {
+			t.Fatalf("Query(%d): scalar %v, columnar %v", i, qa, qb)
+		}
+	}
+	if sa, sb := a.SpaceBits(), b.SpaceBits(); sa != sb {
+		t.Fatalf("SpaceBits: scalar %d, columnar %d", sa, sb)
+	}
+}
+
+// TestAlphaL2ColumnarMatchesScalar covers the Appendix A structure's
+// two-sketch columnar fan-out (magnitude column for the insertion
+// pass, signed column for the verifier).
+func TestAlphaL2ColumnarMatchesScalar(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 1 << 12, Items: 15000, Alpha: 4, Zipf: 1.4, Seed: 5})
+	a := NewAlphaL2(rand.New(rand.NewSource(29)), 1<<12, 0.25, 4)
+	b := NewAlphaL2(rand.New(rand.NewSource(29)), 1<<12, 0.25, 4)
+	for _, u := range s.Updates {
+		a.Update(u.Index, u.Delta)
+	}
+	for off := 0; off < len(s.Updates); off += 777 {
+		end := off + 777
+		if end > len(s.Updates) {
+			end = len(s.Updates)
+		}
+		b.UpdateBatch(s.Updates[off:end])
+	}
+	if !reflect.DeepEqual(a.HeavyHitters(), b.HeavyHitters()) {
+		t.Fatalf("HeavyHitters: scalar %v, columnar %v", a.HeavyHitters(), b.HeavyHitters())
+	}
+	if sa, sb := a.SpaceBits(), b.SpaceBits(); sa != sb {
+		t.Fatalf("SpaceBits: scalar %d, columnar %d", sa, sb)
+	}
+}

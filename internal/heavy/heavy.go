@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/cauchy"
+	"repro/internal/core"
 	"repro/internal/csss"
 	"repro/internal/nt"
 	"repro/internal/sketch"
@@ -53,8 +54,9 @@ type AlphaL1 struct {
 	l1Est   *cauchy.Sketch // General mode: constant-factor estimator
 	maxL1   int64
 
-	batchSeen map[uint64]struct{} // scratch for stream.DistinctIndices
+	batchSeen map[uint64]struct{} // scratch for stream.DistinctColumn
 	distinct  []uint64
+	estBuf    []float64 // scratch for the batched candidate refresh
 }
 
 // AlphaL1Params configures AlphaL1.
@@ -130,21 +132,49 @@ func (h *AlphaL1) ingest(i uint64, delta int64) {
 	}
 }
 
-// UpdateBatch feeds a batch of updates. The sketch and scale ingest
-// every update, but the candidate tracker is refreshed once per
-// DISTINCT index at the end of the batch — the CSSS median query is the
-// dominant per-update cost of the scalar path, and an index updated k
-// times in one batch needs only its final estimate offered.
+// UpdateBatch feeds a batch of updates through the columnar pipeline
+// (see UpdateColumns).
 func (h *AlphaL1) UpdateBatch(batch []stream.Update) {
-	for _, u := range batch {
-		h.ingest(u.Index, u.Delta)
+	b := core.GetBatch()
+	b.LoadUpdates(batch)
+	h.UpdateColumns(b)
+	core.PutBatch(b)
+}
+
+// UpdateColumns feeds a pre-planned columnar batch. The CSSS sketch
+// consumes the columns directly (rate-1 runs apply row-major off one
+// batch hash evaluation); the L1 scale ingests the delta column; the
+// candidate tracker is refreshed once per DISTINCT index at the end of
+// the batch — the CSSS median query is the dominant per-update cost of
+// the scalar path, and an index updated k times in one batch needs
+// only its final estimate offered.
+func (h *AlphaL1) UpdateColumns(b *core.Batch) {
+	h.sk.UpdateColumns(b)
+	switch h.mode {
+	case Strict:
+		for _, d := range b.Delta {
+			h.l1Exact += d
+			if h.l1Exact > h.maxL1 {
+				h.maxL1 = h.l1Exact
+			}
+		}
+	case General:
+		h.l1Est.UpdateColumns(b)
 	}
 	if h.batchSeen == nil {
 		h.batchSeen = make(map[uint64]struct{}, 256)
 	}
-	h.distinct = stream.DistinctIndices(h.distinct[:0], h.batchSeen, batch)
-	for _, i := range h.distinct {
-		h.tracker.Offer(i, h.sk.Query(i))
+	h.distinct = stream.DistinctColumn(h.distinct[:0], h.batchSeen, b.Idx)
+	// Batched refresh: hash ALL distinct indices in one pass (reusing
+	// the batch's column scratch — the sketch is done with it) and
+	// offer the fresh estimates.
+	if cap(h.estBuf) < len(h.distinct) {
+		h.estBuf = make([]float64, len(h.distinct))
+	}
+	est := h.estBuf[:len(h.distinct)]
+	h.sk.QueryColumns(b, h.distinct, est)
+	for j, i := range h.distinct {
+		h.tracker.Offer(i, est[j])
 	}
 }
 
@@ -302,19 +332,34 @@ func (b *CountSketchHH) ingest(i uint64, delta int64) {
 	}
 }
 
-// UpdateBatch feeds a batch of updates (see AlphaL1.UpdateBatch for the
-// distinct-index tracker refresh).
+// UpdateBatch feeds a batch of updates through the columnar pipeline
+// (see AlphaL1.UpdateColumns for the distinct-index tracker refresh).
 func (b *CountSketchHH) UpdateBatch(batch []stream.Update) {
-	for _, u := range batch {
-		b.ingest(u.Index, u.Delta)
+	cb := core.GetBatch()
+	cb.LoadUpdates(batch)
+	b.UpdateColumns(cb)
+	core.PutBatch(cb)
+}
+
+// UpdateColumns feeds a pre-planned columnar batch (the baseline's
+// dense Count-Sketch applies it row-major off one batch hash pass).
+func (b *CountSketchHH) UpdateColumns(cb *core.Batch) {
+	b.sk.UpdateColumns(cb)
+	if b.mode == Strict {
+		for _, d := range cb.Delta {
+			b.l1Exact += d
+			if b.l1Exact > b.maxL1 {
+				b.maxL1 = b.l1Exact
+			}
+		}
+	} else {
+		b.l1Est.UpdateColumns(cb)
 	}
 	if b.batchSeen == nil {
 		b.batchSeen = make(map[uint64]struct{}, 256)
 	}
-	b.distinct = stream.DistinctIndices(b.distinct[:0], b.batchSeen, batch)
-	for _, i := range b.distinct {
-		b.tracker.Offer(i, float64(b.sk.Query(i)))
-	}
+	b.distinct = stream.DistinctColumn(b.distinct[:0], b.batchSeen, cb.Idx)
+	b.tracker.OfferAll(b.distinct, func(i uint64) float64 { return float64(b.sk.Query(i)) })
 }
 
 // HeavyHitters applies the same 3 eps R / 4 rule as AlphaL1.

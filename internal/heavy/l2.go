@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/sketch"
 	"repro/internal/stream"
 	"repro/internal/topk"
@@ -73,24 +74,37 @@ func (h *AlphaL2) Update(i uint64, delta int64) {
 	h.trk.Offer(i, float64(h.insCS.Query(i)))
 }
 
-// UpdateBatch feeds a batch of updates, refreshing the candidate
-// tracker once per distinct index at the end of the batch.
+// UpdateBatch feeds a batch of updates through the columnar pipeline
+// (see UpdateColumns).
 func (h *AlphaL2) UpdateBatch(batch []stream.Update) {
-	for _, u := range batch {
-		mag := u.Delta
+	b := core.GetBatch()
+	b.LoadUpdates(batch)
+	h.UpdateColumns(b)
+	core.PutBatch(b)
+}
+
+// UpdateColumns feeds a pre-planned columnar batch: the verifier
+// sketch consumes the columns as-is; the insertion-pass sketch
+// consumes a second pooled batch holding the same index column with
+// magnitude deltas (the I + D stream); the candidate tracker refreshes
+// once per distinct index.
+func (h *AlphaL2) UpdateColumns(b *core.Batch) {
+	ins := core.GetBatch()
+	for j, i := range b.Idx {
+		mag := b.Delta[j]
 		if mag < 0 {
 			mag = -mag
 		}
-		h.insCS.Update(u.Index, mag)
-		h.verCS.Update(u.Index, u.Delta)
+		ins.Append(i, mag)
 	}
+	h.insCS.UpdateColumns(ins)
+	core.PutBatch(ins)
+	h.verCS.UpdateColumns(b)
 	if h.batchSeen == nil {
 		h.batchSeen = make(map[uint64]struct{}, 256)
 	}
-	h.distinct = stream.DistinctIndices(h.distinct[:0], h.batchSeen, batch)
-	for _, i := range h.distinct {
-		h.trk.Offer(i, float64(h.insCS.Query(i)))
-	}
+	h.distinct = stream.DistinctColumn(h.distinct[:0], h.batchSeen, b.Idx)
+	h.trk.OfferAll(h.distinct, func(i uint64) float64 { return float64(h.insCS.Query(i)) })
 }
 
 // HeavyHitters returns the verified eps L2 heavy hitters of f.

@@ -26,6 +26,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/nt"
 	"repro/internal/sample"
@@ -130,17 +131,36 @@ func (e *Estimator) UpdateF(i uint64, delta int64) { e.update(e.f, i, delta) }
 // UpdateG feeds an update to the second stream.
 func (e *Estimator) UpdateG(i uint64, delta int64) { e.update(e.g, i, delta) }
 
-// UpdateBatchF feeds a batch of updates to the first stream.
+// UpdateBatchF feeds a batch of updates to the first stream through
+// the columnar pipeline.
 func (e *Estimator) UpdateBatchF(batch []stream.Update) {
-	for _, u := range batch {
-		e.update(e.f, u.Index, u.Delta)
-	}
+	b := core.GetBatch()
+	b.LoadUpdates(batch)
+	e.UpdateColumnsF(b)
+	core.PutBatch(b)
 }
 
-// UpdateBatchG feeds a batch of updates to the second stream.
+// UpdateBatchG feeds a batch of updates to the second stream through
+// the columnar pipeline.
 func (e *Estimator) UpdateBatchG(batch []stream.Update) {
-	for _, u := range batch {
-		e.update(e.g, u.Index, u.Delta)
+	b := core.GetBatch()
+	b.LoadUpdates(batch)
+	e.UpdateColumnsG(b)
+	core.PutBatch(b)
+}
+
+// UpdateColumnsF consumes a pre-planned columnar batch for the first
+// stream. Sampled levels draw rng per unit update, so application
+// stays per-item in column order.
+func (e *Estimator) UpdateColumnsF(b *core.Batch) { e.updateColumns(e.f, b) }
+
+// UpdateColumnsG consumes a pre-planned columnar batch for the second
+// stream.
+func (e *Estimator) UpdateColumnsG(b *core.Batch) { e.updateColumns(e.g, b) }
+
+func (e *Estimator) updateColumns(sd *side, b *core.Batch) {
+	for j, i := range b.Idx {
+		e.update(sd, i, b.Delta[j])
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/nt"
 	"repro/internal/stream"
@@ -178,6 +179,15 @@ func (e *Estimator) syncRows() {
 // Update feeds one stream update.
 func (e *Estimator) Update(i uint64, delta int64) {
 	if delta == 0 {
+		return // before hashing: zero-delta updates cost nothing
+	}
+	e.updateHashed(i, delta, e.h1.Field(i))
+}
+
+// updateHashed is Update with the level hash h1(i) pre-evaluated — the
+// consumption point of the columnar pipeline's pre-hashed level column.
+func (e *Estimator) updateHashed(i uint64, delta int64, h1v uint64) {
+	if delta == 0 {
 		return
 	}
 	if e.params.Windowed {
@@ -194,7 +204,7 @@ func (e *Estimator) Update(i uint64, delta int64) {
 	d := uint64(dm)
 
 	// Main matrix.
-	row := hash.LSB(e.h1.Field(i), e.maxRow)
+	row := hash.LSB(h1v, e.maxRow)
 	if row > e.maxRow {
 		row = e.maxRow
 	}
@@ -212,10 +222,28 @@ func (e *Estimator) Update(i uint64, delta int64) {
 	e.singleRow[bins] = nt.AddMod(e.singleRow[bins], nt.MulMod(d, mult, e.p), e.p)
 }
 
-// UpdateBatch applies a batch of updates.
+// UpdateBatch applies a batch of updates through the columnar pipeline
+// (see UpdateColumns).
 func (e *Estimator) UpdateBatch(batch []stream.Update) {
-	for _, u := range batch {
-		e.Update(u.Index, u.Delta)
+	b := core.GetBatch()
+	b.LoadUpdates(batch)
+	e.UpdateColumns(b)
+	core.PutBatch(b)
+}
+
+// UpdateColumns consumes a pre-planned columnar batch: the level hash
+// h1 is batch-evaluated into a contiguous column up front, then items
+// apply in order (row liveness can change between items, so the apply
+// stage itself stays per-item). State is identical to the scalar path.
+func (e *Estimator) UpdateColumns(b *core.Batch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	h1v := b.Col64(n)
+	e.h1.FieldBatch(b.Idx, h1v)
+	for j, i := range b.Idx {
+		e.updateHashed(i, b.Delta[j], h1v[j])
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 
 	"repro/internal/cauchy"
+	"repro/internal/core"
 	"repro/internal/morris"
 	"repro/internal/nt"
 	"repro/internal/sample"
@@ -178,10 +179,22 @@ func (a *AlphaEstimator) Update(i uint64, delta int64) {
 	}
 }
 
-// UpdateBatch applies a batch of updates.
+// UpdateBatch applies a batch of updates through the columnar pipeline
+// (see UpdateColumns).
 func (a *AlphaEstimator) UpdateBatch(batch []stream.Update) {
-	for _, u := range batch {
-		a.Update(u.Index, u.Delta)
+	b := core.GetBatch()
+	b.LoadUpdates(batch)
+	a.UpdateColumns(b)
+	core.PutBatch(b)
+}
+
+// UpdateColumns consumes a pre-planned columnar batch. The estimator
+// is index-oblivious and every chunk draws Morris/binomial rng, so
+// application stays per-item in column order — the rng sequence (and
+// therefore the state) is identical to the scalar path.
+func (a *AlphaEstimator) UpdateColumns(b *core.Batch) {
+	for j, i := range b.Idx {
+		a.Update(i, b.Delta[j])
 	}
 }
 

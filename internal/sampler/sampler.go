@@ -36,6 +36,7 @@ import (
 	"math/rand"
 
 	"repro/internal/cauchy"
+	"repro/internal/core"
 	"repro/internal/csss"
 	"repro/internal/hash"
 	"repro/internal/nt"
@@ -249,8 +250,9 @@ func (in *instance) spaceBits() int64 {
 type Sampler struct {
 	instances []*instance
 
-	batchSeen map[uint64]struct{} // scratch for stream.DistinctIndices
+	batchSeen map[uint64]struct{} // scratch for stream.DistinctColumn
 	distinct  []uint64            // the batch's distinct indices, shared by copies
+	estBuf    []float64           // scratch for the batched candidate refresh
 }
 
 // New builds a sampler with `copies` parallel instances; pass
@@ -274,22 +276,41 @@ func (s *Sampler) Update(i uint64, delta int64) {
 	}
 }
 
-// UpdateBatch feeds a batch to all instances. Each instance ingests
-// every update but refreshes its candidate tracker only once per
-// distinct index — the tracker offer costs a full CSSS median query,
-// the dominant term of the scalar path, and the distinct-index set is
-// computed once and shared across the ~2/eps parallel copies.
+// UpdateBatch feeds a batch to all instances through the columnar
+// pipeline (see UpdateColumns).
 func (s *Sampler) UpdateBatch(batch []stream.Update) {
+	b := core.GetBatch()
+	b.LoadUpdates(batch)
+	s.UpdateColumns(b)
+	core.PutBatch(b)
+}
+
+// UpdateColumns feeds a pre-planned columnar batch to all instances.
+// Each instance ingests every update (per-item: the precision-sampling
+// weights and binomial thinning draw per-instance rng) but refreshes
+// its candidate tracker only once per distinct index — the tracker
+// offer costs a full CSSS median query, the dominant term of the
+// scalar path, and the distinct-index column is computed once and
+// shared across the ~2/eps parallel copies.
+func (s *Sampler) UpdateColumns(b *core.Batch) {
 	if s.batchSeen == nil {
 		s.batchSeen = make(map[uint64]struct{}, 256)
 	}
-	s.distinct = stream.DistinctIndices(s.distinct[:0], s.batchSeen, batch)
+	s.distinct = stream.DistinctColumn(s.distinct[:0], s.batchSeen, b.Idx)
+	if cap(s.estBuf) < len(s.distinct) {
+		s.estBuf = make([]float64, len(s.distinct))
+	}
+	est := s.estBuf[:len(s.distinct)]
 	for _, in := range s.instances {
-		for _, u := range batch {
-			in.ingest(u.Index, u.Delta)
+		for j, i := range b.Idx {
+			in.ingest(i, b.Delta[j])
 		}
-		for _, i := range s.distinct {
-			in.trk.Offer(i, in.te.CS1.Query(i))
+		// Batched refresh: one hash pass re-estimates every distinct
+		// index against this instance's CS1 (b's column scratch is free
+		// again once the instance finished ingesting).
+		in.te.CS1.QueryColumns(b, s.distinct, est)
+		for j, i := range s.distinct {
+			in.trk.Offer(i, est[j])
 		}
 	}
 }

@@ -4,16 +4,21 @@
 // per-structure scratch — so parallel ingest means partitioning the
 // stream across S structures, each owned by exactly one goroutine.
 //
-// A Worker owns one such structure set. It consumes batches of updates
-// from a bounded channel (the bound IS the backpressure: when a shard
-// falls behind, senders block instead of queueing unbounded memory) and
-// executes closures in the owner goroutine between batches, which gives
-// callers two primitives for free:
+// A Worker owns one such structure set. It consumes columnar batches
+// (core.Batch: the engine partitions incoming updates by computing
+// every update's shard key in one batch hash evaluation, then
+// scattering indices and deltas into per-shard columns) from a bounded
+// channel (the bound IS the backpressure: when a shard falls behind,
+// senders block instead of queueing unbounded memory) and executes
+// closures in the owner goroutine between batches, which gives callers
+// three primitives for free:
 //
 //   - a flush barrier: Do(func(){}) returns only after every batch sent
-//     before it has been applied, and
+//     before it has been applied,
 //   - race-free snapshots: Do(func(){ snap = structures.Clone() }) runs
-//     serialized with ingest, so queries never observe a torn sketch.
+//     serialized with ingest, so queries never observe a torn sketch, and
+//   - snapshot-free point queries: Do(func(){ v = structures.Query(i) })
+//     reads the live structure between batches — no clone, no merge.
 //
 // The worker deliberately knows nothing about which structures it
 // feeds: it moves batches and closures, the engine supplies the
@@ -23,19 +28,20 @@ package shard
 import (
 	"sync"
 
-	"repro/internal/stream"
+	"repro/internal/core"
 )
 
-// Ingester consumes batches of updates. The engine's per-shard
-// structure set implements it by fanning each batch to every enabled
-// sketch.
+// Ingester consumes pre-planned columnar batches. The engine's
+// per-shard structure set implements it by fanning each batch to every
+// enabled sketch; each sketch hashes the shared index column with its
+// own batch evaluators and applies the columns to its counters.
 type Ingester interface {
-	UpdateBatch(batch []stream.Update)
+	UpdateColumns(b *core.Batch)
 }
 
 // message is one unit of work: exactly one of batch or do is set.
 type message struct {
-	batch []stream.Update
+	batch *core.Batch
 	do    func()
 	done  chan struct{}
 }
@@ -45,14 +51,14 @@ type message struct {
 type Worker struct {
 	in      chan message
 	wg      sync.WaitGroup
-	recycle func([]stream.Update)
+	recycle func(*core.Batch)
 }
 
 // New starts a worker goroutine that feeds ing. queue is the inbox
 // depth in batches (minimum 1) — the backpressure window. recycle, if
-// non-nil, receives each batch slice after it has been applied so the
-// caller can pool buffers; the worker never touches a batch afterwards.
-func New(ing Ingester, queue int, recycle func([]stream.Update)) *Worker {
+// non-nil, receives each batch after it has been applied so the caller
+// can pool buffers; the worker never touches a batch afterwards.
+func New(ing Ingester, queue int, recycle func(*core.Batch)) *Worker {
 	if queue < 1 {
 		queue = 1
 	}
@@ -62,7 +68,7 @@ func New(ing Ingester, queue int, recycle func([]stream.Update)) *Worker {
 		defer w.wg.Done()
 		for m := range w.in {
 			if m.batch != nil {
-				ing.UpdateBatch(m.batch)
+				ing.UpdateColumns(m.batch)
 				if w.recycle != nil {
 					w.recycle(m.batch)
 				}
@@ -76,14 +82,17 @@ func New(ing Ingester, queue int, recycle func([]stream.Update)) *Worker {
 	return w
 }
 
-// Send hands a batch to the worker, transferring ownership of the
-// slice. It blocks while the inbox is full — the backpressure that
-// keeps a slow shard from accumulating unbounded queued batches.
-func (w *Worker) Send(batch []stream.Update) {
-	if len(batch) == 0 {
+// Send hands a columnar batch to the worker, transferring ownership.
+// It blocks while the inbox is full — the backpressure that keeps a
+// slow shard from accumulating unbounded queued batches.
+func (w *Worker) Send(b *core.Batch) {
+	if b == nil || b.Len() == 0 {
+		if b != nil && w.recycle != nil {
+			w.recycle(b)
+		}
 		return
 	}
-	w.in <- message{batch: batch}
+	w.in <- message{batch: b}
 }
 
 // Do runs f in the worker goroutine after every previously sent batch

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/stream"
 )
 
@@ -14,20 +15,29 @@ type recorder struct {
 	batches int
 }
 
-func (r *recorder) UpdateBatch(batch []stream.Update) {
-	r.applied = append(r.applied, batch...)
+func (r *recorder) UpdateColumns(b *core.Batch) {
+	for j, i := range b.Idx {
+		r.applied = append(r.applied, stream.Update{Index: i, Delta: b.Delta[j]})
+	}
 	r.batches++
+}
+
+// planned builds a columnar batch from updates.
+func planned(us ...stream.Update) *core.Batch {
+	b := core.GetBatch()
+	b.LoadUpdates(us)
+	return b
 }
 
 func TestWorkerAppliesInOrder(t *testing.T) {
 	rec := &recorder{}
-	w := New(rec, 2, nil)
+	w := New(rec, 2, core.PutBatch)
 	var want []stream.Update
 	for b := 0; b < 10; b++ {
-		batch := make([]stream.Update, 0, 16)
+		batch := core.GetBatch()
 		for i := 0; i < 16; i++ {
 			u := stream.Update{Index: uint64(b*16 + i), Delta: 1}
-			batch = append(batch, u)
+			batch.Append(u.Index, u.Delta)
 			want = append(want, u)
 		}
 		w.Send(batch)
@@ -47,9 +57,9 @@ func TestWorkerAppliesInOrder(t *testing.T) {
 // TestWorkerDoIsBarrier checks Do observes every previously sent batch.
 func TestWorkerDoIsBarrier(t *testing.T) {
 	rec := &recorder{}
-	w := New(rec, 4, nil)
+	w := New(rec, 4, core.PutBatch)
 	for b := 0; b < 7; b++ {
-		w.Send([]stream.Update{{Index: uint64(b), Delta: 1}})
+		w.Send(planned(stream.Update{Index: uint64(b), Delta: 1}))
 	}
 	var seen int
 	w.Do(func() { seen = len(rec.applied) })
@@ -65,9 +75,9 @@ type slowIngester struct {
 	n       atomic.Int64
 }
 
-func (s *slowIngester) UpdateBatch(batch []stream.Update) {
+func (s *slowIngester) UpdateColumns(b *core.Batch) {
 	<-s.release
-	s.n.Add(int64(len(batch)))
+	s.n.Add(int64(b.Len()))
 }
 
 // TestWorkerBackpressure: with a queue of 1 and a stalled ingester, a
@@ -75,13 +85,13 @@ func (s *slowIngester) UpdateBatch(batch []stream.Update) {
 func TestWorkerBackpressure(t *testing.T) {
 	ing := &slowIngester{release: make(chan struct{})}
 	w := New(ing, 1, nil)
-	// First batch is picked up by the goroutine (stalls in UpdateBatch),
+	// First batch is picked up by the goroutine (stalls in UpdateColumns),
 	// second fills the inbox; the third must block.
-	w.Send([]stream.Update{{Index: 1, Delta: 1}})
-	w.Send([]stream.Update{{Index: 2, Delta: 1}})
+	w.Send(planned(stream.Update{Index: 1, Delta: 1}))
+	w.Send(planned(stream.Update{Index: 2, Delta: 1}))
 	blocked := make(chan struct{})
 	go func() {
-		w.Send([]stream.Update{{Index: 3, Delta: 1}})
+		w.Send(planned(stream.Update{Index: 3, Delta: 1}))
 		close(blocked)
 	}()
 	select {
@@ -102,17 +112,22 @@ func TestWorkerBackpressure(t *testing.T) {
 	w.Close()
 }
 
-// TestWorkerRecycle: applied batches come back through the recycle hook.
+// TestWorkerRecycle: applied batches come back through the recycle
+// hook, and empty batches are recycled immediately rather than queued.
 func TestWorkerRecycle(t *testing.T) {
 	rec := &recorder{}
 	var recycled atomic.Int64
-	w := New(rec, 2, func(b []stream.Update) { recycled.Add(1) })
+	w := New(rec, 2, func(b *core.Batch) { recycled.Add(1) })
 	for b := 0; b < 5; b++ {
-		w.Send([]stream.Update{{Index: uint64(b), Delta: 1}})
+		w.Send(planned(stream.Update{Index: uint64(b), Delta: 1}))
 	}
+	w.Send(core.GetBatch()) // empty: recycled without a queue round-trip
 	w.Do(nil)
-	if got := recycled.Load(); got != 5 {
-		t.Fatalf("recycled %d batches, want 5", got)
+	if got := recycled.Load(); got != 6 {
+		t.Fatalf("recycled %d batches, want 6", got)
+	}
+	if rec.batches != 5 {
+		t.Fatalf("applied %d batches, want 5", rec.batches)
 	}
 	w.Close()
 }

@@ -1,0 +1,82 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+// columnarStream is a mixed-sign workload with repeated indices.
+func columnarStream(seed int64) *stream.Stream {
+	return gen.BoundedDeletion(gen.Config{N: 1 << 12, Items: 20000, Alpha: 4, Zipf: 1.2, Seed: seed})
+}
+
+// feedChunks pushes the stream through UpdateBatch in uneven chunks so
+// batch boundaries land at arbitrary offsets.
+func feedChunks(s *stream.Stream, up func([]stream.Update)) {
+	sizes := []int{1, 7, 64, 321, 1024}
+	for off, k := 0, 0; off < len(s.Updates); k++ {
+		end := off + sizes[k%len(sizes)]
+		if end > len(s.Updates) {
+			end = len(s.Updates)
+		}
+		up(s.Updates[off:end])
+		off = end
+	}
+}
+
+// TestCountSketchColumnarMatchesScalar: the columnar batch path must
+// leave the sketch bit-identical to per-update ingestion — table,
+// mass, and therefore every query and the space accounting.
+func TestCountSketchColumnarMatchesScalar(t *testing.T) {
+	s := columnarStream(3)
+	a := NewCountSketch(rand.New(rand.NewSource(5)), 7, 96)
+	b := NewCountSketch(rand.New(rand.NewSource(5)), 7, 96)
+	for _, u := range s.Updates {
+		a.Update(u.Index, u.Delta)
+	}
+	feedChunks(s, b.UpdateBatch)
+	for i := uint64(0); i < 1<<12; i += 17 {
+		if qa, qb := a.Query(i), b.Query(i); qa != qb {
+			t.Fatalf("Query(%d): scalar %d, columnar %d", i, qa, qb)
+		}
+	}
+	if la, lb := a.L2Estimate(), b.L2Estimate(); la != lb {
+		t.Fatalf("L2Estimate: scalar %v, columnar %v", la, lb)
+	}
+	if ma, mb := a.MaxAbs(), b.MaxAbs(); ma != mb {
+		t.Fatalf("MaxAbs: scalar %d, columnar %d", ma, mb)
+	}
+	if sa, sb := a.SpaceBits(), b.SpaceBits(); sa != sb {
+		t.Fatalf("SpaceBits: scalar %d, columnar %d", sa, sb)
+	}
+}
+
+// TestCountMinColumnarMatchesScalar: same contract for Count-Min,
+// including the order-sensitive largest-counter-ever peak (per-counter
+// write sequences are preserved by the row-major sweep).
+func TestCountMinColumnarMatchesScalar(t *testing.T) {
+	s := columnarStream(7)
+	a := NewCountMin(rand.New(rand.NewSource(9)), 5, 128)
+	b := NewCountMin(rand.New(rand.NewSource(9)), 5, 128)
+	for _, u := range s.Updates {
+		a.Update(u.Index, u.Delta)
+	}
+	feedChunks(s, b.UpdateBatch)
+	for i := uint64(0); i < 1<<12; i += 13 {
+		if qa, qb := a.Query(i), b.Query(i); qa != qb {
+			t.Fatalf("Query(%d): scalar %d, columnar %d", i, qa, qb)
+		}
+		if qa, qb := a.QueryMedian(i), b.QueryMedian(i); qa != qb {
+			t.Fatalf("QueryMedian(%d): scalar %d, columnar %d", i, qa, qb)
+		}
+	}
+	if ta, tb := a.Total(), b.Total(); ta != tb {
+		t.Fatalf("Total: scalar %d, columnar %d", ta, tb)
+	}
+	if sa, sb := a.SpaceBits(), b.SpaceBits(); sa != sb {
+		t.Fatalf("SpaceBits (maxAbs peak): scalar %d, columnar %d", sa, sb)
+	}
+}

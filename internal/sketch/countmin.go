@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/nt"
 	"repro/internal/order"
@@ -58,10 +59,42 @@ func (cm *CountMin) Update(i uint64, delta int64) {
 	}
 }
 
-// UpdateBatch applies a batch of updates.
+// UpdateBatch applies a batch of updates through the columnar pipeline
+// (see UpdateColumns).
 func (cm *CountMin) UpdateBatch(batch []stream.Update) {
-	for _, u := range batch {
-		cm.Update(u.Index, u.Delta)
+	b := core.GetBatch()
+	b.LoadUpdates(batch)
+	cm.UpdateColumns(b)
+	core.PutBatch(b)
+}
+
+// UpdateColumns applies a pre-planned columnar batch: per row, one
+// batch hash evaluation fills the bucket column, then the counter
+// sweep walks that row with the peak tracking of Update. Counter adds
+// commute and each counter sees its writes in batch order, so table
+// and maxAbs are bit-identical to the scalar path.
+func (cm *CountMin) UpdateColumns(b *core.Batch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	deltas := b.Delta
+	for _, d := range deltas {
+		cm.total += d
+	}
+	buckets := b.Col64(n)
+	for r := 0; r < cm.rows; r++ {
+		cm.hs[r].RangeBatch(b.Idx, cm.cols, buckets)
+		row := cm.table[r]
+		for j, d := range deltas {
+			c := buckets[j]
+			row[c] += d
+			if a := row[c]; a > cm.maxAbs {
+				cm.maxAbs = a
+			} else if -a > cm.maxAbs {
+				cm.maxAbs = -a
+			}
+		}
 	}
 }
 

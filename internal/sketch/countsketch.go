@@ -26,6 +26,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/nt"
 	"repro/internal/order"
@@ -96,12 +97,45 @@ func (cs *CountSketch) Update(i uint64, delta int64) {
 	}
 }
 
-// UpdateBatch applies a batch of updates. It is the amortized entry
-// point of the batched ingest pipeline: one mass accumulation and one
-// row sweep per update, with no per-call bookkeeping.
+// UpdateBatch applies a batch of updates through the columnar plan →
+// hash → apply pipeline: the batch is laid out as index/delta columns
+// in a pooled arena batch, then UpdateColumns hashes and applies it.
 func (cs *CountSketch) UpdateBatch(batch []stream.Update) {
-	for _, u := range batch {
-		cs.Update(u.Index, u.Delta)
+	b := core.GetBatch()
+	b.LoadUpdates(batch)
+	cs.UpdateColumns(b)
+	core.PutBatch(b)
+}
+
+// UpdateColumns applies a pre-planned columnar batch: one batch hash
+// evaluation fills every row's bucket/sign columns (straight-line
+// loops, coefficients in registers), then the apply stage sweeps the
+// table one row at a time — sequential column reads against one
+// cache-resident table row. Counter adds commute, so the resulting
+// table is bit-identical to feeding the same updates through Update.
+func (cs *CountSketch) UpdateColumns(b *core.Batch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	deltas := b.Delta
+	for _, d := range deltas {
+		if d >= 0 {
+			cs.mass += d
+		} else {
+			cs.mass -= d
+		}
+	}
+	cols := b.Cols32(cs.rows * n)
+	signs := b.Signs8(cs.rows * n)
+	cs.buckets.BucketSignsBatch(b.Idx, cols, signs)
+	for r := 0; r < cs.rows; r++ {
+		row := cs.table[r]
+		rc := cols[r*n : r*n+n : r*n+n]
+		rs := signs[r*n : r*n+n : r*n+n]
+		for j, d := range deltas {
+			row[rc[j]] += int64(rs[j]) * d
+		}
 	}
 }
 

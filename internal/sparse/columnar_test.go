@@ -1,0 +1,48 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// TestRecoveryColumnarMatchesScalar: the per-subtable columnar sweep
+// must leave the IBLT bit-identical to per-update ingestion — same
+// cells, same decode, same count peak.
+func TestRecoveryColumnarMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	us := make([]stream.Update, 0, 600)
+	for i := 0; i < 600; i++ {
+		us = append(us, stream.Update{
+			Index: uint64(rng.Intn(40)), // heavy collisions
+			Delta: int64(rng.Intn(7) - 3),
+		})
+	}
+	a := NewRecovery(rand.New(rand.NewSource(43)), 64, 1<<20)
+	b := NewRecovery(rand.New(rand.NewSource(43)), 64, 1<<20)
+	for _, u := range us {
+		a.Update(u.Index, u.Delta)
+	}
+	sizes := []int{1, 2, 33, 250}
+	for off, k := 0, 0; off < len(us); k++ {
+		end := off + sizes[k%len(sizes)]
+		if end > len(us) {
+			end = len(us)
+		}
+		b.UpdateBatch(us[off:end])
+		off = end
+	}
+	da, errA := a.Decode()
+	db, errB := b.Decode()
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("decode: scalar err %v, columnar err %v", errA, errB)
+	}
+	if errA == nil && !reflect.DeepEqual(da, db) {
+		t.Fatalf("decode: scalar %v, columnar %v", da, db)
+	}
+	if sa, sb := a.SpaceBits(), b.SpaceBits(); sa != sb {
+		t.Fatalf("SpaceBits (count peak): scalar %d, columnar %d", sa, sb)
+	}
+}

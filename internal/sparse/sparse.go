@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/nt"
 	"repro/internal/stream"
@@ -102,10 +103,47 @@ func (r *Recovery) Update(x uint64, delta int64) {
 	}
 }
 
-// UpdateBatch applies a batch of updates.
+// UpdateBatch applies a batch of updates through the columnar pipeline
+// (see UpdateColumns).
 func (r *Recovery) UpdateBatch(batch []stream.Update) {
-	for _, u := range batch {
-		r.Update(u.Index, u.Delta)
+	b := core.GetBatch()
+	b.LoadUpdates(batch)
+	r.UpdateColumns(b)
+	core.PutBatch(b)
+}
+
+// UpdateColumns applies a pre-planned columnar batch: the fingerprint
+// column is batch-evaluated once, then each subtable batch-evaluates
+// its bucket column and sweeps its cells — sequential column reads
+// against one subtable's cache-resident cells. Counter and field adds
+// commute and every cell sees its writes in batch order, so cells and
+// maxCount are bit-identical to the scalar path.
+func (r *Recovery) UpdateColumns(b *core.Batch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	idx, deltas := b.Idx, b.Delta
+	col := b.Col64(2 * n)
+	fpx, buck := col[:n:n], col[n:]
+	r.fp.FieldBatch(idx, fpx)
+	for t := 0; t < subtables; t++ {
+		r.hs[t].RangeBatch(idx, uint64(r.perTable), buck)
+		base := t * r.perTable
+		for j, x := range idx {
+			delta := deltas[j]
+			if delta == 0 {
+				continue
+			}
+			dm := fieldOf(delta)
+			c := &r.cells[base+int(buck[j])]
+			c.count += delta
+			c.keySum = nt.AddModMersenne61(c.keySum, nt.MulModMersenne61(dm, x%nt.MersennePrime61))
+			c.fpSum = nt.AddModMersenne61(c.fpSum, nt.MulModMersenne61(dm, fpx[j]))
+			if a := abs64(c.count); a > r.maxCount {
+				r.maxCount = a
+			}
+		}
 	}
 }
 

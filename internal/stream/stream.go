@@ -24,19 +24,19 @@ type Update struct {
 	Delta int64
 }
 
-// DistinctIndices appends batch's distinct indices to dst in first-
-// occurrence order and returns the extended slice. seen is caller-owned
-// scratch (cleared here) so batched ingest paths can refresh per-index
-// state — candidate trackers, cached estimates — once per distinct
-// index without allocating per batch.
-func DistinctIndices(dst []uint64, seen map[uint64]struct{}, batch []Update) []uint64 {
+// DistinctColumn appends the column's distinct indices to dst in
+// first-occurrence order and returns the extended slice. seen is
+// caller-owned scratch (cleared here) so batched ingest paths can
+// refresh per-index state — candidate trackers, cached estimates —
+// once per distinct index without allocating per batch.
+func DistinctColumn(dst []uint64, seen map[uint64]struct{}, idx []uint64) []uint64 {
 	clear(seen)
-	for _, u := range batch {
-		if _, ok := seen[u.Index]; ok {
+	for _, i := range idx {
+		if _, ok := seen[i]; ok {
 			continue
 		}
-		seen[u.Index] = struct{}{}
-		dst = append(dst, u.Index)
+		seen[i] = struct{}{}
+		dst = append(dst, i)
 	}
 	return dst
 }

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/l0"
 	"repro/internal/nt"
@@ -161,11 +162,16 @@ func (sp *Sampler) Update(i uint64, delta int64) {
 	if delta == 0 {
 		return
 	}
+	sp.updateHashed(i, delta, sp.h.Range(i, sp.params.N))
+}
+
+// updateHashed is Update with the level hash h(i) pre-evaluated — the
+// consumption point of the columnar pipeline's pre-hashed level column.
+func (sp *Sampler) updateHashed(i uint64, delta int64, hv uint64) {
 	sp.rough.Update(i)
 	if sp.params.Windowed {
 		sp.syncLevels()
 	}
-	hv := sp.h.Range(i, sp.params.N)
 	// i belongs to I_j iff hv < 2^j, i.e. j >= bitlen(hv).
 	minLevel := 0
 	if hv > 0 {
@@ -178,10 +184,31 @@ func (sp *Sampler) Update(i uint64, delta int64) {
 	}
 }
 
-// UpdateBatch applies a batch of updates.
+// UpdateBatch applies a batch of updates through the columnar pipeline
+// (see UpdateColumns).
 func (sp *Sampler) UpdateBatch(batch []stream.Update) {
-	for _, u := range batch {
-		sp.Update(u.Index, u.Delta)
+	b := core.GetBatch()
+	b.LoadUpdates(batch)
+	sp.UpdateColumns(b)
+	core.PutBatch(b)
+}
+
+// UpdateColumns consumes a pre-planned columnar batch: the level hash
+// is batch-evaluated into one contiguous column, then items apply in
+// order (level liveness moves with the rough estimate, so the apply
+// stage stays per-item). State is identical to the scalar path.
+func (sp *Sampler) UpdateColumns(b *core.Batch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	hv := b.Col64(n)
+	sp.h.RangeBatch(b.Idx, sp.params.N, hv)
+	for j, i := range b.Idx {
+		if b.Delta[j] == 0 {
+			continue
+		}
+		sp.updateHashed(i, b.Delta[j], hv[j])
 	}
 }
 

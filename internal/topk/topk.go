@@ -189,6 +189,16 @@ func (t *Tracker) Offer(i uint64, est float64) {
 	t.down(0)
 }
 
+// OfferAll offers every id its fresh estimate — the batched-ingest
+// refresh loop: callers pass the batch's distinct-index column and the
+// owning sketch's query, so an index updated k times in one batch pays
+// one query and one Offer.
+func (t *Tracker) OfferAll(ids []uint64, est func(uint64) float64) {
+	for _, id := range ids {
+		t.Offer(id, est(id))
+	}
+}
+
 // Compact shrinks the tracked set to capacity, evicting the smallest
 // |estimate| items (ties evict larger indices, keeping the historical
 // deterministic tie-break).

@@ -36,8 +36,15 @@ type Sketch interface {
 	// Update feeds one stream update.
 	Update(i uint64, delta int64)
 	// UpdateBatch feeds a batch of updates in one call — the preferred
-	// high-throughput ingest path.
+	// high-throughput ingest path. Internally it plans the batch into a
+	// pooled columnar Batch and applies it via UpdateColumns.
 	UpdateBatch(batch []Update)
+	// UpdateColumns feeds a pre-planned columnar batch — the plan →
+	// hash → apply pipeline's direct entry for producers that already
+	// hold columnar data (the engine's shard partitioner). The batch's
+	// Idx/Delta columns are read-only to the callee; its hash-column
+	// scratch is consumed and may be overwritten.
+	UpdateColumns(b *Batch)
 	// Merge folds another same-type, same-Config sketch into this one;
 	// afterwards queries answer for the union of both input streams.
 	// other may be mutated (e.g. sampling-rate alignment) and must not

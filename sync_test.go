@@ -11,8 +11,8 @@ import (
 // then run the whole SubRemote/Decode exchange.
 func TestSyncSketchZeroValueRoundTrip(t *testing.T) {
 	cfg := Config{N: 1 << 16, Eps: 0.1, Alpha: 2, Seed: 77}
-	local := MustSyncSketch(cfg, 32)
-	remote := MustSyncSketch(cfg, 32)
+	local := must(NewSyncSketch(cfg, WithCapacity(32)))
+	remote := must(NewSyncSketch(cfg, WithCapacity(32)))
 	// Shared history plus a small divergence.
 	for i := uint64(0); i < 20; i++ {
 		local.Update(i*13, 2)
@@ -83,9 +83,9 @@ func TestSyncSketchZeroValueErrors(t *testing.T) {
 // into the sketch of the full stream — byte-identical wire format.
 func TestSyncSketchMerge(t *testing.T) {
 	cfg := Config{N: 1 << 16, Eps: 0.1, Alpha: 2, Seed: 78}
-	whole := MustSyncSketch(cfg, 32)
-	a := MustSyncSketch(cfg, 32)
-	b := MustSyncSketch(cfg, 32)
+	whole := must(NewSyncSketch(cfg, WithCapacity(32)))
+	a := must(NewSyncSketch(cfg, WithCapacity(32)))
+	b := must(NewSyncSketch(cfg, WithCapacity(32)))
 	for i := uint64(0); i < 24; i++ {
 		d := int64(i%7) - 3
 		if d == 0 {

@@ -43,34 +43,28 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
-// TestConstructorsRejectInvalidConfig: every public constructor panics
-// with the Validate error instead of silently clamping.
+// TestConstructorsRejectInvalidConfig: every public constructor
+// returns the Validate error instead of silently clamping.
 func TestConstructorsRejectInvalidConfig(t *testing.T) {
 	bad := Config{N: 1 << 10, Eps: 0.1, Alpha: 0.25, Seed: 1}
-	ctors := map[string]func(){
-		"NewHeavyHitters":   func() { MustHeavyHitters(bad, true) },
-		"NewL1Estimator":    func() { MustL1Estimator(bad, true, 0.1) },
-		"NewL0Estimator":    func() { MustL0Estimator(bad) },
-		"NewL1Sampler":      func() { MustL1Sampler(bad, 4) },
-		"NewSupportSampler": func() { MustSupportSampler(bad, 8) },
-		"NewInnerProduct":   func() { MustInnerProduct(bad) },
-		"NewSyncSketch":     func() { MustSyncSketch(bad, 16) },
-		"NewL2HeavyHitters": func() { MustL2HeavyHitters(bad) },
+	ctors := map[string]func() error{
+		"NewHeavyHitters":   func() error { _, err := NewHeavyHitters(bad); return err },
+		"NewL1Estimator":    func() error { _, err := NewL1Estimator(bad, WithFailureProb(0.1)); return err },
+		"NewL0Estimator":    func() error { _, err := NewL0Estimator(bad); return err },
+		"NewL1Sampler":      func() error { _, err := NewL1Sampler(bad, WithCopies(4)); return err },
+		"NewSupportSampler": func() error { _, err := NewSupportSampler(bad, WithK(8)); return err },
+		"NewInnerProduct":   func() error { _, err := NewInnerProduct(bad); return err },
+		"NewSyncSketch":     func() error { _, err := NewSyncSketch(bad, WithCapacity(16)); return err },
+		"NewL2HeavyHitters": func() error { _, err := NewL2HeavyHitters(bad); return err },
 	}
 	for name, ctor := range ctors {
-		func() {
-			defer func() {
-				r := recover()
-				if r == nil {
-					t.Errorf("%s accepted an invalid config", name)
-					return
-				}
-				err, ok := r.(error)
-				if !ok || !strings.Contains(err.Error(), "Alpha must be >= 1") {
-					t.Errorf("%s panicked with %v, want the Validate error", name, r)
-				}
-			}()
-			ctor()
-		}()
+		err := ctor()
+		if err == nil {
+			t.Errorf("%s accepted an invalid config", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "Alpha must be >= 1") {
+			t.Errorf("%s returned %v, want the Validate error", name, err)
+		}
 	}
 }
