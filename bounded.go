@@ -118,13 +118,49 @@ func (h *HeavyHitters) UpdateBatch(batch []Update) { h.impl.UpdateBatch(batch) }
 func (h *HeavyHitters) UpdateColumns(b *Batch) { h.impl.UpdateColumns(b) }
 
 // HeavyHitters returns the detected heavy coordinates, sorted.
-func (h *HeavyHitters) HeavyHitters() []uint64 { return h.impl.HeavyHitters() }
+func (h *HeavyHitters) HeavyHitters() []uint64 {
+	queryGuard(h != nil && h.impl != nil, KindHeavyHitters, "HeavyHitters")
+	return h.impl.HeavyHitters()
+}
+
+// Members returns the heavy-hitter set — the SetQuerier capability
+// (an alias of HeavyHitters).
+func (h *HeavyHitters) Members() []uint64 {
+	queryGuard(h != nil && h.impl != nil, KindHeavyHitters, "Members")
+	return h.impl.HeavyHitters()
+}
 
 // Estimate returns the point estimate of f_i.
-func (h *HeavyHitters) Estimate(i uint64) float64 { return h.impl.Query(i) }
+func (h *HeavyHitters) Estimate(i uint64) float64 {
+	queryGuard(h != nil && h.impl != nil, KindHeavyHitters, "Estimate")
+	return h.impl.Query(i)
+}
+
+// EstimateBatch returns the point estimate of every index in one
+// batched read — the query-side twin of UpdateBatch: the whole index
+// set is hashed in ONE batch evaluation per sketch row (reusing a
+// pooled columnar Batch as scratch) and the counter tables are swept
+// row-major. Results are in input order and bit-identical to per-index
+// Estimate calls.
+func (h *HeavyHitters) EstimateBatch(idxs []uint64) []float64 {
+	queryGuard(h != nil && h.impl != nil, KindHeavyHitters, "EstimateBatch")
+	return estimateBatchImpl(h.impl, idxs)
+}
+
+// EstimateColumns fills out[j] with the point estimate of b.Idx[j],
+// reusing b's hash-column scratch — the scratch-reusing form of
+// EstimateBatch for callers that plan one Batch (GetBatch + LoadKeys)
+// and query repeatedly. out must hold b.Len() entries.
+func (h *HeavyHitters) EstimateColumns(b *Batch, out []float64) {
+	queryGuard(h != nil && h.impl != nil, KindHeavyHitters, "EstimateColumns")
+	estimateColumnsImpl(h.impl, b, out)
+}
 
 // SpaceBits reports the structure's space in the paper's cost model.
-func (h *HeavyHitters) SpaceBits() int64 { return h.impl.SpaceBits() }
+func (h *HeavyHitters) SpaceBits() int64 {
+	queryGuard(h != nil && h.impl != nil, KindHeavyHitters, "SpaceBits")
+	return h.impl.SpaceBits()
+}
 
 // L1Estimator estimates ||f||_1 of an alpha-property stream to (1 +-
 // eps): Figure 4 / Theorem 6 in the strict turnstile model (tiny space:
@@ -192,8 +228,10 @@ func (e *L1Estimator) UpdateColumns(b *Batch) {
 	}
 }
 
-// Estimate returns the (1 +- eps) estimate of ||f||_1.
+// Estimate returns the (1 +- eps) estimate of ||f||_1 — the
+// ScalarQuerier capability.
 func (e *L1Estimator) Estimate() float64 {
+	queryGuard(e != nil && (e.strict != nil || e.general != nil), KindL1Estimator, "Estimate")
 	if e.strict != nil {
 		return e.strict.Estimate()
 	}
@@ -202,6 +240,7 @@ func (e *L1Estimator) Estimate() float64 {
 
 // SpaceBits reports the structure's space.
 func (e *L1Estimator) SpaceBits() int64 {
+	queryGuard(e != nil && (e.strict != nil || e.general != nil), KindL1Estimator, "SpaceBits")
 	if e.strict != nil {
 		return e.strict.SpaceBits()
 	}
@@ -241,16 +280,26 @@ func (e *L0Estimator) UpdateBatch(batch []Update) { e.impl.UpdateBatch(batch) }
 // level hash is batch-evaluated into one contiguous column).
 func (e *L0Estimator) UpdateColumns(b *Batch) { e.impl.UpdateColumns(b) }
 
-// Estimate returns the (1 +- eps) estimate of ||f||_0.
-func (e *L0Estimator) Estimate() float64 { return e.impl.Estimate() }
+// Estimate returns the (1 +- eps) estimate of ||f||_0 — the
+// ScalarQuerier capability.
+func (e *L0Estimator) Estimate() float64 {
+	queryGuard(e != nil && e.impl != nil, KindL0Estimator, "Estimate")
+	return e.impl.Estimate()
+}
 
 // LiveRows reports how many subsampling rows are currently maintained —
 // O(log(alpha/eps)) for this windowed structure versus log(n) for the
 // unbounded-deletion baseline.
-func (e *L0Estimator) LiveRows() int { return e.impl.LiveRows() }
+func (e *L0Estimator) LiveRows() int {
+	queryGuard(e != nil && e.impl != nil, KindL0Estimator, "LiveRows")
+	return e.impl.LiveRows()
+}
 
 // SpaceBits reports the structure's space.
-func (e *L0Estimator) SpaceBits() int64 { return e.impl.SpaceBits() }
+func (e *L0Estimator) SpaceBits() int64 {
+	queryGuard(e != nil && e.impl != nil, KindL0Estimator, "SpaceBits")
+	return e.impl.SpaceBits()
+}
 
 // Sample is a successful L1 sample: an index drawn with probability
 // (1 +- eps)|f_i|/||f||_1 and an O(eps)-relative-error estimate of f_i.
@@ -299,12 +348,18 @@ func (s *L1Sampler) UpdateBatch(batch []Update) { s.impl.UpdateBatch(batch) }
 // UpdateColumns feeds a pre-planned columnar batch.
 func (s *L1Sampler) UpdateColumns(b *Batch) { s.impl.UpdateColumns(b) }
 
-// Sample draws one sample; ok is false when every instance FAILed (the
-// sampler never fabricates an index).
-func (s *L1Sampler) Sample() (Sample, bool) { return s.impl.Sample() }
+// Sample draws one sample — the SampleQuerier capability; ok is false
+// when every instance FAILed (the sampler never fabricates an index).
+func (s *L1Sampler) Sample() (Sample, bool) {
+	queryGuard(s != nil && s.impl != nil, KindL1Sampler, "Sample")
+	return s.impl.Sample()
+}
 
 // SpaceBits reports the structure's space.
-func (s *L1Sampler) SpaceBits() int64 { return s.impl.SpaceBits() }
+func (s *L1Sampler) SpaceBits() int64 {
+	queryGuard(s != nil && s.impl != nil, KindL1Sampler, "SpaceBits")
+	return s.impl.SpaceBits()
+}
 
 // SupportSampler returns at least min(k, ||f||_0) support coordinates of
 // a strict turnstile L0 alpha-property stream (Figure 8 / Theorem 11).
@@ -342,10 +397,33 @@ func (s *SupportSampler) UpdateBatch(batch []Update) { s.impl.UpdateBatch(batch)
 func (s *SupportSampler) UpdateColumns(b *Batch) { s.impl.UpdateColumns(b) }
 
 // Recover returns distinct support coordinates, sorted.
-func (s *SupportSampler) Recover() []uint64 { return s.impl.Recover() }
+func (s *SupportSampler) Recover() []uint64 {
+	queryGuard(s != nil && s.impl != nil, KindSupportSampler, "Recover")
+	return s.impl.Recover()
+}
+
+// Members returns the recovered support coordinates — the SetQuerier
+// capability (an alias of Recover).
+func (s *SupportSampler) Members() []uint64 {
+	queryGuard(s != nil && s.impl != nil, KindSupportSampler, "Members")
+	return s.impl.Recover()
+}
+
+// Contains reports whether i belongs to the sampler's recovered
+// support — the Prober capability. Only the level sketches that
+// actually sample i are decoded (sparsest first, early exit), so a
+// probe is cheaper than materializing Recover's whole union; the
+// verdict equals membership in Recover().
+func (s *SupportSampler) Contains(i uint64) bool {
+	queryGuard(s != nil && s.impl != nil, KindSupportSampler, "Contains")
+	return s.impl.Contains(i)
+}
 
 // SpaceBits reports the structure's space.
-func (s *SupportSampler) SpaceBits() int64 { return s.impl.SpaceBits() }
+func (s *SupportSampler) SpaceBits() int64 {
+	queryGuard(s != nil && s.impl != nil, KindSupportSampler, "SpaceBits")
+	return s.impl.SpaceBits()
+}
 
 // InnerProduct estimates <f, g> between two alpha-property streams to
 // additive eps ||f||_1 ||g||_1 (Theorem 2).
@@ -400,11 +478,18 @@ func (ip *InnerProduct) UpdateColumns(b *Batch) { ip.impl.UpdateColumnsF(b) }
 // stream.
 func (ip *InnerProduct) UpdateColumnsG(b *Batch) { ip.impl.UpdateColumnsG(b) }
 
-// Estimate returns the inner-product estimate.
-func (ip *InnerProduct) Estimate() float64 { return ip.impl.Estimate() }
+// Estimate returns the inner-product estimate — the ScalarQuerier
+// capability.
+func (ip *InnerProduct) Estimate() float64 {
+	queryGuard(ip != nil && ip.impl != nil, KindInnerProduct, "Estimate")
+	return ip.impl.Estimate()
+}
 
 // SpaceBits reports the structure's space.
-func (ip *InnerProduct) SpaceBits() int64 { return ip.impl.SpaceBits() }
+func (ip *InnerProduct) SpaceBits() int64 {
+	queryGuard(ip != nil && ip.impl != nil, KindInnerProduct, "SpaceBits")
+	return ip.impl.SpaceBits()
+}
 
 // ErrDense is returned by SyncSketch.Decode when the sketched difference
 // exceeds the sketch's capacity (Lemma 22's DENSE answer).
@@ -477,7 +562,10 @@ func (s *SyncSketch) Decode() (map[uint64]int64, error) {
 }
 
 // SpaceBits reports the structure's space.
-func (s *SyncSketch) SpaceBits() int64 { return s.impl.SpaceBits() }
+func (s *SyncSketch) SpaceBits() int64 {
+	queryGuard(s != nil && s.impl != nil, KindSyncSketch, "SpaceBits")
+	return s.impl.SpaceBits()
+}
 
 // L2HeavyHitters answers L2 heavy hitters queries on alpha-property
 // streams (Appendix A): every i with |f_i| >= eps ||f||_2 is returned
@@ -509,7 +597,41 @@ func (h *L2HeavyHitters) UpdateBatch(batch []Update) { h.impl.UpdateBatch(batch)
 func (h *L2HeavyHitters) UpdateColumns(b *Batch) { h.impl.UpdateColumns(b) }
 
 // HeavyHitters returns the detected heavy coordinates, sorted.
-func (h *L2HeavyHitters) HeavyHitters() []uint64 { return h.impl.HeavyHitters() }
+func (h *L2HeavyHitters) HeavyHitters() []uint64 {
+	queryGuard(h != nil && h.impl != nil, KindL2HeavyHitters, "HeavyHitters")
+	return h.impl.HeavyHitters()
+}
+
+// Members returns the heavy-hitter set — the SetQuerier capability
+// (an alias of HeavyHitters).
+func (h *L2HeavyHitters) Members() []uint64 {
+	queryGuard(h != nil && h.impl != nil, KindL2HeavyHitters, "Members")
+	return h.impl.HeavyHitters()
+}
+
+// Estimate returns the verification Count-Sketch's point estimate of
+// f_i — the value the L2 decision rule thresholds.
+func (h *L2HeavyHitters) Estimate(i uint64) float64 {
+	queryGuard(h != nil && h.impl != nil, KindL2HeavyHitters, "Estimate")
+	return h.impl.Query(i)
+}
+
+// EstimateBatch returns the point estimate of every index in one
+// batched read (see HeavyHitters.EstimateBatch).
+func (h *L2HeavyHitters) EstimateBatch(idxs []uint64) []float64 {
+	queryGuard(h != nil && h.impl != nil, KindL2HeavyHitters, "EstimateBatch")
+	return estimateBatchImpl(h.impl, idxs)
+}
+
+// EstimateColumns fills out[j] with the point estimate of b.Idx[j],
+// reusing b's hash-column scratch (see HeavyHitters.EstimateColumns).
+func (h *L2HeavyHitters) EstimateColumns(b *Batch, out []float64) {
+	queryGuard(h != nil && h.impl != nil, KindL2HeavyHitters, "EstimateColumns")
+	estimateColumnsImpl(h.impl, b, out)
+}
 
 // SpaceBits reports the structure's space.
-func (h *L2HeavyHitters) SpaceBits() int64 { return h.impl.SpaceBits() }
+func (h *L2HeavyHitters) SpaceBits() int64 {
+	queryGuard(h != nil && h.impl != nil, KindL2HeavyHitters, "SpaceBits")
+	return h.impl.SpaceBits()
+}

@@ -7,10 +7,21 @@
 //	go run ./cmd/bdgen -kind bounded -alpha 4 -out s.txt
 //	go run ./cmd/bdquery -problem hh -eps 0.05 -alpha 4 -in s.txt
 //	go run ./cmd/bdquery -problem l0 -alpha 4 -in s.txt
+//	go run ./cmd/bdquery -problem point -in s.txt -indexes q.txt -shards 4
 //
 // Problems: hh (L1 heavy hitters), l2hh, l1, l0, sample (one L1 sample),
 // support (k support coordinates), alpha (just measure the stream's
-// alpha-properties).
+// alpha-properties), point (batched point queries through the sharded
+// engine).
+//
+// The point problem is the read-side showcase: the stream is ingested
+// through engine.Ingest, the query set comes from -indexes (one index
+// per line; default: every distinct stream index), and the whole set is
+// answered with ONE engine.EstimateBatch call — each index routed
+// snapshot-free to its owning shard. The report shows the per-shard
+// routing fan-out, the amortized ns/index of the batched read vs a
+// loop of scalar Estimate calls, the mean absolute error against exact
+// ground truth, and the snapshot-build count (which must stay 0).
 package main
 
 import (
@@ -18,15 +29,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	bounded "repro"
+	"repro/engine"
 	"repro/internal/stream"
 )
 
 var (
-	problem = flag.String("problem", "alpha", "hh|l2hh|l1|l0|sample|support|alpha")
+	problem = flag.String("problem", "alpha", "hh|l2hh|l1|l0|sample|support|alpha|point")
 	in      = flag.String("in", "", "input stream file (default stdin)")
+	indexes = flag.String("indexes", "", "index file for -problem point, one index per line (default: every distinct stream index)")
+	shards  = flag.Int("shards", 4, "engine shard count for -problem point")
+	rounds  = flag.Int("rounds", 5, "timing rounds for -problem point (medians reported)")
 	n       = flag.Uint64("n", 0, "universe size (default: from file header or max index + 1)")
 	eps     = flag.Float64("eps", 0.05, "accuracy parameter")
 	alpha   = flag.Float64("alpha", 4, "assumed alpha")
@@ -143,10 +160,171 @@ func main() {
 		fmt.Printf("recovered: %d coordinates (%d verified, ||f||_0 = %d)\n",
 			len(got), valid, truth.F.L0())
 		fmt.Printf("space    : %d bits\n", sp.SpaceBits())
+	case "point":
+		if err := runPoint(cfg, updates, truth); err != nil {
+			fmt.Fprintf(os.Stderr, "bdquery: %v\n", err)
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "bdquery: unknown problem %q\n", *problem)
 		os.Exit(2)
 	}
+}
+
+// runPoint ingests the stream through the sharded engine and answers
+// the query set with the batched snapshot-free read path.
+func runPoint(cfg bounded.Config, updates []bounded.Update, truth *bounded.Tracker) error {
+	e, err := engine.New(cfg, engine.Options{Shards: *shards})
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	const chunk = 4096
+	for off := 0; off < len(updates); off += chunk {
+		end := off + chunk
+		if end > len(updates) {
+			end = len(updates)
+		}
+		if err := e.Ingest(updates[off:end]); err != nil {
+			return err
+		}
+	}
+	for _, u := range updates {
+		truth.Update(u)
+	}
+
+	idxs, err := readIndexes(*indexes, updates)
+	if err != nil {
+		return err
+	}
+	kept := idxs[:0]
+	dropped := 0
+	for _, i := range idxs {
+		if i < cfg.N {
+			kept = append(kept, i)
+		} else {
+			dropped++
+		}
+	}
+	idxs = kept
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "bdquery: dropped %d indices outside the universe [0, %d)\n", dropped, cfg.N)
+	}
+	if len(idxs) == 0 {
+		return fmt.Errorf("empty query set")
+	}
+
+	// Routing fan-out: how the batch scatters across owning shards.
+	perShard := make([]int, e.Shards())
+	for _, i := range idxs {
+		perShard[e.ShardOf(i)]++
+	}
+
+	est, err := e.EstimateBatch(idxs)
+	if err != nil {
+		return err
+	}
+	var absErr float64
+	for j, i := range idxs {
+		d := est[j] - float64(truth.F[i])
+		if d < 0 {
+			d = -d
+		}
+		absErr += d
+	}
+
+	// Amortized cost: median-of-rounds wall clock per index, batched
+	// (one EstimateBatch per round) vs the scalar loop.
+	batched, err := timeRounds(*rounds, func() error {
+		_, err := e.EstimateBatch(idxs)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	scalar, err := timeRounds(*rounds, func() error {
+		for _, i := range idxs {
+			if _, err := e.Estimate(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	perBatched := float64(batched.Nanoseconds()) / float64(len(idxs))
+	perScalar := float64(scalar.Nanoseconds()) / float64(len(idxs))
+
+	fmt.Printf("indices        : %d queried across %d shards\n", len(idxs), e.Shards())
+	for s, c := range perShard {
+		fmt.Printf("  shard %-2d     : %6d indices (%.1f%%)\n", s, c, 100*float64(c)/float64(len(idxs)))
+	}
+	fmt.Printf("batched read   : %.0f ns/index (EstimateBatch, median of %d rounds)\n", perBatched, *rounds)
+	fmt.Printf("scalar loop    : %.0f ns/index (Estimate x %d)\n", perScalar, len(idxs))
+	if perBatched > 0 {
+		fmt.Printf("speedup        : %.2fx per index\n", perScalar/perBatched)
+	}
+	fmt.Printf("mean |error|   : %.2f per index vs exact ground truth\n", absErr/float64(len(idxs)))
+	fmt.Printf("snapshot builds: %d (routed reads never build one)\n", e.SnapshotBuilds())
+	return nil
+}
+
+// timeRounds runs f `rounds` times and returns the median wall clock.
+func timeRounds(rounds int, f func() error) (time.Duration, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	times := make([]time.Duration, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		times = append(times, time.Since(start))
+	}
+	for i := 1; i < len(times); i++ { // insertion sort; rounds is tiny
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	return times[len(times)/2], nil
+}
+
+// readIndexes loads the query set: one index per line ('#' comments
+// allowed), or every distinct stream index when path is empty.
+func readIndexes(path string, updates []bounded.Update) ([]uint64, error) {
+	if path == "" {
+		seen := make(map[uint64]struct{}, 1024)
+		var idxs []uint64
+		for _, u := range updates {
+			if _, ok := seen[u.Index]; !ok {
+				seen[u.Index] = struct{}{}
+				idxs = append(idxs, u.Index)
+			}
+		}
+		return idxs, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var idxs []uint64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i, err := strconv.ParseUint(line, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad index line %q: %v", line, err)
+		}
+		idxs = append(idxs, i)
+	}
+	return idxs, sc.Err()
 }
 
 func readStream(path string) ([]bounded.Update, uint64, error) {

@@ -174,6 +174,51 @@
 // sequence. Differential tests assert this equality per structure and
 // through the engine at 1/2/4/8 shards.
 //
+// # Querying: capability-typed interfaces and columnar batched reads
+//
+// The query side mirrors the ingest side. Where Sketch describes what
+// every structure consumes, six small capability interfaces describe
+// what each structure can answer — generic consumers declare the
+// capability they need instead of switching on concrete types:
+//
+//	PointQuerier       Estimate(i) float64       HeavyHitters, L2HeavyHitters
+//	BatchPointQuerier  + EstimateBatch/Columns   HeavyHitters, L2HeavyHitters
+//	ScalarQuerier      Estimate() float64        L1Estimator, L0Estimator, InnerProduct
+//	SetQuerier         Members() []uint64        HeavyHitters, L2HeavyHitters, SupportSampler
+//	SampleQuerier      Sample() (Sample, bool)   L1Sampler
+//	Prober             Contains(i) bool          SupportSampler
+//
+// (The authoritative table is the compile-time assert block in
+// querier.go, next to the _ Sketch = ... block.)
+//
+// Batched reads run the same plan → hash → apply shape as batched
+// writes, with "apply" replaced by "gather": EstimateBatch hashes the
+// WHOLE index set in one batch evaluation per sketch row, gathers the
+// per-row estimates in row-major table sweeps (each table row's reads
+// happen while that row is cache-resident), and selects the per-index
+// medians at the end — one hash pass for the whole index set instead
+// of one per index, bit-identical to per-index Estimate. The two-tier
+// split mirrors UpdateBatch/UpdateColumns:
+//
+//	ests := hh.EstimateBatch(idxs)       // convenience: one call, pooled scratch
+//
+//	b := bounded.GetBatch()              // explicit: plan once, query repeatedly
+//	b.LoadKeys(idxs)
+//	out := make([]float64, b.Len())
+//	hh.EstimateColumns(b, out)           // reuses b's hash-column scratch
+//	bounded.PutBatch(b)
+//
+// Queries share per-structure scratch with updates (that is where the
+// zero allocations come from), so a structure is single-goroutine for
+// queries AND updates — shard across instances, or query through the
+// engine, for parallel readers.
+//
+// Query methods on a zero-value structure (never constructed, or left
+// untouched by a failed UnmarshalBinary) panic with a diagnostic that
+// names the structure and the fix ("construct with NewX or restore
+// with UnmarshalBinary first") instead of nil-panicking deep inside an
+// internal package.
+//
 // # Concurrency and the sharded ingest engine
 //
 // Each structure is single-goroutine: updates AND queries reuse
@@ -210,15 +255,24 @@
 // The engine's Ingest is itself columnar: one batch hash evaluation
 // computes every update's shard, indices and deltas scatter into
 // per-shard column batches, and each shard goroutine receives
-// ready-to-apply columns. Point queries bypass snapshots entirely:
+// ready-to-apply columns. Routed queries bypass snapshots entirely:
 // Engine.Estimate routes to the index's OWNING shard (the partition
 // hash sends every update for an index to one shard) and runs in that
 // shard's goroutine — no all-shard flush barrier, no merged-view
-// rebuild (Engine.SnapshotBuilds counts rebuilds; point queries never
-// move it). Global queries (HeavyHitters, L1, ...) still answer from
-// the merged snapshot, behind a generation-tagged cache that is
-// checked before the engine mutex, so query bursts do not stall
-// producers.
+// rebuild (Engine.SnapshotBuilds counts rebuilds; routed queries never
+// move it). Engine.EstimateBatch is the batched form and the read-side
+// mirror of Ingest: one hash evaluation computes every queried index's
+// owning shard, the index set scatters by column, shards answer their
+// columns concurrently with the structures' batched readers, and the
+// results reassemble in input order — bit-identical to per-index
+// Estimate, and >= 2x cheaper per index at batch >= 256 because the
+// per-query shard crossing amortizes across the batch.
+// Engine.Probe(i) routes a support membership probe the same way, and
+// Engine.Support unions the shards' live recoveries (partition
+// completeness makes them disjoint) without a single clone or merge.
+// Global queries (HeavyHitters, L1, ...) still answer from the merged
+// snapshot, behind a generation-tagged cache that is checked before
+// the engine mutex, so query bursts do not stall producers.
 //
 // Pick the engine when ingest throughput is the bottleneck and cores
 // are available (producers can be many goroutines; Ingest is

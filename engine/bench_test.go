@@ -126,6 +126,75 @@ func BenchmarkEngineQueryIngestInterleave(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineEstimateBatch is the regression benchmark for the
+// batched snapshot-free point-query path: one producer keeps ingesting
+// (the interleave keeps every query paying the early hand-off and the
+// shard-goroutine crossing, as in production) while the bench
+// goroutine reads a fixed index set after every chunk — "batched"
+// through one EstimateBatch call, "scalar" through a loop of Estimate.
+// The acceptance ratio is per-INDEX: batched must amortize the
+// per-query shard crossing across the batch, >= 2x over the scalar
+// loop at batch >= 256. Only the query side is on the clock (the
+// ingest chunk runs between StopTimer/StartTimer), so ns/op is the
+// cost of one full index-set read; divide by indexes/op for the
+// per-index cost the regression gate compares. snapshots/op must stay
+// 0 for both flavors.
+func BenchmarkEngineEstimateBatch(b *testing.B) {
+	s, _ := fig1Stream(42)
+	const chunk = 512
+	run := func(b *testing.B, size int, query func(e *Engine, idxs []uint64) error) {
+		idxs := make([]uint64, size)
+		for j := range idxs {
+			idxs[j] = uint64(j*2654435761) % (1 << 16)
+		}
+		e, err := New(testCfg, Options{Shards: 4, BatchSize: 256, Queue: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		off := 0
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			end := off + chunk
+			if end > len(s.Updates) {
+				off, end = 0, chunk
+			}
+			if err := e.Ingest(s.Updates[off:end]); err != nil {
+				b.Fatal(err)
+			}
+			off = end
+			b.StartTimer()
+			if err := query(e, idxs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(size), "indexes/op")
+		b.ReportMetric(float64(e.SnapshotBuilds())/float64(b.N), "snapshots/op")
+	}
+	for _, size := range []int{16, 256, 4096} {
+		size := size
+		b.Run(fmt.Sprintf("batched/size=%d", size), func(b *testing.B) {
+			run(b, size, func(e *Engine, idxs []uint64) error {
+				_, err := e.EstimateBatch(idxs)
+				return err
+			})
+		})
+		b.Run(fmt.Sprintf("scalar/size=%d", size), func(b *testing.B) {
+			run(b, size, func(e *Engine, idxs []uint64) error {
+				for _, i := range idxs {
+					if _, err := e.Estimate(i); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
 // BenchmarkSingleWriterBaseline is the same workload through one
 // bounded.HeavyHitters on the bench goroutine — the no-engine reference
 // point for the shards=1 overhead and the scaling ratio.

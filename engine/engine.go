@@ -21,8 +21,12 @@
 //	   │  └────────── snapshot ∘ merge ───────┘
 //	   │                │
 //	   │            global Query (HeavyHitters, L1, L0, Sample, ...)
-//	   └─ point Query (Estimate): routed to the owning shard,
-//	      snapshot-free — no flush barrier, no merged-view rebuild
+//	   └─ routed Query (Estimate, EstimateBatch, Probe, Support):
+//	      answered by the OWNING shard(s), snapshot-free — no flush
+//	      barrier, no merged-view rebuild. EstimateBatch mirrors
+//	      Ingest: one hash evaluation computes every queried index's
+//	      shard, columns scatter, shards answer concurrently, results
+//	      reassemble in input order.
 //
 // Each shard goroutine receives ready-to-apply column batches and fans
 // them to its structures' UpdateColumns — the plan → hash → apply
@@ -57,6 +61,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -419,6 +424,13 @@ func New(cfg bounded.Config, opts Options) (*Engine, error) {
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return e.opt.Shards }
 
+// ShardOf reports which shard owns index i — the fast-range partition
+// hash that routes i's updates and its point queries. Exposed so
+// tooling (cmd/bdquery's routing report, load-balance diagnostics) can
+// explain where a batched read fanned out; the mapping is fixed for
+// the engine's lifetime.
+func (e *Engine) ShardOf(i uint64) int { return e.shardOf(i) }
+
 // shardOf maps an index to its owning shard with the library's
 // fast-range hash — the same reduction the sketches use for buckets.
 func (e *Engine) shardOf(i uint64) int {
@@ -444,10 +456,14 @@ func (e *Engine) Ingest(batch []bounded.Update) error {
 		return fmt.Errorf("engine: Ingest on closed engine")
 	}
 	// Plan: shard keys for the whole batch in one straight-line hash
-	// sweep, then scatter by column.
+	// sweep, then scatter by column. Each cap is checked independently:
+	// EstimateBatch grows only planShards, so the two scratch slices do
+	// not move in lockstep.
 	n := len(batch)
 	if cap(e.planKeys) < n {
 		e.planKeys = make([]uint64, n)
+	}
+	if cap(e.planShards) < n {
 		e.planShards = make([]uint64, n)
 	}
 	keys, shards := e.planKeys[:n], e.planShards[:n]
@@ -601,6 +617,59 @@ func (e *Engine) mergedViewLocked() (*structSet, error) {
 	return merged, nil
 }
 
+// lockRouted acquires e.mu for a routed (snapshot-free) query: it
+// fails fast on a closed engine and reports fallback=true — WITHOUT
+// holding the mutex — when Restore won the race between the caller's
+// lock-free restored check and the Lock (Restore flips the flag under
+// e.mu, so this re-check is authoritative; skipping it would let
+// per-shard routing silently omit freshly imported mass). On (false,
+// nil) the caller holds e.mu and owns the routed path.
+func (e *Engine) lockRouted() (fallback bool, err error) {
+	e.mu.Lock()
+	if e.closed.Load() {
+		e.mu.Unlock()
+		return false, fmt.Errorf("engine: query on closed engine")
+	}
+	if e.restored.Load() {
+		e.mu.Unlock()
+		return true, nil
+	}
+	return false, nil
+}
+
+// pendingHandoff is one pending buffer detached by swapPendingLocked,
+// awaiting its post-unlock Send.
+type pendingHandoff struct {
+	shard int
+	buf   *core.Batch
+}
+
+// swapPendingLocked detaches the nonempty pending buffers of every
+// shard selected by involved, replacing each with a fresh pooled batch
+// — the routed queries' early hand-off. The caller holds e.mu, must
+// register with e.inflight before releasing it, and must sendHandoffs
+// AFTER releasing it: worker inboxes are FIFO, so the hand-off
+// happens before any query closure subsequently enqueued on those
+// shards, without a full inbox stalling other producers under the
+// lock.
+func (e *Engine) swapPendingLocked(involved func(int) bool) []pendingHandoff {
+	var full []pendingHandoff
+	for s := range e.pending {
+		if involved(s) && e.pending[s].Len() > 0 {
+			full = append(full, pendingHandoff{shard: s, buf: e.pending[s]})
+			e.pending[s] = core.GetBatch()
+		}
+	}
+	return full
+}
+
+// sendHandoffs pushes swapped pending buffers to their shard inboxes.
+func (e *Engine) sendHandoffs(full []pendingHandoff) {
+	for _, h := range full {
+		e.workers[h.shard].Send(h.buf)
+	}
+}
+
 // SnapshotBuilds reports how many times the engine has rebuilt its
 // merged snapshot view — a diagnostic for the snapshot-free point
 // query contract: Estimate never increments it.
@@ -638,27 +707,15 @@ func (e *Engine) HeavyHitters() ([]uint64, error) {
 // view — correct over the union, at the usual merged-query cost.
 func (e *Engine) Estimate(i uint64) (float64, error) {
 	if e.restored.Load() {
-		var out float64
-		err := e.withView(func(v *structSet) error {
-			if v.hh == nil {
-				return fmt.Errorf("Estimate: %w", ErrNotEnabled)
-			}
-			out = v.hh.Estimate(i)
-			return nil
-		})
-		return out, err
+		return e.estimateView(i)
 	}
-	e.mu.Lock()
-	if e.closed.Load() {
-		e.mu.Unlock()
-		return 0, fmt.Errorf("engine: query on closed engine")
+	if fallback, err := e.lockRouted(); err != nil {
+		return 0, err
+	} else if fallback {
+		return e.estimateView(i)
 	}
 	s := e.shardOf(i)
-	var pend *core.Batch
-	if e.pending[s].Len() > 0 {
-		pend = e.pending[s]
-		e.pending[s] = core.GetBatch()
-	}
+	full := e.swapPendingLocked(func(x int) bool { return x == s })
 	w, set := e.workers[s], e.sets[s]
 	// Registering with inflight keeps Flush/Close honest: they wait for
 	// the early hand-off and the shard closure below, so they can never
@@ -666,9 +723,7 @@ func (e *Engine) Estimate(i uint64) (float64, error) {
 	e.inflight.Add(1)
 	e.mu.Unlock()
 	defer e.inflight.Done()
-	if pend != nil {
-		w.Send(pend)
-	}
+	e.sendHandoffs(full)
 	var out float64
 	var qErr error
 	w.Do(func() {
@@ -679,6 +734,162 @@ func (e *Engine) Estimate(i uint64) (float64, error) {
 		out = set.hh.Estimate(i)
 	})
 	return out, qErr
+}
+
+// estimateView answers a point estimate from the merged view — the
+// post-Restore fallback shared by Estimate's two check sites.
+func (e *Engine) estimateView(i uint64) (float64, error) {
+	var out float64
+	err := e.withView(func(v *structSet) error {
+		if v.hh == nil {
+			return fmt.Errorf("Estimate: %w", ErrNotEnabled)
+		}
+		out = v.hh.Estimate(i)
+		return nil
+	})
+	return out, err
+}
+
+// EstimateBatch returns the heavy-hitters point estimate of every
+// index in idxs, in input order — the batched, snapshot-free form of
+// Estimate and the read-side mirror of Ingest's columnar plan: ONE
+// batch hash evaluation computes every index's owning shard, the index
+// set scatters by column into per-shard key lists, each involved shard
+// answers its whole column inside its own goroutine with the
+// structure's batched reader (one hash pass over the column, row-major
+// table sweeps), and the answers reassemble into input positions. Like
+// Estimate it pays no flush barrier and builds no merged view
+// (SnapshotBuilds does not move); unlike N scalar calls it crosses
+// into each involved shard once per batch instead of once per index,
+// and distinct shards answer their columns concurrently. Answers are
+// bit-identical to calling Estimate once per index (duplicates simply
+// repeat their estimate).
+//
+// After Restore has imported external state, the owning-shard
+// invariant is gone and EstimateBatch answers from the merged view —
+// still batched, still bit-identical to per-index Estimate (which
+// falls back the same way).
+func (e *Engine) EstimateBatch(idxs []uint64) ([]float64, error) {
+	out := make([]float64, len(idxs))
+	if len(idxs) == 0 {
+		return out, nil
+	}
+	if e.opt.Structures&HeavyHitters == 0 {
+		return nil, fmt.Errorf("EstimateBatch: %w", ErrNotEnabled)
+	}
+	if e.restored.Load() {
+		return e.estimateBatchView(idxs, out)
+	}
+	if fallback, err := e.lockRouted(); err != nil {
+		return nil, err
+	} else if fallback {
+		return e.estimateBatchView(idxs, out)
+	}
+	// Plan: every index's owning shard in one batch hash evaluation —
+	// the same evaluator and shard-column scratch Ingest plans with,
+	// under the same lock (idxs already IS the key column, so the
+	// planKeys scratch is not needed here).
+	n := len(idxs)
+	if cap(e.planShards) < n {
+		e.planShards = make([]uint64, n)
+	}
+	shards := e.planShards[:n]
+	e.part.RangeBatch(idxs, uint64(e.opt.Shards), shards)
+	// Scatter by column into per-shard key + position lists. These
+	// outlive the lock (the shard closures consume them), so they are
+	// per-call storage, not the mu-guarded plan scratch.
+	keysBy := make([][]uint64, e.opt.Shards)
+	posBy := make([][]int, e.opt.Shards)
+	for j, s := range shards {
+		keysBy[s] = append(keysBy[s], idxs[j])
+		posBy[s] = append(posBy[s], j)
+	}
+	// Involved shards' pending runs must apply before their columns are
+	// answered — the batched form of the scalar path's early hand-off.
+	full := e.swapPendingLocked(func(s int) bool { return len(keysBy[s]) > 0 })
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+	e.sendHandoffs(full)
+	// Fan out: each involved shard answers its key column in its own
+	// goroutine, writing straight into its disjoint output positions;
+	// the barrier waits establish the happens-before for those writes.
+	var barriers []<-chan struct{}
+	for s := range keysBy {
+		if len(keysBy[s]) == 0 {
+			continue
+		}
+		keys, pos, set := keysBy[s], posBy[s], e.sets[s]
+		barriers = append(barriers, e.workers[s].DoAsync(func() {
+			est := set.hh.EstimateBatch(keys)
+			for t, p := range pos {
+				out[p] = est[t]
+			}
+		}))
+	}
+	for _, b := range barriers {
+		<-b
+	}
+	return out, nil
+}
+
+// estimateBatchView answers a batched point query from the merged view
+// — the post-Restore fallback shared by EstimateBatch's two check
+// sites. out has len(idxs) entries and is returned on success.
+func (e *Engine) estimateBatchView(idxs []uint64, out []float64) ([]float64, error) {
+	err := e.withView(func(v *structSet) error {
+		b := core.GetBatch()
+		b.LoadKeys(idxs)
+		v.hh.EstimateColumns(b, out)
+		core.PutBatch(b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Probe reports whether index i is in the ingested stream's support,
+// answered snapshot-free by the index's OWNING shard: the partition
+// hash that routes i's updates routes the probe, and that shard's live
+// support sampler holds i's entire substream — the same routing, and
+// the same serialize-only-with-the-owner cost, as Estimate. After
+// Restore the owning-shard invariant is gone and the probe answers
+// from the merged view.
+func (e *Engine) Probe(i uint64) (bool, error) {
+	if e.opt.Structures&SupportSampler == 0 {
+		return false, fmt.Errorf("Probe: %w", ErrNotEnabled)
+	}
+	if e.restored.Load() {
+		return e.probeView(i)
+	}
+	if fallback, err := e.lockRouted(); err != nil {
+		return false, err
+	} else if fallback {
+		return e.probeView(i)
+	}
+	s := e.shardOf(i)
+	full := e.swapPendingLocked(func(x int) bool { return x == s })
+	w, set := e.workers[s], e.sets[s]
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+	e.sendHandoffs(full)
+	var out bool
+	w.Do(func() { out = set.sup.Contains(i) })
+	return out, nil
+}
+
+// probeView answers a membership probe from the merged view — the
+// post-Restore fallback shared by Probe's two check sites.
+func (e *Engine) probeView(i uint64) (bool, error) {
+	var out bool
+	err := e.withView(func(v *structSet) error {
+		out = v.sup.Contains(i)
+		return nil
+	})
+	return out, err
 }
 
 // L1 returns the merged (1 +- eps) estimate of ||f||_1.
@@ -722,14 +933,65 @@ func (e *Engine) Sample() (bounded.Sample, bool, error) {
 	return res, ok, err
 }
 
-// Support returns distinct support coordinates recovered from the
-// merged support sampler.
+// Support returns distinct support coordinates of the full ingested
+// stream, sorted — answered snapshot-free by routing, like Estimate:
+// the partition hash sends every update for an index to exactly one
+// shard, so the union of the shards' LIVE support recoveries covers
+// the full stream without cloning or merging a single sampler. Every
+// shard decodes its own levels inside its own goroutine (the shards
+// work concurrently), and the union reassembles outside. SnapshotBuilds
+// does not move. After Restore the partition invariant is gone and
+// Support answers from the merged view.
 func (e *Engine) Support() ([]uint64, error) {
+	if e.opt.Structures&SupportSampler == 0 {
+		return nil, fmt.Errorf("Support: %w", ErrNotEnabled)
+	}
+	if e.restored.Load() {
+		return e.supportView()
+	}
+	if fallback, err := e.lockRouted(); err != nil {
+		return nil, err
+	} else if fallback {
+		return e.supportView()
+	}
+	// Every shard's pending run must apply before its recovery — the
+	// all-shard form of the point query's early hand-off.
+	full := e.swapPendingLocked(func(int) bool { return true })
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+	e.sendHandoffs(full)
+	results := make([][]uint64, len(e.workers))
+	barriers := make([]<-chan struct{}, len(e.workers))
+	for i, w := range e.workers {
+		i, set := i, e.sets[i]
+		barriers[i] = w.DoAsync(func() { results[i] = set.sup.Recover() })
+	}
+	for _, b := range barriers {
+		<-b
+	}
+	// Partition completeness makes the per-shard recoveries disjoint;
+	// the set union is belt and braces against a (fingerprint-verified,
+	// hence overwhelmingly unlikely) forged decode.
+	seen := make(map[uint64]struct{})
+	var out []uint64
+	for _, r := range results {
+		for _, i := range r {
+			if _, dup := seen[i]; !dup {
+				seen[i] = struct{}{}
+				out = append(out, i)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// supportView answers a support recovery from the merged view — the
+// post-Restore fallback shared by Support's two check sites.
+func (e *Engine) supportView() ([]uint64, error) {
 	var out []uint64
 	err := e.withView(func(v *structSet) error {
-		if v.sup == nil {
-			return fmt.Errorf("Support: %w", ErrNotEnabled)
-		}
 		out = v.sup.Recover()
 		return nil
 	})

@@ -1,6 +1,9 @@
 // Sharded ingest: drive the engine from several producer goroutines —
-// the deployment shape for heavy traffic — and answer heavy-hitters,
-// L1 and L0 queries from merged shard snapshots.
+// the deployment shape for heavy traffic — answer heavy-hitters, L1
+// and L0 queries from merged shard snapshots, and read back every
+// detected coordinate's point estimate with ONE snapshot-free batched
+// read (EstimateBatch: the whole index set routes to its owning shards
+// in one hash evaluation).
 //
 // The engine owns one single-writer shard per core (configurable), hash
 // partitions every batch across them, and blocks producers when a shard
@@ -100,12 +103,20 @@ func main() {
 	l1, _ := eng.L1()
 	l0, _ := eng.L0()
 	bits, _ := eng.SpaceBits()
+	// The read-side mirror of Ingest: every detected coordinate's point
+	// estimate in one batched, snapshot-free read — each index answered
+	// by its OWNING shard, results in input order, bit-identical to a
+	// loop of eng.Estimate calls.
+	ests, _ := eng.EstimateBatch(hh)
 	total := producers * perProducer * 2 // rough update count incl. churn
 	fmt.Println("== sharded ingest ==")
 	fmt.Printf("shards                  : %d (GOMAXPROCS)\n", eng.Shards())
 	fmt.Printf("ingested                : ~%d updates from %d producers in %v\n", total, producers, elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput              : ~%.1f M updates/s\n", float64(total)/elapsed.Seconds()/1e6)
 	fmt.Printf("heavy hitters (merged)  : %v\n", hh)
+	for j, i := range hh {
+		fmt.Printf("  f[%-5d]              : ~%.0f (owning shard %d)\n", i, ests[j], eng.ShardOf(i))
+	}
 	fmt.Printf("estimated ||f||_1       : %.0f\n", l1)
 	fmt.Printf("estimated ||f||_0       : %.0f\n", l0)
 	fmt.Printf("space, all shards       : %d bits\n", bits)

@@ -70,6 +70,7 @@ type Sketch struct {
 	yPrime    []float64
 	maxAbs    float64
 	m         int64
+	qAbs      []float64 // scratch for the query-side |y'| median
 }
 
 // NewSketch builds the baseline with r main rows (use Theta(1/eps^2)),
@@ -160,16 +161,21 @@ func (s *Sketch) UpdateColumns(b *core.Batch) {
 
 // MedianEstimate returns Indyk's estimator median(|y'_j|): a constant-
 // factor approximation of ||f||_1 with the r' rows, the "Fact 1" rough
-// estimate the heavy-hitters algorithm needs.
+// estimate the heavy-hitters algorithm needs. The median works over
+// reusable scratch, so steady-state queries allocate nothing.
 func (s *Sketch) MedianEstimate() float64 {
-	return medianAbs(s.yPrime)
+	var m float64
+	m, s.qAbs = medianAbsScratch(s.yPrime, s.qAbs)
+	return m
 }
 
 // LnCosEstimate returns the Figure 5 estimator. It falls back to the
 // median estimate when the cosine average is nonpositive (possible only
 // in the extreme tail for small r).
 func (s *Sketch) LnCosEstimate() float64 {
-	return lnCos(s.y, medianAbs(s.yPrime))
+	var m float64
+	m, s.qAbs = medianAbsScratch(s.yPrime, s.qAbs)
+	return lnCos(s.y, m)
 }
 
 // lnCos computes ymed * (-ln((1/r) sum cos(y_i/ymed))) with guards.
@@ -267,6 +273,10 @@ type SampledSketch struct {
 	levels    map[int]*sampledLevel
 	rng       *rand.Rand
 	maxCount  int64
+
+	// Query scratch: Estimate/MedianEstimate rescale the oldest level's
+	// counters into these reusable buffers instead of allocating per call.
+	qY, qYPrime, qAbs []float64
 }
 
 type sampledLevel struct {
@@ -396,22 +406,19 @@ func (s *SampledSketch) oldest() *sampledLevel {
 }
 
 // Estimate returns the ln-cos L1 estimate from the oldest live level,
-// rescaled by its sampling rate.
+// rescaled by its sampling rate. The rescaled rows live in reusable
+// scratch, so steady-state queries allocate nothing.
 func (s *SampledSketch) Estimate() float64 {
 	lv := s.oldest()
 	if lv == nil {
 		return 0
 	}
 	scale := float64(sample.Pow(s.base, lv.j)) / float64(int64(1)<<s.fpBits)
-	y := make([]float64, len(lv.y))
-	for i, v := range lv.y {
-		y[i] = float64(v) * scale
-	}
-	yp := make([]float64, len(lv.yPrime))
-	for i, v := range lv.yPrime {
-		yp[i] = float64(v) * scale
-	}
-	return lnCos(y, medianAbs(yp))
+	s.qY = rescaleInto(s.qY, lv.y, scale)
+	s.qYPrime = rescaleInto(s.qYPrime, lv.yPrime, scale)
+	var m float64
+	m, s.qAbs = medianAbsScratch(s.qYPrime, s.qAbs)
+	return lnCos(s.qY, m)
 }
 
 // MedianEstimate returns the constant-factor Indyk estimate from the
@@ -422,11 +429,23 @@ func (s *SampledSketch) MedianEstimate() float64 {
 		return 0
 	}
 	scale := float64(sample.Pow(s.base, lv.j)) / float64(int64(1)<<s.fpBits)
-	yp := make([]float64, len(lv.yPrime))
-	for i, v := range lv.yPrime {
-		yp[i] = float64(v) * scale
+	s.qYPrime = rescaleInto(s.qYPrime, lv.yPrime, scale)
+	var m float64
+	m, s.qAbs = medianAbsScratch(s.qYPrime, s.qAbs)
+	return m
+}
+
+// rescaleInto fills dst (grown on demand) with xs[i]*scale and returns
+// the possibly-regrown buffer sized to len(xs).
+func rescaleInto(dst []float64, xs []int64, scale float64) []float64 {
+	if cap(dst) < len(xs) {
+		dst = make([]float64, len(xs))
 	}
-	return medianAbs(yp)
+	dst = dst[:len(xs)]
+	for i, v := range xs {
+		dst[i] = float64(v) * scale
+	}
+	return dst
 }
 
 // Merge folds another SampledSketch built from the same seed into this
@@ -518,19 +537,30 @@ func (s *SampledSketch) SpaceBits() int64 {
 }
 
 func medianAbs(xs []float64) float64 {
-	a := make([]float64, len(xs))
+	m, _ := medianAbsScratch(xs, nil)
+	return m
+}
+
+// medianAbsScratch is medianAbs over a caller-owned scratch buffer
+// (grown on demand and returned): the sort works on a copy, so xs is
+// never reordered, and repeated queries reuse one allocation.
+func medianAbsScratch(xs, scratch []float64) (float64, []float64) {
+	if cap(scratch) < len(xs) {
+		scratch = make([]float64, len(xs))
+	}
+	a := scratch[:len(xs)]
 	for i, v := range xs {
 		a[i] = math.Abs(v)
 	}
 	sort.Float64s(a)
 	n := len(a)
 	if n == 0 {
-		return 0
+		return 0, scratch
 	}
 	if n%2 == 1 {
-		return a[n/2]
+		return a[n/2], scratch
 	}
-	return (a[n/2-1] + a[n/2]) / 2
+	return (a[n/2-1] + a[n/2]) / 2, scratch
 }
 
 func absInt64(x int64) int64 {

@@ -31,7 +31,10 @@ import (
 // Batch is a columnar (structure-of-arrays) view of one ingest batch.
 type Batch struct {
 	// Idx and Delta are the update columns: update j is
-	// (Idx[j], Delta[j]). They always have equal length.
+	// (Idx[j], Delta[j]). On the write path they always have equal
+	// length; a read-side plan (LoadKeys) carries a bare index column
+	// with Delta empty — such a batch feeds query methods only, never
+	// UpdateColumns.
 	Idx   []uint64
 	Delta []int64
 
@@ -70,6 +73,18 @@ func (b *Batch) LoadUpdates(us []stream.Update) {
 		b.Idx = append(b.Idx, u.Index)
 		b.Delta = append(b.Delta, u.Delta)
 	}
+}
+
+// LoadKeys replaces the batch contents with a bare index column (the
+// delta column stays empty) — the plan step for batched READS, where
+// only indices flow: load the query set once, then hand the batch to
+// EstimateColumns-style readers that reuse its hash-column scratch.
+func (b *Batch) LoadKeys(keys []uint64) {
+	b.Reset()
+	if cap(b.Idx) < len(keys) {
+		b.Idx = make([]uint64, 0, len(keys))
+	}
+	b.Idx = append(b.Idx, keys...)
 }
 
 // Cols32 returns the uint32 hash-column scratch sized to n entries

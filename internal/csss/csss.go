@@ -127,6 +127,7 @@ type Sketch struct {
 	lastSign int64
 	haveLast bool
 	qest     []float64
+	qBatch   []float64 // scratch for QueryColumns' row-major gather
 	resid    []float64
 }
 
@@ -580,26 +581,46 @@ func (s *Sketch) cachedRowEstimate(r int) float64 {
 // the whole key column in ONE batch evaluation into b's column scratch
 // — the batched form of the candidate-refresh loop of the heavy
 // hitters and sampler batch paths, where an entire batch's distinct
-// indices are re-estimated at once. Answers are bit-identical to
-// Query's.
+// indices are re-estimated at once, and the read path behind the
+// public BatchPointQuerier capability. The gather stage sweeps the
+// table row-major (every read of row r happens while r's cells are
+// cache-resident) before the per-key medians select over the gathered
+// estimate matrix. Answers are bit-identical to Query's; est must hold
+// len(keys) entries.
 func (s *Sketch) QueryColumns(b *core.Batch, keys []uint64, est []float64) {
 	n := len(keys)
 	if n == 0 {
 		return
 	}
+	if len(est) < n {
+		panic(fmt.Sprintf("csss: QueryColumns output holds %d entries, need %d", len(est), n))
+	}
 	cols := b.Cols32(s.rows * n)
 	signs := b.Signs8(s.rows * n)
 	s.buckets.BucketSignsBatch(keys, cols, signs)
+	if cap(s.qBatch) < s.rows*n {
+		s.qBatch = make([]float64, s.rows*n)
+	}
+	rowEst := s.qBatch[:s.rows*n]
+	for r := 0; r < s.rows; r++ {
+		base := r * int(s.cols)
+		rc := cols[r*n : r*n+n : r*n+n]
+		rs := signs[r*n : r*n+n : r*n+n]
+		re := rowEst[r*n : r*n+n : r*n+n]
+		for j := range rc {
+			cl := &s.table[base+int(rc[j])]
+			re[j] = float64(rs[j]) * float64(cl[0]-cl[1]) * s.estScale
+		}
+	}
 	for j := 0; j < n; j++ {
-		for r := 0; r < s.rows; r++ {
-			cl := &s.table[r*int(s.cols)+int(cols[r*n+j])]
-			s.qest[r] = float64(signs[r*n+j]) * float64(cl[0]-cl[1]) * s.estScale
-		}
 		if s.rows == 5 {
-			est[j] = order.MedianOf5(s.qest[0], s.qest[1], s.qest[2], s.qest[3], s.qest[4])
-		} else {
-			est[j] = order.MedianFloat64(s.qest)
+			est[j] = order.MedianOf5(rowEst[j], rowEst[n+j], rowEst[2*n+j], rowEst[3*n+j], rowEst[4*n+j])
+			continue
 		}
+		for r := 0; r < s.rows; r++ {
+			s.qest[r] = rowEst[r*n+j]
+		}
+		est[j] = order.MedianFloat64(s.qest)
 	}
 }
 

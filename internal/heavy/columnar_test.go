@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/gen"
 )
 
@@ -39,6 +40,51 @@ func TestAlphaL1ColumnarMatchesScalar(t *testing.T) {
 	}
 	if sa, sb := a.SpaceBits(), b.SpaceBits(); sa != sb {
 		t.Fatalf("SpaceBits: scalar %d, columnar %d", sa, sb)
+	}
+}
+
+// TestAlphaL1QueryColumnsMatchesScalar: the batched point-query path
+// must answer bit-identically to per-key Query, duplicates included.
+func TestAlphaL1QueryColumnsMatchesScalar(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 1 << 14, Items: 30000, Alpha: 4, Zipf: 1.5, Seed: 9})
+	h := NewAlphaL1(rand.New(rand.NewSource(31)), AlphaL1Params{N: 1 << 14, Eps: 0.05, Mode: Strict, Alpha: 4})
+	h.UpdateBatch(s.Updates)
+	keys := make([]uint64, 0, 256)
+	for i := uint64(0); i < 1<<14; i += 97 {
+		keys = append(keys, i)
+	}
+	keys = append(keys, keys[0], keys[0]) // adjacent duplicates
+	keys = append(keys, keys[:8]...)      // non-adjacent duplicates
+	est := make([]float64, len(keys))
+	b := core.GetBatch()
+	h.QueryColumns(b, keys, est)
+	core.PutBatch(b)
+	for j, k := range keys {
+		if want := h.Query(k); est[j] != want {
+			t.Fatalf("QueryColumns[%d] (key %d) = %v, Query = %v", j, k, est[j], want)
+		}
+	}
+}
+
+// TestAlphaL2QueryColumnsMatchesScalar: same contract for the Appendix
+// A verifier's batched point query.
+func TestAlphaL2QueryColumnsMatchesScalar(t *testing.T) {
+	s := gen.BoundedDeletion(gen.Config{N: 1 << 12, Items: 15000, Alpha: 4, Zipf: 1.4, Seed: 15})
+	h := NewAlphaL2(rand.New(rand.NewSource(37)), 1<<12, 0.25, 4)
+	h.UpdateBatch(s.Updates)
+	keys := make([]uint64, 0, 128)
+	for i := uint64(0); i < 1<<12; i += 37 {
+		keys = append(keys, i)
+	}
+	keys = append(keys, keys[:5]...)
+	est := make([]float64, len(keys))
+	b := core.GetBatch()
+	h.QueryColumns(b, keys, est)
+	core.PutBatch(b)
+	for j, k := range keys {
+		if want := h.Query(k); est[j] != want {
+			t.Fatalf("QueryColumns[%d] (key %d) = %v, Query = %v", j, k, est[j], want)
+		}
 	}
 }
 

@@ -206,6 +206,15 @@ func (h *AlphaL1) HeavyHitters() []uint64 {
 // Query returns the CSSS point estimate for one item.
 func (h *AlphaL1) Query(i uint64) float64 { return h.sk.Query(i) }
 
+// QueryColumns fills est[j] with Query(keys[j]) for the whole index
+// set in one batch hash pass — the batched point-query twin of
+// UpdateColumns, delegating to the CSSS row-major gather. b supplies
+// the reusable hash-column scratch; answers are bit-identical to
+// Query's.
+func (h *AlphaL1) QueryColumns(b *core.Batch, keys []uint64, est []float64) {
+	h.sk.QueryColumns(b, keys, est)
+}
+
 // Merge folds another AlphaL1 built from the same seed into this one:
 // the CSSS sketches and L1 scale merge, then the union of both
 // candidate sets is re-offered against the merged sketch, so the

@@ -33,6 +33,7 @@ type AlphaL2 struct {
 
 	batchSeen map[uint64]struct{}
 	distinct  []uint64
+	qInt      []int64 // scratch for QueryColumns' verifier gather
 }
 
 // NewAlphaL2 builds the Appendix A structure. Column counts follow the
@@ -120,6 +121,28 @@ func (h *AlphaL2) HeavyHitters() []uint64 {
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
+}
+
+// Query returns the verification Count-Sketch's point estimate of f_i
+// — the same value the HeavyHitters decision rule thresholds.
+func (h *AlphaL2) Query(i uint64) float64 { return float64(h.verCS.Query(i)) }
+
+// QueryColumns fills est[j] with Query(keys[j]) in one batch hash pass
+// over the verifier sketch (bit-identical to Query; see
+// sketch.CountSketch.QueryColumns).
+func (h *AlphaL2) QueryColumns(b *core.Batch, keys []uint64, est []float64) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	if cap(h.qInt) < n {
+		h.qInt = make([]int64, n)
+	}
+	ints := h.qInt[:n]
+	h.verCS.QueryColumns(b, keys, ints)
+	for j, v := range ints {
+		est[j] = float64(v)
+	}
 }
 
 // Merge folds another AlphaL2 built from the same seed into this one:

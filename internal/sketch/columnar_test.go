@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/stream"
 )
@@ -51,6 +52,55 @@ func TestCountSketchColumnarMatchesScalar(t *testing.T) {
 	}
 	if sa, sb := a.SpaceBits(), b.SpaceBits(); sa != sb {
 		t.Fatalf("SpaceBits: scalar %d, columnar %d", sa, sb)
+	}
+}
+
+// queryKeySet builds a batched-read key set with never-updated points,
+// adjacent duplicates, and non-adjacent duplicates.
+func queryKeySet() []uint64 {
+	keys := make([]uint64, 0, 600)
+	for i := uint64(0); i < 1<<12; i += 17 {
+		keys = append(keys, i)
+	}
+	keys = append(keys, 0, 0, 17, 17) // adjacent duplicates
+	keys = append(keys, keys[:16]...) // non-adjacent duplicates
+	return keys
+}
+
+// TestCountSketchQueryColumnsMatchesScalar: the batched read twin —
+// QueryColumns answers must be bit-identical to per-key Query,
+// including duplicate keys, and must not perturb the sketch.
+func TestCountSketchQueryColumnsMatchesScalar(t *testing.T) {
+	s := columnarStream(11)
+	cs := NewCountSketch(rand.New(rand.NewSource(5)), 7, 96)
+	feedChunks(s, cs.UpdateBatch)
+	keys := queryKeySet()
+	out := make([]int64, len(keys))
+	b := core.GetBatch()
+	cs.QueryColumns(b, keys, out)
+	core.PutBatch(b)
+	for j, k := range keys {
+		if want := cs.Query(k); out[j] != want {
+			t.Fatalf("QueryColumns[%d] (key %d) = %d, Query = %d", j, k, out[j], want)
+		}
+	}
+}
+
+// TestCountMinQueryColumnsMatchesScalar: same contract for Count-Min's
+// min-of-rows batched read.
+func TestCountMinQueryColumnsMatchesScalar(t *testing.T) {
+	s := columnarStream(13)
+	cm := NewCountMin(rand.New(rand.NewSource(9)), 5, 128)
+	feedChunks(s, cm.UpdateBatch)
+	keys := queryKeySet()
+	out := make([]int64, len(keys))
+	b := core.GetBatch()
+	cm.QueryColumns(b, keys, out)
+	core.PutBatch(b)
+	for j, k := range keys {
+		if want := cm.Query(k); out[j] != want {
+			t.Fatalf("QueryColumns[%d] (key %d) = %d, Query = %d", j, k, out[j], want)
+		}
 	}
 }
 

@@ -111,6 +111,35 @@ func (cm *CountMin) Query(i uint64) int64 {
 	return best
 }
 
+// QueryColumns fills out[j] with Query(keys[j]) for every key: per row,
+// one batch hash evaluation fills the bucket column, then the gather
+// sweep folds that row's counters into the running min — all of a row's
+// reads happen while the row is cache-resident, and the whole index set
+// pays one hash pass per row instead of one per (key, row). Answers are
+// bit-identical to Query's; out must hold len(keys) entries.
+func (cm *CountMin) QueryColumns(b *core.Batch, keys []uint64, out []int64) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	if len(out) < n {
+		panic(fmt.Sprintf("sketch: QueryColumns output holds %d entries, need %d", len(out), n))
+	}
+	buckets := b.Col64(n)
+	for j := range out[:n] {
+		out[j] = int64(1)<<62 - 1
+	}
+	for r := 0; r < cm.rows; r++ {
+		cm.hs[r].RangeBatch(keys, cm.cols, buckets)
+		row := cm.table[r]
+		for j, c := range buckets[:n] {
+			if v := row[c]; v < out[j] {
+				out[j] = v
+			}
+		}
+	}
+}
+
 // QueryMedian returns the median-of-rows estimate (Count-Median), usable
 // on general turnstile streams.
 func (cm *CountMin) QueryMedian(i uint64) int64 {

@@ -46,6 +46,7 @@ type CountSketch struct {
 	resid   []float64 // scratch for RowResidualL2
 	upCols  []uint64  // scratch for Update's row sweep
 	upSigns []int64
+	qBatch  []int64 // scratch for QueryColumns' row-major gather
 }
 
 // NewCountSketch allocates a rows x cols Count-Sketch with fresh 4-wise
@@ -151,6 +152,45 @@ func (cs *CountSketch) Query(i uint64) int64 {
 		cs.qInt[r] = cs.RowEstimate(r, i)
 	}
 	return order.MedianInt64(cs.qInt)
+}
+
+// QueryColumns fills out[j] with Query(keys[j]) for every key — the
+// batched read twin of UpdateColumns: ONE batch hash evaluation fills
+// every row's bucket/sign columns into b's reusable scratch, the gather
+// stage sweeps the table one row at a time (all of a row's reads happen
+// while that row is cache-resident), and the medians select per key
+// over the gathered row-major estimate matrix. Answers are
+// bit-identical to Query's; out must hold len(keys) entries.
+func (cs *CountSketch) QueryColumns(b *core.Batch, keys []uint64, out []int64) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	if len(out) < n {
+		panic(fmt.Sprintf("sketch: QueryColumns output holds %d entries, need %d", len(out), n))
+	}
+	cols := b.Cols32(cs.rows * n)
+	signs := b.Signs8(cs.rows * n)
+	cs.buckets.BucketSignsBatch(keys, cols, signs)
+	if cap(cs.qBatch) < cs.rows*n {
+		cs.qBatch = make([]int64, cs.rows*n)
+	}
+	est := cs.qBatch[:cs.rows*n]
+	for r := 0; r < cs.rows; r++ {
+		row := cs.table[r]
+		rc := cols[r*n : r*n+n : r*n+n]
+		rs := signs[r*n : r*n+n : r*n+n]
+		re := est[r*n : r*n+n : r*n+n]
+		for j := range rc {
+			re[j] = int64(rs[j]) * row[rc[j]]
+		}
+	}
+	for j := 0; j < n; j++ {
+		for r := 0; r < cs.rows; r++ {
+			cs.qInt[r] = est[r*n+j]
+		}
+		out[j] = order.MedianInt64(cs.qInt)
+	}
 }
 
 // RowL2 returns the L2 norm of row r, a (1 +- O(1/sqrt(cols))) estimate

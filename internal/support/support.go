@@ -244,6 +244,38 @@ func (sp *Sampler) Recover() []uint64 {
 	return out
 }
 
+// Contains reports whether i belongs to the sampler's recovered
+// support — the membership probe behind the public Prober capability,
+// answered without materializing the whole support set. Only the
+// levels that actually sample i (h(i) < 2^j) are decoded, sparsest
+// first with an early exit, and the answer equals i's membership in
+// Recover()'s union: a level below i's minimum never received i, so
+// skipping it cannot change the verdict.
+func (sp *Sampler) Contains(i uint64) bool {
+	hv := sp.h.Range(i, sp.params.N)
+	minLevel := 0
+	if hv > 0 {
+		minLevel = nt.Log2Floor(hv) + 1
+	}
+	order := make([]int, 0, len(sp.levels))
+	for j := range sp.levels {
+		if j >= minLevel {
+			order = append(order, j)
+		}
+	}
+	sort.Ints(order)
+	for _, j := range order {
+		vec, err := sp.levels[j].sketch.Decode()
+		if err != nil {
+			continue // DENSE level; sparser evidence may still exist
+		}
+		if vec[i] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Merge folds another support sampler built from the same seed into
 // this one: the rough-F0 tracker merges, levels maintained by both add
 // their (linear) sparse-recovery sketches cell-wise, levels maintained

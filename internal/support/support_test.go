@@ -212,3 +212,40 @@ func BenchmarkRecover(b *testing.B) {
 		sp.Recover()
 	}
 }
+
+// TestContainsMatchesRecover: the membership probe must agree with
+// Recover's union on every recovered coordinate, and with the decoded
+// evidence on arbitrary probes (in and out of the true support).
+func TestContainsMatchesRecover(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	s, v := strictStream(rng, 1<<14, 120, 4)
+	sp := NewSampler(rand.New(rand.NewSource(52)), Params{
+		N: 1 << 14, K: 16, Windowed: true, Window: RecommendedWindow(4),
+	})
+	for _, u := range s.Updates {
+		sp.Update(u.Index, u.Delta)
+	}
+	recovered := make(map[uint64]bool)
+	for _, i := range sp.Recover() {
+		recovered[i] = true
+	}
+	if len(recovered) == 0 {
+		t.Fatal("Recover returned nothing; probe test needs evidence")
+	}
+	for i := range recovered {
+		if !sp.Contains(i) {
+			t.Fatalf("Contains(%d) = false for a recovered coordinate", i)
+		}
+	}
+	// Arbitrary probes: Contains must equal membership in Recover's
+	// union, and a positive verdict must name a true support member.
+	for i := uint64(0); i < 1<<14; i += 257 {
+		got := sp.Contains(i)
+		if got != recovered[i] {
+			t.Fatalf("Contains(%d) = %v, Recover membership = %v", i, got, recovered[i])
+		}
+		if got && v[i] == 0 {
+			t.Fatalf("Contains(%d) = true outside the true support", i)
+		}
+	}
+}

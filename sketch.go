@@ -86,6 +86,14 @@ const (
 	KindSyncSketch
 )
 
+// valid reports whether k names a known structure — the single home of
+// the wire-kind range check (parseEnvelope, SketchKind, and any future
+// kind-dispatching reader share it, so adding a ninth structure means
+// updating exactly one bound).
+func (k Kind) valid() bool {
+	return k >= KindHeavyHitters && k <= KindSyncSketch
+}
+
 // String names the kind for diagnostics.
 func (k Kind) String() string {
 	switch k {
@@ -181,7 +189,7 @@ func parseEnvelope(data []byte, wantKind Kind) (*envelope, error) {
 	if err := rd.Done(); err != nil {
 		return nil, err
 	}
-	if e.kind < KindHeavyHitters || e.kind > KindSyncSketch {
+	if !e.kind.valid() {
 		return nil, fmt.Errorf("bounded: unknown sketch kind %d", uint8(e.kind))
 	}
 	if wantKind != 0 && e.kind != wantKind {
@@ -204,7 +212,7 @@ func SketchKind(data []byte) (Kind, error) {
 	if err := rd.Err(); err != nil {
 		return 0, err
 	}
-	if k < KindHeavyHitters || k > KindSyncSketch {
+	if !k.valid() {
 		return 0, fmt.Errorf("bounded: unknown sketch kind %d", uint8(k))
 	}
 	return k, nil
