@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/cauchy"
+	"repro/internal/core"
 	"repro/internal/heavy"
 	"repro/internal/inner"
 	"repro/internal/l0"
@@ -417,6 +418,32 @@ func (s *SupportSampler) Members() []uint64 {
 func (s *SupportSampler) Contains(i uint64) bool {
 	queryGuard(s != nil && s.impl != nil, KindSupportSampler, "Contains")
 	return s.impl.Contains(i)
+}
+
+// ProbeBatch returns Contains for every index, in input order — the
+// BatchProber capability. One batch hash evaluation assigns every
+// index its sampling level and each live level sketch decodes at most
+// once per batch (the dominant probe cost), instead of once per index;
+// verdicts are identical to per-index Contains calls.
+func (s *SupportSampler) ProbeBatch(idxs []uint64) []bool {
+	queryGuard(s != nil && s.impl != nil, KindSupportSampler, "ProbeBatch")
+	out := make([]bool, len(idxs))
+	if len(idxs) == 0 {
+		return out
+	}
+	b := core.GetBatch()
+	s.impl.ProbeBatch(b, idxs, out)
+	core.PutBatch(b)
+	return out
+}
+
+// ProbeColumns fills out[j] with Contains(b.Idx[j]), reusing b's
+// hash-column scratch — the allocation-conscious form of ProbeBatch
+// for callers that plan one Batch and probe repeatedly. out must hold
+// b.Len() entries.
+func (s *SupportSampler) ProbeColumns(b *Batch, out []bool) {
+	queryGuard(s != nil && s.impl != nil, KindSupportSampler, "ProbeColumns")
+	s.impl.ProbeBatch(b, b.Idx, out)
 }
 
 // SpaceBits reports the structure's space.

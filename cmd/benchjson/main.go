@@ -24,9 +24,26 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+
+	"repro/internal/hash"
 )
+
+// goamd64 reports the amd64 microarchitecture level this binary was
+// built for — GOAMD64 if set, else the v1 floor — and nothing on other
+// architectures. The benchmarked test binaries are built with the same
+// toolchain defaults, so the level applies to the numbers too.
+func goamd64() string {
+	if runtime.GOARCH != "amd64" {
+		return ""
+	}
+	if v := os.Getenv("GOAMD64"); v != "" {
+		return v
+	}
+	return "v1"
+}
 
 // Benchmark is one parsed benchmark result.
 type Benchmark struct {
@@ -37,11 +54,23 @@ type Benchmark struct {
 
 // Report is the document benchjson emits.
 type Report struct {
-	Note       string      `json:"note"`
-	GoOS       string      `json:"goos,omitempty"`
-	GoArch     string      `json:"goarch,omitempty"`
-	Package    string      `json:"pkg,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Note string `json:"note"`
+	GoOS string `json:"goos,omitempty"`
+	// GoArch is the compile-time architecture; GoAMD64 the amd64
+	// microarchitecture level the binary was built for (GOAMD64, v1
+	// when unset) — kernel numbers are only comparable at the same
+	// level.
+	GoArch  string `json:"goarch,omitempty"`
+	GoAMD64 string `json:"goamd64,omitempty"`
+	// CPUFeatures and Kernels record what THIS host dispatched:
+	// the detected feature set ("avx2", empty when the scalar path
+	// ran) and every kernel table the build could select. Benchmarks
+	// parameterized by kernel= sub-names carry the per-table numbers;
+	// these fields say which table un-parameterized numbers used.
+	CPUFeatures string      `json:"cpu_features,omitempty"`
+	Kernels     []string    `json:"kernels,omitempty"`
+	Package     string      `json:"pkg,omitempty"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
 }
 
 func main() {
@@ -65,6 +94,9 @@ func main() {
 		fatal(err)
 	}
 	report.Note = *note
+	report.GoAMD64 = goamd64()
+	report.CPUFeatures = hash.CPUFeatures()
+	report.Kernels = hash.AvailableKernels()
 
 	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -142,6 +142,26 @@
 // -benchmem | go run ./cmd/benchjson`); CI re-emits it on every push so
 // future PRs can diff their perf trajectory.
 //
+// Beneath the batch evaluators sits a dispatchable kernel layer
+// (internal/hash): the inner loops — Horner chains over 2^61 - 1,
+// bucket+sign extraction, row gathers, column medians — route through
+// a table chosen once at init. On amd64 CPUs with AVX2 the table
+// points at hand-written 4-lane assembly (VPMULUDQ 32-bit-halves
+// decomposition of the Mersenne-61 multiply); everywhere else, and
+// under the purego build tag (`go test -tags purego ./...`), it
+// points at the scalar loops. The two paths are bit-identical —
+// asserted per kernel by differential and fuzz tests and per
+// structure by whole-state wire comparisons — so sketches hashed on
+// different hosts still merge exactly. Columns shorter than 512 keys
+// route to the scalar loops even on AVX2 hosts: the vector entry
+// points pay a per-call vector-unit power-up (~1.5us on the reference
+// Xeon) that only amortizes on long columns. Same-run ratios on the
+// BENCH_5.json reference host: 1.85x on BucketSignsBatch at 1024
+// keys (2.35x at 4096), 7.9x on MedianOf7Cols, 1.9x on row gathers.
+// GOAMD64 does not change dispatch (detection is runtime CPUID), and
+// single-CPU hosts see the full win — the kernels vectorize within
+// one core, not across cores.
+//
 // # Batched ingest: the plan → hash → apply columnar pipeline
 //
 // Every structure accepts a batch of updates in one call — the

@@ -210,6 +210,82 @@ func TestEngineProbeSupportRouted(t *testing.T) {
 	}
 }
 
+// TestEngineProbeBatchMatchesScalar is the batched prober's
+// acceptance differential: ProbeBatch must return exactly the
+// per-index Probe verdicts at 1/2/4 shards — duplicate-laden and
+// never-updated indices included — without building a snapshot, and
+// must keep matching after Restore flips both paths to the merged
+// view.
+func TestEngineProbeBatchMatchesScalar(t *testing.T) {
+	s, _ := fig1Stream(37)
+	for _, shards := range []int{1, 2, 4} {
+		e, err := New(testCfg, Options{
+			Shards: shards, BatchSize: 512,
+			Structures: HeavyHitters | SupportSampler, SupportK: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < len(s.Updates); off += 777 {
+			end := off + 777
+			if end > len(s.Updates) {
+				end = len(s.Updates)
+			}
+			if err := e.Ingest(s.Updates[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sup, err := e.Support()
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxs := append([]uint64(nil), sup...)
+		for i := uint64(0); i < 48; i++ {
+			idxs = append(idxs, (i*2654435761)%(1<<16))
+		}
+		idxs = append(idxs, idxs[0], idxs[0]) // adjacent duplicates
+		check := func(point string) {
+			t.Helper()
+			got, err := e.ProbeBatch(idxs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(idxs) {
+				t.Fatalf("shards=%d %s: %d verdicts for %d indices", shards, point, len(got), len(idxs))
+			}
+			for j, i := range idxs {
+				want, err := e.Probe(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[j] != want {
+					t.Fatalf("shards=%d %s: ProbeBatch[%d] (index %d) = %v, scalar Probe = %v",
+						shards, point, j, i, got[j], want)
+				}
+			}
+		}
+		check("routed")
+		if n := e.SnapshotBuilds(); n != 0 {
+			t.Fatalf("shards=%d: routed ProbeBatch built %d snapshots, want 0", shards, n)
+		}
+		// Restore flips both Probe and ProbeBatch to the merged view;
+		// the differential must keep holding there.
+		other := must(bounded.NewSupportSampler(testCfg, bounded.WithK(16)))
+		other.Update(99991%(1<<16), 5)
+		wire, err := other.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Restore(wire); err != nil {
+			t.Fatal(err)
+		}
+		check("post-Restore")
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestEngineBatchQueryNotEnabled: the routed batch queries report
 // ErrNotEnabled for structures the engine does not maintain.
 func TestEngineBatchQueryNotEnabled(t *testing.T) {
@@ -223,6 +299,9 @@ func TestEngineBatchQueryNotEnabled(t *testing.T) {
 	}
 	if _, err := e.Probe(1); !errors.Is(err, ErrNotEnabled) {
 		t.Errorf("Probe without SupportSampler: %v, want ErrNotEnabled", err)
+	}
+	if _, err := e.ProbeBatch([]uint64{1, 2}); !errors.Is(err, ErrNotEnabled) {
+		t.Errorf("ProbeBatch without SupportSampler: %v, want ErrNotEnabled", err)
 	}
 	if _, err := e.Support(); !errors.Is(err, ErrNotEnabled) {
 		t.Errorf("Support without SupportSampler: %v, want ErrNotEnabled", err)

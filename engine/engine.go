@@ -750,6 +750,12 @@ func (e *Engine) estimateView(i uint64) (float64, error) {
 	return out, err
 }
 
+// estimateBatchCutover is the batch size at or below which
+// EstimateBatch answers through per-index routed queries instead of
+// the planned fan-out: the measured crossover where batch planning
+// overhead stops paying for itself.
+const estimateBatchCutover = 16
+
 // EstimateBatch returns the heavy-hitters point estimate of every
 // index in idxs, in input order — the batched, snapshot-free form of
 // Estimate and the read-side mirror of Ingest's columnar plan: ONE
@@ -776,6 +782,23 @@ func (e *Engine) EstimateBatch(idxs []uint64) ([]float64, error) {
 	}
 	if e.opt.Structures&HeavyHitters == 0 {
 		return nil, fmt.Errorf("EstimateBatch: %w", ErrNotEnabled)
+	}
+	// Small batches route through the scalar path: below the cutover
+	// the plan (shard hash, scatter, per-shard goroutine crossing and
+	// barrier) costs more than per-index owning-shard queries, so the
+	// batched entry point would be SLOWER than a caller's own Estimate
+	// loop — measured at the crossover on the regression benchmark's
+	// size=16 case. Answers are identical either way; Estimate handles
+	// the post-Restore fallback itself.
+	if len(idxs) <= estimateBatchCutover {
+		for j, i := range idxs {
+			v, err := e.Estimate(i)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = v
+		}
+		return out, nil
 	}
 	if e.restored.Load() {
 		return e.estimateBatchView(idxs, out)
@@ -890,6 +913,89 @@ func (e *Engine) probeView(i uint64) (bool, error) {
 		return nil
 	})
 	return out, err
+}
+
+// ProbeBatch reports, for every index in idxs in input order, whether
+// it belongs to the stream's support — the batched, snapshot-free form
+// of Probe and the membership twin of EstimateBatch: ONE batch hash
+// evaluation computes every index's owning shard, the index set
+// scatters by column into per-shard key lists, each involved shard
+// answers its whole column inside its own goroutine with the sampler's
+// batched prober (one hash pass over the column, at most one decode
+// per live recovery level), and the verdicts reassemble into input
+// positions. Like Probe it pays no flush barrier and builds no merged
+// view; unlike N scalar calls it crosses into each involved shard once
+// per batch and decodes each shard's level sketches once instead of
+// once per index. Verdicts are identical to calling Probe once per
+// index. After Restore the owning-shard invariant is gone and
+// ProbeBatch answers from the merged view, like Probe.
+func (e *Engine) ProbeBatch(idxs []uint64) ([]bool, error) {
+	out := make([]bool, len(idxs))
+	if len(idxs) == 0 {
+		return out, nil
+	}
+	if e.opt.Structures&SupportSampler == 0 {
+		return nil, fmt.Errorf("ProbeBatch: %w", ErrNotEnabled)
+	}
+	if e.restored.Load() {
+		return e.probeBatchView(idxs, out)
+	}
+	if fallback, err := e.lockRouted(); err != nil {
+		return nil, err
+	} else if fallback {
+		return e.probeBatchView(idxs, out)
+	}
+	n := len(idxs)
+	if cap(e.planShards) < n {
+		e.planShards = make([]uint64, n)
+	}
+	shards := e.planShards[:n]
+	e.part.RangeBatch(idxs, uint64(e.opt.Shards), shards)
+	keysBy := make([][]uint64, e.opt.Shards)
+	posBy := make([][]int, e.opt.Shards)
+	for j, s := range shards {
+		keysBy[s] = append(keysBy[s], idxs[j])
+		posBy[s] = append(posBy[s], j)
+	}
+	full := e.swapPendingLocked(func(s int) bool { return len(keysBy[s]) > 0 })
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+	e.sendHandoffs(full)
+	var barriers []<-chan struct{}
+	for s := range keysBy {
+		if len(keysBy[s]) == 0 {
+			continue
+		}
+		keys, pos, set := keysBy[s], posBy[s], e.sets[s]
+		barriers = append(barriers, e.workers[s].DoAsync(func() {
+			verdicts := set.sup.ProbeBatch(keys)
+			for t, p := range pos {
+				out[p] = verdicts[t]
+			}
+		}))
+	}
+	for _, b := range barriers {
+		<-b
+	}
+	return out, nil
+}
+
+// probeBatchView answers a batched membership probe from the merged
+// view — the post-Restore fallback shared by ProbeBatch's two check
+// sites. out has len(idxs) entries and is returned on success.
+func (e *Engine) probeBatchView(idxs []uint64, out []bool) ([]bool, error) {
+	err := e.withView(func(v *structSet) error {
+		b := core.GetBatch()
+		b.LoadKeys(idxs)
+		v.sup.ProbeColumns(b, out)
+		core.PutBatch(b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // L1 returns the merged (1 +- eps) estimate of ||f||_1.

@@ -612,15 +612,22 @@ func (s *Sketch) QueryColumns(b *core.Batch, keys []uint64, est []float64) {
 			re[j] = float64(rs[j]) * float64(cl[0]-cl[1]) * s.estScale
 		}
 	}
-	for j := 0; j < n; j++ {
-		if s.rows == 5 {
+	switch s.rows {
+	case 5:
+		for j := 0; j < n; j++ {
 			est[j] = order.MedianOf5(rowEst[j], rowEst[n+j], rowEst[2*n+j], rowEst[3*n+j], rowEst[4*n+j])
-			continue
 		}
-		for r := 0; r < s.rows; r++ {
-			s.qest[r] = rowEst[r*n+j]
+	case 7:
+		// The strict-turnstile depth: a columnar median kernel selects
+		// all n medians over the row-major estimate matrix at once.
+		hash.MedianOf7Columns(rowEst, est[:n])
+	default:
+		for j := 0; j < n; j++ {
+			for r := 0; r < s.rows; r++ {
+				s.qest[r] = rowEst[r*n+j]
+			}
+			est[j] = order.MedianFloat64(s.qest)
 		}
-		est[j] = order.MedianFloat64(s.qest)
 	}
 }
 

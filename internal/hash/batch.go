@@ -4,18 +4,16 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-
-	"repro/internal/nt"
 )
 
 // Batch evaluators — the "hash" stage of the columnar plan → hash →
 // apply ingest pipeline. Each fills a contiguous output column for a
-// whole batch of keys in one straight-line loop per row: the row's
-// polynomial coefficients stay in registers, the loop body is pure
-// multiply-add with sequential stores (auto-vectorizable shape, no
-// per-item function-call overhead), and the results are bit-identical
-// to the scalar accessors they batch (BucketSign, Range, Field) — the
-// property the columnar differential tests assert.
+// whole batch of keys in one straight-line sweep per row, and the
+// results are bit-identical to the scalar accessors they batch
+// (BucketSign, Range, Field) — the property the columnar differential
+// tests assert. The sweeps themselves are kernels (kernel.go): one
+// init-time dispatch decides whether a row runs the portable scalar
+// loop or its 4-lane AVX2 twin, and both produce identical columns.
 
 // BucketSignsBatch fills, for every row r and key j, the Count-Sketch
 // bucket cols[r*len(keys)+j] and ±1 sign signs[r*len(keys)+j] — the
@@ -34,57 +32,26 @@ func (b *Buckets) BucketSignsBatch(keys []uint64, cols []uint32, signs []int8) {
 	}
 	r := b.Cols
 	flat := b.flat
+	kern := active.bucketSignsRow
 	for i := 0; i < b.Rows; i++ {
 		c := flat[4*i : 4*i+4 : 4*i+4]
-		c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
-		rowCols := cols[i*n : i*n+n : i*n+n]
-		rowSigns := signs[i*n : i*n+n : i*n+n]
-		for j, x := range keys {
-			// Streams are bursty: an index often repeats back-to-back
-			// (the same flow, the same sensor). The polynomial is a pure
-			// function of the key, so an adjacent duplicate reuses the
-			// previous lane — the batched form of the scalar path's
-			// last-key memo.
-			if j > 0 && x == keys[j-1] {
-				rowCols[j] = rowCols[j-1]
-				rowSigns[j] = rowSigns[j-1]
-				continue
-			}
-			xr := x % nt.MersennePrime61
-			acc := nt.MulAddLazyMersenne61(c3, xr, c2)
-			acc = nt.MulAddLazyMersenne61(acc, xr, c1)
-			acc = nt.MulAddLazyMersenne61(acc, xr, c0)
-			v := nt.ReduceLazyMersenne61(acc)
-			hi, _ := bits.Mul64((v>>1)<<4, r)
-			rowCols[j] = uint32(hi)
-			rowSigns[j] = 1 - int8(v&1)<<1
-		}
+		kern(c[0], c[1], c[2], c[3], r, keys, cols[i*n:i*n+n:i*n+n], signs[i*n:i*n+n:i*n+n])
 	}
 }
 
 // FieldBatch fills out[j] with the polynomial evaluation at keys[j],
 // bit-identical to Field. out must hold len(keys) entries. The k = 2
-// and k = 4 cases run with coefficients in registers; other degrees
-// fall back to the scalar evaluator per key.
+// and k = 4 cases run as kernels with coefficients in registers; other
+// degrees fall back to the scalar evaluator per key.
 func (h *KWise) FieldBatch(keys []uint64, out []uint64) {
 	if len(out) < len(keys) {
 		panic(fmt.Sprintf("hash: FieldBatch output holds %d entries, need %d", len(out), len(keys)))
 	}
 	switch len(h.coeffs) {
 	case 2:
-		c0, c1 := h.coeffs[0], h.coeffs[1]
-		for j, x := range keys {
-			out[j] = nt.MulAddModMersenne61(c1, x%nt.MersennePrime61, c0)
-		}
+		active.fieldK2(h.coeffs[0], h.coeffs[1], keys, out)
 	case 4:
-		c0, c1, c2, c3 := h.coeffs[0], h.coeffs[1], h.coeffs[2], h.coeffs[3]
-		for j, x := range keys {
-			xr := x % nt.MersennePrime61
-			acc := nt.MulAddLazyMersenne61(c3, xr, c2)
-			acc = nt.MulAddLazyMersenne61(acc, xr, c1)
-			acc = nt.MulAddLazyMersenne61(acc, xr, c0)
-			out[j] = nt.ReduceLazyMersenne61(acc)
-		}
+		active.fieldK4(h.coeffs[0], h.coeffs[1], h.coeffs[2], h.coeffs[3], keys, out)
 	default:
 		for j, x := range keys {
 			out[j] = h.Field(x)
@@ -105,16 +72,7 @@ func (h *KWise) RangeBatch(keys []uint64, r uint64, out []uint64) {
 	}
 	switch len(h.coeffs) {
 	case 2:
-		c0, c1 := h.coeffs[0], h.coeffs[1]
-		for j, x := range keys {
-			if j > 0 && x == keys[j-1] { // adjacent duplicate: reuse the lane
-				out[j] = out[j-1]
-				continue
-			}
-			v := nt.MulAddModMersenne61(c1, x%nt.MersennePrime61, c0)
-			hi, _ := bits.Mul64(v<<3, r)
-			out[j] = hi
-		}
+		active.rangeK2(h.coeffs[0], h.coeffs[1], r, keys, out)
 	default:
 		h.FieldBatch(keys, out)
 		for j, v := range out[:len(keys)] {

@@ -1,0 +1,232 @@
+package hash
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/nt"
+	"repro/internal/order"
+)
+
+// Kernel layer — the dispatchable inner loops behind every batch
+// evaluator. The columnar pipeline reduced each hot path to a handful
+// of straight-line sweeps (a Horner chain per row, a bucket+sign
+// extraction, a row gather, a median column); this file names those
+// sweeps as kernels and routes them through a table chosen ONCE at
+// package init:
+//
+//   - on amd64 with AVX2 (and without the purego build tag) the table
+//     points at hand-written 4-lane assembly (kernels_amd64.s) that
+//     computes the same Mersenne-61 arithmetic via the VPMULUDQ
+//     32-bit-halves decomposition (nt.MulAddLazyMersenne61Halves is
+//     the scalar oracle of that math);
+//   - everywhere else the table points at the scalar loops below,
+//     which are the pre-kernel code moved verbatim.
+//
+// Every kernel is bit-identical across tables: lazy Mersenne
+// representatives may differ mid-chain, but each chain ends in the
+// same canonical reduction, and canonical values are unique per
+// residue. The differential and fuzz tests in kernel_test.go assert
+// exactly that, per kernel and per structure.
+//
+// The kernel layer lives in package hash because every consumer
+// (sketch, csss, the engine) already imports hash for the batch
+// evaluators the kernels back; the gather and median kernels are
+// exported directly (GatherSignInt64, MedianOf7Columns) for the table
+// sweeps in internal/sketch and internal/csss.
+
+// kernelTable bundles the batch-evaluator inner loops the public batch
+// methods dispatch through.
+type kernelTable struct {
+	name string
+	// bucketSignsRow fills one Count-Sketch row's bucket and sign
+	// columns for a whole key column (coefficients c0..c3, row width r).
+	bucketSignsRow func(c0, c1, c2, c3, r uint64, keys []uint64, cols []uint32, signs []int8)
+	// fieldK2 / fieldK4 evaluate a degree-1 / degree-3 polynomial over
+	// F_{2^61-1} at every key, writing canonical field values.
+	fieldK2 func(c0, c1 uint64, keys []uint64, out []uint64)
+	fieldK4 func(c0, c1, c2, c3 uint64, keys []uint64, out []uint64)
+	// rangeK2 is fieldK2 fused with the Lemire fast-range reduction
+	// onto [0, r) — r may be universe-sized (up to 2^64), so the
+	// reduction is a full 64x64 high multiply.
+	rangeK2 func(c0, c1, r uint64, keys []uint64, out []uint64)
+	// gatherSignInt64 fills out[j] = signs[j] * row[idx[j]] — the
+	// Count-Sketch row gather.
+	gatherSignInt64 func(row []int64, idx []uint32, signs []int8, out []int64)
+	// medianOf7Cols fills out[j] with the median of the j-th column of
+	// a 7 x len(out) row-major estimate matrix.
+	medianOf7Cols func(est []float64, out []float64)
+}
+
+var scalarTable = kernelTable{
+	name:            "scalar",
+	bucketSignsRow:  bucketSignsRowScalar,
+	fieldK2:         fieldK2Scalar,
+	fieldK4:         fieldK4Scalar,
+	rangeK2:         rangeK2Scalar,
+	gatherSignInt64: gatherSignInt64Scalar,
+	medianOf7Cols:   medianOf7ColsScalar,
+}
+
+// vectorMinLen is the column length below which vector kernel tables
+// route a call to the scalar twins instead of the assembly bodies.
+// The vector entry points carry a per-call fixed cost (vector-unit
+// power-up after VZEROUPPER — measured ~1.5µs and flat across
+// n=16..64 on the reference Xeon) that only amortizes on long
+// columns: interleaved A/B sweeps put the raw crossover between 128
+// and 256 keys on distinct-key columns. The cutover sits at 512, one
+// power of two higher, because real ingest columns are not
+// distinct-key: the scalar row kernel memoizes adjacent duplicates
+// (15-20% of keys on Zipf streams), which shifts the break-even up.
+// Declared here, not in the amd64 file, so portable tests can size
+// their columns to cover both sides of the cutover.
+const vectorMinLen = 512
+
+// tables registers every kernel table the build supports; the amd64
+// init adds "avx2" when the CPU does.
+var tables = map[string]*kernelTable{"scalar": &scalarTable}
+
+// active is the table every batch evaluator routes through, chosen
+// once at init. SetKernel (tests, benchmarks) is the only mutator and
+// is not synchronized: switch kernels only while no sketch is in use.
+var active = &scalarTable
+
+// KernelName reports the kernel table batch evaluators currently use
+// ("avx2" on a supporting CPU, "scalar" otherwise or under purego).
+func KernelName() string { return active.name }
+
+// AvailableKernels lists the kernel tables this build can dispatch to,
+// sorted by name.
+func AvailableKernels() []string {
+	names := make([]string, 0, len(tables))
+	for name := range tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetKernel switches the active kernel table — a test and benchmark
+// hook for forcing the scalar path on hardware that would dispatch to
+// vector kernels. Not synchronized; do not call concurrently with
+// sketch use.
+func SetKernel(name string) error {
+	t, ok := tables[name]
+	if !ok {
+		return fmt.Errorf("hash: unknown kernel %q (available: %v)", name, AvailableKernels())
+	}
+	active = t
+	return nil
+}
+
+// cpuFeatures summarizes the detected CPU features relevant to kernel
+// dispatch; set by the amd64 init, empty elsewhere.
+var cpuFeatures = ""
+
+// CPUFeatures reports the detected dispatch-relevant CPU features
+// ("avx2"), or the empty string when none were found (or the build
+// cannot use them: purego, non-amd64). Bench tooling records this next
+// to its numbers.
+func CPUFeatures() string { return cpuFeatures }
+
+// GatherSignInt64 fills out[j] = int64(signs[j]) * row[idx[j]] for
+// every j — the row gather of the Count-Sketch batched query sweep.
+// signs entries must be ±1 and idx entries must be valid row indices
+// (the vector path gathers without bounds checks); both slices must
+// hold len(out) entries.
+func GatherSignInt64(row []int64, idx []uint32, signs []int8, out []int64) {
+	if len(idx) < len(out) || len(signs) < len(out) {
+		panic(fmt.Sprintf("hash: GatherSignInt64 columns hold %d/%d entries, need %d", len(idx), len(signs), len(out)))
+	}
+	active.gatherSignInt64(row, idx, signs, out)
+}
+
+// MedianOf7Columns fills out[j] with the median of column j of the
+// 7 x len(out) row-major estimate matrix est (row r at
+// est[r*len(out):(r+1)*len(out)]) — the selection stage of a
+// seven-row sketch's batched query, bit-identical to running
+// order.MedianOf7 per column on every input free of NaNs and signed
+// zeros (the estimate sweeps produce neither).
+func MedianOf7Columns(est []float64, out []float64) {
+	if len(est) < 7*len(out) {
+		panic(fmt.Sprintf("hash: MedianOf7Columns matrix holds %d entries, need %d", len(est), 7*len(out)))
+	}
+	active.medianOf7Cols(est, out)
+}
+
+// --- scalar kernels -------------------------------------------------
+//
+// These loops are the pre-kernel batch evaluator bodies, moved here
+// verbatim: they are both the portable fallback and the oracle the
+// vector kernels are differentially tested against.
+
+func bucketSignsRowScalar(c0, c1, c2, c3, r uint64, keys []uint64, rowCols []uint32, rowSigns []int8) {
+	for j, x := range keys {
+		// Streams are bursty: an index often repeats back-to-back
+		// (the same flow, the same sensor). The polynomial is a pure
+		// function of the key, so an adjacent duplicate reuses the
+		// previous lane — the batched form of the scalar path's
+		// last-key memo.
+		if j > 0 && x == keys[j-1] {
+			rowCols[j] = rowCols[j-1]
+			rowSigns[j] = rowSigns[j-1]
+			continue
+		}
+		xr := x % nt.MersennePrime61
+		acc := nt.MulAddLazyMersenne61(c3, xr, c2)
+		acc = nt.MulAddLazyMersenne61(acc, xr, c1)
+		acc = nt.MulAddLazyMersenne61(acc, xr, c0)
+		v := nt.ReduceLazyMersenne61(acc)
+		hi, _ := bits.Mul64((v>>1)<<4, r)
+		rowCols[j] = uint32(hi)
+		rowSigns[j] = 1 - int8(v&1)<<1
+	}
+}
+
+func fieldK2Scalar(c0, c1 uint64, keys []uint64, out []uint64) {
+	for j, x := range keys {
+		out[j] = nt.MulAddModMersenne61(c1, x%nt.MersennePrime61, c0)
+	}
+}
+
+func fieldK4Scalar(c0, c1, c2, c3 uint64, keys []uint64, out []uint64) {
+	for j, x := range keys {
+		xr := x % nt.MersennePrime61
+		acc := nt.MulAddLazyMersenne61(c3, xr, c2)
+		acc = nt.MulAddLazyMersenne61(acc, xr, c1)
+		acc = nt.MulAddLazyMersenne61(acc, xr, c0)
+		out[j] = nt.ReduceLazyMersenne61(acc)
+	}
+}
+
+func rangeK2Scalar(c0, c1, r uint64, keys []uint64, out []uint64) {
+	for j, x := range keys {
+		if j > 0 && x == keys[j-1] { // adjacent duplicate: reuse the lane
+			out[j] = out[j-1]
+			continue
+		}
+		v := nt.MulAddModMersenne61(c1, x%nt.MersennePrime61, c0)
+		hi, _ := bits.Mul64(v<<3, r)
+		out[j] = hi
+	}
+}
+
+func gatherSignInt64Scalar(row []int64, idx []uint32, signs []int8, out []int64) {
+	for j := range out {
+		out[j] = int64(signs[j]) * row[idx[j]]
+	}
+}
+
+func medianOf7ColsScalar(est []float64, out []float64) {
+	n := len(out)
+	for j := 0; j < n; j++ {
+		out[j] = medianOf7At(est, n, j)
+	}
+}
+
+// medianOf7At selects the median of column j of a 7 x n row-major
+// matrix — shared by the scalar kernel and the vector kernel's tail.
+func medianOf7At(est []float64, n, j int) float64 {
+	return order.MedianOf7(est[j], est[n+j], est[2*n+j], est[3*n+j], est[4*n+j], est[5*n+j], est[6*n+j])
+}

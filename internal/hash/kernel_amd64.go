@@ -1,0 +1,149 @@
+//go:build amd64 && !purego
+
+package hash
+
+// AVX2 kernel dispatch. Feature detection is hand-rolled CPUID (this
+// module has no dependencies): AVX2 requires the CPU flag itself plus
+// OSXSAVE/AVX and an OS that saves YMM state across context switches
+// (XGETBV). When any probe fails the package keeps the scalar table —
+// the same code the purego build tag and non-amd64 targets compile.
+//
+// Each vector kernel processes four keys per iteration and hands the
+// sub-4 remainder to its scalar twin, so odd batch lengths exercise
+// both paths; the kernels' math is documented at
+// nt.MulAddLazyMersenne61Halves (Horner steps), Reduce (fast range)
+// and order.MedianOf7 (the median network).
+
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX): the OS preserves XMM+YMM state.
+	if eax, _ := xgetbv(); eax&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+//go:noescape
+func bucketSignsRowAVX2(c0, c1, c2, c3, r uint64, keys []uint64, cols []uint32, signs []int8)
+
+//go:noescape
+func fieldK2AVX2(c0, c1 uint64, keys []uint64, out []uint64)
+
+//go:noescape
+func fieldK4AVX2(c0, c1, c2, c3 uint64, keys []uint64, out []uint64)
+
+//go:noescape
+func rangeK2AVX2(c0, c1, r uint64, keys []uint64, out []uint64)
+
+//go:noescape
+func gatherSignInt64AVX2(row []int64, idx []uint32, signs []int8, out []int64)
+
+//go:noescape
+func medianOf7ColsAVX2(est, out *float64, stride, count int)
+
+var avx2Table = kernelTable{
+	name: "avx2",
+	bucketSignsRow: func(c0, c1, c2, c3, r uint64, keys []uint64, cols []uint32, signs []int8) {
+		if len(keys) < vectorMinLen {
+			bucketSignsRowScalar(c0, c1, c2, c3, r, keys, cols, signs)
+			return
+		}
+		m := len(keys) &^ 3
+		if m > 0 {
+			bucketSignsRowAVX2(c0, c1, c2, c3, r, keys[:m], cols[:m], signs[:m])
+		}
+		if m < len(keys) {
+			bucketSignsRowScalar(c0, c1, c2, c3, r, keys[m:], cols[m:], signs[m:])
+		}
+	},
+	fieldK2: func(c0, c1 uint64, keys []uint64, out []uint64) {
+		if len(keys) < vectorMinLen {
+			fieldK2Scalar(c0, c1, keys, out)
+			return
+		}
+		m := len(keys) &^ 3
+		if m > 0 {
+			fieldK2AVX2(c0, c1, keys[:m], out[:m])
+		}
+		if m < len(keys) {
+			fieldK2Scalar(c0, c1, keys[m:], out[m:])
+		}
+	},
+	fieldK4: func(c0, c1, c2, c3 uint64, keys []uint64, out []uint64) {
+		if len(keys) < vectorMinLen {
+			fieldK4Scalar(c0, c1, c2, c3, keys, out)
+			return
+		}
+		m := len(keys) &^ 3
+		if m > 0 {
+			fieldK4AVX2(c0, c1, c2, c3, keys[:m], out[:m])
+		}
+		if m < len(keys) {
+			fieldK4Scalar(c0, c1, c2, c3, keys[m:], out[m:])
+		}
+	},
+	rangeK2: func(c0, c1, r uint64, keys []uint64, out []uint64) {
+		if len(keys) < vectorMinLen {
+			rangeK2Scalar(c0, c1, r, keys, out)
+			return
+		}
+		m := len(keys) &^ 3
+		if m > 0 {
+			rangeK2AVX2(c0, c1, r, keys[:m], out[:m])
+		}
+		if m < len(keys) {
+			rangeK2Scalar(c0, c1, r, keys[m:], out[m:])
+		}
+	},
+	gatherSignInt64: func(row []int64, idx []uint32, signs []int8, out []int64) {
+		if len(out) < vectorMinLen {
+			gatherSignInt64Scalar(row, idx, signs, out)
+			return
+		}
+		m := len(out) &^ 3
+		if m > 0 {
+			gatherSignInt64AVX2(row, idx[:m], signs[:m], out[:m])
+		}
+		if m < len(out) {
+			gatherSignInt64Scalar(row, idx[m:], signs[m:], out[m:])
+		}
+	},
+	medianOf7Cols: func(est []float64, out []float64) {
+		n := len(out)
+		if n < vectorMinLen {
+			medianOf7ColsScalar(est, out)
+			return
+		}
+		m := n &^ 3
+		if m > 0 {
+			medianOf7ColsAVX2(&est[0], &out[0], n, m)
+		}
+		for j := m; j < n; j++ {
+			out[j] = medianOf7At(est, n, j)
+		}
+	},
+}
+
+func init() {
+	if hasAVX2 {
+		cpuFeatures = "avx2"
+		tables["avx2"] = &avx2Table
+		active = &avx2Table
+	}
+}

@@ -1,0 +1,316 @@
+package hash
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/nt"
+)
+
+// kernelKeyCases returns key columns that stress every kernel path:
+// field-boundary values, lazy-reduction extremes, adjacent duplicates
+// (the scalar memo), and lengths on both sides of vectorMinLen — short
+// columns route to the scalar twins by the cutover, so only lengths
+// >= vectorMinLen (with every sub-4 tail residue) actually reach the
+// vector bodies.
+func kernelKeyCases(rng *rand.Rand) [][]uint64 {
+	const p = nt.MersennePrime61
+	adversarial := []uint64{
+		0, 1, 2, p - 1, p, p + 1, 1 << 61, (1 << 61) + 1,
+		1<<62 - 1, 1 << 62, 1<<32 - 1, 1 << 32, math.MaxUint64,
+		math.MaxUint64 - 1, p << 2, p<<2 + 3,
+	}
+	cases := [][]uint64{nil, adversarial}
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 63, 64, 65, 100, 257, 511, 512, 513, 514, 515, 700} {
+		keys := make([]uint64, n)
+		for j := range keys {
+			switch rng.Intn(4) {
+			case 0:
+				keys[j] = adversarial[rng.Intn(len(adversarial))]
+			case 1:
+				if j > 0 {
+					keys[j] = keys[j-1] // adjacent duplicate
+				} else {
+					keys[j] = rng.Uint64()
+				}
+			default:
+				keys[j] = rng.Uint64()
+			}
+		}
+		cases = append(cases, keys)
+	}
+	return cases
+}
+
+// vectorTables returns every registered non-scalar kernel table (empty
+// when the build or CPU has none — the test then passes vacuously,
+// and the scalar kernels are covered by the batch differential tests).
+func vectorTables() []*kernelTable {
+	var vts []*kernelTable
+	for _, t := range tables {
+		if t != &scalarTable {
+			vts = append(vts, t)
+		}
+	}
+	return vts
+}
+
+func TestKernelBucketSignsRowBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, vt := range vectorTables() {
+		for _, r := range []uint64{1, 2, 3, 6 * 1024, 1 << 20, 1<<32 - 1} {
+			for ci, keys := range kernelKeyCases(rng) {
+				c0, c1 := rng.Uint64()%nt.MersennePrime61, rng.Uint64()%nt.MersennePrime61
+				c2, c3 := rng.Uint64()%nt.MersennePrime61, rng.Uint64()%nt.MersennePrime61
+				n := len(keys)
+				wantCols, gotCols := make([]uint32, n), make([]uint32, n)
+				wantSigns, gotSigns := make([]int8, n), make([]int8, n)
+				scalarTable.bucketSignsRow(c0, c1, c2, c3, r, keys, wantCols, wantSigns)
+				vt.bucketSignsRow(c0, c1, c2, c3, r, keys, gotCols, gotSigns)
+				for j := range keys {
+					if gotCols[j] != wantCols[j] || gotSigns[j] != wantSigns[j] {
+						t.Fatalf("kernel %s r=%d case=%d key[%d]=%#x: got (%d,%d), want (%d,%d)",
+							vt.name, r, ci, j, keys[j], gotCols[j], gotSigns[j], wantCols[j], wantSigns[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKernelFieldBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, vt := range vectorTables() {
+		for ci, keys := range kernelKeyCases(rng) {
+			c0, c1 := rng.Uint64()%nt.MersennePrime61, rng.Uint64()%nt.MersennePrime61
+			c2, c3 := rng.Uint64()%nt.MersennePrime61, rng.Uint64()%nt.MersennePrime61
+			n := len(keys)
+			want, got := make([]uint64, n), make([]uint64, n)
+			scalarTable.fieldK2(c0, c1, keys, want)
+			vt.fieldK2(c0, c1, keys, got)
+			for j := range keys {
+				if got[j] != want[j] {
+					t.Fatalf("kernel %s fieldK2 case=%d key[%d]=%#x: got %d, want %d",
+						vt.name, ci, j, keys[j], got[j], want[j])
+				}
+			}
+			scalarTable.fieldK4(c0, c1, c2, c3, keys, want)
+			vt.fieldK4(c0, c1, c2, c3, keys, got)
+			for j := range keys {
+				if got[j] != want[j] {
+					t.Fatalf("kernel %s fieldK4 case=%d key[%d]=%#x: got %d, want %d",
+						vt.name, ci, j, keys[j], got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestKernelRangeK2BitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, vt := range vectorTables() {
+		for _, r := range []uint64{1, 2, 3, 1 << 16, 1<<32 - 1, 1 << 32, 1 << 60, math.MaxUint64} {
+			for ci, keys := range kernelKeyCases(rng) {
+				c0, c1 := rng.Uint64()%nt.MersennePrime61, rng.Uint64()%nt.MersennePrime61
+				n := len(keys)
+				want, got := make([]uint64, n), make([]uint64, n)
+				scalarTable.rangeK2(c0, c1, r, keys, want)
+				vt.rangeK2(c0, c1, r, keys, got)
+				for j := range keys {
+					if got[j] != want[j] {
+						t.Fatalf("kernel %s rangeK2 r=%d case=%d key[%d]=%#x: got %d, want %d",
+							vt.name, r, ci, j, keys[j], got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKernelGatherSignInt64BitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	row := make([]int64, 1024)
+	for i := range row {
+		switch i {
+		case 0:
+			row[i] = math.MaxInt64
+		case 1:
+			row[i] = math.MinInt64
+		default:
+			row[i] = rng.Int63() - rng.Int63()
+		}
+	}
+	for _, vt := range vectorTables() {
+		for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 16, 63, 64, 65, 257, 511, 512, 513, 514, 515, 700} {
+			idx := make([]uint32, n)
+			signs := make([]int8, n)
+			for j := range idx {
+				idx[j] = uint32(rng.Intn(len(row)))
+				signs[j] = 1 - int8(rng.Intn(2))<<1
+			}
+			want, got := make([]int64, n), make([]int64, n)
+			scalarTable.gatherSignInt64(row, idx, signs, want)
+			vt.gatherSignInt64(row, idx, signs, got)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("kernel %s gather n=%d j=%d idx=%d sign=%d: got %d, want %d",
+						vt.name, n, j, idx[j], signs[j], got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestKernelMedianOf7ColsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, vt := range vectorTables() {
+		for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 16, 63, 64, 65, 257, 511, 512, 513, 514, 515, 700} {
+			est := make([]float64, 7*n)
+			for i := range est {
+				switch rng.Intn(5) {
+				case 0:
+					est[i] = 0
+				case 1:
+					est[i] = float64(rng.Intn(4)) - 1.5
+				default:
+					est[i] = rng.NormFloat64() * 1e6
+				}
+			}
+			want, got := make([]float64, n), make([]float64, n)
+			scalarTable.medianOf7Cols(est, want)
+			vt.medianOf7Cols(est, got)
+			col := make([]float64, 7)
+			for j := 0; j < n; j++ {
+				if got[j] != want[j] {
+					t.Fatalf("kernel %s median n=%d col=%d: got %v, want %v", vt.name, n, j, got[j], want[j])
+				}
+				for r := 0; r < 7; r++ {
+					col[r] = est[r*n+j]
+				}
+				sort.Float64s(col)
+				if want[j] != col[3] {
+					t.Fatalf("scalar median n=%d col=%d: got %v, sorted median %v", n, j, want[j], col[3])
+				}
+			}
+		}
+	}
+}
+
+// TestKernelDispatchRegistry pins the dispatch plumbing: the scalar
+// table always exists, the active table is registered, and SetKernel
+// round-trips between every registered table and rejects unknowns.
+func TestKernelDispatchRegistry(t *testing.T) {
+	names := AvailableKernels()
+	if len(names) == 0 || names[0] != "scalar" && !contains(names, "scalar") {
+		t.Fatalf("AvailableKernels() = %v, want scalar present", names)
+	}
+	if !contains(names, KernelName()) {
+		t.Fatalf("active kernel %q not in %v", KernelName(), names)
+	}
+	prev := KernelName()
+	defer func() {
+		if err := SetKernel(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	for _, name := range names {
+		if err := SetKernel(name); err != nil {
+			t.Fatalf("SetKernel(%q): %v", name, err)
+		}
+		if KernelName() != name {
+			t.Fatalf("KernelName() = %q after SetKernel(%q)", KernelName(), name)
+		}
+	}
+	if err := SetKernel("no-such-kernel"); err == nil {
+		t.Fatal("SetKernel accepted an unknown kernel name")
+	}
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestKernelPublicAPIAcrossKernels runs the public batch evaluators
+// under every registered kernel against the per-key scalar accessors —
+// the k=8 generic path included, which must be untouched by dispatch.
+func TestKernelPublicAPIAcrossKernels(t *testing.T) {
+	prev := KernelName()
+	defer SetKernel(prev)
+	for _, name := range AvailableKernels() {
+		if err := SetKernel(name); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(29))
+		// 515 keys: past the vector cutover, with a sub-4 tail.
+		keys := make([]uint64, 515)
+		for j := range keys {
+			keys[j] = rng.Uint64()
+		}
+		for _, k := range []int{1, 2, 4, 8} {
+			h := NewKWise(rng, k)
+			out := make([]uint64, len(keys))
+			h.FieldBatch(keys, out)
+			for j, x := range keys {
+				if want := h.Field(x); out[j] != want {
+					t.Fatalf("kernel %s k=%d FieldBatch[%d]: got %d, want %d", name, k, j, out[j], want)
+				}
+			}
+			h.RangeBatch(keys, 1<<40, out)
+			for j, x := range keys {
+				if want := h.Range(x, 1<<40); out[j] != want {
+					t.Fatalf("kernel %s k=%d RangeBatch[%d]: got %d, want %d", name, k, j, out[j], want)
+				}
+			}
+		}
+		b := NewBuckets(rng, 7, 6*1024)
+		cols := make([]uint32, 7*len(keys))
+		signs := make([]int8, 7*len(keys))
+		b.BucketSignsBatch(keys, cols, signs)
+		for i := 0; i < 7; i++ {
+			for j, x := range keys {
+				wc, ws := b.BucketSign(i, x)
+				if uint64(cols[i*len(keys)+j]) != wc || int64(signs[i*len(keys)+j]) != ws {
+					t.Fatalf("kernel %s BucketSignsBatch row %d key %d mismatch", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestMulAddLazyHalvesOracle: the 32-bit-halves decomposition the
+// vector kernels implement must agree with the word-product lazy step
+// on every residue, across the full lazy input range.
+func TestMulAddLazyHalvesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const p = nt.MersennePrime61
+	check := func(a, x, c uint64) {
+		want := nt.ReduceLazyMersenne61(nt.MulAddLazyMersenne61(a, x, c))
+		got := nt.ReduceLazyMersenne61(nt.MulAddLazyMersenne61Halves(a, x, c))
+		if got != want {
+			t.Fatalf("halves(a=%#x, x=%#x, c=%#x) = %d, want %d", a, x, c, got, want)
+		}
+	}
+	edges := []uint64{0, 1, p - 1, p, p + 1, 1<<61 + 7, 1<<62 - 1}
+	for _, a := range edges {
+		for _, x := range edges {
+			if x >= 1<<61+7 {
+				continue // x contract: < 2^61 + 7
+			}
+			check(a, x, 0)
+			check(a, x, p-1)
+		}
+	}
+	for i := 0; i < 200000; i++ {
+		a := rng.Uint64() & (1<<62 - 1)
+		x := rng.Uint64() % (1<<61 + 7)
+		c := rng.Uint64() % p
+		check(a, x, c)
+	}
+}

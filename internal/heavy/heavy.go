@@ -189,13 +189,27 @@ func (h *AlphaL1) scale() float64 {
 // HeavyHitters returns every tracked item whose CSSS estimate crosses
 // (3 eps / 4) R — Section 3's decision rule, which returns all items
 // with |f_i| >= eps ||f||_1 and none below (eps/2) ||f||_1 with the
-// stated probability.
+// stated probability. The candidate set re-estimates through ONE
+// columnar QueryColumns sweep (one batch hash pass, row-major table
+// reads) instead of one Query per candidate; estimates, and hence the
+// returned set, are bit-identical either way.
 func (h *AlphaL1) HeavyHitters() []uint64 {
 	r := h.scale()
 	thr := 3 * h.eps * r / 4
+	cand := h.tracker.Candidates()
+	if len(cand) == 0 {
+		return nil
+	}
+	if cap(h.estBuf) < len(cand) {
+		h.estBuf = make([]float64, len(cand))
+	}
+	est := h.estBuf[:len(cand)]
+	b := core.GetBatch()
+	h.sk.QueryColumns(b, cand, est)
+	core.PutBatch(b)
 	var out []uint64
-	for _, i := range h.tracker.Candidates() {
-		if abs(h.sk.Query(i)) >= thr {
+	for j, i := range cand {
+		if abs(est[j]) >= thr {
 			out = append(out, i)
 		}
 	}

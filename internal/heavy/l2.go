@@ -108,14 +108,28 @@ func (h *AlphaL2) UpdateColumns(b *core.Batch) {
 	h.trk.OfferAll(h.distinct, func(i uint64) float64 { return float64(h.insCS.Query(i)) })
 }
 
-// HeavyHitters returns the verified eps L2 heavy hitters of f.
+// HeavyHitters returns the verified eps L2 heavy hitters of f. The
+// candidate set re-estimates through ONE columnar QueryColumns sweep
+// over the verifier sketch instead of one Query per candidate;
+// estimates, and hence the returned set, are bit-identical either way.
 func (h *AlphaL2) HeavyHitters() []uint64 {
 	// ||f||_2 estimate from the verifier's rows (Lemma 4).
 	l2 := h.verCS.L2Estimate()
 	thr := 3 * h.eps * l2 / 4
+	cand := h.trk.Candidates()
+	if len(cand) == 0 {
+		return nil
+	}
+	if cap(h.qInt) < len(cand) {
+		h.qInt = make([]int64, len(cand))
+	}
+	ints := h.qInt[:len(cand)]
+	b := core.GetBatch()
+	h.verCS.QueryColumns(b, cand, ints)
+	core.PutBatch(b)
 	var out []uint64
-	for _, i := range h.trk.Candidates() {
-		if math.Abs(float64(h.verCS.Query(i))) >= thr {
+	for j, i := range cand {
+		if math.Abs(float64(ints[j])) >= thr {
 			out = append(out, i)
 		}
 	}

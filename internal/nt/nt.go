@@ -125,6 +125,35 @@ func MulAddModMersenne61(a, x, c uint64) uint64 {
 	return s
 }
 
+// MulAddLazyMersenne61Halves performs the same lazy Horner step as
+// MulAddLazyMersenne61, but through the 32-bit-halves product
+// decomposition the AVX2 kernels use (VPMULUDQ multiplies 32-bit lane
+// halves; there is no 64x64 vector multiply). With a = aH*2^32 + aL and
+// x = xH*2^32 + xL:
+//
+//	a*x = aH*xH*2^64 + (aL*xH + aH*xL)*2^32 + aL*xL
+//
+// and with 2^64 ≡ 8, 2^61 ≡ 1 (mod p) each term folds independently:
+// the cross term t12 = aL*xH + aH*xL splits at bit 29 so that
+// t12*2^32 = (t12>>29)*2^61 + (t12 & (2^29-1))*2^32 ≡ (t12>>29) +
+// (t12&(2^29-1))<<32. For a < 2^62 and x < 2^61 + 7 every intermediate
+// fits 64 bits and the folded sum stays below 2^64, so the final
+// (s>>61) + (s&p) fold returns a lazy value < 2^61 + 8 — a different
+// representative than MulAddLazyMersenne61's in general, but the same
+// residue, so the canonical values agree after ReduceLazyMersenne61.
+// This function is the scalar oracle the vector kernels are
+// differentially tested against.
+func MulAddLazyMersenne61Halves(a, x, c uint64) uint64 {
+	aL, aH := a&0xFFFFFFFF, a>>32
+	xL, xH := x&0xFFFFFFFF, x>>32
+	t0 := aL * xL
+	t12 := aL*xH + aH*xL
+	t3 := aH * xH
+	s := (t3 << 3) + (t0 & MersennePrime61) + (t0 >> 61) +
+		(t12 >> 29) + (t12&(1<<29-1))<<32 + c
+	return (s >> 61) + (s & MersennePrime61)
+}
+
 // millerRabinWitnesses is a deterministic witness set valid for all
 // 64-bit integers (Sinclair's seven-base set).
 var millerRabinWitnesses = [...]uint64{2, 325, 9375, 28178, 450775, 9780504, 1795265022}

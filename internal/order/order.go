@@ -46,6 +46,8 @@ func MedianFloat64(s []float64) float64 {
 		return MedianOf3(s[0], s[1], s[2])
 	case 5:
 		return MedianOf5(s[0], s[1], s[2], s[3], s[4])
+	case 7:
+		return MedianOf7(s[0], s[1], s[2], s[3], s[4], s[5], s[6])
 	default:
 		hi := selectFloat64(s, n/2)
 		if n%2 == 1 {
@@ -107,6 +109,54 @@ func MedianOf5(a, b, c, d, e float64) float64 {
 		return bc
 	}
 	return ed
+}
+
+// MedianOf7 returns the median of seven values with a 13-exchange
+// selection network (Devillard's opt_med7). Seven rows is the default
+// depth of the CSSS tables, so the batched query sweep selects its
+// medians through this network — and through its 4-lane vectorized
+// twin in the hash kernel layer — instead of the insertion-sort path.
+func MedianOf7(p0, p1, p2, p3, p4, p5, p6 float64) float64 {
+	if p5 < p0 {
+		p0, p5 = p5, p0
+	}
+	if p3 < p0 {
+		p0, p3 = p3, p0
+	}
+	if p6 < p1 {
+		p1, p6 = p6, p1
+	}
+	if p4 < p2 {
+		p2, p4 = p4, p2
+	}
+	if p1 < p0 {
+		p0, p1 = p1, p0
+	}
+	if p5 < p3 {
+		p3, p5 = p5, p3
+	}
+	if p6 < p2 {
+		p2, p6 = p6, p2
+	}
+	if p3 < p2 {
+		p2, p3 = p3, p2
+	}
+	if p6 < p3 {
+		p3, p6 = p6, p3
+	}
+	if p5 < p4 {
+		p4, p5 = p5, p4
+	}
+	if p4 < p1 {
+		p1, p4 = p4, p1
+	}
+	if p3 < p1 {
+		p1, p3 = p3, p1
+	}
+	if p4 < p3 {
+		p3, p4 = p4, p3
+	}
+	return p3
 }
 
 // UpperMedianFloat64 returns the element that sorting would place at

@@ -181,9 +181,7 @@ func (cs *CountSketch) QueryColumns(b *core.Batch, keys []uint64, out []int64) {
 		rc := cols[r*n : r*n+n : r*n+n]
 		rs := signs[r*n : r*n+n : r*n+n]
 		re := est[r*n : r*n+n : r*n+n]
-		for j := range rc {
-			re[j] = int64(rs[j]) * row[rc[j]]
-		}
+		hash.GatherSignInt64(row, rc, rs, re)
 	}
 	for j := 0; j < n; j++ {
 		for r := 0; r < cs.rows; r++ {

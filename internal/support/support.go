@@ -276,6 +276,53 @@ func (sp *Sampler) Contains(i uint64) bool {
 	return false
 }
 
+// ProbeBatch fills out[j] with Contains(keys[j]) for every key — the
+// batched membership probe. The level hash runs over the whole key
+// column in ONE batch evaluation (into b's column scratch), and each
+// live level decodes at most ONCE per batch instead of once per probe
+// — the decode is the probe's dominant cost, so a batch of probes
+// against the same sampler state pays it per level, not per key.
+// Verdicts are identical to per-key Contains calls: a key consults
+// exactly the levels at or above its minimum sampling level, and the
+// union over those levels' decoded positives is order-independent.
+// out must hold len(keys) entries.
+func (sp *Sampler) ProbeBatch(b *core.Batch, keys []uint64, out []bool) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	if len(out) < n {
+		panic(fmt.Sprintf("support: ProbeBatch output holds %d entries, need %d", len(out), n))
+	}
+	// One batch evaluation assigns every key its level hash; the column
+	// then converts in place to each key's minimum sampling level
+	// (levels below it never received the key).
+	minLv := b.Col64(n)
+	sp.h.RangeBatch(keys, sp.params.N, minLv)
+	for t, hv := range minLv {
+		if hv > 0 {
+			minLv[t] = uint64(nt.Log2Floor(hv)) + 1
+		}
+		out[t] = false
+	}
+	order := make([]int, 0, len(sp.levels))
+	for j := range sp.levels {
+		order = append(order, j)
+	}
+	sort.Ints(order)
+	for _, j := range order {
+		vec, err := sp.levels[j].sketch.Decode()
+		if err != nil {
+			continue // DENSE level; sparser evidence may still exist
+		}
+		for t, i := range keys {
+			if !out[t] && uint64(j) >= minLv[t] && vec[i] > 0 {
+				out[t] = true
+			}
+		}
+	}
+}
+
 // Merge folds another support sampler built from the same seed into
 // this one: the rough-F0 tracker merges, levels maintained by both add
 // their (linear) sparse-recovery sketches cell-wise, levels maintained

@@ -1,9 +1,11 @@
 package support
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/stream"
 )
 
@@ -248,4 +250,47 @@ func TestContainsMatchesRecover(t *testing.T) {
 			t.Fatalf("Contains(%d) = true outside the true support", i)
 		}
 	}
+}
+
+// TestProbeBatchMatchesContains is the batched prober's scalar
+// differential: at several stream points (different live level sets,
+// including mid-deletion states where some levels decode DENSE),
+// ProbeBatch over a mixed present/absent/duplicate key column must
+// return exactly the per-key Contains verdicts.
+func TestProbeBatchMatchesContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	s, _ := strictStream(rng, 1<<14, 300, 4)
+	sp := NewSampler(rand.New(rand.NewSource(62)), Params{
+		N: 1 << 14, K: 16, Windowed: true, Window: RecommendedWindow(4),
+	})
+	keys := make([]uint64, 0, 400)
+	for i := uint64(0); i < 1<<14; i += 41 {
+		keys = append(keys, i)
+	}
+	keys = append(keys, keys[0], keys[0], s.Updates[0].Index, s.Updates[0].Index)
+	b := core.GetBatch()
+	defer core.PutBatch(b)
+	out := make([]bool, len(keys))
+	check := func(point string) {
+		t.Helper()
+		sp.ProbeBatch(b, keys, out)
+		for j, i := range keys {
+			if want := sp.Contains(i); out[j] != want {
+				t.Fatalf("%s: ProbeBatch[%d] (key %d) = %v, Contains = %v", point, j, i, out[j], want)
+			}
+		}
+	}
+	check("empty")
+	for off, step := 0, len(s.Updates)/4; off < len(s.Updates); off += step {
+		end := off + step
+		if end > len(s.Updates) {
+			end = len(s.Updates)
+		}
+		for _, u := range s.Updates[off:end] {
+			sp.Update(u.Index, u.Delta)
+		}
+		check(fmt.Sprintf("after %d updates", end))
+	}
+	// Sub-slice output contract: out may be longer than keys.
+	sp.ProbeBatch(b, keys[:7], out)
 }

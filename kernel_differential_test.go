@@ -1,0 +1,107 @@
+package bounded
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/hash"
+)
+
+// TestKernelStateDifferential is the whole-structure form of the
+// per-kernel differentials in internal/hash: ingesting the same stream
+// through the columnar path under EVERY registered kernel (the scalar
+// loops, and the AVX2 tables where the CPU has them) must leave
+// byte-identical marshaled state and identical query answers. Hash
+// columns feed table updates, so any kernel divergence — a single
+// lazy-reduction bit, one misrouted bucket — surfaces here as a wire
+// mismatch even if no query happens to read the affected cell. On
+// builds with only the scalar kernel the loop still runs once and the
+// test pins the scalar baseline against itself.
+func TestKernelStateDifferential(t *testing.T) {
+	prev := hash.KernelName()
+	defer hash.SetKernel(prev)
+	s := gen.BoundedDeletion(gen.Config{N: 1 << 12, Items: 30000, Alpha: 4, Zipf: 1.3, Seed: 11})
+	cfg := Config{N: 1 << 12, Eps: 0.1, Alpha: 4, Seed: 31}
+	// Odd chunking leaves every batch length misaligned with the 4-lane
+	// kernel bodies, so each batch exercises vector body + scalar tail.
+	const chunk = 509
+	type state struct {
+		kernel  string
+		wires   map[string][]byte
+		hh      []uint64
+		l2hh    []uint64
+		sup     []uint64
+		est     []float64
+		probes  []bool
+		batched []float64
+	}
+	idxs := make([]uint64, 0, 128)
+	for i := uint64(0); i < 1<<12; i += 33 {
+		idxs = append(idxs, i)
+	}
+	var states []state
+	for _, name := range hash.AvailableKernels() {
+		if err := hash.SetKernel(name); err != nil {
+			t.Fatal(err)
+		}
+		hh := must(NewHeavyHitters(cfg))
+		l2 := must(NewL2HeavyHitters(cfg))
+		sup := must(NewSupportSampler(cfg, WithK(16)))
+		for off := 0; off < len(s.Updates); off += chunk {
+			end := off + chunk
+			if end > len(s.Updates) {
+				end = len(s.Updates)
+			}
+			b := PlanBatch(s.Updates[off:end])
+			hh.UpdateColumns(b)
+			l2.UpdateColumns(b)
+			sup.UpdateColumns(b)
+			PutBatch(b)
+		}
+		st := state{kernel: name, wires: map[string][]byte{}}
+		for label, sk := range map[string]Sketch{"hh": hh, "l2hh": l2, "sup": sup} {
+			wire, err := sk.MarshalBinary()
+			if err != nil {
+				t.Fatalf("kernel %s: marshal %s: %v", name, label, err)
+			}
+			st.wires[label] = wire
+		}
+		st.hh = hh.HeavyHitters()
+		st.l2hh = l2.HeavyHitters()
+		st.sup = sup.Recover()
+		st.batched = hh.EstimateBatch(idxs)
+		st.probes = sup.ProbeBatch(idxs)
+		for _, i := range idxs {
+			st.est = append(st.est, hh.Estimate(i), l2.Estimate(i))
+		}
+		states = append(states, st)
+	}
+	base := states[0]
+	for _, st := range states[1:] {
+		for label, wire := range st.wires {
+			if !bytes.Equal(wire, base.wires[label]) {
+				t.Errorf("kernel %s: %s marshaled state differs from kernel %s", st.kernel, label, base.kernel)
+			}
+		}
+		if !reflect.DeepEqual(st.hh, base.hh) {
+			t.Errorf("kernel %s: HeavyHitters %v, kernel %s: %v", st.kernel, st.hh, base.kernel, base.hh)
+		}
+		if !reflect.DeepEqual(st.l2hh, base.l2hh) {
+			t.Errorf("kernel %s: L2 HeavyHitters %v, kernel %s: %v", st.kernel, st.l2hh, base.kernel, base.l2hh)
+		}
+		if !reflect.DeepEqual(st.sup, base.sup) {
+			t.Errorf("kernel %s: Recover %v, kernel %s: %v", st.kernel, st.sup, base.kernel, base.sup)
+		}
+		if !reflect.DeepEqual(st.est, base.est) {
+			t.Errorf("kernel %s: point estimates differ from kernel %s", st.kernel, base.kernel)
+		}
+		if !reflect.DeepEqual(st.batched, base.batched) {
+			t.Errorf("kernel %s: EstimateBatch differs from kernel %s", st.kernel, base.kernel)
+		}
+		if !reflect.DeepEqual(st.probes, base.probes) {
+			t.Errorf("kernel %s: ProbeBatch differs from kernel %s", st.kernel, base.kernel)
+		}
+	}
+}

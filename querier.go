@@ -21,6 +21,7 @@ import "fmt"
 //	SetQuerier        Members() []uint64               HeavyHitters, L2HeavyHitters, SupportSampler
 //	SampleQuerier     Sample() (Sample, bool)          L1Sampler
 //	Prober            Contains(i) bool                 SupportSampler
+//	BatchProber       + ProbeBatch(idxs) []bool        SupportSampler
 //
 // Batched reads mirror batched writes: EstimateBatch hashes the WHOLE
 // index set in one batch evaluation per row (the read twin of
@@ -84,6 +85,16 @@ type Prober interface {
 	Contains(i uint64) bool
 }
 
+// BatchProber extends Prober with batched membership probes — one hash
+// pass over the whole index set and at most one decode per recovery
+// level, instead of both per index.
+type BatchProber interface {
+	Prober
+	// ProbeBatch returns Contains for every index, in input order;
+	// verdicts are identical to per-index Contains calls.
+	ProbeBatch(idxs []uint64) []bool
+}
+
 // Compile-time capability checks, alongside the _ Sketch block in
 // sketch.go: these lines are the authoritative table of which
 // structure satisfies which capability.
@@ -98,6 +109,7 @@ var (
 	_ SetQuerier        = (*SupportSampler)(nil)
 	_ SampleQuerier     = (*L1Sampler)(nil)
 	_ Prober            = (*SupportSampler)(nil)
+	_ BatchProber       = (*SupportSampler)(nil)
 )
 
 // batchPointImpl is the internal contract behind the public batched
