@@ -37,11 +37,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/csss"
 	"repro/internal/gen"
+	"repro/internal/hash"
 	"repro/internal/heavy"
 	"repro/internal/inner"
 	"repro/internal/l0"
 	"repro/internal/l1"
 	"repro/internal/nt"
+	"repro/internal/obs"
 	"repro/internal/sampler"
 	"repro/internal/sketch"
 	"repro/internal/stream"
@@ -101,8 +103,66 @@ func main() {
 			continue
 		}
 		fmt.Printf("=== %s: %s ===\n", e.id, e.title)
+		before := takeObsSnapshot()
 		fmt.Println(e.run().String())
+		printObsDelta(before)
 	}
+}
+
+// obsSnapshot captures the process-wide observability counters bdbench
+// reports as per-experiment deltas: kernel dispatch routing and batch
+// arena churn. All zero under -tags noobs.
+type obsSnapshot struct {
+	disp  hash.DispatchStats
+	arena core.BatchArenaStats
+}
+
+func takeObsSnapshot() obsSnapshot {
+	return obsSnapshot{disp: hash.KernelDispatchStats(), arena: core.ArenaStats()}
+}
+
+// printObsDelta prints the kernel-dispatch and arena counters an
+// experiment moved — which batch evaluators ran, how often columns
+// cleared the vector cutover, and how the batch pool churned. Silent
+// when the build carries no observability (-tags noobs) or the
+// experiment touched neither subsystem.
+func printObsDelta(before obsSnapshot) {
+	if !obs.Enabled {
+		return
+	}
+	now := takeObsSnapshot()
+	d, b := now.disp, before.disp
+	rows := []struct {
+		name           string
+		scalar, vector int64
+	}{
+		{"bucket_signs", d.BucketSignsScalar - b.BucketSignsScalar, d.BucketSignsVector - b.BucketSignsVector},
+		{"field", d.FieldScalar - b.FieldScalar, d.FieldVector - b.FieldVector},
+		{"range", d.RangeScalar - b.RangeScalar, d.RangeVector - b.RangeVector},
+		{"gather", d.GatherScalar - b.GatherScalar, d.GatherVector - b.GatherVector},
+		{"median", d.MedianScalar - b.MedianScalar, d.MedianVector - b.MedianVector},
+	}
+	gets := now.arena.Gets - before.arena.Gets
+	puts := now.arena.Puts - before.arena.Puts
+	misses := now.arena.Misses - before.arena.Misses
+	var any bool
+	for _, r := range rows {
+		any = any || r.scalar != 0 || r.vector != 0
+	}
+	if !any && gets == 0 && puts == 0 {
+		return
+	}
+	t := &core.Table{Headers: []string{"scalar", "vector"}}
+	for _, r := range rows {
+		if r.scalar == 0 && r.vector == 0 {
+			continue
+		}
+		t.Add("kernel "+r.name, fmt.Sprintf("%d", r.scalar), fmt.Sprintf("%d", r.vector))
+	}
+	if gets != 0 || puts != 0 {
+		t.Add("arena get/put", fmt.Sprintf("%d (%d miss)", gets, misses), fmt.Sprintf("%d put", puts))
+	}
+	fmt.Printf("--- obs (kernel=%s) ---\n%s\n", hash.KernelName(), t.String())
 }
 
 func parseAlphas(s string) []float64 {
@@ -487,7 +547,7 @@ func serTable() *core.Table {
 }
 
 func engTable() *core.Table {
-	t := &core.Table{Headers: []string{"ingest", "speedup", "answers", "bits"}}
+	t := &core.Table{Headers: []string{"ingest", "speedup", "answers", "stalls", "snaps", "bits"}}
 	const n, eps, alpha = 1 << 16, 0.05, 8.0
 	cfg := bounded.Config{N: n, Eps: eps, Alpha: alpha, Seed: *seed}
 	s := gen.BoundedDeletion(gen.Config{N: n, Items: 200000, Alpha: alpha, Zipf: 1.5, Seed: *seed})
@@ -497,7 +557,7 @@ func engTable() *core.Table {
 	single.UpdateBatch(s.Updates)
 	baseTime := time.Since(start)
 	want := single.HeavyHitters()
-	t.Add("single-writer", baseTime.Round(time.Millisecond).String(), "1.00x", "-",
+	t.Add("single-writer", baseTime.Round(time.Millisecond).String(), "1.00x", "-", "-", "-",
 		core.HumanBits(single.SpaceBits()))
 
 	for _, shards := range []int{1, 2, 4, 8} {
@@ -551,10 +611,14 @@ func engTable() *core.Table {
 			}
 		}
 		bits, _ := e.SpaceBits()
+		st := e.Stats()
 		t.Add(fmt.Sprintf("engine shards=%d", shards),
 			elapsed.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.2fx", float64(baseTime)/float64(elapsed)),
-			match, core.HumanBits(bits))
+			match,
+			fmt.Sprintf("%d", st.BackpressureStalls),
+			fmt.Sprintf("%d", st.SnapshotBuilds),
+			core.HumanBits(bits))
 		e.Close()
 	}
 	return t

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/hash"
+	"repro/internal/obs"
 )
 
 // goamd64 reports the amd64 microarchitecture level this binary was
@@ -67,10 +68,15 @@ type Report struct {
 	// ran) and every kernel table the build could select. Benchmarks
 	// parameterized by kernel= sub-names carry the per-table numbers;
 	// these fields say which table un-parameterized numbers used.
-	CPUFeatures string      `json:"cpu_features,omitempty"`
-	Kernels     []string    `json:"kernels,omitempty"`
-	Package     string      `json:"pkg,omitempty"`
-	Benchmarks  []Benchmark `json:"benchmarks"`
+	CPUFeatures string   `json:"cpu_features,omitempty"`
+	Kernels     []string `json:"kernels,omitempty"`
+	// ObsEnabled records whether THIS converter binary was built with
+	// the observability layer compiled in (false under -tags noobs).
+	// Build benchjson with the same tags as the benchmarked test binary
+	// so the flag describes the numbers it sits next to.
+	ObsEnabled bool        `json:"obs_enabled"`
+	Package    string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
 func main() {
@@ -97,6 +103,7 @@ func main() {
 	report.GoAMD64 = goamd64()
 	report.CPUFeatures = hash.CPUFeatures()
 	report.Kernels = hash.AvailableKernels()
+	report.ObsEnabled = obs.Enabled
 
 	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

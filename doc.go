@@ -305,6 +305,30 @@
 // rejects N < 2, N > 2^44, Eps outside (0,1) and Alpha < 1, and every
 // constructor — engine.New included — returns that error.
 //
+// # Observability
+//
+// The repro/internal/obs package is a zero-dependency, allocation-free
+// metrics core (cache-line-padded atomic counters, log2-bucketed
+// lock-free latency histograms, gauges) threaded through the engine,
+// the shard workers, the columnar batch arena, and the kernel
+// dispatcher. Engine.Stats() returns an exact point-in-time snapshot —
+// ingest calls/keys/batches with latency, query counts and latency by
+// path (point / batched / merged), snapshot rebuilds, flush and close
+// timings, and per-shard applied work, busy time, send stalls and
+// queue depth. After a Flush the identities are exact: batches applied
+// sum to batches sent, keys applied sum to keys ingested.
+// Engine.ExposeMetrics mounts those series on an obs.Registry, and
+// obs.Handler() serves every registered metric as Prometheus text or
+// JSON (?format=json); examples/netmon -listen is the live demo.
+// Shard goroutines carry pprof labels (shard=N) and merged-view
+// rebuilds emit runtime/trace task/regions (engine.snapshotBuild,
+// engine.cloneShards, engine.mergeShards, shard.apply) when tracing is
+// enabled. Building with -tags noobs compiles the whole layer out
+// (zero-size counters, no-op recording; Stats reads zero except Shards
+// and SnapshotBuilds, which stays exact in every flavor); BENCH_6.json
+// records the enabled build at parity with the noobs build on the
+// Fig1 ingest paths, and CI enforces a <2% overhead budget.
+//
 // See DESIGN.md for the system inventory and the laptop-scale parameter
 // substitutions, and EXPERIMENTS.md for measured results per table and
 // figure.

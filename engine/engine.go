@@ -58,16 +58,19 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	bounded "repro"
 	"repro/internal/core"
 	"repro/internal/hash"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -373,12 +376,19 @@ type Engine struct {
 	// view is valid iff viewGen == gen. All three cache fields are
 	// atomics so the global-query fast path can check them before
 	// taking any engine lock.
-	gen            atomic.Uint64
-	viewGen        atomic.Uint64
-	hasView        atomic.Bool
-	view           atomic.Pointer[structSet] // written under mu, queried under queryMu
-	closed         atomic.Bool               // transitions under mu
-	snapshotBuilds atomic.Int64              // merged-view (snapshot) rebuild count
+	gen     atomic.Uint64
+	viewGen atomic.Uint64
+	hasView atomic.Bool
+	view    atomic.Pointer[structSet] // written under mu, queried under queryMu
+	closed  atomic.Bool               // transitions under mu
+	// snapshotBuilds counts merged-view rebuilds. It is a plain atomic —
+	// not an obs.Counter — because its exactness backs the routed-query
+	// contract ("Estimate never builds a snapshot") in every build
+	// flavor, including -tags noobs where obs counters read zero.
+	snapshotBuilds atomic.Int64
+	// met is the engine-level observability cell block (stats.go);
+	// zero-size and recording-free under -tags noobs.
+	met engineMetrics
 	// restored flips (permanently) when Restore imports external state:
 	// imported mass lands in shard 0 only, so the per-shard point-query
 	// routing loses its "owning shard holds the index's entire mass"
@@ -414,8 +424,10 @@ func New(cfg bounded.Config, opts Options) (*Engine, error) {
 			return nil, err
 		}
 		e.sets[i] = set
-		// Applied batches return to the shared columnar arena.
-		e.workers[i] = shard.New(e.sets[i], opts.Queue, core.PutBatch)
+		// Applied batches return to the shared columnar arena. The shard
+		// name labels the worker goroutine in CPU profiles and names its
+		// apply regions in execution traces.
+		e.workers[i] = shard.NewNamed(e.sets[i], opts.Queue, core.PutBatch, strconv.Itoa(i))
 		e.pending[i] = core.GetBatch()
 	}
 	return e, nil
@@ -450,6 +462,7 @@ func (e *Engine) Ingest(batch []bounded.Update) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	start := obs.Now()
 	e.mu.Lock()
 	if e.closed.Load() {
 		e.mu.Unlock()
@@ -501,8 +514,12 @@ func (e *Engine) Ingest(batch []bounded.Update) error {
 		for _, j := range full {
 			e.workers[j.shard].Send(j.buf)
 		}
+		e.met.batchesSent.Add(int64(len(full)))
 		e.inflight.Done()
 	}
+	e.met.ingestCalls.Inc()
+	e.met.ingestedKeys.Add(int64(n))
+	e.met.ingestNanos.ObserveSince(start)
 	return nil
 }
 
@@ -513,6 +530,7 @@ func (e *Engine) flushLocked() {
 	for s := range e.pending {
 		if e.pending[s].Len() > 0 {
 			e.workers[s].Send(e.pending[s])
+			e.met.batchesSent.Inc()
 			e.pending[s] = core.GetBatch()
 		}
 	}
@@ -528,12 +546,15 @@ func (e *Engine) flushLocked() {
 // Flush blocks until every update passed to Ingest so far has been
 // applied by its shard.
 func (e *Engine) Flush() error {
+	start := obs.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed.Load() {
 		return fmt.Errorf("engine: Flush on closed engine")
 	}
 	e.flushLocked()
+	e.met.flushCalls.Inc()
+	e.met.flushNanos.ObserveSince(start)
 	return nil
 }
 
@@ -545,6 +566,11 @@ func (e *Engine) Flush() error {
 // e.mu, so it cannot stall producers partitioning under it — the
 // query/ingest interleave cost is one atomic load plus queryMu.
 func (e *Engine) withView(f func(*structSet) error) error {
+	start := obs.Now()
+	defer func() {
+		e.met.mergedQueries.Inc()
+		e.met.mergedNanos.ObserveSince(start)
+	}()
 	if e.hasView.Load() && e.viewGen.Load() == e.gen.Load() {
 		e.queryMu.Lock()
 		if e.closed.Load() {
@@ -589,6 +615,12 @@ func (e *Engine) mergedViewLocked() (*structSet, error) {
 	if e.hasView.Load() && e.viewGen.Load() == e.gen.Load() {
 		return e.view.Load(), nil
 	}
+	// The rebuild is the engine's most expensive maintenance step, so it
+	// gets a trace task (flush + clone fan-out + merge chain show up as
+	// one unit in `go tool trace`) and a latency histogram observation.
+	start := obs.Now()
+	task := obs.StartTask(context.Background(), "engine.snapshotBuild")
+	defer task.End()
 	e.flushLocked()
 	// Every Ingest whose locked section completed has bumped gen by now
 	// (it did so under e.mu) and been flushed; later Ingests are blocked
@@ -598,6 +630,7 @@ func (e *Engine) mergedViewLocked() (*structSet, error) {
 	e.snapshotBuilds.Add(1)
 	snaps := make([]*structSet, len(e.workers))
 	barriers := make([]<-chan struct{}, len(e.workers))
+	cloneSpan := obs.StartRegion(task.Context(), "engine.cloneShards")
 	for i, w := range e.workers {
 		i, set := i, e.sets[i]
 		barriers[i] = w.DoAsync(func() { snaps[i] = set.snapshot() })
@@ -605,12 +638,17 @@ func (e *Engine) mergedViewLocked() (*structSet, error) {
 	for _, b := range barriers {
 		<-b
 	}
+	cloneSpan.End()
+	mergeSpan := obs.StartRegion(task.Context(), "engine.mergeShards")
 	merged := snaps[0]
 	for _, s := range snaps[1:] {
 		if err := merged.merge(s); err != nil {
+			mergeSpan.End()
 			return nil, err
 		}
 	}
+	mergeSpan.End()
+	e.met.snapshotNanos.ObserveSince(start)
 	e.view.Store(merged)
 	e.viewGen.Store(genAt)
 	e.hasView.Store(true)
@@ -668,11 +706,16 @@ func (e *Engine) sendHandoffs(full []pendingHandoff) {
 	for _, h := range full {
 		e.workers[h.shard].Send(h.buf)
 	}
+	e.met.batchesSent.Add(int64(len(full)))
 }
 
 // SnapshotBuilds reports how many times the engine has rebuilt its
 // merged snapshot view — a diagnostic for the snapshot-free point
 // query contract: Estimate never increments it.
+//
+// Deprecated: use Stats().SnapshotBuilds, which reads the same counter
+// alongside the rest of the observability snapshot. This wrapper
+// remains for existing callers and is exact in every build flavor.
 func (e *Engine) SnapshotBuilds() int64 { return e.snapshotBuilds.Load() }
 
 // HeavyHitters returns the eps-heavy coordinates of the full ingested
@@ -709,6 +752,7 @@ func (e *Engine) Estimate(i uint64) (float64, error) {
 	if e.restored.Load() {
 		return e.estimateView(i)
 	}
+	start := obs.Now()
 	if fallback, err := e.lockRouted(); err != nil {
 		return 0, err
 	} else if fallback {
@@ -733,6 +777,8 @@ func (e *Engine) Estimate(i uint64) (float64, error) {
 		}
 		out = set.hh.Estimate(i)
 	})
+	e.met.pointQueries.Inc()
+	e.met.pointNanos.ObserveSince(start)
 	return out, qErr
 }
 
@@ -803,6 +849,7 @@ func (e *Engine) EstimateBatch(idxs []uint64) ([]float64, error) {
 	if e.restored.Load() {
 		return e.estimateBatchView(idxs, out)
 	}
+	start := obs.Now()
 	if fallback, err := e.lockRouted(); err != nil {
 		return nil, err
 	} else if fallback {
@@ -853,6 +900,8 @@ func (e *Engine) EstimateBatch(idxs []uint64) ([]float64, error) {
 	for _, b := range barriers {
 		<-b
 	}
+	e.met.batchedQueries.Inc()
+	e.met.batchedNanos.ObserveSince(start)
 	return out, nil
 }
 
@@ -887,6 +936,7 @@ func (e *Engine) Probe(i uint64) (bool, error) {
 	if e.restored.Load() {
 		return e.probeView(i)
 	}
+	start := obs.Now()
 	if fallback, err := e.lockRouted(); err != nil {
 		return false, err
 	} else if fallback {
@@ -901,6 +951,8 @@ func (e *Engine) Probe(i uint64) (bool, error) {
 	e.sendHandoffs(full)
 	var out bool
 	w.Do(func() { out = set.sup.Contains(i) })
+	e.met.pointQueries.Inc()
+	e.met.pointNanos.ObserveSince(start)
 	return out, nil
 }
 
@@ -940,6 +992,7 @@ func (e *Engine) ProbeBatch(idxs []uint64) ([]bool, error) {
 	if e.restored.Load() {
 		return e.probeBatchView(idxs, out)
 	}
+	start := obs.Now()
 	if fallback, err := e.lockRouted(); err != nil {
 		return nil, err
 	} else if fallback {
@@ -978,6 +1031,8 @@ func (e *Engine) ProbeBatch(idxs []uint64) ([]bool, error) {
 	for _, b := range barriers {
 		<-b
 	}
+	e.met.batchedQueries.Inc()
+	e.met.batchedNanos.ObserveSince(start)
 	return out, nil
 }
 
@@ -1055,6 +1110,7 @@ func (e *Engine) Support() ([]uint64, error) {
 	if e.restored.Load() {
 		return e.supportView()
 	}
+	start := obs.Now()
 	if fallback, err := e.lockRouted(); err != nil {
 		return nil, err
 	} else if fallback {
@@ -1090,6 +1146,8 @@ func (e *Engine) Support() ([]uint64, error) {
 		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	e.met.batchedQueries.Inc()
+	e.met.batchedNanos.ObserveSince(start)
 	return out, nil
 }
 
@@ -1286,9 +1344,11 @@ func (e *Engine) Close() error {
 	// queries and producer hand-offs already in flight are covered by
 	// flushLocked's inflight wait.
 	e.closed.Store(true)
+	start := obs.Now()
 	e.flushLocked()
 	for _, w := range e.workers {
 		w.Close()
 	}
+	e.met.closeNanos.ObserveSince(start)
 	return nil
 }

@@ -1,0 +1,217 @@
+// stats.go is the engine's observability surface: the engineMetrics
+// cell block the hot paths record into (internal/obs primitives —
+// zero-size no-ops under -tags noobs), the exported Stats snapshot, and
+// ExposeMetrics, which mounts everything on an obs.Registry for the
+// Prometheus-text/JSON HTTP handler.
+package engine
+
+import (
+	"net/http"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// engineMetrics holds the engine-level counters and latency
+// histograms. Per-shard counters live in the shard workers themselves
+// (shard.Metrics, cache-line padded per worker); this struct covers
+// the cross-shard paths. All fields are written lock-free on the hot
+// paths and read by Stats()/the registry at any time.
+type engineMetrics struct {
+	// Ingest side.
+	ingestCalls  obs.Counter   // Ingest invocations that accepted updates
+	ingestedKeys obs.Counter   // updates accepted by Ingest
+	batchesSent  obs.Counter   // columnar batches handed to shard inboxes
+	ingestNanos  obs.Histogram // wall time per Ingest call (incl. backpressure)
+
+	// Query side, by path.
+	pointQueries   obs.Counter   // routed scalar queries (Estimate, Probe)
+	pointNanos     obs.Histogram // wall time per routed scalar query
+	batchedQueries obs.Counter   // routed batched queries (EstimateBatch, ProbeBatch, Support)
+	batchedNanos   obs.Histogram // wall time per routed batched query
+	mergedQueries  obs.Counter   // queries answered from the merged view
+	mergedNanos    obs.Histogram // wall time per merged-view query
+
+	// Maintenance.
+	snapshotNanos obs.Histogram // wall time per merged-view rebuild
+	flushCalls    obs.Counter   // public Flush invocations
+	flushNanos    obs.Histogram // wall time per public Flush
+	closeNanos    obs.Histogram // wall time of Close (one observation)
+}
+
+// ShardStats is one shard's slice of an engine Stats snapshot.
+type ShardStats struct {
+	// BatchesApplied and KeysApplied count work the shard goroutine has
+	// finished; after Flush they are exact (sum of BatchesApplied over
+	// shards equals BatchesSent).
+	BatchesApplied int64
+	KeysApplied    int64
+	// BusyNanos is time the shard goroutine spent applying batches;
+	// divide by wall time for occupancy.
+	BusyNanos int64
+	// SendStalls counts hand-offs that found this shard's inbox full —
+	// the backpressure signal.
+	SendStalls int64
+	// QueueDepth is the inbox occupancy at snapshot time; QueueCap its
+	// bound.
+	QueueDepth int
+	QueueCap   int
+}
+
+// Stats is a point-in-time snapshot of the engine's metrics. Counters
+// are exact (every event counted, none sampled); they are read
+// individually, so a snapshot taken while producers run is per-counter
+// atomic rather than a consistent cut — quiesce with Flush first when
+// exact cross-counter identities matter. Under -tags noobs everything
+// except Shards and SnapshotBuilds reads zero.
+type Stats struct {
+	// Shards is the engine's shard count (always populated).
+	Shards int
+
+	// IngestCalls counts Ingest invocations that accepted at least one
+	// update; IngestedKeys the updates they carried; BatchesSent the
+	// columnar batches handed to shard inboxes (full runs plus flush and
+	// early-hand-off remainders).
+	IngestCalls  int64
+	IngestedKeys int64
+	BatchesSent  int64
+	// IngestLatency is wall time per Ingest call, including any
+	// backpressure blocking on a full shard inbox.
+	IngestLatency obs.HistogramSnapshot
+
+	// PointQueries counts routed scalar queries (Estimate, Probe);
+	// BatchedQueries routed batched queries (EstimateBatch, ProbeBatch,
+	// Support) — note EstimateBatch at or below its small-batch cutover
+	// answers via per-index Estimate calls, which then also count as
+	// point queries; MergedQueries queries answered from the merged view
+	// (global queries, and every query after Restore).
+	PointQueries   int64
+	PointLatency   obs.HistogramSnapshot
+	BatchedQueries int64
+	BatchedLatency obs.HistogramSnapshot
+	MergedQueries  int64
+	MergedLatency  obs.HistogramSnapshot
+
+	// SnapshotBuilds counts merged-view rebuilds (exact in every build
+	// flavor — it backs the routed-query contract tests); SnapshotLatency
+	// the wall time of each rebuild (flush, S clone closures, S-1 merges).
+	SnapshotBuilds  int64
+	SnapshotLatency obs.HistogramSnapshot
+
+	// Flushes counts public Flush calls and FlushLatency their wall
+	// time; CloseLatency holds Close's single observation once closed.
+	Flushes      int64
+	FlushLatency obs.HistogramSnapshot
+	CloseLatency obs.HistogramSnapshot
+
+	// BackpressureStalls sums SendStalls over shards.
+	BackpressureStalls int64
+
+	// PerShard has one entry per shard, indexed by shard number.
+	PerShard []ShardStats
+}
+
+// Stats returns a snapshot of the engine's observability counters. It
+// takes no engine locks and may be called concurrently with ingest and
+// queries (see the Stats type for the consistency contract). It works
+// on a closed engine.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Shards:          e.opt.Shards,
+		IngestCalls:     e.met.ingestCalls.Load(),
+		IngestedKeys:    e.met.ingestedKeys.Load(),
+		BatchesSent:     e.met.batchesSent.Load(),
+		IngestLatency:   e.met.ingestNanos.Snapshot(),
+		PointQueries:    e.met.pointQueries.Load(),
+		PointLatency:    e.met.pointNanos.Snapshot(),
+		BatchedQueries:  e.met.batchedQueries.Load(),
+		BatchedLatency:  e.met.batchedNanos.Snapshot(),
+		MergedQueries:   e.met.mergedQueries.Load(),
+		MergedLatency:   e.met.mergedNanos.Snapshot(),
+		SnapshotBuilds:  e.snapshotBuilds.Load(),
+		SnapshotLatency: e.met.snapshotNanos.Snapshot(),
+		Flushes:         e.met.flushCalls.Load(),
+		FlushLatency:    e.met.flushNanos.Snapshot(),
+		CloseLatency:    e.met.closeNanos.Snapshot(),
+		PerShard:        make([]ShardStats, len(e.workers)),
+	}
+	for i, w := range e.workers {
+		m := w.Metrics()
+		ss := ShardStats{
+			BatchesApplied: m.BatchesApplied.Load(),
+			KeysApplied:    m.KeysApplied.Load(),
+			BusyNanos:      m.BusyNanos.Load(),
+			SendStalls:     m.SendStalls.Load(),
+			QueueDepth:     w.QueueDepth(),
+			QueueCap:       w.QueueCap(),
+		}
+		s.PerShard[i] = ss
+		s.BackpressureStalls += ss.SendStalls
+	}
+	return s
+}
+
+// ExposeMetrics registers the engine's metrics on r under the given
+// instance label and returns the function that unregisters them (call
+// it when the engine is closed or the registry outlives it). Use
+// obs.Default as r to surface the engine on the process-wide
+// obs.Handler next to the arena and kernel-dispatch metrics. Under
+// -tags noobs registration is a no-op and the returned function does
+// nothing.
+func (e *Engine) ExposeMetrics(r *obs.Registry, instance string) func() {
+	owner := "engine:" + instance
+	inst := obs.Label{Key: "instance", Value: instance}
+	c := func(name, help string, f func() int64, labels ...obs.Label) {
+		r.CounterFunc(owner, name, help, f, labels...)
+	}
+	h := func(name, help string, f func() obs.HistogramSnapshot, labels ...obs.Label) {
+		r.HistogramFunc(owner, name, help, f, labels...)
+	}
+	m := &e.met
+	c("repro_engine_ingest_calls_total", "Ingest invocations accepted", m.ingestCalls.Load, inst)
+	c("repro_engine_ingested_keys_total", "updates accepted by Ingest", m.ingestedKeys.Load, inst)
+	c("repro_engine_batches_sent_total", "columnar batches handed to shard inboxes", m.batchesSent.Load, inst)
+	h("repro_engine_ingest_seconds", "wall time per Ingest call", m.ingestNanos.Snapshot, inst)
+	c("repro_engine_queries_total", "queries by path", m.pointQueries.Load, inst, obs.Label{Key: "path", Value: "point"})
+	c("repro_engine_queries_total", "queries by path", m.batchedQueries.Load, inst, obs.Label{Key: "path", Value: "batched"})
+	c("repro_engine_queries_total", "queries by path", m.mergedQueries.Load, inst, obs.Label{Key: "path", Value: "merged"})
+	h("repro_engine_query_seconds", "query wall time by path", m.pointNanos.Snapshot, inst, obs.Label{Key: "path", Value: "point"})
+	h("repro_engine_query_seconds", "query wall time by path", m.batchedNanos.Snapshot, inst, obs.Label{Key: "path", Value: "batched"})
+	h("repro_engine_query_seconds", "query wall time by path", m.mergedNanos.Snapshot, inst, obs.Label{Key: "path", Value: "merged"})
+	c("repro_engine_snapshot_builds_total", "merged-view rebuilds", e.snapshotBuilds.Load, inst)
+	h("repro_engine_snapshot_build_seconds", "merged-view rebuild wall time", m.snapshotNanos.Snapshot, inst)
+	c("repro_engine_flushes_total", "public Flush calls", m.flushCalls.Load, inst)
+	h("repro_engine_flush_seconds", "public Flush wall time", m.flushNanos.Snapshot, inst)
+	for i, w := range e.workers {
+		w := w
+		wm := w.Metrics()
+		sh := obs.Label{Key: "shard", Value: strconv.Itoa(i)}
+		c("repro_engine_shard_batches_applied_total", "batches applied per shard", wm.BatchesApplied.Load, inst, sh)
+		c("repro_engine_shard_keys_applied_total", "keys applied per shard", wm.KeysApplied.Load, inst, sh)
+		c("repro_engine_shard_busy_nanos_total", "shard goroutine time inside apply", wm.BusyNanos.Load, inst, sh)
+		c("repro_engine_shard_send_stalls_total", "hand-offs that found the inbox full", wm.SendStalls.Load, inst, sh)
+		r.GaugeFunc(owner, "repro_engine_shard_queue_depth", "inbox occupancy per shard",
+			func() int64 { return int64(w.QueueDepth()) }, inst, sh)
+		r.GaugeFunc(owner, "repro_engine_shard_queue_cap", "inbox bound per shard",
+			func() int64 { return int64(w.QueueCap()) }, inst, sh)
+	}
+	return func() { r.RemoveOwner(owner) }
+}
+
+// ExposeDefaultMetrics registers the engine's metrics on the
+// process-wide default registry under the given instance label and
+// returns the unregister function. It is ExposeMetrics for consumers
+// outside this module, which cannot import internal/obs to name a
+// registry; pair it with MetricsHandler to serve the result.
+func (e *Engine) ExposeDefaultMetrics(instance string) func() {
+	return e.ExposeMetrics(obs.Default, instance)
+}
+
+// MetricsHandler returns the process-wide metrics handler: every
+// metric registered on the default registry — engines exposed with
+// ExposeDefaultMetrics, plus the batch-arena and kernel-dispatch
+// series — rendered as Prometheus text, or JSON with ?format=json.
+// Mount it with http.Handle("/metrics", engine.MetricsHandler()).
+// Under -tags noobs it serves a body saying observability is compiled
+// out.
+func MetricsHandler() http.Handler { return obs.Handler() }

@@ -1,0 +1,325 @@
+package engine
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	bounded "repro"
+	"repro/internal/obs"
+)
+
+// TestStatsExactWorkload asserts Stats() counters against a
+// hand-counted workload at 1/2/4/8 shards: every counter is exact, not
+// sampled. Counters that live in the obs layer read zero under
+// -tags noobs, so those assertions are guarded by obs.Enabled;
+// SnapshotBuilds is exact in every build flavor.
+func TestStatsExactWorkload(t *testing.T) {
+	s, _ := fig1Stream(11)
+	const chunk = 777
+	const batchSize = 256
+	total := len(s.Updates)
+	ingestCalls := (total + chunk - 1) / chunk
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		e, err := New(testCfg, Options{Shards: shards, BatchSize: batchSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < total; off += chunk {
+			end := off + chunk
+			if end > total {
+				end = total
+			}
+			if err := e.Ingest(s.Updates[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		st := e.Stats()
+		if st.Shards != shards || len(st.PerShard) != shards {
+			t.Fatalf("shards=%d: Stats reports %d shards, %d per-shard rows", shards, st.Shards, len(st.PerShard))
+		}
+		if st.SnapshotBuilds != 0 {
+			t.Errorf("shards=%d: %d snapshot builds before any merged query", shards, st.SnapshotBuilds)
+		}
+
+		if obs.Enabled {
+			if st.IngestCalls != int64(ingestCalls) {
+				t.Errorf("shards=%d: IngestCalls = %d, want %d", shards, st.IngestCalls, ingestCalls)
+			}
+			if st.IngestedKeys != int64(total) {
+				t.Errorf("shards=%d: IngestedKeys = %d, want %d", shards, st.IngestedKeys, total)
+			}
+			if st.IngestLatency.Count != int64(ingestCalls) {
+				t.Errorf("shards=%d: IngestLatency.Count = %d, want %d", shards, st.IngestLatency.Count, ingestCalls)
+			}
+			// After a flush, every batch handed to an inbox has been
+			// applied: the sent/applied identity is exact, and the applied
+			// keys sum to the ingested keys.
+			var applied, keys int64
+			for _, ss := range st.PerShard {
+				applied += ss.BatchesApplied
+				keys += ss.KeysApplied
+				if ss.QueueDepth != 0 {
+					t.Errorf("shards=%d: nonzero queue depth %d after flush", shards, ss.QueueDepth)
+				}
+				if ss.QueueCap < 1 {
+					t.Errorf("shards=%d: queue cap %d", shards, ss.QueueCap)
+				}
+			}
+			if applied != st.BatchesSent {
+				t.Errorf("shards=%d: %d batches applied != %d sent", shards, applied, st.BatchesSent)
+			}
+			if keys != int64(total) {
+				t.Errorf("shards=%d: shards applied %d keys, want %d", shards, keys, total)
+			}
+			if shards == 1 {
+				// Single shard: hand-countable batch total — one full
+				// hand-off per batchSize keys, plus the flush remainder.
+				want := int64(total / batchSize)
+				if total%batchSize != 0 {
+					want++
+				}
+				if st.BatchesSent != want {
+					t.Errorf("shards=1: BatchesSent = %d, want %d", st.BatchesSent, want)
+				}
+			}
+			if st.Flushes != 1 || st.FlushLatency.Count != 1 {
+				t.Errorf("shards=%d: Flushes = %d (latency count %d), want 1", shards, st.Flushes, st.FlushLatency.Count)
+			}
+		}
+
+		// Queries: 3 routed points, 1 routed batch (above the cutover),
+		// 2 merged (second hits the warm view cache — still a merged
+		// query, but not a second snapshot build).
+		for _, i := range []uint64{1, 2, 3} {
+			if _, err := e.Estimate(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		big := make([]uint64, estimateBatchCutover+8)
+		for j := range big {
+			big[j] = uint64(j)
+		}
+		if _, err := e.EstimateBatch(big); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.HeavyHitters(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.HeavyHitters(); err != nil {
+			t.Fatal(err)
+		}
+
+		st = e.Stats()
+		if st.SnapshotBuilds != 1 {
+			t.Errorf("shards=%d: SnapshotBuilds = %d, want 1", shards, st.SnapshotBuilds)
+		}
+		if got := e.SnapshotBuilds(); got != st.SnapshotBuilds {
+			t.Errorf("shards=%d: deprecated SnapshotBuilds() = %d, Stats says %d", shards, got, st.SnapshotBuilds)
+		}
+		if obs.Enabled {
+			if st.PointQueries != 3 || st.PointLatency.Count != 3 {
+				t.Errorf("shards=%d: PointQueries = %d (latency count %d), want 3", shards, st.PointQueries, st.PointLatency.Count)
+			}
+			if st.BatchedQueries != 1 || st.BatchedLatency.Count != 1 {
+				t.Errorf("shards=%d: BatchedQueries = %d (latency count %d), want 1", shards, st.BatchedQueries, st.BatchedLatency.Count)
+			}
+			if st.MergedQueries != 2 || st.MergedLatency.Count != 2 {
+				t.Errorf("shards=%d: MergedQueries = %d (latency count %d), want 2", shards, st.MergedQueries, st.MergedLatency.Count)
+			}
+			if st.SnapshotLatency.Count != 1 {
+				t.Errorf("shards=%d: SnapshotLatency.Count = %d, want 1", shards, st.SnapshotLatency.Count)
+			}
+		}
+
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st = e.Stats() // Stats works on a closed engine
+		if obs.Enabled && st.CloseLatency.Count != 1 {
+			t.Errorf("shards=%d: CloseLatency.Count = %d, want 1", shards, st.CloseLatency.Count)
+		}
+	}
+}
+
+// TestStatsSmallBatchCutover pins the documented double-count: an
+// EstimateBatch at or below the cutover answers via per-index Estimate,
+// so it shows up as point queries, not a batched query.
+func TestStatsSmallBatchCutover(t *testing.T) {
+	if !obs.Enabled {
+		t.Skip("obs counters read zero under -tags noobs")
+	}
+	e := must(New(testCfg, Options{Shards: 2, BatchSize: 128}))
+	defer e.Close()
+	if err := e.Ingest([]bounded.Update{{Index: 1, Delta: 3}, {Index: 2, Delta: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	small := []uint64{1, 2, 3, 4}
+	if _, err := e.EstimateBatch(small); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.BatchedQueries != 0 {
+		t.Errorf("BatchedQueries = %d, want 0 below the cutover", st.BatchedQueries)
+	}
+	if st.PointQueries != int64(len(small)) {
+		t.Errorf("PointQueries = %d, want %d", st.PointQueries, len(small))
+	}
+}
+
+// TestStatsHammer interleaves producers, routed point and batched
+// queries, merged queries, Stats snapshots and registry scrapes; under
+// -race it is the concurrency proof for the whole recording path, and
+// the final flushed totals must still be exact.
+func TestStatsHammer(t *testing.T) {
+	e := must(New(testCfg, Options{Shards: 4, BatchSize: 64, Queue: 2}))
+	reg := obs.NewRegistry()
+	unregister := e.ExposeMetrics(reg, "hammer")
+	defer unregister()
+
+	s, _ := fig1Stream(23)
+	const producers = 4
+	chunkOf := func(p int) []bounded.Update {
+		per := len(s.Updates) / producers
+		lo := p * per
+		hi := lo + per
+		if p == producers-1 {
+			hi = len(s.Updates)
+		}
+		return s.Updates[lo:hi]
+	}
+	var total int64
+	for p := 0; p < producers; p++ {
+		total += int64(len(chunkOf(p)))
+	}
+
+	var producerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		producerWG.Add(1)
+		go func(p int) {
+			defer producerWG.Done()
+			mine := chunkOf(p)
+			for off := 0; off < len(mine); off += 100 {
+				end := off + 100
+				if end > len(mine) {
+					end = len(mine)
+				}
+				if err := e.Ingest(mine[off:end]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	// Readers run until the producers finish.
+	readerWG.Add(3)
+	go func() { // routed point + batched queries
+		defer readerWG.Done()
+		idxs := make([]uint64, 40)
+		for j := range idxs {
+			idxs[j] = uint64(j * 13)
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := e.Estimate(7); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := e.EstimateBatch(idxs); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // merged queries force snapshot rebuilds mid-ingest
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := e.HeavyHitters(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // Stats snapshots and registry scrapes race the writers
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = e.Stats()
+			rec := httptest.NewRecorder()
+			reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		}
+	}()
+
+	producerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if obs.Enabled {
+		if st.IngestedKeys != total {
+			t.Errorf("IngestedKeys = %d, want %d", st.IngestedKeys, total)
+		}
+		var keys, applied int64
+		for _, ss := range st.PerShard {
+			keys += ss.KeysApplied
+			applied += ss.BatchesApplied
+		}
+		if keys != total {
+			t.Errorf("shards applied %d keys, want %d", keys, total)
+		}
+		if applied != st.BatchesSent {
+			t.Errorf("%d batches applied != %d sent", applied, st.BatchesSent)
+		}
+	}
+
+	// The scrape surface renders the per-shard and engine metrics.
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if obs.Enabled {
+		for _, want := range []string{
+			`repro_engine_ingested_keys_total{instance="hammer"}`,
+			`repro_engine_shard_batches_applied_total{instance="hammer",shard="3"}`,
+			`repro_engine_query_seconds_count{instance="hammer",path="merged"}`,
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("scrape missing %q", want)
+			}
+		}
+		unregister()
+		rec = httptest.NewRecorder()
+		reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if strings.Contains(rec.Body.String(), "hammer") {
+			t.Error("unregister left engine metrics on the registry")
+		}
+	} else if !strings.Contains(body, "observability disabled") {
+		t.Errorf("noobs scrape body = %q", body)
+	}
+
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

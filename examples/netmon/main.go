@@ -11,14 +11,38 @@
 // product), against exact ground truth.
 //
 // Run with: go run ./examples/netmon
+//
+// Live dashboard mode: -listen keeps a sharded engine ingesting a
+// rolling synthetic difference stream and serves the process-wide
+// observability surface (engine ingest/query counters and latency
+// histograms, next to the arena and kernel-dispatch series) over HTTP:
+//
+//	go run ./examples/netmon -listen :9090
+//	curl -s http://localhost:9090/metrics                  # Prometheus text
+//	curl -s 'http://localhost:9090/metrics?format=json'    # JSON
+//
+// or point a Prometheus scrape job at it:
+//
+//	scrape_configs:
+//	  - job_name: netmon
+//	    static_configs:
+//	      - targets: ['localhost:9090']
+//
+// Binaries built with -tags noobs still serve the endpoint, but it
+// reports that observability is compiled out.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"time"
 
 	bounded "repro"
+	"repro/engine"
 	"repro/internal/gen"
+	"repro/internal/obs"
 )
 
 // must unwraps a constructor result; real services handle the error.
@@ -30,6 +54,9 @@ func must[T any](v T, err error) T {
 }
 
 func main() {
+	listen := flag.String("listen", "", "serve /metrics on this address (e.g. :9090) and keep sketching a live stream")
+	flag.Parse()
+
 	const (
 		n    = 1 << 20 // [source, destination] pair space
 		m    = 200000  // packets per interval
@@ -84,4 +111,44 @@ func main() {
 	trueIP := t1.F.Inner(t2.F)
 	fmt.Printf("interval inner product   : true %d, sketch %.0f, space %d bits\n",
 		trueIP, ip.Estimate(), ip.SpaceBits())
+
+	if *listen != "" {
+		serveLive(*listen, n)
+	}
+}
+
+// serveLive is the -listen mode: a sharded engine keeps sketching a
+// rolling synthetic difference stream (one fresh interval pair every
+// quarter second, plus a heavy-hitters query so the merged-view series
+// move too) while the process-wide obs handler serves every registered
+// metric — the engine's instance="netmon" counters and latency
+// histograms next to the arena and kernel-dispatch series. Scrape it
+// with curl or Prometheus as documented in the package comment.
+func serveLive(addr string, n uint64) {
+	e := must(engine.New(
+		bounded.Config{N: n, Eps: 0.02, Alpha: 8, Seed: 21},
+		// The difference stream goes negative: general turnstile.
+		engine.Options{General: true},
+	))
+	defer e.Close()
+	unregister := e.ExposeMetrics(obs.Default, "netmon")
+	defer unregister()
+
+	go func() {
+		for seed := int64(0); ; seed++ {
+			f1, f2 := gen.NetworkPair(gen.Config{N: n, Items: 20000, Alpha: 1, Seed: 100 + seed}, 0.05)
+			d := gen.Difference(f1, f2)
+			if err := e.Ingest(d.Updates); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := e.HeavyHitters(); err != nil {
+				log.Fatal(err)
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+	}()
+
+	http.Handle("/metrics", obs.Handler())
+	log.Printf("netmon: serving metrics on http://localhost%s/metrics", addr)
+	log.Fatal(http.ListenAndServe(addr, nil))
 }

@@ -119,21 +119,32 @@ func (b *Batch) Col64(n int) []uint64 {
 }
 
 // batchPool is the shared arena. Batches from different call sites mix
-// freely: capacity is retained, so the pool converges to the workload's
-// batch-size high-water mark.
-var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+// freely: capacity is retained (up to maxRetainedCap), so the pool
+// converges to the workload's batch-size high-water mark.
+var batchPool = sync.Pool{New: func() any {
+	arenaMisses.Inc()
+	return new(Batch)
+}}
 
 // GetBatch returns an empty pooled batch.
 func GetBatch() *Batch {
+	arenaGets.Inc()
 	b := batchPool.Get().(*Batch)
 	b.Reset()
 	return b
 }
 
 // PutBatch returns a batch to the arena. The caller must not touch the
-// batch afterwards.
+// batch afterwards. Batches whose retained column capacity exceeds
+// maxRetainedCap are dropped to the GC instead of pooled.
 func PutBatch(b *Batch) {
 	if b == nil {
+		return
+	}
+	arenaPuts.Inc()
+	if cap(b.Idx) > maxRetainedCap || cap(b.u32) > maxRetainedCap ||
+		cap(b.i8) > maxRetainedCap || cap(b.u64) > maxRetainedCap {
+		arenaOversized.Inc()
 		return
 	}
 	batchPool.Put(b)

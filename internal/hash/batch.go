@@ -33,6 +33,7 @@ func (b *Buckets) BucketSignsBatch(keys []uint64, cols []uint32, signs []int8) {
 	r := b.Cols
 	flat := b.flat
 	kern := active.bucketSignsRow
+	bucketSignsDispatch.count(n, int64(b.Rows))
 	for i := 0; i < b.Rows; i++ {
 		c := flat[4*i : 4*i+4 : 4*i+4]
 		kern(c[0], c[1], c[2], c[3], r, keys, cols[i*n:i*n+n:i*n+n], signs[i*n:i*n+n:i*n+n])
@@ -49,10 +50,14 @@ func (h *KWise) FieldBatch(keys []uint64, out []uint64) {
 	}
 	switch len(h.coeffs) {
 	case 2:
+		fieldDispatch.count(len(keys), 1)
 		active.fieldK2(h.coeffs[0], h.coeffs[1], keys, out)
 	case 4:
+		fieldDispatch.count(len(keys), 1)
 		active.fieldK4(h.coeffs[0], h.coeffs[1], h.coeffs[2], h.coeffs[3], keys, out)
 	default:
+		// Per-key fallback: always the scalar route regardless of length.
+		fieldDispatch.scalar.Inc()
 		for j, x := range keys {
 			out[j] = h.Field(x)
 		}
@@ -72,8 +77,13 @@ func (h *KWise) RangeBatch(keys []uint64, r uint64, out []uint64) {
 	}
 	switch len(h.coeffs) {
 	case 2:
+		rangeDispatch.count(len(keys), 1)
 		active.rangeK2(h.coeffs[0], h.coeffs[1], r, keys, out)
 	default:
+		// The fallback evaluates via FieldBatch, which counts itself
+		// under the field family; the reduction loop below is portable
+		// scalar code either way.
+		rangeDispatch.scalar.Inc()
 		h.FieldBatch(keys, out)
 		for j, v := range out[:len(keys)] {
 			hi, _ := bits.Mul64(v<<3, r)

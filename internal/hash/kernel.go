@@ -40,6 +40,10 @@ import (
 // methods dispatch through.
 type kernelTable struct {
 	name string
+	// vector marks tables whose kernels route long columns to vector
+	// assembly; with the length cutover (vectorMinLen) it decides how a
+	// dispatch is counted (see dispatch_stats.go).
+	vector bool
 	// bucketSignsRow fills one Count-Sketch row's bucket and sign
 	// columns for a whole key column (coefficients c0..c3, row width r).
 	bucketSignsRow func(c0, c1, c2, c3, r uint64, keys []uint64, cols []uint32, signs []int8)
@@ -139,6 +143,7 @@ func GatherSignInt64(row []int64, idx []uint32, signs []int8, out []int64) {
 	if len(idx) < len(out) || len(signs) < len(out) {
 		panic(fmt.Sprintf("hash: GatherSignInt64 columns hold %d/%d entries, need %d", len(idx), len(signs), len(out)))
 	}
+	gatherDispatch.count(len(out), 1)
 	active.gatherSignInt64(row, idx, signs, out)
 }
 
@@ -152,6 +157,7 @@ func MedianOf7Columns(est []float64, out []float64) {
 	if len(est) < 7*len(out) {
 		panic(fmt.Sprintf("hash: MedianOf7Columns matrix holds %d entries, need %d", len(est), 7*len(out)))
 	}
+	medianDispatch.count(len(out), 1)
 	active.medianOf7Cols(est, out)
 }
 

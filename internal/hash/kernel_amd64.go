@@ -58,7 +58,8 @@ func gatherSignInt64AVX2(row []int64, idx []uint32, signs []int8, out []int64)
 func medianOf7ColsAVX2(est, out *float64, stride, count int)
 
 var avx2Table = kernelTable{
-	name: "avx2",
+	name:   "avx2",
+	vector: true,
 	bucketSignsRow: func(c0, c1, c2, c3, r uint64, keys []uint64, cols []uint32, signs []int8) {
 		if len(keys) < vectorMinLen {
 			bucketSignsRowScalar(c0, c1, c2, c3, r, keys, cols, signs)

@@ -1,0 +1,37 @@
+//go:build noobs
+
+package obs
+
+// This file is the `-tags noobs` twin of metrics.go: every primitive is
+// a zero-size struct with empty methods, so the instrumentation calls
+// threaded through the engine, shard workers, arena and kernel dispatch
+// compile to nothing — no atomic traffic, no clock reads, no state.
+
+// Enabled reports whether this build records metrics; constant false
+// here so guarded blocks dead-code-eliminate.
+const Enabled = false
+
+// Now returns 0 without reading any clock.
+func Now() int64 { return 0 }
+
+// Counter is compiled out; all methods are no-ops and Load reports 0.
+type Counter struct{}
+
+func (c *Counter) Inc()        {}
+func (c *Counter) Add(n int64) {}
+func (c *Counter) Load() int64 { return 0 }
+
+// Gauge is compiled out; all methods are no-ops and Load reports 0.
+type Gauge struct{}
+
+func (g *Gauge) Set(v int64) {}
+func (g *Gauge) Add(n int64) {}
+func (g *Gauge) Load() int64 { return 0 }
+
+// Histogram is compiled out; recording is a no-op and Snapshot returns
+// the empty snapshot.
+type Histogram struct{}
+
+func (h *Histogram) Observe(ns int64)            {}
+func (h *Histogram) ObserveSince(start int64)    {}
+func (h *Histogram) Snapshot() HistogramSnapshot { return HistogramSnapshot{} }

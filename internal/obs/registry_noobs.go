@@ -1,0 +1,51 @@
+//go:build noobs
+
+package obs
+
+import (
+	"io"
+	"net/http"
+)
+
+// Registry is compiled out: registration stores nothing and rendering
+// emits nothing, so engine.ExposeMetrics and the package-level init
+// registrations in core/hash cost zero under -tags noobs.
+type Registry struct{}
+
+// NewRegistry returns the no-op registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Default is the (no-op) process-wide registry.
+var Default = NewRegistry()
+
+func (r *Registry) CounterFunc(owner, name, help string, f func() int64, labels ...Label) {}
+func (r *Registry) GaugeFunc(owner, name, help string, f func() int64, labels ...Label)   {}
+func (r *Registry) HistogramFunc(owner, name, help string, f func() HistogramSnapshot, labels ...Label) {
+}
+func (r *Registry) RemoveOwner(owner string) {}
+
+// WriteMetrics writes the disabled marker so scrapers see an explicit
+// signal rather than an empty page.
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	_, err := io.WriteString(w, disabledBody)
+	return err
+}
+
+// WriteJSON writes an empty JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	_, err := io.WriteString(w, "[]\n")
+	return err
+}
+
+const disabledBody = "# observability disabled (built with -tags noobs)\n"
+
+// Handler serves the disabled marker.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, disabledBody)
+	})
+}
+
+// Handler returns the Default registry's handler.
+func Handler() http.Handler { return Default.Handler() }

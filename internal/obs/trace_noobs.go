@@ -1,0 +1,31 @@
+//go:build noobs
+
+package obs
+
+import "context"
+
+// Span is compiled out; StartRegion and End are no-ops.
+type Span struct{}
+
+// StartRegion returns the no-op span.
+func StartRegion(ctx context.Context, name string) Span { return Span{} }
+
+// End does nothing.
+func (s Span) End() {}
+
+// Task is compiled out; Context returns the context unchanged.
+type Task struct {
+	ctx context.Context
+}
+
+// StartTask returns a no-op task carrying ctx.
+func StartTask(ctx context.Context, name string) Task { return Task{ctx: ctx} }
+
+// Context returns the context StartTask was given.
+func (t Task) Context() context.Context { return t.ctx }
+
+// End does nothing.
+func (t Task) End() {}
+
+// LabelGoroutine does nothing.
+func LabelGoroutine(key, value string) {}

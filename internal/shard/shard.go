@@ -26,9 +26,11 @@
 package shard
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Ingester consumes pre-planned columnar batches. The engine's
@@ -46,12 +48,31 @@ type message struct {
 	done  chan struct{}
 }
 
+// Metrics is a worker's observability cell block: per-worker counters
+// written only by the owner goroutine (apply side) or the sending
+// goroutine (stall side). Each obs.Counter is cache-line padded, so
+// adjacent workers' metrics never false-share. Under -tags noobs the
+// whole struct is zero-size and every recording call compiles out.
+type Metrics struct {
+	// BatchesApplied and KeysApplied count work the owner goroutine has
+	// finished applying (a flush barrier makes them exact totals).
+	BatchesApplied obs.Counter
+	KeysApplied    obs.Counter
+	// BusyNanos accumulates time the owner goroutine spent inside
+	// UpdateColumns — occupancy = BusyNanos / wall time.
+	BusyNanos obs.Counter
+	// SendStalls counts Sends that found the inbox full and had to
+	// block — the backpressure signal.
+	SendStalls obs.Counter
+}
+
 // Worker is a single-writer shard: one goroutine, one Ingester, one
 // bounded inbox.
 type Worker struct {
 	in      chan message
 	wg      sync.WaitGroup
 	recycle func(*core.Batch)
+	m       Metrics
 }
 
 // New starts a worker goroutine that feeds ing. queue is the inbox
@@ -59,6 +80,15 @@ type Worker struct {
 // non-nil, receives each batch after it has been applied so the caller
 // can pool buffers; the worker never touches a batch afterwards.
 func New(ing Ingester, queue int, recycle func(*core.Batch)) *Worker {
+	return NewNamed(ing, queue, recycle, "")
+}
+
+// NewNamed is New with an observability name: when non-empty, the
+// worker goroutine labels itself with the pprof label shard=name (CPU
+// profiles attribute samples per shard) and wraps each batch apply in
+// the execution-trace region "shard.apply" so `go tool trace` shows
+// per-shard apply spans.
+func NewNamed(ing Ingester, queue int, recycle func(*core.Batch), name string) *Worker {
 	if queue < 1 {
 		queue = 1
 	}
@@ -66,9 +96,19 @@ func New(ing Ingester, queue int, recycle func(*core.Batch)) *Worker {
 	w.wg.Add(1)
 	go func() {
 		defer w.wg.Done()
+		if name != "" {
+			obs.LabelGoroutine("shard", name)
+		}
+		ctx := context.Background()
 		for m := range w.in {
 			if m.batch != nil {
+				start := obs.Now()
+				span := obs.StartRegion(ctx, "shard.apply")
 				ing.UpdateColumns(m.batch)
+				span.End()
+				w.m.BusyNanos.Add(obs.Now() - start)
+				w.m.BatchesApplied.Inc()
+				w.m.KeysApplied.Add(int64(m.batch.Len()))
 				if w.recycle != nil {
 					w.recycle(m.batch)
 				}
@@ -82,9 +122,22 @@ func New(ing Ingester, queue int, recycle func(*core.Batch)) *Worker {
 	return w
 }
 
+// Metrics returns the worker's counters; readers may load them at any
+// time (quiesce with a flush barrier first for exact totals).
+func (w *Worker) Metrics() *Metrics { return &w.m }
+
+// QueueDepth reports the number of messages waiting in the inbox right
+// now; QueueCap its bound. Depth ≈ cap sustained means the shard is the
+// bottleneck and senders are stalling.
+func (w *Worker) QueueDepth() int { return len(w.in) }
+
+// QueueCap reports the inbox bound.
+func (w *Worker) QueueCap() int { return cap(w.in) }
+
 // Send hands a columnar batch to the worker, transferring ownership.
 // It blocks while the inbox is full — the backpressure that keeps a
-// slow shard from accumulating unbounded queued batches.
+// slow shard from accumulating unbounded queued batches. Each Send
+// that finds the inbox full counts one stall in Metrics.
 func (w *Worker) Send(b *core.Batch) {
 	if b == nil || b.Len() == 0 {
 		if b != nil && w.recycle != nil {
@@ -92,7 +145,19 @@ func (w *Worker) Send(b *core.Batch) {
 		}
 		return
 	}
-	w.in <- message{batch: b}
+	msg := message{batch: b}
+	if obs.Enabled {
+		// Try-then-block: the fast path is one select that succeeds
+		// immediately; only a full inbox pays the second (blocking) send,
+		// and that Send was going to block anyway.
+		select {
+		case w.in <- msg:
+			return
+		default:
+			w.m.SendStalls.Inc()
+		}
+	}
+	w.in <- msg
 }
 
 // Do runs f in the worker goroutine after every previously sent batch
