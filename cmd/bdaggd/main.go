@@ -1,0 +1,113 @@
+// Command bdaggd is the aggregation daemon: it accepts site agents
+// (cmd/bdagent) over TCP, keeps every agent's latest full sketch
+// snapshot, and answers point/heavy-hitter/L1/support queries for the
+// merged union stream. Agents are admitted only when their sketch
+// Config matches exactly (same seed, so the sketches share hash
+// coefficients and merge linearly).
+//
+// Usage:
+//
+//	go run ./cmd/bdaggd -listen :7600 -structures hh,l1,support
+//	go run ./cmd/bdaggd -listen :7600 -metrics :9090   # plus /metrics
+//
+// With -metrics, the aggregator's observability surface (connections,
+// frames, bytes, snapshot outcomes, merge latency, per-agent
+// staleness) is served as Prometheus text on /metrics, JSON with
+// ?format=json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	bounded "repro"
+	"repro/internal/netagg"
+	"repro/internal/obs"
+)
+
+var (
+	listen     = flag.String("listen", ":7600", "agent/client listen address")
+	metrics    = flag.String("metrics", "", "serve /metrics on this address (empty = off)")
+	n          = flag.Uint64("n", 1<<16, "universe size")
+	eps        = flag.Float64("eps", 0.05, "heavy hitter threshold eps")
+	alpha      = flag.Float64("alpha", 4, "alpha-property bound")
+	seed       = flag.Int64("seed", 7, "sketch seed (must match every agent)")
+	structures = flag.String("structures", "hh,l1,support", "accepted sketch set (hh,l1,l0,l1sampler,support,l2hh,sync)")
+	idle       = flag.Duration("idle-timeout", 0, "drop connections idle for this long (0 = never)")
+	statsEvery = flag.Duration("stats", time.Minute, "log a stats line this often (0 = never)")
+)
+
+func main() {
+	flag.Parse()
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+
+	structs, err := netagg.ParseStructures(*structures)
+	if err != nil {
+		logf("bdaggd: %v", err)
+		os.Exit(2)
+	}
+	agg, err := netagg.NewAggregator(netagg.AggregatorOptions{
+		Config:      bounded.Config{N: *n, Eps: *eps, Alpha: *alpha, Seed: *seed},
+		Structures:  structs,
+		IdleTimeout: *idle,
+		Logf:        logf,
+	})
+	if err != nil {
+		logf("bdaggd: %v", err)
+		os.Exit(2)
+	}
+
+	if *metrics != "" {
+		agg.ExposeMetrics(obs.Default, "bdaggd")
+		go func() {
+			http.Handle("/metrics", obs.Handler())
+			logf("bdaggd: metrics on http://%s/metrics", *metrics)
+			if err := http.ListenAndServe(*metrics, nil); err != nil {
+				logf("bdaggd: metrics server: %v", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logf("bdaggd: %v", err)
+		os.Exit(1)
+	}
+	logf("bdaggd: listening on %s (structures %s, n=%d eps=%g alpha=%g seed=%d)",
+		ln.Addr(), *structures, *n, *eps, *alpha, *seed)
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := agg.Stats()
+				logf("bdaggd: agents=%d applied=%d stale=%d rejected=%d queries=%d framesIn=%d bytesIn=%d",
+					len(st.Agents), st.SnapshotsApplied, st.SnapshotsStale,
+					st.SnapshotsRejected, st.QueriesServed, st.FramesIn, st.BytesIn)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		logf("bdaggd: shutting down")
+		agg.Close()
+	}()
+
+	if err := agg.Serve(ln); err != nil {
+		logf("bdaggd: serve: %v", err)
+		os.Exit(1)
+	}
+	st := agg.Stats()
+	logf("bdaggd: served %d conns, committed %d snapshots, answered %d queries",
+		st.ConnsOpened, st.SnapshotsApplied, st.QueriesServed)
+}

@@ -329,6 +329,36 @@
 // records the enabled build at parity with the noobs build on the
 // Fig1 ingest paths, and CI enforces a <2% overhead budget.
 //
+// # Networked aggregation
+//
+// The repro/internal/netagg package and the cmd/bdagent + cmd/bdaggd
+// binaries run the paper's distributed monitoring scenario as a real
+// service: site Agents ingest their local substream through the
+// sharded engine and periodically ship engine-merged snapshots — as
+// framed repro/internal/netproto messages over TCP — to an Aggregator
+// that holds every agent's latest state, merges it into a cached
+// global view, and answers Client queries for the union stream.
+//
+//	site stream ─▶ Agent[engine] ──SNAPSHOT/ACK──▶ ┐
+//	site stream ─▶ Agent[engine] ──SNAPSHOT/ACK──▶ ├─ Aggregator ──ANSWER──▶ Client
+//	site stream ─▶ Agent[engine] ──SNAPSHOT/ACK──▶ ┘
+//
+// The protocol is HELLO/WELCOME (version negotiation plus an exact
+// Config-echo admission gate — same seed or the sketches are not
+// mergeable), SNAPSHOT/ACK (full engine-merged state per enabled
+// structure), and QUERY/ANSWER (point estimates, heavy hitters, L1,
+// support). Sync is generation-gated: an idle agent whose engine
+// Generation has not moved since the last ACK ships nothing at all.
+// Because snapshots carry full state, a resend after a lost ACK or a
+// reconnect REPLACES the agent's prior contribution rather than
+// double-counting, and the aggregator commits each snapshot
+// atomically (every blob decodes or none applies). In the sketches'
+// exact regimes the aggregator's answers are bit-identical to one
+// engine fed every site's stream — asserted over real loopback
+// sockets, mid-run reconnect included, by internal/netagg's
+// differential test. examples/distributedmerge is the one-shot,
+// pipe-based precursor showing the same frames without the lifecycle.
+//
 // See DESIGN.md for the system inventory and the laptop-scale parameter
 // substitutions, and EXPERIMENTS.md for measured results per table and
 // figure.

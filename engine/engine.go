@@ -436,6 +436,25 @@ func New(cfg bounded.Config, opts Options) (*Engine, error) {
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return e.opt.Shards }
 
+// Structures returns the structure set every shard maintains, with
+// defaults filled in — the set a networked agent enumerates when
+// deciding which Snapshot kinds to ship.
+func (e *Engine) Structures() Structures { return e.opt.Structures }
+
+// Generation returns the engine's state generation: it advances on
+// every state-changing Ingest and Restore and is stable across queries,
+// flushes, and snapshots. Two equal readings with no error in between
+// mean the engine's sketch state is unchanged — the token the
+// networked agent's incremental sync compares against its last ACKed
+// snapshot to skip shipping sketches that cannot have moved.
+//
+// Read the generation BEFORE marshaling a snapshot: ingest racing the
+// marshal can only make the snapshot carry MORE than the recorded
+// generation claims, so acting on a stale reading re-sends state (a
+// full-snapshot replacement is idempotent) rather than ever skipping
+// unsent state.
+func (e *Engine) Generation() uint64 { return e.gen.Load() }
+
 // ShardOf reports which shard owns index i — the fast-range partition
 // hash that routes i's updates and its point queries. Exposed so
 // tooling (cmd/bdquery's routing report, load-balance diagnostics) can

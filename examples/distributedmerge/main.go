@@ -1,31 +1,39 @@
-// Distributedmerge demonstrates the wire format end to end with REAL
-// process isolation — the paper's distributed monitoring scenario: S
-// sites each observe a disjoint substream, build small linear sketches,
-// and ship them (serialized) to a coordinator that merges and answers
-// for the union.
+// Distributedmerge demonstrates the aggregation tier's message layer
+// end to end with REAL process isolation — the paper's distributed
+// monitoring scenario: S sites each observe a disjoint substream,
+// build small linear sketches, and ship them to a coordinator that
+// merges and answers for the union.
 //
 // The binary re-executes itself once per site (a separate OS process
-// with nothing shared but the Config), reads the site's marshaled
-// sketches from the child's stdout, restores them with
+// with nothing shared but the Config) and speaks the SAME framed
+// protocol the production tier uses — netproto HELLO + SNAPSHOT
+// frames, here over the child's stdout pipe instead of a TCP socket.
+// The coordinator checks the HELLO's config echo (same seed ⇒
+// mergeable sketches), decodes each SNAPSHOT blob with
 // bounded.UnmarshalSketch, and Merges. A single-writer reference over
 // the concatenated stream verifies the coordinator's answers are
 // identical — the exact-regime guarantee the library's differential
 // tests assert.
 //
+// This is the manual, one-shot precursor to the real service: run
+// cmd/bdaggd and cmd/bdagent for the same exchange over live sockets
+// with periodic incremental sync, reconnects, and queries.
+//
 // Run with: go run ./examples/distributedmerge
 package main
 
 import (
-	"encoding/base64"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
 	"os/exec"
-	"strings"
 
 	bounded "repro"
+	"repro/engine"
+	"repro/internal/netproto"
 )
 
 const (
@@ -68,20 +76,40 @@ func siteStream(site int) []bounded.Update {
 	return updates
 }
 
-// runSite is the child-process role: sketch the substream, print each
-// serialized sketch as one base64 line.
+// runSite is the child-process role: sketch the substream, then speak
+// the agent's half of the protocol over stdout — HELLO introducing the
+// site and its config, then one SNAPSHOT carrying every sketch as a
+// self-describing wire envelope.
 func runSite(site int) {
 	hh := must(bounded.NewHeavyHitters(cfg))
 	l1 := must(bounded.NewL1Estimator(cfg))
 	batch := siteStream(site)
 	hh.UpdateBatch(batch)
 	l1.UpdateBatch(batch)
-	for _, sk := range []bounded.Sketch{hh, l1} {
-		wire, err := sk.MarshalBinary()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println(base64.StdEncoding.EncodeToString(wire))
+
+	mw := netproto.NewMessageWriter(os.Stdout)
+	if err := mw.Write(&netproto.Hello{
+		Role:       netproto.RoleAgent,
+		Agent:      fmt.Sprintf("site-%d", site),
+		MinVersion: netproto.VersionMin,
+		MaxVersion: netproto.VersionMax,
+		Config:     netproto.ConfigEcho{N: cfg.N, Eps: cfg.Eps, Alpha: cfg.Alpha, Seed: cfg.Seed},
+		Structures: uint32(engine.HeavyHitters | engine.L1Estimator),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	snap := &netproto.Snapshot{Seq: 1, Gen: 1}
+	for bit, sk := range map[engine.Structures]bounded.Sketch{
+		engine.HeavyHitters: hh,
+		engine.L1Estimator:  l1,
+	} {
+		snap.Sketches = append(snap.Sketches, netproto.SketchBlob{
+			StructureBit: uint32(bit),
+			Payload:      must(sk.MarshalBinary()),
+		})
+	}
+	if err := mw.Write(snap); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -92,8 +120,8 @@ func main() {
 		return
 	}
 
-	// Coordinator role: spawn one worker process per site and merge
-	// whatever they ship back.
+	// Coordinator role: spawn one worker process per site, read its
+	// framed HELLO + SNAPSHOT off the pipe, and merge the blobs.
 	hh := must(bounded.NewHeavyHitters(cfg))
 	l1 := must(bounded.NewL1Estimator(cfg))
 	var wireBytes int
@@ -102,15 +130,36 @@ func main() {
 		if err != nil {
 			log.Fatalf("site %d: %v", site, err)
 		}
-		for _, line := range strings.Fields(string(out)) {
-			wire, err := base64.StdEncoding.DecodeString(line)
-			if err != nil {
-				log.Fatal(err)
-			}
-			wireBytes += len(wire)
+		wireBytes += len(out)
+		mr := netproto.NewMessageReader(newByteReader(out), 0)
+
+		first, err := mr.Next()
+		if err != nil {
+			log.Fatalf("site %d: reading HELLO: %v", site, err)
+		}
+		hello, ok := first.(*netproto.Hello)
+		if !ok {
+			log.Fatalf("site %d: expected HELLO, got %s", site, first.Kind())
+		}
+		// The admission gate every aggregator applies: same Config or
+		// the sketches are not mergeable.
+		want := netproto.ConfigEcho{N: cfg.N, Eps: cfg.Eps, Alpha: cfg.Alpha, Seed: cfg.Seed}
+		if hello.Config != want {
+			log.Fatalf("site %d: config mismatch: %+v", site, hello.Config)
+		}
+
+		msg, err := mr.Next()
+		if err != nil {
+			log.Fatalf("site %d: reading SNAPSHOT: %v", site, err)
+		}
+		snap, ok := msg.(*netproto.Snapshot)
+		if !ok {
+			log.Fatalf("site %d: expected SNAPSHOT, got %s", site, msg.Kind())
+		}
+		for _, blob := range snap.Sketches {
 			// The payload is self-describing: the coordinator does not
-			// need to know which sketch each line holds.
-			sk, err := bounded.UnmarshalSketch(wire)
+			// need the StructureBit to know which sketch it holds.
+			sk, err := bounded.UnmarshalSketch(blob.Payload)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -138,9 +187,9 @@ func main() {
 		refL1.UpdateBatch(batch)
 	}
 
-	fmt.Println("== distributed merge (one process per site) ==")
+	fmt.Println("== distributed merge (one process per site, netproto frames) ==")
 	fmt.Printf("sites                    : %d\n", sites)
-	fmt.Printf("shipped sketch bytes     : %d\n", wireBytes)
+	fmt.Printf("shipped frame bytes      : %d\n", wireBytes)
 	fmt.Printf("merged heavy hitters     : %v\n", hh.HeavyHitters())
 	fmt.Printf("single-writer reference  : %v\n", refHH.HeavyHitters())
 	fmt.Printf("merged ||f||_1 estimate  : %.0f (reference %.0f)\n", l1.Estimate(), refL1.Estimate())
@@ -149,4 +198,20 @@ func main() {
 	if !match {
 		os.Exit(1)
 	}
+}
+
+// newByteReader wraps the collected pipe output as an io.Reader for
+// the streaming MessageReader (which tolerates arbitrary read
+// fragmentation — a live pipe works just as well).
+func newByteReader(b []byte) io.Reader { return &byteReader{b: b} }
+
+type byteReader struct{ b []byte }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
 }

@@ -1,0 +1,637 @@
+package netagg
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	bounded "repro"
+	"repro/engine"
+	"repro/internal/netproto"
+	"repro/internal/obs"
+)
+
+// AggregatorOptions configures an Aggregator. The zero value of every
+// field is usable; Config must match the agents' exactly or their
+// HELLOs are refused.
+type AggregatorOptions struct {
+	// Config is the sketch parameterization every agent must share.
+	Config bounded.Config
+	// Structures bounds which sketch kinds agents may ship (default
+	// HeavyHitters). An agent may ship a subset; extra kinds are a
+	// handshake error, not a silent drop.
+	Structures engine.Structures
+	// MaxFrame caps inbound frame payloads (default
+	// netproto.DefaultMaxFrame).
+	MaxFrame uint32
+	// IOTimeout bounds each response write and the opening HELLO read
+	// (default 10s). Steady-state reads are unbounded by default —
+	// agents are allowed to go quiet between syncs — unless
+	// IdleTimeout is set.
+	IOTimeout time.Duration
+	// IdleTimeout, when positive, drops connections that send nothing
+	// for that long.
+	IdleTimeout time.Duration
+	// Logf receives connection-lifecycle diagnostics (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (o *AggregatorOptions) fill() {
+	if o.Structures == 0 {
+		o.Structures = engine.HeavyHitters
+	}
+	if o.MaxFrame == 0 {
+		o.MaxFrame = netproto.DefaultMaxFrame
+	}
+	if o.IOTimeout == 0 {
+		o.IOTimeout = 10 * time.Second
+	}
+	o.Logf = logfOr(o.Logf)
+}
+
+// agentState is one agent's latest committed contribution. Sketches
+// are immutable once stored — a commit REPLACES pointers, it never
+// mutates a stored sketch — so the merged-view builder may read them
+// outside the lock after capturing the pointers under it.
+type agentState struct {
+	sketches map[engine.Structures]bounded.Sketch
+	seq      uint64 // highest committed Snapshot.Seq
+	gen      uint64 // agent engine generation at that snapshot
+	// lastSyncUnixNano feeds the staleness gauge; a plain atomic so
+	// the gauge readback needs no aggregator lock.
+	lastSyncUnixNano atomic.Int64
+	snapshots        atomic.Int64
+}
+
+// AgentSyncStats is one agent's sync freshness in Stats.
+type AgentSyncStats struct {
+	ID        string
+	Seq       uint64
+	Gen       uint64
+	Snapshots int64
+	// Staleness is the time since the last committed snapshot.
+	Staleness time.Duration
+}
+
+// AggregatorStats is a point-in-time snapshot of the aggregator's
+// counters — the exact-count contract surface (plain atomics, live in
+// every build flavor including noobs) that the e2e tests assert
+// incremental sync against.
+type AggregatorStats struct {
+	ConnsOpened, ConnsClosed         int64
+	FramesIn, FramesOut              int64
+	BytesIn, BytesOut                int64
+	SnapshotsApplied, SnapshotsStale int64
+	SnapshotsRejected                int64
+	QueriesServed, QueryErrors       int64
+	HandshakeFailures                int64
+	ViewBuilds                       int64
+	Agents                           []AgentSyncStats
+}
+
+// Aggregator terminates many agent connections, retains each agent's
+// latest full snapshot, and answers client queries over the merged
+// union. It never feeds an engine.Restore — periodic full snapshots
+// REPLACE per-agent state keyed by agent ID, which is what keeps
+// resends and reconnects from double-counting mass.
+type Aggregator struct {
+	opt AggregatorOptions
+
+	// mu guards the per-agent state table. stateVersion increments on
+	// every commit; the merged-view cache is tagged with the version it
+	// was built from.
+	mu           sync.Mutex
+	agents       map[string]*agentState
+	stateVersion uint64
+
+	// qmu serializes query answering and guards the merged-view cache.
+	// One merge rebuild serves every query until the next commit.
+	qmu         sync.Mutex
+	view        map[engine.Structures]bounded.Sketch
+	viewVersion uint64
+	haveView    bool
+
+	lnMu   sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	connsOpened, connsClosed         atomic.Int64
+	framesIn, framesOut              atomic.Int64
+	bytesIn, bytesOut                atomic.Int64
+	snapshotsApplied, snapshotsStale atomic.Int64
+	snapshotsRejected                atomic.Int64
+	queriesServed, queryErrors       atomic.Int64
+	handshakeFailures                atomic.Int64
+	viewBuilds                       atomic.Int64
+	mergeNanos                       obs.Histogram
+	applyNanos                       obs.Histogram
+
+	// Metrics registration, so agents that first appear after
+	// ExposeMetrics still get their staleness gauge.
+	regMu       sync.Mutex
+	reg         *obs.Registry
+	regOwner    string
+	regInstance string
+}
+
+// NewAggregator returns an Aggregator; call Serve with a listener to
+// start accepting.
+func NewAggregator(opt AggregatorOptions) (*Aggregator, error) {
+	if err := opt.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("netagg: aggregator config: %w", err)
+	}
+	opt.fill()
+	return &Aggregator{
+		opt:    opt,
+		agents: make(map[string]*agentState),
+		conns:  make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Serve accepts connections on ln until Close (returns nil) or a
+// listener failure (returns the error). One goroutine per connection.
+func (a *Aggregator) Serve(ln net.Listener) error {
+	a.lnMu.Lock()
+	a.ln = ln
+	a.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if a.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		a.lnMu.Lock()
+		if a.closed.Load() {
+			a.lnMu.Unlock()
+			conn.Close()
+			return nil
+		}
+		a.conns[conn] = struct{}{}
+		a.lnMu.Unlock()
+		a.connsOpened.Add(1)
+		a.wg.Add(1)
+		go a.handle(conn)
+	}
+}
+
+// Close stops accepting, tears down live connections, and waits for
+// handlers to drain. Committed agent state is retained (queries keep
+// answering) until the Aggregator is garbage collected.
+func (a *Aggregator) Close() error {
+	if a.closed.Swap(true) {
+		return nil
+	}
+	a.lnMu.Lock()
+	if a.ln != nil {
+		a.ln.Close()
+	}
+	for c := range a.conns {
+		c.Close()
+	}
+	a.lnMu.Unlock()
+	a.wg.Wait()
+
+	a.regMu.Lock()
+	if a.reg != nil {
+		a.reg.RemoveOwner(a.regOwner)
+		a.reg = nil
+	}
+	a.regMu.Unlock()
+	return nil
+}
+
+// Addr returns the listener address once Serve has one (for tests that
+// listen on ":0").
+func (a *Aggregator) Addr() net.Addr {
+	a.lnMu.Lock()
+	defer a.lnMu.Unlock()
+	if a.ln == nil {
+		return nil
+	}
+	return a.ln.Addr()
+}
+
+func (a *Aggregator) dropConn(conn net.Conn) {
+	conn.Close()
+	a.lnMu.Lock()
+	delete(a.conns, conn)
+	a.lnMu.Unlock()
+	a.connsClosed.Add(1)
+}
+
+// handle runs one connection: HELLO/WELCOME handshake, then a loop of
+// SNAPSHOT→ACK (agents) and QUERY→ANSWER (any role). Protocol
+// violations get an ERROR frame and a close; a mid-frame disconnect
+// simply ends the loop — nothing is committed for a snapshot whose
+// frame never finished, so partial sends cannot corrupt global state.
+func (a *Aggregator) handle(conn net.Conn) {
+	defer a.wg.Done()
+	defer a.dropConn(conn)
+
+	cc := &countingConn{Conn: conn, in: &a.bytesIn, out: &a.bytesOut}
+	mr := netproto.NewMessageReader(cc, a.opt.MaxFrame)
+	mw := netproto.NewMessageWriter(cc)
+	send := func(m netproto.Msg) error {
+		conn.SetWriteDeadline(deadline(a.opt.IOTimeout))
+		if err := mw.Write(m); err != nil {
+			return err
+		}
+		a.framesOut.Add(1)
+		return nil
+	}
+	refuse := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		a.handshakeFailures.Add(1)
+		a.opt.Logf("netagg: aggregator refusing %s: %s", conn.RemoteAddr(), msg)
+		send(&netproto.Error{Msg: msg})
+	}
+
+	conn.SetReadDeadline(deadline(a.opt.IOTimeout))
+	first, err := mr.Next()
+	if err != nil {
+		a.handshakeFailures.Add(1)
+		return
+	}
+	a.framesIn.Add(1)
+	hello, ok := first.(*netproto.Hello)
+	if !ok {
+		refuse("expected HELLO, got %s", first.Kind())
+		return
+	}
+	version, err := netproto.Negotiate(hello)
+	if err != nil {
+		refuse("%s", err)
+		return
+	}
+	var lastSeq uint64
+	if hello.Role == netproto.RoleAgent {
+		if hello.Agent == "" {
+			refuse("agent HELLO with empty agent id")
+			return
+		}
+		if got, want := hello.Config, configEcho(a.opt.Config); got != want {
+			refuse("config mismatch: agent %+v, aggregator %+v", got, want)
+			return
+		}
+		if extra := engine.Structures(hello.Structures) &^ a.opt.Structures; extra != 0 {
+			refuse("agent ships structures %#x the aggregator does not accept (accepts %#x)",
+				hello.Structures, uint32(a.opt.Structures))
+			return
+		}
+		a.mu.Lock()
+		if st := a.agents[hello.Agent]; st != nil {
+			lastSeq = st.seq
+		}
+		a.mu.Unlock()
+	}
+	if err := send(&netproto.Welcome{Version: version, LastSeq: lastSeq}); err != nil {
+		return
+	}
+
+	for {
+		conn.SetReadDeadline(deadline(a.opt.IdleTimeout))
+		msg, err := mr.Next()
+		if err != nil {
+			return
+		}
+		a.framesIn.Add(1)
+		switch m := msg.(type) {
+		case *netproto.Snapshot:
+			if hello.Role != netproto.RoleAgent {
+				refuse("SNAPSHOT from non-agent role %s", hello.Role)
+				return
+			}
+			if err := a.applySnapshot(hello.Agent, m); err != nil {
+				a.snapshotsRejected.Add(1)
+				refuse("snapshot %d from %q: %s", m.Seq, hello.Agent, err)
+				return
+			}
+			if err := send(&netproto.Ack{Seq: m.Seq}); err != nil {
+				return
+			}
+		case *netproto.Query:
+			ans := a.answer(m)
+			if ans.Err != "" {
+				a.queryErrors.Add(1)
+			}
+			a.queriesServed.Add(1)
+			if err := send(ans); err != nil {
+				return
+			}
+		case *netproto.Error:
+			a.opt.Logf("netagg: aggregator peer %s reported: %s", conn.RemoteAddr(), m.Msg)
+			return
+		default:
+			refuse("unexpected %s frame", msg.Kind())
+			return
+		}
+	}
+}
+
+// applySnapshot decodes every blob, then commits all of them in one
+// critical section. Decode-before-commit is the atomicity guarantee:
+// a snapshot with any malformed blob changes nothing.
+func (a *Aggregator) applySnapshot(id string, m *netproto.Snapshot) error {
+	start := obs.Now()
+	decoded := make(map[engine.Structures]bounded.Sketch, len(m.Sketches))
+	for _, blob := range m.Sketches {
+		bit := engine.Structures(blob.StructureBit)
+		if bit&^a.opt.Structures != 0 {
+			return fmt.Errorf("structure bit %#x not accepted", blob.StructureBit)
+		}
+		if _, dup := decoded[bit]; dup {
+			return fmt.Errorf("duplicate blob for structure bit %#x", blob.StructureBit)
+		}
+		sk, err := bounded.UnmarshalSketch(blob.Payload)
+		if err != nil {
+			return err
+		}
+		if !sketchMatchesBit(bit, sk) {
+			return fmt.Errorf("blob for structure bit %#x decodes to %T", blob.StructureBit, sk)
+		}
+		decoded[bit] = sk
+	}
+
+	a.mu.Lock()
+	st := a.agents[id]
+	if st == nil {
+		st = &agentState{sketches: make(map[engine.Structures]bounded.Sketch)}
+		a.agents[id] = st
+		a.registerAgentGauge(id, st)
+	}
+	if m.Seq <= st.seq {
+		// A duplicate or reordered resend: the committed state already
+		// covers it (full snapshots are idempotent), so skip the write
+		// but still ACK so the sender can move on.
+		a.mu.Unlock()
+		a.snapshotsStale.Add(1)
+		return nil
+	}
+	for bit, sk := range decoded {
+		st.sketches[bit] = sk
+	}
+	st.seq = m.Seq
+	st.gen = m.Gen
+	st.lastSyncUnixNano.Store(time.Now().UnixNano())
+	st.snapshots.Add(1)
+	a.stateVersion++
+	a.mu.Unlock()
+
+	a.snapshotsApplied.Add(1)
+	a.applyNanos.ObserveSince(start)
+	return nil
+}
+
+// sketchMatchesBit pins the blob's declared structure bit to the
+// concrete type its payload decoded to, so an agent cannot file an L1
+// estimator under the heavy-hitters slot and skew the merged view.
+func sketchMatchesBit(bit engine.Structures, sk bounded.Sketch) bool {
+	switch bit {
+	case engine.HeavyHitters:
+		_, ok := sk.(*bounded.HeavyHitters)
+		return ok
+	case engine.L1Estimator:
+		_, ok := sk.(*bounded.L1Estimator)
+		return ok
+	case engine.L0Estimator:
+		_, ok := sk.(*bounded.L0Estimator)
+		return ok
+	case engine.L1Sampler:
+		_, ok := sk.(*bounded.L1Sampler)
+		return ok
+	case engine.SupportSampler:
+		_, ok := sk.(*bounded.SupportSampler)
+		return ok
+	case engine.L2HeavyHitters:
+		_, ok := sk.(*bounded.L2HeavyHitters)
+		return ok
+	case engine.SyncSketch:
+		_, ok := sk.(*bounded.SyncSketch)
+		return ok
+	}
+	return false
+}
+
+// mergedView returns the union-of-all-agents sketch set, rebuilding
+// the cache only when a commit moved stateVersion since the last
+// build. Agents merge in sorted-ID order and blobs in ascending bit
+// order, so the same committed state always produces the same merged
+// bytes — the determinism the bit-identity e2e test leans on. The
+// caller must hold qmu; the returned sketches stay valid (and are
+// mutated only under qmu, e.g. heavy-hitters query scratch) until the
+// next rebuild.
+func (a *Aggregator) mergedView() (map[engine.Structures]bounded.Sketch, error) {
+	a.mu.Lock()
+	version := a.stateVersion
+	if a.haveView && a.viewVersion == version {
+		a.mu.Unlock()
+		return a.view, nil
+	}
+	ids := make([]string, 0, len(a.agents))
+	for id := range a.agents {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	byBit := make(map[engine.Structures][]bounded.Sketch)
+	for _, id := range ids {
+		for bit, sk := range a.agents[id].sketches {
+			byBit[bit] = append(byBit[bit], sk)
+		}
+	}
+	a.mu.Unlock()
+
+	// Merge outside the state lock: stored sketches are immutable, and
+	// Merge's license to mutate its argument is satisfied by cloning
+	// both sides. A commit racing this build just tags the cache with
+	// the pre-commit version, forcing a rebuild on the next query.
+	start := obs.Now()
+	view := make(map[engine.Structures]bounded.Sketch, len(byBit))
+	for bit, list := range byBit {
+		acc := list[0].Clone()
+		for _, sk := range list[1:] {
+			if err := acc.Merge(sk.Clone()); err != nil {
+				return nil, fmt.Errorf("netagg: merging %T: %w", sk, err)
+			}
+		}
+		view[bit] = acc
+	}
+	a.viewBuilds.Add(1)
+	a.mergeNanos.ObserveSince(start)
+
+	a.view, a.viewVersion, a.haveView = view, version, true
+	return view, nil
+}
+
+// answer executes one query against the merged view. An empty
+// aggregator (no snapshots yet) answers like an empty stream: zero
+// estimates, empty sets, zero norms. Asking for a structure the
+// aggregator does not accept is an Answer.Err, not a connection error.
+func (a *Aggregator) answer(q *netproto.Query) *netproto.Answer {
+	ans := &netproto.Answer{ID: q.ID}
+	need := func(bit engine.Structures) (bounded.Sketch, bool) {
+		if bit&^a.opt.Structures != 0 {
+			ans.Err = fmt.Sprintf("netagg: %s needs structure %#x, aggregator accepts %#x",
+				q.Op, uint32(bit), uint32(a.opt.Structures))
+			return nil, false
+		}
+		view, err := a.mergedView()
+		if err != nil {
+			ans.Err = err.Error()
+			return nil, false
+		}
+		return view[bit], true
+	}
+
+	a.qmu.Lock()
+	defer a.qmu.Unlock()
+	switch q.Op {
+	case netproto.OpEstimate:
+		sk, ok := need(engine.HeavyHitters)
+		if !ok {
+			return ans
+		}
+		if sk == nil {
+			ans.Values = make([]float64, len(q.Keys))
+			return ans
+		}
+		ans.Values = sk.(*bounded.HeavyHitters).EstimateBatch(q.Keys)
+	case netproto.OpHeavyHitters:
+		sk, ok := need(engine.HeavyHitters)
+		if !ok {
+			return ans
+		}
+		if sk != nil {
+			ans.Keys = sk.(*bounded.HeavyHitters).HeavyHitters()
+		}
+	case netproto.OpL1:
+		sk, ok := need(engine.L1Estimator)
+		if !ok {
+			return ans
+		}
+		ans.Values = []float64{0}
+		if sk != nil {
+			ans.Values[0] = sk.(*bounded.L1Estimator).Estimate()
+		}
+	case netproto.OpSupport:
+		sk, ok := need(engine.SupportSampler)
+		if !ok {
+			return ans
+		}
+		if sk != nil {
+			ans.Keys = sk.(*bounded.SupportSampler).Recover()
+		}
+	default:
+		ans.Err = fmt.Sprintf("netagg: unsupported query op %s", q.Op)
+	}
+	return ans
+}
+
+// Stats snapshots the aggregator's counters and per-agent freshness.
+func (a *Aggregator) Stats() AggregatorStats {
+	s := AggregatorStats{
+		ConnsOpened:       a.connsOpened.Load(),
+		ConnsClosed:       a.connsClosed.Load(),
+		FramesIn:          a.framesIn.Load(),
+		FramesOut:         a.framesOut.Load(),
+		BytesIn:           a.bytesIn.Load(),
+		BytesOut:          a.bytesOut.Load(),
+		SnapshotsApplied:  a.snapshotsApplied.Load(),
+		SnapshotsStale:    a.snapshotsStale.Load(),
+		SnapshotsRejected: a.snapshotsRejected.Load(),
+		QueriesServed:     a.queriesServed.Load(),
+		QueryErrors:       a.queryErrors.Load(),
+		HandshakeFailures: a.handshakeFailures.Load(),
+		ViewBuilds:        a.viewBuilds.Load(),
+	}
+	now := time.Now()
+	a.mu.Lock()
+	for id, st := range a.agents {
+		s.Agents = append(s.Agents, AgentSyncStats{
+			ID:        id,
+			Seq:       st.seq,
+			Gen:       st.gen,
+			Snapshots: st.snapshots.Load(),
+			Staleness: now.Sub(time.Unix(0, st.lastSyncUnixNano.Load())),
+		})
+	}
+	a.mu.Unlock()
+	sort.Slice(s.Agents, func(i, j int) bool { return s.Agents[i].ID < s.Agents[j].ID })
+	return s
+}
+
+// ExposeMetrics registers the aggregator's observability series on r
+// under the instance label: connection/frame/byte counters, snapshot
+// commit and merge latency histograms, and a per-agent staleness gauge
+// (agents that first sync later are added as they appear). Returns the
+// unregister function; Close also unregisters.
+func (a *Aggregator) ExposeMetrics(r *obs.Registry, instance string) func() {
+	owner := "netagg-aggd:" + instance
+	inst := obs.Label{Key: "instance", Value: instance}
+	c := func(name, help string, f func() int64, labels ...obs.Label) {
+		r.CounterFunc(owner, name, help, f, labels...)
+	}
+	c("repro_aggd_conns_total", "connections accepted", a.connsOpened.Load, inst)
+	r.GaugeFunc(owner, "repro_aggd_conns_open", "connections currently open",
+		func() int64 { return a.connsOpened.Load() - a.connsClosed.Load() }, inst)
+	c("repro_aggd_frames_total", "frames by direction", a.framesIn.Load, inst, obs.Label{Key: "dir", Value: "in"})
+	c("repro_aggd_frames_total", "frames by direction", a.framesOut.Load, inst, obs.Label{Key: "dir", Value: "out"})
+	c("repro_aggd_bytes_total", "bytes by direction", a.bytesIn.Load, inst, obs.Label{Key: "dir", Value: "in"})
+	c("repro_aggd_bytes_total", "bytes by direction", a.bytesOut.Load, inst, obs.Label{Key: "dir", Value: "out"})
+	c("repro_aggd_snapshots_total", "snapshots by outcome", a.snapshotsApplied.Load, inst, obs.Label{Key: "outcome", Value: "applied"})
+	c("repro_aggd_snapshots_total", "snapshots by outcome", a.snapshotsStale.Load, inst, obs.Label{Key: "outcome", Value: "stale"})
+	c("repro_aggd_snapshots_total", "snapshots by outcome", a.snapshotsRejected.Load, inst, obs.Label{Key: "outcome", Value: "rejected"})
+	c("repro_aggd_queries_total", "client queries answered", a.queriesServed.Load, inst)
+	c("repro_aggd_query_errors_total", "client queries answered with an error", a.queryErrors.Load, inst)
+	c("repro_aggd_handshake_failures_total", "connections refused during handshake", a.handshakeFailures.Load, inst)
+	c("repro_aggd_view_builds_total", "merged-view rebuilds", a.viewBuilds.Load, inst)
+	r.HistogramFunc(owner, "repro_aggd_merge_seconds", "merged-view rebuild wall time", a.mergeNanos.Snapshot, inst)
+	r.HistogramFunc(owner, "repro_aggd_apply_seconds", "snapshot decode+commit wall time", a.applyNanos.Snapshot, inst)
+
+	a.regMu.Lock()
+	a.reg, a.regOwner, a.regInstance = r, owner, instance
+	a.regMu.Unlock()
+	// Gauges for agents that synced before metrics were exposed.
+	a.mu.Lock()
+	for id, st := range a.agents {
+		a.registerAgentGauge(id, st)
+	}
+	a.mu.Unlock()
+	return func() {
+		a.regMu.Lock()
+		if a.reg == r {
+			a.reg = nil
+		}
+		a.regMu.Unlock()
+		r.RemoveOwner(owner)
+	}
+}
+
+// registerAgentGauge adds the per-agent staleness gauge, once per
+// unique agent ID (agentState entries persist across reconnects, so a
+// flapping agent cannot duplicate its series). Callers hold a.mu; the
+// gauge readback itself only touches the agent's atomic.
+func (a *Aggregator) registerAgentGauge(id string, st *agentState) {
+	a.regMu.Lock()
+	defer a.regMu.Unlock()
+	if a.reg == nil {
+		return
+	}
+	a.reg.GaugeFunc(a.regOwner, "repro_aggd_agent_staleness_ms",
+		"milliseconds since the agent's last committed snapshot",
+		func() int64 {
+			last := st.lastSyncUnixNano.Load()
+			if last == 0 {
+				return -1
+			}
+			return (time.Now().UnixNano() - last) / int64(time.Millisecond)
+		},
+		obs.Label{Key: "instance", Value: a.regInstance},
+		obs.Label{Key: "agent", Value: id})
+}

@@ -1,0 +1,133 @@
+package netagg
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	bounded "repro"
+	"repro/engine"
+)
+
+// benchSetup stands up a loopback aggregator + one agent with phase-1
+// state committed, so each benchmark iteration measures steady-state
+// work, not cold starts.
+func benchSetup(b *testing.B) (*Agent, *Aggregator, string) {
+	b.Helper()
+	agg, err := NewAggregator(AggregatorOptions{Config: testConfig, Structures: testStructures})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go agg.Serve(ln)
+	b.Cleanup(func() { agg.Close() })
+
+	a, err := NewAgent(AgentOptions{
+		ID: "bench", Aggregator: ln.Addr().String(), Config: testConfig,
+		Engine:     engine.Options{Shards: 2, Structures: testStructures},
+		BackoffMin: time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { a.Close() })
+
+	if err := a.Ingest(testStream(40_000, 17)); err != nil {
+		b.Fatal(err)
+	}
+	if err := a.Sync(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	return a, agg, ln.Addr().String()
+}
+
+// BenchmarkSyncRoundTrip measures one full incremental sync cycle over
+// a real loopback socket: a small ingest to move the generation, then
+// marshal every enabled structure, frame, ship, decode, commit, ACK.
+func BenchmarkSyncRoundTrip(b *testing.B) {
+	a, _, _ := benchSetup(b)
+	tick := []bounded.Update{{Index: 1, Delta: 1}}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Ingest(tick); err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Sync(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := a.Stats()
+	if st.SnapshotsSent > 0 {
+		b.ReportMetric(float64(st.BytesOut)/float64(st.SnapshotsSent), "bytes/snapshot")
+	}
+}
+
+// BenchmarkSyncSkip measures the idle tick: generation unchanged, so
+// the sync must cost one atomic load and no I/O at all — the number
+// that justifies running agents on a tight interval.
+func BenchmarkSyncSkip(b *testing.B) {
+	a, _, _ := benchSetup(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Sync(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := a.Stats(); st.SnapshotsSkipped < int64(b.N) {
+		b.Fatalf("skipped %d of %d idle syncs", st.SnapshotsSkipped, b.N)
+	}
+}
+
+// BenchmarkQueryRoundTrip measures a client point-estimate batch over
+// the socket against the aggregator's cached merged view.
+func BenchmarkQueryRoundTrip(b *testing.B) {
+	_, _, addr := benchSetup(b)
+	c, err := DialClient(addr, ClientOptions{Config: testConfig})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	keys := make([]uint64, 16)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Estimate(keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyntheticIngest measures the load generator feeding the
+// agent's engine (no network in the loop; Sync is driven separately).
+func BenchmarkSyntheticIngest(b *testing.B) {
+	a, err := NewAgent(AgentOptions{
+		ID: "bench-gen", Aggregator: "127.0.0.1:1", Config: testConfig,
+		Engine: engine.Options{Shards: 2, Structures: testStructures},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { a.Close() })
+	ctx := context.Background()
+	b.ResetTimer()
+	var updates int
+	for i := 0; i < b.N; i++ {
+		rep, err := RunSynthetic(ctx, a, SyntheticConfig{Updates: 100_000, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		updates += rep.Updates
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(updates)/b.Elapsed().Seconds(), "updates/s")
+}

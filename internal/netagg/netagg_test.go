@@ -1,0 +1,718 @@
+package netagg
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	bounded "repro"
+	"repro/engine"
+	"repro/internal/gen"
+	"repro/internal/netproto"
+)
+
+// testConfig is the e2e parameterization: the distributedmerge
+// example's numbers, small enough that three engines plus a reference
+// run fast under -race.
+var testConfig = bounded.Config{N: 1 << 16, Eps: 0.05, Alpha: 4, Seed: 7}
+
+const testStructures = engine.HeavyHitters | engine.L1Estimator | engine.SupportSampler
+
+const numSites = 3
+
+// siteOf partitions the key universe across sites. Partitioning by
+// key keeps every site's substream a valid turnstile stream on its
+// own (a delete lands on the site that saw the insert).
+func siteOf(key uint64) int { return int(key % numSites) }
+
+// testStream builds the repo's canonical bounded-deletion workload —
+// zipf-skewed inserts with interleaved alpha-bounded deletions, the
+// family the sketch-level merge tests pin their exact regime on.
+func testStream(items int, seed int64) []bounded.Update {
+	s := gen.BoundedDeletion(gen.Config{
+		N: testConfig.N, Items: items, Alpha: testConfig.Alpha,
+		Zipf: 1.5, Shuffle: true, Seed: seed,
+	})
+	return s.Updates
+}
+
+// startAggregator serves an aggregator on a fresh loopback port and
+// returns it with its address. Closing is the caller's job.
+func startAggregator(t *testing.T, opt AggregatorOptions) (*Aggregator, string) {
+	t.Helper()
+	agg, err := NewAggregator(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go agg.Serve(ln)
+	return agg, ln.Addr().String()
+}
+
+func newTestAgent(t *testing.T, id, addr string) *Agent {
+	t.Helper()
+	a, err := NewAgent(AgentOptions{
+		ID:         id,
+		Aggregator: addr,
+		Config:     testConfig,
+		Engine:     engine.Options{Shards: 2, Structures: testStructures},
+		BackoffMin: time.Millisecond,
+		BackoffMax: 20 * time.Millisecond,
+		IOTimeout:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+// sortedCopy returns keys sorted ascending (set comparison helper).
+func sortedCopy(keys []uint64) []uint64 {
+	out := append([]uint64(nil), keys...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalU64s(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// refSketch pulls one structure's canonical merged full-stream state
+// out of the reference engine, through the same Snapshot surface the
+// agents ship over the wire.
+func refSketch(t *testing.T, ref *engine.Engine, bit engine.Structures) bounded.Sketch {
+	t.Helper()
+	b, err := ref.Snapshot(bit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := bounded.UnmarshalSketch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+// verifyAgainstReference asserts the aggregator's answers over the
+// client are bit-identical to the whole-stream reference engine's
+// merged state: point estimates, heavy-hitter set, L1 norm, and
+// recovered support. The reference is read through Snapshot — the
+// engine's canonical merged full-stream state, the exact thing the
+// aggregation tier distributes. (The engine's routed point-query fast
+// path is deliberately NOT the baseline: it answers from shard-local
+// sketches, a slightly different — tighter-collision — estimator than
+// the merged sketch, so it can legitimately differ by a collision's
+// worth of noise.)
+func verifyAgainstReference(t *testing.T, c *Client, ref *engine.Engine, probeKeys []uint64) {
+	t.Helper()
+	refHH := refSketch(t, ref, engine.HeavyHitters).(*bounded.HeavyHitters)
+
+	wantVals := refHH.EstimateBatch(probeKeys)
+	gotVals, err := c.Estimate(probeKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range probeKeys {
+		if gotVals[i] != wantVals[i] {
+			t.Fatalf("estimate(%d) = %v over the network, %v from the reference engine",
+				probeKeys[i], gotVals[i], wantVals[i])
+		}
+	}
+
+	wantHH := refHH.HeavyHitters()
+	gotHH, err := c.HeavyHitters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU64s(sortedCopy(gotHH), sortedCopy(wantHH)) {
+		t.Fatalf("heavy hitters = %v over the network, %v from the reference engine", gotHH, wantHH)
+	}
+
+	wantL1 := refSketch(t, ref, engine.L1Estimator).(*bounded.L1Estimator).Estimate()
+	gotL1, err := c.L1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotL1 != wantL1 {
+		t.Fatalf("L1 = %v over the network, %v from the reference engine", gotL1, wantL1)
+	}
+
+	wantSup := refSketch(t, ref, engine.SupportSampler).(*bounded.SupportSampler).Recover()
+	gotSup, err := c.Support()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalU64s(sortedCopy(gotSup), sortedCopy(wantSup)) {
+		t.Fatalf("support = %v over the network, %v from the reference engine", gotSup, wantSup)
+	}
+}
+
+// TestEndToEndDifferential is the capstone: three agents over real
+// loopback sockets on disjoint key slices, one aggregator, and a
+// reference engine fed the whole stream. The aggregator's answers
+// must be bit-identical to the reference at every checkpoint —
+// including after the aggregator restarts mid-run and every agent
+// reconnects and resends — and sync ticks with an unchanged engine
+// generation must ship no frames.
+func TestEndToEndDifferential(t *testing.T) {
+	agg, addr := startAggregator(t, AggregatorOptions{Config: testConfig, Structures: testStructures})
+	defer agg.Close()
+
+	agents := make([]*Agent, numSites)
+	for i := range agents {
+		agents[i] = newTestAgent(t, fmt.Sprintf("site-%d", i), addr)
+	}
+
+	ref, err := engine.New(testConfig, engine.Options{Shards: 2, Structures: testStructures})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	stream := testStream(60_000, 11)
+	phase1, phase2 := stream[:40_000], stream[40_000:]
+	probeKeys := []uint64{0, 1, 2, 3, 7, 31, 100, 4096, testConfig.N - 1}
+
+	ingest := func(updates []bounded.Update) {
+		bySite := make([][]bounded.Update, numSites)
+		for _, u := range updates {
+			s := siteOf(u.Index)
+			bySite[s] = append(bySite[s], u)
+		}
+		for i, a := range agents {
+			if err := a.Ingest(bySite[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ref.Ingest(updates); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncAll := func() {
+		for _, a := range agents {
+			if err := a.Sync(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Phase 1: ingest, sync, verify.
+	ingest(phase1)
+	syncAll()
+	client, err := DialClient(addr, ClientOptions{Config: testConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	verifyAgainstReference(t, client, ref, probeKeys)
+
+	// Incremental-sync contract: nothing changed since the ACK, so a
+	// sync tick must ship no frame at all — asserted against the plain
+	// atomic counters on both ends, which are exact in every build
+	// flavor (including -tags noobs).
+	aggBefore := agg.Stats()
+	for _, a := range agents {
+		before := a.Stats()
+		if err := a.Sync(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		after := a.Stats()
+		if after.SnapshotsSkipped != before.SnapshotsSkipped+1 {
+			t.Fatalf("idle sync: skipped %d -> %d, want +1", before.SnapshotsSkipped, after.SnapshotsSkipped)
+		}
+		if after.FramesOut != before.FramesOut {
+			t.Fatalf("idle sync shipped %d frames, want 0", after.FramesOut-before.FramesOut)
+		}
+		if after.SnapshotsSent != before.SnapshotsSent {
+			t.Fatal("idle sync counted as a sent snapshot")
+		}
+	}
+	if got := agg.Stats(); got.SnapshotsApplied != aggBefore.SnapshotsApplied || got.FramesIn != aggBefore.FramesIn {
+		t.Fatalf("idle syncs reached the aggregator: applied %d -> %d, framesIn %d -> %d",
+			aggBefore.SnapshotsApplied, got.SnapshotsApplied, aggBefore.FramesIn, got.FramesIn)
+	}
+
+	// The merged view is cached between commits: repeated queries must
+	// not rebuild it.
+	builds := agg.Stats().ViewBuilds
+	if _, err := client.Estimate(probeKeys); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.HeavyHitters(); err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.Stats().ViewBuilds; got != builds {
+		t.Fatalf("queries with no new commits rebuilt the view: %d -> %d", builds, got)
+	}
+
+	// Mid-run aggregator restart: every connection dies, agents must
+	// reconnect, learn via WELCOME.LastSeq=0 that their state is gone,
+	// and resend in full even though their generations are unchanged.
+	if err := agg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg2, err := NewAggregator(AggregatorOptions{Config: testConfig, Structures: testStructures})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg2.Close()
+	go agg2.Serve(ln)
+
+	ingest(phase2)
+	for _, a := range agents {
+		// The first sync attempt may fail on the dead connection; the
+		// retry must reconnect and push.
+		if err := a.Sync(context.Background()); err != nil {
+			if err = a.Sync(context.Background()); err != nil {
+				t.Fatalf("sync after aggregator restart: %v", err)
+			}
+		}
+	}
+	for _, a := range agents {
+		if st := a.Stats(); st.Reconnects == 0 {
+			t.Fatal("agent never recorded a reconnect across the aggregator restart")
+		}
+	}
+
+	client2, err := DialClient(addr, ClientOptions{Config: testConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+	verifyAgainstReference(t, client2, ref, probeKeys)
+
+	st := agg2.Stats()
+	if len(st.Agents) != numSites {
+		t.Fatalf("restarted aggregator tracks %d agents, want %d", len(st.Agents), numSites)
+	}
+	for _, as := range st.Agents {
+		if as.Snapshots == 0 || as.Seq == 0 {
+			t.Fatalf("agent %s: no committed snapshot after restart (%+v)", as.ID, as)
+		}
+	}
+}
+
+// TestDialBackoffAndRecovery pins the reconnect policy: consecutive
+// dial failures double the delay up to BackoffMax, and a successful
+// connect resets it.
+func TestDialBackoffAndRecovery(t *testing.T) {
+	// Reserve a port with nothing listening on it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	a := newTestAgent(t, "flaky", addr)
+	if err := a.Ingest([]bounded.Update{{Index: 1, Delta: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 1; i <= 3; i++ {
+		if err := a.Sync(context.Background()); err == nil {
+			t.Fatal("sync succeeded with no aggregator listening")
+		}
+		st := a.Stats()
+		if st.DialFailures != int64(i) {
+			t.Fatalf("after %d failed syncs: DialFailures = %d", i, st.DialFailures)
+		}
+	}
+	a.syncMu.Lock()
+	backoff := a.backoff
+	a.syncMu.Unlock()
+	if want := 4 * time.Millisecond; backoff != want { // 1ms doubled twice
+		t.Fatalf("backoff after 3 failures = %v, want %v", backoff, want)
+	}
+
+	// A canceled context must abort the backoff wait, not sleep it out.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := a.Sync(ctx); err == nil {
+		t.Fatal("sync with canceled context returned nil")
+	}
+
+	agg, err := NewAggregator(AggregatorOptions{Config: testConfig, Structures: testStructures})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	go agg.Serve(ln2)
+
+	if err := a.Sync(context.Background()); err != nil {
+		t.Fatalf("sync after aggregator came up: %v", err)
+	}
+	st := a.Stats()
+	if st.SnapshotsSent != 1 {
+		t.Fatalf("SnapshotsSent = %d, want 1", st.SnapshotsSent)
+	}
+	a.syncMu.Lock()
+	backoff = a.backoff
+	a.syncMu.Unlock()
+	if backoff != 0 {
+		t.Fatalf("backoff not reset after successful connect: %v", backoff)
+	}
+}
+
+// rawAgentConn handshakes a raw TCP connection as an agent so tests
+// can inject precise byte sequences.
+func rawAgentConn(t *testing.T, addr, id string) (net.Conn, *netproto.MessageReader, *netproto.MessageWriter) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	mr := netproto.NewMessageReader(conn, 0)
+	mw := netproto.NewMessageWriter(conn)
+	if err := mw.Write(&netproto.Hello{
+		Role: netproto.RoleAgent, Agent: id,
+		MinVersion: netproto.VersionMin, MaxVersion: netproto.VersionMax,
+		Config:     configEcho(testConfig),
+		Structures: uint32(engine.HeavyHitters),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := mr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reply.(*netproto.Welcome); !ok {
+		t.Fatalf("handshake reply = %T, want WELCOME", reply)
+	}
+	return conn, mr, mw
+}
+
+// hhBlob marshals a heavy-hitters sketch holding the given updates.
+func hhBlob(t *testing.T, updates []bounded.Update) []byte {
+	t.Helper()
+	hh, err := bounded.NewHeavyHitters(testConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh.UpdateBatch(updates)
+	b, err := hh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestPartialSnapshotNoCorruption pins the atomic-commit guarantee: a
+// connection that dies mid-frame, or ships a snapshot with a malformed
+// blob, changes nothing — queries keep answering from the last
+// committed state.
+func TestPartialSnapshotNoCorruption(t *testing.T) {
+	agg, addr := startAggregator(t, AggregatorOptions{
+		Config: testConfig, Structures: engine.HeavyHitters,
+		IOTimeout: 2 * time.Second,
+	})
+	defer agg.Close()
+
+	// Commit one good snapshot.
+	conn, mr, mw := rawAgentConn(t, addr, "raw")
+	good := &netproto.Snapshot{Seq: 1, Gen: 1, Sketches: []netproto.SketchBlob{{
+		StructureBit: uint32(engine.HeavyHitters),
+		Payload:      hhBlob(t, []bounded.Update{{Index: 42, Delta: 9}}),
+	}}}
+	if err := mw.Write(good); err != nil {
+		t.Fatal(err)
+	}
+	if reply, err := mr.Next(); err != nil {
+		t.Fatal(err)
+	} else if ack, ok := reply.(*netproto.Ack); !ok || ack.Seq != 1 {
+		t.Fatalf("reply = %#v, want ACK{1}", reply)
+	}
+
+	client, err := DialClient(addr, ClientOptions{Config: testConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	baseline, err := client.Estimate([]uint64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline[0] != 9 {
+		t.Fatalf("estimate(42) = %v, want 9", baseline[0])
+	}
+
+	// Disconnect mid-frame: a full length prefix, half the payload.
+	payload := netproto.Encode(&netproto.Snapshot{Seq: 2, Gen: 2, Sketches: []netproto.SketchBlob{{
+		StructureBit: uint32(engine.HeavyHitters),
+		Payload:      hhBlob(t, []bounded.Update{{Index: 42, Delta: 1000}}),
+	}}})
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(append(hdr[:], payload[:len(payload)/2]...)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// A second connection ships a snapshot whose blob does not decode.
+	_, mr2, mw2 := rawAgentConn(t, addr, "raw2")
+	bad := &netproto.Snapshot{Seq: 1, Gen: 1, Sketches: []netproto.SketchBlob{{
+		StructureBit: uint32(engine.HeavyHitters),
+		Payload:      []byte("BD not a sketch"),
+	}}}
+	if err := mw2.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	if reply, err := mr2.Next(); err != nil {
+		t.Fatal(err)
+	} else if _, ok := reply.(*netproto.Error); !ok {
+		t.Fatalf("malformed snapshot answered %T, want ERROR", reply)
+	}
+
+	// Give the handler a moment to observe the torn connection.
+	deadlineAt := time.Now().Add(2 * time.Second)
+	for {
+		st := agg.Stats()
+		if st.ConnsClosed >= 2 || time.Now().After(deadlineAt) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	st := agg.Stats()
+	if st.SnapshotsApplied != 1 {
+		t.Fatalf("SnapshotsApplied = %d, want 1 (neither torn nor malformed commit)", st.SnapshotsApplied)
+	}
+	if st.SnapshotsRejected != 1 {
+		t.Fatalf("SnapshotsRejected = %d, want 1", st.SnapshotsRejected)
+	}
+	after, err := client.Estimate([]uint64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0] != baseline[0] {
+		t.Fatalf("estimate(42) moved %v -> %v across torn/malformed snapshots", baseline[0], after[0])
+	}
+}
+
+// TestHandshakeRefusals pins the admission checks: wrong config, a
+// structure set the aggregator does not accept, a first frame that is
+// not HELLO, and a disjoint version range are all ERROR + close.
+func TestHandshakeRefusals(t *testing.T) {
+	agg, addr := startAggregator(t, AggregatorOptions{
+		Config: testConfig, Structures: engine.HeavyHitters,
+		IOTimeout: 2 * time.Second,
+	})
+	defer agg.Close()
+
+	expectRefusal := func(name string, first netproto.Msg) {
+		t.Helper()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		mr := netproto.NewMessageReader(conn, 0)
+		if err := netproto.WriteMessage(conn, first); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := mr.Next()
+		if err != nil {
+			t.Fatalf("%s: reading refusal: %v", name, err)
+		}
+		if _, ok := reply.(*netproto.Error); !ok {
+			t.Fatalf("%s: reply = %T, want ERROR", name, reply)
+		}
+		if _, err := mr.Next(); err == nil {
+			t.Fatalf("%s: connection stayed open after refusal", name)
+		}
+	}
+
+	wrongSeed := configEcho(testConfig)
+	wrongSeed.Seed++
+	expectRefusal("config mismatch", &netproto.Hello{
+		Role: netproto.RoleAgent, Agent: "x",
+		MinVersion: 1, MaxVersion: 1, Config: wrongSeed,
+		Structures: uint32(engine.HeavyHitters),
+	})
+	expectRefusal("structures not accepted", &netproto.Hello{
+		Role: netproto.RoleAgent, Agent: "x",
+		MinVersion: 1, MaxVersion: 1, Config: configEcho(testConfig),
+		Structures: uint32(engine.HeavyHitters | engine.SyncSketch),
+	})
+	expectRefusal("empty agent id", &netproto.Hello{
+		Role: netproto.RoleAgent, MinVersion: 1, MaxVersion: 1,
+		Config: configEcho(testConfig), Structures: uint32(engine.HeavyHitters),
+	})
+	expectRefusal("version range disjoint", &netproto.Hello{
+		Role: netproto.RoleAgent, Agent: "x",
+		MinVersion: 200, MaxVersion: 210, Config: configEcho(testConfig),
+		Structures: uint32(engine.HeavyHitters),
+	})
+	expectRefusal("first frame not HELLO", &netproto.Ack{Seq: 1})
+
+	// A client pushing a SNAPSHOT is a role violation.
+	client, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	cmr := netproto.NewMessageReader(client, 0)
+	if err := netproto.WriteMessage(client, &netproto.Hello{
+		Role: netproto.RoleClient, MinVersion: 1, MaxVersion: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if reply, err := cmr.Next(); err != nil {
+		t.Fatal(err)
+	} else if _, ok := reply.(*netproto.Welcome); !ok {
+		t.Fatalf("client handshake reply = %T, want WELCOME", reply)
+	}
+	if err := netproto.WriteMessage(client, &netproto.Snapshot{Seq: 1, Gen: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if reply, err := cmr.Next(); err != nil {
+		t.Fatal(err)
+	} else if _, ok := reply.(*netproto.Error); !ok {
+		t.Fatalf("client SNAPSHOT answered %T, want ERROR", reply)
+	}
+
+	if st := agg.Stats(); st.HandshakeFailures < 5 {
+		t.Fatalf("HandshakeFailures = %d, want >= 5", st.HandshakeFailures)
+	}
+}
+
+// TestRunLoop exercises the timer-driven path end to end: Run ships
+// ingested state without explicit Sync calls, and cancellation flushes
+// the tail before returning.
+func TestRunLoop(t *testing.T) {
+	agg, addr := startAggregator(t, AggregatorOptions{Config: testConfig, Structures: testStructures})
+	defer agg.Close()
+
+	a, err := NewAgent(AgentOptions{
+		ID: "looper", Aggregator: addr, Config: testConfig,
+		Engine:       engine.Options{Shards: 1, Structures: testStructures},
+		SyncInterval: 5 * time.Millisecond,
+		BackoffMin:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.Run(ctx) }()
+
+	if err := a.Ingest([]bounded.Update{{Index: 5, Delta: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	client, err := DialClient(addr, ClientOptions{Config: testConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	waitUntil := time.Now().Add(5 * time.Second)
+	for {
+		vals, err := client.Estimate([]uint64{5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vals[0] == 7 {
+			break
+		}
+		if time.Now().After(waitUntil) {
+			t.Fatalf("Run never shipped the snapshot; estimate(5) = %v", vals[0])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Ingest just before cancel: the shutdown flush must deliver it.
+	if err := a.Ingest([]bounded.Update{{Index: 6, Delta: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	vals, err := client.Estimate([]uint64{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 3 {
+		t.Fatalf("estimate(6) = %v after shutdown flush, want 3", vals[0])
+	}
+}
+
+// TestSyntheticDeterminism pins the load generator: equal seeds
+// produce equal streams (equal engine state), and the delete fraction
+// respects the configured bound.
+func TestSyntheticDeterminism(t *testing.T) {
+	agg, addr := startAggregator(t, AggregatorOptions{Config: testConfig, Structures: testStructures})
+	defer agg.Close()
+
+	run := func(id string) (*Agent, SyntheticReport) {
+		a := newTestAgent(t, id, addr)
+		rep, err := RunSynthetic(context.Background(), a, SyntheticConfig{
+			Updates: 20_000, Seed: 3, SyncEvery: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, rep
+	}
+	a1, rep1 := run("gen-1")
+	a2, rep2 := run("gen-2")
+
+	if rep1.Inserts != rep2.Inserts || rep1.Deletes != rep2.Deletes {
+		t.Fatalf("same seed, different streams: %+v vs %+v", rep1, rep2)
+	}
+	if rep1.Deletes == 0 {
+		t.Fatal("synthetic stream generated no deletes")
+	}
+	if frac := float64(rep1.Deletes) / float64(rep1.Updates); frac > 0.35 {
+		t.Fatalf("delete fraction %.2f exceeds the bounded-deletion budget", frac)
+	}
+	if rep1.Updates != 20_000 {
+		t.Fatalf("updates = %d, want 20000", rep1.Updates)
+	}
+
+	l1a, err := a1.Engine().L1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1b, err := a2.Engine().L1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1a != l1b {
+		t.Fatalf("same seed, different engine state: L1 %v vs %v", l1a, l1b)
+	}
+	if st := a1.Stats(); st.SnapshotsSent == 0 {
+		t.Fatal("SyncEvery never shipped a snapshot")
+	}
+}

@@ -1,0 +1,158 @@
+package netagg
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	bounded "repro"
+)
+
+// SyntheticConfig shapes the load generator's bounded-deletion stream:
+// zipf-popular users each touching a small key range, with a bounded
+// fraction of updates deleting previously inserted mass — the
+// insertion-biased regime the paper's alpha-property formalizes.
+type SyntheticConfig struct {
+	// Users is the number of simulated sources (default 64); user
+	// popularity is zipf(Skew).
+	Users int
+	// Updates is the total update count to emit (default 100_000).
+	Updates int
+	// DeleteFrac is the probability an update deletes a previously
+	// inserted key instead of inserting (default 0.3; keep below
+	// (alpha-1)/(2*alpha) to respect the alpha-property with slack).
+	DeleteFrac float64
+	// Skew is the zipf s parameter over users, > 1 (default 1.2).
+	Skew float64
+	// BatchSize is the ingest batch size (default 1024).
+	BatchSize int
+	// Seed drives the generator; equal seeds replay equal streams.
+	Seed int64
+	// SyncEvery, when positive, triggers an explicit Agent.Sync after
+	// every SyncEvery batches — the load-generator mode used when Run's
+	// timer pacing would make benchmark numbers timing-dependent.
+	SyncEvery int
+}
+
+func (c *SyntheticConfig) fill() {
+	if c.Users <= 0 {
+		c.Users = 64
+	}
+	if c.Updates <= 0 {
+		c.Updates = 100_000
+	}
+	if c.DeleteFrac == 0 {
+		c.DeleteFrac = 0.3
+	}
+	if c.Skew <= 1 {
+		c.Skew = 1.2
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1024
+	}
+}
+
+// SyntheticReport summarizes one load-generator run.
+type SyntheticReport struct {
+	Updates       int
+	Inserts       int
+	Deletes       int
+	Elapsed       time.Duration
+	UpdatesPerSec float64
+}
+
+func (r SyntheticReport) String() string {
+	return fmt.Sprintf("updates=%d inserts=%d deletes=%d elapsed=%s rate=%.0f/s",
+		r.Updates, r.Inserts, r.Deletes, r.Elapsed, r.UpdatesPerSec)
+}
+
+// RunSynthetic drives a deterministic bounded-deletion workload
+// through the agent's engine: Users zipf-popular sources, each
+// inserting into its own slice of the key universe, deleting recent
+// inserts with probability DeleteFrac. Every delete cancels exactly
+// one prior insert (strict turnstile, never below zero), and the
+// delete fraction bounds the stream's alpha in the paper's sense.
+func RunSynthetic(ctx context.Context, a *Agent, sc SyntheticConfig) (SyntheticReport, error) {
+	sc.fill()
+	n := a.opt.Config.N
+	rng := rand.New(rand.NewSource(sc.Seed))
+	zipf := rand.NewZipf(rng, sc.Skew, 1, uint64(sc.Users-1))
+
+	// Each user owns a contiguous key slice; popular users revisit few
+	// keys (head of the zipf), cold users spread — giving the merged
+	// stream genuine heavy hitters.
+	keysPerUser := n / uint64(sc.Users)
+	if keysPerUser == 0 {
+		keysPerUser = 1
+	}
+
+	// Ring of recent inserts eligible for deletion: a delete pops a
+	// random live entry, guaranteeing the turnstile never goes
+	// negative on any coordinate.
+	type pending struct{ key uint64 }
+	var recent []pending
+	const recentCap = 1 << 14
+
+	var report SyntheticReport
+	start := time.Now()
+	batch := make([]bounded.Update, 0, sc.BatchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := a.Ingest(batch); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+
+	batches := 0
+	for i := 0; i < sc.Updates; i++ {
+		if err := context.Cause(ctx); err != nil {
+			return report, err
+		}
+		if len(recent) > 0 && rng.Float64() < sc.DeleteFrac {
+			j := rng.Intn(len(recent))
+			key := recent[j].key
+			recent[j] = recent[len(recent)-1]
+			recent = recent[:len(recent)-1]
+			batch = append(batch, bounded.Update{Index: key, Delta: -1})
+			report.Deletes++
+		} else {
+			user := zipf.Uint64()
+			key := (user*keysPerUser + uint64(zipf.Uint64())%keysPerUser) % n
+			batch = append(batch, bounded.Update{Index: key, Delta: 1})
+			if len(recent) < recentCap {
+				recent = append(recent, pending{key})
+			}
+			report.Inserts++
+		}
+		report.Updates++
+		if len(batch) == sc.BatchSize {
+			if err := flush(); err != nil {
+				return report, err
+			}
+			batches++
+			if sc.SyncEvery > 0 && batches%sc.SyncEvery == 0 {
+				if err := a.Sync(ctx); err != nil {
+					return report, err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return report, err
+	}
+	if sc.SyncEvery > 0 {
+		if err := a.Sync(ctx); err != nil {
+			return report, err
+		}
+	}
+	report.Elapsed = time.Since(start)
+	if s := report.Elapsed.Seconds(); s > 0 {
+		report.UpdatesPerSec = float64(report.Updates) / s
+	}
+	return report, nil
+}

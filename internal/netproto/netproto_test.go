@@ -1,0 +1,187 @@
+package netproto
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// roundTrip encodes m, frames it, reads it back through the streaming
+// path, and returns the decoded message.
+func roundTrip(t *testing.T, m Msg) Msg {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatalf("WriteMessage(%s): %v", m.Kind(), err)
+	}
+	got, err := NewMessageReader(&buf, 0).Next()
+	if err != nil {
+		t.Fatalf("Next(%s): %v", m.Kind(), err)
+	}
+	return got
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	msgs := []Msg{
+		&Hello{
+			Role: RoleAgent, Agent: "site-7",
+			MinVersion: VersionMin, MaxVersion: VersionMax,
+			Config:     ConfigEcho{N: 1 << 20, Eps: 0.05, Alpha: 4, Seed: -7},
+			Structures: 0b101, Shards: 8,
+		},
+		&Hello{Role: RoleClient, MinVersion: 1, MaxVersion: 1},
+		&Welcome{Version: 1, LastSeq: 42},
+		&Snapshot{Seq: 9, Gen: 31, Sketches: []SketchBlob{
+			{StructureBit: 1, Payload: []byte("BD-envelope-bytes")},
+			{StructureBit: 4, Payload: []byte{}},
+		}},
+		&Snapshot{Seq: 1, Gen: 0},
+		&Ack{Seq: 9},
+		&Query{ID: 3, Op: OpEstimate, Keys: []uint64{1, 2, 1 << 40}},
+		&Query{ID: 4, Op: OpHeavyHitters},
+		&Answer{ID: 3, Values: []float64{1.5, -2, 0}},
+		&Answer{ID: 5, Err: "not enabled", Keys: []uint64{7}},
+		&Error{Msg: "config mismatch"},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		// Empty slices may come back nil; normalize via DeepEqual on a
+		// re-encode instead of field juggling.
+		if !bytes.Equal(Encode(got), Encode(m)) {
+			t.Errorf("%s: re-encode mismatch\n got %#v\nwant %#v", m.Kind(), got, m)
+		}
+		if got.Kind() != m.Kind() {
+			t.Errorf("kind mismatch: got %s want %s", got.Kind(), m.Kind())
+		}
+	}
+}
+
+func TestSnapshotBlobFidelity(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xBD, 0x01, 0xFF}, 1000)
+	m := &Snapshot{Seq: 2, Gen: 5, Sketches: []SketchBlob{{StructureBit: 2, Payload: payload}}}
+	got := roundTrip(t, m).(*Snapshot)
+	if got.Seq != 2 || got.Gen != 5 || len(got.Sketches) != 1 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Sketches[0].StructureBit != 2 || !bytes.Equal(got.Sketches[0].Payload, payload) {
+		t.Fatal("blob bytes not preserved")
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	valid := Encode(&Ack{Seq: 1})
+	cases := map[string][]byte{
+		"empty":            {},
+		"bad magic":        append([]byte("ZZ"), valid[2:]...),
+		"foreign version":  append([]byte{'N', 'P', 99}, valid[3:]...),
+		"unknown kind":     {'N', 'P', 1, 200},
+		"truncated ack":    valid[:len(valid)-2],
+		"trailing bytes":   append(append([]byte{}, valid...), 0xFF),
+		"kind only, empty": {'N', 'P', 1},
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: decode accepted", name)
+		}
+	}
+}
+
+func TestDecodeRejectsSemanticViolations(t *testing.T) {
+	// Unknown role.
+	h := Encode(&Hello{Role: Role(9), MinVersion: 1, MaxVersion: 1})
+	if _, err := Decode(h); err == nil {
+		t.Error("unknown role accepted")
+	}
+	// Inverted version range.
+	h = Encode(&Hello{Role: RoleAgent, MinVersion: 3, MaxVersion: 1})
+	if _, err := Decode(h); err == nil {
+		t.Error("inverted version range accepted")
+	}
+	// Unknown query op.
+	q := Encode(&Query{ID: 1, Op: QueryOp(99)})
+	if _, err := Decode(q); err == nil {
+		t.Error("unknown op accepted")
+	}
+	// Snapshot blob with a non-power-of-two structure bit.
+	s := Encode(&Snapshot{Seq: 1, Sketches: []SketchBlob{{StructureBit: 3, Payload: nil}}})
+	if _, err := Decode(s); err == nil {
+		t.Error("multi-bit structure id accepted")
+	}
+	// Oversize agent id.
+	h = Encode(&Hello{Role: RoleAgent, Agent: string(bytes.Repeat([]byte{'a'}, 4096)), MinVersion: 1, MaxVersion: 1})
+	if _, err := Decode(h); err == nil {
+		t.Error("oversize agent id accepted")
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	if v, err := Negotiate(&Hello{MinVersion: 1, MaxVersion: 1}); err != nil || v != 1 {
+		t.Fatalf("same range: v=%d err=%v", v, err)
+	}
+	// Peer speaks a superset including the future: pick our max.
+	if v, err := Negotiate(&Hello{MinVersion: 1, MaxVersion: 9}); err != nil || v != VersionMax {
+		t.Fatalf("superset range: v=%d err=%v", v, err)
+	}
+	// Disjoint ranges refuse.
+	if _, err := Negotiate(&Hello{MinVersion: 5, MaxVersion: 9}); err == nil {
+		t.Fatal("disjoint range negotiated")
+	}
+}
+
+func TestMessageReaderStream(t *testing.T) {
+	var buf bytes.Buffer
+	mw := NewMessageWriter(&buf)
+	for i := uint64(0); i < 5; i++ {
+		if err := mw.Write(&Ack{Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mr := NewMessageReader(&buf, 0)
+	for i := uint64(0); i < 5; i++ {
+		m, err := mr.Next()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if ack, ok := m.(*Ack); !ok || ack.Seq != i {
+			t.Fatalf("message %d: got %#v", i, m)
+		}
+	}
+	if _, err := mr.Next(); err != io.EOF {
+		t.Fatalf("end of stream: got %v, want io.EOF", err)
+	}
+}
+
+// TestMessageReaderCapsFrames pins the anti-OOM stream contract: a
+// frame above the cap is refused and the reader latches.
+func TestMessageReaderCapsFrames(t *testing.T) {
+	var buf bytes.Buffer
+	big := &Snapshot{Seq: 1, Sketches: []SketchBlob{{StructureBit: 1, Payload: bytes.Repeat([]byte{1}, 4096)}}}
+	if err := WriteMessage(&buf, big); err != nil {
+		t.Fatal(err)
+	}
+	mr := NewMessageReader(&buf, 128)
+	if _, err := mr.Next(); err == nil {
+		t.Fatal("over-cap frame accepted")
+	}
+	if _, err := mr.Next(); err == nil {
+		t.Fatal("reader did not latch")
+	}
+}
+
+func TestKindAndOpStrings(t *testing.T) {
+	// Diagnostics should never render as bare integers for known values.
+	for _, k := range []MsgKind{KindHello, KindWelcome, KindSnapshot, KindAck, KindQuery, KindAnswer, KindError} {
+		if s := k.String(); len(s) == 0 || s[0] == 'M' {
+			t.Errorf("MsgKind(%d).String() = %q", uint8(k), s)
+		}
+	}
+	for _, op := range []QueryOp{OpEstimate, OpHeavyHitters, OpL1, OpSupport} {
+		if s := op.String(); len(s) == 0 || s[0] == 'Q' {
+			t.Errorf("QueryOp(%d).String() = %q", uint8(op), s)
+		}
+	}
+	if reflect.TypeOf(Role(0)).Kind() != reflect.Uint8 {
+		t.Error("Role must stay one byte (wire format)")
+	}
+}

@@ -1,0 +1,156 @@
+// streamio.go is the codec's io.Reader/io.Writer face: u32
+// length-prefixed frames that carry wire payloads across a byte stream
+// (a net.Conn, a pipe, a file). The in-memory Writer/Reader pair in
+// wire.go frames one payload; this layer moves those payloads over a
+// transport without double-buffering — the FrameReader reads the length
+// prefix and then io.ReadFulls the body straight into one reusable
+// buffer, so a frame crosses from the kernel socket buffer into
+// decodable form with exactly one copy and zero steady-state
+// allocations. The netproto package's message exchange and the
+// distributedmerge example's pipe protocol are both built on it.
+//
+// Framing rules mirror the in-memory codec's hardening:
+//
+//   - the length prefix is little-endian u32, like every other integer
+//     in the codec;
+//   - the reader refuses prefixes above its caller-chosen cap before
+//     allocating anything, so a corrupt or hostile length can never
+//     drive an allocation larger than the cap (the stream-side twin of
+//     Reader's remaining-bytes guard — on a stream "remaining" is
+//     unknowable, so the cap takes its place);
+//   - a clean EOF on a frame boundary reports io.EOF; an EOF inside a
+//     header or body reports io.ErrUnexpectedEOF — callers can tell a
+//     finished peer from a truncated one;
+//   - errors are terminal: the reader latches and every later Next
+//     returns the same error, because a framing failure means the
+//     stream position is unknown and resynchronization is impossible.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// frameHeaderLen is the length-prefix size in bytes.
+const frameHeaderLen = 4
+
+// WriteFrame writes payload to w as one length-prefixed frame, header
+// and body in a single Write call (one syscall, one TCP segment for
+// small frames). It allocates a combined buffer per call; use a
+// FrameWriter to reuse that buffer across frames.
+func WriteFrame(w io.Writer, payload []byte) error {
+	return (&FrameWriter{w: w}).WriteFrame(payload)
+}
+
+// FrameWriter writes length-prefixed frames to an io.Writer, reusing
+// one combined header+body buffer across frames so a steady snapshot
+// or query stream allocates only when a frame outgrows every earlier
+// one. Not safe for concurrent use.
+type FrameWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewFrameWriter returns a FrameWriter over w.
+func NewFrameWriter(w io.Writer) *FrameWriter { return &FrameWriter{w: w} }
+
+// WriteFrame writes one frame. Payloads longer than MaxUint32 are
+// refused (the length prefix could not represent them).
+func (f *FrameWriter) WriteFrame(payload []byte) error {
+	if len(payload) > math.MaxUint32 {
+		return fmt.Errorf("wire: frame payload %d bytes exceeds u32 length prefix", len(payload))
+	}
+	need := frameHeaderLen + len(payload)
+	if cap(f.buf) < need {
+		f.buf = make([]byte, need)
+	}
+	buf := f.buf[:need]
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[frameHeaderLen:], payload)
+	_, err := f.w.Write(buf)
+	return err
+}
+
+// FrameReader reads length-prefixed frames off an io.Reader into one
+// reusable buffer — the streaming decode path for frames arriving on a
+// net.Conn. Partial reads are tolerated (bodies and headers are
+// assembled with io.ReadFull, so a frame split across any number of TCP
+// segments decodes identically to one delivered whole). Not safe for
+// concurrent use.
+type FrameReader struct {
+	r   io.Reader
+	max uint32
+	buf []byte
+	err error
+}
+
+// NewFrameReader returns a FrameReader over r that refuses frames whose
+// payload exceeds max bytes. max bounds the reader's total allocation:
+// on a stream the in-memory Reader's "length exceeds remaining input"
+// guard has no "remaining" to check, so the cap is the anti-OOM
+// contract instead.
+func NewFrameReader(r io.Reader, max uint32) *FrameReader {
+	return &FrameReader{r: r, max: max}
+}
+
+// Next returns the next frame's payload. The returned slice aliases the
+// reader's internal buffer and is valid only until the following Next
+// call — decode it (or copy it) before reading on. A clean EOF between
+// frames returns io.EOF; EOF inside a frame returns
+// io.ErrUnexpectedEOF; an oversize length prefix returns a descriptive
+// error before any allocation. All errors latch: the stream position is
+// unknown after a failure, so every subsequent Next repeats the error.
+func (f *FrameReader) Next() ([]byte, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
+		// EOF before any header byte is the clean end of the stream;
+		// anything mid-header means the peer died inside a frame.
+		if err == io.EOF {
+			f.err = io.EOF
+		} else {
+			f.err = fmt.Errorf("wire: frame header: %w", unexpectedEOF(err))
+		}
+		return nil, f.err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > f.max {
+		f.err = fmt.Errorf("wire: frame length %d exceeds cap %d", n, f.max)
+		return nil, f.err
+	}
+	if uint32(cap(f.buf)) < n {
+		f.buf = make([]byte, n)
+	}
+	buf := f.buf[:n]
+	if _, err := io.ReadFull(f.r, buf); err != nil {
+		f.err = fmt.Errorf("wire: frame body (%d bytes): %w", n, unexpectedEOF(err))
+		return nil, f.err
+	}
+	return buf, nil
+}
+
+// unexpectedEOF normalizes a mid-read io.EOF to io.ErrUnexpectedEOF so
+// callers match one sentinel for "peer died inside a frame".
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// NextReader returns the next frame opened as a wire Reader, validating
+// the payload's two-byte magic and returning its format version — the
+// io.Reader-based envelope decode path. The Reader decodes in place
+// over the FrameReader's buffer (no copy); like Next's slice it is
+// valid only until the following Next/NextReader call.
+func (f *FrameReader) NextReader(magic string) (*Reader, uint8, error) {
+	payload, err := f.Next()
+	if err != nil {
+		return nil, 0, err
+	}
+	return NewReader(payload, magic)
+}
