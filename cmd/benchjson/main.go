@@ -70,6 +70,15 @@ type Report struct {
 	// these fields say which table un-parameterized numbers used.
 	CPUFeatures string   `json:"cpu_features,omitempty"`
 	Kernels     []string `json:"kernels,omitempty"`
+	// KernelCutovers records the per-family scalar-vs-vector cutovers
+	// (total keys per dispatch) the benchmarked binary ran with, and
+	// CutoverSource where they came from: "calibrated" (init-time
+	// microprobe on this host), "env" (BD_KERNEL_CUTOVER override), or
+	// "default" (no vector kernels registered, bar never consulted).
+	// Run benchjson on the same host as the benchmarks so the recorded
+	// calibration describes the numbers it sits next to.
+	KernelCutovers map[string]int `json:"kernel_cutovers,omitempty"`
+	CutoverSource  string         `json:"cutover_source,omitempty"`
 	// ObsEnabled records whether THIS converter binary was built with
 	// the observability layer compiled in (false under -tags noobs).
 	// Build benchjson with the same tags as the benchmarked test binary
@@ -103,6 +112,8 @@ func main() {
 	report.GoAMD64 = goamd64()
 	report.CPUFeatures = hash.CPUFeatures()
 	report.Kernels = hash.AvailableKernels()
+	report.KernelCutovers = hash.KernelCutovers()
+	report.CutoverSource = hash.KernelCutoverSource()
 	report.ObsEnabled = obs.Enabled
 
 	enc, err := json.MarshalIndent(report, "", "  ")

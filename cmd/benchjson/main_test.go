@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/hash"
 )
 
 const sample = `goos: linux
@@ -37,6 +40,39 @@ func TestParse(t *testing.T) {
 	}
 	if hh.Metrics["allocs/op"] != 0 {
 		t.Errorf("allocs/op = %v", hh.Metrics["allocs/op"])
+	}
+}
+
+// TestCutoverProvenance pins the calibration provenance main() stamps
+// onto every report: one cutover per kernel family, and a source CI's
+// smoke step can assert on ("calibrated"/"env" on vector hosts,
+// "default" on scalar-only builds).
+func TestCutoverProvenance(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.KernelCutovers = hash.KernelCutovers()
+	rep.CutoverSource = hash.KernelCutoverSource()
+	if len(rep.KernelCutovers) == 0 {
+		t.Fatal("KernelCutovers is empty")
+	}
+	for fam, v := range rep.KernelCutovers {
+		if v < 1 {
+			t.Errorf("family %q cutover = %d, want >= 1", fam, v)
+		}
+	}
+	switch rep.CutoverSource {
+	case "default", "calibrated", "env":
+	default:
+		t.Errorf("CutoverSource = %q", rep.CutoverSource)
+	}
+	enc, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(enc), `"kernel_cutovers"`) || !strings.Contains(string(enc), `"cutover_source"`) {
+		t.Errorf("provenance fields missing from JSON: %s", enc)
 	}
 }
 

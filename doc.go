@@ -152,15 +152,30 @@
 // points at the scalar loops. The two paths are bit-identical —
 // asserted per kernel by differential and fuzz tests and per
 // structure by whole-state wire comparisons — so sketches hashed on
-// different hosts still merge exactly. Columns shorter than 512 keys
-// route to the scalar loops even on AVX2 hosts: the vector entry
-// points pay a per-call vector-unit power-up (~1.5us on the reference
-// Xeon) that only amortizes on long columns. Same-run ratios on the
-// BENCH_5.json reference host: 1.85x on BucketSignsBatch at 1024
-// keys (2.35x at 4096), 7.9x on MedianOf7Cols, 1.9x on row gathers.
-// GOAMD64 does not change dispatch (detection is runtime CPUID), and
-// single-CPU hosts see the full win — the kernels vectorize within
-// one core, not across cores.
+// different hosts still merge exactly.
+//
+// The row-structured kernels are FUSED: one entry point takes the
+// flat coefficient (or table) bundle for all sketch rows plus the row
+// width and loops rows inside the call, so a whole multi-row batch
+// evaluation (Buckets.BucketSignsBatch, PairRows.RangeBatchRows, the
+// GatherSignRows/GatherSignDiffRows query gathers) pays ONE vector
+// entry cost — the per-call vector-unit power-up after VZEROUPPER,
+// ~1.5us on the reference Xeon — instead of one per row. Each
+// dispatch compares its total key count (rows x batch length for the
+// fused forms) against a per-family cutover calibrated at package
+// init by a scalar-vs-vector microprobe on the running host;
+// BD_KERNEL_CUTOVER overrides calibration (one integer for all
+// families, or comma-separated family=value pairs), purego builds
+// skip both and keep the scalar loops. hash.KernelCutovers and
+// hash.KernelCutoverSource expose the resolved values; cmd/benchjson
+// archives them with every baseline. Same-run ratios on the
+// BENCH_8.json reference host: 1.85x on BucketSignsBatch at 1024
+// keys vs scalar (2.35x at 4096), 7.9x on MedianOf7Cols, 1.9x on row
+// gathers, with the fused-vs-per-row delta reported by the
+// kernel=avx2 vs kernel=avx2-perrow sub-benchmarks. GOAMD64 does not
+// change dispatch (detection is runtime CPUID), and single-CPU hosts
+// see the full win — the kernels vectorize within one core, not
+// across cores.
 //
 // # Batched ingest: the plan → hash → apply columnar pipeline
 //

@@ -174,7 +174,7 @@ func BenchmarkEngineEstimateBatch(b *testing.B) {
 		b.ReportMetric(float64(size), "indexes/op")
 		b.ReportMetric(float64(e.SnapshotBuilds())/float64(b.N), "snapshots/op")
 	}
-	for _, size := range []int{4, 8, 16, 256, 4096} {
+	for _, size := range []int{4, 8, 16, 64, 128, 256, 512, 4096} {
 		size := size
 		b.Run(fmt.Sprintf("batched/size=%d", size), func(b *testing.B) {
 			run(b, size, func(e *Engine, idxs []uint64) error {

@@ -818,7 +818,11 @@ func (e *Engine) estimateView(i uint64) (float64, error) {
 // estimateBatchCutover is the batch size at or below which
 // EstimateBatch answers through per-index routed queries instead of
 // the planned fan-out: the measured crossover where batch planning
-// overhead stops paying for itself.
+// overhead stops paying for itself. This is an ENGINE-level bar
+// (shard fan-out and plan setup), independent of the kernel layer's
+// per-family vector cutovers (hash.KernelCutovers) — batches above it
+// still route each shard column through the fused kernels, whose own
+// calibrated bars decide scalar vs vector per call.
 const estimateBatchCutover = 16
 
 // EstimateBatch returns the heavy-hitters point estimate of every

@@ -39,6 +39,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"unsafe"
 
 	"repro/internal/core"
 	"repro/internal/hash"
@@ -128,6 +129,7 @@ type Sketch struct {
 	haveLast bool
 	qest     []float64
 	qBatch   []float64 // scratch for QueryColumns' row-major gather
+	qDiff    []int64   // scratch for QueryColumns' fused (a+ - a-) gather
 	resid    []float64
 }
 
@@ -600,17 +602,21 @@ func (s *Sketch) QueryColumns(b *core.Batch, keys []uint64, est []float64) {
 	s.buckets.BucketSignsBatch(keys, cols, signs)
 	if cap(s.qBatch) < s.rows*n {
 		s.qBatch = make([]float64, s.rows*n)
+		s.qDiff = make([]int64, s.rows*n)
 	}
 	rowEst := s.qBatch[:s.rows*n]
-	for r := 0; r < s.rows; r++ {
-		base := r * int(s.cols)
-		rc := cols[r*n : r*n+n : r*n+n]
-		rs := signs[r*n : r*n+n : r*n+n]
-		re := rowEst[r*n : r*n+n : r*n+n]
-		for j := range rc {
-			cl := &s.table[base+int(rc[j])]
-			re[j] = float64(rs[j]) * float64(cl[0]-cl[1]) * s.estScale
-		}
+	diffs := s.qDiff[:s.rows*n]
+	// ONE fused kernel call gathers every row's signed (a+ - a-)
+	// differences over the table viewed as a flat int64 array (each
+	// cell is a [2]int64 pair, so a row strides 2*cols ints). The float
+	// conversion below is bit-identical to the old per-cell
+	// float64(sign)*float64(a+ - a-) product: both sides are
+	// nonnegative masses < 2^63, so the difference never saturates and
+	// multiplying by ±1 is exact in both int64 and float64.
+	cells := unsafe.Slice(&s.table[0][0], 2*len(s.table))
+	hash.GatherSignDiffRows(cells, 2*int(s.cols), s.rows, cols, signs, diffs)
+	for j, d := range diffs {
+		rowEst[j] = float64(d) * s.estScale
 	}
 	switch s.rows {
 	case 5:

@@ -1,27 +1,33 @@
 // dispatch_stats.go counts kernel dispatches per family and per route
-// (vector assembly vs scalar loop), answering the question the
-// vectorMinLen cutover raises on real workloads: how often does a
-// column actually clear the bar? The counters are obs primitives —
-// zero-size no-ops under -tags noobs — and recording is one predictable
-// branch plus one uncontended atomic add per batch-evaluator call, off
-// the per-key path entirely.
+// (vector assembly vs scalar loop), answering the question the vector
+// cutovers raise on real workloads: how often does a call actually
+// clear its family's bar? The counters are obs primitives — zero-size
+// no-ops under -tags noobs — and recording is one predictable branch
+// plus one uncontended atomic add per batch-evaluator call, off the
+// per-key path entirely. Zero-length sweeps early-out in the public
+// entry points BEFORE reaching a counter, so the scalar/vector ratios
+// describe real dispatches only.
 package hash
 
 import "repro/internal/obs"
 
 // dispatchCounters is one kernel family's vector/scalar call pair.
 type dispatchCounters struct {
+	fam    kernelFamily
 	scalar obs.Counter
 	vector obs.Counter
 }
 
-// count records calls dispatches of a column of n keys: the call routes
-// to vector assembly exactly when the active table has vector kernels
-// and the column clears the vectorMinLen cutover. (A vector-routed call
-// still hands its sub-4 tail to the scalar twin; the counter tracks the
-// dispatch decision, not per-key lane occupancy.)
+// count records calls dispatches processing n keys each: the call
+// routes to vector assembly exactly when the active table has vector
+// kernels and n clears the family's calibrated cutover. Fused all-rows
+// entry points pass the TOTAL key volume (rows * column length) — the
+// same quantity their wrappers compare — so the tallies stay exact
+// per batch. (A vector-routed call still hands its sub-4 tail to the
+// scalar twin; the counter tracks the dispatch decision, not per-key
+// lane occupancy.)
 func (d *dispatchCounters) count(n int, calls int64) {
-	if active.vector && n >= vectorMinLen {
+	if active.vector && n >= cutoverValues[d.fam] {
 		d.vector.Add(calls)
 	} else {
 		d.scalar.Add(calls)
@@ -29,20 +35,21 @@ func (d *dispatchCounters) count(n int, calls int64) {
 }
 
 var (
-	bucketSignsDispatch dispatchCounters // per row of BucketSignsBatch
-	fieldDispatch       dispatchCounters // FieldBatch (k2/k4/fallback)
-	rangeDispatch       dispatchCounters // RangeBatch
-	gatherDispatch      dispatchCounters // GatherSignInt64
-	medianDispatch      dispatchCounters // MedianOf7Columns
+	bucketSignsDispatch = dispatchCounters{fam: famBucketSigns} // fused BucketSignsBatch calls
+	fieldDispatch       = dispatchCounters{fam: famField}       // FieldBatch (k2/k4/fallback)
+	rangeDispatch       = dispatchCounters{fam: famRange}       // RangeBatch + fused RangeBatchRows
+	gatherDispatch      = dispatchCounters{fam: famGather}      // GatherSignInt64 + fused row gathers
+	medianDispatch      = dispatchCounters{fam: famMedian}      // MedianOf7Columns
 )
 
 // DispatchStats is a point-in-time view of the kernel dispatch
 // counters: per family, how many batch-evaluator calls routed to the
 // vector assembly vs the scalar loop. All zero under -tags noobs.
 type DispatchStats struct {
-	// BucketSigns counts per-row dispatches of BucketSignsBatch (one
-	// Count-Sketch row sweep each); the remaining families count whole
-	// calls.
+	// Every family counts whole batch-evaluator calls. BucketSigns
+	// counts fused BucketSignsBatch calls (all Count-Sketch rows in one
+	// dispatch) — before the fused kernels it counted one dispatch per
+	// row, so ratios are not comparable across that change.
 	BucketSignsScalar, BucketSignsVector int64
 	FieldScalar, FieldVector             int64
 	RangeScalar, RangeVector             int64

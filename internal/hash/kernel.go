@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/nt"
 	"repro/internal/order"
@@ -41,12 +43,19 @@ import (
 type kernelTable struct {
 	name string
 	// vector marks tables whose kernels route long columns to vector
-	// assembly; with the length cutover (vectorMinLen) it decides how a
+	// assembly; with the per-family length cutovers it decides how a
 	// dispatch is counted (see dispatch_stats.go).
 	vector bool
 	// bucketSignsRow fills one Count-Sketch row's bucket and sign
 	// columns for a whole key column (coefficients c0..c3, row width r).
 	bucketSignsRow func(c0, c1, c2, c3, r uint64, keys []uint64, cols []uint32, signs []int8)
+	// bucketSignsRows is the FUSED all-rows form: flat holds every
+	// row's 4 coefficients contiguously (Buckets.flat layout), and the
+	// row loop runs INSIDE the kernel — one vector power-up per batch
+	// instead of one per row, which is what moves the effective vector
+	// cutover from cut keys per row to cut/rows. Outputs are row-major:
+	// row i fills cols[i*n:(i+1)*n] and signs[i*n:(i+1)*n].
+	bucketSignsRows func(flat []uint64, rows int, r uint64, keys []uint64, cols []uint32, signs []int8)
 	// fieldK2 / fieldK4 evaluate a degree-1 / degree-3 polynomial over
 	// F_{2^61-1} at every key, writing canonical field values.
 	fieldK2 func(c0, c1 uint64, keys []uint64, out []uint64)
@@ -55,37 +64,178 @@ type kernelTable struct {
 	// onto [0, r) — r may be universe-sized (up to 2^64), so the
 	// reduction is a full 64x64 high multiply.
 	rangeK2 func(c0, c1, r uint64, keys []uint64, out []uint64)
+	// rangeK2Rows is the fused multi-hash form of rangeK2: flat holds
+	// rows pairwise coefficient pairs (2 per row), and every hash is
+	// evaluated over the same key column in one call — the back-to-back
+	// per-row RangeBatch loop of Count-Min-style row plans, fused.
+	// out is row-major: row i fills out[i*n:(i+1)*n].
+	rangeK2Rows func(flat []uint64, rows int, r uint64, keys []uint64, out []uint64)
 	// gatherSignInt64 fills out[j] = signs[j] * row[idx[j]] — the
 	// Count-Sketch row gather.
 	gatherSignInt64 func(row []int64, idx []uint32, signs []int8, out []int64)
+	// gatherSignRows is the fused all-rows gather over a flat
+	// rows x stride table: out[i*n+j] = signs[i*n+j] *
+	// table[i*stride + idx[i*n+j]], n = len(out)/rows.
+	gatherSignRows func(table []int64, stride, rows int, idx []uint32, signs []int8, out []int64)
+	// gatherSignDiffRows is gatherSignRows over two-sided cells
+	// ([2]int64 pairs, as CSSS tables hold): out[i*n+j] = signs[i*n+j]
+	// * (cells[i*stride + 2*idx] - cells[i*stride + 2*idx + 1]),
+	// stride in int64 units (2 * columns per row).
+	gatherSignDiffRows func(cells []int64, stride, rows int, idx []uint32, signs []int8, out []int64)
 	// medianOf7Cols fills out[j] with the median of the j-th column of
 	// a 7 x len(out) row-major estimate matrix.
 	medianOf7Cols func(est []float64, out []float64)
 }
 
 var scalarTable = kernelTable{
-	name:            "scalar",
-	bucketSignsRow:  bucketSignsRowScalar,
-	fieldK2:         fieldK2Scalar,
-	fieldK4:         fieldK4Scalar,
-	rangeK2:         rangeK2Scalar,
-	gatherSignInt64: gatherSignInt64Scalar,
-	medianOf7Cols:   medianOf7ColsScalar,
+	name:               "scalar",
+	bucketSignsRow:     bucketSignsRowScalar,
+	bucketSignsRows:    bucketSignsRowsScalar,
+	fieldK2:            fieldK2Scalar,
+	fieldK4:            fieldK4Scalar,
+	rangeK2:            rangeK2Scalar,
+	rangeK2Rows:        rangeK2RowsScalar,
+	gatherSignInt64:    gatherSignInt64Scalar,
+	gatherSignRows:     gatherSignRowsScalar,
+	gatherSignDiffRows: gatherSignDiffRowsScalar,
+	medianOf7Cols:      medianOf7ColsScalar,
 }
 
-// vectorMinLen is the column length below which vector kernel tables
-// route a call to the scalar twins instead of the assembly bodies.
+// --- vector cutovers -------------------------------------------------
+//
 // The vector entry points carry a per-call fixed cost (vector-unit
-// power-up after VZEROUPPER — measured ~1.5µs and flat across
-// n=16..64 on the reference Xeon) that only amortizes on long
-// columns: interleaved A/B sweeps put the raw crossover between 128
-// and 256 keys on distinct-key columns. The cutover sits at 512, one
-// power of two higher, because real ingest columns are not
-// distinct-key: the scalar row kernel memoizes adjacent duplicates
-// (15-20% of keys on Zipf streams), which shifts the break-even up.
-// Declared here, not in the amd64 file, so portable tests can size
-// their columns to cover both sides of the cutover.
-const vectorMinLen = 512
+// power-up after VZEROUPPER — measured ~1.5µs and flat across n=16..64
+// on the reference Xeon) that only amortizes over enough keys, so
+// vector kernel tables route small calls to the scalar twins. PR 6
+// hard-coded that bar at 512 keys; it is now a PER-FAMILY value,
+// calibrated once at init on hosts with vector kernels by a microprobe
+// that measures the actual scalar-vs-vector crossover (see
+// calibrateCutovers in kernel_amd64.go), or pinned by the
+// BD_KERNEL_CUTOVER environment variable. Under -tags purego and on
+// CPUs without vector kernels no calibration runs and the values are
+// inert (every call is scalar).
+//
+// Units are KEYS PER KERNEL CALL: a per-row dispatch compares its
+// column length n, a fused all-rows dispatch compares rows*n — fusing
+// is what drops the effective per-row bar to cut/rows.
+
+// kernelFamily indexes the per-family cutovers and dispatch counters.
+type kernelFamily int
+
+const (
+	famBucketSigns kernelFamily = iota
+	famField
+	famRange
+	famGather
+	famMedian
+	famCount
+)
+
+// familyNames are the stable external names (env override keys,
+// KernelCutovers map keys, obs label values).
+var familyNames = [famCount]string{"bucket_signs", "field", "range", "gather", "median"}
+
+// defaultCutover is the pre-calibration value — PR 6's measured bar on
+// the reference Xeon, kept as the fallback when no probe runs.
+const defaultCutover = 512
+
+// maxCutover caps calibration: when the probe never sees the vector
+// body win (a pathological or very noisy host), the family's cutover
+// settles here rather than "never" — calls that large amortize any
+// plausible power-up, and the cap keeps test columns bounded.
+const maxCutover = 4096
+
+// cutoverValues holds the per-family key-count bars. Written once at
+// init (calibration or env) and by SetKernelCutover (tests/benchmarks,
+// same non-concurrent contract as SetKernel); read on every dispatch.
+var cutoverValues = [famCount]int{defaultCutover, defaultCutover, defaultCutover, defaultCutover, defaultCutover}
+
+// cutoverSource records where cutoverValues came from: "default" (no
+// vector kernels or calibration skipped), "calibrated" (init-time
+// microprobe), or "env" (BD_KERNEL_CUTOVER). Bench tooling records it
+// next to the values as provenance.
+var cutoverSource = "default"
+
+// KernelCutovers reports the per-family vector cutovers in keys per
+// kernel call (fused all-rows calls compare rows*n against the bar).
+// On builds without vector kernels the values are inert defaults.
+func KernelCutovers() map[string]int {
+	m := make(map[string]int, famCount)
+	for f, name := range familyNames {
+		m[name] = cutoverValues[f]
+	}
+	return m
+}
+
+// KernelCutoverSource reports how the cutovers were chosen:
+// "calibrated", "env", or "default".
+func KernelCutoverSource() string { return cutoverSource }
+
+// SetKernelCutover pins one family's vector cutover — a test and
+// benchmark hook. Same contract as SetKernel: not synchronized, do not
+// call concurrently with sketch use.
+func SetKernelCutover(family string, n int) error {
+	if n < 1 {
+		return fmt.Errorf("hash: cutover must be >= 1, got %d", n)
+	}
+	for f, name := range familyNames {
+		if name == family {
+			cutoverValues[f] = n
+			return nil
+		}
+	}
+	return fmt.Errorf("hash: unknown kernel family %q (families: %v)", family, familyNames)
+}
+
+// parseCutoverEnv parses BD_KERNEL_CUTOVER: either one integer for
+// every family ("256") or comma-separated family=value pairs
+// ("bucket_signs=128,gather=1024"; unnamed families keep the default).
+// Returns ok=false on empty or malformed input, in which case the
+// caller falls back to calibration.
+func parseCutoverEnv(s string) ([famCount]int, bool) {
+	vals := [famCount]int{defaultCutover, defaultCutover, defaultCutover, defaultCutover, defaultCutover}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return vals, false
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n < 1 {
+			return vals, false
+		}
+		for f := range vals {
+			vals[f] = n
+		}
+		return vals, true
+	}
+	any := false
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, found := strings.Cut(part, "=")
+		if !found {
+			return vals, false
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 1 {
+			return vals, false
+		}
+		matched := false
+		for f, fam := range familyNames {
+			if fam == strings.TrimSpace(name) {
+				vals[f] = n
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return vals, false
+		}
+		any = true
+	}
+	return vals, any
+}
 
 // tables registers every kernel table the build supports; the amd64
 // init adds "avx2" when the CPU does.
@@ -140,11 +290,69 @@ func CPUFeatures() string { return cpuFeatures }
 // (the vector path gathers without bounds checks); both slices must
 // hold len(out) entries.
 func GatherSignInt64(row []int64, idx []uint32, signs []int8, out []int64) {
+	if len(out) == 0 {
+		return // before stats: an empty sweep is not a dispatch
+	}
 	if len(idx) < len(out) || len(signs) < len(out) {
 		panic(fmt.Sprintf("hash: GatherSignInt64 columns hold %d/%d entries, need %d", len(idx), len(signs), len(out)))
 	}
 	gatherDispatch.count(len(out), 1)
 	active.gatherSignInt64(row, idx, signs, out)
+}
+
+// GatherSignRows is the FUSED all-rows form of GatherSignInt64 over a
+// flat row-major table (row i at table[i*stride : i*stride+stride]):
+// for every row i and key j it fills
+//
+//	out[i*n+j] = int64(signs[i*n+j]) * table[i*stride + idx[i*n+j]]
+//
+// with n = len(out)/rows — one kernel call (one vector power-up) for
+// the whole gather matrix instead of one per row. idx/signs/out are
+// row-major with rows*n entries; idx entries must be valid row offsets
+// (< stride — the vector path gathers without bounds checks).
+func GatherSignRows(table []int64, stride, rows int, idx []uint32, signs []int8, out []int64) {
+	if len(out) == 0 {
+		return
+	}
+	if rows < 1 || len(out)%rows != 0 {
+		panic(fmt.Sprintf("hash: GatherSignRows output of %d entries not a multiple of %d rows", len(out), rows))
+	}
+	if len(idx) < len(out) || len(signs) < len(out) {
+		panic(fmt.Sprintf("hash: GatherSignRows columns hold %d/%d entries, need %d", len(idx), len(signs), len(out)))
+	}
+	if len(table) < rows*stride {
+		panic(fmt.Sprintf("hash: GatherSignRows table holds %d entries, need %d", len(table), rows*stride))
+	}
+	gatherDispatch.count(len(out), 1)
+	active.gatherSignRows(table, stride, rows, idx, signs, out)
+}
+
+// GatherSignDiffRows is GatherSignRows over two-sided cells — the CSSS
+// table layout, where each bucket is a [2]int64 (positive mass,
+// negative mass) pair viewed as a flat int64 array of stride ints per
+// row (stride = 2 * columns): for every row i and key j it fills
+//
+//	out[i*n+j] = int64(signs[i*n+j]) *
+//	             (cells[i*stride + 2*idx[i*n+j]] - cells[i*stride + 2*idx[i*n+j] + 1])
+//
+// The caller converts the signed integer differences to floats; both
+// cell sides are nonnegative masses < 2^63, so the difference never
+// overflows and the sign application is exact.
+func GatherSignDiffRows(cells []int64, stride, rows int, idx []uint32, signs []int8, out []int64) {
+	if len(out) == 0 {
+		return
+	}
+	if rows < 1 || len(out)%rows != 0 {
+		panic(fmt.Sprintf("hash: GatherSignDiffRows output of %d entries not a multiple of %d rows", len(out), rows))
+	}
+	if len(idx) < len(out) || len(signs) < len(out) {
+		panic(fmt.Sprintf("hash: GatherSignDiffRows columns hold %d/%d entries, need %d", len(idx), len(signs), len(out)))
+	}
+	if len(cells) < rows*stride {
+		panic(fmt.Sprintf("hash: GatherSignDiffRows cells hold %d entries, need %d", len(cells), rows*stride))
+	}
+	gatherDispatch.count(len(out), 1)
+	active.gatherSignDiffRows(cells, stride, rows, idx, signs, out)
 }
 
 // MedianOf7Columns fills out[j] with the median of column j of the
@@ -154,6 +362,9 @@ func GatherSignInt64(row []int64, idx []uint32, signs []int8, out []int64) {
 // order.MedianOf7 per column on every input free of NaNs and signed
 // zeros (the estimate sweeps produce neither).
 func MedianOf7Columns(est []float64, out []float64) {
+	if len(out) == 0 {
+		return // before stats: an empty sweep is not a dispatch
+	}
 	if len(est) < 7*len(out) {
 		panic(fmt.Sprintf("hash: MedianOf7Columns matrix holds %d entries, need %d", len(est), 7*len(out)))
 	}
@@ -221,6 +432,52 @@ func rangeK2Scalar(c0, c1, r uint64, keys []uint64, out []uint64) {
 func gatherSignInt64Scalar(row []int64, idx []uint32, signs []int8, out []int64) {
 	for j := range out {
 		out[j] = int64(signs[j]) * row[idx[j]]
+	}
+}
+
+// --- fused scalar kernels -------------------------------------------
+//
+// The scalar fused forms are thin row loops over the single-row scalar
+// kernels: with no per-call vector power-up to amortize there is
+// nothing to fuse, but they define the bit-exact contract the fused
+// assembly is differentially tested against, and they are what a
+// vector table's fused wrapper falls back to below the cutover.
+
+func bucketSignsRowsScalar(flat []uint64, rows int, r uint64, keys []uint64, cols []uint32, signs []int8) {
+	n := len(keys)
+	for i := 0; i < rows; i++ {
+		c := flat[4*i : 4*i+4 : 4*i+4]
+		bucketSignsRowScalar(c[0], c[1], c[2], c[3], r, keys, cols[i*n:i*n+n:i*n+n], signs[i*n:i*n+n:i*n+n])
+	}
+}
+
+func rangeK2RowsScalar(flat []uint64, rows int, r uint64, keys []uint64, out []uint64) {
+	n := len(keys)
+	for i := 0; i < rows; i++ {
+		c := flat[2*i : 2*i+2 : 2*i+2]
+		rangeK2Scalar(c[0], c[1], r, keys, out[i*n:i*n+n:i*n+n])
+	}
+}
+
+func gatherSignRowsScalar(table []int64, stride, rows int, idx []uint32, signs []int8, out []int64) {
+	n := len(out) / rows
+	for i := 0; i < rows; i++ {
+		gatherSignInt64Scalar(table[i*stride:i*stride+stride:i*stride+stride],
+			idx[i*n:i*n+n:i*n+n], signs[i*n:i*n+n:i*n+n], out[i*n:i*n+n:i*n+n])
+	}
+}
+
+func gatherSignDiffRowsScalar(cells []int64, stride, rows int, idx []uint32, signs []int8, out []int64) {
+	n := len(out) / rows
+	for i := 0; i < rows; i++ {
+		base := cells[i*stride : i*stride+stride : i*stride+stride]
+		ri := idx[i*n : i*n+n : i*n+n]
+		rs := signs[i*n : i*n+n : i*n+n]
+		ro := out[i*n : i*n+n : i*n+n]
+		for j := range ro {
+			c := 2 * int(ri[j])
+			ro[j] = int64(rs[j]) * (base[c] - base[c+1])
+		}
 	}
 }
 

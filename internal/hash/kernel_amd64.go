@@ -2,6 +2,11 @@
 
 package hash
 
+import (
+	"os"
+	"time"
+)
+
 // AVX2 kernel dispatch. Feature detection is hand-rolled CPUID (this
 // module has no dependencies): AVX2 requires the CPU flag itself plus
 // OSXSAVE/AVX and an OS that saves YMM state across context switches
@@ -13,6 +18,16 @@ package hash
 // both paths; the kernels' math is documented at
 // nt.MulAddLazyMersenne61Halves (Horner steps), Reduce (fast range)
 // and order.MedianOf7 (the median network).
+//
+// Hosts with AVX2 register TWO vector tables:
+//
+//   - "avx2" (the default): FUSED all-rows entry points loop rows
+//     inside one assembly call — one vector power-up per batch — and
+//     compare the batch's TOTAL key volume against the family cutover;
+//   - "avx2-perrow": the pre-fusion dispatch (one assembly call per
+//     row, per-row cutover), kept selectable so benchmarks measure the
+//     fused-vs-per-row delta in the same run and the differential
+//     suites assert bit-identical state across all three tables.
 
 func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
 func xgetbv() (eax, edx uint32)
@@ -43,6 +58,9 @@ func detectAVX2() bool {
 func bucketSignsRowAVX2(c0, c1, c2, c3, r uint64, keys []uint64, cols []uint32, signs []int8)
 
 //go:noescape
+func bucketSignsRowsAVX2(flat *uint64, rows int, r uint64, keys []uint64, cols *uint32, signs *int8, stride int)
+
+//go:noescape
 func fieldK2AVX2(c0, c1 uint64, keys []uint64, out []uint64)
 
 //go:noescape
@@ -52,99 +70,360 @@ func fieldK4AVX2(c0, c1, c2, c3 uint64, keys []uint64, out []uint64)
 func rangeK2AVX2(c0, c1, r uint64, keys []uint64, out []uint64)
 
 //go:noescape
+func rangeK2RowsAVX2(flat *uint64, rows int, r uint64, keys []uint64, out *uint64, stride int)
+
+//go:noescape
 func gatherSignInt64AVX2(row []int64, idx []uint32, signs []int8, out []int64)
+
+//go:noescape
+func gatherSignRowsAVX2(table *int64, tstride, rows int, idx *uint32, signs *int8, out *int64, m, rstride int)
+
+//go:noescape
+func gatherSignDiffRowsAVX2(cells *int64, tstride, rows int, idx *uint32, signs *int8, out *int64, m, rstride int)
 
 //go:noescape
 func medianOf7ColsAVX2(est, out *float64, stride, count int)
 
+// --- per-row vector wrappers ----------------------------------------
+//
+// Each wrapper routes below-cutover calls to the scalar twin, calls
+// the assembly on the 4-aligned prefix and hands the sub-4 tail back
+// to scalar code. Named (not closures) because BOTH vector tables
+// share them: "avx2-perrow" uses them as its fused bodies' row loop,
+// and calibration probes the raw assembly against the scalar bodies
+// directly.
+
+func bucketSignsRowVec(c0, c1, c2, c3, r uint64, keys []uint64, cols []uint32, signs []int8) {
+	if len(keys) < cutoverValues[famBucketSigns] {
+		bucketSignsRowScalar(c0, c1, c2, c3, r, keys, cols, signs)
+		return
+	}
+	m := len(keys) &^ 3
+	if m > 0 {
+		bucketSignsRowAVX2(c0, c1, c2, c3, r, keys[:m], cols[:m], signs[:m])
+	}
+	if m < len(keys) {
+		bucketSignsRowScalar(c0, c1, c2, c3, r, keys[m:], cols[m:], signs[m:])
+	}
+}
+
+func fieldK2Vec(c0, c1 uint64, keys []uint64, out []uint64) {
+	if len(keys) < cutoverValues[famField] {
+		fieldK2Scalar(c0, c1, keys, out)
+		return
+	}
+	m := len(keys) &^ 3
+	if m > 0 {
+		fieldK2AVX2(c0, c1, keys[:m], out[:m])
+	}
+	if m < len(keys) {
+		fieldK2Scalar(c0, c1, keys[m:], out[m:])
+	}
+}
+
+func fieldK4Vec(c0, c1, c2, c3 uint64, keys []uint64, out []uint64) {
+	if len(keys) < cutoverValues[famField] {
+		fieldK4Scalar(c0, c1, c2, c3, keys, out)
+		return
+	}
+	m := len(keys) &^ 3
+	if m > 0 {
+		fieldK4AVX2(c0, c1, c2, c3, keys[:m], out[:m])
+	}
+	if m < len(keys) {
+		fieldK4Scalar(c0, c1, c2, c3, keys[m:], out[m:])
+	}
+}
+
+func rangeK2Vec(c0, c1, r uint64, keys []uint64, out []uint64) {
+	if len(keys) < cutoverValues[famRange] {
+		rangeK2Scalar(c0, c1, r, keys, out)
+		return
+	}
+	m := len(keys) &^ 3
+	if m > 0 {
+		rangeK2AVX2(c0, c1, r, keys[:m], out[:m])
+	}
+	if m < len(keys) {
+		rangeK2Scalar(c0, c1, r, keys[m:], out[m:])
+	}
+}
+
+func gatherSignInt64Vec(row []int64, idx []uint32, signs []int8, out []int64) {
+	if len(out) < cutoverValues[famGather] {
+		gatherSignInt64Scalar(row, idx, signs, out)
+		return
+	}
+	m := len(out) &^ 3
+	if m > 0 {
+		gatherSignInt64AVX2(row, idx[:m], signs[:m], out[:m])
+	}
+	if m < len(out) {
+		gatherSignInt64Scalar(row, idx[m:], signs[m:], out[m:])
+	}
+}
+
+func medianOf7ColsVec(est []float64, out []float64) {
+	n := len(out)
+	if n < cutoverValues[famMedian] {
+		medianOf7ColsScalar(est, out)
+		return
+	}
+	m := n &^ 3
+	if m > 0 {
+		medianOf7ColsAVX2(&est[0], &out[0], n, m)
+	}
+	for j := m; j < n; j++ {
+		out[j] = medianOf7At(est, n, j)
+	}
+}
+
+// --- fused vector wrappers ------------------------------------------
+//
+// The fused wrappers compare the batch's TOTAL key volume (rows * n)
+// against the family cutover — the whole point of fusion: one power-up
+// amortizes over every row, so the effective per-row bar is cut/rows.
+// The assembly runs the row loop over the 4-aligned column prefix
+// (keys[:m], stride = full column width n); Go fills each row's sub-4
+// tail with the scalar kernel.
+
+func bucketSignsRowsFused(flat []uint64, rows int, r uint64, keys []uint64, cols []uint32, signs []int8) {
+	n := len(keys)
+	m := n &^ 3
+	if rows*n < cutoverValues[famBucketSigns] || m == 0 {
+		bucketSignsRowsScalar(flat, rows, r, keys, cols, signs)
+		return
+	}
+	bucketSignsRowsAVX2(&flat[0], rows, r, keys[:m], &cols[0], &signs[0], n)
+	if m < n {
+		for i := 0; i < rows; i++ {
+			c := flat[4*i : 4*i+4 : 4*i+4]
+			bucketSignsRowScalar(c[0], c[1], c[2], c[3], r, keys[m:], cols[i*n+m:i*n+n:i*n+n], signs[i*n+m:i*n+n:i*n+n])
+		}
+	}
+}
+
+func rangeK2RowsFused(flat []uint64, rows int, r uint64, keys []uint64, out []uint64) {
+	n := len(keys)
+	m := n &^ 3
+	if rows*n < cutoverValues[famRange] || m == 0 {
+		rangeK2RowsScalar(flat, rows, r, keys, out)
+		return
+	}
+	rangeK2RowsAVX2(&flat[0], rows, r, keys[:m], &out[0], n)
+	if m < n {
+		for i := 0; i < rows; i++ {
+			c := flat[2*i : 2*i+2 : 2*i+2]
+			rangeK2Scalar(c[0], c[1], r, keys[m:], out[i*n+m:i*n+n:i*n+n])
+		}
+	}
+}
+
+func gatherSignRowsFused(table []int64, stride, rows int, idx []uint32, signs []int8, out []int64) {
+	n := len(out) / rows
+	m := n &^ 3
+	if len(out) < cutoverValues[famGather] || m == 0 {
+		gatherSignRowsScalar(table, stride, rows, idx, signs, out)
+		return
+	}
+	gatherSignRowsAVX2(&table[0], stride, rows, &idx[0], &signs[0], &out[0], m, n)
+	if m < n {
+		for i := 0; i < rows; i++ {
+			row := table[i*stride : i*stride+stride : i*stride+stride]
+			gatherSignInt64Scalar(row, idx[i*n+m:i*n+n:i*n+n], signs[i*n+m:i*n+n:i*n+n], out[i*n+m:i*n+n:i*n+n])
+		}
+	}
+}
+
+func gatherSignDiffRowsFused(cells []int64, stride, rows int, idx []uint32, signs []int8, out []int64) {
+	n := len(out) / rows
+	m := n &^ 3
+	if len(out) < cutoverValues[famGather] || m == 0 {
+		gatherSignDiffRowsScalar(cells, stride, rows, idx, signs, out)
+		return
+	}
+	gatherSignDiffRowsAVX2(&cells[0], stride, rows, &idx[0], &signs[0], &out[0], m, n)
+	if m < n {
+		for i := 0; i < rows; i++ {
+			base := cells[i*stride : i*stride+stride : i*stride+stride]
+			for j := m; j < n; j++ {
+				c := 2 * int(idx[i*n+j])
+				out[i*n+j] = int64(signs[i*n+j]) * (base[c] - base[c+1])
+			}
+		}
+	}
+}
+
+// --- per-row fused bodies (the "avx2-perrow" table) -----------------
+//
+// The pre-fusion dispatch, preserved verbatim in behavior: one vector
+// call (and one power-up) per row, each row's column length compared
+// against the cutover alone. Exists so same-run benchmarks quantify
+// the fusion win and differential tests pin all three tables to
+// identical state.
+
+func bucketSignsRowsPerRow(flat []uint64, rows int, r uint64, keys []uint64, cols []uint32, signs []int8) {
+	n := len(keys)
+	for i := 0; i < rows; i++ {
+		c := flat[4*i : 4*i+4 : 4*i+4]
+		bucketSignsRowVec(c[0], c[1], c[2], c[3], r, keys, cols[i*n:i*n+n:i*n+n], signs[i*n:i*n+n:i*n+n])
+	}
+}
+
+func rangeK2RowsPerRow(flat []uint64, rows int, r uint64, keys []uint64, out []uint64) {
+	n := len(keys)
+	for i := 0; i < rows; i++ {
+		c := flat[2*i : 2*i+2 : 2*i+2]
+		rangeK2Vec(c[0], c[1], r, keys, out[i*n:i*n+n:i*n+n])
+	}
+}
+
+func gatherSignRowsPerRow(table []int64, stride, rows int, idx []uint32, signs []int8, out []int64) {
+	n := len(out) / rows
+	for i := 0; i < rows; i++ {
+		gatherSignInt64Vec(table[i*stride:i*stride+stride:i*stride+stride],
+			idx[i*n:i*n+n:i*n+n], signs[i*n:i*n+n:i*n+n], out[i*n:i*n+n:i*n+n])
+	}
+}
+
 var avx2Table = kernelTable{
-	name:   "avx2",
-	vector: true,
-	bucketSignsRow: func(c0, c1, c2, c3, r uint64, keys []uint64, cols []uint32, signs []int8) {
-		if len(keys) < vectorMinLen {
-			bucketSignsRowScalar(c0, c1, c2, c3, r, keys, cols, signs)
-			return
+	name:               "avx2",
+	vector:             true,
+	bucketSignsRow:     bucketSignsRowVec,
+	bucketSignsRows:    bucketSignsRowsFused,
+	fieldK2:            fieldK2Vec,
+	fieldK4:            fieldK4Vec,
+	rangeK2:            rangeK2Vec,
+	rangeK2Rows:        rangeK2RowsFused,
+	gatherSignInt64:    gatherSignInt64Vec,
+	gatherSignRows:     gatherSignRowsFused,
+	gatherSignDiffRows: gatherSignDiffRowsFused,
+	medianOf7Cols:      medianOf7ColsVec,
+}
+
+var avx2PerRowTable = kernelTable{
+	name:            "avx2-perrow",
+	vector:          true,
+	bucketSignsRow:  bucketSignsRowVec,
+	bucketSignsRows: bucketSignsRowsPerRow,
+	fieldK2:         fieldK2Vec,
+	fieldK4:         fieldK4Vec,
+	rangeK2:         rangeK2Vec,
+	rangeK2Rows:     rangeK2RowsPerRow,
+	gatherSignInt64: gatherSignInt64Vec,
+	gatherSignRows:  gatherSignRowsPerRow,
+	// PR 6 had no vector diff gather: csss ran this sweep in scalar Go.
+	gatherSignDiffRows: gatherSignDiffRowsScalar,
+	medianOf7Cols:      medianOf7ColsVec,
+}
+
+// --- cutover calibration --------------------------------------------
+
+// probeSizes are the candidate cutovers, walked from largest down: the
+// probe keeps lowering the bar while the vector body still beats the
+// scalar body at that size. Multiples of 4 so the assembly runs with
+// no tail.
+var probeSizes = [...]int{2048, 1024, 512, 256, 128, 64, 32}
+
+// timeKernel times one kernel invocation, min-of-3 to shed scheduler
+// noise. The bodies probed run ~1-10µs at the sizes used, so the
+// whole calibration stays around a millisecond of init time.
+func timeKernel(f func()) time.Duration {
+	best := time.Duration(1 << 62)
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
 		}
-		m := len(keys) &^ 3
-		if m > 0 {
-			bucketSignsRowAVX2(c0, c1, c2, c3, r, keys[:m], cols[:m], signs[:m])
+	}
+	return best
+}
+
+// calibrateCutovers measures the scalar-vs-vector crossover per kernel
+// family ON THIS HOST and writes cutoverValues/cutoverSource. It probes
+// the raw kernel bodies (never the dispatch wrappers), so no dispatch
+// stats are recorded and the current cutovers don't bias the probe.
+// A family whose vector body never wins — even at the largest probe —
+// settles at maxCutover rather than "never": calls that large amortize
+// any plausible power-up.
+func calibrateCutovers() {
+	const maxN = 2048
+	keys := make([]uint64, maxN)
+	for i := range keys {
+		keys[i] = uint64(i)*0x9E3779B97F4A7C15 + 1
+	}
+	cols := make([]uint32, maxN)
+	sgns := make([]int8, maxN)
+	out := make([]uint64, maxN)
+
+	const tableN = 1024
+	row := make([]int64, tableN)
+	for i := range row {
+		row[i] = int64(i) - tableN/2
+	}
+	idx := make([]uint32, maxN)
+	gsigns := make([]int8, maxN)
+	gout := make([]int64, maxN)
+	for i := range idx {
+		idx[i] = uint32(i % tableN)
+		gsigns[i] = int8(1 - 2*(i&1))
+	}
+	est := make([]float64, 7*maxN)
+	for i := range est {
+		est[i] = float64(i % 97)
+	}
+	med := make([]float64, maxN)
+
+	const p61 = 1<<61 - 1
+	const c0, c1 = uint64(0x0123456789ABCDEF) % p61, uint64(0x0FEDCBA987654321) % p61
+	const c2, c3 = uint64(0x1122334455667788) % p61, uint64(0x18877665544332211 % p61)
+	const width = uint64(1 << 20)
+
+	probe := func(fam kernelFamily, scalar, vector func(n int)) {
+		cut := maxCutover
+		for _, n := range probeSizes {
+			ts := timeKernel(func() { scalar(n) })
+			tv := timeKernel(func() { vector(n) })
+			if tv > ts {
+				break // scalar wins at n: the bar stays above it
+			}
+			cut = n
 		}
-		if m < len(keys) {
-			bucketSignsRowScalar(c0, c1, c2, c3, r, keys[m:], cols[m:], signs[m:])
-		}
-	},
-	fieldK2: func(c0, c1 uint64, keys []uint64, out []uint64) {
-		if len(keys) < vectorMinLen {
-			fieldK2Scalar(c0, c1, keys, out)
-			return
-		}
-		m := len(keys) &^ 3
-		if m > 0 {
-			fieldK2AVX2(c0, c1, keys[:m], out[:m])
-		}
-		if m < len(keys) {
-			fieldK2Scalar(c0, c1, keys[m:], out[m:])
-		}
-	},
-	fieldK4: func(c0, c1, c2, c3 uint64, keys []uint64, out []uint64) {
-		if len(keys) < vectorMinLen {
-			fieldK4Scalar(c0, c1, c2, c3, keys, out)
-			return
-		}
-		m := len(keys) &^ 3
-		if m > 0 {
-			fieldK4AVX2(c0, c1, c2, c3, keys[:m], out[:m])
-		}
-		if m < len(keys) {
-			fieldK4Scalar(c0, c1, c2, c3, keys[m:], out[m:])
-		}
-	},
-	rangeK2: func(c0, c1, r uint64, keys []uint64, out []uint64) {
-		if len(keys) < vectorMinLen {
-			rangeK2Scalar(c0, c1, r, keys, out)
-			return
-		}
-		m := len(keys) &^ 3
-		if m > 0 {
-			rangeK2AVX2(c0, c1, r, keys[:m], out[:m])
-		}
-		if m < len(keys) {
-			rangeK2Scalar(c0, c1, r, keys[m:], out[m:])
-		}
-	},
-	gatherSignInt64: func(row []int64, idx []uint32, signs []int8, out []int64) {
-		if len(out) < vectorMinLen {
-			gatherSignInt64Scalar(row, idx, signs, out)
-			return
-		}
-		m := len(out) &^ 3
-		if m > 0 {
-			gatherSignInt64AVX2(row, idx[:m], signs[:m], out[:m])
-		}
-		if m < len(out) {
-			gatherSignInt64Scalar(row, idx[m:], signs[m:], out[m:])
-		}
-	},
-	medianOf7Cols: func(est []float64, out []float64) {
-		n := len(out)
-		if n < vectorMinLen {
-			medianOf7ColsScalar(est, out)
-			return
-		}
-		m := n &^ 3
-		if m > 0 {
-			medianOf7ColsAVX2(&est[0], &out[0], n, m)
-		}
-		for j := m; j < n; j++ {
-			out[j] = medianOf7At(est, n, j)
-		}
-	},
+		cutoverValues[fam] = cut
+	}
+
+	probe(famBucketSigns,
+		func(n int) { bucketSignsRowScalar(c0, c1, c2, c3, width, keys[:n], cols[:n], sgns[:n]) },
+		func(n int) { bucketSignsRowAVX2(c0, c1, c2, c3, width, keys[:n], cols[:n], sgns[:n]) })
+	probe(famField,
+		func(n int) { fieldK4Scalar(c0, c1, c2, c3, keys[:n], out[:n]) },
+		func(n int) { fieldK4AVX2(c0, c1, c2, c3, keys[:n], out[:n]) })
+	probe(famRange,
+		func(n int) { rangeK2Scalar(c0, c1, width, keys[:n], out[:n]) },
+		func(n int) { rangeK2AVX2(c0, c1, width, keys[:n], out[:n]) })
+	probe(famGather,
+		func(n int) { gatherSignInt64Scalar(row, idx[:n], gsigns[:n], gout[:n]) },
+		func(n int) { gatherSignInt64AVX2(row, idx[:n], gsigns[:n], gout[:n]) })
+	probe(famMedian,
+		func(n int) { medianOf7ColsScalar(est[:7*n], med[:n]) },
+		func(n int) { medianOf7ColsAVX2(&est[0], &med[0], n, n) })
+
+	cutoverSource = "calibrated"
 }
 
 func init() {
-	if hasAVX2 {
-		cpuFeatures = "avx2"
-		tables["avx2"] = &avx2Table
-		active = &avx2Table
+	if !hasAVX2 {
+		return
+	}
+	cpuFeatures = "avx2"
+	tables["avx2"] = &avx2Table
+	tables["avx2-perrow"] = &avx2PerRowTable
+	active = &avx2Table
+	if env, ok := parseCutoverEnv(os.Getenv("BD_KERNEL_CUTOVER")); ok {
+		cutoverValues = env
+		cutoverSource = "env"
+	} else {
+		calibrateCutovers()
 	}
 }

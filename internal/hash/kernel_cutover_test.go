@@ -1,0 +1,108 @@
+package hash
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseCutoverEnv pins the BD_KERNEL_CUTOVER grammar: a bare
+// integer sets every family, family=value pairs set named families,
+// and anything malformed is rejected wholesale (the caller then falls
+// back to calibration).
+func TestParseCutoverEnv(t *testing.T) {
+	cases := []struct {
+		in   string
+		ok   bool
+		want [famCount]int
+	}{
+		{"", false, [famCount]int{}},
+		{"  ", false, [famCount]int{}},
+		{"256", true, [famCount]int{256, 256, 256, 256, 256}},
+		{"1", true, [famCount]int{1, 1, 1, 1, 1}},
+		{"0", false, [famCount]int{}},
+		{"-5", false, [famCount]int{}},
+		{"bucket_signs=128", true, [famCount]int{128, 512, 512, 512, 512}},
+		{"bucket_signs=128,gather=1024", true, [famCount]int{128, 512, 512, 1024, 512}},
+		{" field=64 , median=32 ", true, [famCount]int{512, 64, 512, 512, 32}},
+		{"range=2048,bucket_signs=96", true, [famCount]int{96, 512, 2048, 512, 512}},
+		{"bogus=128", false, [famCount]int{}},
+		{"bucket_signs=zero", false, [famCount]int{}},
+		{"bucket_signs=0", false, [famCount]int{}},
+		{"bucket_signs", false, [famCount]int{}},
+		{",", false, [famCount]int{}},
+	}
+	for _, c := range cases {
+		got, ok := parseCutoverEnv(c.in)
+		if ok != c.ok {
+			t.Errorf("parseCutoverEnv(%q) ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if ok && got != c.want {
+			t.Errorf("parseCutoverEnv(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestKernelCutoverAccessors pins the public cutover surface: the map
+// names every family, SetKernelCutover round-trips and validates, and
+// the source string is one of the three documented values.
+func TestKernelCutoverAccessors(t *testing.T) {
+	m := KernelCutovers()
+	if len(m) != int(famCount) {
+		t.Fatalf("KernelCutovers() has %d entries, want %d", len(m), famCount)
+	}
+	for _, name := range familyNames {
+		v, ok := m[name]
+		if !ok {
+			t.Fatalf("KernelCutovers() missing family %q", name)
+		}
+		if v < 1 {
+			t.Fatalf("KernelCutovers()[%q] = %d, want >= 1", name, v)
+		}
+	}
+	switch src := KernelCutoverSource(); src {
+	case "default", "calibrated", "env":
+	default:
+		t.Fatalf("KernelCutoverSource() = %q, want default/calibrated/env", src)
+	}
+
+	prev := cutoverValues[famGather]
+	defer func() {
+		if err := SetKernelCutover("gather", prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := SetKernelCutover("gather", 77); err != nil {
+		t.Fatal(err)
+	}
+	if got := KernelCutovers()["gather"]; got != 77 {
+		t.Fatalf("cutover after SetKernelCutover = %d, want 77", got)
+	}
+	if err := SetKernelCutover("gather", 0); err == nil {
+		t.Fatal("SetKernelCutover accepted 0")
+	}
+	if err := SetKernelCutover("no-such-family", 128); err == nil {
+		t.Fatal("SetKernelCutover accepted an unknown family")
+	}
+}
+
+// TestBatchZeroLengthNoDispatch pins satellite behavior: a zero-length
+// sweep returns before touching the dispatch tallies, so obs ratios
+// describe real dispatches only. (Under -tags noobs counters read 0
+// always and the assertions hold vacuously.)
+func TestBatchZeroLengthNoDispatch(t *testing.T) {
+	before := KernelDispatchStats()
+	rng := rand.New(rand.NewSource(41))
+	b := NewBuckets(rng, 5, 1024)
+	b.BucketSignsBatch(nil, nil, nil)
+	h := NewFourWise(rng)
+	h.FieldBatch(nil, nil)
+	h.RangeBatch(nil, 64, nil)
+	GatherSignInt64(nil, nil, nil, nil)
+	GatherSignRows(nil, 0, 1, nil, nil, nil)
+	GatherSignDiffRows(nil, 0, 1, nil, nil, nil)
+	MedianOf7Columns(nil, nil)
+	if after := KernelDispatchStats(); after != before {
+		t.Fatalf("zero-length sweeps moved dispatch stats: before %+v, after %+v", before, after)
+	}
+}

@@ -11,10 +11,12 @@ import (
 
 // kernelKeyCases returns key columns that stress every kernel path:
 // field-boundary values, lazy-reduction extremes, adjacent duplicates
-// (the scalar memo), and lengths on both sides of vectorMinLen — short
-// columns route to the scalar twins by the cutover, so only lengths
-// >= vectorMinLen (with every sub-4 tail residue) actually reach the
-// vector bodies.
+// (the scalar memo), and lengths on both sides of the per-family
+// cutovers — short columns route to the scalar twins by the cutover,
+// so only lengths >= the family bar (with every sub-4 tail residue)
+// actually reach the vector bodies. The fixed lengths straddle the
+// 512 default; tests that must straddle the CALIBRATED bars derive
+// lengths from cutoverValues directly (see fusedLengths).
 func kernelKeyCases(rng *rand.Rand) [][]uint64 {
 	const p = nt.MersennePrime61
 	adversarial := []uint64{
@@ -192,6 +194,107 @@ func TestKernelMedianOf7ColsBitIdentical(t *testing.T) {
 				sort.Float64s(col)
 				if want[j] != col[3] {
 					t.Fatalf("scalar median n=%d col=%d: got %v, sorted median %v", n, j, want[j], col[3])
+				}
+			}
+		}
+	}
+}
+
+// fusedLengths derives per-row column lengths that straddle the
+// family's CALIBRATED cutover for a fused rows-way call: rows*n lands
+// below, at and above cutoverValues[fam], with every sub-4 tail
+// residue represented on both sides.
+func fusedLengths(fam kernelFamily, rows int) []int {
+	per := cutoverValues[fam] / rows
+	ns := []int{0, 1, 2, 3, 4, 5, 7}
+	for _, d := range []int{-2, -1, 0, 1, 2, 3, 4, 5} {
+		if n := per + d; n > 0 {
+			ns = append(ns, n)
+		}
+	}
+	ns = append(ns, 2*per+1, 2*per+2, 2*per+3)
+	return ns
+}
+
+// TestKernelFusedRowsBitIdentical pins every fused all-rows kernel to
+// its scalar twin across every registered vector table, for every row
+// count 1..8 and lengths straddling the calibrated cutovers.
+func TestKernelFusedRowsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, vt := range vectorTables() {
+		for rows := 1; rows <= 8; rows++ {
+			flat4 := make([]uint64, 4*rows)
+			flat2 := make([]uint64, 2*rows)
+			for i := range flat4 {
+				flat4[i] = rng.Uint64() % nt.MersennePrime61
+			}
+			for i := range flat2 {
+				flat2[i] = rng.Uint64() % nt.MersennePrime61
+			}
+			const rw = uint64(6 * 1024)
+			for _, n := range fusedLengths(famBucketSigns, rows) {
+				keys := make([]uint64, n)
+				for j := range keys {
+					if j > 0 && rng.Intn(4) == 0 {
+						keys[j] = keys[j-1] // adjacent duplicate: scalar memo path
+					} else {
+						keys[j] = rng.Uint64()
+					}
+				}
+				wantCols, gotCols := make([]uint32, rows*n), make([]uint32, rows*n)
+				wantSigns, gotSigns := make([]int8, rows*n), make([]int8, rows*n)
+				scalarTable.bucketSignsRows(flat4, rows, rw, keys, wantCols, wantSigns)
+				vt.bucketSignsRows(flat4, rows, rw, keys, gotCols, gotSigns)
+				for j := range wantCols {
+					if gotCols[j] != wantCols[j] || gotSigns[j] != wantSigns[j] {
+						t.Fatalf("kernel %s bucketSignsRows rows=%d n=%d out[%d]: got (%d,%d), want (%d,%d)",
+							vt.name, rows, n, j, gotCols[j], gotSigns[j], wantCols[j], wantSigns[j])
+					}
+				}
+
+				want, got := make([]uint64, rows*n), make([]uint64, rows*n)
+				scalarTable.rangeK2Rows(flat2, rows, 1<<60, keys, want)
+				vt.rangeK2Rows(flat2, rows, 1<<60, keys, got)
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("kernel %s rangeK2Rows rows=%d n=%d out[%d]: got %d, want %d",
+							vt.name, rows, n, j, got[j], want[j])
+					}
+				}
+			}
+
+			const tsize = 257
+			table := make([]int64, rows*tsize)
+			cells := make([]int64, rows*2*tsize)
+			for i := range table {
+				table[i] = rng.Int63() - rng.Int63()
+			}
+			for i := range cells {
+				cells[i] = rng.Int63() >> 1 // nonnegative mass < 2^62
+			}
+			for _, n := range fusedLengths(famGather, rows) {
+				idx := make([]uint32, rows*n)
+				signs := make([]int8, rows*n)
+				for j := range idx {
+					idx[j] = uint32(rng.Intn(tsize))
+					signs[j] = 1 - int8(rng.Intn(2))<<1
+				}
+				want, got := make([]int64, rows*n), make([]int64, rows*n)
+				scalarTable.gatherSignRows(table, tsize, rows, idx, signs, want)
+				vt.gatherSignRows(table, tsize, rows, idx, signs, got)
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("kernel %s gatherSignRows rows=%d n=%d out[%d]: got %d, want %d",
+							vt.name, rows, n, j, got[j], want[j])
+					}
+				}
+				scalarTable.gatherSignDiffRows(cells, 2*tsize, rows, idx, signs, want)
+				vt.gatherSignDiffRows(cells, 2*tsize, rows, idx, signs, got)
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("kernel %s gatherSignDiffRows rows=%d n=%d out[%d]: got %d, want %d",
+							vt.name, rows, n, j, got[j], want[j])
+					}
 				}
 			}
 		}

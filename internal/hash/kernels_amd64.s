@@ -6,6 +6,29 @@
 // iteration; callers guarantee len is a multiple of 4 (Go wrappers
 // route the remainder through the scalar kernels).
 //
+// VZEROUPPER exit-path checklist — re-audited with the fused kernels.
+// A missing VZEROUPPER does not corrupt results, but it leaves dirty
+// upper YMM state and shifts the ~1.5µs vector power-up cost into the
+// caller's SSE code (measured in PR 6), which is exactly the cost the
+// fused kernels exist to amortize. Audit rule: every TEXT symbol has
+// exactly ONE exit path — the RET after its done: label — and executes
+// VZEROUPPER immediately before it. No early RET, no conditional jump
+// past the epilogue. Checked per symbol:
+//
+//	bucketSignsRowAVX2    single exit (done:)  VZEROUPPER+RET
+//	bucketSignsRowsAVX2   single exit (done:)  VZEROUPPER+RET
+//	fieldK2AVX2           single exit (done:)  VZEROUPPER+RET
+//	fieldK4AVX2           single exit (done:)  VZEROUPPER+RET
+//	rangeK2AVX2           single exit (done:)  VZEROUPPER+RET
+//	rangeK2RowsAVX2       single exit (done:)  VZEROUPPER+RET
+//	gatherSignInt64AVX2   single exit (done:)  VZEROUPPER+RET
+//	gatherSignRowsAVX2    single exit (done:)  VZEROUPPER+RET
+//	gatherSignDiffRowsAVX2 single exit (done:) VZEROUPPER+RET
+//	medianOf7ColsAVX2     single exit (done:)  VZEROUPPER+RET
+//
+// When adding a kernel: keep the single-exit shape, add it to this
+// list, and re-run the kernel differential + fuzz suites.
+//
 // The Horner step computes acc*x + c over F_{2^61-1} in lazy form
 // through the 32-bit-halves decomposition (VPMULUDQ multiplies the
 // low dwords of each qword lane):
@@ -180,6 +203,86 @@ done:
 	VZEROUPPER
 	RET
 
+// func bucketSignsRowsAVX2(flat *uint64, rows int, r uint64, keys []uint64, cols *uint32, signs *int8, stride int)
+//
+// FUSED all-rows form of bucketSignsRowAVX2: the row loop runs inside
+// the kernel, so a whole Count-Sketch batch pays ONE vector power-up
+// instead of one per row. flat holds every row's 4 coefficients
+// contiguously (c0,c1,c2,c3 per row); each row's coefficients are
+// rebroadcast from memory at rowloop, everything else matches the
+// single-row kernel. cols/signs are row-major with stride elements per
+// row (stride >= len(keys); the Go wrapper passes the full column
+// width and keeps sub-4 tails for the scalar twin).
+TEXT ·bucketSignsRowsAVX2(SB), NOSPLIT, $0-72
+	BCAST(r+16(FP), Y13)
+	MOVQ $0xFFFFFFFFFFFFFFF7, AX // ~8: (v<<3) &^ 8 == (v>>1)<<4
+	MOVQ AX, X7
+	VPBROADCASTQ X7, Y12
+	CONSTANTS
+	MOVQ flat+0(FP), BX
+	MOVQ rows+8(FP), R10
+	MOVQ keys_base+24(FP), SI
+	MOVQ keys_len+32(FP), CX
+	MOVQ cols+48(FP), DI
+	MOVQ signs+56(FP), R8
+	MOVQ stride+64(FP), R11
+	LEAQ signtab<>(SB), R9
+
+rowloop:
+	TESTQ R10, R10
+	JLE   done
+	VPBROADCASTQ 24(BX), Y8 // c3
+	VPBROADCASTQ 16(BX), Y9 // c2
+	VPBROADCASTQ 8(BX), Y10 // c1
+	VPBROADCASTQ (BX), Y11  // c0
+	XORQ DX, DX
+	CMPQ DX, CX
+	JGE  rownext
+
+keyloop:
+	LOADKEYS
+	VMOVDQA Y8, Y2
+	HSTEP(Y9)
+	HSTEP(Y10)
+	HSTEP(Y11)
+	CREDUCE
+
+	// signs: low bit of V to bit 63, VMOVMSKPD to a 4-bit mask, table
+	// lookup writes 4 sign bytes at once.
+	VPSLLQ    $63, Y2, Y3
+	VMOVMSKPD Y3, AX
+	MOVL      (R9)(AX*4), AX
+	MOVL      AX, (R8)(DX*1)
+
+	// buckets: w = (v<<3) &^ 8, bucket = mulhi64(w, r) with r < 2^32.
+	VPSLLQ   $3, Y2, Y3
+	VPAND    Y12, Y3, Y3
+	VPSRLQ   $32, Y3, Y4
+	VPMULUDQ Y13, Y3, Y5
+	VPMULUDQ Y13, Y4, Y4
+	VPSRLQ   $32, Y5, Y5
+	VPADDQ   Y5, Y4, Y4
+	VPSRLQ   $32, Y4, Y4
+
+	VPSHUFD $0x88, Y4, Y4
+	VPERMQ  $0x08, Y4, Y4
+	VMOVDQU X4, (DI)(DX*4)
+
+	ADDQ $4, DX
+	CMPQ DX, CX
+	JLT  keyloop
+
+rownext:
+	ADDQ $32, BX         // next row's 4 coefficients
+	LEAQ (DI)(R11*4), DI // cols += stride dwords
+	ADDQ R11, R8         // signs += stride bytes
+	DECQ R10
+	JMP  rowloop
+
+done:
+	VZEROUPPER
+	RET
+
 // func fieldK2AVX2(c0, c1 uint64, keys []uint64, out []uint64)
 TEXT ·fieldK2AVX2(SB), NOSPLIT, $0-64
 	BCAST(c1+8(FP), Y8)
@@ -297,6 +400,79 @@ done:
 	VZEROUPPER
 	RET
 
+// func rangeK2RowsAVX2(flat *uint64, rows int, r uint64, keys []uint64, out *uint64, stride int)
+//
+// FUSED all-rows form of rangeK2AVX2 — the back-to-back per-row
+// RangeBatch loop of Count-Min-style plans fused into one call (one
+// vector power-up). flat holds rows pairwise coefficient pairs
+// (c0,c1 per row), rebroadcast from memory at rowloop; out is
+// row-major with stride qwords per row.
+TEXT ·rangeK2RowsAVX2(SB), NOSPLIT, $0-64
+	BCAST(r+16(FP), Y13) // low dwords = rL
+	MOVQ r+16(FP), AX
+	SHRQ $32, AX
+	MOVQ AX, X7
+	VPBROADCASTQ X7, Y12 // rH
+	MOVQ $0xFFFFFFFF, AX
+	MOVQ AX, X7
+	VPBROADCASTQ X7, Y11 // dword mask
+	CONSTANTS
+	MOVQ flat+0(FP), BX
+	MOVQ rows+8(FP), R10
+	MOVQ keys_base+24(FP), SI
+	MOVQ keys_len+32(FP), CX
+	MOVQ out+48(FP), DI
+	MOVQ stride+56(FP), R11
+
+rowloop:
+	TESTQ R10, R10
+	JLE   done
+	VPBROADCASTQ 8(BX), Y8 // c1
+	VPBROADCASTQ (BX), Y9  // c0
+	XORQ DX, DX
+	CMPQ DX, CX
+	JGE  rownext
+
+keyloop:
+	LOADKEYS
+	VMOVDQA Y8, Y2
+	HSTEP(Y9)
+	CREDUCE
+
+	// hi = mulhi64(w, r), w = v<<3 — same partial products as rangeK2AVX2.
+	VPSLLQ   $3, Y2, Y2
+	VPSRLQ   $32, Y2, Y3
+	VPMULUDQ Y13, Y2, Y4 // wL*rL
+	VPMULUDQ Y12, Y2, Y5 // wL*rH
+	VPMULUDQ Y13, Y3, Y6 // wH*rL
+	VPMULUDQ Y12, Y3, Y3 // wH*rH
+	VPSRLQ   $32, Y4, Y4
+	VPAND    Y11, Y5, Y7
+	VPADDQ   Y7, Y4, Y4
+	VPAND    Y11, Y6, Y7
+	VPADDQ   Y7, Y4, Y4
+	VPSRLQ   $32, Y4, Y4 // carry
+	VPSRLQ   $32, Y5, Y5
+	VPSRLQ   $32, Y6, Y6
+	VPADDQ   Y5, Y3, Y3
+	VPADDQ   Y6, Y3, Y3
+	VPADDQ   Y4, Y3, Y3  // hi
+	VMOVDQU  Y3, (DI)(DX*8)
+
+	ADDQ $4, DX
+	CMPQ DX, CX
+	JLT  keyloop
+
+rownext:
+	ADDQ $16, BX         // next row's coefficient pair
+	LEAQ (DI)(R11*8), DI // out += stride qwords
+	DECQ R10
+	JMP  rowloop
+
+done:
+	VZEROUPPER
+	RET
+
 // func gatherSignInt64AVX2(row []int64, idx []uint32, signs []int8, out []int64)
 //
 // out[j] = signs[j] * row[idx[j]] for signs in {-1, +1}: VPGATHERDQ
@@ -327,6 +503,119 @@ loop:
 	ADDQ       $4, DX
 	CMPQ       DX, CX
 	JLT        loop
+
+done:
+	VZEROUPPER
+	RET
+
+// func gatherSignRowsAVX2(table *int64, tstride, rows int, idx *uint32, signs *int8, out *int64, m, rstride int)
+//
+// FUSED all-rows form of gatherSignInt64AVX2 over a flat row-major
+// table (tstride int64s per row): one call gathers every row of the
+// Count-Sketch query matrix. idx/signs/out are row-major with rstride
+// elements per row; m is the per-row vector count (a multiple of 4,
+// <= rstride — the Go wrapper keeps sub-4 tails for the scalar twin).
+// The gather mask register is fully consumed by VPGATHERDQ and must be
+// reloaded every iteration.
+TEXT ·gatherSignRowsAVX2(SB), NOSPLIT, $0-64
+	MOVQ table+0(FP), BX
+	MOVQ tstride+8(FP), R12
+	SHLQ $3, R12 // row advance in bytes
+	MOVQ rows+16(FP), R10
+	MOVQ idx+24(FP), SI
+	MOVQ signs+32(FP), R8
+	MOVQ out+40(FP), DI
+	MOVQ m+48(FP), CX
+	MOVQ rstride+56(FP), R11
+
+rowloop:
+	TESTQ R10, R10
+	JLE   done
+	XORQ  DX, DX
+	CMPQ  DX, CX
+	JGE   rownext
+
+keyloop:
+	VMOVDQU    (SI)(DX*4), X1
+	VPCMPEQD   Y2, Y2, Y2         // gather mask: all lanes
+	VPGATHERDQ Y2, (BX)(X1*8), Y3
+	VMOVD      (R8)(DX*1), X4
+	VPMOVSXBQ  X4, Y4
+	VPCMPEQD   Y5, Y5, Y5
+	VPCMPEQQ   Y5, Y4, Y5         // m = (sign == -1) per lane
+	VPXOR      Y5, Y3, Y3
+	VPSUBQ     Y5, Y3, Y3         // (x ^ m) - m
+	VMOVDQU    Y3, (DI)(DX*8)
+	ADDQ       $4, DX
+	CMPQ       DX, CX
+	JLT        keyloop
+
+rownext:
+	ADDQ R12, BX         // table += tstride qwords
+	LEAQ (SI)(R11*4), SI // idx += rstride dwords
+	ADDQ R11, R8         // signs += rstride bytes
+	LEAQ (DI)(R11*8), DI // out += rstride qwords
+	DECQ R10
+	JMP  rowloop
+
+done:
+	VZEROUPPER
+	RET
+
+// func gatherSignDiffRowsAVX2(cells *int64, tstride, rows int, idx *uint32, signs *int8, out *int64, m, rstride int)
+//
+// gatherSignRowsAVX2 over two-sided cells — each bucket is a
+// (positive mass, negative mass) int64 pair, tstride int64s per row
+// (2x the column count): out = sign * (pos - neg). Bucket index
+// doubles via VPSLLD to address the pair's first int64; the negative
+// side gathers from a base offset by one int64 (R13 = BX + 8). Both
+// gathers reload their mask (VPGATHERDQ consumes it).
+TEXT ·gatherSignDiffRowsAVX2(SB), NOSPLIT, $0-64
+	MOVQ cells+0(FP), BX
+	MOVQ tstride+8(FP), R12
+	SHLQ $3, R12 // row advance in bytes
+	MOVQ rows+16(FP), R10
+	MOVQ idx+24(FP), SI
+	MOVQ signs+32(FP), R8
+	MOVQ out+40(FP), DI
+	MOVQ m+48(FP), CX
+	MOVQ rstride+56(FP), R11
+	LEAQ 8(BX), R13 // negative-side base
+
+rowloop:
+	TESTQ R10, R10
+	JLE   done
+	XORQ  DX, DX
+	CMPQ  DX, CX
+	JGE   rownext
+
+keyloop:
+	VMOVDQU    (SI)(DX*4), X1
+	VPSLLD     $1, X1, X1          // bucket -> first int64 of the pair
+	VPCMPEQD   Y2, Y2, Y2
+	VPGATHERDQ Y2, (BX)(X1*8), Y3  // positive mass
+	VPCMPEQD   Y2, Y2, Y2
+	VPGATHERDQ Y2, (R13)(X1*8), Y6 // negative mass
+	VPSUBQ     Y6, Y3, Y3          // diff (both sides < 2^63: exact)
+	VMOVD      (R8)(DX*1), X4
+	VPMOVSXBQ  X4, Y4
+	VPCMPEQD   Y5, Y5, Y5
+	VPCMPEQQ   Y5, Y4, Y5
+	VPXOR      Y5, Y3, Y3
+	VPSUBQ     Y5, Y3, Y3
+	VMOVDQU    Y3, (DI)(DX*8)
+	ADDQ       $4, DX
+	CMPQ       DX, CX
+	JLT        keyloop
+
+rownext:
+	ADDQ R12, BX         // cells += tstride qwords
+	ADDQ R12, R13
+	LEAQ (SI)(R11*4), SI // idx += rstride dwords
+	ADDQ R11, R8         // signs += rstride bytes
+	LEAQ (DI)(R11*8), DI // out += rstride qwords
+	DECQ R10
+	JMP  rowloop
 
 done:
 	VZEROUPPER

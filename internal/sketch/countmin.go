@@ -16,9 +16,15 @@ import (
 // ||f||_1 / cols per row in expectation; it is the standard unbounded-
 // deletion heavy hitters baseline the paper's Figure 1 compares against.
 type CountMin struct {
-	rows   int
-	cols   uint64
-	hs     []*hash.KWise
+	rows int
+	cols uint64
+	hs   []*hash.KWise
+	// pairs bundles the rows' pairwise coefficients for the FUSED
+	// multi-row range evaluation (one kernel call per batch instead of
+	// one per row). nil when any row hash is not pairwise — possible
+	// only through hostile/legacy wire state — in which case the batch
+	// paths fall back to per-row RangeBatch.
+	pairs  *hash.PairRows
 	table  [][]int64
 	maxAbs int64 // largest |counter| ever held: the space-sizing peak
 	total  int64 // running sum of deltas = ||f||_1 on insertion-only input
@@ -33,6 +39,7 @@ func NewCountMin(rng *rand.Rand, rows int, cols uint64) *CountMin {
 	for i := range cm.hs {
 		cm.hs[i] = hash.NewPairwise(rng)
 	}
+	cm.pairs = hash.NewPairRows(cm.hs)
 	cm.table = make([][]int64, rows)
 	for i := range cm.table {
 		cm.table[i] = make([]int64, cols)
@@ -68,11 +75,12 @@ func (cm *CountMin) UpdateBatch(batch []stream.Update) {
 	core.PutBatch(b)
 }
 
-// UpdateColumns applies a pre-planned columnar batch: per row, one
-// batch hash evaluation fills the bucket column, then the counter
-// sweep walks that row with the peak tracking of Update. Counter adds
-// commute and each counter sees its writes in batch order, so table
-// and maxAbs are bit-identical to the scalar path.
+// UpdateColumns applies a pre-planned columnar batch: ONE fused hash
+// evaluation fills every row's bucket column (hash.PairRows — a single
+// kernel dispatch for the whole batch), then the counter sweep walks
+// the table one row at a time with the peak tracking of Update.
+// Counter adds commute and each counter sees its writes in batch
+// order, so table and maxAbs are bit-identical to the scalar path.
 func (cm *CountMin) UpdateColumns(b *core.Batch) {
 	n := b.Len()
 	if n == 0 {
@@ -82,12 +90,12 @@ func (cm *CountMin) UpdateColumns(b *core.Batch) {
 	for _, d := range deltas {
 		cm.total += d
 	}
-	buckets := b.Col64(n)
+	buckets := cm.rangeRows(b, b.Idx, n)
 	for r := 0; r < cm.rows; r++ {
-		cm.hs[r].RangeBatch(b.Idx, cm.cols, buckets)
 		row := cm.table[r]
+		rb := buckets[r*n : r*n+n : r*n+n]
 		for j, d := range deltas {
-			c := buckets[j]
+			c := rb[j]
 			row[c] += d
 			if a := row[c]; a > cm.maxAbs {
 				cm.maxAbs = a
@@ -96,6 +104,21 @@ func (cm *CountMin) UpdateColumns(b *core.Batch) {
 			}
 		}
 	}
+}
+
+// rangeRows fills and returns the row-major rows x n bucket matrix for
+// keys: the fused multi-row kernel when the pairwise bundle exists,
+// the per-row RangeBatch loop otherwise (bit-identical either way).
+func (cm *CountMin) rangeRows(b *core.Batch, keys []uint64, n int) []uint64 {
+	buckets := b.Col64(cm.rows * n)
+	if cm.pairs != nil {
+		cm.pairs.RangeBatchRows(keys, cm.cols, buckets)
+		return buckets
+	}
+	for r := 0; r < cm.rows; r++ {
+		cm.hs[r].RangeBatch(keys, cm.cols, buckets[r*n:r*n+n:r*n+n])
+	}
+	return buckets
 }
 
 // Query returns the min-of-rows estimate, valid for strict turnstile
@@ -111,12 +134,12 @@ func (cm *CountMin) Query(i uint64) int64 {
 	return best
 }
 
-// QueryColumns fills out[j] with Query(keys[j]) for every key: per row,
-// one batch hash evaluation fills the bucket column, then the gather
-// sweep folds that row's counters into the running min — all of a row's
-// reads happen while the row is cache-resident, and the whole index set
-// pays one hash pass per row instead of one per (key, row). Answers are
-// bit-identical to Query's; out must hold len(keys) entries.
+// QueryColumns fills out[j] with Query(keys[j]) for every key: ONE
+// fused hash evaluation fills every row's bucket column, then the
+// gather sweep folds each row's counters into the running min — all of
+// a row's reads happen while the row is cache-resident, and the whole
+// index set pays one kernel dispatch instead of one per row. Answers
+// are bit-identical to Query's; out must hold len(keys) entries.
 func (cm *CountMin) QueryColumns(b *core.Batch, keys []uint64, out []int64) {
 	n := len(keys)
 	if n == 0 {
@@ -125,14 +148,13 @@ func (cm *CountMin) QueryColumns(b *core.Batch, keys []uint64, out []int64) {
 	if len(out) < n {
 		panic(fmt.Sprintf("sketch: QueryColumns output holds %d entries, need %d", len(out), n))
 	}
-	buckets := b.Col64(n)
+	buckets := cm.rangeRows(b, keys, n)
 	for j := range out[:n] {
 		out[j] = int64(1)<<62 - 1
 	}
 	for r := 0; r < cm.rows; r++ {
-		cm.hs[r].RangeBatch(keys, cm.cols, buckets)
 		row := cm.table[r]
-		for j, c := range buckets[:n] {
+		for j, c := range buckets[r*n : r*n+n : r*n+n] {
 			if v := row[c]; v < out[j] {
 				out[j] = v
 			}
@@ -173,7 +195,7 @@ func (cm *CountMin) InnerProduct(other *CountMin) int64 {
 // SameHashes returns an empty Count-Min sharing this sketch's hash
 // functions, so inner products between the two are meaningful.
 func (cm *CountMin) SameHashes() *CountMin {
-	c := &CountMin{rows: cm.rows, cols: cm.cols, hs: cm.hs, qInt: make([]int64, cm.rows)}
+	c := &CountMin{rows: cm.rows, cols: cm.cols, hs: cm.hs, pairs: cm.pairs, qInt: make([]int64, cm.rows)}
 	c.table = make([][]int64, cm.rows)
 	for i := range c.table {
 		c.table[i] = make([]int64, cm.cols)

@@ -38,8 +38,13 @@ type CountSketch struct {
 	buckets *hash.Buckets
 	rows    int
 	cols    uint64
-	table   [][]int64
-	mass    int64 // sum of |delta| consumed: counters must be sized for it
+	// flat is the single rows*cols backing array; table[r] aliases
+	// flat[r*cols:(r+1)*cols], so row-based sweeps keep their shape
+	// while the batched query gather runs over the whole table in ONE
+	// fused kernel call (hash.GatherSignRows).
+	flat  []int64
+	table [][]int64
+	mass  int64 // sum of |delta| consumed: counters must be sized for it
 
 	qInt    []int64   // scratch for Query's median
 	qFloat  []float64 // scratch for L2Estimate's median
@@ -69,9 +74,10 @@ func NewCountSketchWithBuckets(b *hash.Buckets) *CountSketch {
 		upCols:  make([]uint64, b.Rows),
 		upSigns: make([]int64, b.Rows),
 	}
+	cs.flat = make([]int64, uint64(cs.rows)*cs.cols)
 	cs.table = make([][]int64, cs.rows)
 	for i := range cs.table {
-		cs.table[i] = make([]int64, cs.cols)
+		cs.table[i] = cs.flat[uint64(i)*cs.cols : uint64(i+1)*cs.cols : uint64(i+1)*cs.cols]
 	}
 	return cs
 }
@@ -176,13 +182,10 @@ func (cs *CountSketch) QueryColumns(b *core.Batch, keys []uint64, out []int64) {
 		cs.qBatch = make([]int64, cs.rows*n)
 	}
 	est := cs.qBatch[:cs.rows*n]
-	for r := 0; r < cs.rows; r++ {
-		row := cs.table[r]
-		rc := cols[r*n : r*n+n : r*n+n]
-		rs := signs[r*n : r*n+n : r*n+n]
-		re := est[r*n : r*n+n : r*n+n]
-		hash.GatherSignInt64(row, rc, rs, re)
-	}
+	// ONE fused gather covers every row of the estimate matrix — a
+	// single kernel dispatch (and vector power-up) over the flat table
+	// backing instead of one per row.
+	hash.GatherSignRows(cs.flat, int(cs.cols), cs.rows, cols, signs, est)
 	for j := 0; j < n; j++ {
 		for r := 0; r < cs.rows; r++ {
 			cs.qInt[r] = est[r*n+j]

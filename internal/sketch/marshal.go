@@ -72,16 +72,17 @@ func (cs *CountSketch) UnmarshalBinary(data []byte) error {
 	if len(data)-pos != need {
 		return errBadSketchData
 	}
+	flat := make([]int64, uint64(rows)*cols)
 	table := make([][]int64, rows)
 	for r := range table {
-		table[r] = make([]int64, cols)
+		table[r] = flat[uint64(r)*cols : uint64(r+1)*cols : uint64(r+1)*cols]
 		for c := range table[r] {
 			table[r][c] = int64(binary.LittleEndian.Uint64(data[pos:]))
 			pos += 8
 		}
 	}
 	cs.buckets, cs.rows, cs.cols = buckets, rows, cols
-	cs.table, cs.mass = table, mass
+	cs.flat, cs.table, cs.mass = flat, table, mass
 	cs.qInt = make([]int64, rows)
 	cs.qFloat = make([]float64, rows)
 	cs.upCols = make([]uint64, rows)
@@ -184,6 +185,10 @@ func (cm *CountMin) UnmarshalBinary(data []byte) error {
 	}
 	cm.rows, cm.cols = rows, cols
 	cm.hs = hs
+	// NewPairRows returns nil when any decoded hash is not pairwise
+	// (hostile or legacy wire state); the batch paths then fall back to
+	// the per-row RangeBatch loop.
+	cm.pairs = hash.NewPairRows(hs)
 	cm.table = table
 	cm.maxAbs, cm.total = maxAbs, total
 	cm.qInt = make([]int64, rows)

@@ -72,6 +72,10 @@ func TestKernelStateDifferential(t *testing.T) {
 		st.l2hh = l2.HeavyHitters()
 		st.sup = sup.Recover()
 		st.batched = hh.EstimateBatch(idxs)
+		// L2 batch estimates drive CountSketch.QueryColumns — the fused
+		// all-rows gather kernel (hash.GatherSignRows) over the flat
+		// table backing.
+		st.batched = append(st.batched, l2.EstimateBatch(idxs)...)
 		st.probes = sup.ProbeBatch(idxs)
 		for _, i := range idxs {
 			st.est = append(st.est, hh.Estimate(i), l2.Estimate(i))
