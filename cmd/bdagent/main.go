@@ -48,6 +48,7 @@ var (
 	interval   = flag.Duration("interval", 500*time.Millisecond, "snapshot sync interval")
 	metrics    = flag.String("metrics", "", "serve /metrics on this address (empty = off)")
 	batch      = flag.Int("batch", 1024, "ingest batch size")
+	checkpoint = flag.String("checkpoint", "", "checkpoint directory (empty = not durable); on restart the engine is restored from it instead of replaying the stream")
 
 	synthetic  = flag.Bool("synthetic", false, "generate load instead of reading stdin")
 	updates    = flag.Int("updates", 1_000_000, "synthetic: total updates")
@@ -73,18 +74,22 @@ func main() {
 		os.Exit(2)
 	}
 	agent, err := netagg.NewAgent(netagg.AgentOptions{
-		ID:           *id,
-		Aggregator:   *aggregator,
-		Config:       bounded.Config{N: *n, Eps: *eps, Alpha: *alpha, Seed: *seed},
-		Engine:       engine.Options{Shards: *shards, Structures: structs},
-		SyncInterval: *interval,
-		Logf:         logf,
+		ID:            *id,
+		Aggregator:    *aggregator,
+		Config:        bounded.Config{N: *n, Eps: *eps, Alpha: *alpha, Seed: *seed},
+		Engine:        engine.Options{Shards: *shards, Structures: structs},
+		SyncInterval:  *interval,
+		CheckpointDir: *checkpoint,
+		Logf:          logf,
 	})
 	if err != nil {
 		logf("bdagent: %v", err)
 		os.Exit(2)
 	}
 	defer agent.Close()
+	if agent.RestoredFromCheckpoint() {
+		logf("bdagent %s: engine restored from checkpoint in %s", *id, *checkpoint)
+	}
 
 	if *metrics != "" {
 		agent.ExposeMetrics(obs.Default, *id)

@@ -9,11 +9,18 @@
 //
 //	go run ./cmd/bdaggd -listen :7600 -structures hh,l1,support
 //	go run ./cmd/bdaggd -listen :7600 -metrics :9090   # plus /metrics
+//	go run ./cmd/bdaggd -listen :7600 -checkpoint /var/lib/bdaggd
 //
 // With -metrics, the aggregator's observability surface (connections,
 // frames, bytes, snapshot outcomes, merge latency, per-agent
-// staleness) is served as Prometheus text on /metrics, JSON with
-// ?format=json.
+// staleness, checkpoint write/load latency) is served as Prometheus
+// text on /metrics, JSON with ?format=json.
+//
+// With -checkpoint, the per-agent state table is written to the given
+// directory (atomically, CRC-guarded, every -checkpoint-every while
+// state moves) and recovered on restart: the daemon answers queries
+// from disk immediately, and reconnecting agents whose state is
+// unchanged resume incremental sync instead of resending everything.
 package main
 
 import (
@@ -41,6 +48,10 @@ var (
 	structures = flag.String("structures", "hh,l1,support", "accepted sketch set (hh,l1,l0,l1sampler,support,l2hh,sync)")
 	idle       = flag.Duration("idle-timeout", 0, "drop connections idle for this long (0 = never)")
 	statsEvery = flag.Duration("stats", time.Minute, "log a stats line this often (0 = never)")
+
+	checkpoint      = flag.String("checkpoint", "", "checkpoint directory (empty = not durable); on restart the per-agent state is recovered from it")
+	checkpointEvery = flag.Duration("checkpoint-every", time.Second, "background checkpoint interval")
+	checkpointKeep  = flag.Int("checkpoint-keep", 3, "checkpoints retained on disk")
 )
 
 func main() {
@@ -55,14 +66,22 @@ func main() {
 		os.Exit(2)
 	}
 	agg, err := netagg.NewAggregator(netagg.AggregatorOptions{
-		Config:      bounded.Config{N: *n, Eps: *eps, Alpha: *alpha, Seed: *seed},
-		Structures:  structs,
-		IdleTimeout: *idle,
-		Logf:        logf,
+		Config:          bounded.Config{N: *n, Eps: *eps, Alpha: *alpha, Seed: *seed},
+		Structures:      structs,
+		IdleTimeout:     *idle,
+		CheckpointDir:   *checkpoint,
+		CheckpointEvery: *checkpointEvery,
+		CheckpointKeep:  *checkpointKeep,
+		Logf:            logf,
 	})
 	if err != nil {
 		logf("bdaggd: %v", err)
 		os.Exit(2)
+	}
+	if *checkpoint != "" {
+		st := agg.Stats()
+		logf("bdaggd: checkpointing to %s every %s (recovered %d agents)",
+			*checkpoint, *checkpointEvery, st.RecoveredAgents)
 	}
 
 	if *metrics != "" {

@@ -94,6 +94,7 @@ func main() {
 		{"LB", "Sec 8 — adversarial augmented-indexing instance", lbTable},
 		{"ENG", "Engine — sharded concurrent ingest vs single writer (F1.1 workload)", engTable},
 		{"SER", "Serialization — wire size and marshal/unmarshal cost per structure", serTable},
+		{"CKPT", "Durability — partitioned checkpoint write/load cost vs shards", ckptTable},
 		{"AB1", "Ablation — CSSS vs dense Count-Sketch at equal dims", ab1Table},
 		{"AB2", "Ablation — Fig 7 window width", ab2Table},
 		{"AB3", "Ablation — Morris vs exact clock in Fig 4", ab3Table},
@@ -620,6 +621,100 @@ func engTable() *core.Table {
 			fmt.Sprintf("%d", st.SnapshotBuilds),
 			core.HumanBits(bits))
 		e.Close()
+	}
+	return t
+}
+
+// ckptTable measures the durability subsystem: wall time to write a
+// partitioned checkpoint of a loaded engine, on-disk size, wall time
+// to reopen a cold engine from it, and whether the restored engine's
+// merged answers are bit-identical to the source's.
+func ckptTable() *core.Table {
+	t := &core.Table{Headers: []string{"write", "load", "on-disk", "match"}}
+	const n, eps, alpha = 1 << 16, 0.05, 8.0
+	cfg := bounded.Config{N: n, Eps: eps, Alpha: alpha, Seed: *seed}
+	s := gen.BoundedDeletion(gen.Config{N: n, Items: 200000, Alpha: alpha, Zipf: 1.5, Seed: *seed})
+	structs := engine.HeavyHitters | engine.L1Estimator | engine.SupportSampler
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		e, err := engine.New(cfg, engine.Options{Shards: shards, BatchSize: 1024, Structures: structs})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := e.Ingest(s.Updates); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		wantHH, err := e.HeavyHitters()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		wantL1, err := e.L1()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+
+		dir, err := os.MkdirTemp("", "bdbench-ckpt-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		if err := e.Checkpoint(dir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		writeTime := time.Since(start)
+
+		var diskBits int64
+		if entries, err := os.ReadDir(dir); err == nil {
+			for _, ent := range entries {
+				if info, err := ent.Info(); err == nil {
+					diskBits += info.Size() * 8
+				}
+			}
+		}
+
+		start = time.Now()
+		r, err := engine.OpenCheckpoint(dir, engine.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		loadTime := time.Since(start)
+
+		gotHH, err := r.HeavyHitters()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		gotL1, err := r.L1()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		match := "IDENTICAL"
+		if gotL1 != wantL1 || len(gotHH) != len(wantHH) {
+			match = "DIFFER"
+		} else {
+			for i := range wantHH {
+				if gotHH[i] != wantHH[i] {
+					match = "DIFFER"
+				}
+			}
+		}
+
+		t.Add(fmt.Sprintf("checkpoint shards=%d", shards),
+			writeTime.Round(10*time.Microsecond).String(),
+			loadTime.Round(10*time.Microsecond).String(),
+			core.HumanBits(diskBits),
+			match)
+		r.Close()
+		e.Close()
+		os.RemoveAll(dir)
 	}
 	return t
 }

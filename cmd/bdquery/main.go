@@ -266,7 +266,7 @@ func runPoint(cfg bounded.Config, updates []bounded.Update, truth *bounded.Track
 		fmt.Printf("speedup        : %.2fx per index\n", perScalar/perBatched)
 	}
 	fmt.Printf("mean |error|   : %.2f per index vs exact ground truth\n", absErr/float64(len(idxs)))
-	fmt.Printf("snapshot builds: %d (routed reads never build one)\n", e.SnapshotBuilds())
+	fmt.Printf("snapshot builds: %d (routed reads never build one)\n", e.Stats().SnapshotBuilds)
 	return nil
 }
 

@@ -80,7 +80,7 @@ func TestEngineEstimateBatchMatchesScalar(t *testing.T) {
 				}
 			}
 		}
-		if n := e.SnapshotBuilds(); n != 0 {
+		if n := e.Stats().SnapshotBuilds; n != 0 {
 			t.Fatalf("shards=%d: routed EstimateBatch built %d snapshots, want 0", shards, n)
 		}
 		if err := e.Close(); err != nil {
@@ -133,7 +133,7 @@ func TestEngineEstimateBatchAfterRestore(t *testing.T) {
 			t.Fatalf("post-Restore EstimateBatch[%d] (index %d) = %v, scalar Estimate = %v", j, i, got[j], want)
 		}
 	}
-	if n := e.SnapshotBuilds(); n < 1 {
+	if n := e.Stats().SnapshotBuilds; n < 1 {
 		t.Fatalf("post-Restore queries built %d snapshots, want >= 1 (merged-view fallback)", n)
 	}
 }
@@ -205,7 +205,7 @@ func TestEngineProbeSupportRouted(t *testing.T) {
 			t.Fatalf("Probe(%d) = %v, owning-shard reference says %v", i, got, wantP)
 		}
 	}
-	if n := e.SnapshotBuilds(); n != 0 {
+	if n := e.Stats().SnapshotBuilds; n != 0 {
 		t.Fatalf("routed Probe/Support built %d snapshots, want 0", n)
 	}
 }
@@ -265,7 +265,7 @@ func TestEngineProbeBatchMatchesScalar(t *testing.T) {
 			}
 		}
 		check("routed")
-		if n := e.SnapshotBuilds(); n != 0 {
+		if n := e.Stats().SnapshotBuilds; n != 0 {
 			t.Fatalf("shards=%d: routed ProbeBatch built %d snapshots, want 0", shards, n)
 		}
 		// Restore flips both Probe and ProbeBatch to the merged view;
@@ -351,7 +351,7 @@ func TestEngineEstimateBatchConcurrent(t *testing.T) {
 		}
 	}()
 	wg.Wait()
-	if n := e.SnapshotBuilds(); n != 0 {
+	if n := e.Stats().SnapshotBuilds; n != 0 {
 		t.Fatalf("concurrent routed queries built %d snapshots, want 0", n)
 	}
 }

@@ -110,7 +110,7 @@ func BenchmarkEngineQueryIngestInterleave(b *testing.B) {
 			}
 		}
 		b.StopTimer()
-		b.ReportMetric(float64(e.SnapshotBuilds())/float64(b.N), "snapshots/op")
+		b.ReportMetric(float64(e.Stats().SnapshotBuilds)/float64(b.N), "snapshots/op")
 	}
 	b.Run("point", func(b *testing.B) {
 		run(b, func(e *Engine) error {
@@ -172,7 +172,7 @@ func BenchmarkEngineEstimateBatch(b *testing.B) {
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(size), "indexes/op")
-		b.ReportMetric(float64(e.SnapshotBuilds())/float64(b.N), "snapshots/op")
+		b.ReportMetric(float64(e.Stats().SnapshotBuilds)/float64(b.N), "snapshots/op")
 	}
 	for _, size := range []int{4, 8, 16, 64, 128, 256, 512, 4096} {
 		size := size

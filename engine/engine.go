@@ -55,6 +55,22 @@
 // can keep up — global merged queries cost S snapshots plus S-1 merges
 // when the generation-tagged view cache is stale (point queries never
 // pay that; they serialize only with the owning shard's ingest).
+//
+// # Durability
+//
+// SnapshotPartitioned serializes every shard's live structures in
+// place (no merge) under a versioned envelope carrying the shard
+// count, partition-hash coefficients, Config echo, structure set, and
+// generation. RestorePartitioned installs that state into a pristine
+// same-config engine: on a topology match each shard's payload lands
+// in its own worker and the routed query fast paths keep working
+// (SnapshotBuilds stays 0); on a shard-count mismatch the payloads
+// merge into shard 0 and the engine answers from its merged view —
+// still exact, since the sketches are linear. Checkpoint and
+// OpenCheckpoint put those snapshots through internal/ckpt's
+// CRC-guarded atomic store, so a process can restart from disk
+// without replaying its stream; OpenCheckpoint fills zero
+// Options.Shards/Structures from the snapshot header.
 package engine
 
 import (
@@ -727,15 +743,6 @@ func (e *Engine) sendHandoffs(full []pendingHandoff) {
 	}
 	e.met.batchesSent.Add(int64(len(full)))
 }
-
-// SnapshotBuilds reports how many times the engine has rebuilt its
-// merged snapshot view — a diagnostic for the snapshot-free point
-// query contract: Estimate never increments it.
-//
-// Deprecated: use Stats().SnapshotBuilds, which reads the same counter
-// alongside the rest of the observability snapshot. This wrapper
-// remains for existing callers and is exact in every build flavor.
-func (e *Engine) SnapshotBuilds() int64 { return e.snapshotBuilds.Load() }
 
 // HeavyHitters returns the eps-heavy coordinates of the full ingested
 // stream, from the merged shard snapshots.

@@ -121,7 +121,7 @@ func TestEnginePointQuerySnapshotFree(t *testing.T) {
 	if err := e.Ingest(s.Updates); err != nil {
 		t.Fatal(err)
 	}
-	if n := e.SnapshotBuilds(); n != 0 {
+	if n := e.Stats().SnapshotBuilds; n != 0 {
 		t.Fatalf("snapshot builds after ingest = %d, want 0", n)
 	}
 	for i := uint64(0); i < 64; i++ {
@@ -129,14 +129,14 @@ func TestEnginePointQuerySnapshotFree(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if n := e.SnapshotBuilds(); n != 0 {
+	if n := e.Stats().SnapshotBuilds; n != 0 {
 		t.Fatalf("snapshot builds after 64 point queries = %d, want 0", n)
 	}
 	// A global query pays one rebuild…
 	if _, err := e.HeavyHitters(); err != nil {
 		t.Fatal(err)
 	}
-	if n := e.SnapshotBuilds(); n != 1 {
+	if n := e.Stats().SnapshotBuilds; n != 1 {
 		t.Fatalf("snapshot builds after one global query = %d, want 1", n)
 	}
 	// …point queries after more ingest still trigger none, and the
@@ -155,7 +155,7 @@ func TestEnginePointQuerySnapshotFree(t *testing.T) {
 	if _, err := e.HeavyHitters(); err != nil {
 		t.Fatal(err)
 	}
-	if n := e.SnapshotBuilds(); n != 2 {
+	if n := e.Stats().SnapshotBuilds; n != 2 {
 		t.Fatalf("snapshot builds = %d, want 2 (one per post-ingest global query burst)", n)
 	}
 }
@@ -179,7 +179,7 @@ func TestEnginePointQuerySeesIngestedUpdates(t *testing.T) {
 	if got != 7 {
 		t.Fatalf("Estimate(7) = %v before any flush, want 7", got)
 	}
-	if n := e.SnapshotBuilds(); n != 0 {
+	if n := e.Stats().SnapshotBuilds; n != 0 {
 		t.Fatalf("snapshot builds = %d, want 0", n)
 	}
 }

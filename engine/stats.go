@@ -37,6 +37,13 @@ type engineMetrics struct {
 	flushCalls    obs.Counter   // public Flush invocations
 	flushNanos    obs.Histogram // wall time per public Flush
 	closeNanos    obs.Histogram // wall time of Close (one observation)
+
+	// Durability (durability.go).
+	partSnapshots      obs.Counter   // SnapshotPartitioned calls completed
+	partSnapNanos      obs.Histogram // wall time per partitioned snapshot
+	partRestores       obs.Counter   // RestorePartitioned topology-matched installs
+	partRestoresMerged obs.Counter   // RestorePartitioned merged-fallback imports
+	partRestoreNanos   obs.Histogram // wall time per partitioned restore
 }
 
 // ShardStats is one shard's slice of an engine Stats snapshot.
@@ -104,6 +111,16 @@ type Stats struct {
 	FlushLatency obs.HistogramSnapshot
 	CloseLatency obs.HistogramSnapshot
 
+	// PartitionedSnapshots counts SnapshotPartitioned calls;
+	// PartitionedRestores topology-matched shard-for-shard installs
+	// (routed reads preserved) and PartitionedRestoresMerged the
+	// merged-fallback imports (point queries demoted, like Restore).
+	PartitionedSnapshots       int64
+	PartitionedSnapshotLatency obs.HistogramSnapshot
+	PartitionedRestores        int64
+	PartitionedRestoresMerged  int64
+	PartitionedRestoreLatency  obs.HistogramSnapshot
+
 	// BackpressureStalls sums SendStalls over shards.
 	BackpressureStalls int64
 
@@ -133,7 +150,14 @@ func (e *Engine) Stats() Stats {
 		Flushes:         e.met.flushCalls.Load(),
 		FlushLatency:    e.met.flushNanos.Snapshot(),
 		CloseLatency:    e.met.closeNanos.Snapshot(),
-		PerShard:        make([]ShardStats, len(e.workers)),
+
+		PartitionedSnapshots:       e.met.partSnapshots.Load(),
+		PartitionedSnapshotLatency: e.met.partSnapNanos.Snapshot(),
+		PartitionedRestores:        e.met.partRestores.Load(),
+		PartitionedRestoresMerged:  e.met.partRestoresMerged.Load(),
+		PartitionedRestoreLatency:  e.met.partRestoreNanos.Snapshot(),
+
+		PerShard: make([]ShardStats, len(e.workers)),
 	}
 	for i, w := range e.workers {
 		m := w.Metrics()
@@ -182,6 +206,11 @@ func (e *Engine) ExposeMetrics(r *obs.Registry, instance string) func() {
 	h("repro_engine_snapshot_build_seconds", "merged-view rebuild wall time", m.snapshotNanos.Snapshot, inst)
 	c("repro_engine_flushes_total", "public Flush calls", m.flushCalls.Load, inst)
 	h("repro_engine_flush_seconds", "public Flush wall time", m.flushNanos.Snapshot, inst)
+	c("repro_engine_part_snapshots_total", "partitioned snapshots built", m.partSnapshots.Load, inst)
+	h("repro_engine_part_snapshot_seconds", "partitioned snapshot wall time", m.partSnapNanos.Snapshot, inst)
+	c("repro_engine_part_restores_total", "partitioned restores by path", m.partRestores.Load, inst, obs.Label{Key: "path", Value: "matched"})
+	c("repro_engine_part_restores_total", "partitioned restores by path", m.partRestoresMerged.Load, inst, obs.Label{Key: "path", Value: "merged"})
+	h("repro_engine_part_restore_seconds", "partitioned restore wall time", m.partRestoreNanos.Snapshot, inst)
 	for i, w := range e.workers {
 		w := w
 		wm := w.Metrics()

@@ -120,9 +120,6 @@ func TestStatsExactWorkload(t *testing.T) {
 		if st.SnapshotBuilds != 1 {
 			t.Errorf("shards=%d: SnapshotBuilds = %d, want 1", shards, st.SnapshotBuilds)
 		}
-		if got := e.SnapshotBuilds(); got != st.SnapshotBuilds {
-			t.Errorf("shards=%d: deprecated SnapshotBuilds() = %d, Stats says %d", shards, got, st.SnapshotBuilds)
-		}
 		if obs.Enabled {
 			if st.PointQueries != 3 || st.PointLatency.Count != 3 {
 				t.Errorf("shards=%d: PointQueries = %d (latency count %d), want 3", shards, st.PointQueries, st.PointLatency.Count)

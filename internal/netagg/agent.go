@@ -11,6 +11,7 @@ import (
 
 	bounded "repro"
 	"repro/engine"
+	"repro/internal/ckpt"
 	"repro/internal/netproto"
 	"repro/internal/obs"
 )
@@ -44,6 +45,13 @@ type AgentOptions struct {
 	// MaxFrame caps inbound frame payloads (default
 	// netproto.DefaultMaxFrame).
 	MaxFrame uint32
+	// CheckpointDir, when set, makes the agent durable: the engine is
+	// checkpointed to this directory and restored on construction, so
+	// a restarted agent resumes without replaying its stream.
+	CheckpointDir string
+	// CheckpointEvery paces checkpoint writes inside Run (default 1s).
+	// Ticks where the engine generation did not move write nothing.
+	CheckpointEvery time.Duration
 	// Logf receives sync-lifecycle diagnostics (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -67,6 +75,9 @@ func (o *AgentOptions) fill() {
 	if o.MaxFrame == 0 {
 		o.MaxFrame = netproto.DefaultMaxFrame
 	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = time.Second
+	}
 	o.Logf = logfOr(o.Logf)
 }
 
@@ -88,6 +99,9 @@ type AgentStats struct {
 	Reconnects   int64
 	SyncFailures int64
 	AcksReceived int64
+	// CheckpointsWritten counts engine checkpoints actually written
+	// (unchanged-generation ticks are not counted).
+	CheckpointsWritten int64
 }
 
 // Agent is one monitored site: a local sharded engine fed by Ingest,
@@ -116,6 +130,14 @@ type Agent struct {
 
 	closed atomic.Bool
 
+	// Durability (checkpoint.go). ckptMu serializes checkpoint writes;
+	// lastCkptGen is the engine generation the newest checkpoint was
+	// captured at (guarded by ckptMu).
+	store        *ckpt.Store
+	ckptMu       sync.Mutex
+	lastCkptGen  int64
+	restoredCkpt bool
+
 	snapshotsSent, snapshotsSkipped atomic.Int64
 	sketchesSent                    atomic.Int64
 	framesOut, framesIn             atomic.Int64
@@ -124,6 +146,7 @@ type Agent struct {
 	reconnects                      atomic.Int64
 	syncFailures                    atomic.Int64
 	acksReceived                    atomic.Int64
+	checkpointsWritten              atomic.Int64
 	syncNanos                       obs.Histogram
 }
 
@@ -141,8 +164,19 @@ func NewAgent(opt AgentOptions) (*Agent, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netagg: agent engine: %w", err)
 	}
-	return &Agent{opt: opt, eng: eng, lastAckedGen: -1}, nil
+	a := &Agent{opt: opt, eng: eng, lastAckedGen: -1, lastCkptGen: -1}
+	if opt.CheckpointDir != "" {
+		if err := a.openCheckpoint(); err != nil {
+			eng.Close()
+			return nil, err
+		}
+	}
+	return a, nil
 }
+
+// RestoredFromCheckpoint reports whether NewAgent resumed the engine
+// from an on-disk checkpoint rather than starting cold.
+func (a *Agent) RestoredFromCheckpoint() bool { return a.restoredCkpt }
 
 // Engine exposes the local engine for direct queries and stats.
 func (a *Agent) Engine() *engine.Engine { return a.eng }
@@ -158,6 +192,10 @@ func (a *Agent) Ingest(batch []bounded.Update) error { return a.eng.Ingest(batch
 func (a *Agent) Run(ctx context.Context) error {
 	ticker := time.NewTicker(a.opt.SyncInterval)
 	defer ticker.Stop()
+	var nextCkpt time.Time
+	if a.store != nil {
+		nextCkpt = time.Now().Add(a.opt.CheckpointEvery)
+	}
 	for {
 		select {
 		case <-ctx.Done():
@@ -166,10 +204,21 @@ func (a *Agent) Run(ctx context.Context) error {
 			if err := a.Sync(context.Background()); err != nil {
 				a.opt.Logf("netagg: agent %s final sync: %v", a.opt.ID, err)
 			}
+			if a.store != nil {
+				if err := a.Checkpoint(); err != nil {
+					a.opt.Logf("netagg: agent %s final checkpoint: %v", a.opt.ID, err)
+				}
+			}
 			return context.Cause(ctx)
 		case <-ticker.C:
 			if err := a.Sync(ctx); err != nil && ctx.Err() == nil {
 				a.opt.Logf("netagg: agent %s sync: %v", a.opt.ID, err)
+			}
+			if a.store != nil && !time.Now().Before(nextCkpt) {
+				if err := a.Checkpoint(); err != nil && ctx.Err() == nil {
+					a.opt.Logf("netagg: agent %s checkpoint: %v", a.opt.ID, err)
+				}
+				nextCkpt = time.Now().Add(a.opt.CheckpointEvery)
 			}
 		}
 	}
@@ -362,18 +411,19 @@ func (a *Agent) bumpBackoffLocked() {
 // Stats snapshots the agent's sync counters.
 func (a *Agent) Stats() AgentStats {
 	return AgentStats{
-		SnapshotsSent:    a.snapshotsSent.Load(),
-		SnapshotsSkipped: a.snapshotsSkipped.Load(),
-		SketchesSent:     a.sketchesSent.Load(),
-		FramesOut:        a.framesOut.Load(),
-		FramesIn:         a.framesIn.Load(),
-		BytesOut:         a.bytesOut.Load(),
-		BytesIn:          a.bytesIn.Load(),
-		Dials:            a.dials.Load(),
-		DialFailures:     a.dialFailures.Load(),
-		Reconnects:       a.reconnects.Load(),
-		SyncFailures:     a.syncFailures.Load(),
-		AcksReceived:     a.acksReceived.Load(),
+		SnapshotsSent:      a.snapshotsSent.Load(),
+		SnapshotsSkipped:   a.snapshotsSkipped.Load(),
+		SketchesSent:       a.sketchesSent.Load(),
+		FramesOut:          a.framesOut.Load(),
+		FramesIn:           a.framesIn.Load(),
+		BytesOut:           a.bytesOut.Load(),
+		BytesIn:            a.bytesIn.Load(),
+		Dials:              a.dials.Load(),
+		DialFailures:       a.dialFailures.Load(),
+		Reconnects:         a.reconnects.Load(),
+		SyncFailures:       a.syncFailures.Load(),
+		AcksReceived:       a.acksReceived.Load(),
+		CheckpointsWritten: a.checkpointsWritten.Load(),
 	}
 }
 
@@ -399,12 +449,24 @@ func (a *Agent) ExposeMetrics(r *obs.Registry, instance string) func() {
 	c("repro_agent_reconnects_total", "re-established connections", a.reconnects.Load, inst)
 	c("repro_agent_sync_failures_total", "sync attempts that errored", a.syncFailures.Load, inst)
 	c("repro_agent_acks_total", "snapshot ACKs received", a.acksReceived.Load, inst)
+	c("repro_agent_checkpoints_total", "engine checkpoints written", a.checkpointsWritten.Load, inst)
 	r.HistogramFunc(owner, "repro_agent_sync_seconds", "marshal+push+ack wall time per shipped snapshot", a.syncNanos.Snapshot, inst)
-	return func() { r.RemoveOwner(owner) }
+	var unregCkpt func()
+	if a.store != nil {
+		unregCkpt = a.store.ExposeMetrics(r, instance)
+	}
+	return func() {
+		r.RemoveOwner(owner)
+		if unregCkpt != nil {
+			unregCkpt()
+		}
+	}
 }
 
-// Close tears down the connection and the local engine. Pending
-// un-ACKed state is not flushed; Run's shutdown path does that.
+// Close tears down the connection and the local engine, writing a
+// final checkpoint first when a checkpoint directory is configured.
+// Pending un-ACKed state is not flushed; Run's shutdown path does
+// that.
 func (a *Agent) Close() error {
 	if a.closed.Swap(true) {
 		return nil
@@ -415,5 +477,10 @@ func (a *Agent) Close() error {
 		a.conn, a.mr, a.mw = nil, nil, nil
 	}
 	a.syncMu.Unlock()
+	if a.store != nil {
+		if err := a.Checkpoint(); err != nil {
+			a.opt.Logf("netagg: agent %s final checkpoint: %v", a.opt.ID, err)
+		}
+	}
 	return a.eng.Close()
 }

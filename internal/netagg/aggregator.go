@@ -10,6 +10,7 @@ import (
 
 	bounded "repro"
 	"repro/engine"
+	"repro/internal/ckpt"
 	"repro/internal/netproto"
 	"repro/internal/obs"
 )
@@ -35,6 +36,17 @@ type AggregatorOptions struct {
 	// IdleTimeout, when positive, drops connections that send nothing
 	// for that long.
 	IdleTimeout time.Duration
+	// CheckpointDir, when set, makes the aggregator durable: the
+	// per-agent table is checkpointed to this directory and recovered
+	// on construction, so a restarted aggregator answers queries from
+	// disk immediately and reconnecting agents resume incremental sync
+	// instead of force-resending their full state.
+	CheckpointDir string
+	// CheckpointEvery paces the background checkpoint loop (default
+	// 1s). Ticks where the committed state did not move write nothing.
+	CheckpointEvery time.Duration
+	// CheckpointKeep bounds retained checkpoints (default 3).
+	CheckpointKeep int
 	// Logf receives connection-lifecycle diagnostics (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -48,6 +60,9 @@ func (o *AggregatorOptions) fill() {
 	}
 	if o.IOTimeout == 0 {
 		o.IOTimeout = 10 * time.Second
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = time.Second
 	}
 	o.Logf = logfOr(o.Logf)
 }
@@ -89,7 +104,12 @@ type AggregatorStats struct {
 	QueriesServed, QueryErrors       int64
 	HandshakeFailures                int64
 	ViewBuilds                       int64
-	Agents                           []AgentSyncStats
+	// CheckpointsWritten counts state checkpoints actually written
+	// (unchanged-state ticks are not counted); RecoveredAgents counts
+	// agents whose state was restored from disk at construction.
+	CheckpointsWritten int64
+	RecoveredAgents    int64
+	Agents             []AgentSyncStats
 }
 
 // Aggregator terminates many agent connections, retains each agent's
@@ -120,6 +140,15 @@ type Aggregator struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
+	// Durability (checkpoint.go). ckptVersion is the stateVersion the
+	// newest on-disk checkpoint was captured from, guarded by mu.
+	store              *ckpt.Store
+	ckptVersion        uint64
+	ckptStop           chan struct{}
+	ckptDone           chan struct{}
+	checkpointsWritten atomic.Int64
+	recoveredAgents    atomic.Int64
+
 	connsOpened, connsClosed         atomic.Int64
 	framesIn, framesOut              atomic.Int64
 	bytesIn, bytesOut                atomic.Int64
@@ -137,6 +166,7 @@ type Aggregator struct {
 	reg         *obs.Registry
 	regOwner    string
 	regInstance string
+	ckptUnreg   func()
 }
 
 // NewAggregator returns an Aggregator; call Serve with a listener to
@@ -146,11 +176,20 @@ func NewAggregator(opt AggregatorOptions) (*Aggregator, error) {
 		return nil, fmt.Errorf("netagg: aggregator config: %w", err)
 	}
 	opt.fill()
-	return &Aggregator{
+	a := &Aggregator{
 		opt:    opt,
 		agents: make(map[string]*agentState),
 		conns:  make(map[net.Conn]struct{}),
-	}, nil
+	}
+	if opt.CheckpointDir != "" {
+		if err := a.openCheckpoint(); err != nil {
+			return nil, err
+		}
+		a.ckptStop = make(chan struct{})
+		a.ckptDone = make(chan struct{})
+		go a.checkpointLoop()
+	}
+	return a, nil
 }
 
 // Serve accepts connections on ln until Close (returns nil) or a
@@ -198,10 +237,24 @@ func (a *Aggregator) Close() error {
 	a.lnMu.Unlock()
 	a.wg.Wait()
 
+	if a.store != nil {
+		// Stop the loop, then write one final checkpoint after every
+		// handler has drained, so the newest committed state is on disk.
+		close(a.ckptStop)
+		<-a.ckptDone
+		if err := a.Checkpoint(); err != nil {
+			a.opt.Logf("netagg: aggregator final checkpoint: %v", err)
+		}
+	}
+
 	a.regMu.Lock()
 	if a.reg != nil {
 		a.reg.RemoveOwner(a.regOwner)
 		a.reg = nil
+	}
+	if a.ckptUnreg != nil {
+		a.ckptUnreg()
+		a.ckptUnreg = nil
 	}
 	a.regMu.Unlock()
 	return nil
@@ -536,19 +589,21 @@ func (a *Aggregator) answer(q *netproto.Query) *netproto.Answer {
 // Stats snapshots the aggregator's counters and per-agent freshness.
 func (a *Aggregator) Stats() AggregatorStats {
 	s := AggregatorStats{
-		ConnsOpened:       a.connsOpened.Load(),
-		ConnsClosed:       a.connsClosed.Load(),
-		FramesIn:          a.framesIn.Load(),
-		FramesOut:         a.framesOut.Load(),
-		BytesIn:           a.bytesIn.Load(),
-		BytesOut:          a.bytesOut.Load(),
-		SnapshotsApplied:  a.snapshotsApplied.Load(),
-		SnapshotsStale:    a.snapshotsStale.Load(),
-		SnapshotsRejected: a.snapshotsRejected.Load(),
-		QueriesServed:     a.queriesServed.Load(),
-		QueryErrors:       a.queryErrors.Load(),
-		HandshakeFailures: a.handshakeFailures.Load(),
-		ViewBuilds:        a.viewBuilds.Load(),
+		ConnsOpened:        a.connsOpened.Load(),
+		ConnsClosed:        a.connsClosed.Load(),
+		FramesIn:           a.framesIn.Load(),
+		FramesOut:          a.framesOut.Load(),
+		BytesIn:            a.bytesIn.Load(),
+		BytesOut:           a.bytesOut.Load(),
+		SnapshotsApplied:   a.snapshotsApplied.Load(),
+		SnapshotsStale:     a.snapshotsStale.Load(),
+		SnapshotsRejected:  a.snapshotsRejected.Load(),
+		QueriesServed:      a.queriesServed.Load(),
+		QueryErrors:        a.queryErrors.Load(),
+		HandshakeFailures:  a.handshakeFailures.Load(),
+		ViewBuilds:         a.viewBuilds.Load(),
+		CheckpointsWritten: a.checkpointsWritten.Load(),
+		RecoveredAgents:    a.recoveredAgents.Load(),
 	}
 	now := time.Now()
 	a.mu.Lock()
@@ -591,11 +646,17 @@ func (a *Aggregator) ExposeMetrics(r *obs.Registry, instance string) func() {
 	c("repro_aggd_query_errors_total", "client queries answered with an error", a.queryErrors.Load, inst)
 	c("repro_aggd_handshake_failures_total", "connections refused during handshake", a.handshakeFailures.Load, inst)
 	c("repro_aggd_view_builds_total", "merged-view rebuilds", a.viewBuilds.Load, inst)
+	c("repro_aggd_checkpoints_total", "state checkpoints written", a.checkpointsWritten.Load, inst)
+	c("repro_aggd_recovered_agents_total", "agents restored from a checkpoint at startup", a.recoveredAgents.Load, inst)
 	r.HistogramFunc(owner, "repro_aggd_merge_seconds", "merged-view rebuild wall time", a.mergeNanos.Snapshot, inst)
 	r.HistogramFunc(owner, "repro_aggd_apply_seconds", "snapshot decode+commit wall time", a.applyNanos.Snapshot, inst)
+	var ckptUnreg func()
+	if a.store != nil {
+		ckptUnreg = a.store.ExposeMetrics(r, instance)
+	}
 
 	a.regMu.Lock()
-	a.reg, a.regOwner, a.regInstance = r, owner, instance
+	a.reg, a.regOwner, a.regInstance, a.ckptUnreg = r, owner, instance, ckptUnreg
 	a.regMu.Unlock()
 	// Gauges for agents that synced before metrics were exposed.
 	a.mu.Lock()
@@ -608,8 +669,13 @@ func (a *Aggregator) ExposeMetrics(r *obs.Registry, instance string) func() {
 		if a.reg == r {
 			a.reg = nil
 		}
+		unregCkpt := a.ckptUnreg
+		a.ckptUnreg = nil
 		a.regMu.Unlock()
 		r.RemoveOwner(owner)
+		if unregCkpt != nil {
+			unregCkpt()
+		}
 	}
 }
 

@@ -1,0 +1,151 @@
+package netagg
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	bounded "repro"
+	"repro/engine"
+	"repro/internal/netproto"
+)
+
+// TestAgentCheckpointResume pins the restart-without-replay path: a
+// restarted agent restores its engine from disk, reports it, and
+// carries state equal to what the first incarnation checkpointed.
+// Unchanged-generation checkpoints write nothing.
+func TestAgentCheckpointResume(t *testing.T) {
+	agg, addr := startAggregator(t, AggregatorOptions{Config: testConfig, Structures: testStructures})
+	defer agg.Close()
+
+	dir := t.TempDir()
+	opts := AgentOptions{
+		ID: "durable", Aggregator: addr, Config: testConfig,
+		Engine:        engine.Options{Shards: 2, Structures: testStructures},
+		CheckpointDir: dir,
+		BackoffMin:    time.Millisecond,
+	}
+	a1, err := NewAgent(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.RestoredFromCheckpoint() {
+		t.Fatal("cold start claims a restored checkpoint")
+	}
+	if err := a1.Ingest(testStream(10_000, 29)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a1.Stats().CheckpointsWritten; got != 1 {
+		t.Fatalf("CheckpointsWritten = %d, want 1", got)
+	}
+	// Unchanged generation: a second checkpoint is a no-op.
+	if err := a1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a1.Stats().CheckpointsWritten; got != 1 {
+		t.Fatalf("unchanged-generation checkpoint wrote (count %d), want skip", got)
+	}
+	wantL1, err := a1.Engine().L1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a2, err := NewAgent(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if !a2.RestoredFromCheckpoint() {
+		t.Fatal("restart with a checkpoint on disk started cold")
+	}
+	gotL1, err := a2.Engine().L1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotL1 != wantL1 {
+		t.Fatalf("restored engine L1 = %v, want %v", gotL1, wantL1)
+	}
+	// The restored engine syncs like any live agent.
+	if err := a2.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	client, err := DialClient(addr, ClientOptions{Config: testConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	netL1, err := client.L1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netL1 != wantL1 {
+		t.Fatalf("aggregator L1 after restored-agent sync = %v, want %v", netL1, wantL1)
+	}
+}
+
+// TestAggregatorCheckpointValidation pins the recovery admission
+// checks: a checkpoint written under one parameterization refuses to
+// load into an aggregator with a different config or a narrower
+// structure set, and loads exactly under the original one.
+func TestAggregatorCheckpointValidation(t *testing.T) {
+	dir := t.TempDir()
+	opts := AggregatorOptions{
+		Config: testConfig, Structures: engine.HeavyHitters,
+		CheckpointDir: dir, CheckpointEvery: time.Hour,
+	}
+	a1, err := NewAggregator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &netproto.Snapshot{Seq: 3, Gen: 5, Sketches: []netproto.SketchBlob{{
+		StructureBit: uint32(engine.HeavyHitters),
+		Payload:      hhBlob(t, []bounded.Update{{Index: 42, Delta: 9}, {Index: 7, Delta: 2}}),
+	}}}
+	if err := a1.applySnapshot("site-a", snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wrongCfg := opts
+	wrongCfg.Config.Seed++
+	if _, err := NewAggregator(wrongCfg); err == nil || !strings.Contains(err.Error(), "config") {
+		t.Fatalf("config-mismatched recovery: err = %v, want config mismatch", err)
+	}
+	narrower := opts
+	narrower.Structures = engine.L1Estimator
+	if _, err := NewAggregator(narrower); err == nil || !strings.Contains(err.Error(), "no longer accepts") {
+		t.Fatalf("narrower-structures recovery: err = %v, want structures refusal", err)
+	}
+
+	a2, err := NewAggregator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	st := a2.Stats()
+	if st.RecoveredAgents != 1 || len(st.Agents) != 1 {
+		t.Fatalf("recovered %d agents (%d tracked), want 1", st.RecoveredAgents, len(st.Agents))
+	}
+	if got := st.Agents[0]; got.ID != "site-a" || got.Seq != 3 || got.Gen != 5 {
+		t.Fatalf("recovered watermark %+v, want site-a seq=3 gen=5", got)
+	}
+	ans := a2.answer(&netproto.Query{Op: netproto.OpEstimate, Keys: []uint64{42, 7, 100}})
+	if ans.Err != "" {
+		t.Fatal(ans.Err)
+	}
+	if ans.Values[0] != 9 || ans.Values[1] != 2 || ans.Values[2] != 0 {
+		t.Fatalf("recovered estimates = %v, want [9 2 0]", ans.Values)
+	}
+}

@@ -186,7 +186,7 @@ func TestEndToEndDifferential(t *testing.T) {
 	defer ref.Close()
 
 	stream := testStream(60_000, 11)
-	phase1, phase2 := stream[:40_000], stream[40_000:]
+	phase1, phase2, phase3 := stream[:30_000], stream[30_000:50_000], stream[50_000:]
 	probeKeys := []uint64{0, 1, 2, 3, 7, 31, 100, 4096, testConfig.N - 1}
 
 	ingest := func(updates []bounded.Update) {
@@ -308,6 +308,130 @@ func TestEndToEndDifferential(t *testing.T) {
 	for _, as := range st.Agents {
 		if as.Snapshots == 0 || as.Seq == 0 {
 			t.Fatalf("agent %s: no committed snapshot after restart (%+v)", as.ID, as)
+		}
+	}
+
+	// Phase 3: durable restart. A third aggregator run gets a
+	// checkpoint directory; after it absorbs the agents' state and
+	// checkpoints, a fourth run restarted from that directory must
+	// answer bit-identically from disk BEFORE any agent syncs, and a
+	// reconnecting agent whose state is unchanged must ship only its
+	// HELLO — no snapshot resend storm.
+	ckptDir := t.TempDir()
+	if err := agg2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln3, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg3, err := NewAggregator(AggregatorOptions{
+		Config: testConfig, Structures: testStructures,
+		CheckpointDir: ckptDir, CheckpointEvery: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg3.Close()
+	go agg3.Serve(ln3)
+	if got := agg3.Stats().RecoveredAgents; got != 0 {
+		t.Fatalf("cold checkpoint dir recovered %d agents, want 0", got)
+	}
+
+	ingest(phase3)
+	for _, a := range agents {
+		if err := a.Sync(context.Background()); err != nil {
+			if err = a.Sync(context.Background()); err != nil {
+				t.Fatalf("sync after second aggregator restart: %v", err)
+			}
+		}
+	}
+	client3, err := DialClient(addr, ClientOptions{Config: testConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client3.Close()
+	verifyAgainstReference(t, client3, ref, probeKeys)
+
+	if err := agg3.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := agg3.Stats().CheckpointsWritten; got == 0 {
+		t.Fatal("explicit Checkpoint wrote nothing")
+	}
+	preRestart := agg3.Stats()
+	if err := agg3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ln4, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg4, err := NewAggregator(AggregatorOptions{
+		Config: testConfig, Structures: testStructures,
+		CheckpointDir: ckptDir, CheckpointEvery: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg4.Close()
+	go agg4.Serve(ln4)
+	if got := agg4.Stats().RecoveredAgents; got != numSites {
+		t.Fatalf("restarted aggregator recovered %d agents from disk, want %d", got, numSites)
+	}
+
+	// Answers come straight from the recovered table: bit-identical to
+	// the reference with zero snapshots applied.
+	client4, err := DialClient(addr, ClientOptions{Config: testConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client4.Close()
+	verifyAgainstReference(t, client4, ref, probeKeys)
+	if got := agg4.Stats().SnapshotsApplied; got != 0 {
+		t.Fatalf("recovered aggregator needed %d snapshots before answering, want 0", got)
+	}
+
+	// No resend storm: drop each agent's dead connection so the next
+	// sync re-handshakes. The recovered WELCOME.LastSeq matches the
+	// agent's own watermark, so an unchanged agent ships exactly one
+	// frame (HELLO) and no snapshot.
+	for _, a := range agents {
+		a.syncMu.Lock()
+		if a.conn != nil {
+			a.conn.Close()
+			a.conn, a.mr, a.mw = nil, nil, nil
+		}
+		a.syncMu.Unlock()
+
+		before := a.Stats()
+		if err := a.Sync(context.Background()); err != nil {
+			t.Fatalf("sync after checkpointed restart: %v", err)
+		}
+		after := a.Stats()
+		if after.FramesOut != before.FramesOut+1 {
+			t.Fatalf("reconnect to recovered aggregator shipped %d frames, want 1 (HELLO only)",
+				after.FramesOut-before.FramesOut)
+		}
+		if after.SnapshotsSent != before.SnapshotsSent {
+			t.Fatalf("reconnect to recovered aggregator resent %d snapshots, want 0",
+				after.SnapshotsSent-before.SnapshotsSent)
+		}
+		if after.SnapshotsSkipped != before.SnapshotsSkipped+1 {
+			t.Fatalf("reconnect sync: skipped %d -> %d, want +1", before.SnapshotsSkipped, after.SnapshotsSkipped)
+		}
+	}
+	st4 := agg4.Stats()
+	if st4.SnapshotsApplied != 0 {
+		t.Fatalf("recovered aggregator applied %d snapshots across idle reconnects, want 0", st4.SnapshotsApplied)
+	}
+	if len(st4.Agents) != numSites {
+		t.Fatalf("recovered aggregator tracks %d agents, want %d", len(st4.Agents), numSites)
+	}
+	for i, as := range st4.Agents {
+		if as.Seq != preRestart.Agents[i].Seq || as.Gen != preRestart.Agents[i].Gen {
+			t.Fatalf("agent %s watermarks changed across restart: %+v vs %+v", as.ID, as, preRestart.Agents[i])
 		}
 	}
 }

@@ -1,0 +1,143 @@
+package wire
+
+import "fmt"
+
+// Partitioned engine snapshot envelope. Where the public "BD" envelope
+// carries ONE merged structure, this frame carries an engine's whole
+// sharded state with the partition preserved: a header naming the
+// topology the payloads were built under (shard count, the fast-range
+// partition hash's marshaled coefficients, the Config echo, the
+// structure set, and the state generation), then per-shard blob lists —
+// one "BD" envelope per enabled structure per shard, exactly as each
+// shard's live goroutine marshaled it. A restoring engine whose
+// topology matches installs the payloads shard-for-shard and keeps
+// routed (snapshot-free) reads; anything else falls back to a merged
+// import. The frame is structural only — the engine package owns the
+// semantic checks (bit validity, Config equality, type dispatch).
+const (
+	partMagic = "BP"
+	// PartVersion is the current partitioned-snapshot format version.
+	PartVersion = 1
+)
+
+// PartBlob is one structure's serialized state within one shard: the
+// engine Structures bit it was filed under and the structure's own
+// self-describing "BD" envelope bytes.
+type PartBlob struct {
+	Bit     uint32
+	Payload []byte
+}
+
+// PartHeader names the topology a partitioned snapshot was built
+// under. Shards and Partitioner decide whether a restore can install
+// shard-for-shard; the Config echo gates mergeability either way.
+type PartHeader struct {
+	// Shards is the producing engine's shard count; the body carries
+	// exactly this many blob lists.
+	Shards uint32
+	// Partitioner is the producing engine's partition hash, in
+	// hash.KWise MarshalBinary form. Same Config.Seed implies the same
+	// coefficients today; echoing them keeps topology matching honest
+	// if the seed derivation ever changes between versions.
+	Partitioner []byte
+	// Config echo (bounded.Config fields, flattened to keep this
+	// package dependency-free).
+	N          uint64
+	Eps, Alpha float64
+	Seed       int64
+	// Structures is the engine Structures bitmask every shard's blob
+	// list covers.
+	Structures uint32
+	// Generation is the producing engine's state generation at
+	// snapshot time.
+	Generation uint64
+}
+
+// PartSnapshot is a decoded partitioned snapshot: the header plus one
+// blob list per shard (len(Shards) == int(Header.Shards)).
+type PartSnapshot struct {
+	Header PartHeader
+	Shards [][]PartBlob
+}
+
+// MarshalBinary frames the snapshot.
+func (p *PartSnapshot) MarshalBinary() ([]byte, error) {
+	if len(p.Shards) != int(p.Header.Shards) {
+		return nil, fmt.Errorf("wire: partitioned snapshot header declares %d shards, body has %d",
+			p.Header.Shards, len(p.Shards))
+	}
+	w := NewWriter(partMagic, PartVersion)
+	w.U32(p.Header.Shards)
+	w.Bytes32(p.Header.Partitioner)
+	w.U64(p.Header.N)
+	w.F64(p.Header.Eps)
+	w.F64(p.Header.Alpha)
+	w.I64(p.Header.Seed)
+	w.U32(p.Header.Structures)
+	w.U64(p.Header.Generation)
+	for _, blobs := range p.Shards {
+		w.U32(uint32(len(blobs)))
+		for _, b := range blobs {
+			w.U32(b.Bit)
+			w.Bytes32(b.Payload)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary parses a frame produced by MarshalBinary. Like every
+// reader in this package it is allocation-bounded by the input size (a
+// corrupt count can never drive an oversized allocation) and commits
+// nothing on failure.
+func (p *PartSnapshot) UnmarshalBinary(data []byte) error {
+	r, v, err := NewReader(data, partMagic)
+	if err != nil {
+		return err
+	}
+	if v != PartVersion {
+		return fmt.Errorf("wire: unsupported partitioned snapshot version %d", v)
+	}
+	var hdr PartHeader
+	hdr.Shards = r.U32()
+	hdr.Partitioner = r.Bytes32()
+	hdr.N = r.U64()
+	hdr.Eps = r.F64()
+	hdr.Alpha = r.F64()
+	hdr.Seed = r.I64()
+	hdr.Structures = r.U32()
+	hdr.Generation = r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if hdr.Shards == 0 {
+		return fmt.Errorf("wire: partitioned snapshot with zero shards")
+	}
+	// Each shard costs at least its 4-byte blob count: a forged shard
+	// count cannot allocate past the input size.
+	if int64(hdr.Shards)*4 > int64(r.Remaining()) {
+		return fmt.Errorf("wire: shard count %d exceeds remaining %d bytes", hdr.Shards, r.Remaining())
+	}
+	shards := make([][]PartBlob, hdr.Shards)
+	for si := range shards {
+		n := r.count(8) // per blob: 4-byte bit + 4-byte length prefix
+		if r.Err() != nil {
+			return r.Err()
+		}
+		blobs := make([]PartBlob, 0, n)
+		for j := 0; j < n; j++ {
+			bit := r.U32()
+			payload := r.Bytes32()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			blobs = append(blobs, PartBlob{Bit: bit, Payload: payload})
+		}
+		shards[si] = blobs
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	p.Header = hdr
+	p.Shards = shards
+	return nil
+}

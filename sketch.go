@@ -198,6 +198,18 @@ func parseEnvelope(data []byte, wantKind Kind) (*envelope, error) {
 	return e, nil
 }
 
+// SketchConfig peeks at a serialized sketch's Config echo without
+// unmarshaling the state — the cross-check a partitioned restore runs
+// on every blob before installing it into a live shard. Legacy "SR"
+// sync-sketch frames carry no envelope and are rejected.
+func SketchConfig(data []byte) (Config, error) {
+	e, err := parseEnvelope(data, 0)
+	if err != nil {
+		return Config{}, err
+	}
+	return e.cfg, nil
+}
+
 // SketchKind peeks at a serialized sketch and reports which structure
 // it holds, without unmarshaling the state.
 func SketchKind(data []byte) (Kind, error) {
